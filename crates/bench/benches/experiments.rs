@@ -1,0 +1,115 @@
+//! Criterion wrappers around the latency-critical comparisons: change
+//! application latency (differential vs from-scratch) across change kinds
+//! and fabric sizes, plus data-plane single-rule updates. Tables/figures
+//! that are about counters rather than latency (E6..E8) live in the
+//! harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dna_core::{DiffEngine, ScratchDiffer};
+use net_model::ChangeSet;
+use topo_gen::{fat_tree, Routing, ScenarioGen, ScenarioKind};
+
+/// E1/E2/E3 core comparison: one link failure on fat-trees of two sizes.
+fn bench_link_failure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_failure");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.warm_up_time(Duration::from_secs(1));
+    for k in [4, 6] {
+        let ft = fat_tree(k, Routing::Ebgp);
+        let link = ft
+            .snapshot
+            .links
+            .iter()
+            .find(|l| l.touches("core0"))
+            .unwrap()
+            .clone();
+        let cs = ChangeSet::single(net_model::Change::LinkDown(link));
+        group.bench_with_input(BenchmarkId::new("differential", k), &k, |bch, _| {
+            bch.iter_batched(
+                || DiffEngine::new(ft.snapshot.clone()).unwrap(),
+                |mut eng| eng.apply(&cs).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", k), &k, |bch, _| {
+            bch.iter_batched(
+                || ScratchDiffer::new(ft.snapshot.clone()).unwrap(),
+                |mut scr| scr.apply(&cs).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// E3-style: policy edit latency.
+fn bench_policy_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_edit");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.warm_up_time(Duration::from_secs(1));
+    let ft = fat_tree(6, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(42);
+    let cs = gen
+        .generate(&ft.snapshot, ScenarioKind::LocalPrefChange)
+        .unwrap();
+    group.bench_function("differential", |bch| {
+        bch.iter_batched(
+            || DiffEngine::new(ft.snapshot.clone()).unwrap(),
+            |mut eng| eng.apply(&cs).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("scratch", |bch| {
+        bch.iter_batched(
+            || ScratchDiffer::new(ft.snapshot.clone()).unwrap(),
+            |mut scr| scr.apply(&cs).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// E4: single FIB rule update on a loaded data plane.
+fn bench_dp_rule_update(c: &mut Criterion) {
+    use control_plane::reference;
+    use data_plane::{DataPlane, DpUpdate};
+    use topo_gen::{wan, WanShape};
+    let w = wan(40, WanShape::Mesh { extra: 20 }, 8, 7);
+    let sim = reference::simulate(&w.snapshot).unwrap();
+    let fib: Vec<_> = sim.fib.iter().cloned().collect();
+    let mut dp = DataPlane::new(&w.snapshot);
+    dp.apply(&DpUpdate {
+        fib: fib.iter().cloned().map(|e| (e, 1)).collect(),
+        filters: vec![],
+    });
+    let entry = fib[0].clone();
+    let mut group = c.benchmark_group("dp_rule_update");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("incremental", |bch| {
+        bch.iter(|| {
+            dp.apply(&DpUpdate {
+                fib: vec![(entry.clone(), -1)],
+                filters: vec![],
+            });
+            dp.apply(&DpUpdate {
+                fib: vec![(entry.clone(), 1)],
+                filters: vec![],
+            });
+        })
+    });
+    group.bench_function("recompute_all", |bch| bch.iter(|| dp.recompute_all()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_link_failure,
+    bench_policy_edit,
+    bench_dp_rule_update
+);
+criterion_main!(benches);

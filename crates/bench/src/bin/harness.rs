@@ -1,0 +1,41 @@
+//! Prints every experiment of the evaluation (DESIGN.md §7).
+//!
+//! Usage: `cargo run --release -p dna-bench --bin harness [e1|e2|...|e8|all]`
+
+use dna_bench as b;
+use topo_gen::{fat_tree, wan, Routing, WanShape};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = which == "all";
+    if all || which == "e1" {
+        b::e1_change_size(6, &[1, 2, 4, 8, 16, 32, 64]);
+    }
+    if all || which == "e2" {
+        b::e2_scalability(&[4, 6, 8]);
+    }
+    if all || which == "e3" {
+        let ft = fat_tree(6, Routing::Ebgp);
+        b::e3_scenarios(&ft.snapshot, "k=6 eBGP fat-tree", 3);
+        let w = wan(40, WanShape::Mesh { extra: 20 }, 8, 99);
+        b::e3_scenarios(&w.snapshot, "WAN-40 OSPF mesh", 3);
+    }
+    if all || which == "e4" {
+        b::e4_dp_throughput(40, 200);
+    }
+    if all || which == "e5" {
+        let ft = fat_tree(6, Routing::Ebgp);
+        b::e5_breakdown(&ft.snapshot, "k=6 eBGP fat-tree");
+    }
+    if all || which == "e6" {
+        b::e6_memory(&[4, 6, 8]);
+    }
+    if all || which == "e7" {
+        b::e7_locality(6);
+    }
+    if all || which == "e8" {
+        let (checks, mismatches) = b::e8_equivalence(&[11, 12, 13, 14], 8);
+        assert_eq!(mismatches, 0, "analyzers diverged");
+        let _ = checks;
+    }
+}

@@ -1,0 +1,347 @@
+//! Experiment implementations E1..E8 (see DESIGN.md §7).
+//!
+//! Each function runs one experiment and prints the table/series the
+//! evaluation reports; all return machine-readable rows too so the
+//! Criterion benches and tests can reuse them. Workload sizes are chosen
+//! to finish in seconds-to-minutes on a laptop while preserving the
+//! *shape* of the published results (who wins, by what factor, where the
+//! crossover falls).
+
+use dna_core::{DiffEngine, ScratchDiffer};
+use net_model::{ChangeSet, Snapshot};
+use std::time::{Duration, Instant};
+use topo_gen::{fat_tree, wan, Routing, ScenarioGen, ScenarioKind, WanShape, ALL_SCENARIOS};
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// One measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (x-axis value or scenario name).
+    pub label: String,
+    /// Differential latency.
+    pub diff: Duration,
+    /// From-scratch latency.
+    pub scratch: Duration,
+    /// Auxiliary counter (experiment-specific).
+    pub aux: u64,
+}
+
+impl Row {
+    /// scratch / differential.
+    pub fn speedup(&self) -> f64 {
+        self.scratch.as_secs_f64() / self.diff.as_secs_f64().max(1e-9)
+    }
+}
+
+fn print_rows(title: &str, xlabel: &str, aux_label: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<24} {:>14} {:>14} {:>9} {:>12}",
+        xlabel, "differential", "from-scratch", "speedup", aux_label
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>12.2}ms {:>12.2}ms {:>8.1}x {:>12}",
+            r.label,
+            ms(r.diff),
+            ms(r.scratch),
+            r.speedup(),
+            r.aux
+        );
+    }
+}
+
+/// Applies one change set to fresh engines over `snap`, returning the pair
+/// of latencies (differential, scratch) and the diff's flow count.
+fn measure_once(snap: &Snapshot, cs: &ChangeSet) -> (Duration, Duration, usize) {
+    let mut eng = DiffEngine::new(snap.clone()).expect("engine");
+    let (d1, t_diff) = time(|| eng.apply(cs).expect("diff apply"));
+    let mut scr = ScratchDiffer::new(snap.clone()).expect("scratch");
+    let (d2, t_scr) = time(|| scr.apply(cs).expect("scratch apply"));
+    assert_eq!(d1.fib, d2.fib, "analyzers disagree");
+    (t_diff, t_scr, d1.flows.len())
+}
+
+/// E1 — end-to-end latency vs change size (batched policy/ACL edits on a
+/// k=8 eBGP fat-tree).
+pub fn e1_change_size(k: u32, sizes: &[usize]) -> Vec<Row> {
+    let ft = fat_tree(k, Routing::Ebgp);
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut gen = ScenarioGen::new(1000 + size as u64);
+        let cs = gen.batch(&ft.snapshot, ScenarioKind::LocalPrefChange, size);
+        let (diff, scratch, flows) = measure_once(&ft.snapshot, &cs);
+        rows.push(Row {
+            label: format!("{} changes", cs.len()),
+            diff,
+            scratch,
+            aux: flows as u64,
+        });
+    }
+    print_rows(
+        &format!("E1: latency vs change size (k={k} fat-tree, local-pref batches)"),
+        "batch size",
+        "flow diffs",
+        &rows,
+    );
+    rows
+}
+
+/// E2 — scalability with network size (single link failure on fat-trees).
+pub fn e2_scalability(ks: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let ft = fat_tree(k, Routing::Ebgp);
+        let link = ft
+            .snapshot
+            .links
+            .iter()
+            .find(|l| l.touches("core0"))
+            .unwrap()
+            .clone();
+        let cs = ChangeSet::single(net_model::Change::LinkDown(link));
+        let (diff, scratch, flows) = measure_once(&ft.snapshot, &cs);
+        rows.push(Row {
+            label: format!("k={k} ({} devices)", ft.device_count()),
+            diff,
+            scratch,
+            aux: flows as u64,
+        });
+    }
+    print_rows(
+        "E2: scalability with network size (single core-link failure)",
+        "fabric",
+        "flow diffs",
+        &rows,
+    );
+    rows
+}
+
+/// E3 — latency and speedup per change scenario.
+pub fn e3_scenarios(snap: &Snapshot, name: &str, samples: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &kind in ALL_SCENARIOS {
+        let mut gen = ScenarioGen::new(7_000 + kind as u64);
+        let mut best: Option<Row> = None;
+        let mut cur = snap.clone();
+        for _ in 0..samples {
+            let Some(cs) = gen.generate(&cur, kind) else {
+                continue;
+            };
+            let (diff, scratch, flows) = measure_once(&cur, &cs);
+            let row = Row {
+                label: kind.to_string(),
+                diff,
+                scratch,
+                aux: flows as u64,
+            };
+            // Keep the median-ish representative: the slowest differential
+            // sample (conservative for the incremental side).
+            if best.as_ref().map_or(true, |b| row.diff > b.diff) {
+                best = Some(row);
+            }
+            // Evolve so recovery scenarios have opportunities.
+            cur = cs.apply(&cur).unwrap();
+        }
+        if let Some(row) = best {
+            rows.push(row);
+        }
+    }
+    print_rows(
+        &format!("E3: per-scenario latency ({name}; worst of {samples} samples)"),
+        "scenario",
+        "flow diffs",
+        &rows,
+    );
+    rows
+}
+
+/// E4 — data-plane update throughput: single FIB rule churn, incremental
+/// vs full recomputation of all classes.
+pub fn e4_dp_throughput(n_routers: usize, updates: usize) -> (f64, f64) {
+    use control_plane::reference;
+    use data_plane::{DataPlane, DpUpdate};
+    let w = wan(n_routers, WanShape::Mesh { extra: n_routers / 2 }, 8, 4242);
+    let sim = reference::simulate(&w.snapshot).expect("wan converges");
+    let fib: Vec<_> = sim.fib.iter().cloned().collect();
+    let mut dp = DataPlane::new(&w.snapshot);
+    dp.apply(&DpUpdate {
+        fib: fib.iter().cloned().map(|e| (e, 1)).collect(),
+        filters: vec![],
+    });
+    // Churn: remove and re-add individual FIB entries round-robin.
+    let t0 = Instant::now();
+    for i in 0..updates {
+        let e = fib[i % fib.len()].clone();
+        dp.apply(&DpUpdate {
+            fib: vec![(e.clone(), -1)],
+            filters: vec![],
+        });
+        dp.apply(&DpUpdate {
+            fib: vec![(e, 1)],
+            filters: vec![],
+        });
+    }
+    let incr = t0.elapsed();
+    let inc_rate = (2 * updates) as f64 / incr.as_secs_f64();
+    // Baseline: full recomputation per update.
+    let scratch_updates = updates.min(20);
+    let t1 = Instant::now();
+    for _ in 0..scratch_updates {
+        dp.recompute_all();
+    }
+    let scr = t1.elapsed();
+    let scr_rate = scratch_updates as f64 / scr.as_secs_f64();
+    println!("\n== E4: data-plane update throughput (WAN-{n_routers}, single-rule churn) ==");
+    println!("incremental: {inc_rate:>10.0} updates/s");
+    println!("recompute:   {scr_rate:>10.0} updates/s");
+    println!("ratio:       {:>10.1}x", inc_rate / scr_rate.max(1e-9));
+    (inc_rate, scr_rate)
+}
+
+/// E5 — stage breakdown: control-plane vs data-plane share per scenario.
+pub fn e5_breakdown(snap: &Snapshot, name: &str) -> Vec<(String, f64, f64)> {
+    println!("\n== E5: stage breakdown ({name}) ==");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "scenario", "cp", "dp", "cp share"
+    );
+    let mut out = Vec::new();
+    for &kind in ALL_SCENARIOS {
+        let mut gen = ScenarioGen::new(9_000 + kind as u64);
+        let Some(cs) = gen.generate(snap, kind) else {
+            continue;
+        };
+        let mut eng = DiffEngine::new(snap.clone()).expect("engine");
+        let d = eng.apply(&cs).expect("apply");
+        let (cp, dp) = (ms(d.stats.cp_time), ms(d.stats.dp_time));
+        println!(
+            "{:<24} {:>8.2}ms {:>8.2}ms {:>7.0}%",
+            kind.to_string(),
+            cp,
+            dp,
+            100.0 * cp / (cp + dp).max(1e-9)
+        );
+        out.push((kind.to_string(), cp, dp));
+    }
+    out
+}
+
+/// E6 — working-set size vs network size.
+pub fn e6_memory(ks: &[u32]) -> Vec<(u32, usize, usize, usize, usize)> {
+    println!("\n== E6: state cost vs network size ==");
+    println!(
+        "{:<8} {:>9} {:>14} {:>10} {:>12} {:>12}",
+        "fabric", "devices", "engine tuples", "classes", "pset nodes", "fib entries"
+    );
+    let mut out = Vec::new();
+    for &k in ks {
+        let ft = fat_tree(k, Routing::Ebgp);
+        let eng = DiffEngine::new(ft.snapshot.clone()).expect("engine");
+        let (tuples, atoms, psets) = eng.state_size();
+        println!(
+            "k={:<6} {:>9} {:>14} {:>10} {:>12} {:>12}",
+            k,
+            ft.device_count(),
+            tuples,
+            atoms,
+            psets,
+            eng.fib().len()
+        );
+        out.push((k, ft.device_count(), tuples, atoms, psets));
+    }
+    out
+}
+
+/// E7 — affected classes vs change locality (edge vs agg vs core failure).
+pub fn e7_locality(k: u32) -> Vec<(String, usize, usize)> {
+    let ft = fat_tree(k, Routing::Ebgp);
+    println!("\n== E7: blast radius vs change locality (k={k} fat-tree) ==");
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "failed element", "flow diffs", "dirty classes"
+    );
+    let mut out = Vec::new();
+    let picks: Vec<(String, net_model::Change)> = vec![
+        (
+            "edge-agg link".into(),
+            net_model::Change::LinkDown(
+                ft.snapshot
+                    .links
+                    .iter()
+                    .find(|l| l.touches("edge0_0") && l.touches("agg0_0"))
+                    .unwrap()
+                    .clone(),
+            ),
+        ),
+        (
+            "agg-core link".into(),
+            net_model::Change::LinkDown(
+                ft.snapshot
+                    .links
+                    .iter()
+                    .find(|l| l.touches("agg0_0") && l.touches("core0"))
+                    .unwrap()
+                    .clone(),
+            ),
+        ),
+        (
+            "edge switch".into(),
+            net_model::Change::DeviceDown("edge0_0".into()),
+        ),
+        (
+            "core switch".into(),
+            net_model::Change::DeviceDown("core0".into()),
+        ),
+    ];
+    for (label, change) in picks {
+        let mut eng = DiffEngine::new(ft.snapshot.clone()).expect("engine");
+        let d = eng.apply(&ChangeSet::single(change)).expect("apply");
+        println!(
+            "{:<28} {:>12} {:>14}",
+            label,
+            d.flows.len(),
+            d.stats.dirty_classes
+        );
+        out.push((label, d.flows.len(), d.stats.dirty_classes));
+    }
+    out
+}
+
+/// E8 — equivalence: differential vs scratch over random change
+/// sequences; returns (checks, mismatches). Mismatches must be zero.
+pub fn e8_equivalence(seeds: &[u64], steps: usize) -> (usize, usize) {
+    let mut checks = 0;
+    let mut mismatches = 0;
+    for &seed in seeds {
+        let snap = if seed % 2 == 0 {
+            fat_tree(4, Routing::Ebgp).snapshot
+        } else {
+            wan(10, WanShape::Mesh { extra: 4 }, 6, seed).snapshot
+        };
+        let mut eng = DiffEngine::new(snap.clone()).expect("engine");
+        let mut scr = ScratchDiffer::new(snap.clone()).expect("scratch");
+        let mut gen = ScenarioGen::new(seed);
+        for cs in gen.sequence(&snap, ALL_SCENARIOS, steps) {
+            let d1 = eng.apply(&cs).expect("diff");
+            let d2 = scr.apply(&cs).expect("scratch");
+            checks += 1;
+            if d1.fib != d2.fib || d1.rib != d2.rib {
+                mismatches += 1;
+            }
+        }
+    }
+    println!("\n== E8: equivalence vs from-scratch baseline ==");
+    println!("change-sets checked: {checks}; mismatches: {mismatches} (expected 0)");
+    (checks, mismatches)
+}

@@ -1,0 +1,14 @@
+//! # dna-bench — benchmark harness for the evaluation
+//!
+//! Regenerates every table and figure of the (reconstructed) evaluation —
+//! see DESIGN.md §7 for the experiment inventory E1..E8 and EXPERIMENTS.md
+//! for recorded results. The `harness` binary prints each experiment's
+//! rows; `benches/experiments.rs` wraps the latency-critical comparisons
+//! in Criterion for statistically robust numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,559 @@
+//! Encodings between model types and dynamically-typed engine rows.
+//!
+//! The differential program moves routes, policies and FIB actions through
+//! the engine as [`Value`]s; this module defines the (total, reversible)
+//! encodings plus the BGP preference comparator shared by the differential
+//! rules *and* the reference simulator — sharing the comparator guarantees
+//! both pick identical routes even on exotic ties.
+
+use crate::types::{BgpSource, FibAction, FibEntry, NextDevice, Proto, RibEntry};
+use ddflow::Value;
+use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
+use net_model::{Ipv4Addr, Ipv4Prefix, RouteAttrs, RouteMap};
+use std::cmp::Ordering;
+
+// ---------------------------------------------------------------- prefixes
+
+/// Encodes a prefix as `(addr << 8) | len`.
+pub fn enc_prefix(p: Ipv4Prefix) -> Value {
+    Value::U64(((p.addr().0 as u64) << 8) | p.len() as u64)
+}
+
+/// Decodes a prefix encoded by [`enc_prefix`].
+pub fn dec_prefix(v: &Value) -> Ipv4Prefix {
+    let raw = v.as_u64();
+    Ipv4Prefix::new(Ipv4Addr((raw >> 8) as u32), (raw & 0xff) as u8)
+}
+
+/// Encodes an address.
+pub fn enc_addr(a: Ipv4Addr) -> Value {
+    Value::U32(a.0)
+}
+
+/// Decodes an address.
+pub fn dec_addr(v: &Value) -> Ipv4Addr {
+    Ipv4Addr(v.as_u32())
+}
+
+// ------------------------------------------------------------- route attrs
+
+/// Encodes BGP path attributes as
+/// `(prefix, local_pref, med, origin, as_path, communities)`.
+pub fn enc_attrs(a: &RouteAttrs) -> Value {
+    Value::tuple(vec![
+        enc_prefix(a.prefix),
+        Value::U32(a.local_pref),
+        Value::U32(a.med),
+        Value::U32(a.origin as u32),
+        Value::list(a.as_path.iter().map(|&x| Value::U32(x)).collect()),
+        Value::list(a.communities.iter().map(|&x| Value::U32(x)).collect()),
+    ])
+}
+
+/// Decodes attributes encoded by [`enc_attrs`].
+pub fn dec_attrs(v: &Value) -> RouteAttrs {
+    let t = v.as_tuple().expect("attrs tuple");
+    RouteAttrs {
+        prefix: dec_prefix(&t[0]),
+        local_pref: t[1].as_u32(),
+        med: t[2].as_u32(),
+        origin: t[3].as_u32() as u8,
+        as_path: t[4]
+            .as_list()
+            .expect("as_path list")
+            .iter()
+            .map(|x| x.as_u32())
+            .collect(),
+        communities: t[5]
+            .as_list()
+            .expect("communities list")
+            .iter()
+            .map(|x| x.as_u32())
+            .collect(),
+    }
+}
+
+// -------------------------------------------------------------- bgp source
+
+/// Encodes the provenance of a BGP route.
+pub fn enc_source(s: &BgpSource) -> Value {
+    match s {
+        BgpSource::Originated => Value::tuple(vec![Value::U32(0)]),
+        BgpSource::External { peer } => Value::tuple(vec![Value::U32(1), enc_addr(*peer)]),
+        BgpSource::Session {
+            peer_device,
+            peer_addr,
+            ebgp,
+            peer_router_id,
+            via_iface,
+        } => Value::tuple(vec![
+            Value::U32(2),
+            Value::str(peer_device),
+            enc_addr(*peer_addr),
+            Value::Bool(*ebgp),
+            Value::U32(*peer_router_id),
+            Value::str(via_iface),
+        ]),
+    }
+}
+
+/// Decodes a source encoded by [`enc_source`].
+pub fn dec_source(v: &Value) -> BgpSource {
+    let t = v.as_tuple().expect("source tuple");
+    match t[0].as_u32() {
+        0 => BgpSource::Originated,
+        1 => BgpSource::External {
+            peer: dec_addr(&t[1]),
+        },
+        2 => BgpSource::Session {
+            peer_device: t[1].as_str().to_string(),
+            peer_addr: dec_addr(&t[2]),
+            ebgp: t[3].as_bool(),
+            peer_router_id: t[4].as_u32(),
+            via_iface: t[5].as_str().to_string(),
+        },
+        tag => panic!("unknown BgpSource tag {tag}"),
+    }
+}
+
+/// Encodes a full BGP route `(attrs, source)` — the payload that flows
+/// through the best-path scope.
+pub fn enc_bgp_route(attrs: &RouteAttrs, source: &BgpSource) -> Value {
+    Value::tuple(vec![enc_attrs(attrs), enc_source(source)])
+}
+
+/// Decodes a route encoded by [`enc_bgp_route`].
+pub fn dec_bgp_route(v: &Value) -> (RouteAttrs, BgpSource) {
+    let t = v.as_tuple().expect("bgp route tuple");
+    (dec_attrs(&t[0]), dec_source(&t[1]))
+}
+
+// --------------------------------------------------------- best-path order
+
+/// Rank of the session type (lower preferred): originated, then
+/// eBGP/external, then iBGP.
+fn source_rank(s: &BgpSource) -> u32 {
+    match s {
+        BgpSource::Originated => 0,
+        BgpSource::External { .. } => 1,
+        BgpSource::Session { ebgp: true, .. } => 1,
+        BgpSource::Session { ebgp: false, .. } => 2,
+    }
+}
+
+/// Tie-breaking id of the advertiser (router id for sessions, the neighbor
+/// address for external peers, 0 for local origination).
+fn source_id(s: &BgpSource) -> (u32, u32) {
+    match s {
+        BgpSource::Originated => (0, 0),
+        BgpSource::External { peer } => (peer.0, peer.0),
+        BgpSource::Session {
+            peer_router_id,
+            peer_addr,
+            ..
+        } => (*peer_router_id, peer_addr.0),
+    }
+}
+
+/// The BGP decision process as a total order over encoded routes
+/// (`Ordering::Less` = preferred): higher local-pref, shorter AS path,
+/// lower origin, lower MED, eBGP over iBGP, lower advertiser router id,
+/// lower advertiser address, and finally canonical value order so the
+/// result is deterministic for any input.
+pub fn bgp_route_cmp(a: &Value, b: &Value) -> Ordering {
+    let (aa, sa) = dec_bgp_route(a);
+    let (ab, sb) = dec_bgp_route(b);
+    ab.local_pref
+        .cmp(&aa.local_pref) // higher local pref preferred
+        .then_with(|| aa.as_path.len().cmp(&ab.as_path.len()))
+        .then_with(|| aa.origin.cmp(&ab.origin))
+        .then_with(|| aa.med.cmp(&ab.med))
+        .then_with(|| source_rank(&sa).cmp(&source_rank(&sb)))
+        .then_with(|| source_id(&sa).cmp(&source_id(&sb)))
+        .then_with(|| a.cmp(b))
+}
+
+// --------------------------------------------------------------- route maps
+
+fn enc_match(m: &RmMatch) -> Value {
+    match m {
+        RmMatch::Prefix { covering, ge, le } => Value::tuple(vec![
+            Value::U32(0),
+            enc_prefix(*covering),
+            Value::U32(*ge as u32),
+            Value::U32(*le as u32),
+        ]),
+        RmMatch::Community(c) => Value::tuple(vec![Value::U32(1), Value::U32(*c)]),
+        RmMatch::AsPathContains(asn) => Value::tuple(vec![Value::U32(2), Value::U32(*asn)]),
+    }
+}
+
+fn dec_match(v: &Value) -> RmMatch {
+    let t = v.as_tuple().expect("match tuple");
+    match t[0].as_u32() {
+        0 => RmMatch::Prefix {
+            covering: dec_prefix(&t[1]),
+            ge: t[2].as_u32() as u8,
+            le: t[3].as_u32() as u8,
+        },
+        1 => RmMatch::Community(t[1].as_u32()),
+        2 => RmMatch::AsPathContains(t[1].as_u32()),
+        tag => panic!("unknown RmMatch tag {tag}"),
+    }
+}
+
+fn enc_set(s: &RmSet) -> Value {
+    match s {
+        RmSet::LocalPref(v) => Value::tuple(vec![Value::U32(0), Value::U32(*v)]),
+        RmSet::Med(v) => Value::tuple(vec![Value::U32(1), Value::U32(*v)]),
+        RmSet::AddCommunity(c) => Value::tuple(vec![Value::U32(2), Value::U32(*c)]),
+        RmSet::DeleteCommunity(c) => Value::tuple(vec![Value::U32(3), Value::U32(*c)]),
+        RmSet::AsPathPrepend { asn, count } => Value::tuple(vec![
+            Value::U32(4),
+            Value::U32(*asn),
+            Value::U32(*count as u32),
+        ]),
+    }
+}
+
+fn dec_set(v: &Value) -> RmSet {
+    let t = v.as_tuple().expect("set tuple");
+    match t[0].as_u32() {
+        0 => RmSet::LocalPref(t[1].as_u32()),
+        1 => RmSet::Med(t[1].as_u32()),
+        2 => RmSet::AddCommunity(t[1].as_u32()),
+        3 => RmSet::DeleteCommunity(t[1].as_u32()),
+        4 => RmSet::AsPathPrepend {
+            asn: t[1].as_u32(),
+            count: t[2].as_u32() as u8,
+        },
+        tag => panic!("unknown RmSet tag {tag}"),
+    }
+}
+
+/// Encodes a route map so policy contents flow through the engine as data
+/// (policy edits become plain input deltas).
+pub fn enc_route_map(rm: &RouteMap) -> Value {
+    Value::list(
+        rm.clauses
+            .iter()
+            .map(|c| {
+                Value::tuple(vec![
+                    Value::U32(c.seq),
+                    Value::list(c.matches.iter().map(enc_match).collect()),
+                    Value::Bool(matches!(c.action, RmAction::Permit)),
+                    Value::list(c.sets.iter().map(enc_set).collect()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a route map encoded by [`enc_route_map`].
+pub fn dec_route_map(v: &Value) -> RouteMap {
+    let clauses = v
+        .as_list()
+        .expect("route map list")
+        .iter()
+        .map(|cv| {
+            let t = cv.as_tuple().expect("clause tuple");
+            RouteMapClause {
+                seq: t[0].as_u32(),
+                matches: t[1]
+                    .as_list()
+                    .expect("matches")
+                    .iter()
+                    .map(dec_match)
+                    .collect(),
+                action: if t[2].as_bool() {
+                    RmAction::Permit
+                } else {
+                    RmAction::Deny
+                },
+                sets: t[3].as_list().expect("sets").iter().map(dec_set).collect(),
+            }
+        })
+        .collect();
+    RouteMap { clauses }
+}
+
+// ------------------------------------------------------------- fib entries
+
+fn enc_next(n: &NextDevice) -> Value {
+    match n {
+        NextDevice::Device(d) => Value::tuple(vec![Value::U32(0), Value::str(d)]),
+        NextDevice::External => Value::tuple(vec![Value::U32(1)]),
+    }
+}
+
+fn dec_next(v: &Value) -> NextDevice {
+    let t = v.as_tuple().expect("next tuple");
+    match t[0].as_u32() {
+        0 => NextDevice::Device(t[1].as_str().to_string()),
+        1 => NextDevice::External,
+        tag => panic!("unknown NextDevice tag {tag}"),
+    }
+}
+
+/// Encodes a forwarding action.
+pub fn enc_action(a: &FibAction) -> Value {
+    match a {
+        FibAction::Deliver { iface } => Value::tuple(vec![Value::U32(0), Value::str(iface)]),
+        FibAction::Forward { iface, next } => {
+            Value::tuple(vec![Value::U32(1), Value::str(iface), enc_next(next)])
+        }
+        FibAction::Drop => Value::tuple(vec![Value::U32(2)]),
+    }
+}
+
+/// Decodes a forwarding action.
+pub fn dec_action(v: &Value) -> FibAction {
+    let t = v.as_tuple().expect("action tuple");
+    match t[0].as_u32() {
+        0 => FibAction::Deliver {
+            iface: t[1].as_str().to_string(),
+        },
+        1 => FibAction::Forward {
+            iface: t[1].as_str().to_string(),
+            next: dec_next(&t[2]),
+        },
+        2 => FibAction::Drop,
+        tag => panic!("unknown FibAction tag {tag}"),
+    }
+}
+
+/// Encodes a FIB entry row `(device, prefix, action)`.
+pub fn enc_fib(e: &FibEntry) -> Value {
+    Value::tuple(vec![
+        Value::str(&e.device),
+        enc_prefix(e.prefix),
+        enc_action(&e.action),
+    ])
+}
+
+/// Decodes a FIB entry row.
+pub fn dec_fib(v: &Value) -> FibEntry {
+    let t = v.as_tuple().expect("fib tuple");
+    FibEntry {
+        device: t[0].as_str().to_string(),
+        prefix: dec_prefix(&t[1]),
+        action: dec_action(&t[2]),
+    }
+}
+
+fn enc_proto(p: Proto) -> Value {
+    Value::U32(match p {
+        Proto::Connected => 0,
+        Proto::Static => 1,
+        Proto::BgpExternal => 2,
+        Proto::Ospf => 3,
+        Proto::BgpInternal => 4,
+    })
+}
+
+fn dec_proto(v: &Value) -> Proto {
+    match v.as_u32() {
+        0 => Proto::Connected,
+        1 => Proto::Static,
+        2 => Proto::BgpExternal,
+        3 => Proto::Ospf,
+        4 => Proto::BgpInternal,
+        tag => panic!("unknown Proto tag {tag}"),
+    }
+}
+
+/// Encodes a RIB entry row `(device, prefix, proto, metric, action)`.
+pub fn enc_rib(e: &RibEntry) -> Value {
+    Value::tuple(vec![
+        Value::str(&e.device),
+        enc_prefix(e.prefix),
+        enc_proto(e.proto),
+        Value::U64(e.metric),
+        enc_action(&e.action),
+    ])
+}
+
+/// Decodes a RIB entry row.
+pub fn dec_rib(v: &Value) -> RibEntry {
+    let t = v.as_tuple().expect("rib tuple");
+    RibEntry {
+        device: t[0].as_str().to_string(),
+        prefix: dec_prefix(&t[1]),
+        proto: dec_proto(&t[2]),
+        metric: t[3].as_u64(),
+        action: dec_action(&t[4]),
+    }
+}
+
+/// RIB preference over encoded rib-candidate payloads
+/// `(ad, metric, proto, action-detail)`: lower administrative distance,
+/// then lower metric; further fields only break ties canonically. ECMP
+/// keeps all payloads minimal under this order's first two keys, so the
+/// comparator exposes only those keys.
+pub fn rib_cmp(a: &Value, b: &Value) -> Ordering {
+    let ta = a.as_tuple().expect("rib cand");
+    let tb = b.as_tuple().expect("rib cand");
+    ta[0].as_u32()
+        .cmp(&tb[0].as_u32())
+        .then_with(|| ta[1].as_u64().cmp(&tb[1].as_u64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::route::RouteMapClause;
+    use net_model::{ip, pfx};
+
+    #[test]
+    fn prefix_roundtrip() {
+        for p in ["0.0.0.0/0", "10.1.2.0/24", "255.255.255.255/32"] {
+            let pf = pfx(p);
+            assert_eq!(dec_prefix(&enc_prefix(pf)), pf);
+        }
+    }
+
+    #[test]
+    fn attrs_roundtrip() {
+        let mut a = RouteAttrs::originated(pfx("10.0.0.0/16"));
+        a.local_pref = 250;
+        a.med = 7;
+        a.as_path = vec![65001, 65002, 65001];
+        a.communities.insert(99);
+        assert_eq!(dec_attrs(&enc_attrs(&a)), a);
+    }
+
+    #[test]
+    fn source_roundtrip() {
+        let sources = [
+            BgpSource::Originated,
+            BgpSource::External { peer: ip("9.9.9.9") },
+            BgpSource::Session {
+                peer_device: "spine1".into(),
+                peer_addr: ip("10.0.0.1"),
+                ebgp: true,
+                peer_router_id: 42,
+                via_iface: "eth3".into(),
+            },
+        ];
+        for s in sources {
+            assert_eq!(dec_source(&enc_source(&s)), s);
+        }
+    }
+
+    #[test]
+    fn route_map_roundtrip() {
+        let mut rm = RouteMap::default();
+        rm.add(RouteMapClause {
+            seq: 10,
+            matches: vec![
+                RmMatch::Prefix {
+                    covering: pfx("10.0.0.0/8"),
+                    ge: 16,
+                    le: 24,
+                },
+                RmMatch::Community(5),
+                RmMatch::AsPathContains(65000),
+            ],
+            action: RmAction::Deny,
+            sets: vec![],
+        });
+        rm.add(RouteMapClause {
+            seq: 20,
+            matches: vec![],
+            action: RmAction::Permit,
+            sets: vec![
+                RmSet::LocalPref(300),
+                RmSet::Med(1),
+                RmSet::AddCommunity(7),
+                RmSet::DeleteCommunity(8),
+                RmSet::AsPathPrepend { asn: 65009, count: 2 },
+            ],
+        });
+        assert_eq!(dec_route_map(&enc_route_map(&rm)), rm);
+    }
+
+    #[test]
+    fn fib_and_rib_roundtrip() {
+        let entries = [
+            FibEntry {
+                device: "r1".into(),
+                prefix: pfx("10.0.0.0/24"),
+                action: FibAction::Deliver { iface: "eth0".into() },
+            },
+            FibEntry {
+                device: "r1".into(),
+                prefix: pfx("0.0.0.0/0"),
+                action: FibAction::Forward {
+                    iface: "eth1".into(),
+                    next: NextDevice::External,
+                },
+            },
+            FibEntry {
+                device: "r2".into(),
+                prefix: pfx("10.1.0.0/16"),
+                action: FibAction::Drop,
+            },
+        ];
+        for e in &entries {
+            assert_eq!(&dec_fib(&enc_fib(e)), e);
+        }
+        let r = RibEntry {
+            device: "r9".into(),
+            prefix: pfx("10.2.0.0/16"),
+            proto: Proto::Ospf,
+            metric: 30,
+            action: FibAction::Forward {
+                iface: "eth2".into(),
+                next: NextDevice::Device("r3".into()),
+            },
+        };
+        assert_eq!(dec_rib(&enc_rib(&r)), r);
+    }
+
+    #[test]
+    fn decision_process_order() {
+        let base = RouteAttrs::originated(pfx("1.0.0.0/8"));
+        let mk = |lp: u32, path: Vec<u32>, med: u32, src: BgpSource| {
+            let mut a = base.clone();
+            a.local_pref = lp;
+            a.as_path = path;
+            a.med = med;
+            enc_bgp_route(&a, &src)
+        };
+        let ses = |dev: &str, rid: u32, ebgp: bool| BgpSource::Session {
+            peer_device: dev.into(),
+            peer_addr: ip("10.0.0.1"),
+            ebgp,
+            peer_router_id: rid,
+            via_iface: "e0".into(),
+        };
+        // Higher local pref wins despite a longer path.
+        let a = mk(200, vec![1, 2, 3], 0, ses("x", 1, true));
+        let b = mk(100, vec![1], 0, ses("y", 2, true));
+        assert_eq!(bgp_route_cmp(&a, &b), Ordering::Less);
+        // Same local pref: shorter path wins.
+        let c = mk(100, vec![1, 2], 0, ses("x", 1, true));
+        assert_eq!(bgp_route_cmp(&b, &c), Ordering::Less);
+        // Same so far: lower MED wins.
+        let d = mk(100, vec![1], 5, ses("x", 1, true));
+        assert_eq!(bgp_route_cmp(&b, &d), Ordering::Less);
+        // eBGP preferred over iBGP.
+        let e = mk(100, vec![1], 0, ses("z", 0, false));
+        assert_eq!(bgp_route_cmp(&b, &e), Ordering::Less);
+        // Final tie-break: lower router id.
+        let f = mk(100, vec![1], 0, ses("w", 9, true));
+        assert_eq!(bgp_route_cmp(&b, &f), Ordering::Less);
+        // Total order sanity: some strict order between any two distinct.
+        assert_ne!(bgp_route_cmp(&a, &b), Ordering::Equal);
+    }
+
+    #[test]
+    fn rib_cmp_orders_by_ad_then_metric() {
+        let cand = |ad: u32, metric: u64| {
+            Value::tuple(vec![Value::U32(ad), Value::U64(metric), Value::Unit])
+        };
+        assert_eq!(rib_cmp(&cand(0, 99), &cand(110, 1)), Ordering::Less);
+        assert_eq!(rib_cmp(&cand(110, 1), &cand(110, 2)), Ordering::Less);
+        assert_eq!(rib_cmp(&cand(110, 2), &cand(110, 2)), Ordering::Equal);
+    }
+}

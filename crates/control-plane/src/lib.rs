@@ -1,0 +1,33 @@
+//! # control-plane — differential and reference control-plane simulation
+//!
+//! Simulates BGP/OSPF/static routing for a [`net_model::Snapshot`] and —
+//! the point of the reproduction — maintains the result *incrementally*
+//! under configuration and environment changes.
+//!
+//! Two interchangeable simulators share one set of semantics and output
+//! types:
+//!
+//! * [`CpEngine`] — the **differential** simulator (the paper's approach):
+//!   routing encoded as an incremental Datalog program over `ddflow`;
+//!   changes become input deltas and only affected routes recompute.
+//! * [`reference::simulate`] — the **from-scratch** simulator (the
+//!   Batfish-style baseline and test oracle): Dijkstra + synchronous BGP
+//!   rounds over the whole snapshot.
+//!
+//! Both emit the same [`RibEntry`]/[`FibEntry`] rows, chosen by the same
+//! decision-process comparator, so their outputs are directly comparable
+//! (and are compared, extensively, in the test suite).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod engine;
+pub mod reference;
+pub mod relations;
+pub mod rules;
+pub mod types;
+
+pub use engine::{CpDelta, CpEngine, CpError};
+pub use reference::{simulate, SimError, SimResult};
+pub use types::{BgpSource, FibAction, FibEntry, NextDevice, Proto, RibEntry};

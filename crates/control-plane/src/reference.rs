@@ -1,0 +1,630 @@
+//! Reference (from-scratch) control-plane simulator.
+//!
+//! Direct implementations of the protocol semantics: Dijkstra for OSPF,
+//! synchronous-round (Jacobi) iteration for BGP best-path propagation,
+//! administrative-distance RIB merge, FIB compilation. It serves two roles:
+//!
+//! 1. the **baseline** of the evaluation ("simulate both snapshots from
+//!    scratch and diff", the Batfish workflow), and
+//! 2. the **test oracle** the differential simulator is checked against.
+//!
+//! The semantics here are normative; `rules.rs` encodes the same
+//! definitions as an incremental Datalog program (see DESIGN.md §4 for the
+//! shared conventions: next-hop-self on all sessions, split horizon, no
+//! iBGP reflection, undefined route-map references behave as permit-all).
+
+use crate::encode::{bgp_route_cmp, enc_bgp_route};
+use crate::types::{BgpSource, FibAction, FibEntry, NextDevice, Proto, RibEntry};
+use ddflow::Value;
+use net_model::{Ipv4Addr, Ipv4Prefix, NextHop, RouteAttrs, RouteMap, Snapshot};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// BGP did not converge within the round bound (policy dispute).
+    BgpDivergence {
+        /// Rounds executed before giving up.
+        rounds: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BgpDivergence { rounds } => {
+                write!(f, "BGP did not converge within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Control-plane simulation output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimResult {
+    /// Installed routes (post best-path selection and AD merge).
+    pub rib: BTreeSet<RibEntry>,
+    /// Forwarding entries (the RIB projected to forwarding actions).
+    pub fib: BTreeSet<FibEntry>,
+}
+
+/// One live adjacency: `via_iface` on `device` reaches `peer_device`, whose
+/// facing interface owns `peer_addr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Adjacency {
+    device: String,
+    via_iface: String,
+    peer_device: String,
+    peer_iface: String,
+    peer_addr: Ipv4Addr,
+}
+
+/// Precomputed liveness view of a snapshot.
+struct LiveView<'a> {
+    snap: &'a Snapshot,
+    /// Up interfaces: (device, iface) present here are usable.
+    up_ifaces: BTreeSet<(String, String)>,
+    /// Directed adjacencies over up links.
+    adjacencies: Vec<Adjacency>,
+}
+
+impl<'a> LiveView<'a> {
+    fn new(snap: &'a Snapshot) -> Self {
+        let mut linked: HashSet<(String, String)> = HashSet::new();
+        for l in &snap.links {
+            linked.insert((l.a.device.clone(), l.a.iface.clone()));
+            linked.insert((l.b.device.clone(), l.b.iface.clone()));
+        }
+        let mut up_ifaces = BTreeSet::new();
+        let mut adjacencies = Vec::new();
+        for l in snap.up_links() {
+            for (me, other) in [(&l.a, &l.b), (&l.b, &l.a)] {
+                let peer_addr = snap
+                    .devices
+                    .get(&other.device)
+                    .and_then(|dc| dc.interfaces.get(&other.iface))
+                    .map(|ic| ic.addr);
+                if let Some(peer_addr) = peer_addr {
+                    adjacencies.push(Adjacency {
+                        device: me.device.clone(),
+                        via_iface: me.iface.clone(),
+                        peer_device: other.device.clone(),
+                        peer_iface: other.iface.clone(),
+                        peer_addr,
+                    });
+                }
+                up_ifaces.insert((me.device.clone(), me.iface.clone()));
+            }
+        }
+        // Interfaces with no link at all are host-facing and count as up
+        // (when their device is up).
+        for (dev, dc) in &snap.devices {
+            if snap.environment.down_devices.contains(dev) {
+                continue;
+            }
+            for ifname in dc.interfaces.keys() {
+                if !linked.contains(&(dev.clone(), ifname.clone())) {
+                    up_ifaces.insert((dev.clone(), ifname.clone()));
+                }
+            }
+        }
+        // Down devices contribute no up interfaces even for linked ifaces
+        // (up_links already excludes them).
+        LiveView {
+            snap,
+            up_ifaces,
+            adjacencies,
+        }
+    }
+
+    fn iface_up(&self, dev: &str, iface: &str) -> bool {
+        self.up_ifaces.contains(&(dev.to_string(), iface.to_string()))
+    }
+
+    /// Finds the up interface of `dev` whose subnet contains `ip`, plus the
+    /// adjacent device owning exactly `ip` (if any).
+    fn resolve_next_hop(&self, dev: &str, ip: Ipv4Addr) -> Option<(String, NextDevice)> {
+        let dc = self.snap.devices.get(dev)?;
+        let (ifname, _) = dc
+            .interfaces
+            .iter()
+            .find(|(name, ic)| self.iface_up(dev, name) && ic.prefix.contains(ip))?;
+        let next = self
+            .adjacencies
+            .iter()
+            .find(|a| a.device == dev && &a.via_iface == ifname && a.peer_addr == ip)
+            .map(|a| NextDevice::Device(a.peer_device.clone()))
+            .unwrap_or(NextDevice::External);
+        Some((ifname.clone(), next))
+    }
+}
+
+/// Looks up a route map by optional name; `None` and *undefined* references
+/// both behave as permit-all (run `Snapshot::validate` to catch the latter).
+fn route_map<'a>(
+    dc: &'a net_model::DeviceConfig,
+    name: &Option<String>,
+    permit_all: &'a RouteMap,
+) -> &'a RouteMap {
+    match name {
+        None => permit_all,
+        Some(n) => dc.route_maps.get(n).unwrap_or(permit_all),
+    }
+}
+
+/// An established BGP session, from `device`'s point of view.
+#[derive(Debug, Clone)]
+struct Session {
+    device: String,
+    peer_device: String,
+    peer_addr: Ipv4Addr,
+    via_iface: String,
+    ebgp: bool,
+    peer_asn: u32,
+    peer_router_id: u32,
+    /// Import policy name at `device`.
+    import: Option<String>,
+    /// Export policy name at the *peer* (applied before advertising to us).
+    peer_export: Option<String>,
+}
+
+fn sessions(view: &LiveView) -> Vec<Session> {
+    let snap = view.snap;
+    let mut out = Vec::new();
+    for adj in &view.adjacencies {
+        let Some(dc) = snap.devices.get(&adj.device) else {
+            continue;
+        };
+        let Some(pc) = snap.devices.get(&adj.peer_device) else {
+            continue;
+        };
+        let (Some(my_bgp), Some(peer_bgp)) = (&dc.bgp, &pc.bgp) else {
+            continue;
+        };
+        let my_addr = dc
+            .interfaces
+            .get(&adj.via_iface)
+            .map(|ic| ic.addr)
+            .expect("adjacency interface exists");
+        // My neighbor statement pointing at the peer's facing address.
+        let Some(n1) = my_bgp
+            .neighbors
+            .iter()
+            .find(|n| n.peer == adj.peer_addr && n.remote_as == peer_bgp.asn)
+        else {
+            continue;
+        };
+        // The reciprocal statement at the peer.
+        let Some(n2) = peer_bgp
+            .neighbors
+            .iter()
+            .find(|n| n.peer == my_addr && n.remote_as == my_bgp.asn)
+        else {
+            continue;
+        };
+        out.push(Session {
+            device: adj.device.clone(),
+            peer_device: adj.peer_device.clone(),
+            peer_addr: adj.peer_addr,
+            via_iface: adj.via_iface.clone(),
+            ebgp: my_bgp.asn != peer_bgp.asn,
+            peer_asn: peer_bgp.asn,
+            peer_router_id: peer_bgp.router_id,
+            import: n1.import_policy.clone(),
+            peer_export: n2.export_policy.clone(),
+        });
+    }
+    out
+}
+
+/// OSPF computation: per-device routes `(prefix, total_cost, ecmp next
+/// hops)` where a next hop is `(iface, next_device)`.
+fn ospf_routes(view: &LiveView) -> Vec<(String, Ipv4Prefix, u64, BTreeSet<(String, String)>)> {
+    let snap = view.snap;
+    // Directed OSPF adjacency graph: edges (a -> b, cost of a's egress
+    // iface, a's iface name). Both ends must run active OSPF in one area.
+    struct Edge {
+        to: String,
+        cost: u64,
+        iface: String,
+    }
+    let mut graph: BTreeMap<String, Vec<Edge>> = BTreeMap::new();
+    let ospf_cfg = |dev: &str, iface: &str| {
+        snap.devices
+            .get(dev)
+            .and_then(|dc| dc.interfaces.get(iface))
+            .and_then(|ic| ic.ospf.as_ref())
+    };
+    for adj in &view.adjacencies {
+        let (Some(mine), Some(theirs)) = (
+            ospf_cfg(&adj.device, &adj.via_iface),
+            ospf_cfg(&adj.peer_device, &adj.peer_iface),
+        ) else {
+            continue;
+        };
+        if mine.passive || theirs.passive || mine.area != theirs.area {
+            continue;
+        }
+        graph.entry(adj.device.clone()).or_default().push(Edge {
+            to: adj.peer_device.clone(),
+            cost: mine.cost as u64,
+            iface: adj.via_iface.clone(),
+        });
+        graph.entry(adj.peer_device.clone()).or_default();
+    }
+    // Advertisements: every up OSPF interface (active or passive)
+    // advertises its prefix at its cost.
+    let mut advertised: BTreeMap<String, Vec<(Ipv4Prefix, u64)>> = BTreeMap::new();
+    for (dev, dc) in &snap.devices {
+        for (ifname, ic) in &dc.interfaces {
+            if !view.iface_up(dev, ifname) {
+                continue;
+            }
+            if let Some(o) = &ic.ospf {
+                advertised
+                    .entry(dev.clone())
+                    .or_default()
+                    .push((ic.prefix, o.cost as u64));
+            }
+        }
+    }
+    // All OSPF participants (adjacency members or advertisers).
+    let mut routers: BTreeSet<String> = graph.keys().cloned().collect();
+    routers.extend(advertised.keys().cloned());
+
+    let mut out = Vec::new();
+    for src in &routers {
+        // Dijkstra from src.
+        let mut dist: HashMap<&str, u64> = HashMap::new();
+        let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, &str)> = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push((std::cmp::Reverse(0), src));
+        while let Some((std::cmp::Reverse(d), node)) = heap.pop() {
+            if dist.get(node).copied() != Some(d) {
+                continue;
+            }
+            if let Some(edges) = graph.get(node) {
+                for e in edges {
+                    let nd = d + e.cost;
+                    if dist.get(e.to.as_str()).map_or(true, |&old| nd < old) {
+                        dist.insert(e.to.as_str(), nd);
+                        heap.push((std::cmp::Reverse(nd), e.to.as_str()));
+                    }
+                }
+            }
+        }
+        // ECMP first hops toward each target: neighbors n with
+        // cost(src→n) + dist(n, t) == dist(src, t). Dijkstra gives
+        // dist-from-src; for first hops we need dist from n to t, so run
+        // relaxation per target via reverse reasoning: recompute dist from
+        // every node (memoized below).
+        // (Small networks: all-pairs via repeated Dijkstra is fine.)
+        let _ = &dist;
+        out.push((src.clone(), dist));
+    }
+    // Convert per-source distances into a map for first-hop extraction.
+    let all_dist: HashMap<String, HashMap<String, u64>> = out
+        .into_iter()
+        .map(|(s, m)| {
+            (
+                s,
+                m.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            )
+        })
+        .collect();
+
+    let mut routes = Vec::new();
+    for src in &routers {
+        let dist_from_src = &all_dist[src];
+        // Candidate totals per prefix: dist(src, t) + advertised cost at t.
+        let mut best: BTreeMap<Ipv4Prefix, u64> = BTreeMap::new();
+        for (t, advs) in &advertised {
+            if t == src {
+                continue; // own prefixes are connected routes
+            }
+            let Some(&d) = dist_from_src.get(t) else {
+                continue;
+            };
+            for &(p, c) in advs {
+                let total = d + c;
+                best.entry(p)
+                    .and_modify(|b| *b = (*b).min(total))
+                    .or_insert(total);
+            }
+        }
+        for (&p, &total) in &best {
+            // ECMP next hops: neighbors n of src on a shortest route to
+            // some advertiser t achieving `total`.
+            let mut nhs: BTreeSet<(String, String)> = BTreeSet::new();
+            if let Some(edges) = graph.get(src) {
+                for e in edges {
+                    let Some(dist_from_n) = all_dist.get(&e.to) else {
+                        continue;
+                    };
+                    for (t, advs) in &advertised {
+                        if t == src {
+                            continue;
+                        }
+                        let Some(&dn) = dist_from_n.get(t) else {
+                            continue;
+                        };
+                        for &(pp, c) in advs {
+                            if pp == p && e.cost + dn + c == total {
+                                nhs.insert((e.iface.clone(), e.to.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            if !nhs.is_empty() {
+                routes.push((src.clone(), p, total, nhs));
+            }
+        }
+    }
+    routes
+}
+
+/// BGP best routes per `(device, prefix)`, as encoded route values (see
+/// [`crate::encode::enc_bgp_route`]).
+fn bgp_best(
+    view: &LiveView,
+    max_rounds: u32,
+) -> Result<BTreeMap<(String, Ipv4Prefix), Value>, SimError> {
+    let snap = view.snap;
+    let permit_all = RouteMap::permit_all();
+    let sess = sessions(view);
+    // Static candidate sets (don't change across rounds).
+    let mut fixed: BTreeMap<(String, Ipv4Prefix), Vec<Value>> = BTreeMap::new();
+    for (dev, dc) in &snap.devices {
+        if snap.environment.down_devices.contains(dev) {
+            continue;
+        }
+        let Some(bgp) = &dc.bgp else { continue };
+        // Originated: network statements backed by a connected or static
+        // route for exactly that prefix.
+        for &p in &bgp.networks {
+            let connected = dc
+                .interfaces
+                .iter()
+                .any(|(n, ic)| ic.prefix == p && view.iface_up(dev, n));
+            let static_backed = dc.static_routes.iter().any(|r| r.prefix == p);
+            if connected || static_backed {
+                let attrs = RouteAttrs::originated(p);
+                fixed
+                    .entry((dev.clone(), p))
+                    .or_default()
+                    .push(enc_bgp_route(&attrs, &BgpSource::Originated));
+            }
+        }
+        // External announcements heard on configured neighbors.
+        for e in &snap.environment.external_routes {
+            if &e.device != dev {
+                continue;
+            }
+            if !bgp.neighbors.iter().any(|n| n.peer == e.peer) {
+                continue;
+            }
+            if e.attrs.as_path_contains(bgp.asn) {
+                continue; // loop prevention
+            }
+            let mut attrs = e.attrs.clone();
+            attrs.local_pref = 100; // not transitive across eBGP
+            let import = bgp.neighbors.iter().find(|n| n.peer == e.peer).and_then(|n| n.import_policy.clone());
+            let Some(attrs) = route_map(dc, &import, &permit_all).evaluate(&attrs) else {
+                continue;
+            };
+            fixed
+                .entry((dev.clone(), attrs.prefix))
+                .or_default()
+                .push(enc_bgp_route(&attrs, &BgpSource::External { peer: e.peer }));
+        }
+    }
+    // Jacobi iteration to a fixpoint (mirrors the differential scope).
+    let mut best: BTreeMap<(String, Ipv4Prefix), Value> = BTreeMap::new();
+    for round in 0..max_rounds {
+        let mut cand: BTreeMap<(String, Ipv4Prefix), Vec<Value>> = fixed.clone();
+        for s in &sess {
+            let dc = &snap.devices[&s.device];
+            let pc = &snap.devices[&s.peer_device];
+            let my_asn = dc.bgp.as_ref().expect("session implies bgp").asn;
+            for ((owner, prefix), route) in &best {
+                if owner != &s.peer_device {
+                    continue;
+                }
+                let (attrs, src) = crate::encode::dec_bgp_route(route);
+                // Split horizon: never advertise back to the route's source.
+                if let BgpSource::Session { peer_device, .. } = &src {
+                    if peer_device == &s.device {
+                        continue;
+                    }
+                }
+                // No iBGP reflection: iBGP-learned routes don't go to iBGP.
+                if !s.ebgp {
+                    if let BgpSource::Session { ebgp: false, .. } = &src {
+                        continue;
+                    }
+                }
+                // Peer's export policy toward us.
+                let Some(mut attrs) = route_map(pc, &s.peer_export, &permit_all).evaluate(&attrs)
+                else {
+                    continue;
+                };
+                if s.ebgp {
+                    attrs = attrs.prepend(s.peer_asn);
+                    attrs.local_pref = 100;
+                    if attrs.as_path_contains(my_asn) {
+                        continue; // receiver-side loop prevention
+                    }
+                }
+                // Our import policy.
+                let Some(attrs) = route_map(dc, &s.import, &permit_all).evaluate(&attrs) else {
+                    continue;
+                };
+                let source = BgpSource::Session {
+                    peer_device: s.peer_device.clone(),
+                    peer_addr: s.peer_addr,
+                    ebgp: s.ebgp,
+                    peer_router_id: s.peer_router_id,
+                    via_iface: s.via_iface.clone(),
+                };
+                cand.entry((s.device.clone(), *prefix))
+                    .or_default()
+                    .push(enc_bgp_route(&attrs, &source));
+            }
+        }
+        let mut next: BTreeMap<(String, Ipv4Prefix), Value> = BTreeMap::new();
+        for (key, mut routes) in cand {
+            routes.sort_by(|a, b| bgp_route_cmp(a, b));
+            next.insert(key, routes.into_iter().next().expect("nonempty"));
+        }
+        if next == best {
+            return Ok(best);
+        }
+        best = next;
+        let _ = round;
+    }
+    Err(SimError::BgpDivergence { rounds: max_rounds })
+}
+
+/// Default BGP round bound used by [`simulate`].
+pub const DEFAULT_MAX_ROUNDS: u32 = 1_000;
+
+/// Simulates the control plane of a snapshot from scratch.
+pub fn simulate(snap: &Snapshot) -> Result<SimResult, SimError> {
+    simulate_bounded(snap, DEFAULT_MAX_ROUNDS)
+}
+
+/// [`simulate`] with an explicit BGP round bound.
+pub fn simulate_bounded(snap: &Snapshot, max_rounds: u32) -> Result<SimResult, SimError> {
+    let view = LiveView::new(snap);
+    let permit = |p: Proto| p.admin_distance();
+
+    // Candidates per (device, prefix): (ad, metric, proto, action).
+    let mut cands: BTreeMap<(String, Ipv4Prefix), Vec<(u8, u64, Proto, FibAction)>> =
+        BTreeMap::new();
+
+    // Connected.
+    for (dev, dc) in &snap.devices {
+        for (ifname, ic) in &dc.interfaces {
+            if !view.iface_up(dev, ifname) {
+                continue;
+            }
+            cands
+                .entry((dev.clone(), ic.prefix))
+                .or_default()
+                .push((
+                    permit(Proto::Connected),
+                    0,
+                    Proto::Connected,
+                    FibAction::Deliver {
+                        iface: ifname.clone(),
+                    },
+                ));
+        }
+    }
+    // Static.
+    for (dev, dc) in &snap.devices {
+        if snap.environment.down_devices.contains(dev) {
+            continue;
+        }
+        for r in &dc.static_routes {
+            let action = match r.next_hop {
+                NextHop::Discard => Some(FibAction::Drop),
+                NextHop::Ip(x) => view
+                    .resolve_next_hop(dev, x)
+                    .map(|(iface, next)| FibAction::Forward { iface, next }),
+            };
+            if let Some(action) = action {
+                cands
+                    .entry((dev.clone(), r.prefix))
+                    .or_default()
+                    .push((r.admin_distance, 0, Proto::Static, action));
+            }
+        }
+    }
+    // OSPF.
+    for (dev, prefix, metric, nhs) in ospf_routes(&view) {
+        for (iface, next) in nhs {
+            cands.entry((dev.clone(), prefix)).or_default().push((
+                permit(Proto::Ospf),
+                metric,
+                Proto::Ospf,
+                FibAction::Forward {
+                    iface,
+                    next: NextDevice::Device(next),
+                },
+            ));
+        }
+    }
+    // BGP.
+    for ((dev, prefix), route) in bgp_best(&view, max_rounds)? {
+        let (_, src) = crate::encode::dec_bgp_route(&route);
+        match src {
+            BgpSource::Originated => {} // local prefix: connected/static covers it
+            BgpSource::External { peer } => {
+                if let Some((iface, _)) = view.resolve_next_hop(&dev, peer) {
+                    cands.entry((dev.clone(), prefix)).or_default().push((
+                        permit(Proto::BgpExternal),
+                        0,
+                        Proto::BgpExternal,
+                        FibAction::Forward {
+                            iface,
+                            next: NextDevice::External,
+                        },
+                    ));
+                }
+            }
+            BgpSource::Session {
+                peer_device,
+                ebgp,
+                via_iface,
+                ..
+            } => {
+                let proto = if ebgp {
+                    Proto::BgpExternal
+                } else {
+                    Proto::BgpInternal
+                };
+                cands.entry((dev.clone(), prefix)).or_default().push((
+                    permit(proto),
+                    0,
+                    proto,
+                    FibAction::Forward {
+                        iface: via_iface,
+                        next: NextDevice::Device(peer_device),
+                    },
+                ));
+            }
+        }
+    }
+
+    // AD merge: keep all candidates minimal under (ad, metric).
+    let mut result = SimResult::default();
+    for ((dev, prefix), entries) in cands {
+        let best = entries
+            .iter()
+            .map(|(ad, metric, _, _)| (*ad, *metric))
+            .min()
+            .expect("nonempty");
+        for (ad, metric, proto, action) in entries {
+            if (ad, metric) != best {
+                continue;
+            }
+            result.rib.insert(RibEntry {
+                device: dev.clone(),
+                prefix,
+                proto,
+                metric,
+                action: action.clone(),
+            });
+            result.fib.insert(FibEntry {
+                device: dev.clone(),
+                prefix,
+                action,
+            });
+        }
+    }
+    Ok(result)
+}

@@ -1,0 +1,476 @@
+//! Input relations of the differential control-plane program.
+//!
+//! [`snapshot_facts`] translates a snapshot into base facts;
+//! [`change_deltas`] translates a single [`Change`] into fact deltas
+//! *without* touching unrelated facts — this locality is what makes the
+//! differential pipeline's input cost proportional to the change, not the
+//! network.
+
+use crate::encode::{enc_addr, enc_attrs, enc_prefix, enc_route_map};
+use ddflow::{Diff, Value};
+use net_model::{Change, Link, NextHop, Snapshot};
+
+/// Names of all input relations, in a stable order.
+pub const RELATIONS: &[&str] = &[
+    "iface",
+    "link",
+    "down_link",
+    "down_device",
+    "static_route",
+    "ospf_iface",
+    "bgp_proc",
+    "bgp_neighbor",
+    "bgp_network",
+    "route_map",
+    "external_route",
+];
+
+/// One fact: `(relation name, row)`.
+pub type Fact = (&'static str, Value);
+/// One delta: `(relation name, row, diff)`.
+pub type FactDelta = (&'static str, Value, Diff);
+
+fn enc_opt_name(n: &Option<String>) -> Value {
+    match n {
+        None => Value::Unit,
+        Some(s) => Value::str(s),
+    }
+}
+
+fn enc_next_hop(nh: &NextHop) -> Value {
+    match nh {
+        NextHop::Discard => Value::tuple(vec![Value::U32(0)]),
+        NextHop::Ip(x) => Value::tuple(vec![Value::U32(1), enc_addr(*x)]),
+    }
+}
+
+fn link_row(l: &Link) -> Value {
+    Value::tuple(vec![
+        Value::str(&l.a.device),
+        Value::str(&l.a.iface),
+        Value::str(&l.b.device),
+        Value::str(&l.b.iface),
+    ])
+}
+
+/// All base facts of a snapshot.
+pub fn snapshot_facts(snap: &Snapshot) -> Vec<Fact> {
+    let mut out: Vec<Fact> = Vec::new();
+    for (dev, dc) in &snap.devices {
+        for (ifname, ic) in &dc.interfaces {
+            out.push((
+                "iface",
+                Value::tuple(vec![
+                    Value::str(dev),
+                    Value::str(ifname),
+                    enc_prefix(ic.prefix),
+                    enc_addr(ic.addr),
+                ]),
+            ));
+            if let Some(o) = &ic.ospf {
+                out.push((
+                    "ospf_iface",
+                    Value::tuple(vec![
+                        Value::str(dev),
+                        Value::str(ifname),
+                        Value::U32(o.cost),
+                        Value::U32(o.area),
+                        Value::Bool(o.passive),
+                    ]),
+                ));
+            }
+        }
+        for r in &dc.static_routes {
+            out.push((
+                "static_route",
+                Value::tuple(vec![
+                    Value::str(dev),
+                    enc_prefix(r.prefix),
+                    enc_next_hop(&r.next_hop),
+                    Value::U32(r.admin_distance as u32),
+                ]),
+            ));
+        }
+        if let Some(bgp) = &dc.bgp {
+            out.push((
+                "bgp_proc",
+                Value::tuple(vec![
+                    Value::str(dev),
+                    Value::U32(bgp.asn),
+                    Value::U32(bgp.router_id),
+                ]),
+            ));
+            for n in &bgp.neighbors {
+                out.push((
+                    "bgp_neighbor",
+                    Value::tuple(vec![
+                        Value::str(dev),
+                        enc_addr(n.peer),
+                        Value::U32(n.remote_as),
+                        enc_opt_name(&n.import_policy),
+                        enc_opt_name(&n.export_policy),
+                    ]),
+                ));
+            }
+            for &p in &bgp.networks {
+                out.push((
+                    "bgp_network",
+                    Value::tuple(vec![Value::str(dev), enc_prefix(p)]),
+                ));
+            }
+        }
+        for (name, rm) in &dc.route_maps {
+            out.push((
+                "route_map",
+                Value::tuple(vec![Value::str(dev), Value::str(name), enc_route_map(rm)]),
+            ));
+        }
+    }
+    for l in &snap.links {
+        out.push(("link", link_row(l)));
+    }
+    for l in &snap.environment.down_links {
+        out.push(("down_link", link_row(l)));
+    }
+    for d in &snap.environment.down_devices {
+        out.push(("down_device", Value::str(d)));
+    }
+    for e in &snap.environment.external_routes {
+        out.push((
+            "external_route",
+            Value::tuple(vec![
+                Value::str(&e.device),
+                enc_addr(e.peer),
+                enc_attrs(&e.attrs),
+            ]),
+        ));
+    }
+    out
+}
+
+/// Fact deltas for one change, evaluated against the pre-change snapshot.
+/// Control-plane relations only; ACL/interface-binding changes affect the
+/// data-plane stage and yield no deltas here.
+///
+/// The caller must have verified the change applies cleanly (see
+/// [`net_model::ChangeSet::apply`]); unknown references yield no deltas.
+pub fn change_deltas(before: &Snapshot, change: &Change) -> Vec<FactDelta> {
+    let mut out: Vec<FactDelta> = Vec::new();
+    match change {
+        Change::LinkDown(l) => {
+            if before.links.contains(l) && !before.environment.down_links.contains(l) {
+                out.push(("down_link", link_row(l), 1));
+            }
+        }
+        Change::LinkUp(l) => {
+            if before.environment.down_links.contains(l) {
+                out.push(("down_link", link_row(l), -1));
+            }
+        }
+        Change::DeviceDown(d) => {
+            if before.devices.contains_key(d) && !before.environment.down_devices.contains(d) {
+                out.push(("down_device", Value::str(d), 1));
+            }
+        }
+        Change::DeviceUp(d) => {
+            if before.environment.down_devices.contains(d) {
+                out.push(("down_device", Value::str(d), -1));
+            }
+        }
+        Change::SetRouteMap { device, name, map } => {
+            if let Some(dc) = before.devices.get(device) {
+                let new_row = Value::tuple(vec![
+                    Value::str(device),
+                    Value::str(name),
+                    enc_route_map(map),
+                ]);
+                if let Some(old) = dc.route_maps.get(name) {
+                    let old_row = Value::tuple(vec![
+                        Value::str(device),
+                        Value::str(name),
+                        enc_route_map(old),
+                    ]);
+                    if old_row == new_row {
+                        return out; // no-op edit
+                    }
+                    out.push(("route_map", old_row, -1));
+                }
+                out.push(("route_map", new_row, 1));
+            }
+        }
+        Change::StaticRouteAdd { device, route } => {
+            if before.devices.contains_key(device) {
+                out.push((
+                    "static_route",
+                    Value::tuple(vec![
+                        Value::str(device),
+                        enc_prefix(route.prefix),
+                        enc_next_hop(&route.next_hop),
+                        Value::U32(route.admin_distance as u32),
+                    ]),
+                    1,
+                ));
+            }
+        }
+        Change::StaticRouteRemove {
+            device,
+            prefix,
+            next_hop,
+        } => {
+            if let Some(dc) = before.devices.get(device) {
+                if let Some(r) = dc
+                    .static_routes
+                    .iter()
+                    .find(|r| r.prefix == *prefix && r.next_hop == *next_hop)
+                {
+                    out.push((
+                        "static_route",
+                        Value::tuple(vec![
+                            Value::str(device),
+                            enc_prefix(r.prefix),
+                            enc_next_hop(&r.next_hop),
+                            Value::U32(r.admin_distance as u32),
+                        ]),
+                        -1,
+                    ));
+                }
+            }
+        }
+        Change::BgpNetworkAdd { device, prefix } => {
+            if let Some(dc) = before.devices.get(device) {
+                if let Some(bgp) = &dc.bgp {
+                    if !bgp.networks.contains(prefix) {
+                        out.push((
+                            "bgp_network",
+                            Value::tuple(vec![Value::str(device), enc_prefix(*prefix)]),
+                            1,
+                        ));
+                    }
+                }
+            }
+        }
+        Change::BgpNetworkRemove { device, prefix } => {
+            if let Some(dc) = before.devices.get(device) {
+                if let Some(bgp) = &dc.bgp {
+                    if bgp.networks.contains(prefix) {
+                        out.push((
+                            "bgp_network",
+                            Value::tuple(vec![Value::str(device), enc_prefix(*prefix)]),
+                            -1,
+                        ));
+                    }
+                }
+            }
+        }
+        Change::ExternalAnnounce(e) => {
+            if before.devices.contains_key(&e.device) {
+                out.push((
+                    "external_route",
+                    Value::tuple(vec![
+                        Value::str(&e.device),
+                        enc_addr(e.peer),
+                        enc_attrs(&e.attrs),
+                    ]),
+                    1,
+                ));
+            }
+        }
+        Change::ExternalWithdraw {
+            device,
+            peer,
+            prefix,
+        } => {
+            if let Some(e) = before.environment.external_routes.iter().find(|e| {
+                e.device == *device && e.peer == *peer && e.attrs.prefix == *prefix
+            }) {
+                out.push((
+                    "external_route",
+                    Value::tuple(vec![
+                        Value::str(&e.device),
+                        enc_addr(e.peer),
+                        enc_attrs(&e.attrs),
+                    ]),
+                    -1,
+                ));
+            }
+        }
+        Change::SetOspfCost {
+            device,
+            iface,
+            cost,
+        } => {
+            if let Some(o) = before
+                .devices
+                .get(device)
+                .and_then(|dc| dc.interfaces.get(iface))
+                .and_then(|ic| ic.ospf.as_ref())
+            {
+                if o.cost != *cost {
+                    let row = |c: u32| {
+                        Value::tuple(vec![
+                            Value::str(device),
+                            Value::str(iface),
+                            Value::U32(c),
+                            Value::U32(o.area),
+                            Value::Bool(o.passive),
+                        ])
+                    };
+                    out.push(("ospf_iface", row(o.cost), -1));
+                    out.push(("ospf_iface", row(*cost), 1));
+                }
+            }
+        }
+        // Data-plane-only changes: no control-plane fact deltas.
+        Change::AclEntryAdd { .. }
+        | Change::AclEntryRemove { .. }
+        | Change::SetAclIn { .. }
+        | Change::SetAclOut { .. } => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{
+        ip, pfx, ChangeSet, DeviceConfig, Endpoint, IfaceConfig, RouteMap, StaticRoute,
+    };
+
+    fn snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        let mut r1 = DeviceConfig::default();
+        r1.interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(3));
+        r1.route_maps.insert("rm".into(), RouteMap::permit_all());
+        let mut r2 = DeviceConfig::default();
+        r2.interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.0"), 31));
+        snap.devices.insert("r1".into(), r1);
+        snap.devices.insert("r2".into(), r2);
+        snap.links.push(Link::new(
+            Endpoint::new("r1", "eth0"),
+            Endpoint::new("r2", "eth0"),
+        ));
+        snap
+    }
+
+    /// Deltas must agree with the fact-set difference of applying the
+    /// change — the soundness property of the translator.
+    fn assert_delta_consistent(snap: &Snapshot, change: Change) {
+        let after = ChangeSet::single(change.clone()).apply(snap).unwrap();
+        let mut expected: Vec<(String, Value, Diff)> = Vec::new();
+        let before_facts = snapshot_facts(snap);
+        let after_facts = snapshot_facts(&after);
+        use std::collections::HashMap;
+        let mut counts: HashMap<(String, Value), Diff> = HashMap::new();
+        for (r, v) in &after_facts {
+            *counts.entry((r.to_string(), v.clone())).or_insert(0) += 1;
+        }
+        for (r, v) in &before_facts {
+            *counts.entry((r.to_string(), v.clone())).or_insert(0) -= 1;
+        }
+        for ((r, v), d) in counts {
+            if d != 0 {
+                expected.push((r, v, d));
+            }
+        }
+        expected.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut got: Vec<(String, Value, Diff)> = change_deltas(snap, &change)
+            .into_iter()
+            .map(|(r, v, d)| (r.to_string(), v, d))
+            .collect();
+        got.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        assert_eq!(got, expected, "deltas diverge for {change}");
+    }
+
+    #[test]
+    fn snapshot_facts_cover_all_relations_present() {
+        let snap = snapshot();
+        let facts = snapshot_facts(&snap);
+        let rels: std::collections::BTreeSet<&str> = facts.iter().map(|(r, _)| *r).collect();
+        assert!(rels.contains("iface"));
+        assert!(rels.contains("link"));
+        assert!(rels.contains("ospf_iface"));
+        assert!(rels.contains("route_map"));
+        // 3 ifaces? two ifaces, one link, one ospf, one route map.
+        assert_eq!(facts.iter().filter(|(r, _)| *r == "iface").count(), 2);
+    }
+
+    #[test]
+    fn deltas_match_fact_diff_for_every_change_kind() {
+        let snap = snapshot();
+        let link = snap.links[0].clone();
+        assert_delta_consistent(&snap, Change::LinkDown(link.clone()));
+        assert_delta_consistent(&snap, Change::DeviceDown("r2".into()));
+        assert_delta_consistent(
+            &snap,
+            Change::StaticRouteAdd {
+                device: "r1".into(),
+                route: StaticRoute {
+                    prefix: pfx("0.0.0.0/0"),
+                    next_hop: NextHop::Ip(ip("10.0.0.0")),
+                    admin_distance: 1,
+                },
+            },
+        );
+        assert_delta_consistent(
+            &snap,
+            Change::SetOspfCost {
+                device: "r1".into(),
+                iface: "eth0".into(),
+                cost: 44,
+            },
+        );
+        assert_delta_consistent(
+            &snap,
+            Change::SetRouteMap {
+                device: "r1".into(),
+                name: "rm".into(),
+                map: RouteMap::default(),
+            },
+        );
+        assert_delta_consistent(
+            &snap,
+            Change::SetRouteMap {
+                device: "r1".into(),
+                name: "fresh".into(),
+                map: RouteMap::permit_all(),
+            },
+        );
+    }
+
+    #[test]
+    fn redundant_changes_produce_no_deltas() {
+        let mut snap = snapshot();
+        let link = snap.links[0].clone();
+        snap.environment.down_links.insert(link.clone());
+        // Already down: down again is a no-op.
+        assert!(change_deltas(&snap, &Change::LinkDown(link.clone())).is_empty());
+        // Up produces exactly one retraction.
+        assert_eq!(change_deltas(&snap, &Change::LinkUp(link)).len(), 1);
+        // Identical route-map replacement is a no-op.
+        assert!(change_deltas(
+            &snap,
+            &Change::SetRouteMap {
+                device: "r1".into(),
+                name: "rm".into(),
+                map: RouteMap::permit_all(),
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn acl_changes_yield_no_control_plane_deltas() {
+        let snap = snapshot();
+        assert!(change_deltas(
+            &snap,
+            &Change::SetAclIn {
+                device: "r1".into(),
+                iface: "eth0".into(),
+                acl: Some("x".into()),
+            }
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,874 @@
+//! The differential control-plane program.
+//!
+//! Encodes the reference semantics (`reference.rs`) as an incremental
+//! Datalog program over the `ddflow` engine: liveness strata, OSPF SPF
+//! (recursive scope), BGP best-path propagation (recursive scope),
+//! administrative-distance RIB merge and FIB projection. Input relations
+//! are produced by [`crate::relations`]; outputs are the `rib` and `fib`
+//! relations holding encoded [`crate::types::RibEntry`] /
+//! [`crate::types::FibEntry`] rows.
+//!
+//! Conventions shared with the reference simulator (normative list):
+//!
+//! * next-hop-self on all BGP sessions (the IGP-cost decision step is moot);
+//! * split horizon + no iBGP reflection;
+//! * undefined route-map references behave as permit-all;
+//! * static/external next hops resolve to the containing up interface with
+//!   the longest prefix, breaking ties by interface name;
+//! * locally originated BGP routes are not installed in the RIB (their
+//!   prefixes are already connected/static).
+
+use crate::encode::{
+    bgp_route_cmp, dec_attrs, dec_bgp_route, dec_prefix, dec_route_map, enc_bgp_route, enc_prefix,
+    enc_route_map, rib_cmp,
+};
+use crate::types::BgpSource;
+use ddflow::{aggregates, GraphBuilder, Handle, InputHandle, OutputHandle, Program, Value};
+use net_model::{Ipv4Addr, RouteAttrs, RouteMap};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Handles into a built control-plane program.
+pub struct CpHandles {
+    /// Input relations by name (see [`crate::relations::RELATIONS`]).
+    pub inputs: BTreeMap<&'static str, InputHandle>,
+    /// Installed routes (encoded [`crate::types::RibEntry`] rows).
+    pub rib: OutputHandle,
+    /// Forwarding entries (encoded [`crate::types::FibEntry`] rows).
+    pub fib: OutputHandle,
+}
+
+// Candidate payloads are `(ad, metric, proto, action)`.
+fn cand(ad: u32, metric: u64, proto: u32, action: Value) -> Value {
+    Value::tuple(vec![
+        Value::U32(ad),
+        Value::U64(metric),
+        Value::U32(proto),
+        action,
+    ])
+}
+
+fn deliver(iface: &Value) -> Value {
+    Value::tuple(vec![Value::U32(0), iface.clone()])
+}
+
+fn forward_device(iface: &Value, dev: &Value) -> Value {
+    Value::tuple(vec![
+        Value::U32(1),
+        iface.clone(),
+        Value::tuple(vec![Value::U32(0), dev.clone()]),
+    ])
+}
+
+fn forward_external(iface: &Value) -> Value {
+    Value::tuple(vec![
+        Value::U32(1),
+        iface.clone(),
+        Value::tuple(vec![Value::U32(1)]),
+    ])
+}
+
+const DROP: u32 = 2;
+const PROTO_CONNECTED: u32 = 0;
+const PROTO_STATIC: u32 = 1;
+const PROTO_BGP_E: u32 = 2;
+const PROTO_OSPF: u32 = 3;
+const PROTO_BGP_I: u32 = 4;
+
+/// Interface choice for next-hop resolution: longest prefix, then name.
+fn iface_choice_cmp(a: &Value, b: &Value) -> Ordering {
+    let (ta, tb) = (a.as_tuple().unwrap(), b.as_tuple().unwrap());
+    tb[1].as_u32()
+        .cmp(&ta[1].as_u32())
+        .then_with(|| ta[0].as_str().cmp(tb[0].as_str()))
+}
+
+/// Replaces one field of a tuple row.
+fn with_field(row: &Value, idx: usize, v: Value) -> Value {
+    let mut fields: Vec<Value> = row.as_tuple().expect("tuple row").to_vec();
+    fields[idx] = v;
+    Value::tuple(fields)
+}
+
+/// Resolves an optional route-map *name* field of each row into the
+/// encoded route-map *contents*: `Unit` and undefined names become
+/// permit-all; defined names join against the `route_map` relation.
+/// `dev_idx`/`name_idx` locate the lookup device and name in the row.
+fn attach_policy(
+    g: &mut GraphBuilder,
+    rows: Handle,
+    rm_kv: Handle,
+    rm_keys: Handle,
+    dev_idx: usize,
+    name_idx: usize,
+) -> Handle {
+    let permit = enc_route_map(&RouteMap::permit_all());
+    let p1 = permit.clone();
+    let unnamed = g.filter(rows, move |r| *r.field(name_idx) == Value::Unit);
+    let unnamed = g.map(unnamed, move |r| with_field(r, name_idx, p1.clone()));
+    let named = g.filter(rows, move |r| matches!(r.field(name_idx), Value::Str(_)));
+    let named_kv = g.map(named, move |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(dev_idx).clone(), r.field(name_idx).clone()]),
+            r.clone(),
+        )
+    });
+    let defined = g.join(named_kv, rm_kv, move |_, row, map| {
+        with_field(row, name_idx, map.clone())
+    });
+    let p2 = permit;
+    let undefined = g.antijoin(named_kv, rm_keys);
+    let undefined = g.map(undefined, move |kv| {
+        with_field(kv.payload(), name_idx, p2.clone())
+    });
+    g.concat(&[unnamed, defined, undefined])
+}
+
+/// Builds the differential control-plane program.
+pub fn build_program() -> (Program, CpHandles) {
+    let mut g = GraphBuilder::new();
+    let mut inputs = BTreeMap::new();
+    let mut input = |g: &mut GraphBuilder, name: &'static str| {
+        let (ih, h) = g.input(name);
+        inputs.insert(name, ih);
+        h
+    };
+    let iface = input(&mut g, "iface");
+    let link = input(&mut g, "link");
+    let down_link = input(&mut g, "down_link");
+    let down_device = input(&mut g, "down_device");
+    let static_route = input(&mut g, "static_route");
+    let ospf_iface = input(&mut g, "ospf_iface");
+    let bgp_proc = input(&mut g, "bgp_proc");
+    let bgp_neighbor = input(&mut g, "bgp_neighbor");
+    let bgp_network = input(&mut g, "bgp_network");
+    let route_map = input(&mut g, "route_map");
+    let external_route = input(&mut g, "external_route");
+
+    // ---------------------------------------------------------- liveness
+    let both_dirs = |r: &Value| {
+        let t = r.as_tuple().unwrap();
+        vec![
+            Value::tuple(vec![t[0].clone(), t[1].clone(), t[2].clone(), t[3].clone()]),
+            Value::tuple(vec![t[2].clone(), t[3].clone(), t[0].clone(), t[1].clone()]),
+        ]
+    };
+    let link_sym = g.flat_map(link, both_dirs);
+    let down_link_sym = g.flat_map(down_link, both_dirs);
+    let up0 = g.map(link_sym, |r| Value::kv(r.clone(), Value::Unit));
+    let up1 = g.antijoin(up0, down_link_sym);
+    let up2 = g.map(up1, |kv| {
+        let sym = kv.key();
+        Value::kv(sym.field(0).clone(), sym.clone())
+    });
+    let up3 = g.antijoin(up2, down_device);
+    let up4 = g.map(up3, |kv| {
+        let sym = kv.payload();
+        Value::kv(sym.field(2).clone(), sym.clone())
+    });
+    let up5 = g.antijoin(up4, down_device);
+    // Rows: (my_dev, my_if, other_dev, other_if) for each live direction.
+    let up_link_sym = g.map(up5, |kv| kv.payload().clone());
+
+    let linked_iface0 = g.flat_map(link, |r| {
+        let t = r.as_tuple().unwrap();
+        vec![
+            Value::tuple(vec![t[0].clone(), t[1].clone()]),
+            Value::tuple(vec![t[2].clone(), t[3].clone()]),
+        ]
+    });
+    let linked_iface = g.distinct(linked_iface0);
+
+    let iface_by_dev = g.map(iface, |r| Value::kv(r.field(0).clone(), r.clone()));
+    let live_iface = g.antijoin(iface_by_dev, down_device);
+    // kv((dev, if), iface_row)
+    let live_by_ifkey = g.map(live_iface, |kv| {
+        let r = kv.payload();
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            r.clone(),
+        )
+    });
+    let unlinked_up = g.antijoin(live_by_ifkey, linked_iface);
+    let up_ends = g.map(up_link_sym, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(1).clone()])
+    });
+    let linked_up = g.semijoin(live_by_ifkey, up_ends);
+    // kv((dev, if), (dev, if, prefix, addr))
+    let up_iface_kv = g.concat(&[unlinked_up, linked_up]);
+    // Rows: (dev, if, prefix, addr)
+    let up_iface = g.map(up_iface_kv, |kv| kv.payload().clone());
+    let up_iface_by_dev = g.map(up_iface, |r| Value::kv(r.field(0).clone(), r.clone()));
+
+    // ------------------------------------------------------ connected RIB
+    let conn_cand = g.map(up_iface, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(2).clone()]),
+            cand(0, 0, PROTO_CONNECTED, deliver(r.field(1))),
+        )
+    });
+
+    // ----------------------------------------------------------- adjacency
+    // Rows: (my_dev, my_if, peer_dev, peer_if, peer_addr, my_addr)
+    let adj0 = g.map(up_link_sym, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(2).clone(), r.field(3).clone()]),
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+        )
+    });
+    let addr_of = g.map(up_iface_kv, |kv| {
+        Value::kv(kv.key().clone(), kv.payload().field(3).clone())
+    });
+    let adj1 = g.join(adj0, addr_of, |other, me, peer_addr| {
+        Value::kv(
+            me.clone(),
+            Value::tuple(vec![
+                other.field(0).clone(),
+                other.field(1).clone(),
+                peer_addr.clone(),
+            ]),
+        )
+    });
+    let adjacency = g.join(adj1, addr_of, |me, peer, my_addr| {
+        Value::tuple(vec![
+            me.field(0).clone(),
+            me.field(1).clone(),
+            peer.field(0).clone(),
+            peer.field(1).clone(),
+            peer.field(2).clone(),
+            my_addr.clone(),
+        ])
+    });
+
+    // -------------------------------------------------------- static routes
+    let static_by_dev = g.map(static_route, |r| Value::kv(r.field(0).clone(), r.clone()));
+    let live_static_kv = g.antijoin(static_by_dev, down_device);
+    let live_static = g.map(live_static_kv, |kv| kv.payload().clone());
+    let discard_cand = {
+        let d = g.filter(live_static, |r| r.field(2).field(0).as_u32() == 0);
+        g.map(d, |r| {
+            Value::kv(
+                Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+                cand(
+                    r.field(3).as_u32(),
+                    0,
+                    PROTO_STATIC,
+                    Value::tuple(vec![Value::U32(DROP)]),
+                ),
+            )
+        })
+    };
+    // (dev, prefix, x, ad) for next-hop-ip statics, keyed by device.
+    let ip_static = {
+        let s = g.filter(live_static, |r| r.field(2).field(0).as_u32() == 1);
+        g.map(s, |r| {
+            Value::kv(
+                r.field(0).clone(),
+                Value::tuple(vec![
+                    r.field(1).clone(),
+                    r.field(2).field(1).clone(),
+                    r.field(3).clone(),
+                ]),
+            )
+        })
+    };
+    // Containing up interfaces, deterministically choosing one.
+    let st_if0 = g.join(ip_static, up_iface_by_dev, |dev, st, ifr| {
+        let x = Ipv4Addr(st.field(1).as_u32());
+        let ipfx = dec_prefix(ifr.field(2));
+        if ipfx.contains(x) {
+            Value::kv(
+                Value::tuple(vec![dev.clone(), st.clone()]),
+                Value::tuple(vec![ifr.field(1).clone(), Value::U32(ipfx.len() as u32)]),
+            )
+        } else {
+            Value::Unit
+        }
+    });
+    let st_if1 = g.filter(st_if0, |r| *r != Value::Unit);
+    let st_if = g.reduce(st_if1, aggregates::best_by(iface_choice_cmp));
+    // Keyed (dev, iface, nh_ip) for adjacency matching.
+    let st1 = g.map(st_if, |kv| {
+        let dev = kv.key().field(0).clone();
+        let st = kv.key().field(1); // (prefix, x, ad)
+        let ifname = kv.payload().field(0).clone();
+        Value::kv(
+            Value::tuple(vec![dev.clone(), ifname.clone(), st.field(1).clone()]),
+            Value::tuple(vec![
+                dev,
+                st.field(0).clone(),
+                st.field(2).clone(),
+                ifname,
+            ]),
+        )
+    });
+    let adj_by_addr = g.map(adjacency, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone(), r.field(4).clone()]),
+            r.field(2).clone(),
+        )
+    });
+    let st_dev_cand = g.join(st1, adj_by_addr, |_, st, peer| {
+        Value::kv(
+            Value::tuple(vec![st.field(0).clone(), st.field(1).clone()]),
+            cand(
+                st.field(2).as_u32(),
+                0,
+                PROTO_STATIC,
+                forward_device(st.field(3), peer),
+            ),
+        )
+    });
+    let adj_addr_keys = g.map(adjacency, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(1).clone(), r.field(4).clone()])
+    });
+    let st_ext0 = g.antijoin(st1, adj_addr_keys);
+    let st_ext_cand = g.map(st_ext0, |kv| {
+        let st = kv.payload();
+        Value::kv(
+            Value::tuple(vec![st.field(0).clone(), st.field(1).clone()]),
+            cand(
+                st.field(2).as_u32(),
+                0,
+                PROTO_STATIC,
+                forward_external(st.field(3)),
+            ),
+        )
+    });
+
+    // --------------------------------------------------------------- OSPF
+    let ospf_by_ifkey = g.map(ospf_iface, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            Value::tuple(vec![r.field(2).clone(), r.field(3).clone(), r.field(4).clone()]),
+        )
+    });
+    // (dev, if, prefix, cost, area, passive) for live OSPF interfaces.
+    let ospf_full = g.join(ospf_by_ifkey, up_iface_kv, |k, oc, ifr| {
+        Value::tuple(vec![
+            k.field(0).clone(),
+            k.field(1).clone(),
+            ifr.field(2).clone(),
+            oc.field(0).clone(),
+            oc.field(1).clone(),
+            oc.field(2).clone(),
+        ])
+    });
+    // (dev, prefix, cost): advertisements, passive included.
+    let adverts = g.map(ospf_full, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(2).clone(), r.field(3).clone()])
+    });
+    let ospf_active = {
+        let a = g.filter(ospf_full, |r| !r.field(5).as_bool());
+        g.map(a, |r| {
+            Value::kv(
+                Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+                Value::tuple(vec![r.field(3).clone(), r.field(4).clone()]),
+            )
+        })
+    };
+    let adj_by_me = g.map(adjacency, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            Value::tuple(vec![r.field(2).clone(), r.field(3).clone()]),
+        )
+    });
+    let e0 = g.join(adj_by_me, ospf_active, |me, peer, oc| {
+        Value::kv(
+            peer.clone(),
+            Value::tuple(vec![
+                me.field(0).clone(),
+                me.field(1).clone(),
+                oc.field(0).clone(),
+                oc.field(1).clone(),
+            ]),
+        )
+    });
+    // Directed edges (from, via_if, to, cost), both ends active, same area.
+    let edges0 = g.join(e0, ospf_active, |peer, me, poc| {
+        if me.field(3) == poc.field(1) {
+            Value::tuple(vec![
+                me.field(0).clone(),
+                me.field(1).clone(),
+                peer.field(0).clone(),
+                me.field(2).clone(),
+            ])
+        } else {
+            Value::Unit
+        }
+    });
+    let edges = g.filter(edges0, |r| *r != Value::Unit);
+    let routers0 = g.map(ospf_full, |r| r.field(0).clone());
+    let routers = g.distinct(routers0);
+
+    // SPF fixpoint: dist rows kv(node, (target, cost)).
+    let dist = g.iterate("ospf-spf", |g, s| {
+        let routers = g.enter(s, routers);
+        let edges = g.enter(s, edges);
+        let seeds = g.map(routers, |d| {
+            Value::kv(d.clone(), Value::tuple(vec![d.clone(), Value::U64(0)]))
+        });
+        let edges_by_to = g.map(edges, |r| {
+            Value::kv(
+                r.field(2).clone(),
+                Value::tuple(vec![r.field(0).clone(), Value::U64(r.field(3).as_u32() as u64)]),
+            )
+        });
+        let var = g.variable(s, "dist", seeds);
+        let step = g.join(var, edges_by_to, |_, tc, fc| {
+            Value::kv(
+                fc.field(0).clone(),
+                Value::tuple(vec![
+                    tc.field(0).clone(),
+                    Value::U64(tc.field(1).as_u64() + fc.field(1).as_u64()),
+                ]),
+            )
+        });
+        let cand_all = g.concat(&[seeds, step]);
+        let keyed = g.map(cand_all, |kv| {
+            Value::kv(
+                Value::tuple(vec![kv.key().clone(), kv.payload().field(0).clone()]),
+                kv.payload().field(1).clone(),
+            )
+        });
+        let mins = g.reduce(keyed, aggregates::min());
+        let next = g.map(mins, |kv| {
+            Value::kv(
+                kv.key().field(0).clone(),
+                Value::tuple(vec![kv.key().field(1).clone(), kv.payload().clone()]),
+            )
+        });
+        g.connect(var, next);
+        g.leave(s, next)
+    });
+
+    // First hops: nh rows ((s,t) -> (n, via_if)).
+    let edges_by_to_top = g.map(edges, |r| {
+        Value::kv(
+            r.field(2).clone(),
+            Value::tuple(vec![
+                r.field(0).clone(),
+                r.field(1).clone(),
+                Value::U64(r.field(3).as_u32() as u64),
+            ]),
+        )
+    });
+    let j1 = g.join(dist, edges_by_to_top, |n, tc, svc| {
+        Value::kv(
+            Value::tuple(vec![svc.field(0).clone(), tc.field(0).clone()]),
+            Value::tuple(vec![
+                n.clone(),
+                svc.field(1).clone(),
+                Value::U64(svc.field(2).as_u64() + tc.field(1).as_u64()),
+            ]),
+        )
+    });
+    let dist_by_st = g.map(dist, |kv| {
+        Value::kv(
+            Value::tuple(vec![kv.key().clone(), kv.payload().field(0).clone()]),
+            kv.payload().field(1).clone(),
+        )
+    });
+    let nh0 = g.join(j1, dist_by_st, |st, candv, total| {
+        if candv.field(2).as_u64() == total.as_u64() {
+            Value::kv(
+                st.clone(),
+                Value::tuple(vec![candv.field(0).clone(), candv.field(1).clone()]),
+            )
+        } else {
+            Value::Unit
+        }
+    });
+    let nh = g.filter(nh0, |r| *r != Value::Unit);
+
+    // Route totals and winners.
+    let dist_by_t = g.map(dist, |kv| {
+        Value::kv(
+            kv.payload().field(0).clone(),
+            Value::tuple(vec![kv.key().clone(), kv.payload().field(1).clone()]),
+        )
+    });
+    let adverts_by_dev = g.map(adverts, |r| {
+        Value::kv(
+            r.field(0).clone(),
+            Value::tuple(vec![r.field(1).clone(), Value::U64(r.field(2).as_u32() as u64)]),
+        )
+    });
+    let rc0 = g.join(dist_by_t, adverts_by_dev, |t, sc, pc| {
+        if sc.field(0) == t {
+            Value::Unit // own prefixes are connected routes
+        } else {
+            Value::kv(
+                Value::tuple(vec![sc.field(0).clone(), pc.field(0).clone()]),
+                Value::tuple(vec![
+                    t.clone(),
+                    Value::U64(sc.field(1).as_u64() + pc.field(1).as_u64()),
+                ]),
+            )
+        }
+    });
+    let rc = g.filter(rc0, |r| *r != Value::Unit);
+    let totals = g.map(rc, |kv| {
+        Value::kv(kv.key().clone(), kv.payload().field(1).clone())
+    });
+    let best_total = g.reduce(totals, aggregates::min());
+    let winners0 = g.join(rc, best_total, |sp, tv, best| {
+        if tv.field(1).as_u64() == best.as_u64() {
+            Value::kv(
+                Value::tuple(vec![sp.field(0).clone(), tv.field(0).clone()]),
+                Value::tuple(vec![sp.field(1).clone(), best.clone()]),
+            )
+        } else {
+            Value::Unit
+        }
+    });
+    let winners = g.filter(winners0, |r| *r != Value::Unit);
+    let routes0 = g.join(winners, nh, |st, pb, nvi| {
+        Value::tuple(vec![
+            st.field(0).clone(),
+            pb.field(0).clone(),
+            nvi.field(1).clone(),
+            nvi.field(0).clone(),
+            pb.field(1).clone(),
+        ])
+    });
+    let routes1 = g.distinct(routes0);
+    let ospf_cand = g.map(routes1, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            cand(
+                110,
+                r.field(4).as_u64(),
+                PROTO_OSPF,
+                forward_device(r.field(2), r.field(3)),
+            ),
+        )
+    });
+
+    // ---------------------------------------------------------------- BGP
+    let rm_kv = g.map(route_map, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            r.field(2).clone(),
+        )
+    });
+    let rm_keys = g.map(route_map, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(1).clone()])
+    });
+    let live_bgp0 = g.map(bgp_proc, |r| {
+        Value::kv(
+            r.field(0).clone(),
+            Value::tuple(vec![r.field(1).clone(), r.field(2).clone()]),
+        )
+    });
+    let live_bgp = g.antijoin(live_bgp0, down_device);
+    let live_bgp_keys = g.map(live_bgp, |kv| kv.key().clone());
+    let nbr_by_key = g.map(bgp_neighbor, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            Value::tuple(vec![r.field(2).clone(), r.field(3).clone(), r.field(4).clone()]),
+        )
+    });
+    let adj_for_bgp = g.map(adjacency, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(4).clone()]),
+            Value::tuple(vec![r.field(1).clone(), r.field(2).clone(), r.field(5).clone()]),
+        )
+    });
+    // (dev, (peer_addr, remote_as, imp, via_if, peer_dev, my_addr))
+    let s0 = g.join(nbr_by_key, adj_for_bgp, |k, nbr, adj| {
+        Value::kv(
+            k.field(0).clone(),
+            Value::tuple(vec![
+                k.field(1).clone(),
+                nbr.field(0).clone(),
+                nbr.field(1).clone(),
+                adj.field(0).clone(),
+                adj.field(1).clone(),
+                adj.field(2).clone(),
+            ]),
+        )
+    });
+    let s1 = g.join(s0, live_bgp, |dev, s, proc| {
+        Value::kv(
+            s.field(4).clone(), // peer_dev
+            Value::tuple(vec![
+                dev.clone(),
+                s.field(0).clone(), // peer_addr
+                s.field(1).clone(), // remote_as
+                s.field(2).clone(), // import name
+                s.field(3).clone(), // via_if
+                s.field(5).clone(), // my_addr
+                proc.field(0).clone(), // my_asn
+                proc.field(1).clone(), // my_rid
+            ]),
+        )
+    });
+    let s2 = g.join(s1, live_bgp, |peer_dev, s, pproc| {
+        if s.field(2).as_u32() != pproc.field(0).as_u32() {
+            return Value::Unit; // remote-as mismatch: no session
+        }
+        Value::kv(
+            Value::tuple(vec![peer_dev.clone(), s.field(5).clone()]),
+            Value::tuple(vec![
+                s.field(0).clone(),     // dev
+                peer_dev.clone(),       // peer_dev
+                s.field(1).clone(),     // peer_addr
+                s.field(4).clone(),     // via_if
+                Value::Bool(s.field(6).as_u32() != pproc.field(0).as_u32()), // ebgp
+                s.field(6).clone(),     // my_asn
+                pproc.field(0).clone(), // peer_asn
+                pproc.field(1).clone(), // peer_rid
+                s.field(3).clone(),     // import name
+            ]),
+        )
+    });
+    let s2f = g.filter(s2, |r| *r != Value::Unit);
+    // Reciprocal neighbor statement at the peer; captures peer's export.
+    // Session rows: (dev, peer_dev, peer_addr, via_if, ebgp, my_asn,
+    //                peer_asn, peer_rid, import_name, peer_export_name)
+    let s3 = g.join(s2f, nbr_by_key, |_, s, n2| {
+        if n2.field(0).as_u32() != s.field(5).as_u32() {
+            return Value::Unit; // peer's remote-as must be our asn
+        }
+        let mut fields: Vec<Value> = s.as_tuple().unwrap().to_vec();
+        fields.push(n2.field(2).clone());
+        Value::tuple(fields)
+    });
+    let sessions_raw = g.filter(s3, |r| *r != Value::Unit);
+    // Resolve both policies to encoded maps (import at dev, export at peer).
+    let sessions_imp = attach_policy(&mut g, sessions_raw, rm_kv, rm_keys, 0, 8);
+    let sessions_full = attach_policy(&mut g, sessions_imp, rm_kv, rm_keys, 1, 9);
+
+    // Fixed candidates: originated + external.
+    let conn_keys = g.map(up_iface, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(2).clone()])
+    });
+    let static_keys = g.map(live_static, |r| {
+        Value::tuple(vec![r.field(0).clone(), r.field(1).clone()])
+    });
+    let backing = g.concat(&[conn_keys, static_keys]);
+    let net_kv = g.map(bgp_network, |r| Value::kv(r.clone(), Value::Unit));
+    let net_backed = g.semijoin(net_kv, backing);
+    let net_by_dev = g.map(net_backed, |kv| {
+        Value::kv(kv.key().field(0).clone(), kv.key().field(1).clone())
+    });
+    let net_live = g.semijoin(net_by_dev, live_bgp_keys);
+    let orig_cand = g.map(net_live, |kv| {
+        let prefix = dec_prefix(kv.payload());
+        Value::kv(
+            Value::tuple(vec![kv.key().clone(), kv.payload().clone()]),
+            enc_bgp_route(&RouteAttrs::originated(prefix), &BgpSource::Originated),
+        )
+    });
+    let ext0 = g.map(external_route, |r| {
+        Value::kv(
+            Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
+            r.field(2).clone(),
+        )
+    });
+    let ext1 = g.join(ext0, nbr_by_key, |k, attrs, nbr| {
+        // (dev, peer, attrs, import_name)
+        Value::kv(
+            k.field(0).clone(),
+            Value::tuple(vec![
+                k.field(1).clone(),
+                attrs.clone(),
+                nbr.field(1).clone(),
+            ]),
+        )
+    });
+    let ext2 = g.join(ext1, live_bgp, |dev, e, proc| {
+        Value::tuple(vec![
+            dev.clone(),
+            e.field(0).clone(),
+            e.field(1).clone(),
+            e.field(2).clone(),
+            proc.field(0).clone(),
+        ])
+    });
+    let ext3 = attach_policy(&mut g, ext2, rm_kv, rm_keys, 0, 3);
+    let ext_cand = g.flat_map(ext3, |r| {
+        let my_asn = r.field(4).as_u32();
+        let mut attrs = dec_attrs(r.field(2));
+        if attrs.as_path_contains(my_asn) {
+            return vec![];
+        }
+        attrs.local_pref = 100;
+        let import = dec_route_map(r.field(3));
+        let Some(attrs) = import.evaluate(&attrs) else {
+            return vec![];
+        };
+        let peer = Ipv4Addr(r.field(1).as_u32());
+        vec![Value::kv(
+            Value::tuple(vec![r.field(0).clone(), enc_prefix(attrs.prefix)]),
+            enc_bgp_route(&attrs, &BgpSource::External { peer }),
+        )]
+    });
+    let fixed = g.concat(&[orig_cand, ext_cand]);
+
+    // Best-path propagation fixpoint.
+    let best = g.iterate("bgp-best", |g, s| {
+        let fixed = g.enter(s, fixed);
+        let sessions = g.enter(s, sessions_full);
+        let sess_by_peer = g.map(sessions, |r| Value::kv(r.field(1).clone(), r.clone()));
+        let init = g.reduce(fixed, aggregates::best_by(bgp_route_cmp));
+        let var = g.variable(s, "best", init);
+        let by_owner = g.map(var, |kv| {
+            Value::kv(
+                kv.key().field(0).clone(),
+                Value::tuple(vec![kv.key().field(1).clone(), kv.payload().clone()]),
+            )
+        });
+        let learned0 = g.join(by_owner, sess_by_peer, |_, pr, sess| {
+            learn_route(pr, sess)
+        });
+        let learned = g.filter(learned0, |r| *r != Value::Unit);
+        let cand_all = g.concat(&[fixed, learned]);
+        let next = g.reduce(cand_all, aggregates::best_by(bgp_route_cmp));
+        g.connect(var, next);
+        g.leave(s, next)
+    });
+
+    // BGP RIB candidates.
+    let bgp_sess_cand = g.flat_map(best, |kv| {
+        let (_, src) = dec_bgp_route(kv.payload());
+        match src {
+            BgpSource::Session {
+                peer_device,
+                ebgp,
+                via_iface,
+                ..
+            } => {
+                let proto = if ebgp { PROTO_BGP_E } else { PROTO_BGP_I };
+                let ad = if ebgp { 20 } else { 200 };
+                vec![Value::kv(
+                    kv.key().clone(),
+                    cand(
+                        ad,
+                        0,
+                        proto,
+                        forward_device(&Value::str(&via_iface), &Value::str(&peer_device)),
+                    ),
+                )]
+            }
+            _ => vec![],
+        }
+    });
+    let bgp_ext0 = g.flat_map(best, |kv| {
+        let (_, src) = dec_bgp_route(kv.payload());
+        match src {
+            BgpSource::External { peer } => vec![Value::kv(
+                kv.key().field(0).clone(),
+                Value::tuple(vec![kv.key().field(1).clone(), Value::U32(peer.0)]),
+            )],
+            _ => vec![],
+        }
+    });
+    let bgp_ext1 = g.join(bgp_ext0, up_iface_by_dev, |dev, pp, ifr| {
+        let x = Ipv4Addr(pp.field(1).as_u32());
+        let ipfx = dec_prefix(ifr.field(2));
+        if ipfx.contains(x) {
+            Value::kv(
+                Value::tuple(vec![dev.clone(), pp.field(0).clone(), pp.field(1).clone()]),
+                Value::tuple(vec![ifr.field(1).clone(), Value::U32(ipfx.len() as u32)]),
+            )
+        } else {
+            Value::Unit
+        }
+    });
+    let bgp_ext2 = g.filter(bgp_ext1, |r| *r != Value::Unit);
+    let bgp_ext3 = g.reduce(bgp_ext2, aggregates::best_by(iface_choice_cmp));
+    let bgp_ext_cand = g.map(bgp_ext3, |kv| {
+        Value::kv(
+            Value::tuple(vec![kv.key().field(0).clone(), kv.key().field(1).clone()]),
+            cand(20, 0, PROTO_BGP_E, forward_external(kv.payload().field(0))),
+        )
+    });
+
+    // ------------------------------------------------------- RIB/FIB merge
+    let all_cand = g.concat(&[
+        conn_cand,
+        discard_cand,
+        st_dev_cand,
+        st_ext_cand,
+        ospf_cand,
+        bgp_sess_cand,
+        bgp_ext_cand,
+    ]);
+    let rib_winners = g.reduce(all_cand, aggregates::all_best_by(rib_cmp));
+    let rib_rows = g.map(rib_winners, |kv| {
+        let c = kv.payload();
+        Value::tuple(vec![
+            kv.key().field(0).clone(),
+            kv.key().field(1).clone(),
+            c.field(2).clone(),
+            c.field(1).clone(),
+            c.field(3).clone(),
+        ])
+    });
+    let fib_rows0 = g.map(rib_winners, |kv| {
+        Value::tuple(vec![
+            kv.key().field(0).clone(),
+            kv.key().field(1).clone(),
+            kv.payload().field(3).clone(),
+        ])
+    });
+    let fib_rows = g.distinct(fib_rows0);
+    let rib = g.output("rib", rib_rows);
+    let fib = g.output("fib", fib_rows);
+
+    (g.build(), CpHandles { inputs, rib, fib })
+}
+
+/// The learned-route transfer function: peer's best route crosses the
+/// session `(peer_dev -> dev)` applying export policy, eBGP prepend +
+/// local-pref reset + loop check, then import policy. Returns `Unit` when
+/// the route is filtered.
+///
+/// Session row layout: `(dev, peer_dev, peer_addr, via_if, ebgp, my_asn,
+/// peer_asn, peer_rid, import_map, peer_export_map)`.
+fn learn_route(prefix_route: &Value, sess: &Value) -> Value {
+    let (attrs, src) = dec_bgp_route(prefix_route.field(1));
+    let dev = sess.field(0);
+    let ebgp = sess.field(4).as_bool();
+    // Split horizon: never advertise a route back to its source.
+    if let BgpSource::Session { peer_device, .. } = &src {
+        if peer_device.as_str() == dev.as_str() {
+            return Value::Unit;
+        }
+    }
+    // No iBGP reflection.
+    if !ebgp {
+        if let BgpSource::Session { ebgp: false, .. } = &src {
+            return Value::Unit;
+        }
+    }
+    let export = dec_route_map(sess.field(9));
+    let Some(mut attrs) = export.evaluate(&attrs) else {
+        return Value::Unit;
+    };
+    let my_asn = sess.field(5).as_u32();
+    if ebgp {
+        attrs = attrs.prepend(sess.field(6).as_u32());
+        attrs.local_pref = 100;
+        if attrs.as_path_contains(my_asn) {
+            return Value::Unit;
+        }
+    }
+    let import = dec_route_map(sess.field(8));
+    let Some(attrs) = import.evaluate(&attrs) else {
+        return Value::Unit;
+    };
+    let source = BgpSource::Session {
+        peer_device: sess.field(1).as_str().to_string(),
+        peer_addr: Ipv4Addr(sess.field(2).as_u32()),
+        ebgp,
+        peer_router_id: sess.field(7).as_u32(),
+        via_iface: sess.field(3).as_str().to_string(),
+    };
+    Value::kv(
+        Value::tuple(vec![dev.clone(), enc_prefix(attrs.prefix)]),
+        enc_bgp_route(&attrs, &source),
+    )
+}

@@ -1,0 +1,186 @@
+//! Output types shared by the differential and reference simulators.
+//!
+//! Both simulators produce the same RIB/FIB representation so that results
+//! are directly comparable (the reference simulator doubles as the test
+//! oracle and the "from-scratch" baseline of the evaluation).
+
+use net_model::{Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Routing protocol that produced a route, with its administrative distance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Proto {
+    /// Directly connected subnet (AD 0).
+    Connected,
+    /// Static route (AD as configured, default 1).
+    Static,
+    /// eBGP-learned route (AD 20).
+    BgpExternal,
+    /// OSPF route (AD 110).
+    Ospf,
+    /// iBGP-learned route (AD 200).
+    BgpInternal,
+}
+
+impl Proto {
+    /// Default administrative distance.
+    pub fn admin_distance(self) -> u8 {
+        match self {
+            Proto::Connected => 0,
+            Proto::Static => 1,
+            Proto::BgpExternal => 20,
+            Proto::Ospf => 110,
+            Proto::BgpInternal => 200,
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Proto::Connected => "connected",
+            Proto::Static => "static",
+            Proto::BgpExternal => "ebgp",
+            Proto::Ospf => "ospf",
+            Proto::BgpInternal => "ibgp",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Where a FIB entry sends matching packets next.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum NextDevice {
+    /// A modeled device (the other end of the egress link).
+    Device(String),
+    /// Traffic leaves the modeled network (external peer or host subnet).
+    External,
+}
+
+/// Forwarding action of one FIB entry.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum FibAction {
+    /// Deliver locally: the destination is on this connected subnet.
+    Deliver {
+        /// Interface whose subnet holds the destination.
+        iface: String,
+    },
+    /// Forward out an interface toward the next device.
+    Forward {
+        /// Egress interface.
+        iface: String,
+        /// Next hop.
+        next: NextDevice,
+    },
+    /// Null-route: drop matching packets.
+    Drop,
+}
+
+/// One FIB entry. A device's forwarding behavior is longest-prefix-match
+/// over its entries; equal prefixes with multiple `Forward` entries are
+/// ECMP alternatives.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FibEntry {
+    /// Owning device.
+    pub device: String,
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Forwarding action.
+    pub action: FibAction,
+}
+
+impl fmt::Display for FibEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            FibAction::Deliver { iface } => {
+                write!(f, "{}: {} deliver via {iface}", self.device, self.prefix)
+            }
+            FibAction::Forward { iface, next } => match next {
+                NextDevice::Device(d) => {
+                    write!(f, "{}: {} -> {d} via {iface}", self.device, self.prefix)
+                }
+                NextDevice::External => {
+                    write!(f, "{}: {} -> external via {iface}", self.device, self.prefix)
+                }
+            },
+            FibAction::Drop => write!(f, "{}: {} drop", self.device, self.prefix),
+        }
+    }
+}
+
+/// One RIB entry: a route installed after best-path selection and
+/// administrative-distance comparison (several entries per `(device,
+/// prefix)` mean ECMP).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RibEntry {
+    /// Owning device.
+    pub device: String,
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Producing protocol.
+    pub proto: Proto,
+    /// Protocol metric (OSPF cost; 0 for connected/static/BGP).
+    pub metric: u64,
+    /// Forwarding action.
+    pub action: FibAction,
+}
+
+/// Who advertised a BGP route to us (part of best-path tie-breaking).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum BgpSource {
+    /// Locally originated via a network statement.
+    Originated,
+    /// Heard from an unmodeled external peer at this neighbor address.
+    External {
+        /// Configured neighbor address.
+        peer: Ipv4Addr,
+    },
+    /// Learned from a modeled peer over an established session.
+    Session {
+        /// Advertising device.
+        peer_device: String,
+        /// Peer address (their interface address).
+        peer_addr: Ipv4Addr,
+        /// Whether the session is eBGP.
+        ebgp: bool,
+        /// Advertiser's router id (tie-breaker).
+        peer_router_id: u32,
+        /// Our interface toward the peer.
+        via_iface: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::pfx;
+
+    #[test]
+    fn admin_distances_follow_convention() {
+        assert_eq!(Proto::Connected.admin_distance(), 0);
+        assert_eq!(Proto::Static.admin_distance(), 1);
+        assert_eq!(Proto::BgpExternal.admin_distance(), 20);
+        assert_eq!(Proto::Ospf.admin_distance(), 110);
+        assert_eq!(Proto::BgpInternal.admin_distance(), 200);
+    }
+
+    #[test]
+    fn fib_entry_display() {
+        let e = FibEntry {
+            device: "r1".into(),
+            prefix: pfx("10.0.0.0/24"),
+            action: FibAction::Forward {
+                iface: "eth0".into(),
+                next: NextDevice::Device("r2".into()),
+            },
+        };
+        assert_eq!(e.to_string(), "r1: 10.0.0.0/24 -> r2 via eth0");
+        let d = FibEntry {
+            device: "r1".into(),
+            prefix: pfx("0.0.0.0/0"),
+            action: FibAction::Drop,
+        };
+        assert_eq!(d.to_string(), "r1: 0.0.0.0/0 drop");
+    }
+}

@@ -1,0 +1,128 @@
+//! BGP policy disputes: configurations whose best-path iteration has no
+//! stable fixpoint. Both simulators must *detect* this (bounded iteration)
+//! instead of hanging — the safety property the engine's divergence guard
+//! exists for. The gadget is the classic BAD GADGET / DISAGREE instability:
+//! three ASes in a cycle, each preferring the route through its clockwise
+//! neighbor over its own direct route.
+
+use control_plane::{reference, CpEngine, CpError};
+use ddflow::Config;
+use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
+use net_model::{pfx, NetBuilder, RouteMap, Snapshot};
+
+/// Prefer routes whose AS path goes through `via` (local-pref 200),
+/// otherwise accept at the default preference.
+fn prefer_via(via: u32) -> RouteMap {
+    let mut rm = RouteMap::default();
+    rm.add(RouteMapClause {
+        seq: 10,
+        matches: vec![RmMatch::AsPathContains(via)],
+        action: RmAction::Permit,
+        sets: vec![RmSet::LocalPref(200)],
+    });
+    rm.add(RouteMapClause {
+        seq: 20,
+        matches: vec![],
+        action: RmAction::Permit,
+        sets: vec![],
+    });
+    rm
+}
+
+/// Three ASes (65001..65003) in a triangle around an origin AS 65000 that
+/// announces 99.99.0.0/16. Each transit AS prefers the path through its
+/// clockwise neighbor — the classic oscillation.
+fn bad_gadget() -> Snapshot {
+    let mut b = NetBuilder::new()
+        // Origin.
+        .router("r0")
+        .iface("r0", "lan", "99.99.0.1/16")
+        .bgp("r0", 65000, 100)
+        .network("r0", pfx("99.99.0.0/16"));
+    // Triangle routers.
+    for i in 1..=3u32 {
+        let name = format!("r{i}");
+        b = b
+            .router(&name)
+            .bgp(&name, 65000 + i, i);
+    }
+    // Spokes to the origin.
+    let spokes = [
+        ("r1", "10.0.1.1/31", "10.0.1.0/31"),
+        ("r2", "10.0.2.1/31", "10.0.2.0/31"),
+        ("r3", "10.0.3.1/31", "10.0.3.0/31"),
+    ];
+    for (i, (r, mine, theirs)) in spokes.iter().enumerate() {
+        let o_if = format!("to{}", i + 1);
+        b = b
+            .iface(r, "to0", mine)
+            .iface("r0", &o_if, theirs)
+            .link(r, "to0", "r0", &o_if)
+            .neighbor(r, &theirs[..theirs.len() - 3], 65000, None, None)
+            .neighbor("r0", &mine[..mine.len() - 3], 65000 + i as u32 + 1, None, None);
+    }
+    // The ring r1->r2->r3->r1, each preferring its clockwise neighbor.
+    let ring = [
+        ("r1", "r2", "10.1.12.1/31", "10.1.12.0/31", 65002u32),
+        ("r2", "r3", "10.1.23.1/31", "10.1.23.0/31", 65003),
+        ("r3", "r1", "10.1.31.1/31", "10.1.31.0/31", 65001),
+    ];
+    for (i, (a, c, a_addr, c_addr, c_asn)) in ring.iter().enumerate() {
+        let (ia, ic) = (format!("ring{i}a"), format!("ring{i}b"));
+        let a_asn = 65001 + "r1r2r3".find(&a[..]).map(|p| p / 2).unwrap_or(0) as u32;
+        let rm_name = format!("prefer_cw_{a}");
+        b = b
+            .iface(a, &ia, a_addr)
+            .iface(c, &ic, c_addr)
+            .link(a, &ia, c, &ic)
+            .route_map(a, &rm_name, prefer_via(*c_asn))
+            .neighbor(a, &c_addr[..c_addr.len() - 3], *c_asn, Some(&rm_name), None)
+            .neighbor(c, &a_addr[..a_addr.len() - 3], a_asn, None, None);
+    }
+    b.build()
+}
+
+#[test]
+fn gadget_snapshot_is_well_formed() {
+    let snap = bad_gadget();
+    assert!(snap.validate().is_empty(), "{:?}", snap.validate());
+}
+
+#[test]
+fn reference_detects_the_dispute_or_converges_identically() {
+    let snap = bad_gadget();
+    let reference_result = reference::simulate_bounded(&snap, 200);
+    let engine_result = CpEngine::with_config(snap, Config { max_iterations: 200 });
+    match (&reference_result, &engine_result) {
+        // The expected outcome for the classic gadget: both sides give up.
+        (Err(reference::SimError::BgpDivergence { .. }), Err(CpError::Divergence(_))) => {}
+        // If a particular wiring happens to stabilize, both must agree.
+        (Ok(sim), Ok(_)) => {
+            let eng = engine_result.as_ref().unwrap();
+            assert_eq!(
+                eng.fib(),
+                sim.fib.iter().cloned().collect::<Vec<_>>(),
+                "both converged but to different answers"
+            );
+        }
+        (r, e) => panic!(
+            "divergence detection disagrees: reference={:?} engine={:?}",
+            r.as_ref().map(|_| "converged"),
+            e.as_ref().map(|_| "converged")
+        ),
+    }
+}
+
+#[test]
+fn divergence_error_is_reported_not_hung() {
+    use std::time::Instant;
+    let snap = bad_gadget();
+    let t = Instant::now();
+    let _ = CpEngine::with_config(snap, Config { max_iterations: 64 });
+    // Bounded iteration must return promptly even when oscillating.
+    assert!(
+        t.elapsed() < std::time::Duration::from_secs(30),
+        "divergence guard too slow: {:?}",
+        t.elapsed()
+    );
+}

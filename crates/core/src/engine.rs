@@ -1,0 +1,283 @@
+//! The end-to-end differential analysis engine.
+//!
+//! [`DiffEngine`] chains the two incremental stages: a [`CpEngine`]
+//! (differential control-plane simulation: changes → RIB/FIB deltas) and a
+//! [`DataPlane`] verifier (FIB/ACL deltas → reachability deltas). One
+//! [`DiffEngine::apply`] call answers the operator's question directly:
+//! *exactly which flows behave differently after this change?*
+
+use control_plane::{CpEngine, CpError, FibEntry, RibEntry};
+use data_plane::{DataPlane, Dir, DpUpdate, FilterChange, Outcome, ReachDelta};
+use ddflow::Diff;
+use net_model::{Change, ChangeSet, Flow, Snapshot};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Error from the differential pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnaError {
+    /// Control-plane stage failed (bad change or non-convergence).
+    ControlPlane(CpError),
+    /// The base snapshot failed validation.
+    InvalidSnapshot(String),
+}
+
+impl std::fmt::Display for DnaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnaError::ControlPlane(e) => write!(f, "control plane: {e}"),
+            DnaError::InvalidSnapshot(s) => write!(f, "invalid snapshot: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DnaError {}
+
+impl From<CpError> for DnaError {
+    fn from(e: CpError) -> Self {
+        DnaError::ControlPlane(e)
+    }
+}
+
+/// One reachability difference, decorated for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDiff {
+    /// Source device.
+    pub src: String,
+    /// Human-readable header-space description of the affected class.
+    pub headers: Vec<String>,
+    /// A concrete example packet of the class.
+    pub example: Flow,
+    /// Outcomes before the change.
+    pub before: BTreeSet<Outcome>,
+    /// Outcomes after the change.
+    pub after: BTreeSet<Outcome>,
+}
+
+/// Stage timings and work counters for one differential analysis.
+#[derive(Debug, Clone, Default)]
+pub struct DiffStats {
+    /// Wall-clock spent in the differential control-plane stage.
+    pub cp_time: Duration,
+    /// Wall-clock spent in the differential data-plane stage.
+    pub dp_time: Duration,
+    /// Total wall-clock for the apply call.
+    pub total_time: Duration,
+    /// Tuples processed by the dataflow engine.
+    pub cp_tuples: usize,
+    /// Packet classes whose reachability was recomputed.
+    pub dirty_classes: usize,
+}
+
+/// Everything that changed, across all three layers.
+#[derive(Debug, Clone, Default)]
+pub struct BehaviorDiff {
+    /// Route-level changes (+1 installed / -1 withdrawn).
+    pub rib: Vec<(RibEntry, Diff)>,
+    /// Forwarding-entry changes.
+    pub fib: Vec<(FibEntry, Diff)>,
+    /// End-to-end reachability changes.
+    pub flows: Vec<FlowDiff>,
+    /// Stage statistics.
+    pub stats: DiffStats,
+}
+
+impl BehaviorDiff {
+    /// Whether the change had any observable effect.
+    pub fn is_noop(&self) -> bool {
+        self.rib.is_empty() && self.fib.is_empty() && self.flows.is_empty()
+    }
+}
+
+/// The incremental change-impact engine (the paper's system).
+pub struct DiffEngine {
+    cp: CpEngine,
+    dp: DataPlane,
+}
+
+impl DiffEngine {
+    /// Builds the engine: simulates the base snapshot's control plane,
+    /// loads the resulting data plane, computes baseline reachability.
+    pub fn new(snapshot: Snapshot) -> Result<Self, DnaError> {
+        let problems = snapshot.validate();
+        if !problems.is_empty() {
+            return Err(DnaError::InvalidSnapshot(format!("{:?}", problems[0])));
+        }
+        let mut cp = CpEngine::new(snapshot.clone())?;
+        cp.drain_initial();
+        let mut dp = DataPlane::new(&snapshot);
+        let fib: Vec<(FibEntry, Diff)> = cp.fib().into_iter().map(|e| (e, 1)).collect();
+        dp.apply(&DpUpdate {
+            fib,
+            filters: vec![],
+        });
+        Ok(DiffEngine { cp, dp })
+    }
+
+    /// The current snapshot (base plus every applied change set).
+    pub fn snapshot(&self) -> &Snapshot {
+        self.cp.snapshot()
+    }
+
+    /// Applies a change set incrementally and reports everything that
+    /// changed. On error nothing is applied.
+    pub fn apply(&mut self, changes: &ChangeSet) -> Result<BehaviorDiff, DnaError> {
+        let t0 = Instant::now();
+        let before = self.cp.snapshot().clone();
+        let cp_delta = self.cp.apply(changes)?;
+        let cp_time = t0.elapsed();
+        let t1 = Instant::now();
+        let filters = filter_changes(&before, self.cp.snapshot(), changes);
+        let reach = self.dp.apply(&DpUpdate {
+            fib: cp_delta.fib.clone(),
+            filters,
+        });
+        let dp_time = t1.elapsed();
+        let flows = self.decorate(reach);
+        Ok(BehaviorDiff {
+            rib: cp_delta.rib,
+            fib: cp_delta.fib,
+            stats: DiffStats {
+                cp_time,
+                dp_time,
+                total_time: t0.elapsed(),
+                cp_tuples: cp_delta.stats.tuples_processed,
+                dirty_classes: flows
+                    .iter()
+                    .map(|f| (&f.headers, &f.example))
+                    .collect::<BTreeSet<_>>()
+                    .len(),
+            },
+            flows,
+        })
+    }
+
+    fn decorate(&self, reach: Vec<ReachDelta>) -> Vec<FlowDiff> {
+        reach
+            .into_iter()
+            .filter_map(|d| {
+                let example = self.dp.sample_atom(d.atom)?;
+                Some(FlowDiff {
+                    src: d.src,
+                    headers: self.dp.describe_atom(d.atom, 4),
+                    example,
+                    before: d.before,
+                    after: d.after,
+                })
+            })
+            .collect()
+    }
+
+    /// Current full FIB (decoded, sorted).
+    pub fn fib(&self) -> Vec<FibEntry> {
+        self.cp.fib()
+    }
+
+    /// Current full RIB (decoded, sorted).
+    pub fn rib(&self) -> Vec<RibEntry> {
+        self.cp.rib()
+    }
+
+    /// Outcomes for a concrete flow injected at `src`, on current state.
+    pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
+        self.dp.query(src, flow)
+    }
+
+    /// One sample flow per live packet class (probe set for equivalence
+    /// testing against the from-scratch baseline).
+    pub fn probe_flows(&self) -> Vec<Flow> {
+        self.dp
+            .atoms()
+            .into_iter()
+            .filter_map(|a| self.dp.sample_atom(a))
+            .collect()
+    }
+
+    /// Number of live packet equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.dp.atom_count()
+    }
+
+    /// Working-set counters `(engine tuples, atoms, pset nodes)` for the
+    /// memory study (E6).
+    pub fn state_size(&self) -> (usize, usize, usize) {
+        (
+            self.cp.state_tuples(),
+            self.dp.atom_count(),
+            self.dp.pset_nodes(),
+        )
+    }
+}
+
+/// Maps ACL-affecting changes to resolved filter rebindings, evaluated
+/// against the post-change snapshot (CP changes were already translated by
+/// the control-plane stage; this covers the data-plane-only taxonomy).
+fn filter_changes(before: &Snapshot, after: &Snapshot, changes: &ChangeSet) -> Vec<FilterChange> {
+    let mut out: Vec<FilterChange> = Vec::new();
+    fn push_bindings_of_acl(
+        out: &mut Vec<FilterChange>,
+        after: &Snapshot,
+        device: &String,
+        acl_name: &String,
+    ) {
+        let Some(dc) = after.devices.get(device) else {
+            return;
+        };
+        let contents = dc.acls.get(acl_name).cloned().unwrap_or_default();
+        for (ifname, ic) in &dc.interfaces {
+            for (dir, bound) in [(Dir::In, &ic.acl_in), (Dir::Out, &ic.acl_out)] {
+                if bound.as_deref() == Some(acl_name.as_str()) {
+                    out.push(FilterChange {
+                        device: device.clone(),
+                        iface: ifname.clone(),
+                        dir,
+                        acl: Some(contents.clone()),
+                    });
+                }
+            }
+        }
+    }
+    for change in &changes.changes {
+        match change {
+            Change::AclEntryAdd { device, acl, .. }
+            | Change::AclEntryRemove { device, acl, .. } => {
+                push_bindings_of_acl(&mut out, after, device, acl);
+            }
+            Change::SetAclIn { device, iface, acl } => {
+                let contents = acl.as_ref().map(|name| {
+                    after
+                        .devices
+                        .get(device)
+                        .and_then(|dc| dc.acls.get(name))
+                        .cloned()
+                        .unwrap_or_default()
+                });
+                out.push(FilterChange {
+                    device: device.clone(),
+                    iface: iface.clone(),
+                    dir: Dir::In,
+                    acl: contents,
+                });
+            }
+            Change::SetAclOut { device, iface, acl } => {
+                let contents = acl.as_ref().map(|name| {
+                    after
+                        .devices
+                        .get(device)
+                        .and_then(|dc| dc.acls.get(name))
+                        .cloned()
+                        .unwrap_or_default()
+                });
+                out.push(FilterChange {
+                    device: device.clone(),
+                    iface: iface.clone(),
+                    dir: Dir::Out,
+                    acl: contents,
+                });
+            }
+            _ => {}
+        }
+    }
+    let _ = before;
+    out
+}

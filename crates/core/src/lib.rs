@@ -1,0 +1,49 @@
+//! # dna-core — Differential Network Analysis
+//!
+//! The end-to-end system of the reproduction: given a network
+//! [`net_model::Snapshot`] and a stream of [`net_model::ChangeSet`]s,
+//! report — *incrementally* — exactly how each change affects network
+//! behavior: which routes move ([`control_plane::RibEntry`]), which
+//! forwarding entries change ([`control_plane::FibEntry`]), and which
+//! flows gain, lose or reroute end-to-end reachability ([`FlowDiff`]).
+//!
+//! Two analyzers with identical outputs:
+//!
+//! * [`DiffEngine`] — the differential pipeline (incremental Datalog
+//!   control-plane simulation feeding an incremental packet-equivalence-
+//!   class verifier);
+//! * [`ScratchDiffer`] — the from-scratch baseline (simulate both
+//!   snapshots fully and diff), the state of practice the paper improves
+//!   on.
+//!
+//! ```
+//! use dna_core::{DiffEngine, report};
+//! use net_model::{Change, ChangeSet, NetBuilder};
+//!
+//! let snap = NetBuilder::new()
+//!     .router("r1").iface("r1", "eth0", "10.0.0.1/31")
+//!     .iface("r1", "lan", "192.168.1.1/24")
+//!     .router("r2").iface("r2", "eth0", "10.0.0.0/31")
+//!     .link("r1", "eth0", "r2", "eth0")
+//!     .ospf("r1", "eth0", 1).ospf("r2", "eth0", 1)
+//!     .ospf_passive("r1", "lan", 1)
+//!     .build();
+//! let link = snap.links[0].clone();
+//! let mut engine = DiffEngine::new(snap).unwrap();
+//! let diff = engine
+//!     .apply(&ChangeSet::single(Change::LinkDown(link)))
+//!     .unwrap();
+//! assert!(!diff.is_noop());
+//! println!("{}", report::render(&diff, 10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod report;
+
+pub use baseline::ScratchDiffer;
+pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, FlowDiff};
+pub use report::{classify, render, summarize, FlowChangeKind, Summary};

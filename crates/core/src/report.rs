@@ -1,0 +1,204 @@
+//! Human-readable change-impact reports over [`BehaviorDiff`]s.
+
+use crate::engine::{BehaviorDiff, FlowDiff};
+use data_plane::Outcome;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Category of an end-to-end reachability change.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FlowChangeKind {
+    /// Previously delivered somewhere, now never delivered.
+    Lost,
+    /// Previously never delivered, now delivered somewhere.
+    Gained,
+    /// Still delivered, but at a different device (egress shifted).
+    Rerouted,
+    /// A forwarding loop appeared.
+    LoopIntroduced,
+    /// A forwarding loop disappeared.
+    LoopResolved,
+    /// Some other outcome change (blackhole moved, filter point moved...).
+    Other,
+}
+
+impl std::fmt::Display for FlowChangeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FlowChangeKind::Lost => "LOST",
+            FlowChangeKind::Gained => "GAINED",
+            FlowChangeKind::Rerouted => "REROUTED",
+            FlowChangeKind::LoopIntroduced => "LOOP+",
+            FlowChangeKind::LoopResolved => "LOOP-",
+            FlowChangeKind::Other => "CHANGED",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn delivered_at(outcomes: &BTreeSet<Outcome>) -> BTreeSet<&String> {
+    outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Delivered(d) | Outcome::External(d) => Some(d),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Classifies one flow diff.
+pub fn classify(diff: &FlowDiff) -> FlowChangeKind {
+    let (b, a) = (delivered_at(&diff.before), delivered_at(&diff.after));
+    let loop_b = diff.before.contains(&Outcome::Loop);
+    let loop_a = diff.after.contains(&Outcome::Loop);
+    if loop_a && !loop_b {
+        FlowChangeKind::LoopIntroduced
+    } else if loop_b && !loop_a {
+        FlowChangeKind::LoopResolved
+    } else if !b.is_empty() && a.is_empty() {
+        FlowChangeKind::Lost
+    } else if b.is_empty() && !a.is_empty() {
+        FlowChangeKind::Gained
+    } else if !b.is_empty() && b != a {
+        FlowChangeKind::Rerouted
+    } else {
+        FlowChangeKind::Other
+    }
+}
+
+/// Counts per category.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// `(category, count)` pairs in category order.
+    pub counts: Vec<(FlowChangeKind, usize)>,
+    /// Route changes (installed, withdrawn).
+    pub routes: (usize, usize),
+    /// Forwarding-entry changes (added, removed).
+    pub fib: (usize, usize),
+}
+
+/// Summarizes a behavior diff.
+pub fn summarize(diff: &BehaviorDiff) -> Summary {
+    let mut map: std::collections::BTreeMap<FlowChangeKind, usize> = Default::default();
+    for f in &diff.flows {
+        *map.entry(classify(f)).or_insert(0) += 1;
+    }
+    Summary {
+        counts: map.into_iter().collect(),
+        routes: (
+            diff.rib.iter().filter(|(_, d)| *d > 0).count(),
+            diff.rib.iter().filter(|(_, d)| *d < 0).count(),
+        ),
+        fib: (
+            diff.fib.iter().filter(|(_, d)| *d > 0).count(),
+            diff.fib.iter().filter(|(_, d)| *d < 0).count(),
+        ),
+    }
+}
+
+/// Renders a full report: summary plus up to `limit` flow-level lines.
+pub fn render(diff: &BehaviorDiff, limit: usize) -> String {
+    let mut out = String::new();
+    let s = summarize(diff);
+    let _ = writeln!(
+        out,
+        "routes: +{} -{} | fib: +{} -{} | affected flow classes: {}",
+        s.routes.0,
+        s.routes.1,
+        s.fib.0,
+        s.fib.1,
+        diff.flows.len()
+    );
+    for (kind, n) in &s.counts {
+        let _ = writeln!(out, "  {kind}: {n}");
+    }
+    for f in diff.flows.iter().take(limit) {
+        let before: Vec<String> = f.before.iter().map(|o| o.to_string()).collect();
+        let after: Vec<String> = f.after.iter().map(|o| o.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  [{}] from {}: {} | {} -> {}",
+            classify(f),
+            f.src,
+            f.headers.first().cloned().unwrap_or_default(),
+            before.join(","),
+            after.join(",")
+        );
+    }
+    if diff.flows.len() > limit {
+        let _ = writeln!(out, "  … {} more", diff.flows.len() - limit);
+    }
+    let _ = writeln!(
+        out,
+        "timing: cp {:?} + dp {:?} = {:?} ({} engine tuples, {} dirty classes)",
+        diff.stats.cp_time,
+        diff.stats.dp_time,
+        diff.stats.total_time,
+        diff.stats.cp_tuples,
+        diff.stats.dirty_classes
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{ip, Flow};
+
+    fn fd(before: Vec<Outcome>, after: Vec<Outcome>) -> FlowDiff {
+        FlowDiff {
+            src: "r1".into(),
+            headers: vec!["dst=10.0.0.0..10.0.0.255".into()],
+            example: Flow::tcp_to(ip("10.0.0.1"), 80),
+            before: before.into_iter().collect(),
+            after: after.into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        use Outcome::*;
+        assert_eq!(
+            classify(&fd(vec![Delivered("a".into())], vec![Blackhole("b".into())])),
+            FlowChangeKind::Lost
+        );
+        assert_eq!(
+            classify(&fd(vec![Blackhole("b".into())], vec![Delivered("a".into())])),
+            FlowChangeKind::Gained
+        );
+        assert_eq!(
+            classify(&fd(
+                vec![Delivered("a".into())],
+                vec![Delivered("c".into())]
+            )),
+            FlowChangeKind::Rerouted
+        );
+        assert_eq!(
+            classify(&fd(vec![Delivered("a".into())], vec![Loop])),
+            FlowChangeKind::LoopIntroduced
+        );
+        assert_eq!(
+            classify(&fd(vec![Loop], vec![Blackhole("a".into())])),
+            FlowChangeKind::LoopResolved
+        );
+        assert_eq!(
+            classify(&fd(
+                vec![Blackhole("a".into())],
+                vec![Filtered("a".into())]
+            )),
+            FlowChangeKind::Other
+        );
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let mut diff = BehaviorDiff::default();
+        diff.flows.push(fd(
+            vec![Outcome::Delivered("a".into())],
+            vec![Outcome::Loop],
+        ));
+        let text = render(&diff, 10);
+        assert!(text.contains("LOOP+"));
+        assert!(text.contains("affected flow classes: 1"));
+    }
+}

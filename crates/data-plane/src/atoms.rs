@@ -1,0 +1,412 @@
+//! Packet equivalence classes (*atoms*), maintained incrementally.
+//!
+//! The registry keeps the coarsest partition of the header space such that
+//! every registered predicate (FIB prefix match, compiled ACL filter) is a
+//! union of atoms. Every packet in one atom is treated identically by every
+//! device, so reachability needs to be computed once per atom — the
+//! Veriflow/APKeep insight. Predicates are reference-counted; registering a
+//! new predicate *splits* the atoms it cuts, releasing the last reference
+//! *merges* atoms that are no longer distinguished.
+//!
+//! Each atom carries its *signature* — the set of predicates containing it.
+//! Signatures drive merging and give consumers O(log n) membership tests
+//! (`atom ⊆ predicate ⇔ predicate ∈ signature`).
+
+use crate::pset::{Pset, PsetArena, EMPTY, FULL};
+use net_model::Flow;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifies an atom. Ids are never reused within one registry.
+pub type AtomId = u32;
+/// Identifies a registered predicate.
+pub type PredId = u32;
+
+/// Structural change to the atom partition, emitted so consumers can
+/// migrate per-atom state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtomChange {
+    /// `parent` was cut by a new predicate into `inside` (covered by the
+    /// predicate) and `outside`; `parent` is retired.
+    Split {
+        /// Retired atom.
+        parent: AtomId,
+        /// Child inside the new predicate.
+        inside: AtomId,
+        /// Child outside the new predicate.
+        outside: AtomId,
+    },
+    /// `a` and `b` stopped being distinguishable and became `into`;
+    /// both are retired.
+    Merged {
+        /// First retired atom.
+        a: AtomId,
+        /// Second retired atom.
+        b: AtomId,
+        /// Replacement atom.
+        into: AtomId,
+    },
+}
+
+struct AtomInfo {
+    pset: Pset,
+    sig: BTreeSet<PredId>,
+}
+
+struct PredInfo {
+    pset: Pset,
+    refcount: usize,
+    atoms: BTreeSet<AtomId>,
+}
+
+/// The atom registry. See the module docs.
+pub struct AtomRegistry {
+    /// The packet-set arena (shared with consumers for building predicates).
+    pub arena: PsetArena,
+    atoms: BTreeMap<AtomId, AtomInfo>,
+    preds: HashMap<PredId, PredInfo>,
+    pred_by_pset: HashMap<Pset, PredId>,
+    sig_index: HashMap<Vec<PredId>, AtomId>,
+    next_atom: AtomId,
+    next_pred: PredId,
+}
+
+impl Default for AtomRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomRegistry {
+    /// Creates a registry with a single atom covering the full space.
+    pub fn new() -> Self {
+        let mut reg = AtomRegistry {
+            arena: PsetArena::new(),
+            atoms: BTreeMap::new(),
+            preds: HashMap::new(),
+            pred_by_pset: HashMap::new(),
+            sig_index: HashMap::new(),
+            next_atom: 0,
+            next_pred: 0,
+        };
+        let id = reg.fresh_atom(FULL, BTreeSet::new());
+        debug_assert_eq!(id, 0);
+        reg
+    }
+
+    fn fresh_atom(&mut self, pset: Pset, sig: BTreeSet<PredId>) -> AtomId {
+        let id = self.next_atom;
+        self.next_atom += 1;
+        let key: Vec<PredId> = sig.iter().copied().collect();
+        for &p in &sig {
+            self.preds.get_mut(&p).expect("sig preds live").atoms.insert(id);
+        }
+        self.sig_index.insert(key, id);
+        self.atoms.insert(id, AtomInfo { pset, sig });
+        id
+    }
+
+    fn retire_atom(&mut self, id: AtomId) -> AtomInfo {
+        let info = self.atoms.remove(&id).expect("atom live");
+        let key: Vec<PredId> = info.sig.iter().copied().collect();
+        self.sig_index.remove(&key);
+        for &p in &info.sig {
+            if let Some(pi) = self.preds.get_mut(&p) {
+                pi.atoms.remove(&id);
+            }
+        }
+        info
+    }
+
+    /// Registers (or references) a predicate, splitting atoms as needed.
+    /// Returns the predicate id and the structural changes.
+    pub fn acquire(&mut self, pset: Pset) -> (PredId, Vec<AtomChange>) {
+        if let Some(&pid) = self.pred_by_pset.get(&pset) {
+            self.preds.get_mut(&pid).unwrap().refcount += 1;
+            return (pid, Vec::new());
+        }
+        let pid = self.next_pred;
+        self.next_pred += 1;
+        self.preds.insert(
+            pid,
+            PredInfo {
+                pset,
+                refcount: 1,
+                atoms: BTreeSet::new(),
+            },
+        );
+        self.pred_by_pset.insert(pset, pid);
+        let mut changes = Vec::new();
+        if pset == EMPTY {
+            return (pid, changes);
+        }
+        let ids: Vec<AtomId> = self.atoms.keys().copied().collect();
+        for id in ids {
+            let apset = self.atoms[&id].pset;
+            let inside = self.arena.intersect(apset, pset);
+            if inside == EMPTY {
+                continue;
+            }
+            if inside == apset {
+                // Fully covered: extend the signature in place.
+                let info = self.atoms.get_mut(&id).unwrap();
+                let old_key: Vec<PredId> = info.sig.iter().copied().collect();
+                info.sig.insert(pid);
+                let new_key: Vec<PredId> = info.sig.iter().copied().collect();
+                self.sig_index.remove(&old_key);
+                self.sig_index.insert(new_key, id);
+                self.preds.get_mut(&pid).unwrap().atoms.insert(id);
+                continue;
+            }
+            // Properly cut: split.
+            let outside_pset = self.arena.subtract(apset, pset);
+            let old = self.retire_atom(id);
+            let mut in_sig = old.sig.clone();
+            in_sig.insert(pid);
+            let inside_id = self.fresh_atom(inside, in_sig);
+            let outside_id = self.fresh_atom(outside_pset, old.sig);
+            changes.push(AtomChange::Split {
+                parent: id,
+                inside: inside_id,
+                outside: outside_id,
+            });
+        }
+        (pid, changes)
+    }
+
+    /// Releases one reference to a predicate; dropping the last reference
+    /// removes it and merges atoms it used to distinguish.
+    ///
+    /// # Panics
+    /// Panics if the predicate id is not live.
+    pub fn release(&mut self, pid: PredId) -> Vec<AtomChange> {
+        let info = self.preds.get_mut(&pid).expect("predicate live");
+        assert!(info.refcount > 0);
+        info.refcount -= 1;
+        if info.refcount > 0 {
+            return Vec::new();
+        }
+        let members: Vec<AtomId> = info.atoms.iter().copied().collect();
+        let pset = info.pset;
+        self.preds.remove(&pid);
+        self.pred_by_pset.remove(&pset);
+        let mut changes = Vec::new();
+        for id in members {
+            if !self.atoms.contains_key(&id) {
+                continue; // already merged away this round
+            }
+            // Drop the predicate from the signature and look for a twin.
+            let info = self.atoms.get_mut(&id).unwrap();
+            let old_key: Vec<PredId> = info.sig.iter().copied().collect();
+            info.sig.remove(&pid);
+            let new_key: Vec<PredId> = info.sig.iter().copied().collect();
+            self.sig_index.remove(&old_key);
+            if let Some(&twin) = self.sig_index.get(&new_key) {
+                // Merge `id` and `twin`.
+                let a = self.retire_atom(twin);
+                let b = {
+                    let info = self.atoms.remove(&id).unwrap();
+                    for &p in &info.sig {
+                        if let Some(pi) = self.preds.get_mut(&p) {
+                            pi.atoms.remove(&id);
+                        }
+                    }
+                    info
+                };
+                let merged_pset = self.arena.union(a.pset, b.pset);
+                let into = self.fresh_atom(merged_pset, b.sig);
+                changes.push(AtomChange::Merged { a: twin, b: id, into });
+            } else {
+                self.sig_index.insert(new_key, id);
+            }
+        }
+        changes
+    }
+
+    /// Live atoms, in id order.
+    pub fn atom_ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.atoms.keys().copied()
+    }
+
+    /// Number of live atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of live predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The atom's packet set.
+    pub fn atom_pset(&self, id: AtomId) -> Pset {
+        self.atoms[&id].pset
+    }
+
+    /// Whether the atom lies inside the predicate.
+    pub fn atom_in(&self, atom: AtomId, pred: PredId) -> bool {
+        self.atoms[&atom].sig.contains(&pred)
+    }
+
+    /// Atoms currently covered by a predicate.
+    pub fn atoms_of(&self, pred: PredId) -> impl Iterator<Item = AtomId> + '_ {
+        self.preds[&pred].atoms.iter().copied()
+    }
+
+    /// The atom containing a concrete flow.
+    pub fn atom_of_flow(&self, flow: &Flow) -> AtomId {
+        self.atoms
+            .iter()
+            .find(|(_, a)| self.arena.contains(a.pset, flow))
+            .map(|(&id, _)| id)
+            .expect("atoms partition the full space")
+    }
+
+    /// Internal consistency check (used by tests): atoms are nonempty,
+    /// pairwise disjoint, cover the space, and signatures are exact.
+    pub fn check_invariants(&mut self) {
+        let ids: Vec<AtomId> = self.atoms.keys().copied().collect();
+        let mut acc = EMPTY;
+        for &id in &ids {
+            let p = self.atoms[&id].pset;
+            assert_ne!(p, EMPTY, "atom {id} empty");
+            assert_eq!(self.arena.intersect(acc, p), EMPTY, "atoms overlap");
+            acc = self.arena.union(acc, p);
+        }
+        assert_eq!(acc, FULL, "atoms must cover the space");
+        let preds: Vec<(PredId, Pset)> =
+            self.preds.iter().map(|(&i, p)| (i, p.pset)).collect();
+        for &id in &ids {
+            let apset = self.atoms[&id].pset;
+            for &(pid, ppset) in &preds {
+                let inside = self.arena.is_subset(apset, ppset);
+                assert_eq!(
+                    inside,
+                    self.atoms[&id].sig.contains(&pid),
+                    "signature of atom {id} wrong for pred {pid}"
+                );
+                assert_eq!(
+                    inside,
+                    self.preds[&pid].atoms.contains(&id),
+                    "pred {pid} member list wrong for atom {id}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::pfx;
+
+    #[test]
+    fn starts_with_one_full_atom() {
+        let mut reg = AtomRegistry::new();
+        assert_eq!(reg.atom_count(), 1);
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn acquire_splits_and_release_merges() {
+        let mut reg = AtomRegistry::new();
+        let p = reg.arena.dst_prefix(pfx("10.0.0.0/8"));
+        let (pid, changes) = reg.acquire(p);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(reg.atom_count(), 2);
+        reg.check_invariants();
+        let merges = reg.release(pid);
+        assert_eq!(merges.len(), 1);
+        assert_eq!(reg.atom_count(), 1);
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn refcounting_defers_merge() {
+        let mut reg = AtomRegistry::new();
+        let p = reg.arena.dst_prefix(pfx("10.0.0.0/8"));
+        let (pid1, _) = reg.acquire(p);
+        let (pid2, changes) = reg.acquire(p);
+        assert_eq!(pid1, pid2);
+        assert!(changes.is_empty(), "second acquire splits nothing");
+        assert!(reg.release(pid1).is_empty(), "still referenced");
+        assert_eq!(reg.release(pid1).len(), 1, "last release merges");
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn nested_prefixes_form_three_atoms() {
+        let mut reg = AtomRegistry::new();
+        let outer = reg.arena.dst_prefix(pfx("10.0.0.0/8"));
+        let inner = reg.arena.dst_prefix(pfx("10.1.0.0/16"));
+        reg.acquire(outer);
+        let (_, changes) = reg.acquire(inner);
+        // Only the atom inside 10/8 is cut.
+        assert_eq!(changes.len(), 1);
+        assert_eq!(reg.atom_count(), 3);
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn multifield_predicates_cross_cut() {
+        let mut reg = AtomRegistry::new();
+        let dst = reg.arena.dst_prefix(pfx("10.0.0.0/8"));
+        let m = net_model::FlowMatch {
+            proto: Some(6),
+            ..net_model::FlowMatch::any()
+        };
+        let tcp = reg.arena.flow_match(&m);
+        reg.acquire(dst);
+        let (_, changes) = reg.acquire(tcp);
+        // Both existing atoms are cut by the protocol predicate.
+        assert_eq!(changes.len(), 2);
+        assert_eq!(reg.atom_count(), 4);
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn flow_lookup_finds_unique_atom() {
+        let mut reg = AtomRegistry::new();
+        let p = reg.arena.dst_prefix(pfx("10.0.0.0/8"));
+        let (pid, _) = reg.acquire(p);
+        let inside = reg.atom_of_flow(&Flow::tcp_to(net_model::ip("10.1.1.1"), 80));
+        let outside = reg.atom_of_flow(&Flow::tcp_to(net_model::ip("11.1.1.1"), 80));
+        assert_ne!(inside, outside);
+        assert!(reg.atom_in(inside, pid));
+        assert!(!reg.atom_in(outside, pid));
+    }
+
+    #[test]
+    fn empty_predicate_is_harmless() {
+        let mut reg = AtomRegistry::new();
+        let (pid, changes) = reg.acquire(EMPTY);
+        assert!(changes.is_empty());
+        assert_eq!(reg.atom_count(), 1);
+        assert!(reg.release(pid).is_empty());
+        reg.check_invariants();
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let mut reg = AtomRegistry::new();
+        let prefixes = [
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "192.168.0.0/16",
+            "10.0.0.0/9",
+            "0.0.0.0/0",
+        ];
+        let mut pids = Vec::new();
+        for p in prefixes {
+            let ps = reg.arena.dst_prefix(pfx(p));
+            pids.push(reg.acquire(ps).0);
+            reg.check_invariants();
+        }
+        // Release in a scrambled order.
+        for i in [3, 0, 5, 1, 4, 2] {
+            reg.release(pids[i]);
+            reg.check_invariants();
+        }
+        assert_eq!(reg.atom_count(), 1);
+    }
+}

@@ -1,0 +1,542 @@
+//! Packet sets: canonical interval decision diagrams over the 5-tuple
+//! header space (dst IP, src IP, protocol, source port, destination port).
+//!
+//! A packet set is a node in a hash-consed DAG. Each node tests one header
+//! field and partitions its domain into intervals, each leading to a child
+//! deciding the remaining fields; `TRUE`/`FALSE` terminals accept/reject.
+//! Canonical form (sorted intervals, merged equal neighbors, collapsed
+//! uniform nodes, hash-consed) makes set equality a pointer comparison —
+//! the property the atom registry builds on. This plays the role header
+//! space analysis / ddNF representations play in published data-plane
+//! verifiers.
+
+use net_model::{Flow, FlowMatch, Ipv4Prefix, PortRange};
+use std::collections::HashMap;
+
+/// Field order tested by the diagram, most significant first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Field {
+    /// Destination IPv4 address (32 bits).
+    DstIp = 0,
+    /// Source IPv4 address (32 bits).
+    SrcIp = 1,
+    /// IP protocol (8 bits).
+    Proto = 2,
+    /// Source port (16 bits).
+    SrcPort = 3,
+    /// Destination port (16 bits).
+    DstPort = 4,
+}
+
+const FIELDS: [Field; 5] = [
+    Field::DstIp,
+    Field::SrcIp,
+    Field::Proto,
+    Field::SrcPort,
+    Field::DstPort,
+];
+
+impl Field {
+    fn max(self) -> u64 {
+        match self {
+            Field::DstIp | Field::SrcIp => u32::MAX as u64,
+            Field::Proto => u8::MAX as u64,
+            Field::SrcPort | Field::DstPort => u16::MAX as u64,
+        }
+    }
+
+    fn of_flow(self, f: &Flow) -> u64 {
+        match self {
+            Field::DstIp => f.dst.0 as u64,
+            Field::SrcIp => f.src.0 as u64,
+            Field::Proto => f.proto as u64,
+            Field::SrcPort => f.src_port as u64,
+            Field::DstPort => f.dst_port as u64,
+        }
+    }
+}
+
+/// A packet set handle; only meaningful with the arena that produced it.
+/// Equal handles ⇔ equal sets (canonical form).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pset(u32);
+
+/// The empty set.
+pub const EMPTY: Pset = Pset(0);
+/// The full header space.
+pub const FULL: Pset = Pset(1);
+
+/// Interior node: tests `field`, children cover the domain as intervals
+/// `(prev_upper+1 ..= upper)`; the last upper equals the field maximum.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Node {
+    field: u8, // index into FIELDS
+    children: Vec<(u64, Pset)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    Union,
+    Intersect,
+}
+
+/// Arena of hash-consed packet-set nodes with memoized operations.
+///
+/// All sets manipulated together must come from one arena.
+#[derive(Default)]
+pub struct PsetArena {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, Pset>,
+    op_cache: HashMap<(Op, Pset, Pset), Pset>,
+    not_cache: HashMap<Pset, Pset>,
+}
+
+impl PsetArena {
+    /// Creates an arena (terminals preallocated).
+    pub fn new() -> Self {
+        let mut a = PsetArena::default();
+        // Index 0 = EMPTY, 1 = FULL; placeholders in the node vec.
+        a.nodes.push(Node { field: u8::MAX, children: vec![] });
+        a.nodes.push(Node { field: u8::MAX, children: vec![] });
+        a
+    }
+
+    /// Number of live interior nodes (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len().saturating_sub(2)
+    }
+
+    fn node(&self, p: Pset) -> &Node {
+        &self.nodes[p.0 as usize]
+    }
+
+    fn is_terminal(p: Pset) -> bool {
+        p.0 < 2
+    }
+
+    /// Builds a canonical node: merges equal neighbors, collapses uniform
+    /// nodes, hash-conses.
+    fn mk(&mut self, field: u8, mut children: Vec<(u64, Pset)>) -> Pset {
+        debug_assert!(!children.is_empty());
+        // Merge adjacent equal children.
+        let mut merged: Vec<(u64, Pset)> = Vec::with_capacity(children.len());
+        for (upper, child) in children.drain(..) {
+            match merged.last_mut() {
+                Some((lu, lc)) if *lc == child => *lu = upper,
+                _ => merged.push((upper, child)),
+            }
+        }
+        debug_assert_eq!(merged.last().unwrap().0, FIELDS[field as usize].max());
+        if merged.len() == 1 {
+            return merged[0].1; // uniform: collapse to the child
+        }
+        let node = Node {
+            field,
+            children: merged,
+        };
+        if let Some(&p) = self.dedup.get(&node) {
+            return p;
+        }
+        let p = Pset(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, p);
+        p
+    }
+
+    /// Set over one field: `lo..=hi` of `field`, all other fields free.
+    pub fn field_range(&mut self, field: Field, lo: u64, hi: u64) -> Pset {
+        let max = field.max();
+        assert!(lo <= hi && hi <= max, "invalid range {lo}..={hi}");
+        let mut children = Vec::new();
+        if lo > 0 {
+            children.push((lo - 1, EMPTY));
+        }
+        children.push((hi, FULL));
+        if hi < max {
+            children.push((max, EMPTY));
+        }
+        self.mk(field as u8, children)
+    }
+
+    /// Set of packets whose destination lies in the prefix.
+    pub fn dst_prefix(&mut self, p: Ipv4Prefix) -> Pset {
+        self.field_range(Field::DstIp, p.first() as u64, p.last() as u64)
+    }
+
+    /// Set of packets whose source lies in the prefix.
+    pub fn src_prefix(&mut self, p: Ipv4Prefix) -> Pset {
+        self.field_range(Field::SrcIp, p.first() as u64, p.last() as u64)
+    }
+
+    /// Set described by an ACL match (conjunction of field constraints).
+    pub fn flow_match(&mut self, m: &FlowMatch) -> Pset {
+        let mut acc = FULL;
+        if let Some(p) = m.dst {
+            let s = self.dst_prefix(p);
+            acc = self.intersect(acc, s);
+        }
+        if let Some(p) = m.src {
+            let s = self.src_prefix(p);
+            acc = self.intersect(acc, s);
+        }
+        if let Some(pr) = m.proto {
+            let s = self.field_range(Field::Proto, pr as u64, pr as u64);
+            acc = self.intersect(acc, s);
+        }
+        if let Some(PortRange { lo, hi }) = m.src_ports {
+            let s = self.field_range(Field::SrcPort, lo as u64, hi as u64);
+            acc = self.intersect(acc, s);
+        }
+        if let Some(PortRange { lo, hi }) = m.dst_ports {
+            let s = self.field_range(Field::DstPort, lo as u64, hi as u64);
+            acc = self.intersect(acc, s);
+        }
+        acc
+    }
+
+    fn apply(&mut self, op: Op, a: Pset, b: Pset) -> Pset {
+        match (op, a, b) {
+            (Op::Union, FULL, _) | (Op::Union, _, FULL) => return FULL,
+            (Op::Union, EMPTY, x) | (Op::Union, x, EMPTY) => return x,
+            (Op::Intersect, EMPTY, _) | (Op::Intersect, _, EMPTY) => return EMPTY,
+            (Op::Intersect, FULL, x) | (Op::Intersect, x, FULL) => return x,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let key = (op, a.min(b), a.max(b));
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let (fa, fb) = (self.node(a).field, self.node(b).field);
+        let field = fa.min(fb);
+        // Children of each side over `field`; a side testing a later field
+        // is constant over this one.
+        let ca: Vec<(u64, Pset)> = if fa == field {
+            self.node(a).children.clone()
+        } else {
+            vec![(FIELDS[field as usize].max(), a)]
+        };
+        let cb: Vec<(u64, Pset)> = if fb == field {
+            self.node(b).children.clone()
+        } else {
+            vec![(FIELDS[field as usize].max(), b)]
+        };
+        // Merge the two interval partitions.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let (ua, pa) = ca[i];
+            let (ub, pb) = cb[j];
+            let upper = ua.min(ub);
+            let child = self.apply(op, pa, pb);
+            out.push((upper, child));
+            if upper == FIELDS[field as usize].max() {
+                break;
+            }
+            if ua == upper {
+                i += 1;
+            }
+            if ub == upper {
+                j += 1;
+            }
+        }
+        let r = self.mk(field, out);
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// Set union.
+    pub fn union(&mut self, a: Pset, b: Pset) -> Pset {
+        self.apply(Op::Union, a, b)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&mut self, a: Pset, b: Pset) -> Pset {
+        self.apply(Op::Intersect, a, b)
+    }
+
+    /// Set complement.
+    pub fn complement(&mut self, a: Pset) -> Pset {
+        match a {
+            EMPTY => return FULL,
+            FULL => return EMPTY,
+            _ => {}
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return r;
+        }
+        let node = self.node(a).clone();
+        let children: Vec<(u64, Pset)> = node
+            .children
+            .iter()
+            .map(|&(u, c)| (u, self.complement(c)))
+            .collect();
+        let r = self.mk(node.field, children);
+        self.not_cache.insert(a, r);
+        self.not_cache.insert(r, a);
+        r
+    }
+
+    /// Set difference `a ∖ b`.
+    pub fn subtract(&mut self, a: Pset, b: Pset) -> Pset {
+        let nb = self.complement(b);
+        self.intersect(a, nb)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self, a: Pset) -> bool {
+        a == EMPTY
+    }
+
+    /// Whether `a ⊆ b`.
+    pub fn is_subset(&mut self, a: Pset, b: Pset) -> bool {
+        self.intersect(a, b) == a
+    }
+
+    /// Membership test for a concrete flow.
+    pub fn contains(&self, a: Pset, flow: &Flow) -> bool {
+        let mut cur = a;
+        while !Self::is_terminal(cur) {
+            let node = self.node(cur);
+            let v = FIELDS[node.field as usize].of_flow(flow);
+            let idx = node.children.partition_point(|&(u, _)| u < v);
+            cur = node.children[idx].1;
+        }
+        cur == FULL
+    }
+
+    /// Produces one concrete flow inside the set, or `None` if empty.
+    /// Unconstrained fields default to "typical" values (TCP, port 80,
+    /// source port 40000) when those lie inside the set.
+    pub fn sample(&self, a: Pset) -> Option<Flow> {
+        if a == EMPTY {
+            return None;
+        }
+        let defaults: [u64; 5] = [0, 0, 6, 40000, 80];
+        let mut values = defaults;
+        let mut cur = a;
+        while !Self::is_terminal(cur) {
+            let node = self.node(cur);
+            let fidx = node.field as usize;
+            // Prefer the child containing the default value; otherwise the
+            // first nonempty child.
+            let didx = node
+                .children
+                .partition_point(|&(u, _)| u < defaults[fidx]);
+            let pick = if node.children[didx].1 != EMPTY {
+                didx
+            } else {
+                node.children.iter().position(|&(_, c)| c != EMPTY)?
+            };
+            let (upper, child) = node.children[pick];
+            let lower = if pick == 0 {
+                0
+            } else {
+                node.children[pick - 1].0 + 1
+            };
+            values[fidx] = if (lower..=upper).contains(&defaults[fidx]) {
+                defaults[fidx]
+            } else {
+                lower
+            };
+            cur = child;
+        }
+        debug_assert_eq!(cur, FULL);
+        Some(Flow {
+            dst: net_model::Ipv4Addr(values[0] as u32),
+            src: net_model::Ipv4Addr(values[1] as u32),
+            proto: values[2] as u8,
+            src_port: values[3] as u16,
+            dst_port: values[4] as u16,
+        })
+    }
+
+    /// Renders the set as a list of human-readable per-field constraints
+    /// (one line per cube; truncated to `limit` cubes).
+    pub fn describe(&self, a: Pset, limit: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(Pset, Vec<(u8, u64, u64)>)> = vec![(a, Vec::new())];
+        while let Some((cur, constraints)) = stack.pop() {
+            if out.len() >= limit {
+                out.push("…".to_string());
+                break;
+            }
+            match cur {
+                EMPTY => continue,
+                FULL => {
+                    let mut parts: Vec<String> = Vec::new();
+                    for &(f, lo, hi) in &constraints {
+                        let field = FIELDS[f as usize];
+                        if lo == 0 && hi == field.max() {
+                            continue;
+                        }
+                        let label = match field {
+                            Field::DstIp => "dst",
+                            Field::SrcIp => "src",
+                            Field::Proto => "proto",
+                            Field::SrcPort => "sport",
+                            Field::DstPort => "dport",
+                        };
+                        let render = |v: u64| match field {
+                            Field::DstIp | Field::SrcIp => {
+                                net_model::Ipv4Addr(v as u32).to_string()
+                            }
+                            _ => v.to_string(),
+                        };
+                        if lo == hi {
+                            parts.push(format!("{label}={}", render(lo)));
+                        } else {
+                            parts.push(format!("{label}={}..{}", render(lo), render(hi)));
+                        }
+                    }
+                    if parts.is_empty() {
+                        parts.push("any".to_string());
+                    }
+                    out.push(parts.join(" "));
+                }
+                _ => {
+                    let node = self.node(cur).clone();
+                    let mut lower = 0u64;
+                    for (upper, child) in node.children {
+                        let mut c = constraints.clone();
+                        c.push((node.field, lower, upper));
+                        stack.push((child, c));
+                        lower = upper + 1;
+                    }
+                }
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{ip, pfx};
+
+    #[test]
+    fn terminals_and_canonical_equality() {
+        let mut a = PsetArena::new();
+        let p1 = a.dst_prefix(pfx("10.0.0.0/8"));
+        let p2 = a.dst_prefix(pfx("10.0.0.0/8"));
+        assert_eq!(p1, p2, "hash-consing gives identical handles");
+        let np1 = a.complement(p1);
+        assert_eq!(a.union(p1, np1), FULL);
+        let none = a.subtract(p1, p1);
+        assert_eq!(none, EMPTY);
+    }
+
+    #[test]
+    fn containment_follows_prefixes() {
+        let mut a = PsetArena::new();
+        let p = a.dst_prefix(pfx("10.1.0.0/16"));
+        assert!(a.contains(p, &Flow::tcp_to(ip("10.1.2.3"), 80)));
+        assert!(!a.contains(p, &Flow::tcp_to(ip("10.2.0.0"), 80)));
+        let sub = a.dst_prefix(pfx("10.1.4.0/24"));
+        assert!(a.is_subset(sub, p));
+        assert!(!a.is_subset(p, sub));
+    }
+
+    #[test]
+    fn algebra_laws_hold() {
+        let mut a = PsetArena::new();
+        let x = a.dst_prefix(pfx("10.0.0.0/8"));
+        let y = a.src_prefix(pfx("192.168.0.0/16"));
+        let z = a.field_range(Field::Proto, 6, 6);
+        // De Morgan.
+        let lhs = {
+            let u = a.union(x, y);
+            a.complement(u)
+        };
+        let rhs = {
+            let (nx, ny) = (a.complement(x), a.complement(y));
+            a.intersect(nx, ny)
+        };
+        assert_eq!(lhs, rhs);
+        // Distributivity.
+        let lhs = {
+            let u = a.union(y, z);
+            a.intersect(x, u)
+        };
+        let rhs = {
+            let xy = a.intersect(x, y);
+            let xz = a.intersect(x, z);
+            a.union(xy, xz)
+        };
+        assert_eq!(lhs, rhs);
+        // Absorption and idempotence.
+        let xy = a.intersect(x, y);
+        assert_eq!(a.union(x, xy), x);
+        assert_eq!(a.union(x, x), x);
+        assert_eq!(a.intersect(x, x), x);
+        // Double complement.
+        let nn = {
+            let n = a.complement(x);
+            a.complement(n)
+        };
+        assert_eq!(nn, x);
+    }
+
+    #[test]
+    fn multi_field_flow_match() {
+        let mut a = PsetArena::new();
+        let m = FlowMatch {
+            src: Some(pfx("192.168.0.0/16")),
+            dst: Some(pfx("10.0.0.0/8")),
+            proto: Some(6),
+            src_ports: None,
+            dst_ports: Some(PortRange { lo: 80, hi: 443 }),
+        };
+        let s = a.flow_match(&m);
+        let mut inside = Flow::tcp_to(ip("10.1.1.1"), 100);
+        inside.src = ip("192.168.5.5");
+        assert!(a.contains(s, &inside));
+        let mut wrong_port = inside;
+        wrong_port.dst_port = 8080;
+        assert!(!a.contains(s, &wrong_port));
+        let mut wrong_proto = inside;
+        wrong_proto.proto = 17;
+        assert!(!a.contains(s, &wrong_proto));
+    }
+
+    #[test]
+    fn sample_picks_member() {
+        let mut a = PsetArena::new();
+        let m = FlowMatch {
+            dst: Some(pfx("10.9.0.0/16")),
+            proto: Some(17),
+            ..FlowMatch::any()
+        };
+        let s = a.flow_match(&m);
+        let f = a.sample(s).unwrap();
+        assert!(a.contains(s, &f));
+        assert_eq!(f.proto, 17);
+        assert!(pfx("10.9.0.0/16").contains(f.dst));
+        assert!(a.sample(EMPTY).is_none());
+    }
+
+    #[test]
+    fn describe_renders_constraints() {
+        let mut a = PsetArena::new();
+        let s = a.dst_prefix(pfx("10.0.0.0/8"));
+        let d = a.describe(s, 5);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("dst=10.0.0.0..10.255.255.255"), "{d:?}");
+        assert_eq!(a.describe(FULL, 5), vec!["any".to_string()]);
+    }
+
+    #[test]
+    fn disjoint_prefixes_partition() {
+        let mut a = PsetArena::new();
+        let (l, r) = pfx("10.0.0.0/8").split().unwrap();
+        let pl = a.dst_prefix(l);
+        let pr = a.dst_prefix(r);
+        let whole = a.dst_prefix(pfx("10.0.0.0/8"));
+        assert_eq!(a.intersect(pl, pr), EMPTY);
+        assert_eq!(a.union(pl, pr), whole);
+    }
+}

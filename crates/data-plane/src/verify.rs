@@ -1,0 +1,539 @@
+//! The data-plane verifier: per-atom forwarding resolution and network-wide
+//! reachability, maintained incrementally under FIB and ACL-filter deltas.
+//!
+//! For every atom (packet equivalence class) the verifier knows, for every
+//! source device, the set of possible [`Outcome`]s (delivery, external
+//! exit, blackhole, ACL filtering, forwarding loop — sets because ECMP can
+//! take different paths). An update dirties only the atoms whose behavior
+//! could change: the atoms covered by the touched prefix or filter, plus
+//! structural splits, whose untouched halves inherit their parent's results
+//! — this is the differential data-plane half of the paper's pipeline.
+
+use crate::atoms::{AtomChange, AtomId, AtomRegistry, PredId};
+use crate::pset::{Pset, EMPTY, FULL};
+use control_plane::{FibAction, FibEntry, NextDevice};
+use net_model::{Acl, Flow, Ipv4Prefix, Snapshot};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Final fate of a packet class injected at some source device.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Outcome {
+    /// Delivered into a connected subnet of this device.
+    Delivered(String),
+    /// Left the modeled network at this device (external peer / host next
+    /// hop).
+    External(String),
+    /// Dropped at this device: null route or no matching route.
+    Blackhole(String),
+    /// Dropped by an ACL when crossing this device boundary.
+    Filtered(String),
+    /// Caught in a forwarding loop.
+    Loop,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Delivered(d) => write!(f, "delivered@{d}"),
+            Outcome::External(d) => write!(f, "external@{d}"),
+            Outcome::Blackhole(d) => write!(f, "blackhole@{d}"),
+            Outcome::Filtered(d) => write!(f, "filtered@{d}"),
+            Outcome::Loop => write!(f, "loop"),
+        }
+    }
+}
+
+/// Direction of an interface ACL.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dir {
+    /// Applied to packets entering the device on the interface.
+    In,
+    /// Applied to packets leaving the device on the interface.
+    Out,
+}
+
+/// One filter (re)binding: the resolved ACL contents for an interface
+/// direction (`None` clears the filter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterChange {
+    /// Device owning the interface.
+    pub device: String,
+    /// Interface name.
+    pub iface: String,
+    /// Direction.
+    pub dir: Dir,
+    /// New ACL contents (already resolved by name), or `None` to unbind.
+    pub acl: Option<Acl>,
+}
+
+/// A batch of data-plane updates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DpUpdate {
+    /// FIB entry insertions (+1) and removals (-1).
+    pub fib: Vec<(FibEntry, isize)>,
+    /// ACL filter rebindings.
+    pub filters: Vec<FilterChange>,
+}
+
+/// One reachability change: for packets in `atom` injected at `src`, the
+/// outcome set changed from `before` to `after`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachDelta {
+    /// Affected packet class.
+    pub atom: AtomId,
+    /// Source device.
+    pub src: String,
+    /// Outcomes before the update (empty set = device didn't exist).
+    pub before: BTreeSet<Outcome>,
+    /// Outcomes after the update.
+    pub after: BTreeSet<Outcome>,
+}
+
+/// Per-device FIB state for one prefix.
+struct PrefixEntry {
+    pred: PredId,
+    /// Actions with multiplicities (ECMP entries are distinct actions).
+    actions: BTreeMap<FibAction, isize>,
+}
+
+type ReachMap = BTreeMap<String, BTreeSet<Outcome>>;
+
+/// The incremental data-plane verifier. See the module docs.
+pub struct DataPlane {
+    reg: AtomRegistry,
+    devices: Vec<String>,
+    /// `(device, iface) -> (peer device, peer iface)` over physical links.
+    link_map: HashMap<(String, String), (String, String)>,
+    /// Per-device FIB: prefix -> actions, with the prefix predicate.
+    fibs: BTreeMap<String, BTreeMap<Ipv4Prefix, PrefixEntry>>,
+    /// Compiled interface filters.
+    filters: HashMap<(String, String, Dir), PredId>,
+    /// Reachability per atom: source device -> outcomes.
+    reach: HashMap<AtomId, ReachMap>,
+}
+
+/// Compiles an ACL to its permitted packet set (first-match, implicit
+/// deny).
+pub fn compile_acl(arena: &mut crate::pset::PsetArena, acl: &Acl) -> Pset {
+    let mut allowed = EMPTY;
+    let mut remaining = FULL;
+    for e in &acl.entries {
+        let m = arena.flow_match(&e.matches);
+        let hit = arena.intersect(m, remaining);
+        if e.action == net_model::Action::Permit {
+            allowed = arena.union(allowed, hit);
+        }
+        remaining = arena.subtract(remaining, hit);
+        if remaining == EMPTY {
+            break;
+        }
+    }
+    allowed
+}
+
+impl DataPlane {
+    /// Creates a verifier for the given topology shell: device set, link
+    /// map and initial ACL bindings come from the snapshot; the FIB starts
+    /// empty and is loaded via [`DataPlane::apply`].
+    pub fn new(snapshot: &Snapshot) -> Self {
+        let devices: Vec<String> = snapshot.devices.keys().cloned().collect();
+        let mut link_map = HashMap::new();
+        for l in &snapshot.links {
+            link_map.insert(
+                (l.a.device.clone(), l.a.iface.clone()),
+                (l.b.device.clone(), l.b.iface.clone()),
+            );
+            link_map.insert(
+                (l.b.device.clone(), l.b.iface.clone()),
+                (l.a.device.clone(), l.a.iface.clone()),
+            );
+        }
+        let mut dp = DataPlane {
+            reg: AtomRegistry::new(),
+            devices,
+            link_map,
+            fibs: BTreeMap::new(),
+            filters: HashMap::new(),
+            reach: HashMap::new(),
+        };
+        // Initial reachability: single full atom, no routes anywhere.
+        let initial: Vec<AtomId> = dp.reg.atom_ids().collect();
+        for atom in initial {
+            let map = dp.compute_reach(atom);
+            dp.reach.insert(atom, map);
+        }
+        // Initial ACL bindings.
+        let mut update = DpUpdate::default();
+        for (dev, dc) in &snapshot.devices {
+            for (ifname, ic) in &dc.interfaces {
+                for (dir, name) in [(Dir::In, &ic.acl_in), (Dir::Out, &ic.acl_out)] {
+                    if let Some(name) = name {
+                        let acl = dc.acls.get(name).cloned().unwrap_or_default();
+                        update.filters.push(FilterChange {
+                            device: dev.clone(),
+                            iface: ifname.clone(),
+                            dir,
+                            acl: Some(acl),
+                        });
+                    }
+                }
+            }
+        }
+        dp.apply(&update);
+        dp
+    }
+
+    /// Number of live packet equivalence classes.
+    pub fn atom_count(&self) -> usize {
+        self.reg.atom_count()
+    }
+
+    /// Number of registered predicates.
+    pub fn pred_count(&self) -> usize {
+        self.reg.pred_count()
+    }
+
+    /// Interior decision-diagram nodes allocated (memory proxy).
+    pub fn pset_nodes(&self) -> usize {
+        self.reg.arena.node_count()
+    }
+
+    /// Human-readable description of an atom's header space.
+    pub fn describe_atom(&self, atom: AtomId, limit: usize) -> Vec<String> {
+        let p = self.reg.atom_pset(atom);
+        self.reg.arena.describe(p, limit)
+    }
+
+    /// A concrete example packet of the atom.
+    pub fn sample_atom(&self, atom: AtomId) -> Option<Flow> {
+        self.reg.arena.sample(self.reg.atom_pset(atom))
+    }
+
+    /// Outcomes for packets of `flow` injected at `src`.
+    pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
+        let atom = self.reg.atom_of_flow(flow);
+        self.reach[&atom]
+            .get(src)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All live atoms.
+    pub fn atoms(&self) -> Vec<AtomId> {
+        self.reg.atom_ids().collect()
+    }
+
+    /// Outcomes for an atom injected at `src`.
+    pub fn outcomes(&self, src: &str, atom: AtomId) -> BTreeSet<Outcome> {
+        self.reach[&atom].get(src).cloned().unwrap_or_default()
+    }
+
+    /// Applies a batch of updates, returning the exact reachability changes.
+    pub fn apply(&mut self, update: &DpUpdate) -> Vec<ReachDelta> {
+        let mut dirty: BTreeSet<AtomId> = BTreeSet::new();
+        // ---- FIB deltas ----
+        for (entry, diff) in &update.fib {
+            if *diff == 0 {
+                continue;
+            }
+            let pset = self.reg.arena.dst_prefix(entry.prefix);
+            let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
+            if *diff > 0 {
+                let pred = match dev_fib.get(&entry.prefix) {
+                    Some(pe) => pe.pred,
+                    None => {
+                        let (pred, changes) = self.reg.acquire(pset);
+                        self.migrate(&changes, &mut dirty);
+                        pred
+                    }
+                };
+                // Re-borrow after possible registry mutation.
+                let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
+                let pe = dev_fib.entry(entry.prefix).or_insert(PrefixEntry {
+                    pred,
+                    actions: BTreeMap::new(),
+                });
+                *pe.actions.entry(entry.action.clone()).or_insert(0) += diff;
+                dirty.extend(self.reg.atoms_of(pred));
+            } else {
+                let Some(pe) = dev_fib.get_mut(&entry.prefix) else {
+                    continue; // removing a nonexistent entry: no-op
+                };
+                let pred = pe.pred;
+                let count = pe.actions.entry(entry.action.clone()).or_insert(0);
+                *count += diff;
+                if *count <= 0 {
+                    pe.actions.remove(&entry.action);
+                }
+                dirty.extend(self.reg.atoms_of(pred));
+                if pe.actions.is_empty() {
+                    dev_fib.remove(&entry.prefix);
+                    let changes = self.reg.release(pred);
+                    self.migrate(&changes, &mut dirty);
+                }
+            }
+        }
+        // ---- Filter changes ----
+        for fc in &update.filters {
+            let key = (fc.device.clone(), fc.iface.clone(), fc.dir);
+            let old = self.filters.get(&key).copied();
+            // Register the new filter first so splits settle before we
+            // compare memberships.
+            let new = match &fc.acl {
+                Some(acl) => {
+                    let pset = compile_acl(&mut self.reg.arena, acl);
+                    let (pred, changes) = self.reg.acquire(pset);
+                    self.migrate(&changes, &mut dirty);
+                    Some(pred)
+                }
+                None => None,
+            };
+            // Exactly the atoms whose pass/block flips change behavior:
+            // symmetric difference of old and new memberships (an absent
+            // filter behaves as "all atoms pass").
+            let all: BTreeSet<AtomId> = self.reg.atom_ids().collect();
+            let old_members: BTreeSet<AtomId> = match old {
+                Some(p) => self.reg.atoms_of(p).collect(),
+                None => all.clone(),
+            };
+            let new_members: BTreeSet<AtomId> = match new {
+                Some(p) => self.reg.atoms_of(p).collect(),
+                None => all.clone(),
+            };
+            dirty.extend(old_members.symmetric_difference(&new_members).copied());
+            match new {
+                Some(p) => {
+                    self.filters.insert(key.clone(), p);
+                }
+                None => {
+                    self.filters.remove(&key);
+                }
+            }
+            if let Some(oldp) = old {
+                let changes = self.reg.release(oldp);
+                self.migrate(&changes, &mut dirty);
+            }
+        }
+        // Drop retired atoms that remained in the dirty set.
+        let live: BTreeSet<AtomId> = self.reg.atom_ids().collect();
+        dirty.retain(|a| live.contains(a));
+        // ---- Recompute dirty atoms and diff ----
+        let mut deltas = Vec::new();
+        for atom in dirty {
+            let after = self.compute_reach(atom);
+            let before = self.reach.insert(atom, after.clone()).unwrap_or_default();
+            for dev in &self.devices {
+                let b = before.get(dev).cloned().unwrap_or_default();
+                let a = after.get(dev).cloned().unwrap_or_default();
+                if b != a {
+                    deltas.push(ReachDelta {
+                        atom,
+                        src: dev.clone(),
+                        before: b,
+                        after: a,
+                    });
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Migrates per-atom reachability across structural atom changes:
+    /// children inherit their parent's results; merges keep one copy.
+    fn migrate(&mut self, changes: &[AtomChange], dirty: &mut BTreeSet<AtomId>) {
+        for ch in changes {
+            match ch {
+                AtomChange::Split {
+                    parent,
+                    inside,
+                    outside,
+                } => {
+                    let map = self.reach.remove(parent).unwrap_or_default();
+                    self.reach.insert(*inside, map.clone());
+                    self.reach.insert(*outside, map);
+                    if dirty.remove(parent) {
+                        dirty.insert(*inside);
+                        dirty.insert(*outside);
+                    }
+                }
+                AtomChange::Merged { a, b, into } => {
+                    let ma = self.reach.remove(a).unwrap_or_default();
+                    let mb = self.reach.remove(b).unwrap_or_default();
+                    // Merged atoms were behaviorally identical; if either
+                    // was dirty the merged atom must be recomputed.
+                    debug_assert!(ma == mb || dirty.contains(a) || dirty.contains(b));
+                    self.reach.insert(*into, ma);
+                    if dirty.remove(a) | dirty.remove(b) {
+                        dirty.insert(*into);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Longest-prefix-match resolution of an atom at a device.
+    fn actions_for(&self, device: &str, atom: AtomId) -> Option<&BTreeMap<FibAction, isize>> {
+        let fib = self.fibs.get(device)?;
+        // Prefixes sorted ascending; scan from most specific.
+        let mut best: Option<(&Ipv4Prefix, &PrefixEntry)> = None;
+        for (p, pe) in fib.iter() {
+            if !self.reg.atom_in(atom, pe.pred) {
+                continue;
+            }
+            match best {
+                Some((bp, _)) if bp.len() >= p.len() => {}
+                _ => best = Some((p, pe)),
+            }
+        }
+        best.map(|(_, pe)| &pe.actions)
+    }
+
+    fn passes(&self, device: &str, iface: &str, dir: Dir, atom: AtomId) -> bool {
+        match self
+            .filters
+            .get(&(device.to_string(), iface.to_string(), dir))
+        {
+            None => true,
+            Some(pred) => self.reg.atom_in(atom, *pred),
+        }
+    }
+
+    /// Full reachability map of one atom (all sources).
+    ///
+    /// Memoized DFS with loop detection. Results computed while a cycle
+    /// ancestor was on the stack are *tainted* (they'd miss the ancestor's
+    /// other branches) and are not memoized — only complete, source-
+    /// independent results enter the memo, keeping the memo sound.
+    fn compute_reach(&self, atom: AtomId) -> ReachMap {
+        let mut on_stack: BTreeSet<String> = BTreeSet::new();
+        let mut memo: HashMap<String, BTreeSet<Outcome>> = HashMap::new();
+        let devices = self.devices.clone();
+        let mut map = ReachMap::new();
+        for dev in &devices {
+            let (out, _tainted) = self.visit(atom, dev, &mut on_stack, &mut memo, 0);
+            map.insert(dev.clone(), out);
+        }
+        map
+    }
+
+    /// One DFS step of [`DataPlane::compute_reach`]; returns the outcome
+    /// set and whether it depended on a device still on the DFS stack.
+    fn visit(
+        &self,
+        atom: AtomId,
+        dev: &str,
+        on_stack: &mut BTreeSet<String>,
+        memo: &mut HashMap<String, BTreeSet<Outcome>>,
+        depth: usize,
+    ) -> (BTreeSet<Outcome>, bool) {
+        if let Some(out) = memo.get(dev) {
+            return (out.clone(), false);
+        }
+        if on_stack.contains(dev) {
+            let mut s = BTreeSet::new();
+            s.insert(Outcome::Loop);
+            return (s, true);
+        }
+        debug_assert!(depth <= self.devices.len(), "path longer than device count");
+        on_stack.insert(dev.to_string());
+        let mut out = BTreeSet::new();
+        let mut tainted = false;
+        match self.actions_for(dev, atom) {
+            None => {
+                out.insert(Outcome::Blackhole(dev.to_string()));
+            }
+            Some(actions) if actions.is_empty() => {
+                out.insert(Outcome::Blackhole(dev.to_string()));
+            }
+            Some(actions) => {
+                for action in actions.keys().cloned().collect::<Vec<_>>() {
+                    match &action {
+                        FibAction::Drop => {
+                            out.insert(Outcome::Blackhole(dev.to_string()));
+                        }
+                        FibAction::Deliver { iface } => {
+                            if self.passes(dev, iface, Dir::Out, atom) {
+                                out.insert(Outcome::Delivered(dev.to_string()));
+                            } else {
+                                out.insert(Outcome::Filtered(dev.to_string()));
+                            }
+                        }
+                        FibAction::Forward { iface, next } => {
+                            if !self.passes(dev, iface, Dir::Out, atom) {
+                                out.insert(Outcome::Filtered(dev.to_string()));
+                                continue;
+                            }
+                            match next {
+                                NextDevice::External => {
+                                    out.insert(Outcome::External(dev.to_string()));
+                                }
+                                NextDevice::Device(b) => {
+                                    match self
+                                        .link_map
+                                        .get(&(dev.to_string(), iface.clone()))
+                                    {
+                                        Some((peer, peer_if)) => {
+                                            debug_assert_eq!(peer, b);
+                                            if !self.passes(peer, peer_if, Dir::In, atom)
+                                            {
+                                                out.insert(Outcome::Filtered(
+                                                    b.clone(),
+                                                ));
+                                            } else {
+                                                let (sub, t) = self.visit(
+                                                    atom,
+                                                    b,
+                                                    on_stack,
+                                                    memo,
+                                                    depth + 1,
+                                                );
+                                                tainted |= t;
+                                                out.extend(sub);
+                                            }
+                                        }
+                                        // FIB points over an unknown link:
+                                        // treat as blackhole.
+                                        None => {
+                                            out.insert(Outcome::Blackhole(
+                                                dev.to_string(),
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        on_stack.remove(dev);
+        if !tainted {
+            memo.insert(dev.to_string(), out.clone());
+        }
+        (out, tainted)
+    }
+
+    /// Semantic snapshot of all reachability state: `(atom, src) ->
+    /// outcomes`. Used by tests to compare incremental maintenance against
+    /// from-scratch recomputation.
+    pub fn fingerprint(&self) -> BTreeMap<(AtomId, String), BTreeSet<Outcome>> {
+        let mut out = BTreeMap::new();
+        for (atom, map) in &self.reach {
+            for (src, outcomes) in map {
+                out.insert((*atom, src.clone()), outcomes.clone());
+            }
+        }
+        out
+    }
+
+    /// From-scratch recomputation of every atom's reachability — the
+    /// baseline the incremental path is benchmarked against, and the test
+    /// oracle for incremental maintenance.
+    pub fn recompute_all(&mut self) {
+        let atoms: Vec<AtomId> = self.reg.atom_ids().collect();
+        for atom in atoms {
+            let map = self.compute_reach(atom);
+            self.reach.insert(atom, map);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Property tests for the data-plane layer.
+//!
+//! 1. Packet-set algebra: arbitrary expressions over random field
+//!    constraints must agree with direct boolean evaluation on random
+//!    concrete flows (a model-based check of the decision-diagram code).
+//! 2. Incremental verification: random FIB/filter churn must leave the
+//!    verifier in exactly the state a full recomputation produces.
+
+use data_plane::{compile_acl, DataPlane, DpUpdate, PsetArena, FULL};
+use net_model::acl::{Acl, AclEntry, Action, FlowMatch, PortRange};
+use net_model::{Flow, Ipv4Addr, Ipv4Prefix, NetBuilder, Snapshot};
+use proptest::prelude::*;
+
+/// A random single-field constraint, kept on tiny domains so collisions
+/// and adjacencies are common.
+#[derive(Debug, Clone)]
+enum Constraint {
+    Dst(Ipv4Prefix),
+    Src(Ipv4Prefix),
+    Proto(u8),
+    DstPort(u16, u16),
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0u32..4, 22u8..28).prop_map(|(n, len)| {
+            Constraint::Dst(Ipv4Prefix::new(Ipv4Addr(0x0a000000 + (n << 8)), len))
+        }),
+        (0u32..4, 22u8..28).prop_map(|(n, len)| {
+            Constraint::Src(Ipv4Prefix::new(Ipv4Addr(0xc0a80000 + (n << 8)), len))
+        }),
+        prop_oneof![Just(6u8), Just(17u8)].prop_map(Constraint::Proto),
+        (0u16..4, 0u16..4).prop_map(|(a, b)| {
+            Constraint::DstPort(80 + a.min(b), 80 + a.max(b))
+        }),
+    ]
+}
+
+/// Expression tree over constraints.
+#[derive(Debug, Clone)]
+enum Expr {
+    Leaf(Constraint),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = constraint().prop_map(Expr::Leaf);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_constraint(c: &Constraint, f: &Flow) -> bool {
+    match c {
+        Constraint::Dst(p) => p.contains(f.dst),
+        Constraint::Src(p) => p.contains(f.src),
+        Constraint::Proto(pr) => *pr == f.proto,
+        Constraint::DstPort(lo, hi) => (*lo..=*hi).contains(&f.dst_port),
+    }
+}
+
+fn eval_expr(e: &Expr, f: &Flow) -> bool {
+    match e {
+        Expr::Leaf(c) => eval_constraint(c, f),
+        Expr::Not(a) => !eval_expr(a, f),
+        Expr::And(a, b) => eval_expr(a, f) && eval_expr(b, f),
+        Expr::Or(a, b) => eval_expr(a, f) || eval_expr(b, f),
+    }
+}
+
+fn build_pset(arena: &mut PsetArena, e: &Expr) -> data_plane::Pset {
+    match e {
+        Expr::Leaf(c) => {
+            let m = match c {
+                Constraint::Dst(p) => FlowMatch::dst(*p),
+                Constraint::Src(p) => FlowMatch::src(*p),
+                Constraint::Proto(pr) => FlowMatch {
+                    proto: Some(*pr),
+                    ..FlowMatch::any()
+                },
+                Constraint::DstPort(lo, hi) => FlowMatch {
+                    dst_ports: Some(PortRange { lo: *lo, hi: *hi }),
+                    ..FlowMatch::any()
+                },
+            };
+            arena.flow_match(&m)
+        }
+        Expr::Not(a) => {
+            let pa = build_pset(arena, a);
+            arena.complement(pa)
+        }
+        Expr::And(a, b) => {
+            let (pa, pb) = (build_pset(arena, a), build_pset(arena, b));
+            arena.intersect(pa, pb)
+        }
+        Expr::Or(a, b) => {
+            let (pa, pb) = (build_pset(arena, a), build_pset(arena, b));
+            arena.union(pa, pb)
+        }
+    }
+}
+
+fn flow() -> impl Strategy<Value = Flow> {
+    (
+        0u32..6,
+        0u32..6,
+        prop_oneof![Just(6u8), Just(17u8), Just(1u8)],
+        78u16..86,
+    )
+        .prop_map(|(d, s, proto, port)| Flow {
+            dst: Ipv4Addr(0x0a000000 + (d << 8) + 1),
+            src: Ipv4Addr(0xc0a80000 + (s << 8) + 1),
+            proto,
+            src_port: 40000,
+            dst_port: port,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pset_expressions_agree_with_boolean_model(
+        e in expr(),
+        flows in prop::collection::vec(flow(), 16)
+    ) {
+        let mut arena = PsetArena::new();
+        let p = build_pset(&mut arena, &e);
+        for f in &flows {
+            prop_assert_eq!(
+                arena.contains(p, f),
+                eval_expr(&e, f),
+                "disagreement on {:?}",
+                f
+            );
+        }
+        // Canonical-form sanity: x ∪ ¬x = FULL, x ∩ ¬x = EMPTY.
+        let np = arena.complement(p);
+        prop_assert_eq!(arena.union(p, np), FULL);
+        prop_assert_eq!(arena.intersect(p, np), data_plane::EMPTY);
+    }
+
+    #[test]
+    fn acl_compilation_matches_first_match_semantics(
+        entries in prop::collection::vec(
+            (constraint(), any::<bool>()),
+            1..6
+        ),
+        flows in prop::collection::vec(flow(), 16)
+    ) {
+        let mut acl = Acl::default();
+        for (i, (c, permit)) in entries.iter().enumerate() {
+            let m = match c {
+                Constraint::Dst(p) => FlowMatch::dst(*p),
+                Constraint::Src(p) => FlowMatch::src(*p),
+                Constraint::Proto(pr) => FlowMatch { proto: Some(*pr), ..FlowMatch::any() },
+                Constraint::DstPort(lo, hi) => FlowMatch {
+                    dst_ports: Some(PortRange { lo: *lo, hi: *hi }),
+                    ..FlowMatch::any()
+                },
+            };
+            acl.add(AclEntry {
+                seq: (i as u32 + 1) * 10,
+                action: if *permit { Action::Permit } else { Action::Deny },
+                matches: m,
+            });
+        }
+        let mut arena = PsetArena::new();
+        let allowed = compile_acl(&mut arena, &acl);
+        for f in &flows {
+            prop_assert_eq!(
+                arena.contains(allowed, f),
+                acl.permits(f),
+                "ACL compile/interpret disagree on {:?}",
+                f
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental-vs-recompute under random churn.
+
+fn churn_snapshot() -> Snapshot {
+    NetBuilder::new()
+        .router("a")
+        .iface("a", "lan", "172.16.0.1/24")
+        .iface("a", "p1", "10.0.0.1/31")
+        .router("b")
+        .iface("b", "p1", "10.0.0.0/31")
+        .iface("b", "p2", "10.0.1.1/31")
+        .router("c")
+        .iface("c", "p2", "10.0.1.0/31")
+        .iface("c", "lan", "172.16.2.1/24")
+        .link("a", "p1", "b", "p1")
+        .link("b", "p2", "c", "p2")
+        .build()
+}
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Fib {
+        dev: u8,
+        prefix_idx: u8,
+        action_idx: u8,
+        add: bool,
+    },
+    Filter {
+        dev: u8,
+        dir_in: bool,
+        deny_idx: Option<u8>,
+    },
+}
+
+fn churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0u8..3, 0u8..4, 0u8..4, any::<bool>()).prop_map(|(dev, prefix_idx, action_idx, add)| {
+            ChurnOp::Fib {
+                dev,
+                prefix_idx,
+                action_idx,
+                add,
+            }
+        }),
+        (0u8..3, any::<bool>(), prop::option::of(0u8..4)).prop_map(
+            |(dev, dir_in, deny_idx)| ChurnOp::Filter { dev, dir_in, deny_idx }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_verifier_equals_recompute(
+        ops in prop::collection::vec(churn_op(), 1..24)
+    ) {
+        use control_plane::{FibAction, FibEntry, NextDevice};
+        let snap = churn_snapshot();
+        let devs = ["a", "b", "c"];
+        let prefixes = ["172.16.0.0/24", "172.16.2.0/24", "9.9.0.0/16", "0.0.0.0/0"];
+        let mut dp = DataPlane::new(&snap);
+        // Track live entries so removals stay set-like.
+        let mut live: std::collections::BTreeMap<FibEntry, isize> = Default::default();
+        for op in ops {
+            let update = match op {
+                ChurnOp::Fib { dev, prefix_idx, action_idx, add } => {
+                    let device = devs[dev as usize].to_string();
+                    let action = match action_idx {
+                        0 => FibAction::Drop,
+                        1 => FibAction::Deliver { iface: "lan".into() },
+                        2 => FibAction::Forward {
+                            iface: "p1".into(),
+                            next: NextDevice::Device(if device == "a" { "b".into() } else { "a".into() }),
+                        },
+                        _ => FibAction::Forward {
+                            iface: "p2".into(),
+                            next: NextDevice::External,
+                        },
+                    };
+                    let entry = FibEntry {
+                        device,
+                        prefix: prefixes[prefix_idx as usize].parse().unwrap(),
+                        action,
+                    };
+                    let diff = if add {
+                        *live.entry(entry.clone()).or_insert(0) += 1;
+                        1
+                    } else if live.get(&entry).copied().unwrap_or(0) > 0 {
+                        *live.get_mut(&entry).unwrap() -= 1;
+                        -1
+                    } else {
+                        continue;
+                    };
+                    DpUpdate { fib: vec![(entry, diff)], filters: vec![] }
+                }
+                ChurnOp::Filter { dev, dir_in, deny_idx } => {
+                    let acl = deny_idx.map(|i| {
+                        let mut acl = Acl::default();
+                        acl.add(AclEntry {
+                            seq: 10,
+                            action: Action::Deny,
+                            matches: FlowMatch::dst(prefixes[i as usize].parse().unwrap()),
+                        });
+                        acl.add(AclEntry {
+                            seq: 20,
+                            action: Action::Permit,
+                            matches: FlowMatch::any(),
+                        });
+                        acl
+                    });
+                    DpUpdate {
+                        fib: vec![],
+                        filters: vec![data_plane::FilterChange {
+                            device: devs[dev as usize].to_string(),
+                            iface: if dev == 1 { "p1" } else { "lan" }.to_string(),
+                            dir: if dir_in { data_plane::Dir::In } else { data_plane::Dir::Out },
+                            acl,
+                        }],
+                    }
+                }
+            };
+            dp.apply(&update);
+            let incremental = dp.fingerprint();
+            dp.recompute_all();
+            prop_assert_eq!(incremental, dp.fingerprint(), "incremental state diverged");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Ready-made aggregator constructors for [`GraphBuilder::reduce`].
+//!
+//! Each constructor returns a closure suitable for `reduce`: it receives the
+//! group key and the group's sorted distinct payloads with positive
+//! multiplicities, and returns the group's output rows. All aggregators here
+//! emit `(key, aggregate)` rows so downstream operators can keep joining on
+//! the same key.
+//!
+//! [`GraphBuilder::reduce`]: crate::graph::GraphBuilder::reduce
+
+use crate::value::Value;
+use crate::zset::Diff;
+use std::cmp::Ordering;
+
+/// Output rows of a reduce aggregator.
+pub type ReduceOut = Vec<Value>;
+
+/// Emits `(key, min_payload)`.
+pub fn min() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    |key, group| vec![Value::kv(key.clone(), group[0].0.clone())]
+}
+
+/// Emits `(key, max_payload)`.
+pub fn max() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    |key, group| vec![Value::kv(key.clone(), group[group.len() - 1].0.clone())]
+}
+
+/// Emits `(key, count)` where count sums multiplicities.
+pub fn count() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    |key, group| {
+        let total: Diff = group.iter().map(|(_, d)| *d).sum();
+        vec![Value::kv(key.clone(), Value::I64(total as i64))]
+    }
+}
+
+/// Emits `(key, sum)` over `I64` payloads, respecting multiplicities.
+pub fn sum_i64() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    |key, group| {
+        let total: i64 = group
+            .iter()
+            .map(|(v, d)| v.as_i64() * (*d as i64))
+            .sum();
+        vec![Value::kv(key.clone(), Value::I64(total))]
+    }
+}
+
+/// Emits `(key, best_payload)` where "best" minimizes the given comparison.
+/// Ties are broken by payload order, keeping output deterministic — exactly
+/// what protocol decision processes (e.g. BGP) need.
+pub fn best_by(
+    cmp: impl Fn(&Value, &Value) -> Ordering + 'static,
+) -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    move |key, group| {
+        let best = group
+            .iter()
+            .map(|(v, _)| v)
+            .min_by(|a, b| cmp(a, b).then_with(|| a.cmp(b)))
+            .expect("reduce groups are never empty");
+        vec![Value::kv(key.clone(), best.clone())]
+    }
+}
+
+/// Emits `(key, payload)` for every payload that minimizes the comparison —
+/// the multi-winner variant of [`best_by`], e.g. ECMP next-hop sets.
+pub fn all_best_by(
+    cmp: impl Fn(&Value, &Value) -> Ordering + 'static,
+) -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
+    move |key, group| {
+        let best = group
+            .iter()
+            .map(|(v, _)| v)
+            .min_by(|a, b| cmp(a, b).then_with(|| a.cmp(b)))
+            .expect("reduce groups are never empty");
+        group
+            .iter()
+            .filter(|(v, _)| cmp(v, best) == Ordering::Equal)
+            .map(|(v, _)| Value::kv(key.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(vals: &[(i64, Diff)]) -> Vec<(Value, Diff)> {
+        vals.iter().map(|&(v, d)| (Value::I64(v), d)).collect()
+    }
+
+    #[test]
+    fn min_max_pick_extremes() {
+        let g = group(&[(2, 1), (5, 3), (9, 1)]);
+        let k = Value::U32(1);
+        assert_eq!(min()(&k, &g), vec![Value::kv(k.clone(), Value::I64(2))]);
+        assert_eq!(max()(&k, &g), vec![Value::kv(k.clone(), Value::I64(9))]);
+    }
+
+    #[test]
+    fn count_sums_multiplicities() {
+        let g = group(&[(2, 2), (5, 3)]);
+        let k = Value::U32(1);
+        assert_eq!(count()(&k, &g), vec![Value::kv(k.clone(), Value::I64(5))]);
+    }
+
+    #[test]
+    fn sum_respects_multiplicities() {
+        let g = group(&[(2, 2), (5, 3)]);
+        let k = Value::U32(1);
+        assert_eq!(
+            sum_i64()(&k, &g),
+            vec![Value::kv(k.clone(), Value::I64(19))]
+        );
+    }
+
+    #[test]
+    fn best_by_custom_order_with_deterministic_ties() {
+        // Prefer larger values; tie on |v| broken by natural order.
+        let g = group(&[(-7, 1), (3, 1), (7, 1)]);
+        let k = Value::U32(1);
+        let f = best_by(|a, b| b.as_i64().abs().cmp(&a.as_i64().abs()));
+        assert_eq!(f(&k, &g), vec![Value::kv(k.clone(), Value::I64(-7))]);
+    }
+
+    #[test]
+    fn all_best_by_returns_every_winner() {
+        let g = group(&[(-7, 1), (3, 1), (7, 1)]);
+        let k = Value::U32(1);
+        let f = all_best_by(|a, b| b.as_i64().abs().cmp(&a.as_i64().abs()));
+        assert_eq!(
+            f(&k, &g),
+            vec![
+                Value::kv(k.clone(), Value::I64(-7)),
+                Value::kv(k.clone(), Value::I64(7)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,736 @@
+//! Dataflow graph construction.
+//!
+//! A [`GraphBuilder`] assembles a directed graph of relational operators and
+//! produces an immutable [`Program`] that a [`crate::runtime::Runtime`]
+//! executes incrementally. Recursion (stratified fixpoints, e.g. shortest
+//! paths or BGP best-path propagation) is expressed with *scopes*: a scope
+//! holds a loop [`GraphBuilder::iterate`] variable whose collection evolves
+//! across iterations until it stops changing.
+//!
+//! Rows entering keyed operators (join, antijoin, reduce) must be
+//! `(key, payload)` 2-tuples built with [`Value::kv`]; antijoin's right input
+//! carries bare key values.
+
+use crate::value::Value;
+use crate::zset::Diff;
+
+use std::rc::Rc;
+
+/// Function transforming one row into another.
+pub type RowFn = Rc<dyn Fn(&Value) -> Value>;
+/// Function expanding one row into any number of rows.
+pub type RowsFn = Rc<dyn Fn(&Value) -> Vec<Value>>;
+/// Row predicate.
+pub type PredFn = Rc<dyn Fn(&Value) -> bool>;
+/// Join output constructor: `(key, left payload, right payload) -> row`.
+pub type JoinFn = Rc<dyn Fn(&Value, &Value, &Value) -> Value>;
+/// Group aggregator: `(key, group) -> output rows`, where `group` holds the
+/// distinct payloads of the key's group with their (positive) multiplicities,
+/// sorted by payload. Must be deterministic.
+pub type ReduceFn = Rc<dyn Fn(&Value, &[(Value, Diff)]) -> Vec<Value>>;
+
+/// Identifies a node in the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifies a scope (recursive region).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScopeId(pub(crate) usize);
+
+/// A stream handle returned by builder methods; feeds other operators.
+#[derive(Clone, Copy, Debug)]
+pub struct Handle {
+    pub(crate) node: NodeId,
+    /// Scope the stream lives in (`None` = top level).
+    pub(crate) scope: Option<ScopeId>,
+}
+
+/// Handle for feeding input updates into a [`crate::runtime::Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct InputHandle(pub(crate) NodeId);
+
+/// Handle for reading an output collection / draining output deltas.
+#[derive(Clone, Copy, Debug)]
+pub struct OutputHandle(pub(crate) NodeId);
+
+pub(crate) enum OpKind {
+    /// External input relation.
+    Input {
+        /// Kept for diagnostics (Debug output, error messages).
+        #[allow(dead_code)]
+        name: String,
+    },
+    Map(RowFn),
+    FlatMap(RowsFn),
+    Filter(PredFn),
+    /// N-ary union (multiset addition).
+    Concat,
+    /// Multiplicity negation.
+    Negate,
+    /// Set semantics: multiplicity > 0 becomes exactly 1.
+    Distinct,
+    /// Binary equi-join on tuple keys. Inputs: `[left, right]`.
+    Join { out: JoinFn },
+    /// Rows of `left` whose key is absent from `right`. Inputs: `[left, right]`.
+    AntiJoin,
+    /// Keyed group aggregation.
+    Reduce { f: ReduceFn },
+    /// Brings an outer stream into a scope (iteration-invariant).
+    Enter,
+    /// Loop variable: collection at iteration 0 is its `initial` input;
+    /// collection at iteration `i+1` is its feedback input at iteration `i`.
+    Variable { name: String },
+    /// Extracts the fixpoint collection of an in-scope stream to the outer
+    /// region (emits the delta of the collection "at iteration infinity").
+    Leave,
+    /// Internal arrangement inserted on feedback edges so the runtime can
+    /// compare the body's collection against the loop variable's at the
+    /// fixpoint boundary.
+    Buffer,
+    /// Named output sink: accumulates the collection and buffers deltas.
+    Output {
+        /// Kept for diagnostics (Debug output, error messages).
+        #[allow(dead_code)]
+        name: String,
+    },
+}
+
+impl OpKind {
+    /// Operator kind label, used in diagnostics and tests.
+    #[allow(dead_code)]
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "input",
+            OpKind::Map(_) => "map",
+            OpKind::FlatMap(_) => "flat_map",
+            OpKind::Filter(_) => "filter",
+            OpKind::Concat => "concat",
+            OpKind::Negate => "negate",
+            OpKind::Distinct => "distinct",
+            OpKind::Join { .. } => "join",
+            OpKind::AntiJoin => "antijoin",
+            OpKind::Reduce { .. } => "reduce",
+            OpKind::Enter => "enter",
+            OpKind::Variable { .. } => "variable",
+            OpKind::Leave => "leave",
+            OpKind::Buffer => "buffer",
+            OpKind::Output { .. } => "output",
+        }
+    }
+}
+
+pub(crate) struct Node {
+    pub kind: OpKind,
+    /// Data inputs (excludes the feedback edge of a variable).
+    pub inputs: Vec<NodeId>,
+    pub scope: Option<ScopeId>,
+    /// Filled in at build time: `(consumer, port)` pairs fed by this node.
+    pub consumers: Vec<(NodeId, usize)>,
+    /// For `Variable`: the body node wired as feedback, set by `connect`.
+    pub feedback: Option<NodeId>,
+    /// Iteration-varying? (depends on a loop variable). Top-level nodes and
+    /// iteration-invariant in-scope nodes are `false`.
+    pub varying: bool,
+    /// Position in the global topological order (feedback edges excluded).
+    pub topo: usize,
+}
+
+pub(crate) struct Scope {
+    pub name: String,
+    /// Members in topological order.
+    pub members: Vec<NodeId>,
+    pub variables: Vec<NodeId>,
+}
+
+/// One step of the epoch schedule: a top-level node, or a whole scope run
+/// as an atomic unit.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Sched {
+    Node(NodeId),
+    Scope(ScopeId),
+}
+
+/// An immutable dataflow program, ready for execution.
+pub struct Program {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) scopes: Vec<Scope>,
+    /// Epoch schedule: contracted topological order where each scope is an
+    /// atomic unit placed after all of its outer inputs and before all
+    /// consumers of its leave outputs.
+    pub(crate) schedule: Vec<Sched>,
+    pub(crate) inputs: Vec<(String, NodeId)>,
+    pub(crate) outputs: Vec<(String, NodeId)>,
+}
+
+impl Program {
+    /// Number of operators in the program.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of recursive scopes.
+    pub fn scope_count(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Looks up an input relation by name.
+    pub fn input(&self, name: &str) -> Option<InputHandle> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| InputHandle(id))
+    }
+
+    /// Looks up an output relation by name.
+    pub fn output(&self, name: &str) -> Option<OutputHandle> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| OutputHandle(id))
+    }
+}
+
+/// Builds dataflow programs. See the crate-level docs for a full example.
+#[derive(Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    scopes: Vec<Scope>,
+    inputs: Vec<(String, NodeId)>,
+    outputs: Vec<(String, NodeId)>,
+    current_scope: Option<ScopeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, kind: OpKind, inputs: Vec<NodeId>, scope: Option<ScopeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            inputs,
+            scope,
+            consumers: Vec::new(),
+            feedback: None,
+            varying: false,
+            topo: 0,
+        });
+        if let Some(s) = scope {
+            self.scopes[s.0].members.push(id);
+        }
+        id
+    }
+
+    fn check_same_region(&self, h: Handle, what: &str) {
+        assert_eq!(
+            h.scope, self.current_scope,
+            "{what}: stream {:?} belongs to a different region; use enter()/leave() to cross scope boundaries",
+            h.node
+        );
+    }
+
+    fn handle(&self, node: NodeId) -> Handle {
+        Handle {
+            node,
+            scope: self.current_scope,
+        }
+    }
+
+    /// Declares an external input relation.
+    ///
+    /// # Panics
+    /// Panics when called inside a scope or when the name is already taken.
+    pub fn input(&mut self, name: &str) -> (InputHandle, Handle) {
+        assert!(
+            self.current_scope.is_none(),
+            "inputs must be declared at the top level"
+        );
+        assert!(
+            self.inputs.iter().all(|(n, _)| n != name),
+            "duplicate input name {name:?}"
+        );
+        let id = self.add_node(
+            OpKind::Input {
+                name: name.to_string(),
+            },
+            vec![],
+            None,
+        );
+        self.inputs.push((name.to_string(), id));
+        (InputHandle(id), self.handle(id))
+    }
+
+    /// Applies a function to every row.
+    pub fn map(&mut self, h: Handle, f: impl Fn(&Value) -> Value + 'static) -> Handle {
+        self.check_same_region(h, "map");
+        let id = self.add_node(OpKind::Map(Rc::new(f)), vec![h.node], self.current_scope);
+        self.handle(id)
+    }
+
+    /// Expands every row into zero or more rows.
+    pub fn flat_map(&mut self, h: Handle, f: impl Fn(&Value) -> Vec<Value> + 'static) -> Handle {
+        self.check_same_region(h, "flat_map");
+        let id = self.add_node(
+            OpKind::FlatMap(Rc::new(f)),
+            vec![h.node],
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Keeps rows satisfying the predicate.
+    pub fn filter(&mut self, h: Handle, f: impl Fn(&Value) -> bool + 'static) -> Handle {
+        self.check_same_region(h, "filter");
+        let id = self.add_node(
+            OpKind::Filter(Rc::new(f)),
+            vec![h.node],
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Multiset union of any number of streams.
+    pub fn concat(&mut self, hs: &[Handle]) -> Handle {
+        assert!(!hs.is_empty(), "concat needs at least one input");
+        for h in hs {
+            self.check_same_region(*h, "concat");
+        }
+        let id = self.add_node(
+            OpKind::Concat,
+            hs.iter().map(|h| h.node).collect(),
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Negates multiplicities (used to build differences: `a ⊕ negate(b)`).
+    pub fn negate(&mut self, h: Handle) -> Handle {
+        self.check_same_region(h, "negate");
+        let id = self.add_node(OpKind::Negate, vec![h.node], self.current_scope);
+        self.handle(id)
+    }
+
+    /// Converts to set semantics: any positive multiplicity becomes one.
+    pub fn distinct(&mut self, h: Handle) -> Handle {
+        self.check_same_region(h, "distinct");
+        let id = self.add_node(OpKind::Distinct, vec![h.node], self.current_scope);
+        self.handle(id)
+    }
+
+    /// Equi-joins two keyed streams. Both inputs must carry `(key, payload)`
+    /// 2-tuples; `out(key, left_payload, right_payload)` builds output rows.
+    pub fn join(
+        &mut self,
+        left: Handle,
+        right: Handle,
+        out: impl Fn(&Value, &Value, &Value) -> Value + 'static,
+    ) -> Handle {
+        self.check_same_region(left, "join(left)");
+        self.check_same_region(right, "join(right)");
+        let id = self.add_node(
+            OpKind::Join { out: Rc::new(out) },
+            vec![left.node, right.node],
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Keeps `(key, payload)` rows of `left` whose key is present (net
+    /// multiplicity > 0) in `right`; `right` carries bare key values.
+    /// Output rows are the left rows unchanged.
+    pub fn semijoin(&mut self, left: Handle, right: Handle) -> Handle {
+        self.check_same_region(left, "semijoin(left)");
+        self.check_same_region(right, "semijoin(right)");
+        // Implemented as join against (key, ()) with distinct on the right,
+        // so right multiplicities don't multiply left rows.
+        let right_kv = self.map(right, |k| Value::kv(k.clone(), Value::Unit));
+        let right_set = self.distinct(right_kv);
+        self.join(left, right_set, |k, l, _| Value::kv(k.clone(), l.clone()))
+    }
+
+    /// Keeps `(key, payload)` rows of `left` whose key is absent from
+    /// `right` (`right` carries bare key values; presence = net count > 0).
+    pub fn antijoin(&mut self, left: Handle, right: Handle) -> Handle {
+        self.check_same_region(left, "antijoin(left)");
+        self.check_same_region(right, "antijoin(right)");
+        let id = self.add_node(
+            OpKind::AntiJoin,
+            vec![left.node, right.node],
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Groups `(key, payload)` rows by key and applies `f` to each group.
+    /// `f` receives the sorted distinct payloads with positive
+    /// multiplicities and returns the group's output rows.
+    pub fn reduce(
+        &mut self,
+        h: Handle,
+        f: impl Fn(&Value, &[(Value, Diff)]) -> Vec<Value> + 'static,
+    ) -> Handle {
+        self.check_same_region(h, "reduce");
+        let id = self.add_node(
+            OpKind::Reduce { f: Rc::new(f) },
+            vec![h.node],
+            self.current_scope,
+        );
+        self.handle(id)
+    }
+
+    /// Registers a named output sink on a top-level stream.
+    pub fn output(&mut self, name: &str, h: Handle) -> OutputHandle {
+        assert!(
+            self.current_scope.is_none() && h.scope.is_none(),
+            "outputs must be registered at the top level"
+        );
+        assert!(
+            self.outputs.iter().all(|(n, _)| n != name),
+            "duplicate output name {name:?}"
+        );
+        let id = self.add_node(
+            OpKind::Output {
+                name: name.to_string(),
+            },
+            vec![h.node],
+            None,
+        );
+        self.outputs.push((name.to_string(), id));
+        OutputHandle(id)
+    }
+
+    /// Builds a recursive scope. The closure receives the builder (now in
+    /// scope mode) and a [`ScopeHandle`] for scope-specific operations; its
+    /// return value (typically one or more [`Handle`]s produced by
+    /// [`ScopeHandle::leave`]) is passed through.
+    ///
+    /// # Panics
+    /// Panics on nested scopes (one level of recursion is supported; deeper
+    /// nesting is not needed for stratified routing rules).
+    pub fn iterate<R>(&mut self, name: &str, body: impl FnOnce(&mut Self, ScopeHandle) -> R) -> R {
+        assert!(self.current_scope.is_none(), "scopes cannot nest");
+        let sid = ScopeId(self.scopes.len());
+        self.scopes.push(Scope {
+            name: name.to_string(),
+            members: Vec::new(),
+            variables: Vec::new(),
+        });
+        self.current_scope = Some(sid);
+        let r = body(self, ScopeHandle { id: sid });
+        // Validate that every variable got a feedback connection.
+        for &v in &self.scopes[sid.0].variables {
+            assert!(
+                self.nodes[v.0].feedback.is_some(),
+                "variable {:?} in scope {name:?} was never connected",
+                v
+            );
+        }
+        self.current_scope = None;
+        r
+    }
+
+    /// Brings an outer stream into the current scope (iteration-invariant).
+    pub fn enter(&mut self, _s: ScopeHandle, outer: Handle) -> Handle {
+        assert!(outer.scope.is_none(), "enter takes a top-level stream");
+        let scope = self.current_scope.expect("enter outside scope");
+        let id = self.add_node(OpKind::Enter, vec![outer.node], Some(scope));
+        self.handle(id)
+    }
+
+    /// Declares a loop variable with the given initial collection (an
+    /// in-scope stream, typically an entered base relation). Its collection
+    /// at iteration `i+1` is whatever stream is later wired via
+    /// [`GraphBuilder::connect`].
+    pub fn variable(&mut self, _s: ScopeHandle, name: &str, initial: Handle) -> Handle {
+        let scope = self.current_scope.expect("variable outside scope");
+        self.check_same_region(initial, "variable(initial)");
+        let id = self.add_node(
+            OpKind::Variable {
+                name: name.to_string(),
+            },
+            vec![initial.node],
+            Some(scope),
+        );
+        self.scopes[scope.0].variables.push(id);
+        self.handle(id)
+    }
+
+    /// Wires the feedback edge of a loop variable: the variable's collection
+    /// at iteration `i+1` equals `body`'s collection at iteration `i`.
+    pub fn connect(&mut self, variable: Handle, body: Handle) {
+        self.check_same_region(variable, "connect(variable)");
+        self.check_same_region(body, "connect(body)");
+        assert!(
+            matches!(self.nodes[variable.node.0].kind, OpKind::Variable { .. }),
+            "connect target must be a variable"
+        );
+        assert!(
+            self.nodes[variable.node.0].feedback.is_none(),
+            "variable already connected"
+        );
+        // Arrange the body so the runtime can compare its collection with
+        // the variable's at the fixpoint boundary.
+        let buffer = self.add_node(OpKind::Buffer, vec![body.node], self.current_scope);
+        self.nodes[variable.node.0].feedback = Some(buffer);
+    }
+
+    /// Extracts the fixpoint collection of an in-scope stream to the outer
+    /// region.
+    pub fn leave(&mut self, _s: ScopeHandle, inner: Handle) -> Handle {
+        let scope = self.current_scope.expect("leave outside scope");
+        assert_eq!(inner.scope, Some(scope), "leave takes an in-scope stream");
+        let id = self.add_node(OpKind::Leave, vec![inner.node], Some(scope));
+        Handle {
+            node: id,
+            scope: None,
+        }
+    }
+
+    /// Finalizes the graph: computes consumer lists, topological order, and
+    /// the iteration-varying classification.
+    ///
+    /// # Panics
+    /// Panics if the graph contains a cycle outside variable feedback edges.
+    pub fn build(mut self) -> Program {
+        let n = self.nodes.len();
+        // Consumer lists (data edges only; feedback handled separately).
+        for i in 0..n {
+            for (port, &src) in self.nodes[i].inputs.clone().iter().enumerate() {
+                self.nodes[src.0].consumers.push((NodeId(i), port));
+            }
+        }
+        // Iteration-varying: variables, plus anything reachable from one
+        // through same-scope data edges.
+        let mut varying = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.kind, OpKind::Variable { .. }) {
+                varying[i] = true;
+                stack.push(i);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &(c, _) in &self.nodes[i].consumers {
+                let cn = &self.nodes[c.0];
+                // Leave nodes are in-scope and varying; their *outputs* go to
+                // the outer region, where consumers are not varying.
+                let stays_inside = cn.scope == self.nodes[i].scope;
+                if stays_inside && !varying[c.0] {
+                    varying[c.0] = true;
+                    stack.push(c.0);
+                }
+            }
+        }
+        for (i, v) in varying.iter().enumerate() {
+            self.nodes[i].varying = *v;
+        }
+        // Topological order over data edges (feedback excluded). Scope
+        // members are created contiguously and scopes cannot nest, so a
+        // plain topological sort keeps them contiguous enough for the
+        // runtime, which drives scopes via their member lists anyway.
+        let mut indeg = vec![0usize; n];
+        for i in 0..n {
+            indeg[i] = self.nodes[i].inputs.len();
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.reverse();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(NodeId(i));
+            for &(c, _) in &self.nodes[i].consumers {
+                indeg[c.0] -= 1;
+                if indeg[c.0] == 0 {
+                    ready.push(c.0);
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            n,
+            "dataflow graph has a cycle outside variable feedback"
+        );
+        for (pos, id) in order.iter().enumerate() {
+            self.nodes[id.0].topo = pos;
+        }
+        // Scope member lists in topological order.
+        for scope in &mut self.scopes {
+            scope.members.sort_by_key(|id| self.nodes[id.0].topo);
+        }
+        // Semantic validations that need the varying classification.
+        for node in &self.nodes {
+            if let OpKind::Variable { name } = &node.kind {
+                let init = node.inputs[0];
+                assert!(
+                    !self.nodes[init.0].varying,
+                    "variable {name:?}: initial collection must be iteration-invariant"
+                );
+                let fb = node.feedback.expect("validated earlier");
+                assert_eq!(
+                    self.nodes[fb.0].scope, node.scope,
+                    "variable {name:?}: feedback must come from the same scope"
+                );
+            }
+        }
+        // Epoch schedule: topological order over the *contracted* graph
+        // where each scope is a single vertex. This guarantees every scope
+        // runs after all of its outer inputs have been processed and before
+        // any consumer of its leave outputs.
+        let nscopes = self.scopes.len();
+        let vertex = |id: usize| -> usize {
+            match self.nodes[id].scope {
+                Some(s) => n + s.0,
+                None => id,
+            }
+        };
+        let nv = n + nscopes;
+        let mut cindeg = vec![0usize; nv];
+        let mut cedges: Vec<Vec<usize>> = vec![Vec::new(); nv];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &src in &node.inputs {
+                let (u, v) = (vertex(src.0), vertex(i));
+                if u != v {
+                    cedges[u].push(v);
+                    cindeg[v] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..nv)
+            .filter(|&v| cindeg[v] == 0 && (v >= n || self.nodes[v].scope.is_none()))
+            .collect();
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut schedule = Vec::new();
+        let mut emitted = 0usize;
+        while let Some(v) = ready.pop() {
+            emitted += 1;
+            schedule.push(if v >= n {
+                Sched::Scope(ScopeId(v - n))
+            } else {
+                Sched::Node(NodeId(v))
+            });
+            for &c in &cedges[v] {
+                cindeg[c] -= 1;
+                if cindeg[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        let expected = self.nodes.iter().filter(|nd| nd.scope.is_none()).count() + nscopes;
+        assert_eq!(
+            emitted, expected,
+            "a scope's output feeds back into the same scope; route such \
+             recursion through the scope's loop variable instead"
+        );
+        Program {
+            nodes: self.nodes,
+            scopes: self.scopes,
+            schedule,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
+    }
+}
+
+/// Token proving the builder is inside a scope; passed to scope operations.
+#[derive(Clone, Copy)]
+pub struct ScopeHandle {
+    #[allow(dead_code)]
+    pub(crate) id: ScopeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_linear_pipeline() {
+        let mut g = GraphBuilder::new();
+        let (_, edges) = g.input("edges");
+        let mapped = g.map(edges, |v| v.clone());
+        let filtered = g.filter(mapped, |_| true);
+        g.output("out", filtered);
+        let p = g.build();
+        assert_eq!(p.node_count(), 4);
+        assert!(p.input("edges").is_some());
+        assert!(p.output("out").is_some());
+        assert!(p.input("nope").is_none());
+    }
+
+    #[test]
+    fn classifies_varying_nodes() {
+        let mut g = GraphBuilder::new();
+        let (_, base) = g.input("base");
+        let (_, edges) = g.input("edges");
+        let reached = g.iterate("reach", |g, s| {
+            let base_in = g.enter(s, base);
+            let edges_in = g.enter(s, edges);
+            let var = g.variable(s, "v", base_in);
+            let stepped = g.join(var, edges_in, |_, _, dst| {
+                Value::kv(dst.clone(), Value::Unit)
+            });
+            let all = g.concat(&[base_in, stepped]);
+            let next = g.distinct(all);
+            g.connect(var, next);
+            g.leave(s, next)
+        });
+        g.output("reached", reached);
+        let p = g.build();
+        // Enter nodes are invariant, variable/join/concat/distinct vary.
+        let varying: Vec<_> = p
+            .nodes
+            .iter()
+            .filter(|n| n.varying)
+            .map(|n| n.kind.kind_name())
+            .collect();
+        assert!(varying.contains(&"variable"));
+        assert!(varying.contains(&"join"));
+        assert!(varying.contains(&"distinct"));
+        assert!(varying.contains(&"leave"));
+        let invariant: Vec<_> = p
+            .nodes
+            .iter()
+            .filter(|n| n.scope.is_some() && !n.varying)
+            .map(|n| n.kind.kind_name())
+            .collect();
+        assert_eq!(invariant, vec!["enter", "enter"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never connected")]
+    fn unconnected_variable_panics() {
+        let mut g = GraphBuilder::new();
+        let (_, base) = g.input("base");
+        g.iterate("bad", |g, s| {
+            let b = g.enter(s, base);
+            let _v = g.variable(s, "v", b);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "different region")]
+    fn cross_region_edge_panics() {
+        let mut g = GraphBuilder::new();
+        let (_, base) = g.input("base");
+        g.iterate("bad", |g, _s| {
+            // `base` was not entered — using it inside the scope must fail.
+            g.map(base, |v| v.clone());
+        });
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut g = GraphBuilder::new();
+        let (_, a) = g.input("a");
+        let (_, b) = g.input("b");
+        let j = g.join(a, b, |k, _, _| k.clone());
+        let m = g.map(j, |v| v.clone());
+        g.output("o", m);
+        let p = g.build();
+        let pos: Vec<usize> = p.nodes.iter().map(|n| n.topo).collect();
+        // join after both inputs, map after join, output after map.
+        assert!(pos[2] > pos[0] && pos[2] > pos[1]);
+        assert!(pos[3] > pos[2]);
+        assert!(pos[4] > pos[3]);
+    }
+}

@@ -1,0 +1,96 @@
+//! # ddflow — a Z-set differential dataflow engine
+//!
+//! `ddflow` is the incremental-computation substrate of this repository's
+//! reproduction of *Differential Network Analysis* (NSDI 2022): a from-
+//! scratch replacement for the DDlog / differential-dataflow runtime the
+//! original system builds on.
+//!
+//! Collections are Z-sets (multisets with signed multiplicities); programs
+//! are dataflow graphs of relational operators (map, filter, join, antijoin,
+//! reduce, distinct, union) plus *scopes* for stratified recursion (shortest
+//! paths, BGP best-path propagation). After building a [`Program`], drive it
+//! with a [`Runtime`]: feed input deltas, [`Runtime::commit`] an epoch, and
+//! read output deltas — the engine maintains all derived relations
+//! incrementally.
+//!
+//! ## Example: incremental graph reachability
+//!
+//! ```
+//! use ddflow::{GraphBuilder, Runtime, Value};
+//!
+//! let mut g = GraphBuilder::new();
+//! let (edge_in, edges) = g.input("edge");       // rows: (src, dst)
+//! let (root_in, roots) = g.input("root");       // rows: node
+//! let reached = g.iterate("reach", |g, s| {
+//!     // edges keyed by source; roots as (node, ()) seeds.
+//!     let edges = g.enter(s, edges);
+//!     let edges_by_src = g.map(edges, |e| {
+//!         Value::kv(e.field(0).clone(), e.field(1).clone())
+//!     });
+//!     let roots = g.enter(s, roots);
+//!     let seeds = g.map(roots, |n| Value::kv(n.clone(), Value::Unit));
+//!     let var = g.variable(s, "reached", seeds);
+//!     let step = g.join(var, edges_by_src, |_, _, dst| {
+//!         Value::kv(dst.clone(), Value::Unit)
+//!     });
+//!     let all = g.concat(&[seeds, step]);
+//!     let next = g.distinct(all);
+//!     g.connect(var, next);
+//!     g.leave(s, next)
+//! });
+//! let nodes = g.map(reached, |kv| kv.key().clone());
+//! let out = g.output("reached", nodes);
+//!
+//! let mut rt = Runtime::new(g.build());
+//! rt.insert(root_in, Value::U32(0));
+//! rt.insert(edge_in, Value::tuple(vec![Value::U32(0), Value::U32(1)]));
+//! rt.insert(edge_in, Value::tuple(vec![Value::U32(1), Value::U32(2)]));
+//! rt.commit().unwrap();
+//! assert_eq!(rt.output(out).len(), 3);
+//!
+//! // Remove the only path to node 2 — incremental retraction.
+//! rt.remove(edge_in, Value::tuple(vec![Value::U32(1), Value::U32(2)]));
+//! rt.commit().unwrap();
+//! assert_eq!(rt.output(out).len(), 2);
+//! ```
+//!
+//! ## Design notes
+//!
+//! * Rows are dynamically typed ([`Value`]), mirroring DDlog's `DDValue`;
+//!   this keeps the graph monomorphic and the engine simple and robust.
+//! * Recursion materializes per-iteration operator state ("slots"), so a
+//!   change cascades only through the iterations it actually affects. The
+//!   loop-variable's collection at iteration `i+1` is the feedback body's
+//!   collection at iteration `i`; the scope quiesces when deltas stop.
+//! * Non-convergent recursion (e.g. BGP policy disputes) is detected via an
+//!   iteration bound and reported as [`DdError::Divergence`] rather than
+//!   hanging.
+//! * The engine is single-threaded by design: the workloads it serves here
+//!   are driven epoch-by-epoch and the surrounding system parallelizes
+//!   across analyses instead (see the Tokio guide's advice on CPU-bound
+//!   work).
+//!
+//! ## What is implemented / omitted
+//!
+//! Implemented: incremental map/flat_map/filter/concat/negate/distinct,
+//! equi-join, semijoin, antijoin, keyed reduce with arbitrary deterministic
+//! aggregators, one level of stratified recursion, divergence detection,
+//! canonical (sorted, consolidated) output deltas, working-set accounting.
+//!
+//! Omitted (not needed by the paper's rules): multi-level nested scopes,
+//! multi-worker data parallelism, persistent storage of traces, and
+//! non-monotonic aggregates *inside* unstratified recursion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregates;
+mod graph;
+mod runtime;
+mod value;
+mod zset;
+
+pub use graph::{GraphBuilder, Handle, InputHandle, OutputHandle, Program, ScopeHandle};
+pub use runtime::{CommitStats, Config, DdError, Runtime};
+pub use value::Value;
+pub use zset::{consolidate, Batch, Diff, ZSet};

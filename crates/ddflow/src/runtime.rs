@@ -1,0 +1,1126 @@
+//! Incremental execution of dataflow [`Program`]s.
+//!
+//! # Execution model
+//!
+//! Inputs are updated between commits; [`Runtime::commit`] propagates the
+//! accumulated deltas through the graph in one *epoch*. Every operator keeps
+//! just enough state (indexes, group contents, counts) to translate input
+//! deltas into output deltas without recomputing from scratch.
+//!
+//! ## Scopes (recursion)
+//!
+//! Inside a scope, collections are functions of the *iteration number*: the
+//! loop variable's collection at iteration `i+1` equals the feedback body's
+//! collection at iteration `i`. The runtime materializes operator state per
+//! iteration (*slots*), in lockstep across all iteration-varying operators of
+//! a scope, up to the scope's current fixpoint depth `D`.
+//!
+//! The two differential dimensions are represented as:
+//!
+//! * **epoch deltas** — changes to an existing slot's collection relative to
+//!   the previous epoch, processed by the classic incremental operator
+//!   algebra per slot;
+//! * **iteration deltas** — when the fixpoint needs to deepen, slot `D+1` is
+//!   initialized as a *copy of slot `D`'s current state* for every stateful
+//!   operator, so the new column is differential relative to the previous
+//!   iteration; the loop variable then receives exactly
+//!   `body[D] − variable[D]`, the iteration-dimension difference.
+//!
+//! The fixpoint test is value-based: the scope stops deepening when the
+//! feedback body's collection equals the loop variable's at the deepest
+//! slot. Changes that cancel at iteration `j` stop cascading at `j`; slots
+//! beyond the fixpoint depth are never materialized.
+//!
+//! ## Error handling
+//!
+//! A scope that fails to quiesce within [`Config::max_iterations`] reports
+//! [`DdError::Divergence`] (e.g. an oscillating BGP policy dispute). After a
+//! divergence the runtime's internal state is unspecified; rebuild it.
+
+use crate::graph::{
+    InputHandle, JoinFn, NodeId, OpKind, OutputHandle, PredFn, Program, ReduceFn, RowFn, RowsFn,
+    Sched, ScopeId,
+};
+use crate::value::Value;
+use crate::zset::{consolidate, Batch, Diff, ZSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Error returned by [`Runtime::commit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdError {
+    /// A recursive scope failed to reach a fixpoint within the configured
+    /// iteration bound.
+    Divergence {
+        /// Name of the scope that failed to converge.
+        scope: String,
+        /// The iteration bound that was exceeded.
+        iterations: u32,
+    },
+}
+
+impl std::fmt::Display for DdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdError::Divergence { scope, iterations } => write!(
+                f,
+                "scope {scope:?} did not reach a fixpoint within {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DdError {}
+
+/// Per-commit statistics, used by benchmarks and for observability.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Total `(row, diff)` pairs processed by operators this epoch.
+    pub tuples_processed: usize,
+    /// Fixpoint depth (deepest materialized iteration), per scope.
+    pub scope_depths: Vec<u32>,
+    /// Number of output relations that changed this epoch.
+    pub outputs_changed: usize,
+}
+
+/// Runtime configuration knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bound on fixpoint iterations per scope; exceeding it reports
+    /// [`DdError::Divergence`] instead of looping forever.
+    pub max_iterations: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// One keyed index side of a join/antijoin: `key -> payload -> multiplicity`.
+#[derive(Clone, Default)]
+struct Index {
+    map: HashMap<Value, HashMap<Value, Diff>>,
+    tuples: usize,
+}
+
+impl Index {
+    fn update(&mut self, key: &Value, payload: &Value, diff: Diff) {
+        let inner = self.map.entry(key.clone()).or_default();
+        let entry = inner.entry(payload.clone()).or_insert(0);
+        let was_nonzero = *entry != 0;
+        *entry += diff;
+        let is_nonzero = *entry != 0;
+        if !is_nonzero {
+            inner.remove(payload);
+            if inner.is_empty() {
+                self.map.remove(key);
+            }
+        }
+        match (was_nonzero, is_nonzero) {
+            (false, true) => self.tuples += 1,
+            (true, false) => self.tuples -= 1,
+            _ => {}
+        }
+    }
+
+    fn get(&self, key: &Value) -> Option<&HashMap<Value, Diff>> {
+        self.map.get(key)
+    }
+
+    /// Net multiplicity summed over all payloads of a key (key-presence
+    /// semantics for antijoin right sides).
+    fn key_count(&self, key: &Value) -> Diff {
+        self.map.get(key).map(|m| m.values().sum()).unwrap_or(0)
+    }
+}
+
+/// Reduce operator state: group contents plus the previous output per key.
+#[derive(Clone, Default)]
+struct ReduceState {
+    groups: HashMap<Value, BTreeMap<Value, Diff>>,
+    out_cache: HashMap<Value, Batch>,
+}
+
+/// One iteration slot of some stateful operator.
+#[derive(Clone, Default)]
+struct Slot<T: Clone + Default> {
+    state: T,
+    /// Epoch log, maintained only for Leave arrangements: the deltas applied
+    /// this epoch, used to read off the fixpoint delta at epoch end.
+    log: Batch,
+}
+
+/// Join/antijoin side state: a shared single slot for iteration-invariant
+/// sides, lockstep per-iteration slots for varying sides.
+#[derive(Clone)]
+struct SideState {
+    varying: bool,
+    slots: Vec<Slot<Index>>,
+}
+
+impl SideState {
+    fn new(varying: bool) -> Self {
+        let slots = if varying {
+            Vec::new()
+        } else {
+            vec![Slot::default()]
+        };
+        SideState { varying, slots }
+    }
+
+    fn at(&self, slot: usize) -> &Index {
+        let i = if self.varying { slot } else { 0 };
+        &self.slots[i].state
+    }
+
+    fn at_mut(&mut self, slot: usize) -> &mut Index {
+        let i = if self.varying { slot } else { 0 };
+        &mut self.slots[i].state
+    }
+}
+
+enum NodeState {
+    Stateless,
+    Distinct(Vec<Slot<ZSet>>),
+    Join {
+        left: SideState,
+        right: SideState,
+    },
+    AntiJoin {
+        left: SideState,
+        right: SideState,
+    },
+    Reduce(Vec<Slot<ReduceState>>),
+    /// ZSet arrangements: loop variables, feedback buffers, leave nodes.
+    Arrange(Vec<Slot<ZSet>>),
+    Output {
+        current: ZSet,
+        drained: Batch,
+    },
+    Input,
+}
+
+/// Per-scope bookkeeping.
+#[derive(Default)]
+struct ScopeRt {
+    /// Materialized fixpoint depth; `None` until the scope first runs.
+    depth: Option<u32>,
+    /// Slots with pending work this epoch.
+    pending_slots: BTreeSet<u32>,
+    /// Whether this epoch's deltas reached the deepest slot (forces a
+    /// boundary fixpoint check).
+    top_touched: bool,
+    /// Depth at the start of the current epoch (for leave-delta extraction).
+    epoch_start_depth: u32,
+    /// Leave nodes with dirty epoch logs `(node, slot)`.
+    dirty_logs: Vec<(NodeId, u32)>,
+}
+
+/// Owned, cheaply-cloned view of an operator kind (closures are `Rc`).
+enum KindRef {
+    Passthrough, // Input, Enter
+    Map(RowFn),
+    FlatMap(RowsFn),
+    Filter(PredFn),
+    Concat,
+    Negate,
+    Distinct,
+    Join(JoinFn),
+    AntiJoin,
+    Reduce(ReduceFn),
+    Arrange { is_leave: bool },
+    Output,
+}
+
+fn kind_ref(kind: &OpKind) -> KindRef {
+    match kind {
+        OpKind::Input { .. } | OpKind::Enter => KindRef::Passthrough,
+        OpKind::Variable { .. } | OpKind::Buffer => KindRef::Arrange { is_leave: false },
+        OpKind::Leave => KindRef::Arrange { is_leave: true },
+        OpKind::Map(f) => KindRef::Map(f.clone()),
+        OpKind::FlatMap(f) => KindRef::FlatMap(f.clone()),
+        OpKind::Filter(f) => KindRef::Filter(f.clone()),
+        OpKind::Concat => KindRef::Concat,
+        OpKind::Negate => KindRef::Negate,
+        OpKind::Distinct => KindRef::Distinct,
+        OpKind::Join { out } => KindRef::Join(out.clone()),
+        OpKind::AntiJoin => KindRef::AntiJoin,
+        OpKind::Reduce { f } => KindRef::Reduce(f.clone()),
+        OpKind::Output { .. } => KindRef::Output,
+    }
+}
+
+/// Executes a [`Program`] incrementally. See the module docs for the model.
+pub struct Runtime {
+    program: Program,
+    states: Vec<NodeState>,
+    /// pending[node][port]: slot -> batch.
+    pending: Vec<Vec<BTreeMap<u32, Batch>>>,
+    input_buffer: HashMap<usize, Batch>,
+    scope_rt: Vec<ScopeRt>,
+    /// Feedback routing: buffer node -> variables it feeds.
+    feedback_of: HashMap<usize, Vec<NodeId>>,
+    config: Config,
+    tuples_processed: usize,
+    outputs_changed: usize,
+}
+
+impl Runtime {
+    /// Creates a runtime with default configuration.
+    pub fn new(program: Program) -> Self {
+        Self::with_config(program, Config::default())
+    }
+
+    /// Creates a runtime with the given configuration.
+    pub fn with_config(program: Program, config: Config) -> Self {
+        let n = program.nodes.len();
+        let mut states = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        for node in &program.nodes {
+            let nports = node.inputs.len().max(1) + 1; // +1 feedback port
+            pending.push(vec![BTreeMap::new(); nports]);
+            let varying = node.varying;
+            fn slots<T: Clone + Default>(varying: bool) -> Vec<Slot<T>> {
+                if varying {
+                    Vec::new()
+                } else {
+                    vec![Slot::default()]
+                }
+            }
+            let state = match &node.kind {
+                OpKind::Input { .. } => NodeState::Input,
+                OpKind::Output { .. } => NodeState::Output {
+                    current: ZSet::new(),
+                    drained: Batch::new(),
+                },
+                OpKind::Distinct => NodeState::Distinct(slots(varying)),
+                OpKind::Join { .. } | OpKind::AntiJoin => {
+                    // A side is per-iteration only when the producing stream
+                    // varies *and* this node lives inside the scope (a leave
+                    // node's output is a plain top-level stream even though
+                    // the leave node itself is iteration-varying).
+                    let lv = node.scope.is_some() && program.nodes[node.inputs[0].0].varying;
+                    let rv = node.scope.is_some() && program.nodes[node.inputs[1].0].varying;
+                    if matches!(node.kind, OpKind::Join { .. }) {
+                        NodeState::Join {
+                            left: SideState::new(lv),
+                            right: SideState::new(rv),
+                        }
+                    } else {
+                        NodeState::AntiJoin {
+                            left: SideState::new(lv),
+                            right: SideState::new(rv),
+                        }
+                    }
+                }
+                OpKind::Reduce { .. } => NodeState::Reduce(slots(varying)),
+                OpKind::Leave | OpKind::Variable { .. } | OpKind::Buffer => {
+                    NodeState::Arrange(slots(varying))
+                }
+                _ => NodeState::Stateless,
+            };
+            states.push(state);
+        }
+        let mut feedback_of: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for (i, node) in program.nodes.iter().enumerate() {
+            if let Some(buf) = node.feedback {
+                feedback_of.entry(buf.0).or_default().push(NodeId(i));
+            }
+        }
+        let scope_rt = (0..program.scopes.len())
+            .map(|_| ScopeRt::default())
+            .collect();
+        Runtime {
+            states,
+            pending,
+            input_buffer: HashMap::new(),
+            scope_rt,
+            feedback_of,
+            config,
+            tuples_processed: 0,
+            outputs_changed: 0,
+            program,
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Buffers an update to an input relation (takes effect at next commit).
+    pub fn update(&mut self, input: InputHandle, row: Value, diff: Diff) {
+        if diff != 0 {
+            self.input_buffer
+                .entry(input.0 .0)
+                .or_default()
+                .push((row, diff));
+        }
+    }
+
+    /// Buffers an insertion (multiplicity +1).
+    pub fn insert(&mut self, input: InputHandle, row: Value) {
+        self.update(input, row, 1);
+    }
+
+    /// Buffers a removal (multiplicity -1).
+    pub fn remove(&mut self, input: InputHandle, row: Value) {
+        self.update(input, row, -1);
+    }
+
+    /// Buffers a whole batch of updates.
+    pub fn update_batch(&mut self, input: InputHandle, batch: Batch) {
+        let buf = self.input_buffer.entry(input.0 .0).or_default();
+        buf.extend(batch.into_iter().filter(|(_, d)| *d != 0));
+    }
+
+    /// Current accumulated collection of an output relation.
+    pub fn output(&self, out: OutputHandle) -> &ZSet {
+        match &self.states[out.0 .0] {
+            NodeState::Output { current, .. } => current,
+            _ => unreachable!("handle does not refer to an output node"),
+        }
+    }
+
+    /// Drains the deltas an output accumulated since the previous drain,
+    /// consolidated into canonical form. Outputs that are never drained
+    /// accumulate their delta history; drain (or read via
+    /// [`Runtime::output`]) according to need.
+    pub fn drain(&mut self, out: OutputHandle) -> Batch {
+        match &mut self.states[out.0 .0] {
+            NodeState::Output { drained, .. } => {
+                let mut b = std::mem::take(drained);
+                consolidate(&mut b);
+                b
+            }
+            _ => unreachable!("handle does not refer to an output node"),
+        }
+    }
+
+    /// Total tuples held in operator state (indexes, groups, arrangements) —
+    /// the engine's working set, reported by the memory experiments.
+    pub fn state_tuples(&self) -> usize {
+        let mut total = 0;
+        for state in &self.states {
+            match state {
+                NodeState::Distinct(s) | NodeState::Arrange(s) => {
+                    total += s.iter().map(|sl| sl.state.len()).sum::<usize>();
+                }
+                NodeState::Join { left, right } | NodeState::AntiJoin { left, right } => {
+                    total += left.slots.iter().map(|sl| sl.state.tuples).sum::<usize>();
+                    total += right.slots.iter().map(|sl| sl.state.tuples).sum::<usize>();
+                }
+                NodeState::Reduce(s) => {
+                    for sl in s {
+                        total += sl.state.groups.values().map(|g| g.len()).sum::<usize>();
+                        total += sl.state.out_cache.values().map(|b| b.len()).sum::<usize>();
+                    }
+                }
+                NodeState::Output { current, .. } => total += current.len(),
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Commits all buffered input updates as one epoch, propagating deltas
+    /// through the graph. Returns per-epoch statistics.
+    pub fn commit(&mut self) -> Result<CommitStats, DdError> {
+        self.tuples_processed = 0;
+        self.outputs_changed = 0;
+        let buffered: Vec<(usize, Batch)> = self.input_buffer.drain().collect();
+        for (node, mut batch) in buffered {
+            consolidate(&mut batch);
+            if !batch.is_empty() {
+                self.pending[node][0].entry(0).or_default().extend(batch);
+            }
+        }
+        let mut depths = vec![0u32; self.program.scopes.len()];
+        let schedule = self.program.schedule.clone();
+        for item in schedule {
+            match item {
+                Sched::Node(id) => self.process_toplevel(id),
+                Sched::Scope(sid) => depths[sid.0] = self.run_scope(sid)?,
+            }
+        }
+        Ok(CommitStats {
+            tuples_processed: self.tuples_processed,
+            scope_depths: depths,
+            outputs_changed: self.outputs_changed,
+        })
+    }
+
+    fn take_pending(&mut self, node: NodeId, slot: u32) -> Vec<(usize, Batch)> {
+        let mut out = Vec::new();
+        for (port, slots) in self.pending[node.0].iter_mut().enumerate() {
+            if let Some(b) = slots.remove(&slot) {
+                if !b.is_empty() {
+                    out.push((port, b));
+                }
+            }
+        }
+        out
+    }
+
+    fn has_pending(&self, node: NodeId, slot: u32) -> bool {
+        self.pending[node.0].iter().any(|s| s.contains_key(&slot))
+    }
+
+    fn process_toplevel(&mut self, id: NodeId) {
+        if !self.has_pending(id, 0) {
+            return;
+        }
+        let ports = self.take_pending(id, 0);
+        let out = self.apply_node(id, 0, ports, false);
+        if !out.is_empty() {
+            self.deliver_toplevel(id, out);
+        }
+    }
+
+    /// Delivers a node's output batch to its consumers at slot 0 (used for
+    /// top-level streams and for leave outputs heading to the outer region).
+    fn deliver_toplevel(&mut self, from: NodeId, batch: Batch) {
+        let consumers = self.program.nodes[from.0].consumers.clone();
+        for (c, port) in consumers {
+            self.pending[c.0][port]
+                .entry(0)
+                .or_default()
+                .extend(batch.iter().cloned());
+        }
+    }
+
+    /// Materializes the next iteration slot for every iteration-varying
+    /// stateful member of a scope, as a copy of its current deepest slot
+    /// (empty for the very first slot). Keeping all members in lockstep is
+    /// what lets per-slot deltas use the classic incremental algebra.
+    fn deepen_scope(&mut self, sid: ScopeId) {
+        let members = self.program.scopes[sid.0].members.clone();
+        let first = self.scope_rt[sid.0].depth.is_none();
+        for &m in &members {
+            if !self.program.nodes[m.0].varying {
+                continue;
+            }
+            match &mut self.states[m.0] {
+                NodeState::Distinct(slots) | NodeState::Arrange(slots) => {
+                    let fresh = if first {
+                        Slot::default()
+                    } else {
+                        Slot {
+                            state: slots.last().expect("lockstep slots").state.clone(),
+                            log: Batch::new(),
+                        }
+                    };
+                    slots.push(fresh);
+                }
+                NodeState::Reduce(slots) => {
+                    let fresh = if first {
+                        Slot::default()
+                    } else {
+                        Slot {
+                            state: slots.last().expect("lockstep slots").state.clone(),
+                            log: Batch::new(),
+                        }
+                    };
+                    slots.push(fresh);
+                }
+                NodeState::Join { left, right } | NodeState::AntiJoin { left, right } => {
+                    for side in [left, right] {
+                        if !side.varying {
+                            continue;
+                        }
+                        let fresh = if first {
+                            Slot::default()
+                        } else {
+                            Slot {
+                                state: side.slots.last().expect("lockstep slots").state.clone(),
+                                log: Batch::new(),
+                            }
+                        };
+                        side.slots.push(fresh);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let rt = &mut self.scope_rt[sid.0];
+        rt.depth = Some(match rt.depth {
+            None => 0,
+            Some(d) => d + 1,
+        });
+    }
+
+    /// Runs one scope for the current epoch. Returns the fixpoint depth.
+    fn run_scope(&mut self, sid: ScopeId) -> Result<u32, DdError> {
+        let members: Vec<NodeId> = self.program.scopes[sid.0].members.clone();
+        let variables: Vec<NodeId> = self.program.scopes[sid.0].variables.clone();
+        self.scope_rt[sid.0].epoch_start_depth = self.scope_rt[sid.0].depth.unwrap_or(0);
+        // ---- Phase A: iteration-invariant members, in topo order. ----
+        // Invariant-side deltas destined for varying operators are absorbed
+        // into shared state once and broadcast into every materialized slot.
+        let mut broadcasts: Vec<(NodeId, usize, Batch)> = Vec::new();
+        for &m in &members {
+            if self.program.nodes[m.0].varying || !self.has_pending(m, 0) {
+                continue;
+            }
+            let ports = self.take_pending(m, 0);
+            let out = self.apply_node(m, 0, ports, false);
+            if !out.is_empty() {
+                self.deliver_invariant(sid, m, out, &mut broadcasts);
+            }
+        }
+        if self.scope_rt[sid.0].depth.is_none()
+            && (!broadcasts.is_empty() || !self.scope_rt[sid.0].pending_slots.is_empty())
+        {
+            // First-ever run: materialize iteration 0.
+            self.deepen_scope(sid);
+        }
+        if let Some(depth) = self.scope_rt[sid.0].depth {
+            for slot in 0..=depth {
+                for (node, port, payload) in &broadcasts {
+                    self.pending[node.0][*port]
+                        .entry(slot)
+                        .or_default()
+                        .extend(payload.iter().cloned());
+                }
+                if !broadcasts.is_empty() {
+                    self.scope_rt[sid.0].pending_slots.insert(slot);
+                }
+            }
+        }
+        // ---- Phase B: slot loop + boundary fixpoint checks. ----
+        self.scope_rt[sid.0].top_touched = false;
+        loop {
+            let Some(&slot) = self.scope_rt[sid.0].pending_slots.iter().next() else {
+                // No pending work. If the deepest slot changed this epoch,
+                // check whether the fixpoint moved; deepen if it did.
+                if !self.scope_rt[sid.0].top_touched {
+                    break;
+                }
+                self.scope_rt[sid.0].top_touched = false;
+                let depth = self.scope_rt[sid.0].depth.expect("scope ran");
+                let mut moved: Vec<(NodeId, Batch)> = Vec::new();
+                for &v in &variables {
+                    let buf = self.program.nodes[v.0].feedback.expect("validated");
+                    let delta = {
+                        let (NodeState::Arrange(vs), NodeState::Arrange(bs)) =
+                            (&self.states[v.0], &self.states[buf.0])
+                        else {
+                            unreachable!("variable/buffer must be arrangements")
+                        };
+                        vs[depth as usize]
+                            .state
+                            .diff_to(&bs[depth as usize].state)
+                    };
+                    if !delta.is_empty() {
+                        moved.push((v, delta));
+                    }
+                }
+                if moved.is_empty() {
+                    break;
+                }
+                if depth + 1 > self.config.max_iterations {
+                    self.clear_epoch_state(sid);
+                    return Err(DdError::Divergence {
+                        scope: self.program.scopes[sid.0].name.clone(),
+                        iterations: self.config.max_iterations,
+                    });
+                }
+                self.deepen_scope(sid);
+                let new_depth = depth + 1;
+                for (v, delta) in moved {
+                    let fb_port = self.pending[v.0].len() - 1;
+                    self.pending[v.0][fb_port]
+                        .entry(new_depth)
+                        .or_default()
+                        .extend(delta);
+                }
+                self.scope_rt[sid.0].pending_slots.insert(new_depth);
+                continue;
+            };
+            self.scope_rt[sid.0].pending_slots.remove(&slot);
+            let depth = self.scope_rt[sid.0].depth.expect("scope ran");
+            debug_assert!(slot <= depth, "pending beyond materialized depth");
+            if slot == depth {
+                self.scope_rt[sid.0].top_touched = true;
+            }
+            for &m in &members {
+                if !self.program.nodes[m.0].varying || !self.has_pending(m, slot) {
+                    continue;
+                }
+                let ports = self.take_pending(m, slot);
+                let out = self.apply_node(m, slot, ports, true);
+                if !out.is_empty() {
+                    self.deliver_varying(sid, m, slot, out);
+                }
+            }
+            // Same-slot deliveries during the pass re-inserted this slot;
+            // they were all handled (consumers come later in topo order).
+            self.scope_rt[sid.0].pending_slots.remove(&slot);
+        }
+        // ---- Phase C: emit leave deltas, clear epoch bookkeeping. ----
+        for &m in &members {
+            if !matches!(self.program.nodes[m.0].kind, OpKind::Leave)
+                || !self.program.nodes[m.0].varying
+            {
+                continue;
+            }
+            // The fixpoint delta is the sum of this epoch's logs over the
+            // slots from the epoch-start depth up to the final depth (fresh
+            // slots were initialized from their predecessor's current state,
+            // so the logs chain).
+            let delta = match &self.states[m.0] {
+                NodeState::Arrange(slots) => {
+                    let mut d = Batch::new();
+                    let start = self
+                        .scope_rt[sid.0]
+                        .epoch_start_depth
+                        .min(slots.len().saturating_sub(1) as u32);
+                    for sl in &slots[start as usize..] {
+                        d.extend(sl.log.iter().cloned());
+                    }
+                    consolidate(&mut d);
+                    d
+                }
+                _ => unreachable!("leave node must be an arrangement"),
+            };
+            if !delta.is_empty() {
+                self.deliver_toplevel(m, delta);
+            }
+        }
+        self.clear_epoch_state(sid);
+        Ok(self.scope_rt[sid.0].depth.unwrap_or(0))
+    }
+
+    fn clear_epoch_state(&mut self, sid: ScopeId) {
+        let rt = &mut self.scope_rt[sid.0];
+        rt.pending_slots.clear();
+        rt.top_touched = false;
+        let dirty = std::mem::take(&mut rt.dirty_logs);
+        for (node, slot) in dirty {
+            if let NodeState::Arrange(s) = &mut self.states[node.0] {
+                if let Some(sl) = s.get_mut(slot as usize) {
+                    sl.log.clear();
+                }
+            }
+        }
+    }
+
+    /// Delivers an invariant in-scope node's output: plain pending for
+    /// invariant consumers, slot-0 pending for loop-variable initial values,
+    /// absorbed + broadcast for varying consumers.
+    fn deliver_invariant(
+        &mut self,
+        sid: ScopeId,
+        from: NodeId,
+        batch: Batch,
+        broadcasts: &mut Vec<(NodeId, usize, Batch)>,
+    ) {
+        let consumers = self.program.nodes[from.0].consumers.clone();
+        for (c, port) in consumers {
+            let cnode = &self.program.nodes[c.0];
+            if cnode.scope != Some(sid) {
+                // Output of an invariant leave heading to the outer region.
+                self.pending[c.0][port]
+                    .entry(0)
+                    .or_default()
+                    .extend(batch.iter().cloned());
+                continue;
+            }
+            if !cnode.varying {
+                self.pending[c.0][port]
+                    .entry(0)
+                    .or_default()
+                    .extend(batch.iter().cloned());
+            } else if matches!(cnode.kind, OpKind::Variable { .. }) && port == 0 {
+                // Loop-variable initial values apply at iteration 0 only.
+                self.pending[c.0][0]
+                    .entry(0)
+                    .or_default()
+                    .extend(batch.iter().cloned());
+                self.scope_rt[sid.0].pending_slots.insert(0);
+            } else {
+                let payload = self.absorb_invariant_side(c, port, &batch);
+                if !payload.is_empty() {
+                    broadcasts.push((c, port, payload));
+                }
+            }
+        }
+    }
+
+    /// Delivers a varying in-scope node's output at a slot, including
+    /// feedback pass-through to loop variables at the next slot.
+    fn deliver_varying(&mut self, sid: ScopeId, from: NodeId, slot: u32, batch: Batch) {
+        let consumers = self.program.nodes[from.0].consumers.clone();
+        for (c, port) in consumers {
+            let cnode = &self.program.nodes[c.0];
+            if cnode.scope != Some(sid) {
+                continue; // leave outputs are emitted in phase C
+            }
+            debug_assert!(cnode.varying, "varying stream cannot feed invariant node");
+            self.pending[c.0][port]
+                .entry(slot)
+                .or_default()
+                .extend(batch.iter().cloned());
+            self.scope_rt[sid.0].pending_slots.insert(slot);
+        }
+        // Feedback pass-through: the variable's slot i+1 mirrors the buffered
+        // body's slot i, so epoch deltas forward directly — but only within
+        // the materialized depth; the boundary check handles deepening.
+        if let Some(vars) = self.feedback_of.get(&from.0).cloned() {
+            let depth = self.scope_rt[sid.0].depth.expect("scope ran");
+            if slot < depth {
+                for var in vars {
+                    let fb_port = self.pending[var.0].len() - 1;
+                    self.pending[var.0][fb_port]
+                        .entry(slot + 1)
+                        .or_default()
+                        .extend(batch.iter().cloned());
+                    self.scope_rt[sid.0].pending_slots.insert(slot + 1);
+                }
+            }
+        }
+    }
+
+    /// Applies an invariant-side delta to the shared state of a varying
+    /// consumer (once per epoch, not per slot) and returns the payload to
+    /// broadcast to every materialized slot: raw rows for joins/stateless
+    /// consumers, key presence flips for antijoin right sides.
+    fn absorb_invariant_side(&mut self, node: NodeId, port: usize, batch: &Batch) -> Batch {
+        self.tuples_processed += batch.len();
+        match &mut self.states[node.0] {
+            NodeState::Join { left, right } => {
+                let side = if port == 0 { left } else { right };
+                debug_assert!(!side.varying);
+                let index = &mut side.slots[0].state;
+                for (row, diff) in batch {
+                    index.update(row.key(), row.payload(), *diff);
+                }
+                batch.clone()
+            }
+            NodeState::AntiJoin { left, right } => {
+                if port == 0 {
+                    debug_assert!(!left.varying);
+                    let index = &mut left.slots[0].state;
+                    for (row, diff) in batch {
+                        index.update(row.key(), row.payload(), *diff);
+                    }
+                    batch.clone()
+                } else {
+                    debug_assert!(!right.varying);
+                    let index = &mut right.slots[0].state;
+                    let mut flips = Batch::new();
+                    for (row, diff) in batch {
+                        let before = index.key_count(row);
+                        index.update(row, &Value::Unit, *diff);
+                        let after = index.key_count(row);
+                        match (before > 0, after > 0) {
+                            (false, true) => flips.push((row.clone(), 1)),
+                            (true, false) => flips.push((row.clone(), -1)),
+                            _ => {}
+                        }
+                    }
+                    flips
+                }
+            }
+            // Stateless varying consumers (concat etc.): broadcast raw rows.
+            _ => batch.clone(),
+        }
+    }
+
+    /// Processes one node at one slot given its drained port batches,
+    /// returning the (consolidated) output delta.
+    fn apply_node(
+        &mut self,
+        id: NodeId,
+        slot: u32,
+        mut ports: Vec<(usize, Batch)>,
+        varying: bool,
+    ) -> Batch {
+        for (_, b) in &ports {
+            self.tuples_processed += b.len();
+        }
+        let slot_idx = if varying { slot as usize } else { 0 };
+        let kind = kind_ref(&self.program.nodes[id.0].kind);
+        let mut out = Batch::new();
+        let mut log_dirty = false;
+        let mut output_changed = false;
+        match kind {
+            KindRef::Passthrough | KindRef::Concat => {
+                for (_, b) in ports {
+                    out.extend(b);
+                }
+            }
+            KindRef::Map(f) => {
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        out.push((f(&row), diff));
+                    }
+                }
+            }
+            KindRef::FlatMap(f) => {
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        for produced in f(&row) {
+                            out.push((produced, diff));
+                        }
+                    }
+                }
+            }
+            KindRef::Filter(p) => {
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        if p(&row) {
+                            out.push((row, diff));
+                        }
+                    }
+                }
+            }
+            KindRef::Negate => {
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        out.push((row, -diff));
+                    }
+                }
+            }
+            KindRef::Arrange { is_leave } => {
+                if is_leave && !varying {
+                    // Invariant leave: pure pass-through to the outer region.
+                    for (_, b) in ports {
+                        out.extend(b);
+                    }
+                } else {
+                    let NodeState::Arrange(slots) = &mut self.states[id.0] else {
+                        unreachable!()
+                    };
+                    let sl = &mut slots[slot_idx];
+                    for (_, b) in ports {
+                        for (row, diff) in b {
+                            sl.state.update(row.clone(), diff);
+                            if is_leave {
+                                sl.log.push((row.clone(), diff));
+                            } else {
+                                // Variables/buffers forward their deltas;
+                                // leaves emit in phase C instead.
+                                out.push((row, diff));
+                            }
+                        }
+                    }
+                    log_dirty = is_leave;
+                }
+            }
+            KindRef::Distinct => {
+                let NodeState::Distinct(slots) = &mut self.states[id.0] else {
+                    unreachable!()
+                };
+                let sl = &mut slots[slot_idx];
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        let before = sl.state.count(&row);
+                        let after = sl.state.update(row.clone(), diff);
+                        match (before > 0, after > 0) {
+                            (false, true) => out.push((row, 1)),
+                            (true, false) => out.push((row, -1)),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            KindRef::Join(outf) => {
+                let NodeState::Join { left, right } = &mut self.states[id.0] else {
+                    unreachable!()
+                };
+                // Port order: when exactly the left side is invariant its
+                // payload must be processed first (against the right side's
+                // pre-slot state); otherwise right first. See DESIGN.md.
+                let left_first = !left.varying && right.varying;
+                ports.sort_by_key(|(p, _)| if left_first { *p } else { 1 - *p });
+                for (port, b) in ports {
+                    let (this_is_left, this_varying) = if port == 0 {
+                        (true, left.varying)
+                    } else {
+                        (false, right.varying)
+                    };
+                    {
+                        let other = if this_is_left { &*right } else { &*left };
+                        let oidx = other.at(slot_idx);
+                        for (row, diff) in &b {
+                            if let Some(matches) = oidx.get(row.key()) {
+                                for (opayload, ocount) in matches {
+                                    let produced = if this_is_left {
+                                        outf(row.key(), row.payload(), opayload)
+                                    } else {
+                                        outf(row.key(), opayload, row.payload())
+                                    };
+                                    out.push((produced, diff * ocount));
+                                }
+                            }
+                        }
+                    }
+                    // Varying sides update per-slot state here; sides of an
+                    // *invariant node* update their shared slot here too.
+                    // (Invariant sides of varying nodes were updated once in
+                    // `absorb_invariant_side`.)
+                    if this_varying || !varying {
+                        let side = if this_is_left { &mut *left } else { &mut *right };
+                        let idx = side.at_mut(slot_idx);
+                        for (row, diff) in &b {
+                            idx.update(row.key(), row.payload(), *diff);
+                        }
+                    }
+                }
+            }
+            KindRef::AntiJoin => {
+                let NodeState::AntiJoin { left, right } = &mut self.states[id.0] else {
+                    unreachable!()
+                };
+                let left_first = !left.varying && right.varying;
+                ports.sort_by_key(|(p, _)| if left_first { *p } else { 1 - *p });
+                for (port, b) in ports {
+                    if port == 1 {
+                        if right.varying || !varying {
+                            // Raw deltas: compute flips against this slot.
+                            let mut flips = Batch::new();
+                            {
+                                let idx = right.at_mut(slot_idx);
+                                for (row, diff) in &b {
+                                    let before = idx.key_count(row);
+                                    idx.update(row, &Value::Unit, *diff);
+                                    let after = idx.key_count(row);
+                                    match (before > 0, after > 0) {
+                                        (false, true) => flips.push((row.clone(), 1)),
+                                        (true, false) => flips.push((row.clone(), -1)),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                            emit_antijoin_flips(&flips, left.at(slot_idx), &mut out);
+                        } else {
+                            // Pre-computed flips broadcast from phase A.
+                            emit_antijoin_flips(&b, left.at(slot_idx), &mut out);
+                        }
+                    } else {
+                        {
+                            let ridx = right.at(slot_idx);
+                            for (row, diff) in &b {
+                                if ridx.key_count(row.key()) <= 0 {
+                                    out.push((row.clone(), *diff));
+                                }
+                            }
+                        }
+                        if left.varying || !varying {
+                            let idx = left.at_mut(slot_idx);
+                            for (row, diff) in &b {
+                                idx.update(row.key(), row.payload(), *diff);
+                            }
+                        }
+                    }
+                }
+            }
+            KindRef::Reduce(f) => {
+                let NodeState::Reduce(slots) = &mut self.states[id.0] else {
+                    unreachable!()
+                };
+                let sl = &mut slots[slot_idx];
+                let mut dirty_keys: BTreeSet<Value> = BTreeSet::new();
+                for (_, b) in ports {
+                    for (row, diff) in b {
+                        let key = row.key().clone();
+                        let payload = row.payload().clone();
+                        apply_group_update(&mut sl.state.groups, &key, &payload, diff);
+                        dirty_keys.insert(key);
+                    }
+                }
+                for key in dirty_keys {
+                    let new_out = evaluate_reduce(&f, &sl.state.groups, &key);
+                    let old_out = sl.state.out_cache.remove(&key).unwrap_or_default();
+                    for (row, diff) in &new_out {
+                        out.push((row.clone(), *diff));
+                    }
+                    for (row, diff) in &old_out {
+                        out.push((row.clone(), -diff));
+                    }
+                    if !new_out.is_empty() {
+                        sl.state.out_cache.insert(key, new_out);
+                    }
+                }
+            }
+            KindRef::Output => {
+                let NodeState::Output { current, drained } = &mut self.states[id.0] else {
+                    unreachable!()
+                };
+                for (_, b) in ports {
+                    if !b.is_empty() {
+                        output_changed = true;
+                    }
+                    current.apply(&b);
+                    drained.extend(b);
+                }
+            }
+        }
+        if log_dirty {
+            if let Some(sid) = self.program.nodes[id.0].scope {
+                self.scope_rt[sid.0].dirty_logs.push((id, slot));
+            }
+        }
+        if output_changed {
+            self.outputs_changed += 1;
+        }
+        // Consolidation keeps net-zero batches from circulating forever in
+        // feedback loops and canonicalizes all inter-operator traffic.
+        consolidate(&mut out);
+        out
+    }
+}
+
+fn emit_antijoin_flips(flips: &Batch, left: &Index, out: &mut Batch) {
+    for (key, dir) in flips {
+        if let Some(rows) = left.get(key) {
+            for (payload, count) in rows {
+                // Key appeared (+1): suppress left rows; vanished (-1): emit.
+                out.push((Value::kv(key.clone(), payload.clone()), -dir * count));
+            }
+        }
+    }
+}
+
+fn apply_group_update(
+    groups: &mut HashMap<Value, BTreeMap<Value, Diff>>,
+    key: &Value,
+    payload: &Value,
+    diff: Diff,
+) {
+    let group = groups.entry(key.clone()).or_default();
+    let entry = group.entry(payload.clone()).or_insert(0);
+    *entry += diff;
+    if *entry == 0 {
+        group.remove(payload);
+    }
+    if group.is_empty() {
+        groups.remove(key);
+    }
+}
+
+fn evaluate_reduce(
+    f: &ReduceFn,
+    groups: &HashMap<Value, BTreeMap<Value, Diff>>,
+    key: &Value,
+) -> Batch {
+    match groups.get(key) {
+        None => Batch::new(),
+        Some(group) => {
+            let entries: Vec<(Value, Diff)> = group
+                .iter()
+                .filter(|(_, d)| **d > 0)
+                .map(|(v, d)| (v.clone(), *d))
+                .collect();
+            if entries.is_empty() {
+                return Batch::new();
+            }
+            let mut out: Batch = f(key, &entries).into_iter().map(|v| (v, 1)).collect();
+            consolidate(&mut out);
+            out
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Dynamically-typed row values.
+//!
+//! The engine moves rows of type [`Value`] between operators, mirroring
+//! DDlog's `DDValue`. A dynamic representation keeps the dataflow graph
+//! monomorphic (nodes are plain structs, edges carry one batch type), which
+//! in turn keeps the runtime simple and robust — the same trade-off DDlog
+//! makes. Tuples and lists are `Arc`-backed so cloning a row is cheap.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically-typed value flowing through the dataflow graph.
+///
+/// `Value` is totally ordered (across variants, by variant rank first) so it
+/// can serve as a key in ordered containers and so consolidated batches have
+/// a canonical order, which makes runs reproducible.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The unit value; useful as a "presence only" payload.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 32-bit unsigned integer (IPv4 addresses, router ids, small ids).
+    U32(u32),
+    /// A 64-bit unsigned integer (packed composite ids, counters).
+    U64(u64),
+    /// A 64-bit signed integer (metrics, costs, preference values).
+    I64(i64),
+    /// An interned string (device names, policy names).
+    Str(Arc<str>),
+    /// A fixed-arity tuple. Keyed operators expect 2-tuples `(key, payload)`.
+    Tuple(Arc<[Value]>),
+    /// A variable-length list (e.g. BGP AS paths).
+    List(Arc<[Value]>),
+}
+
+impl Value {
+    /// Builds a tuple value from a vector of fields.
+    pub fn tuple(fields: Vec<Value>) -> Value {
+        Value::Tuple(fields.into())
+    }
+
+    /// Builds a 2-tuple `(key, payload)` — the shape keyed operators expect.
+    pub fn kv(key: Value, payload: Value) -> Value {
+        Value::Tuple(Arc::from(vec![key, payload]))
+    }
+
+    /// Builds a list value from a vector of elements.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(items.into())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Returns the fields of a tuple, or `None` for other variants.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements of a list, or `None` for other variants.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the `i`-th field of a tuple.
+    ///
+    /// # Panics
+    /// Panics if the value is not a tuple or the index is out of bounds;
+    /// rule authors use this on rows whose shape they constructed.
+    pub fn field(&self, i: usize) -> &Value {
+        match self {
+            Value::Tuple(t) => &t[i],
+            other => panic!("Value::field({i}) on non-tuple {other:?}"),
+        }
+    }
+
+    /// Returns the key of a `(key, payload)` 2-tuple.
+    pub fn key(&self) -> &Value {
+        self.field(0)
+    }
+
+    /// Returns the payload of a `(key, payload)` 2-tuple.
+    pub fn payload(&self) -> &Value {
+        self.field(1)
+    }
+
+    /// Returns the inner `bool`, panicking on other variants.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("Value::as_bool on {other:?}"),
+        }
+    }
+
+    /// Returns the inner `u32`, panicking on other variants.
+    pub fn as_u32(&self) -> u32 {
+        match self {
+            Value::U32(v) => *v,
+            other => panic!("Value::as_u32 on {other:?}"),
+        }
+    }
+
+    /// Returns the inner `u64`, panicking on other variants.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::U64(v) => *v,
+            other => panic!("Value::as_u64 on {other:?}"),
+        }
+    }
+
+    /// Returns the inner `i64`, panicking on other variants.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("Value::as_i64 on {other:?}"),
+        }
+    }
+
+    /// Returns the inner string, panicking on other variants.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("Value::as_str on {other:?}"),
+        }
+    }
+
+    /// Variant rank used to order values of different variants.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::U32(_) => 2,
+            Value::U64(_) => 3,
+            Value::I64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Tuple(_) => 6,
+            Value::List(_) => 7,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (U32(a), U32(b)) => a.cmp(b),
+            (U64(a), U64(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U32(v) => write!(f, "{v}u32"),
+            Value::U64(v) => write!(f, "{v}u64"),
+            Value::I64(v) => write!(f, "{v}i64"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, ")")
+            }
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U32(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_accessors() {
+        let v = Value::kv(Value::U32(7), Value::str("x"));
+        assert_eq!(v.key().as_u32(), 7);
+        assert_eq!(v.payload().as_str(), "x");
+        assert_eq!(v.as_tuple().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ordering_is_total_and_cross_variant() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::U32(3),
+            Value::Unit,
+            Value::Bool(true),
+            Value::tuple(vec![Value::U32(1)]),
+            Value::U32(1),
+            Value::list(vec![Value::Unit]),
+            Value::I64(-5),
+        ];
+        vs.sort();
+        // Variant rank first: Unit < Bool < U32 < I64 < Str < Tuple < List.
+        assert_eq!(vs[0], Value::Unit);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::U32(1));
+        assert_eq!(vs[3], Value::U32(3));
+        assert_eq!(vs[4], Value::I64(-5));
+        assert_eq!(vs[5], Value::str("b"));
+        assert!(matches!(vs[6], Value::Tuple(_)));
+        assert!(matches!(vs[7], Value::List(_)));
+    }
+
+    #[test]
+    fn tuples_compare_lexicographically() {
+        let a = Value::tuple(vec![Value::U32(1), Value::U32(9)]);
+        let b = Value::tuple(vec![Value::U32(2), Value::U32(0)]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn clone_is_cheap_shallow() {
+        let t = Value::tuple(vec![Value::str("a"); 8]);
+        let u = t.clone();
+        assert_eq!(t, u);
+        if let (Value::Tuple(a), Value::Tuple(b)) = (&t, &u) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        let v = Value::kv(Value::U32(1), Value::list(vec![Value::Bool(false)]));
+        assert_eq!(format!("{v:?}"), "(1u32, [false])");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-tuple")]
+    fn field_on_non_tuple_panics() {
+        Value::U32(1).field(0);
+    }
+}

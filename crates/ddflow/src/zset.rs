@@ -1,0 +1,243 @@
+//! Z-sets: multisets with signed integer multiplicities.
+//!
+//! A collection at any point in time is a Z-set: a map from rows to signed
+//! counts. Changes are *batches* of `(row, diff)` pairs. All incremental
+//! operators are linear (or piecewise linear) functions over Z-sets, which is
+//! what makes differential computation compositional.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Signed multiplicity of a row.
+pub type Diff = isize;
+
+/// An unconsolidated change batch: rows with signed multiplicities, possibly
+/// containing duplicates and zero-sum pairs.
+pub type Batch = Vec<(Value, Diff)>;
+
+/// Sorts a batch and merges duplicate rows, dropping rows whose net
+/// multiplicity is zero. The result is canonical: equal Z-sets consolidate to
+/// equal batches, which makes engine output deterministic and comparable.
+pub fn consolidate(batch: &mut Batch) {
+    if batch.is_empty() {
+        return;
+    }
+    batch.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut write = 0usize;
+    let mut read = 0usize;
+    while read < batch.len() {
+        let mut diff = batch[read].1;
+        let mut next = read + 1;
+        while next < batch.len() && batch[next].0 == batch[read].0 {
+            diff += batch[next].1;
+            next += 1;
+        }
+        if diff != 0 {
+            batch.swap(write, read);
+            batch[write].1 = diff;
+            write += 1;
+        }
+        read = next;
+    }
+    batch.truncate(write);
+}
+
+/// A materialized Z-set: the accumulated collection of some stream.
+///
+/// Rows with zero net multiplicity are removed eagerly, so `len` counts rows
+/// actually present (positively or negatively).
+#[derive(Clone, Default)]
+pub struct ZSet {
+    rows: HashMap<Value, Diff>,
+}
+
+impl ZSet {
+    /// Creates an empty Z-set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a single `(row, diff)` update. Returns the new multiplicity.
+    pub fn update(&mut self, row: Value, diff: Diff) -> Diff {
+        if diff == 0 {
+            return self.count(&row);
+        }
+        match self.rows.get_mut(&row) {
+            Some(c) => {
+                *c += diff;
+                let now = *c;
+                if now == 0 {
+                    self.rows.remove(&row);
+                }
+                now
+            }
+            None => {
+                self.rows.insert(row, diff);
+                diff
+            }
+        }
+    }
+
+    /// Applies a batch of updates, removing rows whose count reaches zero.
+    pub fn apply(&mut self, batch: &Batch) {
+        for (row, diff) in batch {
+            if *diff == 0 {
+                continue;
+            }
+            match self.rows.get_mut(row) {
+                Some(c) => {
+                    *c += diff;
+                    if *c == 0 {
+                        self.rows.remove(row);
+                    }
+                }
+                None => {
+                    self.rows.insert(row.clone(), *diff);
+                }
+            }
+        }
+    }
+
+    /// Multiplicity of a row (zero if absent).
+    pub fn count(&self, row: &Value) -> Diff {
+        self.rows.get(row).copied().unwrap_or(0)
+    }
+
+    /// Whether the row is present with positive multiplicity.
+    pub fn contains(&self, row: &Value) -> bool {
+        self.count(row) > 0
+    }
+
+    /// Number of distinct rows with nonzero multiplicity.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the Z-set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over `(row, multiplicity)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, Diff)> {
+        self.rows.iter().map(|(v, d)| (v, *d))
+    }
+
+    /// Returns the contents as a canonical (sorted, consolidated) batch.
+    pub fn to_batch(&self) -> Batch {
+        let mut out: Batch = self.rows.iter().map(|(v, d)| (v.clone(), *d)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Computes `other - self` as a canonical batch (the delta that would
+    /// turn `self` into `other`).
+    pub fn diff_to(&self, other: &ZSet) -> Batch {
+        let mut out = Batch::new();
+        for (row, d) in other.iter() {
+            let here = self.count(row);
+            if d != here {
+                out.push((row.clone(), d - here));
+            }
+        }
+        for (row, d) in self.iter() {
+            if other.count(row) == 0 && d != 0 {
+                out.push((row.clone(), -d));
+            }
+        }
+        consolidate(&mut out);
+        out
+    }
+}
+
+impl std::fmt::Debug for ZSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.to_batch().iter().map(|(v, d)| (v.clone(), *d)))
+            .finish()
+    }
+}
+
+impl FromIterator<(Value, Diff)> for ZSet {
+    fn from_iter<T: IntoIterator<Item = (Value, Diff)>>(iter: T) -> Self {
+        let mut z = ZSet::new();
+        let batch: Batch = iter.into_iter().collect();
+        z.apply(&batch);
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> Value {
+        Value::U32(n)
+    }
+
+    #[test]
+    fn consolidate_merges_and_drops_zeros() {
+        let mut b = vec![(v(2), 1), (v(1), 3), (v(2), -1), (v(1), -1), (v(3), 0)];
+        consolidate(&mut b);
+        assert_eq!(b, vec![(v(1), 2)]);
+    }
+
+    #[test]
+    fn consolidate_empty_and_singleton() {
+        let mut b: Batch = vec![];
+        consolidate(&mut b);
+        assert!(b.is_empty());
+        let mut b = vec![(v(1), 5)];
+        consolidate(&mut b);
+        assert_eq!(b, vec![(v(1), 5)]);
+    }
+
+    #[test]
+    fn consolidate_is_idempotent() {
+        let mut b = vec![(v(3), 1), (v(1), 2), (v(3), 2)];
+        consolidate(&mut b);
+        let once = b.clone();
+        consolidate(&mut b);
+        assert_eq!(b, once);
+    }
+
+    #[test]
+    fn zset_apply_removes_zero_rows() {
+        let mut z = ZSet::new();
+        z.apply(&vec![(v(1), 2), (v(2), 1)]);
+        assert_eq!(z.count(&v(1)), 2);
+        z.apply(&vec![(v(1), -2)]);
+        assert_eq!(z.count(&v(1)), 0);
+        assert_eq!(z.len(), 1);
+        assert!(z.contains(&v(2)));
+    }
+
+    #[test]
+    fn zset_supports_negative_counts() {
+        let mut z = ZSet::new();
+        z.apply(&vec![(v(9), -3)]);
+        assert_eq!(z.count(&v(9)), -3);
+        assert!(!z.contains(&v(9)));
+    }
+
+    #[test]
+    fn diff_to_produces_exact_delta() {
+        let a: ZSet = vec![(v(1), 1), (v(2), 2), (v(3), 1)].into_iter().collect();
+        let b: ZSet = vec![(v(2), 1), (v(3), 1), (v(4), 5)].into_iter().collect();
+        let delta = a.diff_to(&b);
+        let mut a2 = a.clone();
+        a2.apply(&delta);
+        assert_eq!(a2.to_batch(), b.to_batch());
+        // And the delta is canonical.
+        let mut d2 = delta.clone();
+        consolidate(&mut d2);
+        assert_eq!(delta, d2);
+    }
+
+    #[test]
+    fn to_batch_is_sorted() {
+        let z: ZSet = vec![(v(5), 1), (v(1), 1), (v(3), 1)].into_iter().collect();
+        let b = z.to_batch();
+        assert!(b.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Access control lists: ordered permit/deny rules over 5-tuple flows.
+
+use crate::ip::{Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Permit or deny.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Action {
+    /// Allow matching traffic.
+    Permit,
+    /// Drop matching traffic.
+    Deny,
+}
+
+/// An inclusive port range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PortRange {
+    /// Lowest matching port.
+    pub lo: u16,
+    /// Highest matching port (inclusive).
+    pub hi: u16,
+}
+
+impl PortRange {
+    /// The full port space.
+    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+
+    /// A single port.
+    pub fn exactly(p: u16) -> Self {
+        PortRange { lo: p, hi: p }
+    }
+
+    /// Whether the range matches the port.
+    pub fn contains(self, p: u16) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+}
+
+/// Header-field constraints of one ACL entry. Unset fields match anything.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Source address constraint.
+    pub src: Option<Ipv4Prefix>,
+    /// Destination address constraint.
+    pub dst: Option<Ipv4Prefix>,
+    /// IP protocol (6 = TCP, 17 = UDP, ...).
+    pub proto: Option<u8>,
+    /// Source port constraint.
+    pub src_ports: Option<PortRange>,
+    /// Destination port constraint.
+    pub dst_ports: Option<PortRange>,
+}
+
+impl FlowMatch {
+    /// Matches every packet.
+    pub fn any() -> Self {
+        FlowMatch {
+            src: None,
+            dst: None,
+            proto: None,
+            src_ports: None,
+            dst_ports: None,
+        }
+    }
+
+    /// Matches a destination prefix only.
+    pub fn dst(prefix: Ipv4Prefix) -> Self {
+        FlowMatch {
+            dst: Some(prefix),
+            ..Self::any()
+        }
+    }
+
+    /// Matches a source prefix only.
+    pub fn src(prefix: Ipv4Prefix) -> Self {
+        FlowMatch {
+            src: Some(prefix),
+            ..Self::any()
+        }
+    }
+
+    /// Whether a concrete flow satisfies all constraints.
+    pub fn matches(&self, flow: &Flow) -> bool {
+        self.src.map_or(true, |p| p.contains(flow.src))
+            && self.dst.map_or(true, |p| p.contains(flow.dst))
+            && self.proto.map_or(true, |pr| pr == flow.proto)
+            && self.src_ports.map_or(true, |r| r.contains(flow.src_port))
+            && self.dst_ports.map_or(true, |r| r.contains(flow.dst_port))
+    }
+}
+
+/// A concrete packet 5-tuple, used for point queries and tests.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP protocol.
+    pub proto: u8,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl Flow {
+    /// A TCP flow to the given destination (other fields arbitrary-typical).
+    pub fn tcp_to(dst: Ipv4Addr, dst_port: u16) -> Self {
+        Flow {
+            src: Ipv4Addr(0),
+            dst,
+            proto: 6,
+            src_port: 40000,
+            dst_port,
+        }
+    }
+}
+
+/// One sequenced ACL entry.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AclEntry {
+    /// Evaluation order (ascending).
+    pub seq: u32,
+    /// Permit or deny on match.
+    pub action: Action,
+    /// Header constraints.
+    pub matches: FlowMatch,
+}
+
+/// An ordered access list. Evaluation is first-match; a flow matching no
+/// entry is denied (the conventional implicit deny).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Acl {
+    /// Entries; kept sorted by `seq`.
+    pub entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// An ACL that permits everything.
+    pub fn permit_all() -> Self {
+        Acl {
+            entries: vec![AclEntry {
+                seq: u32::MAX,
+                action: Action::Permit,
+                matches: FlowMatch::any(),
+            }],
+        }
+    }
+
+    /// Adds an entry, keeping entries sorted by sequence number.
+    pub fn add(&mut self, entry: AclEntry) {
+        let pos = self
+            .entries
+            .partition_point(|e| e.seq <= entry.seq);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Removes the entry with the given sequence number, if present.
+    pub fn remove_seq(&mut self, seq: u32) -> Option<AclEntry> {
+        let pos = self.entries.iter().position(|e| e.seq == seq)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// First-match evaluation; unmatched flows are implicitly denied.
+    pub fn permits(&self, flow: &Flow) -> bool {
+        for e in &self.entries {
+            if e.matches.matches(flow) {
+                return e.action == Action::Permit;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::{ip, pfx};
+
+    fn entry(seq: u32, action: Action, m: FlowMatch) -> AclEntry {
+        AclEntry {
+            seq,
+            action,
+            matches: m,
+        }
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut acl = Acl::default();
+        acl.add(entry(10, Action::Deny, FlowMatch::dst(pfx("10.0.0.0/8"))));
+        acl.add(entry(20, Action::Permit, FlowMatch::any()));
+        assert!(!acl.permits(&Flow::tcp_to(ip("10.1.1.1"), 80)));
+        assert!(acl.permits(&Flow::tcp_to(ip("11.1.1.1"), 80)));
+    }
+
+    #[test]
+    fn implicit_deny_when_no_match() {
+        let mut acl = Acl::default();
+        acl.add(entry(10, Action::Permit, FlowMatch::dst(pfx("10.0.0.0/8"))));
+        assert!(!acl.permits(&Flow::tcp_to(ip("11.1.1.1"), 80)));
+    }
+
+    #[test]
+    fn entries_stay_sorted_under_insertion() {
+        let mut acl = Acl::default();
+        acl.add(entry(30, Action::Permit, FlowMatch::any()));
+        acl.add(entry(10, Action::Deny, FlowMatch::dst(pfx("10.0.0.0/8"))));
+        acl.add(entry(20, Action::Permit, FlowMatch::dst(pfx("10.0.0.0/16"))));
+        let seqs: Vec<u32> = acl.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![10, 20, 30]);
+        // /16 is shadowed by the seq-10 deny of /8.
+        assert!(!acl.permits(&Flow::tcp_to(ip("10.0.1.1"), 80)));
+    }
+
+    #[test]
+    fn remove_seq_restores_behavior() {
+        let mut acl = Acl::default();
+        acl.add(entry(10, Action::Deny, FlowMatch::dst(pfx("10.0.0.0/8"))));
+        acl.add(entry(20, Action::Permit, FlowMatch::any()));
+        assert!(!acl.permits(&Flow::tcp_to(ip("10.1.1.1"), 80)));
+        assert!(acl.remove_seq(10).is_some());
+        assert!(acl.permits(&Flow::tcp_to(ip("10.1.1.1"), 80)));
+        assert!(acl.remove_seq(99).is_none());
+    }
+
+    #[test]
+    fn port_and_proto_constraints() {
+        let m = FlowMatch {
+            proto: Some(6),
+            dst_ports: Some(PortRange { lo: 80, hi: 443 }),
+            ..FlowMatch::any()
+        };
+        let mut acl = Acl::default();
+        acl.add(entry(10, Action::Permit, m));
+        assert!(acl.permits(&Flow::tcp_to(ip("1.1.1.1"), 80)));
+        assert!(acl.permits(&Flow::tcp_to(ip("1.1.1.1"), 443)));
+        assert!(!acl.permits(&Flow::tcp_to(ip("1.1.1.1"), 8080)));
+        let udp = Flow {
+            proto: 17,
+            ..Flow::tcp_to(ip("1.1.1.1"), 80)
+        };
+        assert!(!acl.permits(&udp));
+    }
+
+    #[test]
+    fn permit_all_permits() {
+        assert!(Acl::permit_all().permits(&Flow::tcp_to(ip("8.8.8.8"), 53)));
+    }
+}

@@ -1,0 +1,236 @@
+//! Fluent snapshot construction, used by tests, examples and generators.
+//!
+//! ```
+//! use net_model::builder::NetBuilder;
+//!
+//! let snap = NetBuilder::new()
+//!     .router("r1")
+//!     .iface("r1", "eth0", "10.0.0.1/31")
+//!     .router("r2")
+//!     .iface("r2", "eth0", "10.0.0.0/31")
+//!     .link("r1", "eth0", "r2", "eth0")
+//!     .build();
+//! assert!(snap.validate().is_empty());
+//! ```
+
+use crate::config::{BgpConfig, BgpNeighbor, DeviceConfig, IfaceConfig, NextHop, StaticRoute};
+use crate::ip::{ip, Ipv4Addr, Ipv4Prefix};
+use crate::route::RouteMap;
+use crate::snapshot::{Endpoint, Link, Snapshot};
+use crate::acl::Acl;
+
+/// Builds [`Snapshot`]s incrementally. Methods panic on references to
+/// devices that were never declared — builder misuse is a programming
+/// error, not a runtime condition.
+#[derive(Default)]
+pub struct NetBuilder {
+    snap: Snapshot,
+}
+
+impl NetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn dev(&mut self, name: &str) -> &mut DeviceConfig {
+        self.snap
+            .devices
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("device {name:?} not declared"))
+    }
+
+    /// Declares a router.
+    pub fn router(mut self, name: &str) -> Self {
+        self.snap.devices.insert(name.to_string(), DeviceConfig::default());
+        self
+    }
+
+    /// Adds an interface; `cidr` is `"a.b.c.d/len"` where the address part
+    /// is the interface address.
+    pub fn iface(mut self, dev: &str, name: &str, cidr: &str) -> Self {
+        let (addr_s, len_s) = cidr.split_once('/').expect("addr/len");
+        let addr: Ipv4Addr = ip(addr_s);
+        let len: u8 = len_s.parse().expect("prefix length");
+        self.dev(dev)
+            .interfaces
+            .insert(name.to_string(), IfaceConfig::new(addr, len));
+        self
+    }
+
+    /// Enables OSPF (area 0) on an interface with a cost.
+    pub fn ospf(mut self, dev: &str, iface: &str, cost: u32) -> Self {
+        let ic = self
+            .dev(dev)
+            .interfaces
+            .get_mut(iface)
+            .unwrap_or_else(|| panic!("iface {dev}[{iface}] not declared"));
+        *ic = ic.clone().with_ospf(cost);
+        self
+    }
+
+    /// Marks an OSPF interface passive (advertised, no adjacency).
+    pub fn ospf_passive(mut self, dev: &str, iface: &str, cost: u32) -> Self {
+        let ic = self
+            .dev(dev)
+            .interfaces
+            .get_mut(iface)
+            .unwrap_or_else(|| panic!("iface {dev}[{iface}] not declared"));
+        let mut o = ic.clone().with_ospf(cost);
+        o.ospf.as_mut().unwrap().passive = true;
+        *ic = o;
+        self
+    }
+
+    /// Adds a physical link between two interfaces.
+    pub fn link(mut self, d1: &str, i1: &str, d2: &str, i2: &str) -> Self {
+        self.snap
+            .links
+            .push(Link::new(Endpoint::new(d1, i1), Endpoint::new(d2, i2)));
+        self
+    }
+
+    /// Starts a BGP process.
+    pub fn bgp(mut self, dev: &str, asn: u32, router_id: u32) -> Self {
+        self.dev(dev).bgp = Some(BgpConfig {
+            asn,
+            router_id,
+            neighbors: vec![],
+            networks: vec![],
+        });
+        self
+    }
+
+    /// Adds a BGP neighbor with optional import/export route-map names.
+    pub fn neighbor(
+        mut self,
+        dev: &str,
+        peer: &str,
+        remote_as: u32,
+        import: Option<&str>,
+        export: Option<&str>,
+    ) -> Self {
+        self.dev(dev)
+            .bgp
+            .as_mut()
+            .expect("bgp process declared first")
+            .neighbors
+            .push(BgpNeighbor {
+                peer: ip(peer),
+                remote_as,
+                import_policy: import.map(str::to_string),
+                export_policy: export.map(str::to_string),
+            });
+        self
+    }
+
+    /// Adds a BGP network statement.
+    pub fn network(mut self, dev: &str, prefix: Ipv4Prefix) -> Self {
+        self.dev(dev)
+            .bgp
+            .as_mut()
+            .expect("bgp process declared first")
+            .networks
+            .push(prefix);
+        self
+    }
+
+    /// Adds a static route toward a next-hop address.
+    pub fn static_route(mut self, dev: &str, prefix: Ipv4Prefix, nh: &str) -> Self {
+        self.dev(dev).static_routes.push(StaticRoute {
+            prefix,
+            next_hop: NextHop::Ip(ip(nh)),
+            admin_distance: 1,
+        });
+        self
+    }
+
+    /// Adds a discard (null) static route.
+    pub fn static_discard(mut self, dev: &str, prefix: Ipv4Prefix) -> Self {
+        self.dev(dev).static_routes.push(StaticRoute {
+            prefix,
+            next_hop: NextHop::Discard,
+            admin_distance: 1,
+        });
+        self
+    }
+
+    /// Installs a named route map.
+    pub fn route_map(mut self, dev: &str, name: &str, map: RouteMap) -> Self {
+        self.dev(dev).route_maps.insert(name.to_string(), map);
+        self
+    }
+
+    /// Installs a named ACL.
+    pub fn acl(mut self, dev: &str, name: &str, acl: Acl) -> Self {
+        self.dev(dev).acls.insert(name.to_string(), acl);
+        self
+    }
+
+    /// Binds an inbound ACL to an interface.
+    pub fn acl_in(mut self, dev: &str, iface: &str, acl: &str) -> Self {
+        self.dev(dev)
+            .interfaces
+            .get_mut(iface)
+            .unwrap_or_else(|| panic!("iface {dev}[{iface}] not declared"))
+            .acl_in = Some(acl.to_string());
+        self
+    }
+
+    /// Binds an outbound ACL to an interface.
+    pub fn acl_out(mut self, dev: &str, iface: &str, acl: &str) -> Self {
+        self.dev(dev)
+            .interfaces
+            .get_mut(iface)
+            .unwrap_or_else(|| panic!("iface {dev}[{iface}] not declared"))
+            .acl_out = Some(acl.to_string());
+        self
+    }
+
+    /// Finishes, returning the snapshot.
+    pub fn build(self) -> Snapshot {
+        self.snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::pfx;
+
+    #[test]
+    fn builds_a_valid_two_router_network() {
+        let snap = NetBuilder::new()
+            .router("r1")
+            .iface("r1", "eth0", "10.0.0.1/31")
+            .router("r2")
+            .iface("r2", "eth0", "10.0.0.0/31")
+            .link("r1", "eth0", "r2", "eth0")
+            .build();
+        assert!(snap.validate().is_empty());
+        assert_eq!(snap.device_count(), 2);
+        assert_eq!(snap.links.len(), 1);
+    }
+
+    #[test]
+    fn bgp_and_statics_compose() {
+        let snap = NetBuilder::new()
+            .router("r1")
+            .iface("r1", "eth0", "10.0.0.1/31")
+            .bgp("r1", 65001, 1)
+            .neighbor("r1", "10.0.0.0", 65002, None, None)
+            .network("r1", pfx("192.168.0.0/24"))
+            .static_route("r1", pfx("0.0.0.0/0"), "10.0.0.0")
+            .static_discard("r1", pfx("192.168.0.0/24"))
+            .build();
+        let dc = &snap.devices["r1"];
+        assert_eq!(dc.bgp.as_ref().unwrap().neighbors.len(), 1);
+        assert_eq!(dc.static_routes.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_device_panics() {
+        NetBuilder::new().iface("ghost", "eth0", "10.0.0.1/24");
+    }
+}

@@ -1,0 +1,159 @@
+//! Vendor-neutral device configuration model (the Batfish-like layer).
+
+use crate::acl::Acl;
+use crate::ip::{Ipv4Addr, Ipv4Prefix};
+use crate::route::RouteMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// OSPF settings of one interface.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct OspfIfaceConfig {
+    /// Link cost (typically derived from bandwidth; explicit here).
+    pub cost: u32,
+    /// OSPF area. Only intra-area routing is modeled (single backbone in
+    /// practice); areas still gate adjacency formation.
+    pub area: u32,
+    /// Passive interfaces advertise their prefix but form no adjacency.
+    pub passive: bool,
+}
+
+/// One configured interface.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IfaceConfig {
+    /// Interface address; the prefix it advertises as connected.
+    pub prefix: Ipv4Prefix,
+    /// Interface host address (must lie within `prefix`).
+    pub addr: Ipv4Addr,
+    /// Inbound ACL name, if any.
+    pub acl_in: Option<String>,
+    /// Outbound ACL name, if any.
+    pub acl_out: Option<String>,
+    /// OSPF participation.
+    pub ospf: Option<OspfIfaceConfig>,
+}
+
+impl IfaceConfig {
+    /// A bare interface with an address, no ACLs, no OSPF.
+    pub fn new(addr: Ipv4Addr, plen: u8) -> Self {
+        IfaceConfig {
+            prefix: Ipv4Prefix::new(addr, plen),
+            addr,
+            acl_in: None,
+            acl_out: None,
+            ospf: None,
+        }
+    }
+
+    /// Enables OSPF with the given cost in area 0.
+    pub fn with_ospf(mut self, cost: u32) -> Self {
+        self.ospf = Some(OspfIfaceConfig {
+            cost,
+            area: 0,
+            passive: false,
+        });
+        self
+    }
+}
+
+/// Where a static route sends traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Forward to a neighboring address (resolved via connected routes).
+    Ip(Ipv4Addr),
+    /// Discard (null route).
+    Discard,
+}
+
+/// A configured static route.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Next hop.
+    pub next_hop: NextHop,
+    /// Administrative distance (default 1).
+    pub admin_distance: u8,
+}
+
+/// One configured BGP neighbor (session endpoint).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BgpNeighbor {
+    /// Peer address (an interface address of the neighboring device).
+    pub peer: Ipv4Addr,
+    /// Peer AS number; equal to the local AS for iBGP.
+    pub remote_as: u32,
+    /// Import route map name (applied to routes received from this peer).
+    pub import_policy: Option<String>,
+    /// Export route map name (applied to routes advertised to this peer).
+    pub export_policy: Option<String>,
+}
+
+/// BGP process configuration of one device.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BgpConfig {
+    /// Local AS number.
+    pub asn: u32,
+    /// Router id, used as the final best-path tie-breaker.
+    pub router_id: u32,
+    /// Configured neighbors.
+    pub neighbors: Vec<BgpNeighbor>,
+    /// Locally originated prefixes (network statements).
+    pub networks: Vec<Ipv4Prefix>,
+}
+
+/// Full configuration of one device.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Interfaces by name.
+    pub interfaces: BTreeMap<String, IfaceConfig>,
+    /// Static routes.
+    pub static_routes: Vec<StaticRoute>,
+    /// BGP process, if running.
+    pub bgp: Option<BgpConfig>,
+    /// Route maps by name.
+    pub route_maps: BTreeMap<String, RouteMap>,
+    /// ACLs by name.
+    pub acls: BTreeMap<String, Acl>,
+}
+
+impl DeviceConfig {
+    /// Looks up the interface whose configured subnet contains `ip`.
+    pub fn iface_for(&self, ip: Ipv4Addr) -> Option<(&String, &IfaceConfig)> {
+        self.interfaces.iter().find(|(_, ic)| ic.prefix.contains(ip))
+    }
+
+    /// Whether any interface carries this exact address.
+    pub fn owns_addr(&self, ip: Ipv4Addr) -> bool {
+        self.interfaces.values().any(|ic| ic.addr == ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::ip;
+
+    #[test]
+    fn iface_lookup_by_subnet() {
+        let mut dc = DeviceConfig::default();
+        dc.interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.1"), 24));
+        dc.interfaces
+            .insert("eth1".into(), IfaceConfig::new(ip("10.0.1.1"), 24));
+        let (name, _) = dc.iface_for(ip("10.0.1.200")).unwrap();
+        assert_eq!(name, "eth1");
+        assert!(dc.iface_for(ip("10.0.2.1")).is_none());
+        assert!(dc.owns_addr(ip("10.0.0.1")));
+        assert!(!dc.owns_addr(ip("10.0.0.2")));
+    }
+
+    #[test]
+    fn ospf_builder() {
+        let ic = IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(10);
+        let o = ic.ospf.unwrap();
+        assert_eq!(o.cost, 10);
+        assert_eq!(o.area, 0);
+        assert!(!o.passive);
+    }
+}

@@ -1,0 +1,285 @@
+//! IPv4 addresses and prefixes.
+//!
+//! Addresses are plain `u32`s in host byte order wrapped for type safety;
+//! prefixes are `(address, length)` pairs kept in canonical (masked) form so
+//! equality and hashing behave as expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error parsing an address or prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError(pub String);
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 text: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIpError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseIpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 4 {
+            return Err(ParseIpError(s.to_string()));
+        }
+        let mut v = 0u32;
+        for p in parts {
+            let o: u8 = p.parse().map_err(|_| ParseIpError(s.to_string()))?;
+            v = (v << 8) | o as u32;
+        }
+        Ok(Ipv4Addr(v))
+    }
+}
+
+/// An IPv4 prefix in canonical form: all bits beyond the length are zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Builds a prefix, masking the address to canonical form.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Ipv4Prefix {
+            addr: Ipv4Addr(addr.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix {
+        addr: Ipv4Addr(0),
+        len: 0,
+    };
+
+    /// A /32 host prefix.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Ipv4Prefix { addr, len: 32 }
+    }
+
+    /// The network address.
+    pub fn addr(self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default prefix.
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask for a given length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// First address covered (the network address).
+    pub fn first(self) -> u32 {
+        self.addr.0
+    }
+
+    /// Last address covered (the broadcast address).
+    pub fn last(self) -> u32 {
+        self.addr.0 | !Self::mask(self.len)
+    }
+
+    /// Whether the prefix covers the address.
+    pub fn contains(self, ip: Ipv4Addr) -> bool {
+        ip.0 & Self::mask(self.len) == self.addr.0
+    }
+
+    /// Whether this prefix covers every address of `other` (is a supernet
+    /// of, or equal to, `other`).
+    pub fn covers(self, other: Ipv4Prefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+
+    /// Whether the two prefixes share any address.
+    pub fn overlaps(self, other: Ipv4Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The two halves of this prefix, or `None` for a /32.
+    pub fn split(self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Ipv4Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
+        let right = Ipv4Prefix {
+            addr: Ipv4Addr(self.addr.0 | (1 << (31 - self.len))),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+
+    /// The `i`-th host address inside the prefix (0-based from the network
+    /// address), useful for assigning interface addresses in generators.
+    pub fn nth_host(self, i: u32) -> Ipv4Addr {
+        debug_assert!(self.first() + i <= self.last(), "host index out of range");
+        Ipv4Addr(self.addr.0 + i)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParseIpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s.split_once('/').ok_or_else(|| ParseIpError(s.into()))?;
+        let addr: Ipv4Addr = ip.parse()?;
+        let len: u8 = len.parse().map_err(|_| ParseIpError(s.into()))?;
+        if len > 32 {
+            return Err(ParseIpError(s.into()));
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// Convenience constructor used pervasively in tests and generators.
+///
+/// # Panics
+/// Panics on malformed text — intended for literals.
+pub fn pfx(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap_or_else(|_| panic!("bad prefix literal {s:?}"))
+}
+
+/// Convenience address constructor for literals.
+///
+/// # Panics
+/// Panics on malformed text — intended for literals.
+pub fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap_or_else(|_| panic!("bad address literal {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_roundtrip() {
+        let a = ip("192.168.1.42");
+        assert_eq!(a.octets(), [192, 168, 1, 42]);
+        assert_eq!(a.to_string(), "192.168.1.42");
+        assert_eq!(Ipv4Addr::new(192, 168, 1, 42), a);
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        assert!("1.2.3".parse::<Ipv4Addr>().is_err());
+        assert!("1.2.3.256".parse::<Ipv4Addr>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4Addr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn prefix_canonicalizes() {
+        let p = Ipv4Prefix::new(ip("10.1.2.3"), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert_eq!(pfx("10.1.2.3/16"), pfx("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p = pfx("10.1.0.0/16");
+        assert!(p.contains(ip("10.1.255.255")));
+        assert!(!p.contains(ip("10.2.0.0")));
+        assert!(p.covers(pfx("10.1.2.0/24")));
+        assert!(!p.covers(pfx("10.0.0.0/8")));
+        assert!(p.covers(p));
+        assert!(Ipv4Prefix::DEFAULT.covers(p));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_nesting() {
+        let a = pfx("10.0.0.0/8");
+        let b = pfx("10.5.0.0/16");
+        let c = pfx("11.0.0.0/8");
+        assert!(a.overlaps(b) && b.overlaps(a));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn split_halves() {
+        let (l, r) = pfx("10.0.0.0/8").split().unwrap();
+        assert_eq!(l, pfx("10.0.0.0/9"));
+        assert_eq!(r, pfx("10.128.0.0/9"));
+        assert!(pfx("1.2.3.4/32").split().is_none());
+    }
+
+    #[test]
+    fn first_last_and_hosts() {
+        let p = pfx("10.0.0.0/30");
+        assert_eq!(p.first(), ip("10.0.0.0").0);
+        assert_eq!(p.last(), ip("10.0.0.3").0);
+        assert_eq!(p.nth_host(1), ip("10.0.0.1"));
+    }
+
+    #[test]
+    fn default_route() {
+        assert!(Ipv4Prefix::DEFAULT.is_default());
+        assert!(Ipv4Prefix::DEFAULT.contains(ip("255.255.255.255")));
+    }
+}

@@ -1,0 +1,48 @@
+//! # net-model — vendor-neutral network & configuration model
+//!
+//! The modeling substrate of the Differential Network Analysis
+//! reproduction: IPv4 addressing, ACLs, BGP route maps, device
+//! configurations (interfaces, static routes, OSPF, BGP), physical
+//! topology, environment state (failures, external announcements), and the
+//! change taxonomy that drives differential analysis.
+//!
+//! A [`Snapshot`] bundles everything a simulator needs; a [`ChangeSet`]
+//! describes what happened. `ChangeSet::apply` yields the changed snapshot
+//! (used by from-scratch baselines); the differential engine instead maps
+//! the same changes onto input-relation deltas.
+//!
+//! ## Model scope (implemented / omitted)
+//!
+//! Implemented: IPv4 unicast; point-to-point links with subnet validation;
+//! per-interface in/out ACLs over 5-tuples; static routes with recursive
+//! next-hop resolution (via connected subnets); single-area-per-interface
+//! OSPF with configurable costs and passive interfaces; eBGP/iBGP with the
+//! standard 7-step decision process, import/export route maps, network
+//! statements, and external announcements; link/device failures.
+//!
+//! Omitted (out of the reproduction's scope): IPv6, VRFs/VLANs, route
+//! redistribution between IGPs, OSPF multi-area SPF (areas only gate
+//! adjacencies), BGP confederations/route reflectors, multicast, and
+//! vendor-specific configuration syntax (the model is the normalized form
+//! a Batfish-like frontend would produce).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod builder;
+pub mod change;
+pub mod config;
+pub mod ip;
+pub mod route;
+pub mod snapshot;
+
+pub use acl::{Acl, AclEntry, Action, Flow, FlowMatch, PortRange};
+pub use builder::NetBuilder;
+pub use change::{ApplyError, Change, ChangeSet};
+pub use config::{
+    BgpConfig, BgpNeighbor, DeviceConfig, IfaceConfig, NextHop, OspfIfaceConfig, StaticRoute,
+};
+pub use ip::{ip, pfx, Ipv4Addr, Ipv4Prefix};
+pub use route::{RmAction, RmMatch, RmSet, RouteAttrs, RouteMap, RouteMapClause};
+pub use snapshot::{Endpoint, Environment, ExternalRoute, Link, Snapshot, ValidationError};

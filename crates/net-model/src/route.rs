@@ -1,0 +1,328 @@
+//! Route attributes and BGP route-map policies.
+//!
+//! [`RouteAttrs`] is the vendor-neutral bundle of BGP path attributes that
+//! policies match on and transform. [`RouteMap`]s are ordered clause lists
+//! with first-match semantics and an implicit deny, mirroring the common
+//! vendor behavior Batfish models.
+
+use crate::ip::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// BGP origin code, ordered by preference (IGP < EGP < Incomplete).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Origin {
+    /// Network statement / IGP origin.
+    Igp,
+    /// EGP origin (legacy).
+    Egp,
+    /// Redistributed / incomplete.
+    Incomplete,
+}
+
+/// Vendor-neutral BGP path attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RouteAttrs {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Local preference (higher wins). Default 100.
+    pub local_pref: u32,
+    /// AS path, nearest AS first.
+    pub as_path: Vec<u32>,
+    /// Multi-exit discriminator (lower wins).
+    pub med: u32,
+    /// Origin code.
+    pub origin: u8,
+    /// Community tags.
+    pub communities: BTreeSet<u32>,
+}
+
+impl RouteAttrs {
+    /// A locally originated route for `prefix` with default attributes.
+    pub fn originated(prefix: Ipv4Prefix) -> Self {
+        RouteAttrs {
+            prefix,
+            local_pref: 100,
+            as_path: Vec::new(),
+            med: 0,
+            origin: 0,
+            communities: BTreeSet::new(),
+        }
+    }
+
+    /// AS-path length (the tie-breaking metric).
+    pub fn as_path_len(&self) -> usize {
+        self.as_path.len()
+    }
+
+    /// Whether the path already contains an AS (eBGP loop prevention).
+    pub fn as_path_contains(&self, asn: u32) -> bool {
+        self.as_path.contains(&asn)
+    }
+
+    /// Prepends an AS once (used when exporting over an eBGP session).
+    pub fn prepend(&self, asn: u32) -> Self {
+        let mut out = self.clone();
+        out.as_path.insert(0, asn);
+        out
+    }
+}
+
+/// A single match condition in a route-map clause.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RmMatch {
+    /// Prefix falls within `covering`, with its length inside `[ge, le]`.
+    Prefix {
+        /// Covering prefix.
+        covering: Ipv4Prefix,
+        /// Minimum prefix length (inclusive).
+        ge: u8,
+        /// Maximum prefix length (inclusive).
+        le: u8,
+    },
+    /// Route carries this community tag.
+    Community(u32),
+    /// AS path contains this AS number.
+    AsPathContains(u32),
+}
+
+impl RmMatch {
+    /// Exact-prefix convenience constructor.
+    pub fn exact_prefix(p: Ipv4Prefix) -> Self {
+        RmMatch::Prefix {
+            covering: p,
+            ge: p.len(),
+            le: p.len(),
+        }
+    }
+
+    fn matches(&self, r: &RouteAttrs) -> bool {
+        match self {
+            RmMatch::Prefix { covering, ge, le } => {
+                covering.covers(r.prefix) && r.prefix.len() >= *ge && r.prefix.len() <= *le
+            }
+            RmMatch::Community(c) => r.communities.contains(c),
+            RmMatch::AsPathContains(asn) => r.as_path_contains(*asn),
+        }
+    }
+}
+
+/// A transformation applied by a permitting clause.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RmSet {
+    /// Overwrite local preference.
+    LocalPref(u32),
+    /// Overwrite MED.
+    Med(u32),
+    /// Add a community tag.
+    AddCommunity(u32),
+    /// Remove a community tag.
+    DeleteCommunity(u32),
+    /// Prepend the given AS `count` times.
+    AsPathPrepend {
+        /// AS number to prepend.
+        asn: u32,
+        /// Number of copies.
+        count: u8,
+    },
+}
+
+impl RmSet {
+    fn apply(&self, r: &mut RouteAttrs) {
+        match self {
+            RmSet::LocalPref(v) => r.local_pref = *v,
+            RmSet::Med(v) => r.med = *v,
+            RmSet::AddCommunity(c) => {
+                r.communities.insert(*c);
+            }
+            RmSet::DeleteCommunity(c) => {
+                r.communities.remove(c);
+            }
+            RmSet::AsPathPrepend { asn, count } => {
+                for _ in 0..*count {
+                    r.as_path.insert(0, *asn);
+                }
+            }
+        }
+    }
+}
+
+/// Permit (with transformations) or deny.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RmAction {
+    /// Accept the route, applying the clause's set actions.
+    Permit,
+    /// Reject the route.
+    Deny,
+}
+
+/// One route-map clause: all matches must hold (AND); an empty match list
+/// matches everything.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RouteMapClause {
+    /// Evaluation order (ascending).
+    pub seq: u32,
+    /// Conjunctive match conditions.
+    pub matches: Vec<RmMatch>,
+    /// Permit or deny on match.
+    pub action: RmAction,
+    /// Transformations applied on permit.
+    pub sets: Vec<RmSet>,
+}
+
+/// An ordered route map with first-match semantics and implicit deny.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RouteMap {
+    /// Clauses; kept sorted by `seq`.
+    pub clauses: Vec<RouteMapClause>,
+}
+
+impl RouteMap {
+    /// A route map that permits everything unchanged.
+    pub fn permit_all() -> Self {
+        RouteMap {
+            clauses: vec![RouteMapClause {
+                seq: u32::MAX,
+                matches: vec![],
+                action: RmAction::Permit,
+                sets: vec![],
+            }],
+        }
+    }
+
+    /// Adds a clause, keeping clauses sorted by sequence number.
+    pub fn add(&mut self, clause: RouteMapClause) {
+        let pos = self.clauses.partition_point(|c| c.seq <= clause.seq);
+        self.clauses.insert(pos, clause);
+    }
+
+    /// Evaluates the map: `Some(transformed)` if permitted, `None` if denied
+    /// (explicitly or by the implicit trailing deny).
+    pub fn evaluate(&self, route: &RouteAttrs) -> Option<RouteAttrs> {
+        for clause in &self.clauses {
+            if clause.matches.iter().all(|m| m.matches(route)) {
+                return match clause.action {
+                    RmAction::Deny => None,
+                    RmAction::Permit => {
+                        let mut out = route.clone();
+                        for s in &clause.sets {
+                            s.apply(&mut out);
+                        }
+                        Some(out)
+                    }
+                };
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::pfx;
+
+    fn route(p: &str) -> RouteAttrs {
+        RouteAttrs::originated(pfx(p))
+    }
+
+    #[test]
+    fn permit_all_is_identity() {
+        let r = route("10.0.0.0/24");
+        assert_eq!(RouteMap::permit_all().evaluate(&r), Some(r));
+    }
+
+    #[test]
+    fn implicit_deny() {
+        let mut rm = RouteMap::default();
+        rm.add(RouteMapClause {
+            seq: 10,
+            matches: vec![RmMatch::exact_prefix(pfx("10.0.0.0/24"))],
+            action: RmAction::Permit,
+            sets: vec![],
+        });
+        assert!(rm.evaluate(&route("10.0.0.0/24")).is_some());
+        assert!(rm.evaluate(&route("10.0.1.0/24")).is_none());
+    }
+
+    #[test]
+    fn first_match_applies_sets() {
+        let mut rm = RouteMap::default();
+        rm.add(RouteMapClause {
+            seq: 10,
+            matches: vec![RmMatch::Prefix {
+                covering: pfx("10.0.0.0/8"),
+                ge: 16,
+                le: 24,
+            }],
+            action: RmAction::Permit,
+            sets: vec![RmSet::LocalPref(200), RmSet::AddCommunity(65001)],
+        });
+        rm.add(RouteMapClause {
+            seq: 20,
+            matches: vec![],
+            action: RmAction::Permit,
+            sets: vec![RmSet::LocalPref(50)],
+        });
+        let hit = rm.evaluate(&route("10.1.0.0/16")).unwrap();
+        assert_eq!(hit.local_pref, 200);
+        assert!(hit.communities.contains(&65001));
+        // Too short for the ge bound: falls to the catch-all clause.
+        let miss = rm.evaluate(&route("10.0.0.0/8")).unwrap();
+        assert_eq!(miss.local_pref, 50);
+    }
+
+    #[test]
+    fn community_and_aspath_matches() {
+        let mut rm = RouteMap::default();
+        rm.add(RouteMapClause {
+            seq: 10,
+            matches: vec![RmMatch::Community(777), RmMatch::AsPathContains(65000)],
+            action: RmAction::Deny,
+            sets: vec![],
+        });
+        rm.add(RouteMapClause {
+            seq: 20,
+            matches: vec![],
+            action: RmAction::Permit,
+            sets: vec![],
+        });
+        let mut r = route("1.0.0.0/8");
+        r.communities.insert(777);
+        r.as_path = vec![65000, 65001];
+        assert!(rm.evaluate(&r).is_none());
+        r.as_path = vec![65001]; // only one of the two conditions holds now
+        assert!(rm.evaluate(&r).is_some());
+    }
+
+    #[test]
+    fn prepend_and_delete_community() {
+        let mut rm = RouteMap::default();
+        rm.add(RouteMapClause {
+            seq: 10,
+            matches: vec![],
+            action: RmAction::Permit,
+            sets: vec![
+                RmSet::AsPathPrepend { asn: 65009, count: 3 },
+                RmSet::DeleteCommunity(5),
+                RmSet::Med(42),
+            ],
+        });
+        let mut r = route("1.0.0.0/8");
+        r.communities.insert(5);
+        let out = rm.evaluate(&r).unwrap();
+        assert_eq!(out.as_path, vec![65009, 65009, 65009]);
+        assert!(!out.communities.contains(&5));
+        assert_eq!(out.med, 42);
+    }
+
+    #[test]
+    fn route_attrs_helpers() {
+        let r = route("10.0.0.0/24");
+        assert_eq!(r.as_path_len(), 0);
+        let r2 = r.prepend(65010);
+        assert_eq!(r2.as_path, vec![65010]);
+        assert!(r2.as_path_contains(65010));
+        assert!(!r2.as_path_contains(1));
+    }
+}

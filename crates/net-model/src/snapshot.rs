@@ -1,0 +1,331 @@
+//! Network snapshots: configurations + physical topology + environment.
+//!
+//! A [`Snapshot`] is the unit of analysis: everything needed to simulate the
+//! control plane and compute the data plane. Change impact analysis compares
+//! the behavior of one snapshot against the snapshot obtained by applying a
+//! [`crate::change::ChangeSet`].
+
+use crate::config::DeviceConfig;
+use crate::ip::Ipv4Addr;
+use crate::route::RouteAttrs;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One endpoint of a physical link.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Device name.
+    pub device: String,
+    /// Interface name on that device.
+    pub iface: String,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    pub fn new(device: &str, iface: &str) -> Self {
+        Endpoint {
+            device: device.to_string(),
+            iface: iface.to_string(),
+        }
+    }
+}
+
+/// An undirected physical link between two interfaces. Canonical form keeps
+/// the lexicographically smaller endpoint first so equality is orientation-
+/// independent.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (canonically the smaller one).
+    pub a: Endpoint,
+    /// Second endpoint.
+    pub b: Endpoint,
+}
+
+impl Link {
+    /// Builds a link in canonical orientation.
+    pub fn new(a: Endpoint, b: Endpoint) -> Self {
+        if a <= b {
+            Link { a, b }
+        } else {
+            Link { a: b, b: a }
+        }
+    }
+
+    /// Whether the link touches the given device.
+    pub fn touches(&self, device: &str) -> bool {
+        self.a.device == device || self.b.device == device
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] -- {}[{}]",
+            self.a.device, self.a.iface, self.b.device, self.b.iface
+        )
+    }
+}
+
+/// A BGP route announced into the network by an external (unmodeled) peer.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExternalRoute {
+    /// Device that hears the announcement.
+    pub device: String,
+    /// Configured neighbor address the announcement arrives on.
+    pub peer: Ipv4Addr,
+    /// Announced attributes (prefix, AS path as seen at the session, ...).
+    pub attrs: RouteAttrs,
+}
+
+/// Runtime environment: which elements are failed, and what the outside
+/// world announces.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Environment {
+    /// Links administratively or physically down.
+    pub down_links: BTreeSet<Link>,
+    /// Devices that are down (all their links are implicitly down).
+    pub down_devices: BTreeSet<String>,
+    /// External BGP announcements.
+    pub external_routes: Vec<ExternalRoute>,
+}
+
+/// A complete, self-contained network snapshot.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Device configurations by name.
+    pub devices: BTreeMap<String, DeviceConfig>,
+    /// Physical links.
+    pub links: Vec<Link>,
+    /// Failure state and external announcements.
+    pub environment: Environment,
+}
+
+/// A problem found by [`Snapshot::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A link references a device that has no configuration.
+    UnknownDevice(String),
+    /// A link references an interface missing from the device config.
+    UnknownInterface(Endpoint),
+    /// The two ends of a link are not in the same subnet.
+    SubnetMismatch(Link),
+    /// An interface ACL reference has no matching ACL definition.
+    MissingAcl {
+        /// Device with the dangling reference.
+        device: String,
+        /// Referenced ACL name.
+        name: String,
+    },
+    /// A BGP neighbor policy reference has no matching route map.
+    MissingRouteMap {
+        /// Device with the dangling reference.
+        device: String,
+        /// Referenced route-map name.
+        name: String,
+    },
+    /// A BGP neighbor address is not on any connected subnet of the device.
+    UnresolvableNeighbor {
+        /// Device whose neighbor cannot be resolved.
+        device: String,
+        /// The configured peer address.
+        peer: Ipv4Addr,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownDevice(d) => write!(f, "link references unknown device {d:?}"),
+            ValidationError::UnknownInterface(e) => {
+                write!(f, "link references unknown interface {}[{}]", e.device, e.iface)
+            }
+            ValidationError::SubnetMismatch(l) => {
+                write!(f, "link endpoints are not in one subnet: {l}")
+            }
+            ValidationError::MissingAcl { device, name } => {
+                write!(f, "{device:?} references undefined ACL {name:?}")
+            }
+            ValidationError::MissingRouteMap { device, name } => {
+                write!(f, "{device:?} references undefined route map {name:?}")
+            }
+            ValidationError::UnresolvableNeighbor { device, peer } => {
+                write!(f, "{device:?} has BGP neighbor {peer} on no connected subnet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Snapshot {
+    /// Links that are actually usable: both endpoints' devices up and the
+    /// link itself not failed.
+    pub fn up_links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(|l| {
+            !self.environment.down_links.contains(l)
+                && !self.environment.down_devices.contains(&l.a.device)
+                && !self.environment.down_devices.contains(&l.b.device)
+        })
+    }
+
+    /// Total number of configured devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Checks referential integrity of the snapshot; an empty result means
+    /// the snapshot is well-formed. Simulators accept only valid snapshots.
+    pub fn validate(&self) -> Vec<ValidationError> {
+        let mut errors = Vec::new();
+        for link in &self.links {
+            let mut prefixes = Vec::new();
+            for ep in [&link.a, &link.b] {
+                match self.devices.get(&ep.device) {
+                    None => errors.push(ValidationError::UnknownDevice(ep.device.clone())),
+                    Some(dc) => match dc.interfaces.get(&ep.iface) {
+                        None => errors.push(ValidationError::UnknownInterface(ep.clone())),
+                        Some(ic) => prefixes.push(ic.prefix),
+                    },
+                }
+            }
+            if prefixes.len() == 2 && prefixes[0] != prefixes[1] {
+                errors.push(ValidationError::SubnetMismatch(link.clone()));
+            }
+        }
+        for (name, dc) in &self.devices {
+            for ic in dc.interfaces.values() {
+                for acl in [&ic.acl_in, &ic.acl_out].into_iter().flatten() {
+                    if !dc.acls.contains_key(acl) {
+                        errors.push(ValidationError::MissingAcl {
+                            device: name.clone(),
+                            name: acl.clone(),
+                        });
+                    }
+                }
+            }
+            if let Some(bgp) = &dc.bgp {
+                for n in &bgp.neighbors {
+                    for pol in [&n.import_policy, &n.export_policy].into_iter().flatten() {
+                        if !dc.route_maps.contains_key(pol) {
+                            errors.push(ValidationError::MissingRouteMap {
+                                device: name.clone(),
+                                name: pol.clone(),
+                            });
+                        }
+                    }
+                    if dc.iface_for(n.peer).is_none() {
+                        errors.push(ValidationError::UnresolvableNeighbor {
+                            device: name.clone(),
+                            peer: n.peer,
+                        });
+                    }
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BgpConfig, BgpNeighbor, IfaceConfig};
+    use crate::ip::ip;
+
+    fn two_router_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        let mut r1 = DeviceConfig::default();
+        r1.interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.1"), 31));
+        let mut r2 = DeviceConfig::default();
+        r2.interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.0"), 31));
+        snap.devices.insert("r1".into(), r1);
+        snap.devices.insert("r2".into(), r2);
+        snap.links.push(Link::new(
+            Endpoint::new("r1", "eth0"),
+            Endpoint::new("r2", "eth0"),
+        ));
+        snap
+    }
+
+    #[test]
+    fn canonical_link_orientation() {
+        let l1 = Link::new(Endpoint::new("b", "x"), Endpoint::new("a", "y"));
+        let l2 = Link::new(Endpoint::new("a", "y"), Endpoint::new("b", "x"));
+        assert_eq!(l1, l2);
+        assert_eq!(l1.a.device, "a");
+        assert!(l1.touches("a") && l1.touches("b") && !l1.touches("c"));
+    }
+
+    #[test]
+    fn valid_snapshot_has_no_errors() {
+        assert!(two_router_snapshot().validate().is_empty());
+    }
+
+    #[test]
+    fn up_links_respect_environment() {
+        let mut snap = two_router_snapshot();
+        assert_eq!(snap.up_links().count(), 1);
+        snap.environment.down_links.insert(snap.links[0].clone());
+        assert_eq!(snap.up_links().count(), 0);
+        snap.environment.down_links.clear();
+        snap.environment.down_devices.insert("r2".into());
+        assert_eq!(snap.up_links().count(), 0);
+    }
+
+    #[test]
+    fn validation_finds_dangling_references() {
+        let mut snap = two_router_snapshot();
+        // Unknown interface on a link.
+        snap.links.push(Link::new(
+            Endpoint::new("r1", "nope"),
+            Endpoint::new("r2", "eth0"),
+        ));
+        // Missing ACL and route map, unresolvable neighbor.
+        {
+            let r1 = snap.devices.get_mut("r1").unwrap();
+            r1.interfaces.get_mut("eth0").unwrap().acl_in = Some("ghost".into());
+            r1.bgp = Some(BgpConfig {
+                asn: 65001,
+                router_id: 1,
+                neighbors: vec![BgpNeighbor {
+                    peer: ip("99.9.9.9"),
+                    remote_as: 65002,
+                    import_policy: Some("missing-rm".into()),
+                    export_policy: None,
+                }],
+                networks: vec![],
+            });
+        }
+        let errors = snap.validate();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownInterface(_))));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingAcl { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingRouteMap { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnresolvableNeighbor { .. })));
+    }
+
+    #[test]
+    fn subnet_mismatch_detected() {
+        let mut snap = two_router_snapshot();
+        snap.devices
+            .get_mut("r2")
+            .unwrap()
+            .interfaces
+            .insert("eth0".into(), IfaceConfig::new(ip("10.9.9.1"), 24));
+        assert!(snap
+            .validate()
+            .iter()
+            .any(|e| matches!(e, ValidationError::SubnetMismatch(_))));
+    }
+}

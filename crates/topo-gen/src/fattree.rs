@@ -1,0 +1,271 @@
+//! k-ary fat-tree generator (the data-center workload of the evaluation).
+//!
+//! Standard 3-tier Clos: `(k/2)²` core switches, `k` pods of `k/2`
+//! aggregation and `k/2` edge switches; every edge switch owns a server
+//! subnet. Routing is either eBGP in the RFC 7938 style (one ASN for the
+//! core tier, one per pod for aggregation, one per edge switch) or
+//! single-area OSPF with unit costs. Server subnets are originated by their
+//! edge switch (network statement / passive interface).
+
+use net_model::{pfx, Ipv4Prefix, NetBuilder, RouteMap, Snapshot};
+
+/// Routing flavor for generated fabrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Routing {
+    /// Per-tier/per-device ASNs, eBGP on every link (RFC 7938).
+    Ebgp,
+    /// Single-area OSPF, unit link costs, passive server subnets.
+    Ospf,
+}
+
+/// Names and metadata of a generated fat-tree.
+pub struct FatTree {
+    /// The snapshot.
+    pub snapshot: Snapshot,
+    /// Arity; must be even.
+    pub k: u32,
+    /// Core switch names.
+    pub cores: Vec<String>,
+    /// Aggregation switch names, grouped by pod.
+    pub aggs: Vec<Vec<String>>,
+    /// Edge switch names, grouped by pod.
+    pub edges: Vec<Vec<String>>,
+    /// `(edge switch, server prefix)` pairs.
+    pub server_subnets: Vec<(String, Ipv4Prefix)>,
+}
+
+impl FatTree {
+    /// Total switch count: `(k/2)² + k²`.
+    pub fn device_count(&self) -> usize {
+        self.cores.len() + self.aggs.iter().map(Vec::len).sum::<usize>()
+            + self.edges.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Allocates sequential point-to-point /31 subnets out of 10.0.0.0/8.
+pub(crate) struct P2pAlloc {
+    next: u32,
+}
+
+impl P2pAlloc {
+    pub(crate) fn new() -> Self {
+        // 10.0.0.0 base.
+        P2pAlloc {
+            next: 10 << 24,
+        }
+    }
+
+    /// Returns the two endpoint addresses `(lo, hi)` of a fresh /31.
+    pub(crate) fn next_pair(&mut self) -> (net_model::Ipv4Addr, net_model::Ipv4Addr) {
+        let base = self.next;
+        self.next += 2;
+        (net_model::Ipv4Addr(base), net_model::Ipv4Addr(base + 1))
+    }
+}
+
+/// Builds a `k`-ary fat-tree.
+///
+/// # Panics
+/// Panics unless `k` is even, `4 ≤ k ≤ 32`.
+pub fn fat_tree(k: u32, routing: Routing) -> FatTree {
+    assert!(k >= 4 && k <= 32 && k % 2 == 0, "k must be even in [4, 32]");
+    let half = k / 2;
+    let mut b = NetBuilder::new();
+    let mut alloc = P2pAlloc::new();
+
+    let cores: Vec<String> = (0..half * half).map(|i| format!("core{i}")).collect();
+    let aggs: Vec<Vec<String>> = (0..k)
+        .map(|p| (0..half).map(|i| format!("agg{p}_{i}")).collect())
+        .collect();
+    let edges: Vec<Vec<String>> = (0..k)
+        .map(|p| (0..half).map(|i| format!("edge{p}_{i}")).collect())
+        .collect();
+
+    for c in &cores {
+        b = b.router(c);
+    }
+    for pod in &aggs {
+        for a in pod {
+            b = b.router(a);
+        }
+    }
+    for pod in &edges {
+        for e in pod {
+            b = b.router(e);
+        }
+    }
+
+    // Router ids and (for eBGP) ASNs.
+    let rid = |tier: u32, a: u32, c: u32| (tier << 16) | (a << 8) | c;
+    if routing == Routing::Ebgp {
+        for (i, c) in cores.iter().enumerate() {
+            b = b.bgp(c, 65000, rid(1, 0, i as u32));
+        }
+        for (p, pod) in aggs.iter().enumerate() {
+            for (i, a) in pod.iter().enumerate() {
+                b = b.bgp(a, 65100 + p as u32, rid(2, p as u32, i as u32));
+            }
+        }
+        for (p, pod) in edges.iter().enumerate() {
+            for (i, e) in pod.iter().enumerate() {
+                b = b.bgp(e, 65300 + (p as u32) * half + i as u32, rid(3, p as u32, i as u32));
+            }
+        }
+    }
+
+    // Server subnets on edge switches.
+    let mut server_subnets = Vec::new();
+    for (p, pod) in edges.iter().enumerate() {
+        for (i, e) in pod.iter().enumerate() {
+            let prefix = pfx(&format!("172.{}.{}.0/24", 16 + p, i));
+            let addr = prefix.nth_host(1);
+            b = b.iface(e, "servers", &format!("{addr}/24"));
+            match routing {
+                Routing::Ebgp => {
+                    b = b.network(e, prefix);
+                }
+                Routing::Ospf => {
+                    b = b.ospf_passive(e, "servers", 1);
+                }
+            }
+            server_subnets.push((e.clone(), prefix));
+        }
+    }
+
+    // Helper adding a /31 link with per-side interfaces, plus routing.
+    let mut wire = |mut b: NetBuilder,
+                    d1: &str,
+                    i1: String,
+                    d2: &str,
+                    i2: String,
+                    asn1: Option<u32>,
+                    asn2: Option<u32>|
+     -> NetBuilder {
+        let (lo, hi) = alloc.next_pair();
+        b = b.iface(d1, &i1, &format!("{lo}/31"));
+        b = b.iface(d2, &i2, &format!("{hi}/31"));
+        b = b.link(d1, &i1, d2, &i2);
+        match routing {
+            Routing::Ospf => {
+                b = b.ospf(d1, &i1, 1).ospf(d2, &i2, 1);
+            }
+            Routing::Ebgp => {
+                let (a1, a2) = (asn1.unwrap(), asn2.unwrap());
+                // Every session gets its own import route map (permit-all
+                // initially) so policy-edit scenarios have a target.
+                let (rm1, rm2) = (format!("imp_{i1}"), format!("imp_{i2}"));
+                b = b
+                    .route_map(d1, &rm1, RouteMap::permit_all())
+                    .route_map(d2, &rm2, RouteMap::permit_all())
+                    .neighbor(d1, &hi.to_string(), a2, Some(&rm1), None)
+                    .neighbor(d2, &lo.to_string(), a1, Some(&rm2), None);
+            }
+        }
+        b
+    };
+
+    // Edge <-> aggregation (full mesh within a pod).
+    for p in 0..k as usize {
+        for (ei, e) in edges[p].iter().enumerate() {
+            for (ai, a) in aggs[p].iter().enumerate() {
+                let easn = (65300 + (p as u32) * half + ei as u32, 65100 + p as u32);
+                b = wire(
+                    b,
+                    e,
+                    format!("up{ai}"),
+                    a,
+                    format!("down{ei}"),
+                    Some(easn.0),
+                    Some(easn.1),
+                );
+            }
+        }
+    }
+    // Aggregation <-> core: agg i in each pod connects to cores
+    // [i*half, (i+1)*half).
+    for p in 0..k as usize {
+        for (ai, a) in aggs[p].iter().enumerate() {
+            for ci in 0..half as usize {
+                let core = &cores[ai * half as usize + ci];
+                b = wire(
+                    b,
+                    a,
+                    format!("up{ci}"),
+                    core,
+                    format!("down{p}"),
+                    Some(65100 + p as u32),
+                    Some(65000),
+                );
+            }
+        }
+    }
+
+    FatTree {
+        snapshot: b.build(),
+        k,
+        cores,
+        aggs,
+        edges,
+        server_subnets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_structure() {
+        let ft = fat_tree(4, Routing::Ebgp);
+        assert_eq!(ft.cores.len(), 4);
+        assert_eq!(ft.aggs.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(ft.edges.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(ft.device_count(), 20);
+        // k^3/4 host-facing subnets... here one per edge switch.
+        assert_eq!(ft.server_subnets.len(), 8);
+        // Links: edges*half (intra-pod) + k*half*half (agg-core) = 16 + 16.
+        assert_eq!(ft.snapshot.links.len(), 32);
+        assert!(ft.snapshot.validate().is_empty(), "{:?}", ft.snapshot.validate());
+    }
+
+    #[test]
+    fn k6_validates_both_routings() {
+        for routing in [Routing::Ebgp, Routing::Ospf] {
+            let ft = fat_tree(6, routing);
+            assert_eq!(ft.device_count(), 9 + 36);
+            assert!(ft.snapshot.validate().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        fat_tree(5, Routing::Ospf);
+    }
+
+    #[test]
+    fn ebgp_sessions_are_reciprocal() {
+        let ft = fat_tree(4, Routing::Ebgp);
+        // Every neighbor statement has a reciprocal statement at the peer.
+        let snap = &ft.snapshot;
+        for (dev, dc) in &snap.devices {
+            let Some(bgp) = &dc.bgp else { continue };
+            for n in &bgp.neighbors {
+                let peer = snap
+                    .devices
+                    .iter()
+                    .find(|(_, pc)| pc.interfaces.values().any(|ic| ic.addr == n.peer))
+                    .unwrap_or_else(|| panic!("{dev}: neighbor {} unresolvable", n.peer));
+                let pbgp = peer.1.bgp.as_ref().expect("peer runs bgp");
+                assert_eq!(pbgp.asn, n.remote_as, "asn mismatch at {dev}");
+                assert!(
+                    pbgp.neighbors
+                        .iter()
+                        .any(|pn| dc.interfaces.values().any(|ic| ic.addr == pn.peer)),
+                    "no reciprocal statement for {dev} at {}",
+                    peer.0
+                );
+            }
+        }
+    }
+}

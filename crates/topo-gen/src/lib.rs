@@ -1,0 +1,21 @@
+//! # topo-gen — seeded topology, configuration and scenario generators
+//!
+//! Replaces the original evaluation's proprietary configurations (see
+//! DESIGN.md §5): reproducible fat-tree fabrics (eBGP or OSPF), WAN-style
+//! backbones (ring/line/random mesh with heterogeneous OSPF costs), and
+//! generators for the operational change taxonomy (failures, policy edits,
+//! ACL edits, origination churn).
+//!
+//! Everything is seeded: the same inputs produce byte-identical snapshots
+//! and change sequences, making every experiment reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fattree;
+pub mod scenarios;
+pub mod wan;
+
+pub use fattree::{fat_tree, FatTree, Routing};
+pub use scenarios::{ScenarioGen, ScenarioKind, ALL_SCENARIOS};
+pub use wan::{wan, Wan, WanShape};

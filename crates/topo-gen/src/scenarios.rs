@@ -1,0 +1,422 @@
+//! Change-scenario generators: the operational change taxonomy the
+//! evaluation sweeps (link/device failures, policy edits, ACL edits,
+//! origination churn, static edits), generated against an evolving
+//! snapshot so every change is valid when applied.
+
+use net_model::acl::{Action, AclEntry, FlowMatch};
+use net_model::route::{RmAction, RmSet, RouteMapClause};
+use net_model::{
+    pfx, Change, ChangeSet, Ipv4Prefix, NextHop, RouteMap, Snapshot, StaticRoute,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The change taxonomy of the evaluation (DESIGN.md E3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ScenarioKind {
+    /// Fail a currently-up link.
+    LinkFailure,
+    /// Recover a currently-down link.
+    LinkRecovery,
+    /// Fail a currently-up device.
+    DeviceFailure,
+    /// Recover a currently-down device.
+    DeviceRecovery,
+    /// Change the OSPF cost of a live OSPF interface.
+    OspfCostChange,
+    /// Insert a deny entry into an ACL and bind it inbound.
+    AclInsert,
+    /// Remove a previously inserted ACL entry.
+    AclRemove,
+    /// Rewrite a bound import route map to set a new local preference.
+    LocalPrefChange,
+    /// Withdraw an originated BGP prefix.
+    PrefixWithdraw,
+    /// (Re-)announce an originated BGP prefix.
+    PrefixAnnounce,
+    /// Add a static route toward a random adjacent next hop.
+    StaticAdd,
+    /// Remove a previously added static route.
+    StaticRemove,
+}
+
+/// All scenario kinds, in a stable order (for tables).
+pub const ALL_SCENARIOS: &[ScenarioKind] = &[
+    ScenarioKind::LinkFailure,
+    ScenarioKind::LinkRecovery,
+    ScenarioKind::DeviceFailure,
+    ScenarioKind::DeviceRecovery,
+    ScenarioKind::OspfCostChange,
+    ScenarioKind::AclInsert,
+    ScenarioKind::AclRemove,
+    ScenarioKind::LocalPrefChange,
+    ScenarioKind::PrefixWithdraw,
+    ScenarioKind::PrefixAnnounce,
+    ScenarioKind::StaticAdd,
+    ScenarioKind::StaticRemove,
+];
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScenarioKind::LinkFailure => "link-failure",
+            ScenarioKind::LinkRecovery => "link-recovery",
+            ScenarioKind::DeviceFailure => "device-failure",
+            ScenarioKind::DeviceRecovery => "device-recovery",
+            ScenarioKind::OspfCostChange => "ospf-cost-change",
+            ScenarioKind::AclInsert => "acl-insert",
+            ScenarioKind::AclRemove => "acl-remove",
+            ScenarioKind::LocalPrefChange => "local-pref-change",
+            ScenarioKind::PrefixWithdraw => "prefix-withdraw",
+            ScenarioKind::PrefixAnnounce => "prefix-announce",
+            ScenarioKind::StaticAdd => "static-add",
+            ScenarioKind::StaticRemove => "static-remove",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Seeded generator of valid change scenarios.
+pub struct ScenarioGen {
+    rng: StdRng,
+    acl_seq: u32,
+}
+
+impl ScenarioGen {
+    /// Creates a generator with a fixed seed (reproducible sequences).
+    pub fn new(seed: u64) -> Self {
+        ScenarioGen {
+            rng: StdRng::seed_from_u64(seed),
+            acl_seq: 100,
+        }
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.rng.gen_range(0..items.len())])
+        }
+    }
+
+    /// Generates one change set of the given kind against `snap`, or `None`
+    /// if the snapshot offers no opportunity (e.g. no link is down to
+    /// recover).
+    pub fn generate(&mut self, snap: &Snapshot, kind: ScenarioKind) -> Option<ChangeSet> {
+        let change = match kind {
+            ScenarioKind::LinkFailure => {
+                let up: Vec<_> = snap.up_links().cloned().collect();
+                Change::LinkDown(self.pick(&up)?.clone())
+            }
+            ScenarioKind::LinkRecovery => {
+                let down: Vec<_> = snap.environment.down_links.iter().cloned().collect();
+                Change::LinkUp(self.pick(&down)?.clone())
+            }
+            ScenarioKind::DeviceFailure => {
+                let up: Vec<String> = snap
+                    .devices
+                    .keys()
+                    .filter(|d| !snap.environment.down_devices.contains(*d))
+                    .cloned()
+                    .collect();
+                Change::DeviceDown(self.pick(&up)?.clone())
+            }
+            ScenarioKind::DeviceRecovery => {
+                let down: Vec<String> =
+                    snap.environment.down_devices.iter().cloned().collect();
+                Change::DeviceUp(self.pick(&down)?.clone())
+            }
+            ScenarioKind::OspfCostChange => {
+                let candidates: Vec<(String, String, u32)> = snap
+                    .devices
+                    .iter()
+                    .flat_map(|(d, dc)| {
+                        dc.interfaces.iter().filter_map(move |(i, ic)| {
+                            ic.ospf.as_ref().map(|o| (d.clone(), i.clone(), o.cost))
+                        })
+                    })
+                    .collect();
+                let (device, iface, old) = self.pick(&candidates)?.clone();
+                let mut cost = self.rng.gen_range(1..=20);
+                if cost == old {
+                    cost = old % 20 + 1;
+                }
+                Change::SetOspfCost { device, iface, cost }
+            }
+            ScenarioKind::AclInsert => {
+                let devices: Vec<String> = snap.devices.keys().cloned().collect();
+                let device = self.pick(&devices)?.clone();
+                let dc = &snap.devices[&device];
+                let iface = self.pick(&dc.interfaces.keys().cloned().collect::<Vec<_>>())?
+                    .clone();
+                self.acl_seq += 1;
+                let seq = self.acl_seq;
+                let blocked = pfx(&format!(
+                    "172.{}.{}.0/24",
+                    16 + self.rng.gen_range(0..16),
+                    self.rng.gen_range(0..8)
+                ));
+                let mut changes = vec![Change::AclEntryAdd {
+                    device: device.clone(),
+                    acl: "gen".into(),
+                    entry: AclEntry {
+                        seq,
+                        action: Action::Deny,
+                        matches: FlowMatch::dst(blocked),
+                    },
+                }];
+                // Bind the ACL (with a trailing permit) the first time.
+                if dc.interfaces[&iface].acl_in.is_none() {
+                    changes.push(Change::AclEntryAdd {
+                        device: device.clone(),
+                        acl: "gen".into(),
+                        entry: AclEntry {
+                            seq: u32::MAX,
+                            action: Action::Permit,
+                            matches: FlowMatch::any(),
+                        },
+                    });
+                    changes.push(Change::SetAclIn {
+                        device,
+                        iface,
+                        acl: Some("gen".into()),
+                    });
+                }
+                return Some(ChangeSet::of(changes));
+            }
+            ScenarioKind::AclRemove => {
+                let candidates: Vec<(String, u32)> = snap
+                    .devices
+                    .iter()
+                    .filter_map(|(d, dc)| {
+                        dc.acls.get("gen").and_then(|a| {
+                            a.entries
+                                .iter()
+                                .find(|e| e.seq != u32::MAX)
+                                .map(|e| (d.clone(), e.seq))
+                        })
+                    })
+                    .collect();
+                let (device, seq) = self.pick(&candidates)?.clone();
+                Change::AclEntryRemove {
+                    device,
+                    acl: "gen".into(),
+                    seq,
+                }
+            }
+            ScenarioKind::LocalPrefChange => {
+                let candidates: Vec<(String, String)> = snap
+                    .devices
+                    .iter()
+                    .flat_map(|(d, dc)| {
+                        dc.bgp.iter().flat_map(move |b| {
+                            b.neighbors
+                                .iter()
+                                .filter_map(move |n| {
+                                    n.import_policy.clone().map(|p| (d.clone(), p))
+                                })
+                        })
+                    })
+                    .collect();
+                let (device, name) = self.pick(&candidates)?.clone();
+                let lp = self.rng.gen_range(50..300);
+                let mut rm = RouteMap::default();
+                rm.add(RouteMapClause {
+                    seq: 10,
+                    matches: vec![],
+                    action: RmAction::Permit,
+                    sets: vec![RmSet::LocalPref(lp)],
+                });
+                Change::SetRouteMap { device, name, map: rm }
+            }
+            ScenarioKind::PrefixWithdraw => {
+                let candidates: Vec<(String, Ipv4Prefix)> = snap
+                    .devices
+                    .iter()
+                    .flat_map(|(d, dc)| {
+                        dc.bgp
+                            .iter()
+                            .flat_map(move |b| b.networks.iter().map(move |p| (d.clone(), *p)))
+                    })
+                    .collect();
+                let (device, prefix) = self.pick(&candidates)?.clone();
+                Change::BgpNetworkRemove { device, prefix }
+            }
+            ScenarioKind::PrefixAnnounce => {
+                // Re-announce a connected prefix not currently originated.
+                let candidates: Vec<(String, Ipv4Prefix)> = snap
+                    .devices
+                    .iter()
+                    .filter_map(|(d, dc)| {
+                        let bgp = dc.bgp.as_ref()?;
+                        dc.interfaces
+                            .values()
+                            .map(|ic| ic.prefix)
+                            .find(|p| !bgp.networks.contains(p))
+                            .map(|p| (d.clone(), p))
+                    })
+                    .collect();
+                let (device, prefix) = self.pick(&candidates)?.clone();
+                Change::BgpNetworkAdd { device, prefix }
+            }
+            ScenarioKind::StaticAdd => {
+                // Point a fresh prefix at a random adjacent address.
+                let adjacencies: Vec<(String, net_model::Ipv4Addr)> = snap
+                    .up_links()
+                    .flat_map(|l| {
+                        let a_addr = snap.devices[&l.a.device].interfaces[&l.a.iface].addr;
+                        let b_addr = snap.devices[&l.b.device].interfaces[&l.b.iface].addr;
+                        [
+                            (l.a.device.clone(), b_addr),
+                            (l.b.device.clone(), a_addr),
+                        ]
+                    })
+                    .collect();
+                let (device, nh) = self.pick(&adjacencies)?.clone();
+                let prefix = pfx(&format!(
+                    "192.168.{}.0/24",
+                    self.rng.gen_range(0..=255)
+                ));
+                Change::StaticRouteAdd {
+                    device,
+                    route: StaticRoute {
+                        prefix,
+                        next_hop: NextHop::Ip(nh),
+                        admin_distance: 1,
+                    },
+                }
+            }
+            ScenarioKind::StaticRemove => {
+                let candidates: Vec<(String, Ipv4Prefix, NextHop)> = snap
+                    .devices
+                    .iter()
+                    .flat_map(|(d, dc)| {
+                        dc.static_routes
+                            .iter()
+                            .map(move |r| (d.clone(), r.prefix, r.next_hop))
+                    })
+                    .collect();
+                let (device, prefix, next_hop) = self.pick(&candidates)?.clone();
+                Change::StaticRouteRemove {
+                    device,
+                    prefix,
+                    next_hop,
+                }
+            }
+        };
+        Some(ChangeSet::single(change))
+    }
+
+    /// Generates a serially valid sequence of `n` change sets, drawing
+    /// kinds uniformly from `kinds` and evolving a private snapshot copy so
+    /// every change applies cleanly. Falls back to other kinds when the
+    /// requested one has no opportunity.
+    pub fn sequence(
+        &mut self,
+        snap: &Snapshot,
+        kinds: &[ScenarioKind],
+        n: usize,
+    ) -> Vec<ChangeSet> {
+        let mut cur = snap.clone();
+        let mut out = Vec::with_capacity(n);
+        'outer: for _ in 0..n {
+            for _attempt in 0..kinds.len() * 4 {
+                let kind = kinds[self.rng.gen_range(0..kinds.len())];
+                if let Some(cs) = self.generate(&cur, kind) {
+                    match cs.apply(&cur) {
+                        Ok(next) => {
+                            cur = next;
+                            out.push(cs);
+                            continue 'outer;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            }
+            break; // no kind has opportunities left
+        }
+        out
+    }
+
+    /// A single change set containing `size` primitive changes of one kind
+    /// (for the change-size sweep, E1). Changes are generated serially so
+    /// the batch applies cleanly.
+    pub fn batch(&mut self, snap: &Snapshot, kind: ScenarioKind, size: usize) -> ChangeSet {
+        let mut cur = snap.clone();
+        let mut changes = Vec::new();
+        for _ in 0..size {
+            let Some(cs) = self.generate(&cur, kind) else {
+                break;
+            };
+            if let Ok(next) = cs.apply(&cur) {
+                cur = next;
+                changes.extend(cs.changes);
+            }
+        }
+        ChangeSet::of(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{fat_tree, Routing};
+
+    #[test]
+    fn generates_valid_sequences_on_a_fat_tree() {
+        let ft = fat_tree(4, Routing::Ebgp);
+        let mut g = ScenarioGen::new(7);
+        let seq = g.sequence(&ft.snapshot, ALL_SCENARIOS, 40);
+        assert!(seq.len() >= 30, "most kinds should have opportunities");
+        // Serial application must succeed end to end.
+        let mut cur = ft.snapshot.clone();
+        for cs in &seq {
+            cur = cs.apply(&cur).expect("valid change");
+        }
+    }
+
+    #[test]
+    fn sequences_are_reproducible() {
+        let ft = fat_tree(4, Routing::Ospf);
+        let a = ScenarioGen::new(9).sequence(&ft.snapshot, ALL_SCENARIOS, 20);
+        let b = ScenarioGen::new(9).sequence(&ft.snapshot, ALL_SCENARIOS, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recovery_requires_prior_failure() {
+        let ft = fat_tree(4, Routing::Ospf);
+        let mut g = ScenarioGen::new(1);
+        assert!(g
+            .generate(&ft.snapshot, ScenarioKind::LinkRecovery)
+            .is_none());
+        let failure = g
+            .generate(&ft.snapshot, ScenarioKind::LinkFailure)
+            .unwrap();
+        let after = failure.apply(&ft.snapshot).unwrap();
+        assert!(g.generate(&after, ScenarioKind::LinkRecovery).is_some());
+    }
+
+    #[test]
+    fn batch_size_controls_primitive_count() {
+        let ft = fat_tree(6, Routing::Ebgp);
+        let mut g = ScenarioGen::new(3);
+        let b = g.batch(&ft.snapshot, ScenarioKind::LinkFailure, 16);
+        assert_eq!(b.len(), 16);
+        assert!(b.apply(&ft.snapshot).is_ok());
+    }
+
+    #[test]
+    fn acl_insert_binds_then_only_adds() {
+        let ft = fat_tree(4, Routing::Ospf);
+        let mut g = ScenarioGen::new(11);
+        let first = g
+            .generate(&ft.snapshot, ScenarioKind::AclInsert)
+            .unwrap();
+        // First insert on a device carries the bind (3 primitives).
+        assert_eq!(first.len(), 3);
+        let after = first.apply(&ft.snapshot).unwrap();
+        // Remove finds the inserted entry.
+        assert!(g.generate(&after, ScenarioKind::AclRemove).is_some());
+    }
+}

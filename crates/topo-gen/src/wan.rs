@@ -1,0 +1,162 @@
+//! WAN-like topology generators: ring, line, and random mesh (seeded).
+//!
+//! These model ISP/enterprise backbones running single-area OSPF with
+//! heterogeneous link costs; every router owns a passive LAN subnet, so
+//! every router pair has end-to-end traffic to reason about.
+
+use crate::fattree::P2pAlloc;
+use net_model::{pfx, Ipv4Prefix, NetBuilder, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated WAN.
+pub struct Wan {
+    /// The snapshot.
+    pub snapshot: Snapshot,
+    /// Router names (`r0..`).
+    pub routers: Vec<String>,
+    /// `(router, LAN prefix)` pairs.
+    pub lans: Vec<(String, Ipv4Prefix)>,
+}
+
+/// Shape of the generated backbone graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WanShape {
+    /// A simple cycle.
+    Ring,
+    /// A path graph (useful for worst-case propagation depth).
+    Line,
+    /// Ring plus `extra` random chords with seeded placement.
+    Mesh {
+        /// Number of random chords added on top of the ring.
+        extra: usize,
+    },
+}
+
+/// Generates a WAN of `n` routers with the given shape. Link costs are
+/// drawn uniformly from `1..=max_cost` using the seeded RNG, so topologies
+/// are reproducible.
+///
+/// # Panics
+/// Panics if `n < 2` or `n > 512`.
+pub fn wan(n: usize, shape: WanShape, max_cost: u32, seed: u64) -> Wan {
+    assert!((2..=512).contains(&n), "n must be in [2, 512]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetBuilder::new();
+    let mut alloc = P2pAlloc::new();
+    let routers: Vec<String> = (0..n).map(|i| format!("r{i}")).collect();
+    for r in &routers {
+        b = b.router(r);
+    }
+    // LANs: 172.x.y.0/24, passive OSPF.
+    let mut lans = Vec::new();
+    for (i, r) in routers.iter().enumerate() {
+        let prefix = pfx(&format!("172.{}.{}.0/24", 16 + i / 256, i % 256));
+        b = b.iface(r, "lan", &format!("{}/24", prefix.nth_host(1)));
+        b = b.ospf_passive(r, "lan", 1);
+        lans.push((r.clone(), prefix));
+    }
+    let mut iface_counter = vec![0usize; n];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    match shape {
+        WanShape::Line => {
+            for i in 0..n - 1 {
+                edges.push((i, i + 1));
+            }
+        }
+        WanShape::Ring => {
+            for i in 0..n {
+                edges.push((i, (i + 1) % n));
+            }
+            if n == 2 {
+                edges.pop(); // avoid the duplicate 0-1 edge
+            }
+        }
+        WanShape::Mesh { extra } => {
+            for i in 0..n {
+                edges.push((i, (i + 1) % n));
+            }
+            if n == 2 {
+                edges.pop();
+            }
+            let mut attempts = 0;
+            let mut added = 0;
+            while added < extra && attempts < extra * 20 {
+                attempts += 1;
+                let a = rng.gen_range(0..n);
+                let c = rng.gen_range(0..n);
+                if a == c {
+                    continue;
+                }
+                let key = (a.min(c), a.max(c));
+                if edges.contains(&key) {
+                    continue;
+                }
+                edges.push(key);
+                added += 1;
+            }
+        }
+    }
+    for (i, j) in edges {
+        let (lo, hi) = alloc.next_pair();
+        let ii = format!("p2p{}", iface_counter[i]);
+        let ij = format!("p2p{}", iface_counter[j]);
+        iface_counter[i] += 1;
+        iface_counter[j] += 1;
+        let cost_i = rng.gen_range(1..=max_cost);
+        let cost_j = rng.gen_range(1..=max_cost);
+        b = b
+            .iface(&routers[i], &ii, &format!("{lo}/31"))
+            .iface(&routers[j], &ij, &format!("{hi}/31"))
+            .link(&routers[i], &ii, &routers[j], &ij)
+            .ospf(&routers[i], &ii, cost_i)
+            .ospf(&routers[j], &ij, cost_j);
+    }
+    Wan {
+        snapshot: b.build(),
+        routers,
+        lans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_and_line_shapes() {
+        let ring = wan(8, WanShape::Ring, 5, 1);
+        assert_eq!(ring.snapshot.links.len(), 8);
+        assert!(ring.snapshot.validate().is_empty());
+        let line = wan(8, WanShape::Line, 5, 1);
+        assert_eq!(line.snapshot.links.len(), 7);
+        assert!(line.snapshot.validate().is_empty());
+    }
+
+    #[test]
+    fn mesh_adds_chords_deterministically() {
+        let a = wan(16, WanShape::Mesh { extra: 10 }, 10, 42);
+        let b = wan(16, WanShape::Mesh { extra: 10 }, 10, 42);
+        assert_eq!(a.snapshot, b.snapshot, "same seed, same snapshot");
+        let c = wan(16, WanShape::Mesh { extra: 10 }, 10, 43);
+        assert_ne!(a.snapshot, c.snapshot, "different seed, different mesh");
+        assert!(a.snapshot.links.len() >= 16 + 5, "chords added");
+        assert!(a.snapshot.validate().is_empty());
+    }
+
+    #[test]
+    fn two_router_edge_case() {
+        let w = wan(2, WanShape::Ring, 3, 7);
+        assert_eq!(w.snapshot.links.len(), 1);
+        assert!(w.snapshot.validate().is_empty());
+    }
+
+    #[test]
+    fn every_router_has_a_lan() {
+        let w = wan(12, WanShape::Mesh { extra: 4 }, 8, 5);
+        assert_eq!(w.lans.len(), 12);
+        let prefixes: std::collections::BTreeSet<_> =
+            w.lans.iter().map(|(_, p)| *p).collect();
+        assert_eq!(prefixes.len(), 12, "LAN prefixes are unique");
+    }
+}

@@ -1,0 +1,62 @@
+//! Head-to-head: the differential engine vs the from-scratch baseline on
+//! the same change stream — asserting identical answers and printing the
+//! per-change latency of both (the paper's headline comparison, live).
+//!
+//! Run with: `cargo run --release --example incremental_vs_scratch`
+
+use dna_core::{DiffEngine, ScratchDiffer};
+use std::time::Instant;
+use topo_gen::{fat_tree, Routing, ScenarioGen, ALL_SCENARIOS};
+
+fn main() {
+    let ft = fat_tree(6, Routing::Ebgp);
+    println!(
+        "workload: k=6 eBGP fat-tree ({} switches), 10 random operational changes\n",
+        ft.device_count()
+    );
+
+    let t = Instant::now();
+    let mut eng = DiffEngine::new(ft.snapshot.clone()).unwrap();
+    println!("differential engine warm-up (initial simulation): {:?}", t.elapsed());
+    let mut scratch = ScratchDiffer::new(ft.snapshot.clone()).unwrap();
+
+    let mut gen = ScenarioGen::new(2024);
+    let changes = gen.sequence(&ft.snapshot, ALL_SCENARIOS, 10);
+
+    println!(
+        "\n{:<44} {:>12} {:>12} {:>8}",
+        "change", "differential", "scratch", "speedup"
+    );
+    let (mut sum_inc, mut sum_scr) = (0f64, 0f64);
+    for cs in &changes {
+        let label = cs
+            .changes
+            .first()
+            .map(|c| c.to_string())
+            .unwrap_or_default();
+        let t0 = Instant::now();
+        let d1 = eng.apply(cs).expect("incremental apply");
+        let inc = t0.elapsed();
+        let t1 = Instant::now();
+        let d2 = scratch.apply(cs).expect("scratch apply");
+        let scr = t1.elapsed();
+        assert_eq!(d1.fib, d2.fib, "the two analyzers must agree");
+        assert_eq!(d1.rib, d2.rib);
+        sum_inc += inc.as_secs_f64();
+        sum_scr += scr.as_secs_f64();
+        println!(
+            "{:<44} {:>12} {:>12} {:>7.1}x",
+            label.chars().take(44).collect::<String>(),
+            format!("{inc:?}"),
+            format!("{scr:?}"),
+            scr.as_secs_f64() / inc.as_secs_f64().max(1e-9)
+        );
+    }
+    println!(
+        "\ntotals: differential {:.1} ms vs scratch {:.1} ms — {:.1}x overall ({} changes, identical results)",
+        sum_inc * 1e3,
+        sum_scr * 1e3,
+        sum_scr / sum_inc.max(1e-9),
+        changes.len()
+    );
+}

@@ -1,0 +1,94 @@
+//! Misconfiguration forensics: two static routes that look individually
+//! reasonable combine into a forwarding loop. The differential engine
+//! flags the loop the instant the second route lands — with the exact
+//! header space caught in it.
+//!
+//! Run with: `cargo run --example loop_detection`
+
+use dna_core::{classify, report, DiffEngine, FlowChangeKind};
+use net_model::{ip, pfx, Change, ChangeSet, NetBuilder, NextHop, StaticRoute};
+
+fn main() {
+    // a — b — c, with a default route chain toward c's upstream LAN.
+    let snap = NetBuilder::new()
+        .router("a")
+        .iface("a", "lan", "172.16.0.1/24")
+        .iface("a", "p1", "10.0.0.1/31")
+        .router("b")
+        .iface("b", "p1", "10.0.0.0/31")
+        .iface("b", "p2", "10.0.1.1/31")
+        .router("c")
+        .iface("c", "p2", "10.0.1.0/31")
+        .iface("c", "lan", "172.16.2.1/24")
+        .link("a", "p1", "b", "p1")
+        .link("b", "p2", "c", "p2")
+        .static_route("a", pfx("0.0.0.0/0"), "10.0.0.0") // a -> b
+        .build();
+
+    let mut engine = DiffEngine::new(snap).expect("valid snapshot");
+    println!("baseline: a default-routes to b; b has no route onward\n");
+    let probe = net_model::Flow::tcp_to(ip("8.8.8.8"), 443);
+    println!("probe 8.8.8.8 from a -> {:?}\n", engine.query("a", &probe));
+
+    // Ticket #1: "b can't reach the internet" — someone points b's default
+    // back at a (the wrong side!).
+    println!("== change: operator adds default route on b via 10.0.0.1 (a's address) ==");
+    let diff = engine
+        .apply(&ChangeSet::single(Change::StaticRouteAdd {
+            device: "b".into(),
+            route: StaticRoute {
+                prefix: pfx("0.0.0.0/0"),
+                next_hop: NextHop::Ip(ip("10.0.0.1")),
+                admin_distance: 1,
+            },
+        }))
+        .unwrap();
+    print!("{}", report::render(&diff, 10));
+    let loops = diff
+        .flows
+        .iter()
+        .filter(|f| classify(f) == FlowChangeKind::LoopIntroduced)
+        .count();
+    println!("\n*** {loops} flow classes entered a forwarding loop ***");
+    for f in diff
+        .flows
+        .iter()
+        .filter(|f| classify(f) == FlowChangeKind::LoopIntroduced)
+        .take(3)
+    {
+        println!(
+            "    from {}: {} (example dst {})",
+            f.src,
+            f.headers.first().cloned().unwrap_or_default(),
+            f.example.dst
+        );
+    }
+
+    // The fix: point b at c instead.
+    println!("\n== fix: replace with default via 10.0.1.0 (c) ==");
+    let diff = engine
+        .apply(&ChangeSet::of(vec![
+            Change::StaticRouteRemove {
+                device: "b".into(),
+                prefix: pfx("0.0.0.0/0"),
+                next_hop: NextHop::Ip(ip("10.0.0.1")),
+            },
+            Change::StaticRouteAdd {
+                device: "b".into(),
+                route: StaticRoute {
+                    prefix: pfx("0.0.0.0/0"),
+                    next_hop: NextHop::Ip(ip("10.0.1.0")),
+                    admin_distance: 1,
+                },
+            },
+        ]))
+        .unwrap();
+    print!("{}", report::render(&diff, 10));
+    let resolved = diff
+        .flows
+        .iter()
+        .filter(|f| classify(f) == FlowChangeKind::LoopResolved)
+        .count();
+    println!("\nloops resolved: {resolved}");
+    println!("probe 8.8.8.8 from a -> {:?}", engine.query("a", &probe));
+}

@@ -1,0 +1,98 @@
+//! BGP traffic engineering: shift egress by editing an import route map's
+//! local preference and watch exactly which flows reroute.
+//!
+//! Run with: `cargo run --example policy_change`
+
+use dna_core::{classify, report, DiffEngine, FlowChangeKind};
+use net_model::route::{RmAction, RmSet, RouteMapClause};
+use net_model::{pfx, Change, ChangeSet, NetBuilder, RouteMap};
+
+fn pref(lp: u32) -> RouteMap {
+    let mut rm = RouteMap::default();
+    rm.add(RouteMapClause {
+        seq: 10,
+        matches: vec![],
+        action: RmAction::Permit,
+        sets: vec![RmSet::LocalPref(lp)],
+    });
+    rm
+}
+
+fn main() {
+    // r1 dual-homed to two providers (r2 in AS 65002, r3 in AS 65003),
+    // both reaching the same destination AS 65004.
+    let snap = NetBuilder::new()
+        .router("r1")
+        .iface("r1", "lan", "172.16.1.1/24")
+        .iface("r1", "to2", "10.0.12.1/31")
+        .iface("r1", "to3", "10.0.13.1/31")
+        .bgp("r1", 65001, 1)
+        .neighbor("r1", "10.0.12.0", 65002, Some("via2"), None)
+        .neighbor("r1", "10.0.13.0", 65003, Some("via3"), None)
+        .network("r1", pfx("172.16.1.0/24"))
+        .route_map("r1", "via2", pref(200))
+        .route_map("r1", "via3", pref(100))
+        .router("r2")
+        .iface("r2", "to1", "10.0.12.0/31")
+        .iface("r2", "to4", "10.0.24.1/31")
+        .bgp("r2", 65002, 2)
+        .neighbor("r2", "10.0.12.1", 65001, None, None)
+        .neighbor("r2", "10.0.24.0", 65004, None, None)
+        .router("r3")
+        .iface("r3", "to1", "10.0.13.0/31")
+        .iface("r3", "to4", "10.0.34.1/31")
+        .bgp("r3", 65003, 3)
+        .neighbor("r3", "10.0.13.1", 65001, None, None)
+        .neighbor("r3", "10.0.34.0", 65004, None, None)
+        .router("r4")
+        .iface("r4", "lan", "172.16.4.1/24")
+        .iface("r4", "to2", "10.0.24.0/31")
+        .iface("r4", "to3", "10.0.34.0/31")
+        .bgp("r4", 65004, 4)
+        .neighbor("r4", "10.0.24.1", 65002, None, None)
+        .neighbor("r4", "10.0.34.1", 65003, None, None)
+        .network("r4", pfx("172.16.4.0/24"))
+        .link("r1", "to2", "r2", "to1")
+        .link("r1", "to3", "r3", "to1")
+        .link("r2", "to4", "r4", "to2")
+        .link("r3", "to4", "r4", "to3")
+        .build();
+
+    let mut engine = DiffEngine::new(snap).expect("valid snapshot");
+    let probe = net_model::Flow::tcp_to(net_model::ip("172.16.4.9"), 443);
+    println!(
+        "before: r1 reaches 172.16.4.0/24 via {:?}",
+        engine.query("r1", &probe)
+    );
+    println!("(egress currently prefers r2: local-pref 200 beats 100)\n");
+
+    println!("== maintenance: drain provider r2 by dropping its preference ==");
+    let diff = engine
+        .apply(&ChangeSet::single(Change::SetRouteMap {
+            device: "r1".into(),
+            name: "via2".into(),
+            map: pref(50),
+        }))
+        .unwrap();
+    print!("{}", report::render(&diff, 10));
+    let rerouted = diff
+        .flows
+        .iter()
+        .filter(|f| classify(f) == FlowChangeKind::Rerouted)
+        .count();
+    let lost = diff
+        .flows
+        .iter()
+        .filter(|f| classify(f) == FlowChangeKind::Lost)
+        .count();
+    println!(
+        "\nthe forwarding path moved (see the fib +1/-1 above: r1's egress \
+         interface flipped to the r3 side),\nyet end-to-end outcomes are \
+         unchanged — rerouted-endpoint classes: {rerouted}, lost: {lost}. \
+         The drain is hitless."
+    );
+    println!(
+        "after: r1 reaches 172.16.4.0/24 via {:?}",
+        engine.query("r1", &probe)
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a 4-router OSPF WAN, fail a link, and print exactly
+//! which flows changed behavior.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dna_core::{report, DiffEngine};
+use net_model::{Change, ChangeSet, NetBuilder};
+
+fn main() {
+    // A square: r1-r2-r3-r4-r1, with LANs on r1 and r3. The r1-r2 side is
+    // cheap; the r1-r4 side expensive.
+    let snap = NetBuilder::new()
+        .router("r1")
+        .iface("r1", "lan", "172.16.1.1/24")
+        .iface("r1", "to2", "10.0.12.1/31")
+        .iface("r1", "to4", "10.0.14.1/31")
+        .router("r2")
+        .iface("r2", "to1", "10.0.12.0/31")
+        .iface("r2", "to3", "10.0.23.1/31")
+        .router("r3")
+        .iface("r3", "lan", "172.16.3.1/24")
+        .iface("r3", "to2", "10.0.23.0/31")
+        .iface("r3", "to4", "10.0.34.1/31")
+        .router("r4")
+        .iface("r4", "to1", "10.0.14.0/31")
+        .iface("r4", "to3", "10.0.34.0/31")
+        .link("r1", "to2", "r2", "to1")
+        .link("r2", "to3", "r3", "to2")
+        .link("r3", "to4", "r4", "to3")
+        .link("r1", "to4", "r4", "to1")
+        .ospf("r1", "to2", 1)
+        .ospf("r1", "to4", 10)
+        .ospf("r2", "to1", 1)
+        .ospf("r2", "to3", 1)
+        .ospf("r3", "to2", 1)
+        .ospf("r3", "to4", 10)
+        .ospf("r4", "to1", 10)
+        .ospf("r4", "to3", 10)
+        .ospf_passive("r1", "lan", 1)
+        .ospf_passive("r3", "lan", 1)
+        .build();
+
+    println!("== building differential engine (simulates the base snapshot) ==");
+    let mut engine = DiffEngine::new(snap.clone()).expect("valid snapshot");
+    println!(
+        "devices: {}, fib entries: {}, packet classes: {}\n",
+        snap.device_count(),
+        engine.fib().len(),
+        engine.class_count()
+    );
+
+    println!("== change: fail the r2-r3 link ==");
+    let link = snap
+        .links
+        .iter()
+        .find(|l| l.touches("r2") && l.touches("r3"))
+        .unwrap()
+        .clone();
+    let diff = engine
+        .apply(&ChangeSet::single(Change::LinkDown(link.clone())))
+        .expect("applies cleanly");
+    print!("{}", report::render(&diff, 12));
+
+    println!("\n== change: recover it ==");
+    let diff = engine
+        .apply(&ChangeSet::single(Change::LinkUp(link)))
+        .expect("applies cleanly");
+    print!("{}", report::render(&diff, 12));
+}

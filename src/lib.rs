@@ -1,0 +1,7 @@
+//! Workspace root for the Differential Network Analysis reproduction.
+//!
+//! This package only hosts the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`). The library surface lives in the
+//! workspace crates; the most convenient entry point is [`dna_core`].
+
+pub use dna_core;
