@@ -5,9 +5,9 @@
 //! harness binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dna_core::{DiffEngine, ScratchDiffer};
 use net_model::ChangeSet;
+use std::time::Duration;
 use topo_gen::{fat_tree, Routing, ScenarioGen, ScenarioKind};
 
 /// E1/E2/E3 core comparison: one link failure on fat-trees of two sizes.

@@ -147,7 +147,7 @@ pub fn e3_scenarios(snap: &Snapshot, name: &str, samples: usize) -> Vec<Row> {
             };
             // Keep the median-ish representative: the slowest differential
             // sample (conservative for the incremental side).
-            if best.as_ref().map_or(true, |b| row.diff > b.diff) {
+            if best.as_ref().is_none_or(|b| row.diff > b.diff) {
                 best = Some(row);
             }
             // Evolve so recovery scenarios have opportunities.
@@ -171,7 +171,14 @@ pub fn e3_scenarios(snap: &Snapshot, name: &str, samples: usize) -> Vec<Row> {
 pub fn e4_dp_throughput(n_routers: usize, updates: usize) -> (f64, f64) {
     use control_plane::reference;
     use data_plane::{DataPlane, DpUpdate};
-    let w = wan(n_routers, WanShape::Mesh { extra: n_routers / 2 }, 8, 4242);
+    let w = wan(
+        n_routers,
+        WanShape::Mesh {
+            extra: n_routers / 2,
+        },
+        8,
+        4242,
+    );
     let sim = reference::simulate(&w.snapshot).expect("wan converges");
     let fib: Vec<_> = sim.fib.iter().cloned().collect();
     let mut dp = DataPlane::new(&w.snapshot);

@@ -393,7 +393,8 @@ pub fn dec_rib(v: &Value) -> RibEntry {
 pub fn rib_cmp(a: &Value, b: &Value) -> Ordering {
     let ta = a.as_tuple().expect("rib cand");
     let tb = b.as_tuple().expect("rib cand");
-    ta[0].as_u32()
+    ta[0]
+        .as_u32()
         .cmp(&tb[0].as_u32())
         .then_with(|| ta[1].as_u64().cmp(&tb[1].as_u64()))
 }
@@ -426,7 +427,9 @@ mod tests {
     fn source_roundtrip() {
         let sources = [
             BgpSource::Originated,
-            BgpSource::External { peer: ip("9.9.9.9") },
+            BgpSource::External {
+                peer: ip("9.9.9.9"),
+            },
             BgpSource::Session {
                 peer_device: "spine1".into(),
                 peer_addr: ip("10.0.0.1"),
@@ -466,7 +469,10 @@ mod tests {
                 RmSet::Med(1),
                 RmSet::AddCommunity(7),
                 RmSet::DeleteCommunity(8),
-                RmSet::AsPathPrepend { asn: 65009, count: 2 },
+                RmSet::AsPathPrepend {
+                    asn: 65009,
+                    count: 2,
+                },
             ],
         });
         assert_eq!(dec_route_map(&enc_route_map(&rm)), rm);
@@ -478,7 +484,9 @@ mod tests {
             FibEntry {
                 device: "r1".into(),
                 prefix: pfx("10.0.0.0/24"),
-                action: FibAction::Deliver { iface: "eth0".into() },
+                action: FibAction::Deliver {
+                    iface: "eth0".into(),
+                },
             },
             FibEntry {
                 device: "r1".into(),

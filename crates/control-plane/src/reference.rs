@@ -120,7 +120,8 @@ impl<'a> LiveView<'a> {
     }
 
     fn iface_up(&self, dev: &str, iface: &str) -> bool {
-        self.up_ifaces.contains(&(dev.to_string(), iface.to_string()))
+        self.up_ifaces
+            .contains(&(dev.to_string(), iface.to_string()))
     }
 
     /// Finds the up interface of `dev` whose subnet contains `ip`, plus the
@@ -219,9 +220,12 @@ fn sessions(view: &LiveView) -> Vec<Session> {
     out
 }
 
-/// OSPF computation: per-device routes `(prefix, total_cost, ecmp next
-/// hops)` where a next hop is `(iface, next_device)`.
-fn ospf_routes(view: &LiveView) -> Vec<(String, Ipv4Prefix, u64, BTreeSet<(String, String)>)> {
+/// One OSPF route: `(device, prefix, total_cost, ecmp next hops)` where a
+/// next hop is `(iface, next_device)`.
+type OspfRoute = (String, Ipv4Prefix, u64, BTreeSet<(String, String)>);
+
+/// OSPF computation: per-device routes; see [`OspfRoute`].
+fn ospf_routes(view: &LiveView) -> Vec<OspfRoute> {
     let snap = view.snap;
     // Directed OSPF adjacency graph: edges (a -> b, cost of a's egress
     // iface, a's iface name). Both ends must run active OSPF in one area.
@@ -288,7 +292,7 @@ fn ospf_routes(view: &LiveView) -> Vec<(String, Ipv4Prefix, u64, BTreeSet<(Strin
             if let Some(edges) = graph.get(node) {
                 for e in edges {
                     let nd = d + e.cost;
-                    if dist.get(e.to.as_str()).map_or(true, |&old| nd < old) {
+                    if dist.get(e.to.as_str()).is_none_or(|&old| nd < old) {
                         dist.insert(e.to.as_str(), nd);
                         heap.push((std::cmp::Reverse(nd), e.to.as_str()));
                     }
@@ -307,12 +311,7 @@ fn ospf_routes(view: &LiveView) -> Vec<(String, Ipv4Prefix, u64, BTreeSet<(Strin
     // Convert per-source distances into a map for first-hop extraction.
     let all_dist: HashMap<String, HashMap<String, u64>> = out
         .into_iter()
-        .map(|(s, m)| {
-            (
-                s,
-                m.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-            )
-        })
+        .map(|(s, m)| (s, m.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
         .collect();
 
     let mut routes = Vec::new();
@@ -411,7 +410,11 @@ fn bgp_best(
             }
             let mut attrs = e.attrs.clone();
             attrs.local_pref = 100; // not transitive across eBGP
-            let import = bgp.neighbors.iter().find(|n| n.peer == e.peer).and_then(|n| n.import_policy.clone());
+            let import = bgp
+                .neighbors
+                .iter()
+                .find(|n| n.peer == e.peer)
+                .and_then(|n| n.import_policy.clone());
             let Some(attrs) = route_map(dc, &import, &permit_all).evaluate(&attrs) else {
                 continue;
             };
@@ -476,7 +479,7 @@ fn bgp_best(
         }
         let mut next: BTreeMap<(String, Ipv4Prefix), Value> = BTreeMap::new();
         for (key, mut routes) in cand {
-            routes.sort_by(|a, b| bgp_route_cmp(a, b));
+            routes.sort_by(bgp_route_cmp);
             next.insert(key, routes.into_iter().next().expect("nonempty"));
         }
         if next == best {
@@ -502,8 +505,8 @@ pub fn simulate_bounded(snap: &Snapshot, max_rounds: u32) -> Result<SimResult, S
     let permit = |p: Proto| p.admin_distance();
 
     // Candidates per (device, prefix): (ad, metric, proto, action).
-    let mut cands: BTreeMap<(String, Ipv4Prefix), Vec<(u8, u64, Proto, FibAction)>> =
-        BTreeMap::new();
+    type CandMap = BTreeMap<(String, Ipv4Prefix), Vec<(u8, u64, Proto, FibAction)>>;
+    let mut cands: CandMap = BTreeMap::new();
 
     // Connected.
     for (dev, dc) in &snap.devices {
@@ -511,17 +514,14 @@ pub fn simulate_bounded(snap: &Snapshot, max_rounds: u32) -> Result<SimResult, S
             if !view.iface_up(dev, ifname) {
                 continue;
             }
-            cands
-                .entry((dev.clone(), ic.prefix))
-                .or_default()
-                .push((
-                    permit(Proto::Connected),
-                    0,
-                    Proto::Connected,
-                    FibAction::Deliver {
-                        iface: ifname.clone(),
-                    },
-                ));
+            cands.entry((dev.clone(), ic.prefix)).or_default().push((
+                permit(Proto::Connected),
+                0,
+                Proto::Connected,
+                FibAction::Deliver {
+                    iface: ifname.clone(),
+                },
+            ));
         }
     }
     // Static.
@@ -537,10 +537,12 @@ pub fn simulate_bounded(snap: &Snapshot, max_rounds: u32) -> Result<SimResult, S
                     .map(|(iface, next)| FibAction::Forward { iface, next }),
             };
             if let Some(action) = action {
-                cands
-                    .entry((dev.clone(), r.prefix))
-                    .or_default()
-                    .push((r.admin_distance, 0, Proto::Static, action));
+                cands.entry((dev.clone(), r.prefix)).or_default().push((
+                    r.admin_distance,
+                    0,
+                    Proto::Static,
+                    action,
+                ));
             }
         }
     }

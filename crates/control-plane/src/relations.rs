@@ -280,9 +280,12 @@ pub fn change_deltas(before: &Snapshot, change: &Change) -> Vec<FactDelta> {
             peer,
             prefix,
         } => {
-            if let Some(e) = before.environment.external_routes.iter().find(|e| {
-                e.device == *device && e.peer == *peer && e.attrs.prefix == *prefix
-            }) {
+            if let Some(e) = before
+                .environment
+                .external_routes
+                .iter()
+                .find(|e| e.device == *device && e.peer == *peer && e.attrs.prefix == *prefix)
+            {
                 out.push((
                     "external_route",
                     Value::tuple(vec![
@@ -339,8 +342,10 @@ mod tests {
     fn snapshot() -> Snapshot {
         let mut snap = Snapshot::default();
         let mut r1 = DeviceConfig::default();
-        r1.interfaces
-            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(3));
+        r1.interfaces.insert(
+            "eth0".into(),
+            IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(3),
+        );
         r1.route_maps.insert("rm".into(), RouteMap::permit_all());
         let mut r2 = DeviceConfig::default();
         r2.interfaces

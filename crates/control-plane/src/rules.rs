@@ -78,7 +78,8 @@ const PROTO_BGP_I: u32 = 4;
 /// Interface choice for next-hop resolution: longest prefix, then name.
 fn iface_choice_cmp(a: &Value, b: &Value) -> Ordering {
     let (ta, tb) = (a.as_tuple().unwrap(), b.as_tuple().unwrap());
-    tb[1].as_u32()
+    tb[1]
+        .as_u32()
         .cmp(&ta[1].as_u32())
         .then_with(|| ta[0].as_str().cmp(tb[0].as_str()))
 }
@@ -294,17 +295,16 @@ pub fn build_program() -> (Program, CpHandles) {
         let ifname = kv.payload().field(0).clone();
         Value::kv(
             Value::tuple(vec![dev.clone(), ifname.clone(), st.field(1).clone()]),
-            Value::tuple(vec![
-                dev,
-                st.field(0).clone(),
-                st.field(2).clone(),
-                ifname,
-            ]),
+            Value::tuple(vec![dev, st.field(0).clone(), st.field(2).clone(), ifname]),
         )
     });
     let adj_by_addr = g.map(adjacency, |r| {
         Value::kv(
-            Value::tuple(vec![r.field(0).clone(), r.field(1).clone(), r.field(4).clone()]),
+            Value::tuple(vec![
+                r.field(0).clone(),
+                r.field(1).clone(),
+                r.field(4).clone(),
+            ]),
             r.field(2).clone(),
         )
     });
@@ -320,7 +320,11 @@ pub fn build_program() -> (Program, CpHandles) {
         )
     });
     let adj_addr_keys = g.map(adjacency, |r| {
-        Value::tuple(vec![r.field(0).clone(), r.field(1).clone(), r.field(4).clone()])
+        Value::tuple(vec![
+            r.field(0).clone(),
+            r.field(1).clone(),
+            r.field(4).clone(),
+        ])
     });
     let st_ext0 = g.antijoin(st1, adj_addr_keys);
     let st_ext_cand = g.map(st_ext0, |kv| {
@@ -340,7 +344,11 @@ pub fn build_program() -> (Program, CpHandles) {
     let ospf_by_ifkey = g.map(ospf_iface, |r| {
         Value::kv(
             Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
-            Value::tuple(vec![r.field(2).clone(), r.field(3).clone(), r.field(4).clone()]),
+            Value::tuple(vec![
+                r.field(2).clone(),
+                r.field(3).clone(),
+                r.field(4).clone(),
+            ]),
         )
     });
     // (dev, if, prefix, cost, area, passive) for live OSPF interfaces.
@@ -356,7 +364,11 @@ pub fn build_program() -> (Program, CpHandles) {
     });
     // (dev, prefix, cost): advertisements, passive included.
     let adverts = g.map(ospf_full, |r| {
-        Value::tuple(vec![r.field(0).clone(), r.field(2).clone(), r.field(3).clone()])
+        Value::tuple(vec![
+            r.field(0).clone(),
+            r.field(2).clone(),
+            r.field(3).clone(),
+        ])
     });
     let ospf_active = {
         let a = g.filter(ospf_full, |r| !r.field(5).as_bool());
@@ -411,7 +423,10 @@ pub fn build_program() -> (Program, CpHandles) {
         let edges_by_to = g.map(edges, |r| {
             Value::kv(
                 r.field(2).clone(),
-                Value::tuple(vec![r.field(0).clone(), Value::U64(r.field(3).as_u32() as u64)]),
+                Value::tuple(vec![
+                    r.field(0).clone(),
+                    Value::U64(r.field(3).as_u32() as u64),
+                ]),
             )
         });
         let var = g.variable(s, "dist", seeds);
@@ -491,7 +506,10 @@ pub fn build_program() -> (Program, CpHandles) {
     let adverts_by_dev = g.map(adverts, |r| {
         Value::kv(
             r.field(0).clone(),
-            Value::tuple(vec![r.field(1).clone(), Value::U64(r.field(2).as_u32() as u64)]),
+            Value::tuple(vec![
+                r.field(1).clone(),
+                Value::U64(r.field(2).as_u32() as u64),
+            ]),
         )
     });
     let rc0 = g.join(dist_by_t, adverts_by_dev, |t, sc, pc| {
@@ -566,13 +584,21 @@ pub fn build_program() -> (Program, CpHandles) {
     let nbr_by_key = g.map(bgp_neighbor, |r| {
         Value::kv(
             Value::tuple(vec![r.field(0).clone(), r.field(1).clone()]),
-            Value::tuple(vec![r.field(2).clone(), r.field(3).clone(), r.field(4).clone()]),
+            Value::tuple(vec![
+                r.field(2).clone(),
+                r.field(3).clone(),
+                r.field(4).clone(),
+            ]),
         )
     });
     let adj_for_bgp = g.map(adjacency, |r| {
         Value::kv(
             Value::tuple(vec![r.field(0).clone(), r.field(4).clone()]),
-            Value::tuple(vec![r.field(1).clone(), r.field(2).clone(), r.field(5).clone()]),
+            Value::tuple(vec![
+                r.field(1).clone(),
+                r.field(2).clone(),
+                r.field(5).clone(),
+            ]),
         )
     });
     // (dev, (peer_addr, remote_as, imp, via_if, peer_dev, my_addr))
@@ -594,11 +620,11 @@ pub fn build_program() -> (Program, CpHandles) {
             s.field(4).clone(), // peer_dev
             Value::tuple(vec![
                 dev.clone(),
-                s.field(0).clone(), // peer_addr
-                s.field(1).clone(), // remote_as
-                s.field(2).clone(), // import name
-                s.field(3).clone(), // via_if
-                s.field(5).clone(), // my_addr
+                s.field(0).clone(),    // peer_addr
+                s.field(1).clone(),    // remote_as
+                s.field(2).clone(),    // import name
+                s.field(3).clone(),    // via_if
+                s.field(5).clone(),    // my_addr
                 proc.field(0).clone(), // my_asn
                 proc.field(1).clone(), // my_rid
             ]),
@@ -611,15 +637,15 @@ pub fn build_program() -> (Program, CpHandles) {
         Value::kv(
             Value::tuple(vec![peer_dev.clone(), s.field(5).clone()]),
             Value::tuple(vec![
-                s.field(0).clone(),     // dev
-                peer_dev.clone(),       // peer_dev
-                s.field(1).clone(),     // peer_addr
-                s.field(4).clone(),     // via_if
+                s.field(0).clone(),                                          // dev
+                peer_dev.clone(),                                            // peer_dev
+                s.field(1).clone(),                                          // peer_addr
+                s.field(4).clone(),                                          // via_if
                 Value::Bool(s.field(6).as_u32() != pproc.field(0).as_u32()), // ebgp
-                s.field(6).clone(),     // my_asn
-                pproc.field(0).clone(), // peer_asn
-                pproc.field(1).clone(), // peer_rid
-                s.field(3).clone(),     // import name
+                s.field(6).clone(),                                          // my_asn
+                pproc.field(0).clone(),                                      // peer_asn
+                pproc.field(1).clone(),                                      // peer_rid
+                s.field(3).clone(),                                          // import name
             ]),
         )
     });
@@ -720,9 +746,7 @@ pub fn build_program() -> (Program, CpHandles) {
                 Value::tuple(vec![kv.key().field(1).clone(), kv.payload().clone()]),
             )
         });
-        let learned0 = g.join(by_owner, sess_by_peer, |_, pr, sess| {
-            learn_route(pr, sess)
-        });
+        let learned0 = g.join(by_owner, sess_by_peer, |_, pr, sess| learn_route(pr, sess));
         let learned = g.filter(learned0, |r| *r != Value::Unit);
         let cand_all = g.concat(&[fixed, learned]);
         let next = g.reduce(cand_all, aggregates::best_by(bgp_route_cmp));

@@ -101,7 +101,11 @@ impl fmt::Display for FibEntry {
                     write!(f, "{}: {} -> {d} via {iface}", self.device, self.prefix)
                 }
                 NextDevice::External => {
-                    write!(f, "{}: {} -> external via {iface}", self.device, self.prefix)
+                    write!(
+                        f,
+                        "{}: {} -> external via {iface}",
+                        self.device, self.prefix
+                    )
                 }
             },
             FibAction::Drop => write!(f, "{}: {} drop", self.device, self.prefix),

@@ -42,9 +42,7 @@ fn bad_gadget() -> Snapshot {
     // Triangle routers.
     for i in 1..=3u32 {
         let name = format!("r{i}");
-        b = b
-            .router(&name)
-            .bgp(&name, 65000 + i, i);
+        b = b.router(&name).bgp(&name, 65000 + i, i);
     }
     // Spokes to the origin.
     let spokes = [
@@ -59,7 +57,13 @@ fn bad_gadget() -> Snapshot {
             .iface("r0", &o_if, theirs)
             .link(r, "to0", "r0", &o_if)
             .neighbor(r, &theirs[..theirs.len() - 3], 65000, None, None)
-            .neighbor("r0", &mine[..mine.len() - 3], 65000 + i as u32 + 1, None, None);
+            .neighbor(
+                "r0",
+                &mine[..mine.len() - 3],
+                65000 + i as u32 + 1,
+                None,
+                None,
+            );
     }
     // The ring r1->r2->r3->r1, each preferring its clockwise neighbor.
     let ring = [
@@ -92,7 +96,12 @@ fn gadget_snapshot_is_well_formed() {
 fn reference_detects_the_dispute_or_converges_identically() {
     let snap = bad_gadget();
     let reference_result = reference::simulate_bounded(&snap, 200);
-    let engine_result = CpEngine::with_config(snap, Config { max_iterations: 200 });
+    let engine_result = CpEngine::with_config(
+        snap,
+        Config {
+            max_iterations: 200,
+        },
+    );
     match (&reference_result, &engine_result) {
         // The expected outcome for the classic gadget: both sides give up.
         (Err(reference::SimError::BgpDivergence { .. }), Err(CpError::Divergence(_))) => {}

@@ -4,7 +4,7 @@
 //! soundness property of the reproduction.
 
 use control_plane::{reference, CpEngine, FibAction, FibEntry, NextDevice, Proto, RibEntry};
-use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
+use net_model::route::{RmAction, RmSet, RouteMapClause};
 use net_model::{
     ip, pfx, Change, ChangeSet, Endpoint, ExternalRoute, Link, NetBuilder, RouteAttrs, RouteMap,
     Snapshot,
@@ -40,7 +40,10 @@ fn check(snap: Snapshot, steps: Vec<ChangeSet>) {
         let prev_fib = eng.fib();
         let delta = eng.apply(&cs).expect("apply succeeds");
         cur = cs.apply(&cur).expect("model apply succeeds");
-        let ctx = format!("after step {i}: {:?}", cs.changes.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        let ctx = format!(
+            "after step {i}: {:?}",
+            cs.changes.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
         assert_matches_reference(&eng, &cur, &ctx);
         // The reported delta must transform the previous FIB exactly.
         let mut fib: std::collections::BTreeMap<FibEntry, isize> =
@@ -115,7 +118,10 @@ fn static_to_host_subnet_exits_external() {
     assert!(fib.iter().any(|e| e.prefix == pfx("8.8.0.0/16")
         && matches!(
             &e.action,
-            FibAction::Forward { next: NextDevice::External, .. }
+            FibAction::Forward {
+                next: NextDevice::External,
+                ..
+            }
         )));
 }
 
@@ -391,7 +397,10 @@ fn local_pref_steers_egress_and_policy_edit_flips_it() {
                         seq: 10,
                         matches: vec![],
                         action: RmAction::Permit,
-                        sets: vec![RmSet::AsPathPrepend { asn: 65003, count: 3 }],
+                        sets: vec![RmSet::AsPathPrepend {
+                            asn: 65003,
+                            count: 3,
+                        }],
                     });
                     rm
                 },
@@ -443,12 +452,12 @@ fn ibgp_pair_with_external_announcement() {
     let mut eng = CpEngine::new(snap).unwrap();
     eng.apply(&ChangeSet::single(announce)).unwrap();
     let rib = eng.rib();
-    assert!(rib
-        .iter()
-        .any(|e| e.device == "r1" && e.prefix == pfx("8.8.8.0/24") && e.proto == Proto::BgpExternal));
-    assert!(rib
-        .iter()
-        .any(|e| e.device == "r2" && e.prefix == pfx("8.8.8.0/24") && e.proto == Proto::BgpInternal));
+    assert!(rib.iter().any(|e| e.device == "r1"
+        && e.prefix == pfx("8.8.8.0/24")
+        && e.proto == Proto::BgpExternal));
+    assert!(rib.iter().any(|e| e.device == "r2"
+        && e.prefix == pfx("8.8.8.0/24")
+        && e.proto == Proto::BgpInternal));
 }
 
 #[test]
@@ -462,18 +471,20 @@ fn as_path_loop_prevention_blocks_reimport() {
         .neighbor("r1", "172.16.0.2", 64999, None, None)
         .build();
     let mut eng = CpEngine::new(snap.clone()).unwrap();
-    eng.apply(&ChangeSet::single(Change::ExternalAnnounce(ExternalRoute {
-        device: "r1".into(),
-        peer: ip("172.16.0.2"),
-        attrs: RouteAttrs {
-            prefix: pfx("9.9.9.0/24"),
-            local_pref: 100,
-            as_path: vec![64999, 65001, 64998],
-            med: 0,
-            origin: 0,
-            communities: Default::default(),
+    eng.apply(&ChangeSet::single(Change::ExternalAnnounce(
+        ExternalRoute {
+            device: "r1".into(),
+            peer: ip("172.16.0.2"),
+            attrs: RouteAttrs {
+                prefix: pfx("9.9.9.0/24"),
+                local_pref: 100,
+                as_path: vec![64999, 65001, 64998],
+                med: 0,
+                origin: 0,
+                communities: Default::default(),
+            },
         },
-    })))
+    )))
     .unwrap();
     assert!(eng.rib().iter().all(|e| e.prefix != pfx("9.9.9.0/24")));
     // And the reference agrees.

@@ -110,12 +110,7 @@ fn larger_fat_tree_initial_state_matches() {
         let known = ft
             .server_subnets
             .iter()
-            .filter(|(owner, p)| {
-                owner == e
-                    || fib
-                        .iter()
-                        .any(|f| &f.device == e && f.prefix == *p)
-            })
+            .filter(|(owner, p)| owner == e || fib.iter().any(|f| &f.device == e && f.prefix == *p))
             .count();
         assert_eq!(known, ft.server_subnets.len(), "{e} missing subnets");
     }

@@ -6,9 +6,9 @@
 
 use crate::engine::{BehaviorDiff, DiffStats, DnaError, FlowDiff};
 use control_plane::{reference, CpError, FibEntry, RibEntry};
-use data_plane::{DataPlane, DpUpdate};
+use data_plane::{compile_acl, AtomRegistry, DataPlane, DpUpdate};
 use ddflow::Diff;
-use net_model::{ChangeSet, Flow, Snapshot};
+use net_model::{ChangeSet, Snapshot};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -55,28 +55,53 @@ impl ScratchDiffer {
         // Control-plane diffs (set difference on canonical entries).
         let rib = set_diff(&before_sim.rib, &after_sim.rib);
         let fib = set_diff(&before_sim.fib, &after_sim.fib);
-        // Reachability diffs at probe-flow granularity: one probe per
-        // packet class of either side covers every behavioral class.
-        let mut probes: Vec<Flow> = Vec::new();
-        for dp in [&before_dp, &after_dp] {
-            for a in dp.atoms() {
-                if let Some(f) = dp.sample_atom(a) {
-                    probes.push(f);
+        // Reachability diffs at the finest common refinement of the two
+        // partitions: a probe per atom of the union of both sides'
+        // predicates (FIB prefixes plus bound ACLs). This is exactly the
+        // partition [`crate::engine::DiffEngine`] reports deltas on — its
+        // verifier holds old and new predicates simultaneously while
+        // diffing — so the analyzers' reports are byte-identical,
+        // including header-space descriptions. Probing only one side's
+        // atoms would under-sample: a class that exists only before the
+        // change (e.g. a withdrawn /31) is invisible in the after
+        // partition, yet its flows may be the very ones that changed.
+        let mut reg = AtomRegistry::new();
+        for sim in [&before_sim, &after_sim] {
+            for e in &sim.fib {
+                let pset = reg.arena.dst_prefix(e.prefix);
+                let _ = reg.acquire(pset);
+            }
+        }
+        for snap in [&self.snapshot, &after_snap] {
+            for dc in snap.devices.values() {
+                for ic in dc.interfaces.values() {
+                    for name in [&ic.acl_in, &ic.acl_out].into_iter().flatten() {
+                        let acl = dc.acls.get(name).cloned().unwrap_or_default();
+                        let pset = compile_acl(&mut reg.arena, &acl);
+                        let _ = reg.acquire(pset);
+                    }
                 }
             }
         }
-        probes.sort();
-        probes.dedup();
         let mut flows = Vec::new();
-        for f in &probes {
+        let atoms: Vec<_> = reg.atom_ids().collect();
+        for atom in atoms {
+            let pset = reg.atom_pset(atom);
+            let Some(f) = reg.arena.sample(pset) else {
+                continue;
+            };
+            let mut headers: Option<Vec<String>> = None;
             for dev in after_snap.devices.keys() {
-                let b = before_dp.query(dev, f);
-                let a = after_dp.query(dev, f);
+                let b = before_dp.query(dev, &f);
+                let a = after_dp.query(dev, &f);
                 if b != a {
+                    let headers = headers
+                        .get_or_insert_with(|| reg.arena.describe(pset, 4))
+                        .clone();
                     flows.push(FlowDiff {
                         src: dev.clone(),
-                        headers: vec![format!("{f:?}")],
-                        example: *f,
+                        headers,
+                        example: f,
                         before: b,
                         after: a,
                     });

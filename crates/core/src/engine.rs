@@ -128,12 +128,15 @@ impl DiffEngine {
         let cp_time = t0.elapsed();
         let t1 = Instant::now();
         let filters = filter_changes(&before, self.cp.snapshot(), changes);
-        let reach = self.dp.apply(&DpUpdate {
+        // Deferred release keeps retiring atoms alive (and the partition at
+        // its finest) until the deltas are decorated; see `apply_deferred`.
+        let (reach, pending) = self.dp.apply_deferred(&DpUpdate {
             fib: cp_delta.fib.clone(),
             filters,
         });
         let dp_time = t1.elapsed();
         let flows = self.decorate(reach);
+        self.dp.finish_update(pending);
         Ok(BehaviorDiff {
             rib: cp_delta.rib,
             fib: cp_delta.fib,

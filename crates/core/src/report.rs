@@ -159,11 +159,17 @@ mod tests {
     fn classification_covers_the_taxonomy() {
         use Outcome::*;
         assert_eq!(
-            classify(&fd(vec![Delivered("a".into())], vec![Blackhole("b".into())])),
+            classify(&fd(
+                vec![Delivered("a".into())],
+                vec![Blackhole("b".into())]
+            )),
             FlowChangeKind::Lost
         );
         assert_eq!(
-            classify(&fd(vec![Blackhole("b".into())], vec![Delivered("a".into())])),
+            classify(&fd(
+                vec![Blackhole("b".into())],
+                vec![Delivered("a".into())]
+            )),
             FlowChangeKind::Gained
         );
         assert_eq!(
@@ -182,10 +188,7 @@ mod tests {
             FlowChangeKind::LoopResolved
         );
         assert_eq!(
-            classify(&fd(
-                vec![Blackhole("a".into())],
-                vec![Filtered("a".into())]
-            )),
+            classify(&fd(vec![Blackhole("a".into())], vec![Filtered("a".into())])),
             FlowChangeKind::Other
         );
     }

@@ -98,7 +98,11 @@ impl AtomRegistry {
         self.next_atom += 1;
         let key: Vec<PredId> = sig.iter().copied().collect();
         for &p in &sig {
-            self.preds.get_mut(&p).expect("sig preds live").atoms.insert(id);
+            self.preds
+                .get_mut(&p)
+                .expect("sig preds live")
+                .atoms
+                .insert(id);
         }
         self.sig_index.insert(key, id);
         self.atoms.insert(id, AtomInfo { pset, sig });
@@ -214,7 +218,11 @@ impl AtomRegistry {
                 };
                 let merged_pset = self.arena.union(a.pset, b.pset);
                 let into = self.fresh_atom(merged_pset, b.sig);
-                changes.push(AtomChange::Merged { a: twin, b: id, into });
+                changes.push(AtomChange::Merged {
+                    a: twin,
+                    b: id,
+                    into,
+                });
             } else {
                 self.sig_index.insert(new_key, id);
             }
@@ -273,8 +281,7 @@ impl AtomRegistry {
             acc = self.arena.union(acc, p);
         }
         assert_eq!(acc, FULL, "atoms must cover the space");
-        let preds: Vec<(PredId, Pset)> =
-            self.preds.iter().map(|(&i, p)| (i, p.pset)).collect();
+        let preds: Vec<(PredId, Pset)> = self.preds.iter().map(|(&i, p)| (i, p.pset)).collect();
         for &id in &ids {
             let apset = self.atoms[&id].pset;
             for &(pid, ppset) in &preds {

@@ -27,4 +27,6 @@ pub mod verify;
 
 pub use atoms::{AtomChange, AtomId, AtomRegistry, PredId};
 pub use pset::{Pset, PsetArena, EMPTY, FULL};
-pub use verify::{compile_acl, DataPlane, Dir, DpUpdate, FilterChange, Outcome, ReachDelta};
+pub use verify::{
+    compile_acl, DataPlane, Dir, DpUpdate, FilterChange, Outcome, PendingReleases, ReachDelta,
+};

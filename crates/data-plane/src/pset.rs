@@ -96,8 +96,14 @@ impl PsetArena {
     pub fn new() -> Self {
         let mut a = PsetArena::default();
         // Index 0 = EMPTY, 1 = FULL; placeholders in the node vec.
-        a.nodes.push(Node { field: u8::MAX, children: vec![] });
-        a.nodes.push(Node { field: u8::MAX, children: vec![] });
+        a.nodes.push(Node {
+            field: u8::MAX,
+            children: vec![],
+        });
+        a.nodes.push(Node {
+            field: u8::MAX,
+            children: vec![],
+        });
         a
     }
 
@@ -322,9 +328,7 @@ impl PsetArena {
             let fidx = node.field as usize;
             // Prefer the child containing the default value; otherwise the
             // first nonempty child.
-            let didx = node
-                .children
-                .partition_point(|&(u, _)| u < defaults[fidx]);
+            let didx = node.children.partition_point(|&(u, _)| u < defaults[fidx]);
             let pick = if node.children[didx].1 != EMPTY {
                 didx
             } else {
@@ -356,8 +360,10 @@ impl PsetArena {
     /// Renders the set as a list of human-readable per-field constraints
     /// (one line per cube; truncated to `limit` cubes).
     pub fn describe(&self, a: Pset, limit: usize) -> Vec<String> {
+        // DFS frame: node plus the `(field, lo, hi)` constraints on its path.
+        type Frame = (Pset, Vec<(u8, u64, u64)>);
         let mut out = Vec::new();
-        let mut stack: Vec<(Pset, Vec<(u8, u64, u64)>)> = vec![(a, Vec::new())];
+        let mut stack: Vec<Frame> = vec![(a, Vec::new())];
         while let Some((cur, constraints)) = stack.pop() {
             if out.len() >= limit {
                 out.push("…".to_string());

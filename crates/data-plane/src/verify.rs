@@ -75,11 +75,17 @@ pub struct DpUpdate {
     pub filters: Vec<FilterChange>,
 }
 
+/// Predicate releases deferred past delta computation by
+/// [`DataPlane::apply_deferred`]; hand back to [`DataPlane::finish_update`].
+#[must_use = "pass to DataPlane::finish_update or retired predicates leak"]
+pub struct PendingReleases(Vec<PredId>);
+
 /// One reachability change: for packets in `atom` injected at `src`, the
 /// outcome set changed from `before` to `after`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReachDelta {
-    /// Affected packet class.
+    /// Affected packet class. Valid while the producing update's partition
+    /// is alive; see [`DataPlane::apply`] for when ids go stale.
     pub atom: AtomId,
     /// Source device.
     pub src: String,
@@ -212,10 +218,7 @@ impl DataPlane {
     /// Outcomes for packets of `flow` injected at `src`.
     pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
         let atom = self.reg.atom_of_flow(flow);
-        self.reach[&atom]
-            .get(src)
-            .cloned()
-            .unwrap_or_default()
+        self.reach[&atom].get(src).cloned().unwrap_or_default()
     }
 
     /// All live atoms.
@@ -229,7 +232,32 @@ impl DataPlane {
     }
 
     /// Applies a batch of updates, returning the exact reachability changes.
+    ///
+    /// The returned [`ReachDelta::atom`] ids label packet classes *as
+    /// partitioned during the update*; a class retired by the update (its
+    /// last predicate released, its atoms merged) is reported but its id is
+    /// dead afterwards — passing it to [`DataPlane::outcomes`] /
+    /// [`DataPlane::describe_atom`] / [`DataPlane::sample_atom`] panics.
+    /// Callers that need to inspect delta atoms must use
+    /// [`DataPlane::apply_deferred`] and do so before
+    /// [`DataPlane::finish_update`].
     pub fn apply(&mut self, update: &DpUpdate) -> Vec<ReachDelta> {
+        let (deltas, pending) = self.apply_deferred(update);
+        self.finish_update(pending);
+        deltas
+    }
+
+    /// [`DataPlane::apply`] with predicate releases deferred: the returned
+    /// deltas are computed while *both* the old and new predicates are
+    /// registered, i.e. at the finest common refinement of the before and
+    /// after partitions. Without deferral, releasing a predicate merges
+    /// its atoms before the diff is taken, and a behavior change confined
+    /// to one merged-away part is reported against the wrong baseline (or
+    /// dropped entirely once the atom id dies). Callers may inspect /
+    /// describe the delta atoms, then must pass the token to
+    /// [`DataPlane::finish_update`].
+    pub fn apply_deferred(&mut self, update: &DpUpdate) -> (Vec<ReachDelta>, PendingReleases) {
+        let mut pending = PendingReleases(Vec::new());
         let mut dirty: BTreeSet<AtomId> = BTreeSet::new();
         // ---- FIB deltas ----
         for (entry, diff) in &update.fib {
@@ -268,8 +296,7 @@ impl DataPlane {
                 dirty.extend(self.reg.atoms_of(pred));
                 if pe.actions.is_empty() {
                     dev_fib.remove(&entry.prefix);
-                    let changes = self.reg.release(pred);
-                    self.migrate(&changes, &mut dirty);
+                    pending.0.push(pred);
                 }
             }
         }
@@ -310,8 +337,7 @@ impl DataPlane {
                 }
             }
             if let Some(oldp) = old {
-                let changes = self.reg.release(oldp);
-                self.migrate(&changes, &mut dirty);
+                pending.0.push(oldp);
             }
         }
         // Drop retired atoms that remained in the dirty set.
@@ -335,7 +361,23 @@ impl DataPlane {
                 }
             }
         }
-        deltas
+        (deltas, pending)
+    }
+
+    /// Completes an [`DataPlane::apply_deferred`] call: releases retired
+    /// predicates, merging atoms no longer distinguished. Merged parts are
+    /// behaviorally identical by now (the dirty ones were recomputed
+    /// against the after-state), so no further deltas can arise here.
+    pub fn finish_update(&mut self, pending: PendingReleases) {
+        let mut dirty: BTreeSet<AtomId> = BTreeSet::new();
+        for pred in pending.0 {
+            let changes = self.reg.release(pred);
+            self.migrate(&changes, &mut dirty);
+        }
+        debug_assert!(
+            dirty.is_empty(),
+            "release-time merges must not create new dirty atoms"
+        );
     }
 
     /// Migrates per-atom reachability across structural atom changes:
@@ -468,25 +510,14 @@ impl DataPlane {
                                     out.insert(Outcome::External(dev.to_string()));
                                 }
                                 NextDevice::Device(b) => {
-                                    match self
-                                        .link_map
-                                        .get(&(dev.to_string(), iface.clone()))
-                                    {
+                                    match self.link_map.get(&(dev.to_string(), iface.clone())) {
                                         Some((peer, peer_if)) => {
                                             debug_assert_eq!(peer, b);
-                                            if !self.passes(peer, peer_if, Dir::In, atom)
-                                            {
-                                                out.insert(Outcome::Filtered(
-                                                    b.clone(),
-                                                ));
+                                            if !self.passes(peer, peer_if, Dir::In, atom) {
+                                                out.insert(Outcome::Filtered(b.clone()));
                                             } else {
-                                                let (sub, t) = self.visit(
-                                                    atom,
-                                                    b,
-                                                    on_stack,
-                                                    memo,
-                                                    depth + 1,
-                                                );
+                                                let (sub, t) =
+                                                    self.visit(atom, b, on_stack, memo, depth + 1);
                                                 tainted |= t;
                                                 out.extend(sub);
                                             }
@@ -494,9 +525,7 @@ impl DataPlane {
                                         // FIB points over an unknown link:
                                         // treat as blackhole.
                                         None => {
-                                            out.insert(Outcome::Blackhole(
-                                                dev.to_string(),
-                                            ));
+                                            out.insert(Outcome::Blackhole(dev.to_string()));
                                         }
                                     }
                                 }

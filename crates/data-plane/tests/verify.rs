@@ -42,7 +42,9 @@ fn deliver(device: &str, prefix: &str, iface: &str) -> (FibEntry, isize) {
         FibEntry {
             device: device.into(),
             prefix: pfx(prefix),
-            action: FibAction::Deliver { iface: iface.into() },
+            action: FibAction::Deliver {
+                iface: iface.into(),
+            },
         },
         1,
     )
@@ -105,9 +107,9 @@ fn fib_withdrawal_creates_blackhole_and_delta_reports_it() {
         && d.after.contains(&Outcome::Blackhole("b".into()))));
     assert!(deltas.iter().any(|d| d.src == "b"));
     // c's own traffic to its LAN is untouched.
-    assert!(deltas.iter().all(|d| {
-        !(d.src == "c" && d.before.contains(&Outcome::Delivered("c".into())))
-    }));
+    assert!(deltas
+        .iter()
+        .all(|d| { !(d.src == "c" && d.before.contains(&Outcome::Delivered("c".into()))) }));
 }
 
 #[test]
@@ -124,7 +126,10 @@ fn longest_prefix_match_wins() {
         },
         1,
     ));
-    dp.apply(&DpUpdate { fib, filters: vec![] });
+    dp.apply(&DpUpdate {
+        fib,
+        filters: vec![],
+    });
     let low = Flow::tcp_to(ip("172.16.2.1"), 80); // inside /25
     let high = Flow::tcp_to(ip("172.16.2.200"), 80); // outside /25
     assert_eq!(dp.query("a", &low), [Outcome::Blackhole("a".into())].into());
@@ -154,7 +159,10 @@ fn ecmp_produces_outcome_union() {
         },
         0, // no-op delta exercise
     ));
-    dp.apply(&DpUpdate { fib, filters: vec![] });
+    dp.apply(&DpUpdate {
+        fib,
+        filters: vec![],
+    });
     let to_c = Flow::tcp_to(ip("172.16.2.9"), 80);
     let out = dp.query("b", &to_c);
     assert!(out.contains(&Outcome::Delivered("c".into())), "{out:?}");
@@ -169,7 +177,10 @@ fn forwarding_loops_detected() {
         fw("a", "9.9.9.0/24", "right", "b"),
         fw("b", "9.9.9.0/24", "left", "a"),
     ];
-    dp.apply(&DpUpdate { fib, filters: vec![] });
+    dp.apply(&DpUpdate {
+        fib,
+        filters: vec![],
+    });
     let f = Flow::tcp_to(ip("9.9.9.9"), 443);
     assert_eq!(dp.query("a", &f), [Outcome::Loop].into());
     assert_eq!(dp.query("b", &f), [Outcome::Loop].into());

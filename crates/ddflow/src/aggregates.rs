@@ -36,10 +36,7 @@ pub fn count() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
 /// Emits `(key, sum)` over `I64` payloads, respecting multiplicities.
 pub fn sum_i64() -> impl Fn(&Value, &[(Value, Diff)]) -> ReduceOut {
     |key, group| {
-        let total: i64 = group
-            .iter()
-            .map(|(v, d)| v.as_i64() * (*d as i64))
-            .sum();
+        let total: i64 = group.iter().map(|(v, d)| v.as_i64() * (*d as i64)).sum();
         vec![Value::kv(key.clone(), Value::I64(total))]
     }
 }

@@ -70,16 +70,22 @@ pub(crate) enum OpKind {
     /// Set semantics: multiplicity > 0 becomes exactly 1.
     Distinct,
     /// Binary equi-join on tuple keys. Inputs: `[left, right]`.
-    Join { out: JoinFn },
+    Join {
+        out: JoinFn,
+    },
     /// Rows of `left` whose key is absent from `right`. Inputs: `[left, right]`.
     AntiJoin,
     /// Keyed group aggregation.
-    Reduce { f: ReduceFn },
+    Reduce {
+        f: ReduceFn,
+    },
     /// Brings an outer stream into a scope (iteration-invariant).
     Enter,
     /// Loop variable: collection at iteration 0 is its `initial` input;
     /// collection at iteration `i+1` is its feedback input at iteration `i`.
-    Variable { name: String },
+    Variable {
+        name: String,
+    },
     /// Extracts the fixpoint collection of an in-scope stream to the outer
     /// region (emits the delta of the collection "at iteration infinity").
     Leave,
@@ -283,11 +289,7 @@ impl GraphBuilder {
     /// Keeps rows satisfying the predicate.
     pub fn filter(&mut self, h: Handle, f: impl Fn(&Value) -> bool + 'static) -> Handle {
         self.check_same_region(h, "filter");
-        let id = self.add_node(
-            OpKind::Filter(Rc::new(f)),
-            vec![h.node],
-            self.current_scope,
-        );
+        let id = self.add_node(OpKind::Filter(Rc::new(f)), vec![h.node], self.current_scope);
         self.handle(id)
     }
 
@@ -530,10 +532,7 @@ impl GraphBuilder {
         // members are created contiguously and scopes cannot nest, so a
         // plain topological sort keeps them contiguous enough for the
         // runtime, which drives scopes via their member lists anyway.
-        let mut indeg = vec![0usize; n];
-        for i in 0..n {
-            indeg[i] = self.nodes[i].inputs.len();
-        }
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|node| node.inputs.len()).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         ready.reverse();
         let mut order: Vec<NodeId> = Vec::with_capacity(n);

@@ -609,9 +609,7 @@ impl Runtime {
                         else {
                             unreachable!("variable/buffer must be arrangements")
                         };
-                        vs[depth as usize]
-                            .state
-                            .diff_to(&bs[depth as usize].state)
+                        vs[depth as usize].state.diff_to(&bs[depth as usize].state)
                     };
                     if !delta.is_empty() {
                         moved.push((v, delta));
@@ -673,8 +671,7 @@ impl Runtime {
             let delta = match &self.states[m.0] {
                 NodeState::Arrange(slots) => {
                     let mut d = Batch::new();
-                    let start = self
-                        .scope_rt[sid.0]
+                    let start = self.scope_rt[sid.0]
                         .epoch_start_depth
                         .min(slots.len().saturating_sub(1) as u32);
                     for sl in &slots[start as usize..] {
@@ -963,7 +960,11 @@ impl Runtime {
                     // (Invariant sides of varying nodes were updated once in
                     // `absorb_invariant_side`.)
                     if this_varying || !varying {
-                        let side = if this_is_left { &mut *left } else { &mut *right };
+                        let side = if this_is_left {
+                            &mut *left
+                        } else {
+                            &mut *right
+                        };
                         let idx = side.at_mut(slot_idx);
                         for (row, diff) in &b {
                             idx.update(row.key(), row.payload(), *diff);

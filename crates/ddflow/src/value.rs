@@ -250,7 +250,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_cross_variant() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::U32(3),
             Value::Unit,

@@ -168,11 +168,7 @@ fn join_incremental_matches_scratch_under_churn() {
         }
         rt.commit().unwrap();
         let oh = rt.program().output("j").unwrap();
-        let expected = scratch_eval(
-            build,
-            &[("a", acc_a.clone()), ("b", acc_b.clone())],
-            "j",
-        );
+        let expected = scratch_eval(build, &[("a", acc_a.clone()), ("b", acc_b.clone())], "j");
         assert_eq!(rt.output(oh).to_batch(), expected);
     }
 }
@@ -393,7 +389,9 @@ fn divergent_scope_reports_error_instead_of_hanging() {
         let seeds = g.map(seed, |v| kv(Value::Unit, v.clone()));
         let var = g.variable(s, "n", seeds);
         // Strictly increasing: never reaches a fixpoint.
-        let next = g.map(var, |r| kv(Value::Unit, Value::I64(r.payload().as_i64() + 1)));
+        let next = g.map(var, |r| {
+            kv(Value::Unit, Value::I64(r.payload().as_i64() + 1))
+        });
         g.connect(var, next);
         g.leave(s, next)
     });
@@ -528,7 +526,12 @@ fn negative_edge_multiplicity_divergence_is_detected() {
     // dispute). Shape: root 0 with a real path 0->1 (cost 3) and a
     // *negative* shortcut 0->1 (cost 1) that keeps cancelling the min.
     let g = sssp_program();
-    let mut rt = Runtime::with_config(g.build(), Config { max_iterations: 128 });
+    let mut rt = Runtime::with_config(
+        g.build(),
+        Config {
+            max_iterations: 128,
+        },
+    );
     let ie = rt.program().input("edge").unwrap();
     let ir = rt.program().input("root").unwrap();
     rt.insert(ir, u(0));

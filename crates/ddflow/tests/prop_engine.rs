@@ -114,8 +114,11 @@ fn rel_op() -> impl Strategy<Value = RelOp> {
     ]
 }
 
+// Cases and RNG seed pinned so CI replays the same cases every run; the
+// vendored runner is fully deterministic and emits no regression files.
+// Sweep fresh cases locally with `PROPTEST_RNG_SEED=<u64> cargo test`.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases_and_seed(96, 0xD9A_0003))]
 
     #[test]
     fn relational_incremental_equals_scratch(

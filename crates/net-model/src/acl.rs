@@ -23,7 +23,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full port space.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// A single port.
     pub fn exactly(p: u16) -> Self {
@@ -81,11 +84,11 @@ impl FlowMatch {
 
     /// Whether a concrete flow satisfies all constraints.
     pub fn matches(&self, flow: &Flow) -> bool {
-        self.src.map_or(true, |p| p.contains(flow.src))
-            && self.dst.map_or(true, |p| p.contains(flow.dst))
-            && self.proto.map_or(true, |pr| pr == flow.proto)
-            && self.src_ports.map_or(true, |r| r.contains(flow.src_port))
-            && self.dst_ports.map_or(true, |r| r.contains(flow.dst_port))
+        self.src.is_none_or(|p| p.contains(flow.src))
+            && self.dst.is_none_or(|p| p.contains(flow.dst))
+            && self.proto.is_none_or(|pr| pr == flow.proto)
+            && self.src_ports.is_none_or(|r| r.contains(flow.src_port))
+            && self.dst_ports.is_none_or(|r| r.contains(flow.dst_port))
     }
 }
 
@@ -150,9 +153,7 @@ impl Acl {
 
     /// Adds an entry, keeping entries sorted by sequence number.
     pub fn add(&mut self, entry: AclEntry) {
-        let pos = self
-            .entries
-            .partition_point(|e| e.seq <= entry.seq);
+        let pos = self.entries.partition_point(|e| e.seq <= entry.seq);
         self.entries.insert(pos, entry);
     }
 
@@ -207,7 +208,11 @@ mod tests {
         let mut acl = Acl::default();
         acl.add(entry(30, Action::Permit, FlowMatch::any()));
         acl.add(entry(10, Action::Deny, FlowMatch::dst(pfx("10.0.0.0/8"))));
-        acl.add(entry(20, Action::Permit, FlowMatch::dst(pfx("10.0.0.0/16"))));
+        acl.add(entry(
+            20,
+            Action::Permit,
+            FlowMatch::dst(pfx("10.0.0.0/16")),
+        ));
         let seqs: Vec<u32> = acl.entries.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![10, 20, 30]);
         // /16 is shadowed by the seq-10 deny of /8.

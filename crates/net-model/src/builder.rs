@@ -13,11 +13,11 @@
 //! assert!(snap.validate().is_empty());
 //! ```
 
+use crate::acl::Acl;
 use crate::config::{BgpConfig, BgpNeighbor, DeviceConfig, IfaceConfig, NextHop, StaticRoute};
 use crate::ip::{ip, Ipv4Addr, Ipv4Prefix};
 use crate::route::RouteMap;
 use crate::snapshot::{Endpoint, Link, Snapshot};
-use crate::acl::Acl;
 
 /// Builds [`Snapshot`]s incrementally. Methods panic on references to
 /// devices that were never declared — builder misuse is a programming
@@ -42,7 +42,9 @@ impl NetBuilder {
 
     /// Declares a router.
     pub fn router(mut self, name: &str) -> Self {
-        self.snap.devices.insert(name.to_string(), DeviceConfig::default());
+        self.snap
+            .devices
+            .insert(name.to_string(), DeviceConfig::default());
         self
     }
 

@@ -159,12 +159,24 @@ impl fmt::Display for Change {
                 write!(f, "{device}: bgp network {prefix} removed")
             }
             Change::ExternalAnnounce(e) => {
-                write!(f, "{}: external announce {} via {}", e.device, e.attrs.prefix, e.peer)
+                write!(
+                    f,
+                    "{}: external announce {} via {}",
+                    e.device, e.attrs.prefix, e.peer
+                )
             }
-            Change::ExternalWithdraw { device, peer, prefix } => {
+            Change::ExternalWithdraw {
+                device,
+                peer,
+                prefix,
+            } => {
                 write!(f, "{device}: external withdraw {prefix} via {peer}")
             }
-            Change::SetOspfCost { device, iface, cost } => {
+            Change::SetOspfCost {
+                device,
+                iface,
+                cost,
+            } => {
                 write!(f, "{device}[{iface}]: ospf cost = {cost}")
             }
         }
@@ -378,9 +390,7 @@ fn apply_one(snap: &mut Snapshot, change: &Change) -> Result<(), ApplyError> {
                 .environment
                 .external_routes
                 .iter()
-                .position(|e| {
-                    e.device == *device && e.peer == *peer && e.attrs.prefix == *prefix
-                })
+                .position(|e| e.device == *device && e.peer == *peer && e.attrs.prefix == *prefix)
                 .ok_or_else(|| ApplyError::NotPresent(format!("external {prefix}")))?;
             snap.environment.external_routes.remove(pos);
         }
@@ -410,7 +420,7 @@ fn apply_one(snap: &mut Snapshot, change: &Change) -> Result<(), ApplyError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::acl::{Acl, Action, AclEntry, FlowMatch};
+    use crate::acl::{Acl, AclEntry, Action, FlowMatch};
     use crate::config::{DeviceConfig, IfaceConfig};
     use crate::ip::{ip, pfx};
     use crate::snapshot::Endpoint;
@@ -418,8 +428,10 @@ mod tests {
     fn snapshot() -> Snapshot {
         let mut snap = Snapshot::default();
         let mut r1 = DeviceConfig::default();
-        r1.interfaces
-            .insert("eth0".into(), IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(1));
+        r1.interfaces.insert(
+            "eth0".into(),
+            IfaceConfig::new(ip("10.0.0.1"), 31).with_ospf(1),
+        );
         r1.acls.insert("block".into(), Acl::default());
         let mut r2 = DeviceConfig::default();
         r2.interfaces
@@ -510,10 +522,7 @@ mod tests {
         .unwrap();
         let r1 = &out.devices["r1"];
         assert_eq!(r1.acls["block"].entries.len(), 1);
-        assert_eq!(
-            r1.interfaces["eth0"].acl_in.as_deref(),
-            Some("block")
-        );
+        assert_eq!(r1.interfaces["eth0"].acl_in.as_deref(), Some("block"));
         // Removing a nonexistent seq errors.
         assert!(matches!(
             ChangeSet::single(Change::AclEntryRemove {
@@ -562,7 +571,11 @@ mod tests {
         .apply(&snap)
         .unwrap();
         assert_eq!(
-            out.devices["r1"].interfaces["eth0"].ospf.as_ref().unwrap().cost,
+            out.devices["r1"].interfaces["eth0"]
+                .ospf
+                .as_ref()
+                .unwrap()
+                .cost,
             77
         );
     }

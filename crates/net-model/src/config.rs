@@ -120,7 +120,9 @@ pub struct DeviceConfig {
 impl DeviceConfig {
     /// Looks up the interface whose configured subnet contains `ip`.
     pub fn iface_for(&self, ip: Ipv4Addr) -> Option<(&String, &IfaceConfig)> {
-        self.interfaces.iter().find(|(_, ic)| ic.prefix.contains(ip))
+        self.interfaces
+            .iter()
+            .find(|(_, ic)| ic.prefix.contains(ip))
     }
 
     /// Whether any interface carries this exact address.

@@ -103,6 +103,8 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length.
+    // Not a container: `len` is the CIDR mask length, so no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -202,7 +204,8 @@ impl FromStr for Ipv4Prefix {
 /// # Panics
 /// Panics on malformed text — intended for literals.
 pub fn pfx(s: &str) -> Ipv4Prefix {
-    s.parse().unwrap_or_else(|_| panic!("bad prefix literal {s:?}"))
+    s.parse()
+        .unwrap_or_else(|_| panic!("bad prefix literal {s:?}"))
 }
 
 /// Convenience address constructor for literals.
@@ -210,7 +213,8 @@ pub fn pfx(s: &str) -> Ipv4Prefix {
 /// # Panics
 /// Panics on malformed text — intended for literals.
 pub fn ip(s: &str) -> Ipv4Addr {
-    s.parse().unwrap_or_else(|_| panic!("bad address literal {s:?}"))
+    s.parse()
+        .unwrap_or_else(|_| panic!("bad address literal {s:?}"))
 }
 
 #[cfg(test)]

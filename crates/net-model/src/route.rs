@@ -303,7 +303,10 @@ mod tests {
             matches: vec![],
             action: RmAction::Permit,
             sets: vec![
-                RmSet::AsPathPrepend { asn: 65009, count: 3 },
+                RmSet::AsPathPrepend {
+                    asn: 65009,
+                    count: 3,
+                },
                 RmSet::DeleteCommunity(5),
                 RmSet::Med(42),
             ],

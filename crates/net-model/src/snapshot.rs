@@ -139,7 +139,11 @@ impl fmt::Display for ValidationError {
         match self {
             ValidationError::UnknownDevice(d) => write!(f, "link references unknown device {d:?}"),
             ValidationError::UnknownInterface(e) => {
-                write!(f, "link references unknown interface {}[{}]", e.device, e.iface)
+                write!(
+                    f,
+                    "link references unknown interface {}[{}]",
+                    e.device, e.iface
+                )
             }
             ValidationError::SubnetMismatch(l) => {
                 write!(f, "link endpoints are not in one subnet: {l}")
@@ -151,7 +155,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "{device:?} references undefined route map {name:?}")
             }
             ValidationError::UnresolvableNeighbor { device, peer } => {
-                write!(f, "{device:?} has BGP neighbor {peer} on no connected subnet")
+                write!(
+                    f,
+                    "{device:?} has BGP neighbor {peer} on no connected subnet"
+                )
             }
         }
     }

@@ -37,7 +37,8 @@ pub struct FatTree {
 impl FatTree {
     /// Total switch count: `(k/2)² + k²`.
     pub fn device_count(&self) -> usize {
-        self.cores.len() + self.aggs.iter().map(Vec::len).sum::<usize>()
+        self.cores.len()
+            + self.aggs.iter().map(Vec::len).sum::<usize>()
             + self.edges.iter().map(Vec::len).sum::<usize>()
     }
 }
@@ -50,9 +51,7 @@ pub(crate) struct P2pAlloc {
 impl P2pAlloc {
     pub(crate) fn new() -> Self {
         // 10.0.0.0 base.
-        P2pAlloc {
-            next: 10 << 24,
-        }
+        P2pAlloc { next: 10 << 24 }
     }
 
     /// Returns the two endpoint addresses `(lo, hi)` of a fresh /31.
@@ -68,7 +67,10 @@ impl P2pAlloc {
 /// # Panics
 /// Panics unless `k` is even, `4 ≤ k ≤ 32`.
 pub fn fat_tree(k: u32, routing: Routing) -> FatTree {
-    assert!(k >= 4 && k <= 32 && k % 2 == 0, "k must be even in [4, 32]");
+    assert!(
+        (4..=32).contains(&k) && k.is_multiple_of(2),
+        "k must be even in [4, 32]"
+    );
     let half = k / 2;
     let mut b = NetBuilder::new();
     let mut alloc = P2pAlloc::new();
@@ -108,7 +110,11 @@ pub fn fat_tree(k: u32, routing: Routing) -> FatTree {
         }
         for (p, pod) in edges.iter().enumerate() {
             for (i, e) in pod.iter().enumerate() {
-                b = b.bgp(e, 65300 + (p as u32) * half + i as u32, rid(3, p as u32, i as u32));
+                b = b.bgp(
+                    e,
+                    65300 + (p as u32) * half + i as u32,
+                    rid(3, p as u32, i as u32),
+                );
             }
         }
     }
@@ -183,8 +189,8 @@ pub fn fat_tree(k: u32, routing: Routing) -> FatTree {
     }
     // Aggregation <-> core: agg i in each pod connects to cores
     // [i*half, (i+1)*half).
-    for p in 0..k as usize {
-        for (ai, a) in aggs[p].iter().enumerate() {
+    for (p, pod_aggs) in aggs.iter().enumerate() {
+        for (ai, a) in pod_aggs.iter().enumerate() {
             for ci in 0..half as usize {
                 let core = &cores[ai * half as usize + ci];
                 b = wire(
@@ -225,7 +231,11 @@ mod tests {
         assert_eq!(ft.server_subnets.len(), 8);
         // Links: edges*half (intra-pod) + k*half*half (agg-core) = 16 + 16.
         assert_eq!(ft.snapshot.links.len(), 32);
-        assert!(ft.snapshot.validate().is_empty(), "{:?}", ft.snapshot.validate());
+        assert!(
+            ft.snapshot.validate().is_empty(),
+            "{:?}",
+            ft.snapshot.validate()
+        );
     }
 
     #[test]

@@ -3,11 +3,9 @@
 //! origination churn, static edits), generated against an evolving
 //! snapshot so every change is valid when applied.
 
-use net_model::acl::{Action, AclEntry, FlowMatch};
+use net_model::acl::{AclEntry, Action, FlowMatch};
 use net_model::route::{RmAction, RmSet, RouteMapClause};
-use net_model::{
-    pfx, Change, ChangeSet, Ipv4Prefix, NextHop, RouteMap, Snapshot, StaticRoute,
-};
+use net_model::{pfx, Change, ChangeSet, Ipv4Prefix, NextHop, RouteMap, Snapshot, StaticRoute};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,8 +120,7 @@ impl ScenarioGen {
                 Change::DeviceDown(self.pick(&up)?.clone())
             }
             ScenarioKind::DeviceRecovery => {
-                let down: Vec<String> =
-                    snap.environment.down_devices.iter().cloned().collect();
+                let down: Vec<String> = snap.environment.down_devices.iter().cloned().collect();
                 Change::DeviceUp(self.pick(&down)?.clone())
             }
             ScenarioKind::OspfCostChange => {
@@ -141,13 +138,18 @@ impl ScenarioGen {
                 if cost == old {
                     cost = old % 20 + 1;
                 }
-                Change::SetOspfCost { device, iface, cost }
+                Change::SetOspfCost {
+                    device,
+                    iface,
+                    cost,
+                }
             }
             ScenarioKind::AclInsert => {
                 let devices: Vec<String> = snap.devices.keys().cloned().collect();
                 let device = self.pick(&devices)?.clone();
                 let dc = &snap.devices[&device];
-                let iface = self.pick(&dc.interfaces.keys().cloned().collect::<Vec<_>>())?
+                let iface = self
+                    .pick(&dc.interfaces.keys().cloned().collect::<Vec<_>>())?
                     .clone();
                 self.acl_seq += 1;
                 let seq = self.acl_seq;
@@ -210,11 +212,9 @@ impl ScenarioGen {
                     .iter()
                     .flat_map(|(d, dc)| {
                         dc.bgp.iter().flat_map(move |b| {
-                            b.neighbors
-                                .iter()
-                                .filter_map(move |n| {
-                                    n.import_policy.clone().map(|p| (d.clone(), p))
-                                })
+                            b.neighbors.iter().filter_map(move |n| {
+                                n.import_policy.clone().map(|p| (d.clone(), p))
+                            })
                         })
                     })
                     .collect();
@@ -227,7 +227,11 @@ impl ScenarioGen {
                     action: RmAction::Permit,
                     sets: vec![RmSet::LocalPref(lp)],
                 });
-                Change::SetRouteMap { device, name, map: rm }
+                Change::SetRouteMap {
+                    device,
+                    name,
+                    map: rm,
+                }
             }
             ScenarioKind::PrefixWithdraw => {
                 let candidates: Vec<(String, Ipv4Prefix)> = snap
@@ -266,17 +270,11 @@ impl ScenarioGen {
                     .flat_map(|l| {
                         let a_addr = snap.devices[&l.a.device].interfaces[&l.a.iface].addr;
                         let b_addr = snap.devices[&l.b.device].interfaces[&l.b.iface].addr;
-                        [
-                            (l.a.device.clone(), b_addr),
-                            (l.b.device.clone(), a_addr),
-                        ]
+                        [(l.a.device.clone(), b_addr), (l.b.device.clone(), a_addr)]
                     })
                     .collect();
                 let (device, nh) = self.pick(&adjacencies)?.clone();
-                let prefix = pfx(&format!(
-                    "192.168.{}.0/24",
-                    self.rng.gen_range(0..=255)
-                ));
+                let prefix = pfx(&format!("192.168.{}.0/24", self.rng.gen_range(0..=255)));
                 Change::StaticRouteAdd {
                     device,
                     route: StaticRoute {
@@ -390,9 +388,7 @@ mod tests {
         assert!(g
             .generate(&ft.snapshot, ScenarioKind::LinkRecovery)
             .is_none());
-        let failure = g
-            .generate(&ft.snapshot, ScenarioKind::LinkFailure)
-            .unwrap();
+        let failure = g.generate(&ft.snapshot, ScenarioKind::LinkFailure).unwrap();
         let after = failure.apply(&ft.snapshot).unwrap();
         assert!(g.generate(&after, ScenarioKind::LinkRecovery).is_some());
     }
@@ -410,9 +406,7 @@ mod tests {
     fn acl_insert_binds_then_only_adds() {
         let ft = fat_tree(4, Routing::Ospf);
         let mut g = ScenarioGen::new(11);
-        let first = g
-            .generate(&ft.snapshot, ScenarioKind::AclInsert)
-            .unwrap();
+        let first = g.generate(&ft.snapshot, ScenarioKind::AclInsert).unwrap();
         // First insert on a device carries the bind (3 primitives).
         assert_eq!(first.len(), 3);
         let after = first.apply(&ft.snapshot).unwrap();

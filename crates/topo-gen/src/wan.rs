@@ -155,8 +155,7 @@ mod tests {
     fn every_router_has_a_lan() {
         let w = wan(12, WanShape::Mesh { extra: 4 }, 8, 5);
         assert_eq!(w.lans.len(), 12);
-        let prefixes: std::collections::BTreeSet<_> =
-            w.lans.iter().map(|(_, p)| *p).collect();
+        let prefixes: std::collections::BTreeSet<_> = w.lans.iter().map(|(_, p)| *p).collect();
         assert_eq!(prefixes.len(), 12, "LAN prefixes are unique");
     }
 }

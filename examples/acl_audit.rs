@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example acl_audit`
 
 use dna_core::{report, DiffEngine};
-use net_model::acl::{Action, AclEntry, FlowMatch, PortRange};
-use net_model::{pfx, Change, ChangeSet};
+use net_model::acl::{AclEntry, Action, FlowMatch, PortRange};
+use net_model::{Change, ChangeSet};
 use topo_gen::{fat_tree, Routing};
 
 fn main() {
@@ -81,11 +81,20 @@ fn main() {
     // Verify a concrete victim and a concrete survivor.
     let victim = net_model::Flow::tcp_to(target.nth_host(7), 80);
     let survivor = net_model::Flow::tcp_to(ft.server_subnets[0].1.nth_host(7), 80);
-    println!("\nprobe {victim:?} from edge0_0 -> {:?}", engine.query("edge0_0", &victim));
-    println!("probe {survivor:?} from edge0_0 -> {:?}", engine.query("edge0_0", &survivor));
+    println!(
+        "\nprobe {victim:?} from edge0_0 -> {:?}",
+        engine.query("edge0_0", &victim)
+    );
+    println!(
+        "probe {survivor:?} from edge0_0 -> {:?}",
+        engine.query("edge0_0", &survivor)
+    );
     let smb = net_model::Flow {
         dst_port: 445,
         ..survivor
     };
-    println!("probe {smb:?} from edge0_0 -> {:?}", engine.query("edge0_0", &smb));
+    println!(
+        "probe {smb:?} from edge0_0 -> {:?}",
+        engine.query("edge0_0", &smb)
+    );
 }

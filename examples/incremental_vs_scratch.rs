@@ -17,7 +17,10 @@ fn main() {
 
     let t = Instant::now();
     let mut eng = DiffEngine::new(ft.snapshot.clone()).unwrap();
-    println!("differential engine warm-up (initial simulation): {:?}", t.elapsed());
+    println!(
+        "differential engine warm-up (initial simulation): {:?}",
+        t.elapsed()
+    );
     let mut scratch = ScratchDiffer::new(ft.snapshot.clone()).unwrap();
 
     let mut gen = ScenarioGen::new(2024);

@@ -2,7 +2,7 @@
 //! the from-scratch baseline on generated topologies (experiment E8's
 //! correctness property), plus end-to-end behavior checks.
 
-use dna_core::{DiffEngine, FlowChangeKind, ScratchDiffer};
+use dna_core::{DiffEngine, FlowChangeKind, FlowDiff, ScratchDiffer};
 use net_model::{Change, ChangeSet, Flow, Snapshot};
 use topo_gen::{fat_tree, wan, Routing, ScenarioGen, ScenarioKind, WanShape, ALL_SCENARIOS};
 
@@ -65,6 +65,50 @@ fn e8_equivalence_wan_mesh() {
     run_equivalence(w.snapshot, 109, 12);
 }
 
+/// Seeded cross-analyzer regression: on a fixed topology driving a fixed
+/// scenario sequence, [`DiffEngine`] and [`ScratchDiffer`] must report the
+/// *same* [`dna_core::BehaviorDiff`] at every step — not just matching
+/// FIB/RIB deltas but identical flow-level impact classes. `stats` is
+/// excluded by design: it holds engine-specific work counters. Flow lists
+/// are compared order-insensitively; neither analyzer promises an order.
+fn assert_identical_behavior_diffs(snap: Snapshot, seed: u64, steps: usize, ctx: &str) {
+    let mut eng = DiffEngine::new(snap.clone()).expect("engine");
+    let mut scratch = ScratchDiffer::new(snap.clone()).expect("baseline");
+    let mut gen = ScenarioGen::new(seed);
+    let seq = gen.sequence(&snap, ALL_SCENARIOS, steps);
+    assert!(!seq.is_empty(), "{ctx}: seed {seed} generated no scenarios");
+    let sort_key = |f: &FlowDiff| (f.src.clone(), f.example, f.headers.clone());
+    for (i, cs) in seq.iter().enumerate() {
+        let d1 = eng.apply(cs).expect("incremental");
+        let d2 = scratch.apply(cs).expect("scratch");
+        assert_eq!(d1.rib, d2.rib, "{ctx}: rib delta diverged at step {i}");
+        assert_eq!(d1.fib, d2.fib, "{ctx}: fib delta diverged at step {i}");
+        let mut f1 = d1.flows.clone();
+        let mut f2 = d2.flows.clone();
+        f1.sort_by_key(sort_key);
+        f2.sort_by_key(sort_key);
+        assert_eq!(f1, f2, "{ctx}: flow diffs diverged at step {i}");
+    }
+}
+
+#[test]
+fn behavior_diffs_identical_fat_tree_ebgp_seeded() {
+    let ft = fat_tree(4, Routing::Ebgp);
+    assert_identical_behavior_diffs(ft.snapshot, 0xDA7A_0001, 10, "k=4 eBGP fat-tree");
+}
+
+#[test]
+fn behavior_diffs_identical_fat_tree_ospf_seeded() {
+    let ft = fat_tree(4, Routing::Ospf);
+    assert_identical_behavior_diffs(ft.snapshot, 0xDA7A_0002, 10, "k=4 OSPF fat-tree");
+}
+
+#[test]
+fn behavior_diffs_identical_wan_mesh_seeded() {
+    let w = wan(12, WanShape::Mesh { extra: 6 }, 8, 0xDA7A_0003);
+    assert_identical_behavior_diffs(w.snapshot, 0xDA7A_0004, 10, "WAN-12 OSPF mesh");
+}
+
 #[test]
 fn link_failure_reroutes_instead_of_losing_flows() {
     // In a fat-tree, a single agg-core link failure must never lose
@@ -76,8 +120,10 @@ fn link_failure_reroutes_instead_of_losing_flows() {
         .snapshot
         .links
         .iter()
-        .find(|l| l.a.device.starts_with("agg") && l.b.device.starts_with("core")
-            || l.a.device.starts_with("core") && l.b.device.starts_with("agg"))
+        .find(|l| {
+            l.a.device.starts_with("agg") && l.b.device.starts_with("core")
+                || l.a.device.starts_with("core") && l.b.device.starts_with("agg")
+        })
         .unwrap()
         .clone();
     let diff = eng
@@ -87,8 +133,11 @@ fn link_failure_reroutes_instead_of_losing_flows() {
     // A core that lost its only link into a pod legitimately loses
     // reachability *from itself* (cores are not interconnected); the
     // fabric guarantee is that no edge or aggregation switch loses flows.
+    // The failed link's own /31 subnet is likewise exempt: the only path
+    // to a point-to-point address is the link itself.
+    let link_subnet = ft.snapshot.devices[&link.a.device].interfaces[&link.a.iface].prefix;
     for f in &diff.flows {
-        if f.src.starts_with("core") {
+        if f.src.starts_with("core") || link_subnet.contains(f.example.dst) {
             continue;
         }
         assert_ne!(
@@ -129,7 +178,7 @@ fn prefix_withdrawal_loses_exactly_that_subnet() {
 
 #[test]
 fn acl_insertion_filters_matching_traffic_only() {
-    use net_model::acl::{Action, AclEntry, FlowMatch};
+    use net_model::acl::{AclEntry, Action, FlowMatch};
     let ft = fat_tree(4, Routing::Ospf);
     let (victim, vprefix) = ft.server_subnets[2].clone();
     let mut eng = DiffEngine::new(ft.snapshot.clone()).unwrap();
@@ -170,14 +219,15 @@ fn acl_insertion_filters_matching_traffic_only() {
     // Only flows destined to the victim prefix are affected.
     for f in &diff.flows {
         assert!(vprefix.contains(f.example.dst), "collateral: {f:?}");
-        assert!(f
-            .after
-            .iter()
-            .any(|o| matches!(o, data_plane::Outcome::Filtered(d) if d == core))
-            || !f
-                .before
+        assert!(
+            f.after
                 .iter()
-                .any(|o| matches!(o, data_plane::Outcome::Filtered(_))));
+                .any(|o| matches!(o, data_plane::Outcome::Filtered(d) if d == core))
+                || !f
+                    .before
+                    .iter()
+                    .any(|o| matches!(o, data_plane::Outcome::Filtered(_)))
+        );
     }
     let _ = victim;
 }
@@ -188,9 +238,7 @@ fn noop_changes_report_noop() {
     let link = ft.snapshot.links[0].clone();
     let mut eng = DiffEngine::new(ft.snapshot).unwrap();
     // Up-ing an already-up link changes nothing.
-    let diff = eng
-        .apply(&ChangeSet::single(Change::LinkUp(link)))
-        .unwrap();
+    let diff = eng.apply(&ChangeSet::single(Change::LinkUp(link))).unwrap();
     assert!(diff.is_noop());
 }
 
@@ -216,8 +264,13 @@ fn invalid_snapshot_rejected() {
         .iface("r1", "eth0", "10.0.0.1/31")
         .build();
     // Dangle an ACL reference.
-    snap.devices.get_mut("r1").unwrap().interfaces.get_mut("eth0").unwrap().acl_in =
-        Some("ghost".into());
+    snap.devices
+        .get_mut("r1")
+        .unwrap()
+        .interfaces
+        .get_mut("eth0")
+        .unwrap()
+        .acl_in = Some("ghost".into());
     assert!(DiffEngine::new(snap.clone()).is_err());
     assert!(ScratchDiffer::new(snap).is_err());
 }

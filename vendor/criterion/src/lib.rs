@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmark framework.
+//!
+//! Keeps bench sources (`benches/experiments.rs`) compiling and runnable
+//! with the upstream API shape — groups, `bench_with_input`,
+//! `iter_batched`, `criterion_group!`/`criterion_main!` — but replaces the
+//! statistical machinery with a plain timed loop that prints mean and min
+//! wall-clock per iteration. Good enough to eyeball differential-vs-scratch
+//! ratios; EXPERIMENTS.md-grade numbers will come from a real harness in a
+//! later PR.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility,
+/// ignored by the stand-in (every iteration re-runs setup, untimed).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stand-in accepts and ignores
+    /// them (filtering/baselines are not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_one(name, self.sample_size, &mut f);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in's loop is bounded by
+    /// sample count, not wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; no separate warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`, labelling it with `id` and handing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, &mut |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream renders summary output here).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label:50} (no iterations)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!(
+        "bench {label:50} mean {:>12?}  min {:>12?}  ({} iters)",
+        mean, b.min, b.iters
+    );
+}
+
+/// Hands the routine to the timing loop.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    fn record(&mut self, d: Duration) {
+        self.total += d;
+        self.min = self.min.min(d);
+        self.iters += 1;
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = routine();
+            self.record(t.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh setup output each sample; setup is untimed.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.record(t.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,246 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type from a [`TestRng`].
+///
+/// Upstream proptest separates strategies from value trees (for
+/// shrinking); this stand-in generates values directly — see the crate
+/// docs for why shrinking is intentionally absent.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Debug,
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for the
+    /// substructure and returns the composite strategy. `depth` bounds
+    /// nesting; `_desired_size`/`_expected_branch_size` are accepted for
+    /// upstream signature compatibility but unused (no size-driven
+    /// shrinking here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut tier = base.clone();
+        for _ in 0..depth {
+            // Mixing the base back in at every tier keeps expected tree
+            // sizes bounded even at full depth.
+            let mixed = OneOf::new(vec![base.clone(), tier]).boxed();
+            tier = recurse(mixed).boxed();
+        }
+        OneOf::new(vec![base, tier]).boxed()
+    }
+
+    /// Type-erases this strategy so heterogeneous strategies for one value
+    /// type can be stored together (e.g. by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`crate::prop_oneof!`]).
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> OneOf<T> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf(options)
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf(self.0.clone())
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0);
+    (S0.0, S1.1);
+    (S0.0, S1.1, S2.2);
+    (S0.0, S1.1, S2.2, S3.3);
+    (S0.0, S1.1, S2.2, S3.3, S4.4);
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 42, 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let s = (0u32..4, 10i64..=12).prop_map(|(a, b)| (a, b));
+        let mut r = rng();
+        for _ in 0..64 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..64 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut r = rng();
+        for _ in 0..128 {
+            assert!(depth(&s.generate(&mut r)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* API surface the repository uses: the `Serialize`
+//! and `Deserialize` marker traits and their derive macros. No actual
+//! serialization format ships with the stub; the model crates only derive
+//! the traits so that downstream tooling (and later PRs that vendor a real
+//! format) can rely on the impls existing.
+//!
+//! Swapping in real serde later is a manifest-only change: the trait and
+//! derive paths (`serde::Serialize`, `#[derive(Serialize, Deserialize)]`)
+//! are identical.
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's methods are intentionally omitted: nothing in the
+/// workspace serializes yet, and the marker keeps `#[derive(Serialize)]`
+/// attributes meaningful (the derive emits an `impl` of this trait).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from a borrowed buffer.
+///
+/// Mirrors serde's lifetime parameter so generated impls
+/// (`impl<'de> Deserialize<'de> for T`) keep the upstream shape.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

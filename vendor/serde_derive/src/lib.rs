@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `impl serde::Serialize` / `impl<'de> serde::Deserialize<'de>`
+//! marker impls for the derived type. The input is scanned token-by-token
+//! (no `syn`/`quote` available offline): outer attributes arrive as
+//! distinct `#`+group token trees, so looking for the first top-level
+//! `struct`/`enum` ident is unambiguous.
+//!
+//! Generic types fall back to emitting nothing — the marker traits have no
+//! methods, so an absent impl only matters where a bound is required, and
+//! no generic type in this workspace derives the serde traits today.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns `(type_name, has_generics)` for the item being derived.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
