@@ -1,12 +1,37 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
-//! Usage: `cargo run --release -p dna-bench --bin harness [e1|e2|...|e8|all]`
+//! Usage: `cargo run --release -p dna-bench --bin harness [e1|e2|...|e8|all|record] [--record <dir>]`
+//!
+//! With `--record <dir>`, the standard benchmark workloads (snapshot +
+//! all-scenario change trace per topology) are additionally written as
+//! `dna-io` artifacts under `<dir>`, replayable offline with
+//! `dna diff` / `dna replay --verify`. The pseudo-experiment `record`
+//! does only that (default directory: `recorded/`).
 
 use dna_bench as b;
 use topo_gen::{fat_tree, wan, Routing, WanShape};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut record_dir: Option<std::path::PathBuf> = None;
+    let mut which: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--record" {
+            let dir = it
+                .next()
+                .unwrap_or_else(|| panic!("--record needs a directory"));
+            record_dir = Some(dir.into());
+        } else if which.is_none() {
+            which = Some(a);
+        } else {
+            panic!("unexpected argument {a:?}");
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".into());
+    if which == "record" && record_dir.is_none() {
+        record_dir = Some("recorded".into());
+    }
     let all = which == "all";
     if all || which == "e1" {
         b::e1_change_size(6, &[1, 2, 4, 8, 16, 32, 64]);
@@ -37,5 +62,12 @@ fn main() {
         let (checks, mismatches) = b::e8_equivalence(&[11, 12, 13, 14], 8);
         assert_eq!(mismatches, 0, "analyzers diverged");
         let _ = checks;
+    }
+    if let Some(dir) = record_dir {
+        let files = b::record_workloads(&dir, 24).expect("record workloads");
+        println!("\n== recorded workloads ({}) ==", dir.display());
+        for f in files {
+            println!("  {}", f.display());
+        }
     }
 }

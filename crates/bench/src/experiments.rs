@@ -325,6 +325,48 @@ pub fn e7_locality(k: u32) -> Vec<(String, usize, usize)> {
     out
 }
 
+/// Persists the standard benchmark topologies (the two E3 fabrics) as
+/// replayable `dna-io` artifacts: for each, a snapshot file plus an
+/// all-scenario change trace of `epochs` labeled epochs, generated with
+/// fixed seeds so the files are reproducible (the change sets are *not*
+/// the ones E3 measures — E3 reseeds per scenario kind). Returns the
+/// files written, so callers (the harness `--record` flag, tests) can
+/// list or replay them — e.g.
+/// `dna replay <name>.snap.dna <name>.trace.dna --verify`.
+pub fn record_workloads(
+    dir: &std::path::Path,
+    epochs: usize,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use dna_io::{write_snapshot, write_trace, Trace};
+    std::fs::create_dir_all(dir)?;
+    let workloads: Vec<(&str, Snapshot, u64)> = vec![
+        (
+            "fattree_k6_ebgp",
+            fat_tree(6, Routing::Ebgp).snapshot,
+            7_000,
+        ),
+        (
+            "wan40_mesh",
+            wan(40, WanShape::Mesh { extra: 20 }, 8, 99).snapshot,
+            99,
+        ),
+    ];
+    let mut written = Vec::new();
+    for (name, snap, seed) in workloads {
+        let snap_path = dir.join(format!("{name}.snap.dna"));
+        std::fs::write(&snap_path, write_snapshot(&snap))?;
+        written.push(snap_path);
+        let mut gen = ScenarioGen::new(seed);
+        let labeled = gen.labeled_sequence(&snap, ALL_SCENARIOS, epochs);
+        let trace =
+            Trace::from_labeled(labeled.into_iter().map(|(kind, cs)| (kind.to_string(), cs)));
+        let trace_path = dir.join(format!("{name}.trace.dna"));
+        std::fs::write(&trace_path, write_trace(&trace))?;
+        written.push(trace_path);
+    }
+    Ok(written)
+}
+
 /// E8 — equivalence: differential vs scratch over random change
 /// sequences; returns (checks, mismatches). Mismatches must be zero.
 pub fn e8_equivalence(seeds: &[u64], steps: usize) -> (usize, usize) {

@@ -1,0 +1,551 @@
+//! `dna` — the command-line front-end of the reproduction.
+//!
+//! Subcommands:
+//!
+//! * `dna dump`   — generate a topo-gen topology (and optionally a change
+//!   trace) and serialize it to disk as `dna-io` artifacts;
+//! * `dna check`  — parse and validate a snapshot file;
+//! * `dna diff`   — replay a change trace through an analyzer, printing
+//!   per-epoch behavior diffs and stage timings (text or json-lines);
+//! * `dna replay --verify` — replay through *both* analyzers and assert
+//!   their canonical reports are byte-identical (the offline form of the
+//!   E8 equivalence experiment).
+//!
+//! Exit codes: 0 success, 1 usage/parse/analysis errors, 2 verification
+//! or validation failures.
+
+use dna_core::{classify, render, summarize, BehaviorDiff, ReplayMode, ReplaySession};
+use dna_io::{
+    parse_snapshot, parse_trace, write_report, write_snapshot, write_trace, EpochDiff, Report,
+    Trace,
+};
+use net_model::Snapshot;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use topo_gen::{fat_tree, wan, Routing, ScenarioGen, ScenarioKind, WanShape, ALL_SCENARIOS};
+
+const USAGE: &str = "\
+dna — differential network analysis over dna-io artifacts
+
+USAGE:
+  dna dump  --topo fat-tree|wan --out <snap-file> [topology options]
+            [--trace <trace-file> --epochs <n> [--scenarios <list|all>]]
+  dna check <snap-file>
+  dna diff  <snap-file> <trace-file> [--engine differential|scratch]
+            [--format text|json-lines] [--limit <n>] [--out <report-file>]
+  dna replay <snap-file> <trace-file> --verify [--quiet]
+
+TOPOLOGY OPTIONS (dump):
+  --topo fat-tree   --k <even 4..32>      --routing ebgp|ospf
+  --topo wan        --n <2..512>          --shape ring|line|mesh
+                    --extra <chords>      --max-cost <cost>
+  --seed <u64>      seed for topology (wan) and scenario generation
+
+TRACE OPTIONS (dump):
+  --trace <file>    also record a change trace against the snapshot
+  --epochs <n>      number of change epochs to record (default 10)
+  --scenarios <l>   comma-separated scenario kinds, or 'all' (default)
+
+EXAMPLES:
+  dna dump --topo fat-tree --k 6 --routing ebgp --out ft6.snap.dna \\
+           --trace ft6.trace.dna --epochs 12 --scenarios link-failure,link-recovery
+  dna check ft6.snap.dna
+  dna diff ft6.snap.dna ft6.trace.dna --format json-lines
+  dna replay ft6.snap.dna ft6.trace.dna --verify
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dna: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::FAILURE);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "dump" => cmd_dump(rest),
+        "check" => cmd_check(rest),
+        "diff" => cmd_diff(rest),
+        "replay" => cmd_replay(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?} (try `dna help`)")),
+    }
+}
+
+/// Minimal flag cursor: positional arguments plus `--flag value` pairs.
+struct Args<'a> {
+    rest: &'a [String],
+    positionals: Vec<&'a str>,
+    flags: Vec<(&'a str, usize)>, // (name, index of value or usize::MAX)
+}
+
+impl<'a> Args<'a> {
+    fn parse(
+        rest: &'a [String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Self, String> {
+        let mut positionals = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    flags.push((name, usize::MAX));
+                } else if value_flags.contains(&name) {
+                    i += 1;
+                    if i >= rest.len() {
+                        return Err(format!("--{name} needs a value"));
+                    }
+                    flags.push((name, i));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                positionals.push(a);
+            }
+            i += 1;
+        }
+        Ok(Args {
+            rest,
+            positionals,
+            flags,
+        })
+    }
+
+    fn flag(&self, name: &str) -> Option<&'a str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, idx)| {
+                if *idx == usize::MAX {
+                    ""
+                } else {
+                    self.rest[*idx].as_str()
+                }
+            })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+        }
+    }
+}
+
+/// Prints a line to stdout, reporting whether the write succeeded.
+/// Downstream consumers closing the pipe early (`dna diff … | head`) is
+/// normal operation, not a panic.
+fn println_pipe(s: &str) -> bool {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "{s}").is_ok()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    parse_snapshot(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    parse_trace(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---- dump -------------------------------------------------------------
+
+fn cmd_dump(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(
+        rest,
+        &[
+            "topo",
+            "k",
+            "routing",
+            "n",
+            "shape",
+            "extra",
+            "max-cost",
+            "seed",
+            "out",
+            "trace",
+            "epochs",
+            "scenarios",
+        ],
+        &[],
+    )?;
+    let seed: u64 = args.parsed("seed", 0)?;
+    let topo = args.flag("topo").ok_or("dump needs --topo fat-tree|wan")?;
+    // Reject flags belonging to the other topology rather than silently
+    // ignoring them — a crossed flag means the user asked for something
+    // this artifact will not contain.
+    let foreign: &[&str] = match topo {
+        "fat-tree" => &["n", "shape", "extra", "max-cost"],
+        "wan" => &["k", "routing"],
+        _ => &[],
+    };
+    for f in foreign {
+        if args.has(f) {
+            return Err(format!("--{f} does not apply to --topo {topo}"));
+        }
+    }
+    let snapshot = match topo {
+        "fat-tree" => {
+            let k: u32 = args.parsed("k", 4)?;
+            if !(4..=32).contains(&k) || !k.is_multiple_of(2) {
+                return Err(format!("--k must be even in [4, 32], got {k}"));
+            }
+            let routing = match args.flag("routing").unwrap_or("ebgp") {
+                "ebgp" => Routing::Ebgp,
+                "ospf" => Routing::Ospf,
+                other => return Err(format!("--routing must be ebgp|ospf, got {other:?}")),
+            };
+            fat_tree(k, routing).snapshot
+        }
+        "wan" => {
+            let n: usize = args.parsed("n", 10)?;
+            if !(2..=512).contains(&n) {
+                return Err(format!("--n must be in [2, 512], got {n}"));
+            }
+            let extra: usize = args.parsed("extra", n / 2)?;
+            let shape = match args.flag("shape").unwrap_or("mesh") {
+                "ring" => WanShape::Ring,
+                "line" => WanShape::Line,
+                "mesh" => WanShape::Mesh { extra },
+                other => return Err(format!("--shape must be ring|line|mesh, got {other:?}")),
+            };
+            let max_cost: u32 = args.parsed("max-cost", 8)?;
+            wan(n, shape, max_cost, seed).snapshot
+        }
+        other => return Err(format!("--topo must be fat-tree|wan, got {other:?}")),
+    };
+    let out = args.flag("out").ok_or("dump needs --out <snap-file>")?;
+    write_file(out, &write_snapshot(&snapshot))?;
+    println_pipe(&format!(
+        "wrote {out}: {} devices, {} links",
+        snapshot.device_count(),
+        snapshot.links.len()
+    ));
+    if let Some(trace_path) = args.flag("trace") {
+        let epochs: usize = args.parsed("epochs", 10)?;
+        let kinds = parse_scenarios(args.flag("scenarios").unwrap_or("all"))?;
+        let mut gen = ScenarioGen::new(seed);
+        let labeled = gen.labeled_sequence(&snapshot, &kinds, epochs);
+        if labeled.len() < epochs {
+            eprintln!(
+                "note: only {} of {epochs} requested epochs had opportunities",
+                labeled.len()
+            );
+        }
+        let trace =
+            Trace::from_labeled(labeled.into_iter().map(|(kind, cs)| (kind.to_string(), cs)));
+        write_file(trace_path, &write_trace(&trace))?;
+        println_pipe(&format!(
+            "wrote {trace_path}: {} epochs, {} primitive changes",
+            trace.epochs.len(),
+            trace.change_count()
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_scenarios(spec: &str) -> Result<Vec<ScenarioKind>, String> {
+    if spec == "all" {
+        return Ok(ALL_SCENARIOS.to_vec());
+    }
+    spec.split(',')
+        .map(|s| s.trim().parse::<ScenarioKind>())
+        .collect()
+}
+
+// ---- check ------------------------------------------------------------
+
+fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &[], &[])?;
+    let [path] = args.positionals.as_slice() else {
+        return Err("check needs exactly one <snap-file>".into());
+    };
+    let snapshot = load_snapshot(path)?;
+    let problems = snapshot.validate();
+    if problems.is_empty() {
+        println_pipe(&format!(
+            "{path}: ok ({} devices, {} links, {} down, {} external routes)",
+            snapshot.device_count(),
+            snapshot.links.len(),
+            snapshot.environment.down_links.len() + snapshot.environment.down_devices.len(),
+            snapshot.environment.external_routes.len()
+        ));
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for p in &problems {
+            eprintln!("{path}: {p}");
+        }
+        eprintln!("{path}: {} validation error(s)", problems.len());
+        Ok(ExitCode::from(2))
+    }
+}
+
+// ---- diff -------------------------------------------------------------
+
+fn cmd_diff(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["engine", "format", "limit", "out"], &[])?;
+    let [snap_path, trace_path] = args.positionals.as_slice() else {
+        return Err("diff needs <snap-file> <trace-file>".into());
+    };
+    let snapshot = load_snapshot(snap_path)?;
+    let trace = load_trace(trace_path)?;
+    let mode = match args.flag("engine").unwrap_or("differential") {
+        "differential" => ReplayMode::Differential,
+        "scratch" => ReplayMode::Scratch,
+        other => {
+            return Err(format!(
+                "--engine must be differential|scratch, got {other:?}"
+            ))
+        }
+    };
+    let json = match args.flag("format").unwrap_or("text") {
+        "text" => false,
+        "json-lines" => true,
+        other => return Err(format!("--format must be text|json-lines, got {other:?}")),
+    };
+    let limit: usize = args.parsed("limit", 10)?;
+    let mut session =
+        ReplaySession::new(snapshot, mode).map_err(|e| format!("initial analysis: {e}"))?;
+    let mut report = Report::default();
+    let mut stdout_open = true;
+    for (i, ep) in trace.epochs.iter().enumerate() {
+        let out = session
+            .step(&ep.changes)
+            .map_err(|e| format!("epoch {i}: {e}"))?;
+        let diff = out.primary();
+        let text = if json {
+            epoch_json(i, ep.label.as_deref(), &ep.changes, diff)
+        } else {
+            let label = ep.label.as_deref().unwrap_or("unlabeled");
+            format!(
+                "== epoch {i} [{label}] ({} change{}) ==\n{}",
+                ep.changes.len(),
+                if ep.changes.len() == 1 { "" } else { "s" },
+                render(diff, limit).trim_end_matches('\n')
+            )
+        };
+        if stdout_open && !println_pipe(&text) {
+            // Keep replaying so --out still gets the full report; just
+            // stop talking to the closed pipe.
+            stdout_open = false;
+            if args.flag("out").is_none() {
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+        report
+            .epochs
+            .push(EpochDiff::from_behavior(ep.label.clone(), diff));
+    }
+    if let Some(out_path) = args.flag("out") {
+        write_file(out_path, &write_report(&report))?;
+        if stdout_open && !json {
+            println_pipe(&format!(
+                "wrote {out_path}: {} epoch(s)",
+                report.epochs.len()
+            ));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One epoch as a single JSON object on one line. Hand-rolled emission
+/// (the workspace has no JSON dependency); strings go through
+/// [`json_str`] so arbitrary device names stay well-formed.
+fn epoch_json(
+    index: usize,
+    label: Option<&str>,
+    changes: &net_model::ChangeSet,
+    diff: &BehaviorDiff,
+) -> String {
+    let s = summarize(diff);
+    let mut out = String::new();
+    let _ = write!(out, "{{\"epoch\":{index}");
+    if let Some(l) = label {
+        let _ = write!(out, ",\"label\":{}", json_str(l));
+    }
+    let _ = write!(
+        out,
+        ",\"changes\":{},\"rib_installed\":{},\"rib_withdrawn\":{},\"fib_added\":{},\"fib_removed\":{},\"flow_classes\":{}",
+        changes.len(),
+        s.routes.0,
+        s.routes.1,
+        s.fib.0,
+        s.fib.1,
+        diff.flows.len()
+    );
+    let _ = write!(out, ",\"kinds\":{{");
+    for (i, (kind, n)) in s.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{n}", json_str(&kind.to_string()));
+    }
+    out.push('}');
+    let _ = write!(out, ",\"flows\":[");
+    for (i, f) in dna_core::sorted_flows(diff).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"src\":{},\"kind\":{},\"headers\":[",
+            json_str(&f.src),
+            json_str(&classify(f).to_string())
+        );
+        for (j, h) in f.headers.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(h));
+        }
+        let _ = write!(
+            out,
+            "],\"example\":{{\"src\":\"{}\",\"dst\":\"{}\",\"proto\":{},\"sport\":{},\"dport\":{}}}",
+            f.example.src, f.example.dst, f.example.proto, f.example.src_port, f.example.dst_port
+        );
+        for (name, set) in [("before", &f.before), ("after", &f.after)] {
+            let _ = write!(out, ",\"{name}\":[");
+            for (j, o) in set.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(&o.to_string()));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push(']');
+    let _ = write!(
+        out,
+        ",\"cp_ms\":{:.3},\"dp_ms\":{:.3},\"total_ms\":{:.3},\"engine_tuples\":{},\"dirty_classes\":{}}}",
+        diff.stats.cp_time.as_secs_f64() * 1e3,
+        diff.stats.dp_time.as_secs_f64() * 1e3,
+        diff.stats.total_time.as_secs_f64() * 1e3,
+        diff.stats.cp_tuples,
+        diff.stats.dirty_classes
+    );
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---- replay --verify --------------------------------------------------
+
+fn cmd_replay(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &[], &["verify", "quiet"])?;
+    let [snap_path, trace_path] = args.positionals.as_slice() else {
+        return Err("replay needs <snap-file> <trace-file>".into());
+    };
+    if !args.has("verify") {
+        return Err("replay currently requires --verify (for plain replay, use `dna diff`)".into());
+    }
+    let quiet = args.has("quiet");
+    let snapshot = load_snapshot(snap_path)?;
+    let trace = load_trace(trace_path)?;
+    let mut session = ReplaySession::new(snapshot, ReplayMode::Both)
+        .map_err(|e| format!("initial analysis: {e}"))?;
+    let mut mismatches = 0usize;
+    for (i, ep) in trace.epochs.iter().enumerate() {
+        let out = session
+            .step(&ep.changes)
+            .map_err(|e| format!("epoch {i}: {e}"))?;
+        let diff = out.differential.as_ref().expect("both mode");
+        let scratch = out.scratch.as_ref().expect("both mode");
+        // Byte-level comparison of the canonical serialized reports: the
+        // strongest form of agreement, and exactly what golden tests pin.
+        let a = write_report(&Report {
+            epochs: vec![EpochDiff::from_behavior(ep.label.clone(), diff)],
+        });
+        let b = write_report(&Report {
+            epochs: vec![EpochDiff::from_behavior(ep.label.clone(), scratch)],
+        });
+        let label = ep.label.as_deref().unwrap_or("unlabeled");
+        if a == b {
+            if !quiet {
+                println_pipe(&format!(
+                    "epoch {i} [{label}]: OK ({} flow diffs, {} rib, {} fib; cp {:.2?} dp {:.2?})",
+                    diff.flows.len(),
+                    diff.rib.len(),
+                    diff.fib.len(),
+                    diff.stats.cp_time,
+                    diff.stats.dp_time
+                ));
+            }
+        } else {
+            mismatches += 1;
+            eprintln!("epoch {i} [{label}]: MISMATCH");
+            for (la, lb) in a.lines().zip(b.lines()) {
+                if la != lb {
+                    eprintln!("  differential: {la}");
+                    eprintln!("  from-scratch: {lb}");
+                    break;
+                }
+            }
+            let (n_a, n_b) = (a.lines().count(), b.lines().count());
+            if n_a != n_b {
+                eprintln!("  report lengths differ: {n_a} vs {n_b} lines");
+            }
+        }
+    }
+    if mismatches == 0 {
+        println_pipe(&format!(
+            "replayed {} epoch(s): analyzers byte-identical",
+            trace.epochs.len()
+        ));
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "replayed {} epoch(s): {mismatches} mismatch(es)",
+            trace.epochs.len()
+        );
+        Ok(ExitCode::from(2))
+    }
+}

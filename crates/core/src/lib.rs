@@ -42,8 +42,10 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod replay;
 pub mod report;
 
 pub use baseline::ScratchDiffer;
 pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, FlowDiff};
+pub use replay::{sorted_flows, EpochOutcome, ReplayMode, ReplaySession};
 pub use report::{classify, render, summarize, FlowChangeKind, Summary};

@@ -1,0 +1,212 @@
+//! Change-stream replay: drive one or both analyzers through an ordered
+//! sequence of change epochs with a per-epoch callback.
+//!
+//! This is the session layer the CLI and offline tooling build on:
+//! `dna diff` replays a recorded trace through one analyzer, and
+//! `dna replay --verify` replays through both and checks that they agree
+//! epoch by epoch (the offline form of the E8 equivalence experiment).
+
+use crate::baseline::ScratchDiffer;
+use crate::engine::{BehaviorDiff, DiffEngine, DnaError, FlowDiff};
+use net_model::{ChangeSet, Snapshot};
+
+/// Which analyzer(s) a [`ReplaySession`] drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplayMode {
+    /// Only the incremental [`DiffEngine`].
+    Differential,
+    /// Only the from-scratch [`ScratchDiffer`] baseline.
+    Scratch,
+    /// Both, so every epoch's reports can be cross-checked.
+    Both,
+}
+
+/// The result of replaying one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// 0-based epoch index within the session.
+    pub index: usize,
+    /// The incremental analyzer's report, when it ran.
+    pub differential: Option<BehaviorDiff>,
+    /// The from-scratch analyzer's report, when it ran.
+    pub scratch: Option<BehaviorDiff>,
+}
+
+impl EpochOutcome {
+    /// The report to show: differential when present, scratch otherwise.
+    ///
+    /// # Panics
+    /// Panics if neither analyzer ran. Outcomes produced by a
+    /// [`ReplaySession`] always carry at least one report; only a
+    /// hand-constructed `EpochOutcome` can violate this.
+    pub fn primary(&self) -> &BehaviorDiff {
+        self.differential
+            .as_ref()
+            .or(self.scratch.as_ref())
+            .expect("a replay session drives at least one analyzer")
+    }
+
+    /// Whether both analyzers ran and produced semantically identical
+    /// reports: equal RIB and FIB deltas and equal flow-impact sets
+    /// (flows compared order-insensitively; neither analyzer promises an
+    /// emission order). `None` when only one analyzer ran.
+    pub fn analyzers_agree(&self) -> Option<bool> {
+        let (d, s) = (self.differential.as_ref()?, self.scratch.as_ref()?);
+        Some(d.rib == s.rib && d.fib == s.fib && sorted_flows(d) == sorted_flows(s))
+    }
+}
+
+/// Flow diffs in the canonical (src, example, headers) order.
+pub fn sorted_flows(diff: &BehaviorDiff) -> Vec<FlowDiff> {
+    let mut flows = diff.flows.clone();
+    flows.sort_by(|a, b| (&a.src, &a.example, &a.headers).cmp(&(&b.src, &b.example, &b.headers)));
+    flows
+}
+
+/// A stateful replay of a change stream over a base snapshot.
+pub struct ReplaySession {
+    engine: Option<DiffEngine>,
+    scratch: Option<ScratchDiffer>,
+    steps: usize,
+}
+
+impl ReplaySession {
+    /// Builds the session, initializing the selected analyzer(s) on the
+    /// base snapshot (this is where from-scratch initial simulation
+    /// happens for the differential engine).
+    pub fn new(snapshot: Snapshot, mode: ReplayMode) -> Result<Self, DnaError> {
+        let engine = match mode {
+            ReplayMode::Differential | ReplayMode::Both => Some(DiffEngine::new(snapshot.clone())?),
+            ReplayMode::Scratch => None,
+        };
+        let scratch = match mode {
+            ReplayMode::Scratch | ReplayMode::Both => Some(ScratchDiffer::new(snapshot)?),
+            ReplayMode::Differential => None,
+        };
+        Ok(ReplaySession {
+            engine,
+            scratch,
+            steps: 0,
+        })
+    }
+
+    /// The current snapshot (base plus every replayed epoch).
+    pub fn snapshot(&self) -> &Snapshot {
+        self.engine
+            .as_ref()
+            .map(|e| e.snapshot())
+            .or_else(|| self.scratch.as_ref().map(|s| s.snapshot()))
+            .expect("a replay session drives at least one analyzer")
+    }
+
+    /// Number of epochs replayed so far.
+    pub fn epochs_replayed(&self) -> usize {
+        self.steps
+    }
+
+    /// Applies one epoch to every active analyzer.
+    pub fn step(&mut self, changes: &ChangeSet) -> Result<EpochOutcome, DnaError> {
+        let differential = self.engine.as_mut().map(|e| e.apply(changes)).transpose()?;
+        let scratch = self
+            .scratch
+            .as_mut()
+            .map(|s| s.apply(changes))
+            .transpose()?;
+        let outcome = EpochOutcome {
+            index: self.steps,
+            differential,
+            scratch,
+        };
+        self.steps += 1;
+        Ok(outcome)
+    }
+
+    /// Replays a whole stream, invoking `on_epoch` after each epoch. The
+    /// callback sees the epoch's change set alongside its outcome, so
+    /// callers can render, verify or persist as the stream advances.
+    /// Stops at the first failing epoch.
+    pub fn replay<'a, F>(
+        &mut self,
+        epochs: impl IntoIterator<Item = &'a ChangeSet>,
+        mut on_epoch: F,
+    ) -> Result<(), DnaError>
+    where
+        F: FnMut(usize, &ChangeSet, &EpochOutcome),
+    {
+        for cs in epochs {
+            let outcome = self.step(cs)?;
+            on_epoch(outcome.index, cs, &outcome);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{Change, NetBuilder};
+
+    fn two_routers() -> Snapshot {
+        NetBuilder::new()
+            .router("r1")
+            .iface("r1", "eth0", "10.0.0.1/31")
+            .iface("r1", "lan", "192.168.1.1/24")
+            .router("r2")
+            .iface("r2", "eth0", "10.0.0.0/31")
+            .iface("r2", "lan", "192.168.2.1/24")
+            .link("r1", "eth0", "r2", "eth0")
+            .ospf("r1", "eth0", 1)
+            .ospf("r2", "eth0", 1)
+            .ospf_passive("r1", "lan", 1)
+            .ospf_passive("r2", "lan", 1)
+            .build()
+    }
+
+    #[test]
+    fn both_mode_replays_and_agrees() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let mut session = ReplaySession::new(snap, ReplayMode::Both).unwrap();
+        let stream = [
+            ChangeSet::single(Change::LinkDown(link.clone())),
+            ChangeSet::single(Change::LinkUp(link)),
+        ];
+        let mut seen = Vec::new();
+        session
+            .replay(stream.iter(), |i, cs, out| {
+                assert_eq!(out.index, i);
+                assert_eq!(cs.len(), 1);
+                assert_eq!(out.analyzers_agree(), Some(true));
+                seen.push(out.primary().flows.len());
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(session.epochs_replayed(), 2);
+        assert!(seen[0] > 0, "link failure must change behavior");
+    }
+
+    #[test]
+    fn single_analyzer_modes() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let cs = ChangeSet::single(Change::LinkDown(link));
+        let mut diff_only = ReplaySession::new(snap.clone(), ReplayMode::Differential).unwrap();
+        let out = diff_only.step(&cs).unwrap();
+        assert!(out.differential.is_some() && out.scratch.is_none());
+        assert_eq!(out.analyzers_agree(), None);
+        assert!(!out.primary().is_noop());
+        let mut scratch_only = ReplaySession::new(snap, ReplayMode::Scratch).unwrap();
+        let out = scratch_only.step(&cs).unwrap();
+        assert!(out.differential.is_none() && out.scratch.is_some());
+        assert!(!out.primary().is_noop());
+        assert_eq!(scratch_only.snapshot().up_links().count(), 0);
+    }
+
+    #[test]
+    fn error_epoch_reports_and_stops() {
+        let snap = two_routers();
+        let mut session = ReplaySession::new(snap, ReplayMode::Both).unwrap();
+        let bad = ChangeSet::single(Change::DeviceDown("ghost".into()));
+        assert!(session.step(&bad).is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! Shared sub-grammars: the scalar and composite encodings used by more
+//! than one artifact (ACL entries, route maps, route attributes, FIB
+//! actions, outcomes) plus the artifact header.
+
+use crate::error::{perr, IoError};
+use crate::lex::{quote, Cursor, Lines};
+use crate::Artifact;
+use control_plane::{FibAction, FibEntry, NextDevice, Proto, RibEntry};
+use data_plane::Outcome;
+use net_model::acl::{AclEntry, Action, FlowMatch, PortRange};
+use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
+use net_model::{Endpoint, Ipv4Prefix, Link, RouteAttrs, RouteMap};
+use std::fmt::Write as _;
+
+/// The format version this library reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Indented line writer for the canonical serializers.
+pub(crate) struct W {
+    out: String,
+}
+
+impl W {
+    pub(crate) fn new(artifact: Artifact) -> Self {
+        let mut w = W { out: String::new() };
+        w.line(0, &format!("dna-io v{FORMAT_VERSION} {artifact}"));
+        w
+    }
+
+    pub(crate) fn line(&mut self, depth: usize, text: &str) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Closes the artifact with the `end` sentinel and returns the text.
+    pub(crate) fn finish(mut self) -> String {
+        self.line(0, "end");
+        self.out
+    }
+}
+
+/// Parses the header line and checks version + artifact kind. Returns the
+/// body line iterator positioned after the header.
+pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, IoError> {
+    let mut lines = Lines::new(text);
+    let Some(mut c) = lines.next_cursor()? else {
+        return Err(IoError::BadHeader(String::new()));
+    };
+    let magic = c
+        .word("magic")
+        .map_err(|_| IoError::BadHeader("missing magic".into()))?;
+    if magic != "dna-io" {
+        return Err(IoError::BadHeader(magic));
+    }
+    let vtok = c
+        .word("version")
+        .map_err(|_| IoError::BadHeader("missing version".into()))?;
+    let version: u32 = vtok
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| IoError::BadHeader(format!("bad version token {vtok:?}")))?;
+    if version != FORMAT_VERSION {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let kind = c
+        .word("artifact kind")
+        .map_err(|_| IoError::BadHeader("missing artifact kind".into()))?;
+    let found = match kind.as_str() {
+        "snapshot" => Artifact::Snapshot,
+        "trace" => Artifact::Trace,
+        "report" => Artifact::Report,
+        other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
+    };
+    c.finish()?;
+    if found != expected {
+        return Err(IoError::WrongArtifact { expected, found });
+    }
+    Ok(lines)
+}
+
+// ---- scalar encodings -------------------------------------------------
+
+pub(crate) fn fmt_opt_prefix(p: &Option<Ipv4Prefix>) -> String {
+    match p {
+        None => "-".into(),
+        Some(p) => p.to_string(),
+    }
+}
+
+pub(crate) fn parse_opt_prefix(c: &mut Cursor, what: &str) -> Result<Option<Ipv4Prefix>, IoError> {
+    let w = c.word(what)?;
+    if w == "-" {
+        return Ok(None);
+    }
+    w.parse()
+        .map(Some)
+        .map_err(|_| perr(c.line, format!("bad {what}: {w:?}")))
+}
+
+pub(crate) fn fmt_opt_u8(v: &Option<u8>) -> String {
+    match v {
+        None => "-".into(),
+        Some(v) => v.to_string(),
+    }
+}
+
+pub(crate) fn parse_opt_u8(c: &mut Cursor, what: &str) -> Result<Option<u8>, IoError> {
+    let w = c.word(what)?;
+    if w == "-" {
+        return Ok(None);
+    }
+    w.parse()
+        .map(Some)
+        .map_err(|_| perr(c.line, format!("bad {what}: {w:?}")))
+}
+
+pub(crate) fn fmt_opt_ports(r: &Option<PortRange>) -> String {
+    match r {
+        None => "-".into(),
+        Some(r) => format!("{}-{}", r.lo, r.hi),
+    }
+}
+
+pub(crate) fn parse_opt_ports(c: &mut Cursor, what: &str) -> Result<Option<PortRange>, IoError> {
+    let w = c.word(what)?;
+    if w == "-" {
+        return Ok(None);
+    }
+    let (lo, hi) = w
+        .split_once('-')
+        .ok_or_else(|| perr(c.line, format!("bad {what}: {w:?}")))?;
+    let lo = lo
+        .parse()
+        .map_err(|_| perr(c.line, format!("bad {what} low bound: {w:?}")))?;
+    let hi = hi
+        .parse()
+        .map_err(|_| perr(c.line, format!("bad {what} high bound: {w:?}")))?;
+    Ok(Some(PortRange { lo, hi }))
+}
+
+pub(crate) fn fmt_u32_list(vs: &[u32]) -> String {
+    if vs.is_empty() {
+        "-".into()
+    } else {
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+pub(crate) fn fmt_opt_str(s: &Option<String>) -> String {
+    match s {
+        None => "-".into(),
+        Some(s) => quote(s),
+    }
+}
+
+// ---- links ------------------------------------------------------------
+
+/// Formats a link's four endpoint tokens (shared by the snapshot and
+/// trace artifacts).
+pub(crate) fn fmt_link(l: &Link) -> String {
+    format!(
+        "{} {} {} {}",
+        quote(&l.a.device),
+        quote(&l.a.iface),
+        quote(&l.b.device),
+        quote(&l.b.iface)
+    )
+}
+
+/// Parses a link's four endpoint tokens, re-canonicalizing orientation.
+pub(crate) fn parse_link(c: &mut Cursor) -> Result<Link, IoError> {
+    let ad = c.string("device")?;
+    let ai = c.string("interface")?;
+    let bd = c.string("device")?;
+    let bi = c.string("interface")?;
+    Ok(Link::new(Endpoint::new(&ad, &ai), Endpoint::new(&bd, &bi)))
+}
+
+// ---- ACL entries ------------------------------------------------------
+
+pub(crate) fn fmt_acl_entry(e: &AclEntry) -> String {
+    let action = match e.action {
+        Action::Permit => "permit",
+        Action::Deny => "deny",
+    };
+    format!(
+        "{} {action} src {} dst {} proto {} sport {} dport {}",
+        e.seq,
+        fmt_opt_prefix(&e.matches.src),
+        fmt_opt_prefix(&e.matches.dst),
+        fmt_opt_u8(&e.matches.proto),
+        fmt_opt_ports(&e.matches.src_ports),
+        fmt_opt_ports(&e.matches.dst_ports),
+    )
+}
+
+pub(crate) fn parse_acl_entry(c: &mut Cursor) -> Result<AclEntry, IoError> {
+    let seq = c.parse("entry seq")?;
+    let action = parse_action(c)?;
+    c.expect("src")?;
+    let src = parse_opt_prefix(c, "src prefix")?;
+    c.expect("dst")?;
+    let dst = parse_opt_prefix(c, "dst prefix")?;
+    c.expect("proto")?;
+    let proto = parse_opt_u8(c, "protocol")?;
+    c.expect("sport")?;
+    let src_ports = parse_opt_ports(c, "source port range")?;
+    c.expect("dport")?;
+    let dst_ports = parse_opt_ports(c, "destination port range")?;
+    Ok(AclEntry {
+        seq,
+        action,
+        matches: FlowMatch {
+            src,
+            dst,
+            proto,
+            src_ports,
+            dst_ports,
+        },
+    })
+}
+
+fn parse_action(c: &mut Cursor) -> Result<Action, IoError> {
+    let w = c.word("permit|deny")?;
+    match w.as_str() {
+        "permit" => Ok(Action::Permit),
+        "deny" => Ok(Action::Deny),
+        other => Err(perr(
+            c.line,
+            format!("expected permit|deny, found {other:?}"),
+        )),
+    }
+}
+
+// ---- route attributes -------------------------------------------------
+
+pub(crate) fn fmt_route_attrs(a: &RouteAttrs) -> String {
+    let comms: Vec<u32> = a.communities.iter().copied().collect();
+    format!(
+        "{} lp {} med {} origin {} path {} comm {}",
+        a.prefix,
+        a.local_pref,
+        a.med,
+        a.origin,
+        fmt_u32_list(&a.as_path),
+        fmt_u32_list(&comms),
+    )
+}
+
+pub(crate) fn parse_route_attrs(c: &mut Cursor) -> Result<RouteAttrs, IoError> {
+    let prefix = c.prefix("route prefix")?;
+    c.expect("lp")?;
+    let local_pref = c.parse("local preference")?;
+    c.expect("med")?;
+    let med = c.parse("MED")?;
+    c.expect("origin")?;
+    let origin = c.parse("origin code")?;
+    c.expect("path")?;
+    let as_path = c.u32_list("AS path")?;
+    c.expect("comm")?;
+    let communities = c.u32_list("communities")?.into_iter().collect();
+    Ok(RouteAttrs {
+        prefix,
+        local_pref,
+        as_path,
+        med,
+        origin,
+        communities,
+    })
+}
+
+// ---- route maps -------------------------------------------------------
+
+/// Emits the clause lines of a route map at `depth`.
+pub(crate) fn write_route_map(w: &mut W, depth: usize, map: &RouteMap) {
+    for cl in &map.clauses {
+        let action = match cl.action {
+            RmAction::Permit => "permit",
+            RmAction::Deny => "deny",
+        };
+        w.line(depth, &format!("clause {} {action}", cl.seq));
+        for m in &cl.matches {
+            let text = match m {
+                RmMatch::Prefix { covering, ge, le } => {
+                    format!("match-prefix {covering} {ge} {le}")
+                }
+                RmMatch::Community(c) => format!("match-community {c}"),
+                RmMatch::AsPathContains(asn) => format!("match-as-path {asn}"),
+            };
+            w.line(depth + 1, &text);
+        }
+        for s in &cl.sets {
+            let text = match s {
+                RmSet::LocalPref(v) => format!("set-local-pref {v}"),
+                RmSet::Med(v) => format!("set-med {v}"),
+                RmSet::AddCommunity(v) => format!("set-add-community {v}"),
+                RmSet::DeleteCommunity(v) => format!("set-del-community {v}"),
+                RmSet::AsPathPrepend { asn, count } => format!("set-prepend {asn} {count}"),
+            };
+            w.line(depth + 1, &text);
+        }
+    }
+}
+
+/// Incremental route-map parser: feed it every `clause` / `match-*` /
+/// `set-*` line; anything else ends the map.
+pub(crate) struct RouteMapBuilder {
+    clauses: Vec<RouteMapClause>,
+    cur: Option<RouteMapClause>,
+}
+
+impl RouteMapBuilder {
+    pub(crate) fn new() -> Self {
+        RouteMapBuilder {
+            clauses: Vec::new(),
+            cur: None,
+        }
+    }
+
+    /// Consumes a line if its keyword belongs to the route-map grammar.
+    /// Returns `Ok(true)` when consumed.
+    pub(crate) fn try_line(&mut self, kw: &str, c: &mut Cursor) -> Result<bool, IoError> {
+        if kw == "clause" {
+            let seq = c.parse("clause seq")?;
+            let w = c.word("permit|deny")?;
+            let action = match w.as_str() {
+                "permit" => RmAction::Permit,
+                "deny" => RmAction::Deny,
+                other => {
+                    return Err(perr(
+                        c.line,
+                        format!("expected permit|deny, found {other:?}"),
+                    ))
+                }
+            };
+            if let Some(done) = self.cur.take() {
+                self.clauses.push(done);
+            }
+            self.cur = Some(RouteMapClause {
+                seq,
+                matches: Vec::new(),
+                action,
+                sets: Vec::new(),
+            });
+            return Ok(true);
+        }
+        if !matches!(
+            kw,
+            "match-prefix"
+                | "match-community"
+                | "match-as-path"
+                | "set-local-pref"
+                | "set-med"
+                | "set-add-community"
+                | "set-del-community"
+                | "set-prepend"
+        ) {
+            return Ok(false);
+        }
+        let line = c.line;
+        let cur = self
+            .cur
+            .as_mut()
+            .ok_or_else(|| perr(line, format!("{kw} outside a clause")))?;
+        match kw {
+            "match-prefix" => {
+                let covering = c.prefix("covering prefix")?;
+                let ge = c.parse("ge bound")?;
+                let le = c.parse("le bound")?;
+                cur.matches.push(RmMatch::Prefix { covering, ge, le });
+            }
+            "match-community" => cur.matches.push(RmMatch::Community(c.parse("community")?)),
+            "match-as-path" => cur
+                .matches
+                .push(RmMatch::AsPathContains(c.parse("AS number")?)),
+            "set-local-pref" => cur
+                .sets
+                .push(RmSet::LocalPref(c.parse("local preference")?)),
+            "set-med" => cur.sets.push(RmSet::Med(c.parse("MED")?)),
+            "set-add-community" => cur.sets.push(RmSet::AddCommunity(c.parse("community")?)),
+            "set-del-community" => cur.sets.push(RmSet::DeleteCommunity(c.parse("community")?)),
+            "set-prepend" => {
+                let asn = c.parse("AS number")?;
+                let count = c.parse("prepend count")?;
+                cur.sets.push(RmSet::AsPathPrepend { asn, count });
+            }
+            _ => unreachable!("keyword list above"),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn finish(mut self) -> RouteMap {
+        if let Some(done) = self.cur.take() {
+            self.clauses.push(done);
+        }
+        RouteMap {
+            clauses: self.clauses,
+        }
+    }
+}
+
+// ---- FIB / RIB entries ------------------------------------------------
+
+pub(crate) fn fmt_fib_action(a: &FibAction) -> String {
+    match a {
+        FibAction::Deliver { iface } => format!("deliver {}", quote(iface)),
+        FibAction::Forward { iface, next } => match next {
+            NextDevice::Device(d) => format!("forward {} dev {}", quote(iface), quote(d)),
+            NextDevice::External => format!("forward {} external", quote(iface)),
+        },
+        FibAction::Drop => "drop".into(),
+    }
+}
+
+pub(crate) fn parse_fib_action(c: &mut Cursor) -> Result<FibAction, IoError> {
+    let w = c.word("fib action")?;
+    match w.as_str() {
+        "deliver" => Ok(FibAction::Deliver {
+            iface: c.string("interface")?,
+        }),
+        "forward" => {
+            let iface = c.string("interface")?;
+            let next = c.word("next hop kind")?;
+            match next.as_str() {
+                "dev" => Ok(FibAction::Forward {
+                    iface,
+                    next: NextDevice::Device(c.string("next device")?),
+                }),
+                "external" => Ok(FibAction::Forward {
+                    iface,
+                    next: NextDevice::External,
+                }),
+                other => Err(perr(
+                    c.line,
+                    format!("expected dev|external, found {other:?}"),
+                )),
+            }
+        }
+        "drop" => Ok(FibAction::Drop),
+        other => Err(perr(
+            c.line,
+            format!("expected deliver|forward|drop, found {other:?}"),
+        )),
+    }
+}
+
+pub(crate) fn fmt_fib_entry(e: &FibEntry) -> String {
+    format!(
+        "{} {} {}",
+        quote(&e.device),
+        e.prefix,
+        fmt_fib_action(&e.action)
+    )
+}
+
+pub(crate) fn parse_fib_entry(c: &mut Cursor) -> Result<FibEntry, IoError> {
+    let device = c.string("device")?;
+    let prefix = c.prefix("prefix")?;
+    let action = parse_fib_action(c)?;
+    Ok(FibEntry {
+        device,
+        prefix,
+        action,
+    })
+}
+
+pub(crate) fn fmt_proto(p: Proto) -> &'static str {
+    match p {
+        Proto::Connected => "connected",
+        Proto::Static => "static",
+        Proto::BgpExternal => "ebgp",
+        Proto::Ospf => "ospf",
+        Proto::BgpInternal => "ibgp",
+    }
+}
+
+pub(crate) fn parse_proto(c: &mut Cursor) -> Result<Proto, IoError> {
+    let w = c.word("protocol")?;
+    match w.as_str() {
+        "connected" => Ok(Proto::Connected),
+        "static" => Ok(Proto::Static),
+        "ebgp" => Ok(Proto::BgpExternal),
+        "ospf" => Ok(Proto::Ospf),
+        "ibgp" => Ok(Proto::BgpInternal),
+        other => Err(perr(c.line, format!("unknown protocol {other:?}"))),
+    }
+}
+
+pub(crate) fn fmt_rib_entry(e: &RibEntry) -> String {
+    format!(
+        "{} {} {} {} {}",
+        quote(&e.device),
+        e.prefix,
+        fmt_proto(e.proto),
+        e.metric,
+        fmt_fib_action(&e.action)
+    )
+}
+
+pub(crate) fn parse_rib_entry(c: &mut Cursor) -> Result<RibEntry, IoError> {
+    let device = c.string("device")?;
+    let prefix = c.prefix("prefix")?;
+    let proto = parse_proto(c)?;
+    let metric = c.parse("metric")?;
+    let action = parse_fib_action(c)?;
+    Ok(RibEntry {
+        device,
+        prefix,
+        proto,
+        metric,
+        action,
+    })
+}
+
+// ---- outcomes ---------------------------------------------------------
+
+/// Formats an outcome set on one line (`-` when empty).
+pub(crate) fn fmt_outcomes<'a>(outcomes: impl Iterator<Item = &'a Outcome>) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match o {
+            Outcome::Delivered(d) => {
+                let _ = write!(out, "delivered {}", quote(d));
+            }
+            Outcome::External(d) => {
+                let _ = write!(out, "external {}", quote(d));
+            }
+            Outcome::Blackhole(d) => {
+                let _ = write!(out, "blackhole {}", quote(d));
+            }
+            Outcome::Filtered(d) => {
+                let _ = write!(out, "filtered {}", quote(d));
+            }
+            Outcome::Loop => out.push_str("loop"),
+        }
+    }
+    if out.is_empty() {
+        out.push('-');
+    }
+    out
+}
+
+/// Parses outcomes to the end of the line (`-` for the empty set).
+pub(crate) fn parse_outcomes(
+    c: &mut Cursor,
+) -> Result<std::collections::BTreeSet<Outcome>, IoError> {
+    let mut set = std::collections::BTreeSet::new();
+    let mut first = true;
+    while !c.at_end() {
+        let w = c.word("outcome")?;
+        if first && w == "-" {
+            return Ok(set);
+        }
+        first = false;
+        let o = match w.as_str() {
+            "delivered" => Outcome::Delivered(c.string("device")?),
+            "external" => Outcome::External(c.string("device")?),
+            "blackhole" => Outcome::Blackhole(c.string("device")?),
+            "filtered" => Outcome::Filtered(c.string("device")?),
+            "loop" => Outcome::Loop,
+            other => return Err(perr(c.line, format!("unknown outcome {other:?}"))),
+        };
+        set.insert(o);
+    }
+    Ok(set)
+}

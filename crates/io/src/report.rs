@@ -1,0 +1,278 @@
+//! The `report` artifact: per-epoch [`dna_core::BehaviorDiff`]s in a
+//! canonical, byte-stable encoding.
+//!
+//! Stage timings and work counters (`DiffStats`) are deliberately *not*
+//! part of the wire format: they are engine-specific and nondeterministic,
+//! while the report artifact exists to be diffed — between analyzers
+//! (`dna replay --verify`), between runs (golden tests) and between
+//! versions. Entries are canonically sorted, so two analyzers that agree
+//! semantically produce byte-identical report files.
+
+use crate::codec::{
+    fmt_fib_entry, fmt_outcomes, fmt_rib_entry, parse_fib_entry, parse_header, parse_outcomes,
+    parse_rib_entry, W,
+};
+use crate::error::{perr, IoError};
+use crate::lex::{quote, Cursor};
+use crate::Artifact;
+use control_plane::{FibEntry, RibEntry};
+use ddflow::Diff;
+use dna_core::{BehaviorDiff, FlowDiff};
+use net_model::Flow;
+
+/// One epoch's behavior diff, canonicalized for the wire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochDiff {
+    /// Optional label (mirrors the trace epoch that produced it).
+    pub label: Option<String>,
+    /// Route-level changes, sorted.
+    pub rib: Vec<(RibEntry, Diff)>,
+    /// Forwarding-entry changes, sorted.
+    pub fib: Vec<(FibEntry, Diff)>,
+    /// Flow-level changes, sorted by (src, example, headers).
+    pub flows: Vec<FlowDiff>,
+}
+
+impl EpochDiff {
+    /// Canonicalizes a [`BehaviorDiff`]: sorts all three delta lists and
+    /// drops the (nondeterministic) stats. Two semantically equal diffs
+    /// map to identical `EpochDiff`s regardless of the analyzer's
+    /// emission order.
+    pub fn from_behavior(label: Option<String>, diff: &BehaviorDiff) -> Self {
+        let mut rib = diff.rib.clone();
+        rib.sort();
+        let mut fib = diff.fib.clone();
+        fib.sort();
+        let flows = dna_core::sorted_flows(diff);
+        EpochDiff {
+            label,
+            rib,
+            fib,
+            flows,
+        }
+    }
+
+    /// Whether the epoch had any observable effect.
+    pub fn is_noop(&self) -> bool {
+        self.rib.is_empty() && self.fib.is_empty() && self.flows.is_empty()
+    }
+}
+
+/// A multi-epoch behavior-diff report (one entry per replayed epoch).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Per-epoch diffs, in replay order.
+    pub epochs: Vec<EpochDiff>,
+}
+
+/// Serializes a report.
+pub fn write_report(report: &Report) -> String {
+    let mut w = W::new(Artifact::Report);
+    for (i, ep) in report.epochs.iter().enumerate() {
+        match &ep.label {
+            None => w.line(0, &format!("epoch {i}")),
+            Some(l) => w.line(0, &format!("epoch {i} label {}", quote(l))),
+        }
+        for (e, d) in &ep.rib {
+            w.line(1, &format!("rib {d:+} {}", fmt_rib_entry(e)));
+        }
+        for (e, d) in &ep.fib {
+            w.line(1, &format!("fib {d:+} {}", fmt_fib_entry(e)));
+        }
+        for f in &ep.flows {
+            w.line(
+                1,
+                &format!(
+                    "flow {} example {} {} {} {} {}",
+                    quote(&f.src),
+                    f.example.src,
+                    f.example.dst,
+                    f.example.proto,
+                    f.example.src_port,
+                    f.example.dst_port
+                ),
+            );
+            for h in &f.headers {
+                w.line(2, &format!("header {}", quote(h)));
+            }
+            w.line(2, &format!("before {}", fmt_outcomes(f.before.iter())));
+            w.line(2, &format!("after {}", fmt_outcomes(f.after.iter())));
+        }
+    }
+    w.finish()
+}
+
+fn parse_diff_weight(c: &mut Cursor) -> Result<Diff, IoError> {
+    let w = c.word("delta weight")?;
+    let stripped = w.strip_prefix('+').unwrap_or(&w);
+    stripped
+        .parse()
+        .map_err(|_| perr(c.line, format!("bad delta weight {w:?}")))
+}
+
+/// In-progress flow record (before/after lines may still be pending).
+struct FlowBuilder {
+    src: String,
+    example: Flow,
+    headers: Vec<String>,
+    before: Option<std::collections::BTreeSet<data_plane::Outcome>>,
+    after: Option<std::collections::BTreeSet<data_plane::Outcome>>,
+    line: usize,
+}
+
+impl FlowBuilder {
+    fn finish(self) -> Result<FlowDiff, IoError> {
+        let before = self
+            .before
+            .ok_or_else(|| perr(self.line, "flow record missing its before line"))?;
+        let after = self
+            .after
+            .ok_or_else(|| perr(self.line, "flow record missing its after line"))?;
+        Ok(FlowDiff {
+            src: self.src,
+            headers: self.headers,
+            example: self.example,
+            before,
+            after,
+        })
+    }
+}
+
+/// Parses a report artifact (requires the `end` sentinel).
+pub fn parse_report(text: &str) -> Result<Report, IoError> {
+    let mut lines = parse_header(text, Artifact::Report)?;
+    let mut report = Report::default();
+    let mut cur_epoch: Option<EpochDiff> = None;
+    let mut cur_flow: Option<FlowBuilder> = None;
+    fn flush_flow(
+        cur_epoch: &mut Option<EpochDiff>,
+        cur_flow: &mut Option<FlowBuilder>,
+    ) -> Result<(), IoError> {
+        if let Some(f) = cur_flow.take() {
+            cur_epoch
+                .as_mut()
+                .expect("flow inside an epoch")
+                .flows
+                .push(f.finish()?);
+        }
+        Ok(())
+    }
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                if let Some(ep) = cur_epoch.take() {
+                    report.epochs.push(ep);
+                }
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return Ok(report);
+            }
+            "epoch" => {
+                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                if let Some(ep) = cur_epoch.take() {
+                    report.epochs.push(ep);
+                }
+                let index: usize = c.parse("epoch index")?;
+                if index != report.epochs.len() {
+                    return Err(perr(
+                        c.line,
+                        format!(
+                            "epoch index {index} out of order (expected {})",
+                            report.epochs.len()
+                        ),
+                    ));
+                }
+                let label = if c.at_end() {
+                    None
+                } else {
+                    c.expect("label")?;
+                    Some(c.string("epoch label")?)
+                };
+                cur_epoch = Some(EpochDiff {
+                    label,
+                    ..Default::default()
+                });
+            }
+            "rib" => {
+                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                let line = c.line;
+                let d = parse_diff_weight(&mut c)?;
+                let e = parse_rib_entry(&mut c)?;
+                cur_epoch
+                    .as_mut()
+                    .ok_or_else(|| perr(line, "rib outside an epoch"))?
+                    .rib
+                    .push((e, d));
+            }
+            "fib" => {
+                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                let line = c.line;
+                let d = parse_diff_weight(&mut c)?;
+                let e = parse_fib_entry(&mut c)?;
+                cur_epoch
+                    .as_mut()
+                    .ok_or_else(|| perr(line, "fib outside an epoch"))?
+                    .fib
+                    .push((e, d));
+            }
+            "flow" => {
+                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                let line = c.line;
+                if cur_epoch.is_none() {
+                    return Err(perr(line, "flow outside an epoch"));
+                }
+                let src = c.string("source device")?;
+                c.expect("example")?;
+                let example = Flow {
+                    src: c.ip("example source address")?,
+                    dst: c.ip("example destination address")?,
+                    proto: c.parse("example protocol")?,
+                    src_port: c.parse("example source port")?,
+                    dst_port: c.parse("example destination port")?,
+                };
+                cur_flow = Some(FlowBuilder {
+                    src,
+                    example,
+                    headers: Vec::new(),
+                    before: None,
+                    after: None,
+                    line,
+                });
+            }
+            "header" => {
+                let line = c.line;
+                let h = c.string("header description")?;
+                cur_flow
+                    .as_mut()
+                    .ok_or_else(|| perr(line, "header outside a flow record"))?
+                    .headers
+                    .push(h);
+            }
+            "before" | "after" => {
+                let line = c.line;
+                let outcomes = parse_outcomes(&mut c)?;
+                let f = cur_flow
+                    .as_mut()
+                    .ok_or_else(|| perr(line, format!("{kw} outside a flow record")))?;
+                let slot = if kw == "before" {
+                    &mut f.before
+                } else {
+                    &mut f.after
+                };
+                if slot.is_some() {
+                    return Err(perr(line, format!("duplicate {kw} line in a flow record")));
+                }
+                *slot = Some(outcomes);
+            }
+            other => return Err(perr(c.line, format!("unknown report keyword {other:?}"))),
+        }
+        c.finish()?;
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the report artifact".into(),
+    })
+}

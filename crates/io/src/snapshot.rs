@@ -1,0 +1,389 @@
+//! The `snapshot` artifact: a complete [`net_model::Snapshot`] — device
+//! configurations, physical links, failure state and external
+//! announcements — with exact round-trip guarantees
+//! (`parse_snapshot(write_snapshot(s)) == s`).
+
+use crate::codec::{
+    fmt_acl_entry, fmt_link, fmt_opt_str, fmt_route_attrs, parse_acl_entry, parse_header,
+    parse_link, parse_route_attrs, write_route_map, RouteMapBuilder, W,
+};
+use crate::error::{perr, IoError};
+use crate::lex::quote;
+use crate::Artifact;
+use net_model::{
+    BgpConfig, BgpNeighbor, DeviceConfig, ExternalRoute, IfaceConfig, NextHop, OspfIfaceConfig,
+    Snapshot, StaticRoute,
+};
+
+/// Serializes a snapshot in canonical form (devices, interfaces, route
+/// maps and ACLs in name order; vectors in their stored order).
+pub fn write_snapshot(snap: &Snapshot) -> String {
+    let mut w = W::new(Artifact::Snapshot);
+    for (name, dc) in &snap.devices {
+        w.line(0, &format!("device {}", quote(name)));
+        for (ifname, ic) in &dc.interfaces {
+            let ospf = match &ic.ospf {
+                None => "-".to_string(),
+                Some(o) => format!(
+                    "{} {} {}",
+                    o.cost,
+                    o.area,
+                    if o.passive { "passive" } else { "active" }
+                ),
+            };
+            w.line(
+                1,
+                &format!(
+                    "iface {} {} {} acl-in {} acl-out {} ospf {ospf}",
+                    quote(ifname),
+                    ic.prefix,
+                    ic.addr,
+                    fmt_opt_str(&ic.acl_in),
+                    fmt_opt_str(&ic.acl_out),
+                ),
+            );
+        }
+        for sr in &dc.static_routes {
+            w.line(1, &format!("static {}", fmt_static_route(sr)));
+        }
+        if let Some(bgp) = &dc.bgp {
+            w.line(1, &format!("bgp {} {}", bgp.asn, bgp.router_id));
+            for n in &bgp.neighbors {
+                w.line(
+                    2,
+                    &format!(
+                        "neighbor {} as {} import {} export {}",
+                        n.peer,
+                        n.remote_as,
+                        fmt_opt_str(&n.import_policy),
+                        fmt_opt_str(&n.export_policy),
+                    ),
+                );
+            }
+            for p in &bgp.networks {
+                w.line(2, &format!("network {p}"));
+            }
+        }
+        for (name, map) in &dc.route_maps {
+            w.line(1, &format!("route-map {}", quote(name)));
+            write_route_map(&mut w, 2, map);
+        }
+        for (name, acl) in &dc.acls {
+            w.line(1, &format!("acl {}", quote(name)));
+            for e in &acl.entries {
+                w.line(2, &format!("entry {}", fmt_acl_entry(e)));
+            }
+        }
+    }
+    for l in &snap.links {
+        w.line(0, &format!("link {}", fmt_link(l)));
+    }
+    for l in &snap.environment.down_links {
+        w.line(0, &format!("down-link {}", fmt_link(l)));
+    }
+    for d in &snap.environment.down_devices {
+        w.line(0, &format!("down-device {}", quote(d)));
+    }
+    for e in &snap.environment.external_routes {
+        w.line(
+            0,
+            &format!(
+                "external {} {} {}",
+                quote(&e.device),
+                e.peer,
+                fmt_route_attrs(&e.attrs)
+            ),
+        );
+    }
+    w.finish()
+}
+
+/// Parser state: the device section being filled in, plus the sub-section
+/// (route map) still accumulating clause lines.
+struct SnapParser {
+    snap: Snapshot,
+    cur_device: Option<(String, DeviceConfig)>,
+    cur_rm: Option<(String, RouteMapBuilder)>,
+    cur_acl: Option<String>,
+}
+
+impl SnapParser {
+    fn flush_rm(&mut self) {
+        if let Some((name, b)) = self.cur_rm.take() {
+            // `cur_rm` is only ever set while `cur_device` is.
+            let (_, dc) = self.cur_device.as_mut().expect("route map inside device");
+            dc.route_maps.insert(name, b.finish());
+        }
+    }
+
+    fn flush_device(&mut self) {
+        self.flush_rm();
+        self.cur_acl = None;
+        if let Some((name, dc)) = self.cur_device.take() {
+            self.snap.devices.insert(name, dc);
+        }
+    }
+
+    fn device_mut(&mut self, line: usize, kw: &str) -> Result<&mut DeviceConfig, IoError> {
+        self.cur_device
+            .as_mut()
+            .map(|(_, dc)| dc)
+            .ok_or_else(|| perr(line, format!("{kw} outside a device section")))
+    }
+}
+
+/// Parses a snapshot artifact. The input must end with the `end`
+/// sentinel; a missing sentinel reports [`IoError::Truncated`].
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, IoError> {
+    let mut lines = parse_header(text, Artifact::Snapshot)?;
+    let mut p = SnapParser {
+        snap: Snapshot::default(),
+        cur_device: None,
+        cur_rm: None,
+        cur_acl: None,
+    };
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        // Route-map clause lines bind tightest; anything else closes the map.
+        if let Some((_, rm)) = p.cur_rm.as_mut() {
+            if rm.try_line(&kw, &mut c)? {
+                c.finish()?;
+                continue;
+            }
+            p.flush_rm();
+        }
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                p.flush_device();
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return Ok(p.snap);
+            }
+            "device" => {
+                p.flush_device();
+                let name = c.string("device name")?;
+                if p.snap.devices.contains_key(&name) {
+                    return Err(perr(c.line, format!("duplicate device {name:?}")));
+                }
+                p.cur_device = Some((name, DeviceConfig::default()));
+            }
+            "iface" => {
+                let line = c.line;
+                let name = c.string("interface name")?;
+                let prefix = c.prefix("interface prefix")?;
+                let addr = c.ip("interface address")?;
+                c.expect("acl-in")?;
+                let acl_in = c.opt_string("ACL name")?;
+                c.expect("acl-out")?;
+                let acl_out = c.opt_string("ACL name")?;
+                c.expect("ospf")?;
+                let ospf = {
+                    let w = c.word("ospf config")?;
+                    if w == "-" {
+                        None
+                    } else {
+                        let cost = w
+                            .parse()
+                            .map_err(|_| perr(line, format!("bad ospf cost {w:?}")))?;
+                        let area = c.parse("ospf area")?;
+                        let mode = c.word("active|passive")?;
+                        let passive = match mode.as_str() {
+                            "active" => false,
+                            "passive" => true,
+                            other => {
+                                return Err(perr(
+                                    line,
+                                    format!("expected active|passive, found {other:?}"),
+                                ))
+                            }
+                        };
+                        Some(OspfIfaceConfig {
+                            cost,
+                            area,
+                            passive,
+                        })
+                    }
+                };
+                let dc = p.device_mut(line, "iface")?;
+                if dc.interfaces.contains_key(&name) {
+                    return Err(perr(line, format!("duplicate interface {name:?}")));
+                }
+                dc.interfaces.insert(
+                    name,
+                    IfaceConfig {
+                        prefix,
+                        addr,
+                        acl_in,
+                        acl_out,
+                        ospf,
+                    },
+                );
+            }
+            "static" => {
+                let line = c.line;
+                let route = parse_static_route(&mut c)?;
+                p.device_mut(line, "static")?.static_routes.push(route);
+            }
+            "bgp" => {
+                let line = c.line;
+                let asn = c.parse("AS number")?;
+                let router_id = c.parse("router id")?;
+                let dc = p.device_mut(line, "bgp")?;
+                if dc.bgp.is_some() {
+                    return Err(perr(line, "duplicate bgp section"));
+                }
+                dc.bgp = Some(BgpConfig {
+                    asn,
+                    router_id,
+                    neighbors: Vec::new(),
+                    networks: Vec::new(),
+                });
+            }
+            "neighbor" => {
+                let line = c.line;
+                let peer = c.ip("peer address")?;
+                c.expect("as")?;
+                let remote_as = c.parse("remote AS")?;
+                c.expect("import")?;
+                let import_policy = c.opt_string("route-map name")?;
+                c.expect("export")?;
+                let export_policy = c.opt_string("route-map name")?;
+                let dc = p.device_mut(line, "neighbor")?;
+                let bgp = dc
+                    .bgp
+                    .as_mut()
+                    .ok_or_else(|| perr(line, "neighbor outside a bgp section"))?;
+                bgp.neighbors.push(BgpNeighbor {
+                    peer,
+                    remote_as,
+                    import_policy,
+                    export_policy,
+                });
+            }
+            "network" => {
+                let line = c.line;
+                let prefix = c.prefix("network prefix")?;
+                let dc = p.device_mut(line, "network")?;
+                let bgp = dc
+                    .bgp
+                    .as_mut()
+                    .ok_or_else(|| perr(line, "network outside a bgp section"))?;
+                bgp.networks.push(prefix);
+            }
+            "route-map" => {
+                let line = c.line;
+                let name = c.string("route-map name")?;
+                p.cur_acl = None;
+                let dc = p.device_mut(line, "route-map")?;
+                if dc.route_maps.contains_key(&name) {
+                    return Err(perr(line, format!("duplicate route map {name:?}")));
+                }
+                p.cur_rm = Some((name, RouteMapBuilder::new()));
+            }
+            "acl" => {
+                let line = c.line;
+                let name = c.string("ACL name")?;
+                let dc = p.device_mut(line, "acl")?;
+                if dc.acls.contains_key(&name) {
+                    return Err(perr(line, format!("duplicate ACL {name:?}")));
+                }
+                dc.acls.insert(name.clone(), Default::default());
+                p.cur_acl = Some(name);
+            }
+            "entry" => {
+                let line = c.line;
+                let entry = parse_acl_entry(&mut c)?;
+                let acl_name = p
+                    .cur_acl
+                    .clone()
+                    .ok_or_else(|| perr(line, "entry outside an acl section"))?;
+                let dc = p.device_mut(line, "entry")?;
+                // Preserve file order exactly (serialization order is the
+                // stored order, which `Acl::add` keeps seq-sorted anyway).
+                dc.acls
+                    .get_mut(&acl_name)
+                    .expect("acl created when section opened")
+                    .entries
+                    .push(entry);
+            }
+            "link" => {
+                p.flush_device();
+                p.snap.links.push(parse_link(&mut c)?);
+            }
+            "down-link" => {
+                p.flush_device();
+                let l = parse_link(&mut c)?;
+                p.snap.environment.down_links.insert(l);
+            }
+            "down-device" => {
+                p.flush_device();
+                let d = c.string("device name")?;
+                p.snap.environment.down_devices.insert(d);
+            }
+            "external" => {
+                p.flush_device();
+                let device = c.string("device")?;
+                let peer = c.ip("peer address")?;
+                let attrs = parse_route_attrs(&mut c)?;
+                p.snap.environment.external_routes.push(ExternalRoute {
+                    device,
+                    peer,
+                    attrs,
+                });
+            }
+            other => {
+                return Err(perr(c.line, format!("unknown snapshot keyword {other:?}")));
+            }
+        }
+        c.finish()?;
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the snapshot artifact".into(),
+    })
+}
+
+/// Parses `<prefix> (via <ip> | discard) ad <u8>`.
+pub(crate) fn parse_static_route(c: &mut crate::lex::Cursor) -> Result<StaticRoute, IoError> {
+    let prefix = c.prefix("static prefix")?;
+    let next_hop = parse_next_hop(c)?;
+    c.expect("ad")?;
+    let admin_distance = c.parse("admin distance")?;
+    Ok(StaticRoute {
+        prefix,
+        next_hop,
+        admin_distance,
+    })
+}
+
+/// Parses `via <ip>` or `discard`.
+pub(crate) fn parse_next_hop(c: &mut crate::lex::Cursor) -> Result<NextHop, IoError> {
+    let w = c.word("via|discard")?;
+    match w.as_str() {
+        "via" => Ok(NextHop::Ip(c.ip("next hop address")?)),
+        "discard" => Ok(NextHop::Discard),
+        other => Err(perr(
+            c.line,
+            format!("expected via|discard, found {other:?}"),
+        )),
+    }
+}
+
+/// Formats a static-route tail (shared with the trace artifact).
+pub(crate) fn fmt_static_route(sr: &StaticRoute) -> String {
+    format!(
+        "{} {} ad {}",
+        sr.prefix,
+        fmt_next_hop(&sr.next_hop),
+        sr.admin_distance
+    )
+}
+
+/// Formats `via <ip>` / `discard` (shared with the trace artifact).
+pub(crate) fn fmt_next_hop(nh: &NextHop) -> String {
+    match nh {
+        NextHop::Ip(ip) => format!("via {ip}"),
+        NextHop::Discard => "discard".to_string(),
+    }
+}

@@ -1,0 +1,509 @@
+//! Round-trip and robustness properties of the wire format.
+//!
+//! 1. **Lossless round-trips.** For proptest-generated `Snapshot`s,
+//!    `ChangeSet` traces and reports — including quoting-hostile names,
+//!    every change variant and every optional field — `parse(write(x))`
+//!    equals `x`, and a second trip is byte-identical (the serializer is
+//!    canonical over its own output).
+//! 2. **Totality on bad input.** Truncations, random line/character
+//!    mutations, wrong versions and wrong artifact kinds all produce
+//!    typed [`IoError`]s; parsing never panics.
+
+use dna_core::FlowDiff;
+use dna_io::{
+    parse_report, parse_snapshot, parse_trace, write_report, write_snapshot, write_trace,
+    EpochDiff, IoError, Report, Trace, TraceEpoch,
+};
+use net_model::acl::{Acl, AclEntry, Action, FlowMatch, PortRange};
+use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
+use net_model::{
+    BgpConfig, BgpNeighbor, Change, ChangeSet, DeviceConfig, Endpoint, Environment, ExternalRoute,
+    Flow, IfaceConfig, Ipv4Addr, Ipv4Prefix, Link, NextHop, OspfIfaceConfig, RouteAttrs, RouteMap,
+    Snapshot, StaticRoute,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ---- value strategies -------------------------------------------------
+
+/// Names drawn from a pool that exercises quoting: spaces, quotes,
+/// backslashes, newlines, tabs, control and non-ASCII characters.
+fn name() -> impl Strategy<Value = String> {
+    const POOL: &[&str] = &[
+        "r",
+        "core",
+        "agg edge",
+        "q\"uote",
+        "back\\slash",
+        "new\nline",
+        "tab\there",
+        "uni—✓",
+        "bell\u{7}",
+        "",
+    ];
+    (0usize..POOL.len(), 0u32..3).prop_map(|(i, n)| format!("{}{}", POOL[i], n))
+}
+
+fn addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr)
+}
+
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l))
+}
+
+fn port_range() -> impl Strategy<Value = PortRange> {
+    (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortRange {
+        lo: a.min(b),
+        hi: a.max(b),
+    })
+}
+
+fn flow_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        prop::option::of(prefix()),
+        prop::option::of(prefix()),
+        prop::option::of(any::<u8>()),
+        prop::option::of(port_range()),
+        prop::option::of(port_range()),
+    )
+        .prop_map(|(src, dst, proto, src_ports, dst_ports)| FlowMatch {
+            src,
+            dst,
+            proto,
+            src_ports,
+            dst_ports,
+        })
+}
+
+fn acl_entry() -> impl Strategy<Value = AclEntry> {
+    (any::<u32>(), any::<bool>(), flow_match()).prop_map(|(seq, permit, matches)| AclEntry {
+        seq,
+        action: if permit { Action::Permit } else { Action::Deny },
+        matches,
+    })
+}
+
+fn acl() -> impl Strategy<Value = Acl> {
+    prop::collection::vec(acl_entry(), 0..4).prop_map(|entries| Acl { entries })
+}
+
+fn route_attrs() -> impl Strategy<Value = RouteAttrs> {
+    (
+        prefix(),
+        any::<u32>(),
+        prop::collection::vec(any::<u32>(), 0..4),
+        any::<u32>(),
+        any::<u8>(),
+        prop::collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(
+            |(prefix, local_pref, as_path, med, origin, comms)| RouteAttrs {
+                prefix,
+                local_pref,
+                as_path,
+                med,
+                origin,
+                communities: comms.into_iter().collect(),
+            },
+        )
+}
+
+fn rm_match() -> impl Strategy<Value = RmMatch> {
+    prop_oneof![
+        (prefix(), 0u8..=32, 0u8..=32).prop_map(|(covering, ge, le)| RmMatch::Prefix {
+            covering,
+            ge,
+            le
+        }),
+        any::<u32>().prop_map(RmMatch::Community),
+        any::<u32>().prop_map(RmMatch::AsPathContains),
+    ]
+}
+
+fn rm_set() -> impl Strategy<Value = RmSet> {
+    prop_oneof![
+        any::<u32>().prop_map(RmSet::LocalPref),
+        any::<u32>().prop_map(RmSet::Med),
+        any::<u32>().prop_map(RmSet::AddCommunity),
+        any::<u32>().prop_map(RmSet::DeleteCommunity),
+        (any::<u32>(), any::<u8>()).prop_map(|(asn, count)| RmSet::AsPathPrepend { asn, count }),
+    ]
+}
+
+fn route_map() -> impl Strategy<Value = RouteMap> {
+    prop::collection::vec(
+        (
+            any::<u32>(),
+            prop::collection::vec(rm_match(), 0..3),
+            any::<bool>(),
+            prop::collection::vec(rm_set(), 0..3),
+        ),
+        0..3,
+    )
+    .prop_map(|clauses| RouteMap {
+        clauses: clauses
+            .into_iter()
+            .map(|(seq, matches, permit, sets)| RouteMapClause {
+                seq,
+                matches,
+                action: if permit {
+                    RmAction::Permit
+                } else {
+                    RmAction::Deny
+                },
+                sets,
+            })
+            .collect(),
+    })
+}
+
+fn next_hop() -> impl Strategy<Value = NextHop> {
+    prop_oneof![addr().prop_map(NextHop::Ip), Just(NextHop::Discard)]
+}
+
+fn static_route() -> impl Strategy<Value = StaticRoute> {
+    (prefix(), next_hop(), any::<u8>()).prop_map(|(prefix, next_hop, admin_distance)| StaticRoute {
+        prefix,
+        next_hop,
+        admin_distance,
+    })
+}
+
+fn iface() -> impl Strategy<Value = IfaceConfig> {
+    (
+        prefix(),
+        addr(),
+        prop::option::of(name()),
+        prop::option::of(name()),
+        prop::option::of((any::<u32>(), any::<u32>(), any::<bool>())),
+    )
+        .prop_map(|(prefix, addr, acl_in, acl_out, ospf)| IfaceConfig {
+            prefix,
+            addr,
+            acl_in,
+            acl_out,
+            ospf: ospf.map(|(cost, area, passive)| OspfIfaceConfig {
+                cost,
+                area,
+                passive,
+            }),
+        })
+}
+
+fn bgp() -> impl Strategy<Value = BgpConfig> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(
+            (
+                addr(),
+                any::<u32>(),
+                prop::option::of(name()),
+                prop::option::of(name()),
+            ),
+            0..3,
+        ),
+        prop::collection::vec(prefix(), 0..3),
+    )
+        .prop_map(|(asn, router_id, neighbors, networks)| BgpConfig {
+            asn,
+            router_id,
+            neighbors: neighbors
+                .into_iter()
+                .map(
+                    |(peer, remote_as, import_policy, export_policy)| BgpNeighbor {
+                        peer,
+                        remote_as,
+                        import_policy,
+                        export_policy,
+                    },
+                )
+                .collect(),
+            networks,
+        })
+}
+
+fn device_config() -> impl Strategy<Value = DeviceConfig> {
+    (
+        prop::collection::vec((name(), iface()), 0..3),
+        prop::collection::vec(static_route(), 0..3),
+        prop::option::of(bgp()),
+        prop::collection::vec((name(), route_map()), 0..3),
+        prop::collection::vec((name(), acl()), 0..2),
+    )
+        .prop_map(|(ifaces, static_routes, bgp, rms, acls)| DeviceConfig {
+            interfaces: ifaces.into_iter().collect::<BTreeMap<_, _>>(),
+            static_routes,
+            bgp,
+            route_maps: rms.into_iter().collect(),
+            acls: acls.into_iter().collect(),
+        })
+}
+
+fn link() -> impl Strategy<Value = Link> {
+    (name(), name(), name(), name())
+        .prop_map(|(ad, ai, bd, bi)| Link::new(Endpoint::new(&ad, &ai), Endpoint::new(&bd, &bi)))
+}
+
+fn external_route() -> impl Strategy<Value = ExternalRoute> {
+    (name(), addr(), route_attrs()).prop_map(|(device, peer, attrs)| ExternalRoute {
+        device,
+        peer,
+        attrs,
+    })
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec((name(), device_config()), 0..4),
+        prop::collection::vec(link(), 0..5),
+        prop::collection::vec(link(), 0..3),
+        prop::collection::vec(name(), 0..3),
+        prop::collection::vec(external_route(), 0..3),
+    )
+        .prop_map(
+            |(devices, links, down_links, down_devices, external)| Snapshot {
+                devices: devices.into_iter().collect(),
+                links,
+                environment: Environment {
+                    down_links: down_links.into_iter().collect(),
+                    down_devices: down_devices.into_iter().collect(),
+                    external_routes: external,
+                },
+            },
+        )
+}
+
+fn change() -> BoxedStrategy<Change> {
+    prop_oneof![
+        link().prop_map(Change::LinkDown),
+        link().prop_map(Change::LinkUp),
+        name().prop_map(Change::DeviceDown),
+        name().prop_map(Change::DeviceUp),
+        (name(), name(), acl_entry()).prop_map(|(device, acl, entry)| Change::AclEntryAdd {
+            device,
+            acl,
+            entry
+        }),
+        (name(), name(), any::<u32>()).prop_map(|(device, acl, seq)| Change::AclEntryRemove {
+            device,
+            acl,
+            seq
+        }),
+        (name(), name(), prop::option::of(name()))
+            .prop_map(|(device, iface, acl)| Change::SetAclIn { device, iface, acl }),
+        (name(), name(), prop::option::of(name()))
+            .prop_map(|(device, iface, acl)| Change::SetAclOut { device, iface, acl }),
+        (name(), name(), route_map()).prop_map(|(device, name, map)| Change::SetRouteMap {
+            device,
+            name,
+            map
+        }),
+        (name(), static_route())
+            .prop_map(|(device, route)| Change::StaticRouteAdd { device, route }),
+        (name(), prefix(), next_hop()).prop_map(|(device, prefix, next_hop)| {
+            Change::StaticRouteRemove {
+                device,
+                prefix,
+                next_hop,
+            }
+        }),
+        (name(), prefix()).prop_map(|(device, prefix)| Change::BgpNetworkAdd { device, prefix }),
+        (name(), prefix()).prop_map(|(device, prefix)| Change::BgpNetworkRemove { device, prefix }),
+        external_route().prop_map(Change::ExternalAnnounce),
+        (name(), addr(), prefix()).prop_map(|(device, peer, prefix)| Change::ExternalWithdraw {
+            device,
+            peer,
+            prefix
+        }),
+        (name(), name(), any::<u32>()).prop_map(|(device, iface, cost)| Change::SetOspfCost {
+            device,
+            iface,
+            cost
+        }),
+    ]
+    .boxed()
+}
+
+fn trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (
+            prop::option::of(name()),
+            prop::collection::vec(change(), 0..5),
+        ),
+        0..4,
+    )
+    .prop_map(|epochs| Trace {
+        epochs: epochs
+            .into_iter()
+            .map(|(label, changes)| TraceEpoch {
+                label,
+                changes: ChangeSet::of(changes),
+            })
+            .collect(),
+    })
+}
+
+fn outcome() -> impl Strategy<Value = data_plane::Outcome> {
+    use data_plane::Outcome;
+    prop_oneof![
+        name().prop_map(Outcome::Delivered),
+        name().prop_map(Outcome::External),
+        name().prop_map(Outcome::Blackhole),
+        name().prop_map(Outcome::Filtered),
+        Just(Outcome::Loop),
+    ]
+}
+
+fn flow_diff() -> impl Strategy<Value = FlowDiff> {
+    (
+        name(),
+        prop::collection::vec(name(), 0..3),
+        (addr(), addr(), any::<u8>(), any::<u16>(), any::<u16>()),
+        prop::collection::vec(outcome(), 0..3),
+        prop::collection::vec(outcome(), 0..3),
+    )
+        .prop_map(
+            |(src, headers, (fs, fd, proto, sp, dp), before, after)| FlowDiff {
+                src,
+                headers,
+                example: Flow {
+                    src: fs,
+                    dst: fd,
+                    proto,
+                    src_port: sp,
+                    dst_port: dp,
+                },
+                before: before.into_iter().collect(),
+                after: after.into_iter().collect(),
+            },
+        )
+}
+
+fn report() -> impl Strategy<Value = Report> {
+    use control_plane::{FibAction, FibEntry, NextDevice, Proto, RibEntry};
+    let fib_action = prop_oneof![
+        name().prop_map(|iface| FibAction::Deliver { iface }),
+        (name(), name()).prop_map(|(iface, d)| FibAction::Forward {
+            iface,
+            next: NextDevice::Device(d)
+        }),
+        name().prop_map(|iface| FibAction::Forward {
+            iface,
+            next: NextDevice::External
+        }),
+        Just(FibAction::Drop),
+    ];
+    let proto = prop_oneof![
+        Just(Proto::Connected),
+        Just(Proto::Static),
+        Just(Proto::BgpExternal),
+        Just(Proto::Ospf),
+        Just(Proto::BgpInternal),
+    ];
+    let weight = prop_oneof![Just(-2isize), Just(-1), Just(1), Just(2)];
+    let fib_entry =
+        (name(), prefix(), fib_action.clone()).prop_map(|(device, prefix, action)| FibEntry {
+            device,
+            prefix,
+            action,
+        });
+    let rib_entry = (name(), prefix(), proto, any::<u64>(), fib_action).prop_map(
+        |(device, prefix, proto, metric, action)| RibEntry {
+            device,
+            prefix,
+            proto,
+            metric,
+            action,
+        },
+    );
+    prop::collection::vec(
+        (
+            prop::option::of(name()),
+            prop::collection::vec((rib_entry, weight.clone()), 0..3),
+            prop::collection::vec((fib_entry, weight), 0..3),
+            prop::collection::vec(flow_diff(), 0..3),
+        ),
+        0..3,
+    )
+    .prop_map(|epochs| Report {
+        epochs: epochs
+            .into_iter()
+            .map(|(label, rib, fib, flows)| EpochDiff {
+                label,
+                rib,
+                fib,
+                flows,
+            })
+            .collect(),
+    })
+}
+
+// ---- properties -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(96, 0xD9A_1001))]
+
+    #[test]
+    fn snapshot_round_trips(snap in snapshot()) {
+        let text = write_snapshot(&snap);
+        let back = parse_snapshot(&text).expect("generated snapshot parses");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(write_snapshot(&back), text);
+    }
+
+    #[test]
+    fn trace_round_trips(t in trace()) {
+        let text = write_trace(&t);
+        let back = parse_trace(&text).expect("generated trace parses");
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(write_trace(&back), text);
+    }
+
+    #[test]
+    fn report_round_trips(r in report()) {
+        let text = write_report(&r);
+        let back = parse_report(&text).expect("generated report parses");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(write_report(&back), text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(64, 0xD9A_1002))]
+
+    /// Any strict line-prefix of a serialized artifact is rejected with a
+    /// typed error (truncation can never be mistaken for success), and
+    /// parsing it never panics.
+    #[test]
+    fn truncations_yield_typed_errors(snap in snapshot(), cut in 0u32..10_000) {
+        let text = write_snapshot(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (cut as usize) % lines.len().max(1);
+        let truncated = lines[..keep].join("\n");
+        match parse_snapshot(&truncated) {
+            Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+            Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+
+    /// Mutating one character anywhere in a serialized trace either still
+    /// parses (the mutation hit something benign, e.g. inside a quoted
+    /// string) or fails with a typed error — never a panic.
+    #[test]
+    fn char_mutations_never_panic(t in trace(), pos in any::<u32>(), repl in 1u8..128) {
+        let mut bytes = write_trace(&t).into_bytes();
+        if !bytes.is_empty() {
+            let idx = (pos as usize) % bytes.len();
+            bytes[idx] = repl;
+            // Skip the (rare) mutations that break UTF-8 inside a
+            // multi-byte name character; everything else must parse or
+            // fail with a typed error, never panic.
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = parse_trace(&mutated);
+            }
+        }
+    }
+}

@@ -74,6 +74,20 @@ impl std::fmt::Display for ScenarioKind {
     }
 }
 
+impl std::str::FromStr for ScenarioKind {
+    type Err = String;
+
+    /// Parses the hyphenated name [`ScenarioKind`] displays as (CLI
+    /// `--scenarios` lists, trace epoch labels).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_SCENARIOS
+            .iter()
+            .find(|k| k.to_string() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown scenario kind {s:?}"))
+    }
+}
+
 /// Seeded generator of valid change scenarios.
 pub struct ScenarioGen {
     rng: StdRng,
@@ -315,6 +329,22 @@ impl ScenarioGen {
         kinds: &[ScenarioKind],
         n: usize,
     ) -> Vec<ChangeSet> {
+        self.labeled_sequence(snap, kinds, n)
+            .into_iter()
+            .map(|(_, cs)| cs)
+            .collect()
+    }
+
+    /// Like [`ScenarioGen::sequence`], but records which scenario kind
+    /// produced each change set — the shape trace recorders (`dna dump
+    /// --trace`, `harness --record`) persist as per-epoch labels so a
+    /// replayed stream stays attributable to its scenario.
+    pub fn labeled_sequence(
+        &mut self,
+        snap: &Snapshot,
+        kinds: &[ScenarioKind],
+        n: usize,
+    ) -> Vec<(ScenarioKind, ChangeSet)> {
         let mut cur = snap.clone();
         let mut out = Vec::with_capacity(n);
         'outer: for _ in 0..n {
@@ -324,7 +354,7 @@ impl ScenarioGen {
                     match cs.apply(&cur) {
                         Ok(next) => {
                             cur = next;
-                            out.push(cs);
+                            out.push((kind, cs));
                             continue 'outer;
                         }
                         Err(_) => continue,
@@ -400,6 +430,31 @@ mod tests {
         let b = g.batch(&ft.snapshot, ScenarioKind::LinkFailure, 16);
         assert_eq!(b.len(), 16);
         assert!(b.apply(&ft.snapshot).is_ok());
+    }
+
+    #[test]
+    fn labeled_sequence_matches_sequence() {
+        let ft = fat_tree(4, Routing::Ebgp);
+        let labeled = ScenarioGen::new(21).labeled_sequence(&ft.snapshot, ALL_SCENARIOS, 15);
+        let plain = ScenarioGen::new(21).sequence(&ft.snapshot, ALL_SCENARIOS, 15);
+        assert_eq!(
+            labeled.iter().map(|(_, cs)| cs.clone()).collect::<Vec<_>>(),
+            plain
+        );
+        // Labels name the kind that produced each step.
+        for (kind, cs) in &labeled {
+            assert!(!cs.is_empty());
+            assert!(ALL_SCENARIOS.contains(kind));
+        }
+    }
+
+    #[test]
+    fn scenario_kinds_parse_from_display_names() {
+        for &kind in ALL_SCENARIOS {
+            let parsed: ScenarioKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("not-a-kind".parse::<ScenarioKind>().is_err());
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Golden-file test: a checked-in k=4 eBGP fat-tree snapshot and
+//! link-failure trace must produce the checked-in behavior-diff report
+//! **byte-for-byte**, from *both* analyzers. This pins three things at
+//! once: the wire format (serialization is canonical over the fixtures),
+//! the analyzers' semantics (any behavioral drift shows up as a report
+//! diff), and their equivalence (experiment E8, offline form).
+//!
+//! Regenerating after an intentional change:
+//! ```sh
+//! cd tests/golden
+//! dna dump --topo fat-tree --k 4 --routing ebgp --seed 7 \
+//!     --out fattree_k4.snap.dna --trace link_failure.trace.dna \
+//!     --epochs 3 --scenarios link-failure
+//! dna diff fattree_k4.snap.dna link_failure.trace.dna --out link_failure.report.dna
+//! ```
+
+use dna_core::{ReplayMode, ReplaySession};
+use dna_io::{
+    parse_report, parse_snapshot, parse_trace, write_report, write_snapshot, write_trace,
+};
+use dna_io::{EpochDiff, Report};
+
+const SNAPSHOT: &str = include_str!("golden/fattree_k4.snap.dna");
+const TRACE: &str = include_str!("golden/link_failure.trace.dna");
+const REPORT: &str = include_str!("golden/link_failure.report.dna");
+
+#[test]
+fn golden_fixtures_are_canonical() {
+    // The serializer must reproduce the checked-in bytes exactly — this
+    // pins the wire format itself, independent of the analyzers.
+    let snap = parse_snapshot(SNAPSHOT).expect("golden snapshot parses");
+    assert_eq!(write_snapshot(&snap), SNAPSHOT, "snapshot format drifted");
+    let trace = parse_trace(TRACE).expect("golden trace parses");
+    assert_eq!(write_trace(&trace), TRACE, "trace format drifted");
+    let report = parse_report(REPORT).expect("golden report parses");
+    assert_eq!(write_report(&report), REPORT, "report format drifted");
+    assert!(snap.validate().is_empty(), "golden snapshot must be valid");
+    assert_eq!(trace.epochs.len(), 3);
+    assert_eq!(report.epochs.len(), 3);
+}
+
+#[test]
+fn golden_report_reproduced_by_both_analyzers() {
+    let snap = parse_snapshot(SNAPSHOT).expect("golden snapshot parses");
+    let trace = parse_trace(TRACE).expect("golden trace parses");
+    let mut session = ReplaySession::new(snap, ReplayMode::Both).expect("analyzers init");
+    let mut differential = Report::default();
+    let mut scratch = Report::default();
+    for ep in &trace.epochs {
+        let out = session.step(&ep.changes).expect("epoch applies");
+        differential.epochs.push(EpochDiff::from_behavior(
+            ep.label.clone(),
+            out.differential.as_ref().unwrap(),
+        ));
+        scratch.epochs.push(EpochDiff::from_behavior(
+            ep.label.clone(),
+            out.scratch.as_ref().unwrap(),
+        ));
+    }
+    assert_eq!(
+        write_report(&differential),
+        REPORT,
+        "differential analyzer drifted from the golden report"
+    );
+    assert_eq!(
+        write_report(&scratch),
+        REPORT,
+        "from-scratch analyzer drifted from the golden report"
+    );
+}
