@@ -1,6 +1,8 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
-//! Usage: `cargo run --release -p dna-bench --bin harness [e1|e2|...|e8|all|record] [--record <dir>]`
+//! Usage: `cargo run --release -p dna-bench --bin harness
+//! [e1|e2|...|e9|serve|all|record] [--record <dir>]`
+//! (`serve` is an alias for the E9 service experiment.)
 //!
 //! With `--record <dir>`, the standard benchmark workloads (snapshot +
 //! all-scenario change trace per topology) are additionally written as
@@ -62,6 +64,9 @@ fn main() {
         let (checks, mismatches) = b::e8_equivalence(&[11, 12, 13, 14], 8);
         assert_eq!(mismatches, 0, "analyzers diverged");
         let _ = checks;
+    }
+    if all || which == "e9" || which == "serve" {
+        b::e9_service(6, &[4, 16, 64], 64);
     }
     if let Some(dir) = record_dir {
         let files = b::record_workloads(&dir, 24).expect("record workloads");

@@ -367,6 +367,127 @@ pub fn record_workloads(
     Ok(written)
 }
 
+/// One depth row of the E9 service experiment.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Retention depth (epochs of history kept).
+    pub retain: usize,
+    /// Sustained ingest rate, epochs per second.
+    pub ingest_eps: f64,
+    /// Mean differential epoch latency during ingest.
+    pub epoch_mean: Duration,
+    /// Mean / p95 reachability-query latency.
+    pub reach: (Duration, Duration),
+    /// Mean / p95 blast-radius-query latency (window = full depth).
+    pub blast: (Duration, Duration),
+    /// Mean / p95 report-range-query latency (whole retained window).
+    pub report: (Duration, Duration),
+}
+
+/// Mean/p95 via the same stats pass the criterion benches report with,
+/// so E9's columns are directly comparable to `cargo bench` output.
+fn mean_p95(samples: &[Duration]) -> (Duration, Duration) {
+    match criterion::stats(samples) {
+        Some(s) => (s.mean, s.p95),
+        None => (Duration::ZERO, Duration::ZERO),
+    }
+}
+
+/// E9 — service query latency and sustained ingest throughput vs
+/// epoch-history depth: one `dna-serve` session per retention depth
+/// ingests the same `epochs`-epoch all-scenario trace on a k-fat-tree,
+/// answering an interleaved reachability + blast + report query mix
+/// after every epoch. Ingest runs the differential engine only (the E1
+/// path); queries never re-simulate — their cost is what this table
+/// isolates as history depth grows.
+pub fn e9_service(k: u32, retains: &[usize], epochs: usize) -> Vec<ServiceRow> {
+    use dna_io::{QueryKind, Response, TraceEpoch};
+    use dna_serve::{Session, SessionConfig};
+    let ft = fat_tree(k, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(9_900);
+    let labeled = gen.labeled_sequence(&ft.snapshot, ALL_SCENARIOS, epochs);
+    let trace: Vec<TraceEpoch> = labeled
+        .into_iter()
+        .map(|(kind, changes)| TraceEpoch {
+            label: Some(kind.to_string()),
+            changes,
+        })
+        .collect();
+    // A fixed endpoint pair keeps the reachability query comparable
+    // across depths (edge pods exist for every k ≥ 4).
+    let (src, dst) = ("edge0_0".to_string(), "edge1_1".to_string());
+    let mut rows = Vec::new();
+    for &retain in retains {
+        let mut session = Session::open(
+            "e9",
+            ft.snapshot.clone(),
+            SessionConfig {
+                retain,
+                verify: false,
+            },
+        )
+        .expect("session opens");
+        let mut ingest = Duration::ZERO;
+        let (mut reach_s, mut blast_s, mut report_s) = (Vec::new(), Vec::new(), Vec::new());
+        for ep in &trace {
+            let t = Instant::now();
+            session.ingest(ep).expect("epoch applies");
+            ingest += t.elapsed();
+            let reach_q = QueryKind::ReachPair {
+                src: src.clone(),
+                dst: dst.clone(),
+            };
+            let blast_q = QueryKind::Blast { last: retain };
+            let from = session.epochs().saturating_sub(retain);
+            let report_q = QueryKind::Report {
+                from,
+                to: session.epochs(),
+            };
+            for (q, samples) in [
+                (&reach_q, &mut reach_s),
+                (&blast_q, &mut blast_s),
+                (&report_q, &mut report_s),
+            ] {
+                let t = Instant::now();
+                let r = session.answer(q);
+                samples.push(t.elapsed());
+                assert!(!matches!(r, Response::Error(_)), "query failed: {r:?}");
+            }
+        }
+        rows.push(ServiceRow {
+            retain,
+            ingest_eps: trace.len() as f64 / ingest.as_secs_f64().max(1e-9),
+            epoch_mean: ingest / trace.len().max(1) as u32,
+            reach: mean_p95(&reach_s),
+            blast: mean_p95(&blast_s),
+            report: mean_p95(&report_s),
+        });
+    }
+    println!(
+        "\n== E9: service ingest + query latency vs history depth (k={k} fat-tree, {} epochs) ==",
+        trace.len()
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>20} {:>20} {:>20}",
+        "depth", "ingest", "epoch mean", "reach mean/p95", "blast mean/p95", "report mean/p95"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>8.1}ep/s {:>10.2}ms {:>9.1}/{:>7.1}us {:>9.1}/{:>7.1}us {:>9.1}/{:>7.1}us",
+            r.retain,
+            r.ingest_eps,
+            ms(r.epoch_mean),
+            r.reach.0.as_secs_f64() * 1e6,
+            r.reach.1.as_secs_f64() * 1e6,
+            r.blast.0.as_secs_f64() * 1e6,
+            r.blast.1.as_secs_f64() * 1e6,
+            r.report.0.as_secs_f64() * 1e6,
+            r.report.1.as_secs_f64() * 1e6,
+        );
+    }
+    rows
+}
+
 /// E8 — equivalence: differential vs scratch over random change
 /// sequences; returns (checks, mismatches). Mismatches must be zero.
 pub fn e8_equivalence(seeds: &[u64], steps: usize) -> (usize, usize) {

@@ -9,17 +9,23 @@
 //!   per-epoch behavior diffs and stage timings (text or json-lines);
 //! * `dna replay --verify` — replay through *both* analyzers and assert
 //!   their canonical reports are byte-identical (the offline form of the
-//!   E8 equivalence experiment).
+//!   E8 equivalence experiment);
+//! * `dna serve`  — long-running service: keep live engines resident,
+//!   ingest artifacts from stdin (and answer unix-socket clients),
+//!   respond to queries against the evolving state;
+//! * `dna query`  — compose a protocol query (stdout) or send it to a
+//!   serving socket and print the response.
 //!
 //! Exit codes: 0 success, 1 usage/parse/analysis errors, 2 verification
-//! or validation failures.
+//! or validation failures (or an `error` response to `dna query`).
 
 use dna_core::{classify, render, summarize, BehaviorDiff, ReplayMode, ReplaySession};
 use dna_io::{
-    parse_snapshot, parse_trace, write_report, write_snapshot, write_trace, EpochDiff, Report,
-    Trace,
+    parse_snapshot, parse_trace, write_query, write_report, write_snapshot, write_trace, EpochDiff,
+    Query, QueryKind, Report, Response, Trace,
 };
-use net_model::Snapshot;
+use dna_serve::{serve_stream, SessionConfig, SessionManager};
+use net_model::{Flow, Snapshot};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use topo_gen::{fat_tree, wan, Routing, ScenarioGen, ScenarioKind, WanShape, ALL_SCENARIOS};
@@ -34,6 +40,9 @@ USAGE:
   dna diff  <snap-file> <trace-file> [--engine differential|scratch]
             [--format text|json-lines] [--limit <n>] [--out <report-file>]
   dna replay <snap-file> <trace-file> --verify [--quiet]
+  dna serve [name=]<snap-file>... [--retain <n>] [--verify] [--quiet]
+            [--socket <path>]
+  dna query [--session <name>] [--socket <path>] <command>
 
 TOPOLOGY OPTIONS (dump):
   --topo fat-tree   --k <even 4..32>      --routing ebgp|ospf
@@ -46,12 +55,36 @@ TRACE OPTIONS (dump):
   --epochs <n>      number of change epochs to record (default 10)
   --scenarios <l>   comma-separated scenario kinds, or 'all' (default)
 
+SERVE: each positional opens one named session (default name: the file
+stem), the first becoming the default target. The server then reads a
+stream of dna-io artifacts from stdin — snapshots (re)load the default
+session, traces ingest incrementally, queries are answered — emitting
+one response artifact each to stdout, until end of input. With
+--socket, clients connect concurrently and the server keeps running
+after stdin ends. --retain bounds the per-session epoch history
+(default 64); --verify attaches a from-scratch shadow that cross-checks
+every ingested epoch.
+
+QUERY COMMANDS:
+  reach <src-device> <src-ip> <dst-ip> <proto> <sport> <dport>
+  reach-pair <src-device> <dst-device>
+  blast <n-epochs>
+  report <from> <to>
+  stats
+  sessions
+Without --socket the query artifact is printed to stdout (compose mode,
+for piping into `dna serve`); with --socket it is sent to a server and
+the response is printed instead.
+
 EXAMPLES:
   dna dump --topo fat-tree --k 6 --routing ebgp --out ft6.snap.dna \\
            --trace ft6.trace.dna --epochs 12 --scenarios link-failure,link-recovery
   dna check ft6.snap.dna
   dna diff ft6.snap.dna ft6.trace.dna --format json-lines
   dna replay ft6.snap.dna ft6.trace.dna --verify
+  { cat ft6.trace.dna; dna query blast 8; } | dna serve ft6.snap.dna
+  dna serve ft6.snap.dna --socket /tmp/dna.sock < /dev/null &
+  dna query --socket /tmp/dna.sock reach-pair edge0_0 edge1_1
 ";
 
 fn main() -> ExitCode {
@@ -76,6 +109,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => cmd_check(rest),
         "diff" => cmd_diff(rest),
         "replay" => cmd_replay(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -475,6 +510,190 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+// ---- serve ------------------------------------------------------------
+
+/// Splits a `[name=]path` session argument; an unnamed session is named
+/// after its file stem (`corpus/ft6.snap.dna` → `ft6`). A prefix
+/// containing a path separator is part of the path, not a name —
+/// `/data/run=5/ft4.snap.dna` is one path.
+fn split_session_arg(arg: &str) -> (String, &str) {
+    if let Some((name, path)) = arg.split_once('=') {
+        if !name.is_empty() && !name.contains(['/', '\\']) {
+            return (name.to_string(), path);
+        }
+    }
+    let base = arg.rsplit(['/', '\\']).next().unwrap_or(arg);
+    let stem = base.split('.').next().unwrap_or(base);
+    (if stem.is_empty() { "main" } else { stem }.to_string(), arg)
+}
+
+fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["retain", "socket"], &["verify", "quiet"])?;
+    if args.positionals.is_empty() {
+        return Err("serve needs at least one [name=]<snap-file>".into());
+    }
+    let retain: usize = args.parsed("retain", 64)?;
+    if retain == 0 {
+        return Err("--retain must be at least 1".into());
+    }
+    let quiet = args.has("quiet");
+    let config = SessionConfig {
+        retain,
+        verify: args.has("verify"),
+    };
+    let mut mgr = SessionManager::new(config);
+    for pos in &args.positionals {
+        let (name, path) = split_session_arg(pos);
+        // Opening an existing name silently replaces its engine — fine
+        // for a stream reload, but two startup positionals colliding
+        // (same file stem) would drop a snapshot the operator asked for.
+        if mgr.session(&name).is_some() {
+            return Err(format!(
+                "duplicate session name {name:?} (from {path}); disambiguate with name=path"
+            ));
+        }
+        let snapshot = load_snapshot(path)?;
+        let devices = snapshot.device_count();
+        mgr.open(&name, snapshot)?;
+        if !quiet {
+            eprintln!("dna serve: session {name:?} loaded from {path} ({devices} devices)");
+        }
+    }
+    match args.flag("socket") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let summary = serve_stream(&mut mgr, None, &mut stdin.lock(), &mut stdout.lock())
+                .map_err(|e| format!("serve loop: {e}"))?;
+            if !quiet {
+                eprintln!(
+                    "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s)",
+                    summary.artifacts, summary.epochs, summary.queries, summary.errors
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(path) => serve_with_socket(mgr, path, quiet),
+    }
+}
+
+/// Socket mode: the engine stays on this thread as the broker; a stdin
+/// pump and a connection acceptor feed it raw artifact text over
+/// channels. Runs until terminated.
+#[cfg(unix)]
+fn serve_with_socket(mut mgr: SessionManager, path: &str, quiet: bool) -> Result<ExitCode, String> {
+    use std::sync::mpsc;
+    let sock = std::path::Path::new(path);
+    if sock.exists() {
+        // Only reclaim the path from a DEAD server: a connectable socket
+        // means another instance is live, and deleting its socket would
+        // silently divert that server's clients here.
+        if std::os::unix::net::UnixStream::connect(sock).is_ok() {
+            return Err(format!("{path} is already served by a running instance"));
+        }
+        std::fs::remove_file(sock)
+            .map_err(|e| format!("cannot replace stale socket {path}: {e}"))?;
+    }
+    let listener = std::os::unix::net::UnixListener::bind(sock)
+        .map_err(|e| format!("cannot bind {path}: {e}"))?;
+    let (tx, rx) = mpsc::channel();
+    let stdin_tx = tx.clone();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let _ = dna_serve::pump_stream(&stdin_tx, &mut stdin.lock(), &mut stdout.lock());
+        // Dropping stdin's sender leaves the acceptor's alive: the
+        // server keeps answering socket clients after stdin ends.
+    });
+    std::thread::spawn(move || {
+        let _ = dna_serve::accept_loop(tx, listener);
+    });
+    if !quiet {
+        eprintln!("dna serve: listening on {path}");
+    }
+    dna_serve::run_broker(&mut mgr, rx);
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(not(unix))]
+fn serve_with_socket(_mgr: SessionManager, _path: &str, _quiet: bool) -> Result<ExitCode, String> {
+    Err("--socket requires a unix platform".into())
+}
+
+// ---- query ------------------------------------------------------------
+
+fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["session", "socket"], &[])?;
+    let kind = match args.positionals.as_slice() {
+        ["reach", src, sip, dip, proto, sport, dport] => QueryKind::Reach {
+            src: src.to_string(),
+            flow: Flow {
+                src: sip
+                    .parse()
+                    .map_err(|_| format!("bad source address {sip:?}"))?,
+                dst: dip
+                    .parse()
+                    .map_err(|_| format!("bad destination address {dip:?}"))?,
+                proto: proto
+                    .parse()
+                    .map_err(|_| format!("bad protocol {proto:?}"))?,
+                src_port: sport
+                    .parse()
+                    .map_err(|_| format!("bad source port {sport:?}"))?,
+                dst_port: dport
+                    .parse()
+                    .map_err(|_| format!("bad destination port {dport:?}"))?,
+            },
+        },
+        ["reach-pair", src, dst] => QueryKind::ReachPair {
+            src: src.to_string(),
+            dst: dst.to_string(),
+        },
+        ["blast", last] => QueryKind::Blast {
+            last: last.parse().map_err(|_| format!("bad window {last:?}"))?,
+        },
+        ["report", from, to] => QueryKind::Report {
+            from: from
+                .parse()
+                .map_err(|_| format!("bad range start {from:?}"))?,
+            to: to.parse().map_err(|_| format!("bad range end {to:?}"))?,
+        },
+        ["stats"] => QueryKind::Stats,
+        ["sessions"] => QueryKind::Sessions,
+        [] => return Err("query needs a command (see `dna help`)".into()),
+        other => return Err(format!("bad query command {:?}", other.join(" "))),
+    };
+    let query = Query {
+        session: args.flag("session").map(str::to_string),
+        kind,
+    };
+    let text = write_query(&query);
+    match args.flag("socket") {
+        None => {
+            print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(path) => query_over_socket(path, &text),
+    }
+}
+
+#[cfg(unix)]
+fn query_over_socket(path: &str, text: &str) -> Result<ExitCode, String> {
+    let response = dna_serve::query_socket(std::path::Path::new(path), text)
+        .map_err(|e| format!("cannot query {path}: {e}"))?;
+    print!("{response}");
+    match dna_io::parse_response(&response) {
+        Ok(Response::Error(_)) => Ok(ExitCode::from(2)),
+        Ok(_) => Ok(ExitCode::SUCCESS),
+        Err(e) => Err(format!("malformed response from {path}: {e}")),
+    }
+}
+
+#[cfg(not(unix))]
+fn query_over_socket(_path: &str, _text: &str) -> Result<ExitCode, String> {
+    Err("--socket requires a unix platform".into())
 }
 
 // ---- replay --verify --------------------------------------------------

@@ -1,0 +1,133 @@
+//! Binary-level service test: the real `dna` executable serving a
+//! snapshot over a unix socket — trace ingest on stdin, concurrent
+//! `dna query --socket` clients — exercising the full
+//! process/transport/protocol stack the CI smoke also drives.
+
+#![cfg(unix)]
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DNA: &str = env!("CARGO_BIN_EXE_dna");
+
+fn dna(args: &[&str]) -> std::process::Output {
+    Command::new(DNA)
+        .args(args)
+        .output()
+        .expect("dna binary runs")
+}
+
+fn dna_ok(args: &[&str]) -> String {
+    let out = dna(args);
+    assert!(
+        out.status.success(),
+        "dna {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn serve_over_unix_socket_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("dna-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("ft4.snap.dna");
+    let trace = dir.join("ft4.trace.dna");
+    let sock = dir.join("dna.sock");
+    let sock_s = sock.to_str().unwrap();
+    dna_ok(&[
+        "dump",
+        "--topo",
+        "fat-tree",
+        "--k",
+        "4",
+        "--routing",
+        "ebgp",
+        "--seed",
+        "77",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--epochs",
+        "6",
+        "--scenarios",
+        "link-failure,link-recovery",
+    ]);
+    // Server: session from the snapshot, trace ingest on stdin, socket
+    // for queries. Stdin stays open so ingest ordering is ours to pick.
+    let mut server = Command::new(DNA)
+        .args([
+            "serve",
+            snap.to_str().unwrap(),
+            "--socket",
+            sock_s,
+            "--quiet",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let result = std::panic::catch_unwind(|| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !sock.exists() {
+            assert!(Instant::now() < deadline, "socket never appeared");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Before ingest: zero epochs.
+        let out = dna_ok(&["query", "--socket", sock_s, "stats"]);
+        assert!(out.contains("epochs 0"), "pre-ingest stats: {out}");
+        // A query for a missing session is an error response, exit 2.
+        let missing = dna(&["query", "--socket", sock_s, "--session", "nope", "stats"]);
+        assert_eq!(missing.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&missing.stdout).contains("error"));
+        out
+    });
+    if let Err(e) = result {
+        let _ = server.kill();
+        std::panic::resume_unwind(e);
+    }
+    // Ingest the trace through stdin, then close it; the server must
+    // keep serving socket clients afterwards.
+    {
+        let mut stdin = server.stdin.take().expect("piped stdin");
+        stdin
+            .write_all(&std::fs::read(&trace).unwrap())
+            .expect("trace written");
+    }
+    let result = std::panic::catch_unwind(|| {
+        // Ingest is asynchronous to this client; poll until visible.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let out = dna_ok(&["query", "--socket", sock_s, "stats"]);
+            if out.contains("epochs 6") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest never surfaced: {out}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let reach = dna_ok(&[
+            "query",
+            "--socket",
+            sock_s,
+            "reach-pair",
+            "edge0_0",
+            "edge1_1",
+        ]);
+        assert!(reach.contains("ok reach"), "reach: {reach}");
+        let blast = dna_ok(&["query", "--socket", sock_s, "blast", "6"]);
+        assert!(blast.contains("ok blast"), "blast: {blast}");
+        assert!(blast.contains("window 6"), "blast: {blast}");
+        let report = dna_ok(&["query", "--socket", sock_s, "report", "0", "2"]);
+        assert!(report.contains("ok report"), "report: {report}");
+        assert!(report.contains("epoch 0 label"), "report: {report}");
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}

@@ -47,5 +47,8 @@ pub mod report;
 
 pub use baseline::ScratchDiffer;
 pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, FlowDiff};
-pub use replay::{sorted_flows, EpochOutcome, ReplayMode, ReplaySession};
+pub use replay::{
+    sorted_flows, EpochOutcome, EpochStats, ReplayMode, ReplaySession, ReplayTotals,
+    DEFAULT_STATS_RETENTION,
+};
 pub use report::{classify, render, summarize, FlowChangeKind, Summary};

@@ -8,7 +8,10 @@
 
 use crate::baseline::ScratchDiffer;
 use crate::engine::{BehaviorDiff, DiffEngine, DnaError, FlowDiff};
-use net_model::{ChangeSet, Snapshot};
+use data_plane::Outcome;
+use net_model::{ChangeSet, Flow, Snapshot};
+use std::collections::BTreeSet;
+use std::time::Duration;
 
 /// Which analyzer(s) a [`ReplaySession`] drives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,12 +66,72 @@ pub fn sorted_flows(diff: &BehaviorDiff) -> Vec<FlowDiff> {
     flows
 }
 
+/// Timing and size record of one replayed epoch, kept by the session so
+/// every consumer — the `dna-serve` stats query, the bench harness's E9
+/// table, `dna diff` summaries — reports the *same* numbers from one
+/// code path instead of re-deriving them from discarded outcomes.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// 0-based epoch index within the session.
+    pub index: usize,
+    /// Primitive changes in the epoch's change set.
+    pub changes: usize,
+    /// Route-level deltas reported.
+    pub rib: usize,
+    /// Forwarding-entry deltas reported.
+    pub fib: usize,
+    /// Flow-level reachability diffs reported.
+    pub flows: usize,
+    /// Control-plane stage wall-clock.
+    pub cp_time: Duration,
+    /// Data-plane stage wall-clock.
+    pub dp_time: Duration,
+    /// End-to-end apply wall-clock.
+    pub total_time: Duration,
+    /// Dataflow tuples processed (0 for the from-scratch analyzer).
+    pub cp_tuples: usize,
+    /// Packet classes recomputed (0 for the from-scratch analyzer).
+    pub dirty_classes: usize,
+}
+
+/// Session-cumulative view of the per-epoch records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayTotals {
+    /// Epochs replayed.
+    pub epochs: usize,
+    /// Primitive changes applied.
+    pub changes: usize,
+    /// Route-level deltas reported.
+    pub rib: usize,
+    /// Forwarding-entry deltas reported.
+    pub fib: usize,
+    /// Flow-level reachability diffs reported.
+    pub flows: usize,
+    /// Cumulative control-plane stage time.
+    pub cp_time: Duration,
+    /// Cumulative data-plane stage time.
+    pub dp_time: Duration,
+    /// Cumulative end-to-end apply time.
+    pub total_time: Duration,
+}
+
 /// A stateful replay of a change stream over a base snapshot.
 pub struct ReplaySession {
     engine: Option<DiffEngine>,
     scratch: Option<ScratchDiffer>,
-    steps: usize,
+    /// Recent per-epoch records, bounded by `stats_retain` so unbounded
+    /// streams (a long-running `dna-serve` daemon) hold constant memory.
+    stats: std::collections::VecDeque<EpochStats>,
+    stats_retain: usize,
+    epochs: usize,
+    totals: ReplayTotals,
 }
+
+/// Per-epoch records kept by default; history queries needing more can
+/// raise it via [`ReplaySession::set_stats_retention`]. Cumulative
+/// [`ReplaySession::totals`] are unaffected — they are maintained
+/// incrementally over *every* epoch ever replayed.
+pub const DEFAULT_STATS_RETENTION: usize = 4096;
 
 impl ReplaySession {
     /// Builds the session, initializing the selected analyzer(s) on the
@@ -86,7 +149,10 @@ impl ReplaySession {
         Ok(ReplaySession {
             engine,
             scratch,
-            steps: 0,
+            stats: std::collections::VecDeque::new(),
+            stats_retain: DEFAULT_STATS_RETENTION,
+            epochs: 0,
+            totals: ReplayTotals::default(),
         })
     }
 
@@ -101,23 +167,115 @@ impl ReplaySession {
 
     /// Number of epochs replayed so far.
     pub fn epochs_replayed(&self) -> usize {
-        self.steps
+        self.epochs
     }
 
-    /// Applies one epoch to every active analyzer.
+    /// The retained per-epoch timing and size records, oldest first
+    /// (each carries its absolute `index`). Timings come from the
+    /// differential analyzer when it runs, else from the from-scratch
+    /// baseline. Bounded — see [`ReplaySession::set_stats_retention`].
+    pub fn epoch_stats(&self) -> impl Iterator<Item = &EpochStats> {
+        self.stats.iter()
+    }
+
+    /// Bounds the per-epoch record window (the cumulative totals keep
+    /// counting regardless). Trims immediately if over the new bound.
+    pub fn set_stats_retention(&mut self, retain: usize) {
+        self.stats_retain = retain.max(1);
+        while self.stats.len() > self.stats_retain {
+            self.stats.pop_front();
+        }
+    }
+
+    /// Session-cumulative totals over every epoch ever replayed,
+    /// maintained incrementally (O(1) regardless of stream length).
+    pub fn totals(&self) -> ReplayTotals {
+        self.totals
+    }
+
+    /// Outcomes of a concrete flow injected at `src` on the *current*
+    /// state, answered incrementally by the differential engine. `None`
+    /// in [`ReplayMode::Scratch`] — the baseline has no live data plane,
+    /// and answering would mean a from-scratch re-simulation, exactly
+    /// what the query path must never do.
+    pub fn query(&self, src: &str, flow: &Flow) -> Option<BTreeSet<Outcome>> {
+        self.engine.as_ref().map(|e| e.query(src, flow))
+    }
+
+    /// The live differential engine, when this session drives one. Gives
+    /// long-running front-ends (e.g. `dna-serve`) access to the richer
+    /// incremental query surface — state sizes, class counts, probe
+    /// flows — without re-deriving any of it from scratch.
+    pub fn engine(&self) -> Option<&DiffEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Applies one epoch to every active analyzer. Atomic across
+    /// analyzers: on error, neither the live engine nor the shadow has
+    /// advanced, so session state never diverges from recorded history.
     pub fn step(&mut self, changes: &ChangeSet) -> Result<EpochOutcome, DnaError> {
-        let differential = self.engine.as_mut().map(|e| e.apply(changes)).transpose()?;
+        // Scratch first — its `apply` mutates nothing on failure, and if
+        // the differential stage then fails the shadow is restored from
+        // its (snapshot-only, cheap to save) state. Applying the engine
+        // first would be unsound the other way: `DiffEngine` has no
+        // rollback, so a later shadow failure would leave the live
+        // engine one epoch ahead of everything the session recorded.
+        // The insurance copy is only needed when a later engine failure
+        // could strand an advanced shadow — i.e. when both analyzers run.
+        let shadow_state = if self.engine.is_some() {
+            self.scratch.as_ref().map(|s| s.snapshot().clone())
+        } else {
+            None
+        };
         let scratch = self
             .scratch
             .as_mut()
             .map(|s| s.apply(changes))
             .transpose()?;
+        let differential = match self.engine.as_mut().map(|e| e.apply(changes)).transpose() {
+            Ok(d) => d,
+            Err(e) => {
+                if let (Some(snap), Some(slot)) = (shadow_state, self.scratch.as_mut()) {
+                    // The state was the shadow's own pre-epoch snapshot,
+                    // so rebuilding from it cannot fail in practice; if
+                    // it somehow does, the original error still stands.
+                    if let Ok(restored) = ScratchDiffer::new(snap) {
+                        *slot = restored;
+                    }
+                }
+                return Err(e);
+            }
+        };
         let outcome = EpochOutcome {
-            index: self.steps,
+            index: self.epochs,
             differential,
             scratch,
         };
-        self.steps += 1;
+        let primary = outcome.primary();
+        self.totals.epochs += 1;
+        self.totals.changes += changes.len();
+        self.totals.rib += primary.rib.len();
+        self.totals.fib += primary.fib.len();
+        self.totals.flows += primary.flows.len();
+        self.totals.cp_time += primary.stats.cp_time;
+        self.totals.dp_time += primary.stats.dp_time;
+        self.totals.total_time += primary.stats.total_time;
+        self.stats.push_back(EpochStats {
+            index: outcome.index,
+            changes: changes.len(),
+            rib: primary.rib.len(),
+            fib: primary.fib.len(),
+            flows: primary.flows.len(),
+            cp_time: primary.stats.cp_time,
+            dp_time: primary.stats.dp_time,
+            total_time: primary.stats.total_time,
+            cp_tuples: primary.stats.cp_tuples,
+            dirty_classes: primary.stats.dirty_classes,
+        });
+        while self.stats.len() > self.stats_retain {
+            self.stats.pop_front();
+        }
+        self.epochs += 1;
         Ok(outcome)
     }
 
@@ -200,6 +358,62 @@ mod tests {
         assert!(out.differential.is_none() && out.scratch.is_some());
         assert!(!out.primary().is_noop());
         assert_eq!(scratch_only.snapshot().up_links().count(), 0);
+    }
+
+    #[test]
+    fn epoch_stats_accumulate_and_queries_are_live() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let lan2 = Flow::tcp_to(net_model::ip("192.168.2.1"), 80);
+        let mut session = ReplaySession::new(snap, ReplayMode::Both).unwrap();
+        let before = session.query("r1", &lan2).expect("differential runs");
+        assert!(!before.is_empty());
+        let out = session
+            .step(&ChangeSet::single(Change::LinkDown(link)))
+            .unwrap();
+        // The stats record mirrors the outcome the same step returned.
+        let stats: Vec<_> = session.epoch_stats().cloned().collect();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].index, 0);
+        assert_eq!(stats[0].changes, 1);
+        assert_eq!(stats[0].flows, out.primary().flows.len());
+        assert_eq!(stats[0].rib, out.primary().rib.len());
+        assert!(stats[0].total_time >= stats[0].cp_time);
+        let t = session.totals();
+        assert_eq!(t.epochs, 1);
+        assert_eq!(t.flows, stats[0].flows);
+        assert!(t.total_time >= t.cp_time);
+        // The query path tracks the evolving state without recompute.
+        let after = session.query("r1", &lan2).expect("differential runs");
+        assert_ne!(before, after, "link failure must change the answer");
+        // Scratch-only sessions refuse live queries by construction.
+        let scratch_only = ReplaySession::new(two_routers(), ReplayMode::Scratch).unwrap();
+        assert!(scratch_only.query("r1", &lan2).is_none());
+    }
+
+    #[test]
+    fn stats_retention_bounds_records_but_not_totals() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let mut session = ReplaySession::new(snap, ReplayMode::Differential).unwrap();
+        session.set_stats_retention(2);
+        for i in 0..5 {
+            let ch = if i % 2 == 0 {
+                Change::LinkDown(link.clone())
+            } else {
+                Change::LinkUp(link.clone())
+            };
+            session.step(&ChangeSet::single(ch)).unwrap();
+        }
+        // Only the freshest records are retained, with absolute indices;
+        // the cumulative view still covers the full stream.
+        assert_eq!(
+            session.epoch_stats().map(|s| s.index).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(session.epochs_replayed(), 5);
+        assert_eq!(session.totals().epochs, 5);
+        assert!(session.totals().flows > 0);
     }
 
     #[test]

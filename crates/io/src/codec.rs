@@ -72,6 +72,8 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         "snapshot" => Artifact::Snapshot,
         "trace" => Artifact::Trace,
         "report" => Artifact::Report,
+        "query" => Artifact::Query,
+        "response" => Artifact::Response,
         other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
     };
     c.finish()?;

@@ -25,6 +25,7 @@
 mod codec;
 mod error;
 mod lex;
+mod proto;
 mod report;
 mod snapshot;
 mod trace;
@@ -33,6 +34,10 @@ use std::fmt;
 
 pub use codec::FORMAT_VERSION;
 pub use error::IoError;
+pub use proto::{
+    parse_query, parse_response, write_query, write_response, Query, QueryKind, Response,
+    ServiceStats, SessionInfo,
+};
 pub use report::{parse_report, write_report, EpochDiff, Report};
 pub use snapshot::{parse_snapshot, write_snapshot};
 pub use trace::{parse_trace, write_trace, Trace, TraceEpoch};
@@ -46,7 +51,20 @@ pub enum Artifact {
     Trace,
     /// Per-epoch behavior diffs.
     Report,
+    /// A service request (`dna query` → `dna serve`).
+    Query,
+    /// A service reply (`dna serve` → `dna query`).
+    Response,
 }
+
+/// Every artifact kind, in a stable order (used by [`sniff`]).
+pub const ALL_ARTIFACTS: &[Artifact] = &[
+    Artifact::Snapshot,
+    Artifact::Trace,
+    Artifact::Report,
+    Artifact::Query,
+    Artifact::Response,
+];
 
 impl fmt::Display for Artifact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -54,6 +72,8 @@ impl fmt::Display for Artifact {
             Artifact::Snapshot => "snapshot",
             Artifact::Trace => "trace",
             Artifact::Report => "report",
+            Artifact::Query => "query",
+            Artifact::Response => "response",
         };
         write!(f, "{s}")
     }
@@ -62,14 +82,14 @@ impl fmt::Display for Artifact {
 /// Reads the header of any artifact without parsing the body: returns the
 /// declared `(version, kind)`. Useful for dispatch and error messages.
 pub fn sniff(text: &str) -> Result<(u32, Artifact), IoError> {
-    for artifact in [Artifact::Snapshot, Artifact::Trace, Artifact::Report] {
+    for &artifact in ALL_ARTIFACTS {
         match codec::parse_header(text, artifact) {
             Ok(_) => return Ok((FORMAT_VERSION, artifact)),
             Err(IoError::WrongArtifact { .. }) => continue,
             Err(e) => return Err(e),
         }
     }
-    unreachable!("parse_header matches one of the three artifacts or errors")
+    unreachable!("parse_header matches one of the artifact kinds or errors")
 }
 
 #[cfg(test)]

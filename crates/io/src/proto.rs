@@ -1,0 +1,825 @@
+//! The `query` and `response` artifacts: the request/reply protocol the
+//! `dna-serve` service speaks over a line-oriented transport (stdio pipe
+//! or unix socket).
+//!
+//! A query targets one named session of a running server and asks one
+//! question: concrete-flow or endpoint-pair reachability on the *current*
+//! (incrementally maintained) state, the blast radius of the last N
+//! ingested epochs, a stored diff-report range, session statistics, or
+//! the session list. A response is either `error "…"` or `ok <kind>` with
+//! a kind-specific payload. Both artifacts carry the same envelope,
+//! round-trip and never-panic guarantees as snapshots, traces and
+//! reports (see `crates/io/FORMAT.md`).
+
+use crate::codec::{parse_header, W};
+use crate::error::{perr, IoError};
+use crate::lex::{quote, Cursor};
+use crate::report::{write_epoch, EpochDiff, EpochsParser, IndexRule};
+use crate::Artifact;
+use data_plane::Outcome;
+use net_model::Flow;
+use std::collections::BTreeSet;
+
+/// One service request: a question against one named session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Target session; `None` addresses the server's default session.
+    pub session: Option<String>,
+    /// The question.
+    pub kind: QueryKind,
+}
+
+/// The questions the service answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Outcomes of a concrete flow injected at `src`, on current state.
+    Reach {
+        /// Source device.
+        src: String,
+        /// The packet to trace.
+        flow: Flow,
+    },
+    /// Reachability between an endpoint pair: the server resolves `dst`
+    /// to its canonical address (lowest-named interface) and traces a
+    /// representative TCP flow from `src`.
+    ReachPair {
+        /// Source device.
+        src: String,
+        /// Destination device.
+        dst: String,
+    },
+    /// Per-device flow-impact counts over the last `last` ingested epochs.
+    Blast {
+        /// Window size in epochs (clamped to the retained history).
+        last: usize,
+    },
+    /// Stored behavior-diff reports for epochs `from..to` (half-open,
+    /// absolute indices; clamped to the retained history).
+    Report {
+        /// First epoch index requested.
+        from: usize,
+        /// One past the last epoch index requested.
+        to: usize,
+    },
+    /// Ingest counters, engine state sizes and cumulative stage timings.
+    Stats,
+    /// The server's session list.
+    Sessions,
+}
+
+/// Session statistics (the `ok stats` payload). Counter fields are exact
+/// and deterministic for a given snapshot + trace; the `*_us` cumulative
+/// stage timings are wall-clock and vary run to run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Session name.
+    pub session: String,
+    /// Epochs ingested since the session opened.
+    pub epochs: u64,
+    /// Epochs currently retained in history.
+    pub retained: u64,
+    /// Absolute index of the oldest retained epoch.
+    pub retained_from: u64,
+    /// Devices in the current snapshot.
+    pub devices: u64,
+    /// Links in the current snapshot.
+    pub links: u64,
+    /// Live packet equivalence classes.
+    pub classes: u64,
+    /// Tuples held by the differential control-plane engine.
+    pub tuples: u64,
+    /// Cumulative flow diffs across all ingested epochs.
+    pub flows: u64,
+    /// Epochs on which the verification shadow disagreed (0 without
+    /// `--verify`).
+    pub mismatches: u64,
+    /// Cumulative control-plane stage time, microseconds.
+    pub cp_us: u64,
+    /// Cumulative data-plane stage time, microseconds.
+    pub dp_us: u64,
+    /// Cumulative end-to-end apply time, microseconds.
+    pub total_us: u64,
+}
+
+/// One row of the `ok sessions` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// Epochs ingested.
+    pub epochs: u64,
+    /// Devices in the session's current snapshot.
+    pub devices: u64,
+    /// Whether a from-scratch verification shadow is attached.
+    pub verify: bool,
+}
+
+/// One service reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed (unknown session, bad range, parse error, ...).
+    Error(String),
+    /// A snapshot artifact (re)loaded a session.
+    Loaded {
+        /// Session that was (re)created.
+        session: String,
+        /// Devices in the loaded snapshot.
+        devices: u64,
+        /// Links in the loaded snapshot.
+        links: u64,
+    },
+    /// A trace artifact was ingested incrementally.
+    Ingested {
+        /// Session that absorbed the epochs.
+        session: String,
+        /// Epochs applied from this artifact.
+        epochs: u64,
+        /// Flow diffs those epochs produced.
+        flows: u64,
+        /// Session epoch count after ingest.
+        total: u64,
+    },
+    /// Answer to [`QueryKind::Reach`] / [`QueryKind::ReachPair`].
+    Reach {
+        /// Outcome set of the traced flow.
+        outcomes: BTreeSet<Outcome>,
+    },
+    /// Answer to [`QueryKind::Blast`].
+    Blast {
+        /// Epochs actually covered (window clamped to history).
+        epochs: u64,
+        /// Total flow diffs in the window.
+        flows: u64,
+        /// Per-source-device flow-diff counts, name-sorted.
+        devices: Vec<(String, u64)>,
+    },
+    /// Answer to [`QueryKind::Report`]: retained epochs of the range,
+    /// under absolute indices.
+    Report {
+        /// `(absolute index, diff)` pairs, index-ascending.
+        epochs: Vec<(usize, EpochDiff)>,
+    },
+    /// Answer to [`QueryKind::Stats`].
+    Stats(ServiceStats),
+    /// Answer to [`QueryKind::Sessions`], name-sorted.
+    Sessions(Vec<SessionInfo>),
+}
+
+// ---- write ------------------------------------------------------------
+
+/// Serializes a query.
+pub fn write_query(q: &Query) -> String {
+    let mut w = W::new(Artifact::Query);
+    if let Some(s) = &q.session {
+        w.line(1, &format!("session {}", quote(s)));
+    }
+    let line = match &q.kind {
+        QueryKind::Reach { src, flow } => format!(
+            "reach {} {} {} {} {} {}",
+            quote(src),
+            flow.src,
+            flow.dst,
+            flow.proto,
+            flow.src_port,
+            flow.dst_port
+        ),
+        QueryKind::ReachPair { src, dst } => {
+            format!("reach-pair {} {}", quote(src), quote(dst))
+        }
+        QueryKind::Blast { last } => format!("blast {last}"),
+        QueryKind::Report { from, to } => format!("report {from} {to}"),
+        QueryKind::Stats => "stats".into(),
+        QueryKind::Sessions => "sessions".into(),
+    };
+    w.line(1, &line);
+    w.finish()
+}
+
+/// Serializes a response.
+pub fn write_response(r: &Response) -> String {
+    use crate::codec::fmt_outcomes;
+    let mut w = W::new(Artifact::Response);
+    match r {
+        Response::Error(msg) => w.line(0, &format!("error {}", quote(msg))),
+        Response::Loaded {
+            session,
+            devices,
+            links,
+        } => {
+            w.line(0, "ok loaded");
+            w.line(
+                1,
+                &format!("session {} devices {devices} links {links}", quote(session)),
+            );
+        }
+        Response::Ingested {
+            session,
+            epochs,
+            flows,
+            total,
+        } => {
+            w.line(0, "ok ingested");
+            w.line(
+                1,
+                &format!(
+                    "session {} epochs {epochs} flows {flows} total {total}",
+                    quote(session)
+                ),
+            );
+        }
+        Response::Reach { outcomes } => {
+            w.line(0, "ok reach");
+            w.line(1, &format!("outcomes {}", fmt_outcomes(outcomes.iter())));
+        }
+        Response::Blast {
+            epochs,
+            flows,
+            devices,
+        } => {
+            w.line(0, "ok blast");
+            w.line(1, &format!("window {epochs} flows {flows}"));
+            for (d, n) in devices {
+                w.line(1, &format!("device {} flows {n}", quote(d)));
+            }
+        }
+        Response::Report { epochs } => {
+            w.line(0, "ok report");
+            for (i, ep) in epochs {
+                write_epoch(&mut w, *i, ep);
+            }
+        }
+        Response::Stats(s) => {
+            w.line(0, "ok stats");
+            w.line(
+                1,
+                &format!(
+                    "session {} epochs {} retained {} from {}",
+                    quote(&s.session),
+                    s.epochs,
+                    s.retained,
+                    s.retained_from
+                ),
+            );
+            w.line(
+                1,
+                &format!("topology devices {} links {}", s.devices, s.links),
+            );
+            w.line(
+                1,
+                &format!("state classes {} tuples {}", s.classes, s.tuples),
+            );
+            w.line(
+                1,
+                &format!("work flows {} mismatches {}", s.flows, s.mismatches),
+            );
+            w.line(
+                1,
+                &format!(
+                    "time cp-us {} dp-us {} total-us {}",
+                    s.cp_us, s.dp_us, s.total_us
+                ),
+            );
+        }
+        Response::Sessions(list) => {
+            w.line(0, "ok sessions");
+            for s in list {
+                w.line(
+                    1,
+                    &format!(
+                        "session {} epochs {} devices {} verify {}",
+                        quote(&s.name),
+                        s.epochs,
+                        s.devices,
+                        if s.verify { "on" } else { "off" }
+                    ),
+                );
+            }
+        }
+    }
+    w.finish()
+}
+
+// ---- parse ------------------------------------------------------------
+
+/// Parses a query artifact (requires the `end` sentinel).
+pub fn parse_query(text: &str) -> Result<Query, IoError> {
+    let mut lines = parse_header(text, Artifact::Query)?;
+    let mut session: Option<String> = None;
+    let mut kind: Option<QueryKind> = None;
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return match kind {
+                    Some(kind) => Ok(Query { session, kind }),
+                    None => Err(IoError::Truncated {
+                        expected: "a query command before the end sentinel".into(),
+                    }),
+                };
+            }
+            "session" => {
+                if session.is_some() {
+                    return Err(perr(c.line, "duplicate session line"));
+                }
+                if kind.is_some() {
+                    return Err(perr(c.line, "session line must precede the command"));
+                }
+                session = Some(c.string("session name")?);
+            }
+            cmd => {
+                if kind.is_some() {
+                    return Err(perr(c.line, "a query carries exactly one command"));
+                }
+                kind = Some(parse_query_kind(cmd, &mut c)?);
+            }
+        }
+        c.finish()?;
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the query artifact".into(),
+    })
+}
+
+fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
+    match cmd {
+        "reach" => Ok(QueryKind::Reach {
+            src: c.string("source device")?,
+            flow: Flow {
+                src: c.ip("flow source address")?,
+                dst: c.ip("flow destination address")?,
+                proto: c.parse("flow protocol")?,
+                src_port: c.parse("flow source port")?,
+                dst_port: c.parse("flow destination port")?,
+            },
+        }),
+        "reach-pair" => Ok(QueryKind::ReachPair {
+            src: c.string("source device")?,
+            dst: c.string("destination device")?,
+        }),
+        "blast" => Ok(QueryKind::Blast {
+            last: c.parse("window size")?,
+        }),
+        "report" => Ok(QueryKind::Report {
+            from: c.parse("range start")?,
+            to: c.parse("range end")?,
+        }),
+        "stats" => Ok(QueryKind::Stats),
+        "sessions" => Ok(QueryKind::Sessions),
+        other => Err(perr(c.line, format!("unknown query command {other:?}"))),
+    }
+}
+
+/// Parses a response artifact (requires the `end` sentinel).
+pub fn parse_response(text: &str) -> Result<Response, IoError> {
+    use crate::codec::parse_outcomes;
+    let mut lines = parse_header(text, Artifact::Response)?;
+    let Some(mut c) = lines.next_cursor()? else {
+        return Err(IoError::Truncated {
+            expected: "a response status line".into(),
+        });
+    };
+    let kw = c.word("keyword")?;
+    match kw.as_str() {
+        "error" => {
+            let msg = c.string("error message")?;
+            c.finish()?;
+            expect_end(&mut lines)?;
+            Ok(Response::Error(msg))
+        }
+        "ok" => {
+            let kind = c.word("response kind")?;
+            let kind_line = c.line;
+            c.finish()?;
+            match kind.as_str() {
+                "loaded" => {
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("session")?;
+                    let session = c.string("session name")?;
+                    c.expect("devices")?;
+                    let devices = c.parse("device count")?;
+                    c.expect("links")?;
+                    let links = c.parse("link count")?;
+                    c.finish()?;
+                    expect_end(&mut lines)?;
+                    Ok(Response::Loaded {
+                        session,
+                        devices,
+                        links,
+                    })
+                }
+                "ingested" => {
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("session")?;
+                    let session = c.string("session name")?;
+                    c.expect("epochs")?;
+                    let epochs = c.parse("epoch count")?;
+                    c.expect("flows")?;
+                    let flows = c.parse("flow count")?;
+                    c.expect("total")?;
+                    let total = c.parse("total epoch count")?;
+                    c.finish()?;
+                    expect_end(&mut lines)?;
+                    Ok(Response::Ingested {
+                        session,
+                        epochs,
+                        flows,
+                        total,
+                    })
+                }
+                "reach" => {
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("outcomes")?;
+                    let outcomes = parse_outcomes(&mut c)?;
+                    c.finish()?;
+                    expect_end(&mut lines)?;
+                    Ok(Response::Reach { outcomes })
+                }
+                "blast" => {
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("window")?;
+                    let epochs = c.parse("window size")?;
+                    c.expect("flows")?;
+                    let flows = c.parse("flow count")?;
+                    c.finish()?;
+                    let mut devices = Vec::new();
+                    loop {
+                        let Some(mut c) = lines.next_cursor()? else {
+                            return Err(IoError::Truncated {
+                                expected: "end sentinel of the response artifact".into(),
+                            });
+                        };
+                        let kw = c.word("keyword")?;
+                        if kw == "end" {
+                            c.finish()?;
+                            expect_none(&mut lines)?;
+                            return Ok(Response::Blast {
+                                epochs,
+                                flows,
+                                devices,
+                            });
+                        }
+                        if kw != "device" {
+                            return Err(perr(
+                                c.line,
+                                format!("expected device lines or end, found {kw:?}"),
+                            ));
+                        }
+                        let d = c.string("device")?;
+                        c.expect("flows")?;
+                        let n = c.parse("flow count")?;
+                        if let Some((prev, _)) = devices.last() {
+                            if *prev >= d {
+                                return Err(perr(c.line, "device lines must be name-sorted"));
+                            }
+                        }
+                        devices.push((d, n));
+                        c.finish()?;
+                    }
+                }
+                "report" => {
+                    let mut epochs = EpochsParser::new(IndexRule::StrictlyIncreasing);
+                    loop {
+                        let Some(mut c) = lines.next_cursor()? else {
+                            return Err(IoError::Truncated {
+                                expected: "end sentinel of the response artifact".into(),
+                            });
+                        };
+                        let kw = c.word("keyword")?;
+                        if kw == "end" {
+                            c.finish()?;
+                            expect_none(&mut lines)?;
+                            return Ok(Response::Report {
+                                epochs: epochs.finish()?,
+                            });
+                        }
+                        if !epochs.try_line(&kw, &mut c)? {
+                            return Err(perr(
+                                c.line,
+                                format!("unknown report payload keyword {kw:?}"),
+                            ));
+                        }
+                        c.finish()?;
+                    }
+                }
+                "stats" => {
+                    let mut s = ServiceStats::default();
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("session")?;
+                    s.session = c.string("session name")?;
+                    c.expect("epochs")?;
+                    s.epochs = c.parse("epoch count")?;
+                    c.expect("retained")?;
+                    s.retained = c.parse("retained count")?;
+                    c.expect("from")?;
+                    s.retained_from = c.parse("oldest retained index")?;
+                    c.finish()?;
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("topology")?;
+                    c.expect("devices")?;
+                    s.devices = c.parse("device count")?;
+                    c.expect("links")?;
+                    s.links = c.parse("link count")?;
+                    c.finish()?;
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("state")?;
+                    c.expect("classes")?;
+                    s.classes = c.parse("class count")?;
+                    c.expect("tuples")?;
+                    s.tuples = c.parse("tuple count")?;
+                    c.finish()?;
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("work")?;
+                    c.expect("flows")?;
+                    s.flows = c.parse("flow count")?;
+                    c.expect("mismatches")?;
+                    s.mismatches = c.parse("mismatch count")?;
+                    c.finish()?;
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("time")?;
+                    c.expect("cp-us")?;
+                    s.cp_us = c.parse("cp microseconds")?;
+                    c.expect("dp-us")?;
+                    s.dp_us = c.parse("dp microseconds")?;
+                    c.expect("total-us")?;
+                    s.total_us = c.parse("total microseconds")?;
+                    c.finish()?;
+                    expect_end(&mut lines)?;
+                    Ok(Response::Stats(s))
+                }
+                "sessions" => {
+                    let mut list: Vec<SessionInfo> = Vec::new();
+                    loop {
+                        let Some(mut c) = lines.next_cursor()? else {
+                            return Err(IoError::Truncated {
+                                expected: "end sentinel of the response artifact".into(),
+                            });
+                        };
+                        let kw = c.word("keyword")?;
+                        if kw == "end" {
+                            c.finish()?;
+                            expect_none(&mut lines)?;
+                            return Ok(Response::Sessions(list));
+                        }
+                        if kw != "session" {
+                            return Err(perr(
+                                c.line,
+                                format!("expected session lines or end, found {kw:?}"),
+                            ));
+                        }
+                        let name = c.string("session name")?;
+                        c.expect("epochs")?;
+                        let epochs = c.parse("epoch count")?;
+                        c.expect("devices")?;
+                        let devices = c.parse("device count")?;
+                        c.expect("verify")?;
+                        let verify = match c.word("on|off")?.as_str() {
+                            "on" => true,
+                            "off" => false,
+                            other => {
+                                return Err(perr(
+                                    c.line,
+                                    format!("expected on|off, found {other:?}"),
+                                ))
+                            }
+                        };
+                        if let Some(prev) = list.last() {
+                            if prev.name >= name {
+                                return Err(perr(c.line, "session lines must be name-sorted"));
+                            }
+                        }
+                        list.push(SessionInfo {
+                            name,
+                            epochs,
+                            devices,
+                            verify,
+                        });
+                        c.finish()?;
+                    }
+                }
+                other => Err(perr(kind_line, format!("unknown response kind {other:?}"))),
+            }
+        }
+        other => Err(perr(
+            c.line,
+            format!("expected error or ok, found {other:?}"),
+        )),
+    }
+}
+
+/// Next line of a fixed-shape payload (truncation mid-payload is typed).
+fn payload_line(lines: &mut crate::lex::Lines<'_>) -> Result<Cursor, IoError> {
+    lines.next_cursor()?.ok_or_else(|| IoError::Truncated {
+        expected: "a response payload line".into(),
+    })
+}
+
+/// Requires the `end` sentinel next, then end of input.
+fn expect_end(lines: &mut crate::lex::Lines<'_>) -> Result<(), IoError> {
+    let Some(mut c) = lines.next_cursor()? else {
+        return Err(IoError::Truncated {
+            expected: "end sentinel of the response artifact".into(),
+        });
+    };
+    c.expect("end")?;
+    c.finish()?;
+    expect_none(lines)
+}
+
+/// Requires end of input (nothing after the sentinel).
+fn expect_none(lines: &mut crate::lex::Lines<'_>) -> Result<(), IoError> {
+    if let Some(c) = lines.next_cursor()? {
+        return Err(perr(c.line, "content after end sentinel"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::ip;
+
+    fn roundtrip_query(q: &Query) {
+        let text = write_query(q);
+        let back = parse_query(&text).expect("query parses");
+        assert_eq!(&back, q);
+        assert_eq!(write_query(&back), text);
+    }
+
+    fn roundtrip_response(r: &Response) {
+        let text = write_response(r);
+        let back = parse_response(&text).expect("response parses");
+        assert_eq!(&back, r);
+        assert_eq!(write_response(&back), text);
+    }
+
+    #[test]
+    fn queries_round_trip() {
+        for kind in [
+            QueryKind::Reach {
+                src: "edge0_0".into(),
+                flow: Flow {
+                    src: ip("10.0.0.1"),
+                    dst: ip("10.1.2.3"),
+                    proto: 6,
+                    src_port: 12345,
+                    dst_port: 80,
+                },
+            },
+            QueryKind::ReachPair {
+                src: "edge 0".into(),
+                dst: "co\"re".into(),
+            },
+            QueryKind::Blast { last: 16 },
+            QueryKind::Report { from: 3, to: 9 },
+            QueryKind::Stats,
+            QueryKind::Sessions,
+        ] {
+            roundtrip_query(&Query {
+                session: None,
+                kind: kind.clone(),
+            });
+            roundtrip_query(&Query {
+                session: Some("scenario a\n".into()),
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_response(&Response::Error("no such session \"x\"".into()));
+        roundtrip_response(&Response::Loaded {
+            session: "main".into(),
+            devices: 45,
+            links: 162,
+        });
+        roundtrip_response(&Response::Ingested {
+            session: "main".into(),
+            epochs: 12,
+            flows: 7,
+            total: 76,
+        });
+        roundtrip_response(&Response::Reach {
+            outcomes: BTreeSet::new(),
+        });
+        roundtrip_response(&Response::Reach {
+            outcomes: [
+                Outcome::Delivered("edge1_1".into()),
+                Outcome::Filtered("agg 0".into()),
+                Outcome::Loop,
+            ]
+            .into_iter()
+            .collect(),
+        });
+        roundtrip_response(&Response::Blast {
+            epochs: 8,
+            flows: 21,
+            devices: vec![("agg0_0".into(), 13), ("edge0_0".into(), 8)],
+        });
+        roundtrip_response(&Response::Report {
+            epochs: vec![
+                (
+                    4,
+                    EpochDiff {
+                        label: Some("link-failure".into()),
+                        ..Default::default()
+                    },
+                ),
+                (6, EpochDiff::default()),
+            ],
+        });
+        roundtrip_response(&Response::Stats(ServiceStats {
+            session: "main".into(),
+            epochs: 64,
+            retained: 32,
+            retained_from: 32,
+            devices: 45,
+            links: 162,
+            classes: 127,
+            tuples: 30276,
+            flows: 211,
+            mismatches: 0,
+            cp_us: 120_000,
+            dp_us: 40_000,
+            total_us: 161_000,
+        }));
+        roundtrip_response(&Response::Sessions(vec![
+            SessionInfo {
+                name: "a".into(),
+                epochs: 2,
+                devices: 20,
+                verify: true,
+            },
+            SessionInfo {
+                name: "b".into(),
+                epochs: 0,
+                devices: 45,
+                verify: false,
+            },
+        ]));
+    }
+
+    #[test]
+    fn malformed_queries_are_typed_errors() {
+        assert!(matches!(
+            parse_query("dna-io v1 query\nend\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v1 query\n  stats\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v1 query\n  stats\n  sessions\nend\n"),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v1 query\n  stats\n  session \"x\"\nend\n"),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v1 query\n  frobnicate\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v1 response\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        assert!(matches!(
+            parse_response("dna-io v1 response\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_response("dna-io v1 response\nok reach\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_response("dna-io v1 response\nok blast\n  window 1 flows 0\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_response("dna-io v1 response\nok nonsense\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // Unsorted payload rows are rejected (the encoding is canonical).
+        let unsorted = "dna-io v1 response\nok blast\n  window 1 flows 2\n  device \"b\" flows 1\n  device \"a\" flows 1\nend\n";
+        assert!(matches!(
+            parse_response(unsorted),
+            Err(IoError::Parse { line: 5, .. })
+        ));
+        // Out-of-order report payload epochs are rejected.
+        let bad = "dna-io v1 response\nok report\nepoch 5\nepoch 3\nend\n";
+        assert!(matches!(
+            parse_response(bad),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+    }
+}

@@ -69,37 +69,44 @@ pub struct Report {
 pub fn write_report(report: &Report) -> String {
     let mut w = W::new(Artifact::Report);
     for (i, ep) in report.epochs.iter().enumerate() {
-        match &ep.label {
-            None => w.line(0, &format!("epoch {i}")),
-            Some(l) => w.line(0, &format!("epoch {i} label {}", quote(l))),
-        }
-        for (e, d) in &ep.rib {
-            w.line(1, &format!("rib {d:+} {}", fmt_rib_entry(e)));
-        }
-        for (e, d) in &ep.fib {
-            w.line(1, &format!("fib {d:+} {}", fmt_fib_entry(e)));
-        }
-        for f in &ep.flows {
-            w.line(
-                1,
-                &format!(
-                    "flow {} example {} {} {} {} {}",
-                    quote(&f.src),
-                    f.example.src,
-                    f.example.dst,
-                    f.example.proto,
-                    f.example.src_port,
-                    f.example.dst_port
-                ),
-            );
-            for h in &f.headers {
-                w.line(2, &format!("header {}", quote(h)));
-            }
-            w.line(2, &format!("before {}", fmt_outcomes(f.before.iter())));
-            w.line(2, &format!("after {}", fmt_outcomes(f.after.iter())));
-        }
+        write_epoch(&mut w, i, ep);
     }
     w.finish()
+}
+
+/// Emits one epoch block (`epoch <index>` plus its rib/fib/flow lines).
+/// Shared by the report artifact and the `ok report` response payload,
+/// which carries the same grammar under absolute epoch indices.
+pub(crate) fn write_epoch(w: &mut W, index: usize, ep: &EpochDiff) {
+    match &ep.label {
+        None => w.line(0, &format!("epoch {index}")),
+        Some(l) => w.line(0, &format!("epoch {index} label {}", quote(l))),
+    }
+    for (e, d) in &ep.rib {
+        w.line(1, &format!("rib {d:+} {}", fmt_rib_entry(e)));
+    }
+    for (e, d) in &ep.fib {
+        w.line(1, &format!("fib {d:+} {}", fmt_fib_entry(e)));
+    }
+    for f in &ep.flows {
+        w.line(
+            1,
+            &format!(
+                "flow {} example {} {} {} {} {}",
+                quote(&f.src),
+                f.example.src,
+                f.example.dst,
+                f.example.proto,
+                f.example.src_port,
+                f.example.dst_port
+            ),
+        );
+        for h in &f.headers {
+            w.line(2, &format!("header {}", quote(h)));
+        }
+        w.line(2, &format!("before {}", fmt_outcomes(f.before.iter())));
+        w.line(2, &format!("after {}", fmt_outcomes(f.after.iter())));
+    }
 }
 
 fn parse_diff_weight(c: &mut Cursor) -> Result<Diff, IoError> {
@@ -138,53 +145,88 @@ impl FlowBuilder {
     }
 }
 
-/// Parses a report artifact (requires the `end` sentinel).
-pub fn parse_report(text: &str) -> Result<Report, IoError> {
-    let mut lines = parse_header(text, Artifact::Report)?;
-    let mut report = Report::default();
-    let mut cur_epoch: Option<EpochDiff> = None;
-    let mut cur_flow: Option<FlowBuilder> = None;
-    fn flush_flow(
-        cur_epoch: &mut Option<EpochDiff>,
-        cur_flow: &mut Option<FlowBuilder>,
-    ) -> Result<(), IoError> {
-        if let Some(f) = cur_flow.take() {
-            cur_epoch
+/// How an epoch stream constrains its indices.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IndexRule {
+    /// Report artifact: indices are ordinals, consecutive from 0.
+    ConsecutiveFromZero,
+    /// Response payload: absolute indices of a history range — strictly
+    /// increasing, starting anywhere.
+    StrictlyIncreasing,
+}
+
+/// Incremental parser for the epoch-body sub-grammar (`epoch` / `rib` /
+/// `fib` / `flow` / `header` / `before` / `after` lines), shared by the
+/// report artifact and the `ok report` response payload. Feed it every
+/// body line via [`EpochsParser::try_line`]; anything it does not consume
+/// belongs to the caller's grammar.
+pub(crate) struct EpochsParser {
+    rule: IndexRule,
+    epochs: Vec<(usize, EpochDiff)>,
+    cur: Option<(usize, EpochDiff)>,
+    cur_flow: Option<FlowBuilder>,
+}
+
+impl EpochsParser {
+    pub(crate) fn new(rule: IndexRule) -> Self {
+        EpochsParser {
+            rule,
+            epochs: Vec::new(),
+            cur: None,
+            cur_flow: None,
+        }
+    }
+
+    fn flush_flow(&mut self) -> Result<(), IoError> {
+        if let Some(f) = self.cur_flow.take() {
+            self.cur
                 .as_mut()
                 .expect("flow inside an epoch")
+                .1
                 .flows
                 .push(f.finish()?);
         }
         Ok(())
     }
-    while let Some(mut c) = lines.next_cursor()? {
-        let kw = c.word("keyword")?;
-        match kw.as_str() {
-            "end" => {
-                c.finish()?;
-                flush_flow(&mut cur_epoch, &mut cur_flow)?;
-                if let Some(ep) = cur_epoch.take() {
-                    report.epochs.push(ep);
-                }
-                if let Some(c) = lines.next_cursor()? {
-                    return Err(perr(c.line, "content after end sentinel"));
-                }
-                return Ok(report);
-            }
+
+    fn flush_epoch(&mut self) -> Result<(), IoError> {
+        self.flush_flow()?;
+        if let Some(ep) = self.cur.take() {
+            self.epochs.push(ep);
+        }
+        Ok(())
+    }
+
+    /// Consumes a line if its keyword belongs to the epoch-body grammar;
+    /// returns `Ok(false)` (without touching the cursor further) when the
+    /// keyword is not ours. The caller runs `Cursor::finish`.
+    pub(crate) fn try_line(&mut self, kw: &str, c: &mut Cursor) -> Result<bool, IoError> {
+        match kw {
             "epoch" => {
-                flush_flow(&mut cur_epoch, &mut cur_flow)?;
-                if let Some(ep) = cur_epoch.take() {
-                    report.epochs.push(ep);
-                }
+                self.flush_epoch()?;
                 let index: usize = c.parse("epoch index")?;
-                if index != report.epochs.len() {
-                    return Err(perr(
-                        c.line,
-                        format!(
-                            "epoch index {index} out of order (expected {})",
-                            report.epochs.len()
-                        ),
-                    ));
+                match self.rule {
+                    IndexRule::ConsecutiveFromZero => {
+                        if index != self.epochs.len() {
+                            return Err(perr(
+                                c.line,
+                                format!(
+                                    "epoch index {index} out of order (expected {})",
+                                    self.epochs.len()
+                                ),
+                            ));
+                        }
+                    }
+                    IndexRule::StrictlyIncreasing => {
+                        if let Some((prev, _)) = self.epochs.last() {
+                            if index <= *prev {
+                                return Err(perr(
+                                    c.line,
+                                    format!("epoch index {index} not increasing (after {prev})"),
+                                ));
+                            }
+                        }
+                    }
                 }
                 let label = if c.at_end() {
                     None
@@ -192,37 +234,42 @@ pub fn parse_report(text: &str) -> Result<Report, IoError> {
                     c.expect("label")?;
                     Some(c.string("epoch label")?)
                 };
-                cur_epoch = Some(EpochDiff {
-                    label,
-                    ..Default::default()
-                });
+                self.cur = Some((
+                    index,
+                    EpochDiff {
+                        label,
+                        ..Default::default()
+                    },
+                ));
             }
             "rib" => {
-                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                self.flush_flow()?;
                 let line = c.line;
-                let d = parse_diff_weight(&mut c)?;
-                let e = parse_rib_entry(&mut c)?;
-                cur_epoch
+                let d = parse_diff_weight(c)?;
+                let e = parse_rib_entry(c)?;
+                self.cur
                     .as_mut()
                     .ok_or_else(|| perr(line, "rib outside an epoch"))?
+                    .1
                     .rib
                     .push((e, d));
             }
             "fib" => {
-                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                self.flush_flow()?;
                 let line = c.line;
-                let d = parse_diff_weight(&mut c)?;
-                let e = parse_fib_entry(&mut c)?;
-                cur_epoch
+                let d = parse_diff_weight(c)?;
+                let e = parse_fib_entry(c)?;
+                self.cur
                     .as_mut()
                     .ok_or_else(|| perr(line, "fib outside an epoch"))?
+                    .1
                     .fib
                     .push((e, d));
             }
             "flow" => {
-                flush_flow(&mut cur_epoch, &mut cur_flow)?;
+                self.flush_flow()?;
                 let line = c.line;
-                if cur_epoch.is_none() {
+                if self.cur.is_none() {
                     return Err(perr(line, "flow outside an epoch"));
                 }
                 let src = c.string("source device")?;
@@ -234,7 +281,7 @@ pub fn parse_report(text: &str) -> Result<Report, IoError> {
                     src_port: c.parse("example source port")?,
                     dst_port: c.parse("example destination port")?,
                 };
-                cur_flow = Some(FlowBuilder {
+                self.cur_flow = Some(FlowBuilder {
                     src,
                     example,
                     headers: Vec::new(),
@@ -246,7 +293,7 @@ pub fn parse_report(text: &str) -> Result<Report, IoError> {
             "header" => {
                 let line = c.line;
                 let h = c.string("header description")?;
-                cur_flow
+                self.cur_flow
                     .as_mut()
                     .ok_or_else(|| perr(line, "header outside a flow record"))?
                     .headers
@@ -254,8 +301,9 @@ pub fn parse_report(text: &str) -> Result<Report, IoError> {
             }
             "before" | "after" => {
                 let line = c.line;
-                let outcomes = parse_outcomes(&mut c)?;
-                let f = cur_flow
+                let outcomes = parse_outcomes(c)?;
+                let f = self
+                    .cur_flow
                     .as_mut()
                     .ok_or_else(|| perr(line, format!("{kw} outside a flow record")))?;
                 let slot = if kw == "before" {
@@ -268,7 +316,35 @@ pub fn parse_report(text: &str) -> Result<Report, IoError> {
                 }
                 *slot = Some(outcomes);
             }
-            other => return Err(perr(c.line, format!("unknown report keyword {other:?}"))),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Completes any in-progress epoch and returns the indexed stream.
+    pub(crate) fn finish(mut self) -> Result<Vec<(usize, EpochDiff)>, IoError> {
+        self.flush_epoch()?;
+        Ok(self.epochs)
+    }
+}
+
+/// Parses a report artifact (requires the `end` sentinel).
+pub fn parse_report(text: &str) -> Result<Report, IoError> {
+    let mut lines = parse_header(text, Artifact::Report)?;
+    let mut epochs = EpochsParser::new(IndexRule::ConsecutiveFromZero);
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        if kw == "end" {
+            c.finish()?;
+            if let Some(c) = lines.next_cursor()? {
+                return Err(perr(c.line, "content after end sentinel"));
+            }
+            return Ok(Report {
+                epochs: epochs.finish()?.into_iter().map(|(_, ep)| ep).collect(),
+            });
+        }
+        if !epochs.try_line(&kw, &mut c)? {
+            return Err(perr(c.line, format!("unknown report keyword {kw:?}")));
         }
         c.finish()?;
     }

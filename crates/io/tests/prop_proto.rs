@@ -1,0 +1,329 @@
+//! Round-trip and robustness properties of the service protocol's
+//! `query` / `response` wire records, mirroring the coverage
+//! `prop_roundtrip.rs` gives snapshots, traces and reports:
+//!
+//! 1. **Lossless round-trips** — `parse(write(x)) == x` and a second
+//!    trip is byte-identical, for arbitrary queries and responses,
+//!    including quoting-hostile session/device names, empty outcome
+//!    sets, and report payloads carrying arbitrary epoch diffs at
+//!    arbitrary (increasing) absolute indices.
+//! 2. **Totality on bad input** — truncations and random character
+//!    mutations produce typed [`IoError`]s, never panics.
+
+use dna_core::FlowDiff;
+use dna_io::{
+    parse_query, parse_response, write_query, write_response, EpochDiff, IoError, Query, QueryKind,
+    Response, ServiceStats, SessionInfo,
+};
+use net_model::{Flow, Ipv4Addr};
+use proptest::prelude::*;
+
+/// Names drawn from a pool that exercises quoting: spaces, quotes,
+/// backslashes, newlines, tabs, control and non-ASCII characters.
+fn name() -> impl Strategy<Value = String> {
+    const POOL: &[&str] = &[
+        "r",
+        "core",
+        "agg edge",
+        "q\"uote",
+        "back\\slash",
+        "new\nline",
+        "tab\there",
+        "uni—✓",
+        "bell\u{7}",
+        "",
+    ];
+    (0usize..POOL.len(), 0u32..3).prop_map(|(i, n)| format!("{}{}", POOL[i], n))
+}
+
+fn flow() -> impl Strategy<Value = Flow> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(s, d, proto, sp, dp)| Flow {
+            src: Ipv4Addr(s),
+            dst: Ipv4Addr(d),
+            proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+fn query_kind() -> impl Strategy<Value = QueryKind> {
+    prop_oneof![
+        (name(), flow()).prop_map(|(src, flow)| QueryKind::Reach { src, flow }),
+        (name(), name()).prop_map(|(src, dst)| QueryKind::ReachPair { src, dst }),
+        any::<usize>().prop_map(|last| QueryKind::Blast { last }),
+        (any::<usize>(), any::<usize>()).prop_map(|(from, to)| QueryKind::Report { from, to }),
+        Just(QueryKind::Stats),
+        Just(QueryKind::Sessions),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (prop::option::of(name()), query_kind()).prop_map(|(session, kind)| Query { session, kind })
+}
+
+fn outcome() -> impl Strategy<Value = data_plane::Outcome> {
+    use data_plane::Outcome;
+    prop_oneof![
+        name().prop_map(Outcome::Delivered),
+        name().prop_map(Outcome::External),
+        name().prop_map(Outcome::Blackhole),
+        name().prop_map(Outcome::Filtered),
+        Just(Outcome::Loop),
+    ]
+}
+
+fn flow_diff() -> impl Strategy<Value = FlowDiff> {
+    (
+        name(),
+        prop::collection::vec(name(), 0..3),
+        flow(),
+        prop::collection::vec(outcome(), 0..3),
+        prop::collection::vec(outcome(), 0..3),
+    )
+        .prop_map(|(src, headers, example, before, after)| FlowDiff {
+            src,
+            headers,
+            example,
+            before: before.into_iter().collect(),
+            after: after.into_iter().collect(),
+        })
+}
+
+fn epoch_diff() -> impl Strategy<Value = EpochDiff> {
+    use control_plane::{FibAction, FibEntry, NextDevice, Proto, RibEntry};
+    let prefix =
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| net_model::Ipv4Prefix::new(Ipv4Addr(a), l));
+    let fib_action = prop_oneof![
+        name().prop_map(|iface| FibAction::Deliver { iface }),
+        (name(), name()).prop_map(|(iface, d)| FibAction::Forward {
+            iface,
+            next: NextDevice::Device(d)
+        }),
+        name().prop_map(|iface| FibAction::Forward {
+            iface,
+            next: NextDevice::External
+        }),
+        Just(FibAction::Drop),
+    ];
+    let proto = prop_oneof![
+        Just(Proto::Connected),
+        Just(Proto::Static),
+        Just(Proto::BgpExternal),
+        Just(Proto::Ospf),
+        Just(Proto::BgpInternal),
+    ];
+    let weight = prop_oneof![Just(-2isize), Just(-1), Just(1), Just(2)];
+    let fib_entry =
+        (name(), prefix.clone(), fib_action.clone()).prop_map(|(device, prefix, action)| {
+            FibEntry {
+                device,
+                prefix,
+                action,
+            }
+        });
+    let rib_entry = (name(), prefix, proto, any::<u64>(), fib_action).prop_map(
+        |(device, prefix, proto, metric, action)| RibEntry {
+            device,
+            prefix,
+            proto,
+            metric,
+            action,
+        },
+    );
+    (
+        prop::option::of(name()),
+        prop::collection::vec((rib_entry, weight.clone()), 0..3),
+        prop::collection::vec((fib_entry, weight), 0..3),
+        prop::collection::vec(flow_diff(), 0..3),
+    )
+        .prop_map(|(label, rib, fib, flows)| EpochDiff {
+            label,
+            rib,
+            fib,
+            flows,
+        })
+}
+
+/// Strictly increasing absolute indices for a report payload.
+fn indexed_epochs() -> impl Strategy<Value = Vec<(usize, EpochDiff)>> {
+    prop::collection::vec((1usize..1000, epoch_diff()), 0..3).prop_map(|gaps| {
+        let mut index = 0usize;
+        gaps.into_iter()
+            .map(|(gap, ep)| {
+                index += gap;
+                (index, ep)
+            })
+            .collect()
+    })
+}
+
+fn session_infos() -> impl Strategy<Value = Vec<SessionInfo>> {
+    prop::collection::vec((name(), any::<u64>(), any::<u64>(), any::<bool>()), 0..4).prop_map(
+        |rows| {
+            // Canonical payloads are name-sorted and duplicate-free.
+            let m: std::collections::BTreeMap<String, (u64, u64, bool)> = rows
+                .into_iter()
+                .map(|(name, epochs, devices, verify)| (name, (epochs, devices, verify)))
+                .collect();
+            m.into_iter()
+                .map(|(name, (epochs, devices, verify))| SessionInfo {
+                    name,
+                    epochs,
+                    devices,
+                    verify,
+                })
+                .collect()
+        },
+    )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        name().prop_map(Response::Error),
+        (name(), any::<u64>(), any::<u64>()).prop_map(|(session, devices, links)| {
+            Response::Loaded {
+                session,
+                devices,
+                links,
+            }
+        }),
+        (name(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(session, epochs, flows, total)| Response::Ingested {
+                session,
+                epochs,
+                flows,
+                total,
+            }
+        ),
+        prop::collection::vec(outcome(), 0..4).prop_map(|o| Response::Reach {
+            outcomes: o.into_iter().collect(),
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((name(), any::<u64>()), 0..4)
+        )
+            .prop_map(|(epochs, flows, devices)| Response::Blast {
+                epochs,
+                flows,
+                devices: devices
+                    .into_iter()
+                    .collect::<std::collections::BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect(),
+            }),
+        indexed_epochs().prop_map(|epochs| Response::Report { epochs }),
+        (
+            name(),
+            prop::collection::vec(any::<u64>(), 12..=12usize),
+            any::<bool>()
+        )
+            .prop_map(|(session, v, _)| {
+                Response::Stats(ServiceStats {
+                    session,
+                    epochs: v[0],
+                    retained: v[1],
+                    retained_from: v[2],
+                    devices: v[3],
+                    links: v[4],
+                    classes: v[5],
+                    tuples: v[6],
+                    flows: v[7],
+                    mismatches: v[8],
+                    cp_us: v[9],
+                    dp_us: v[10],
+                    total_us: v[11],
+                })
+            }),
+        session_infos().prop_map(Response::Sessions),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(96, 0xD9A_1003))]
+
+    #[test]
+    fn queries_round_trip(q in query()) {
+        let text = write_query(&q);
+        let back = parse_query(&text).expect("generated query parses");
+        prop_assert_eq!(&back, &q);
+        prop_assert_eq!(write_query(&back), text);
+    }
+
+    #[test]
+    fn responses_round_trip(r in response()) {
+        let text = write_response(&r);
+        let back = parse_response(&text).expect("generated response parses");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(write_response(&back), text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(64, 0xD9A_1004))]
+
+    /// Any strict line-prefix of a serialized response is rejected with
+    /// a typed error — a truncated reply can never be mistaken for a
+    /// complete one — and parsing never panics.
+    #[test]
+    fn response_truncations_yield_typed_errors(r in response(), cut in 0u32..10_000) {
+        let text = write_response(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (cut as usize) % lines.len().max(1);
+        let truncated = lines[..keep].join("\n");
+        match parse_response(&truncated) {
+            Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+            Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+
+    /// Same for queries.
+    #[test]
+    fn query_truncations_yield_typed_errors(q in query(), cut in 0u32..10_000) {
+        let text = write_query(&q);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (cut as usize) % lines.len().max(1);
+        let truncated = lines[..keep].join("\n");
+        match parse_query(&truncated) {
+            Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+            Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+
+    /// Mutating one character anywhere in a serialized query or response
+    /// either still parses (the mutation hit something benign, e.g.
+    /// inside a quoted string) or fails with a typed error — never a
+    /// panic.
+    #[test]
+    fn char_mutations_never_panic(
+        q in query(),
+        r in response(),
+        pos in any::<u32>(),
+        repl in 1u8..128,
+    ) {
+        for text in [write_query(&q), write_response(&r)] {
+            let mut bytes = text.into_bytes();
+            if bytes.is_empty() {
+                continue;
+            }
+            let idx = (pos as usize) % bytes.len();
+            bytes[idx] = repl;
+            // Skip the (rare) mutations that break UTF-8 inside a
+            // multi-byte character; everything else must parse or fail
+            // with a typed error, never panic.
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = parse_query(&mutated);
+                let _ = parse_response(&mutated);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dna-serve — long-running differential analysis service
+//!
+//! The paper's pitch is that differential analysis makes change impact
+//! cheap enough to answer *continuously*. This crate is the subsystem
+//! that cashes that in: instead of one-shot load→replay→exit runs, a
+//! server keeps live [`dna_core::DiffEngine`]s resident across epochs,
+//! ingests `dna-io` change traces incrementally from a stream, and
+//! answers queries — reachability, blast radius, report ranges, stats —
+//! against the evolving state, never re-simulating from scratch on the
+//! query path.
+//!
+//! Layers:
+//!
+//! * [`session`] — [`Session`] (one live analysis: engine + optional
+//!   from-scratch verification shadow + bounded epoch history) and
+//!   [`SessionManager`] (named sessions, one per loaded snapshot);
+//! * [`server`] — artifact framing and the serve loop over any
+//!   `BufRead`/`Write` pair (stdio pipes) plus a unix-socket front-end.
+//!
+//! The wire protocol is `dna-io`'s `query`/`response` artifacts (see
+//! `crates/io/FORMAT.md`); the `dna serve` / `dna query` subcommands in
+//! `crates/cli` are thin shells over this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod session;
+
+#[cfg(unix)]
+pub use server::{accept_loop, query_socket};
+pub use server::{
+    handle_artifact, pump_stream, read_artifact, run_broker, serve_stream, Request, ServeSummary,
+};
+pub use session::{Session, SessionConfig, SessionManager};

@@ -1,0 +1,354 @@
+//! The transport layer: a stream of `dna-io` artifacts in, a stream of
+//! `response` artifacts out.
+//!
+//! The protocol is plain artifact concatenation — the same bytes `dna
+//! dump` writes to files can be piped straight into a server. Framing
+//! splits on the top-level `end` sentinel (see FORMAT.md "Framing on a
+//! stream"); each inbound artifact is dispatched by kind:
+//!
+//! * **snapshot** → (re)loads the stream-target session;
+//! * **trace**    → epochs are ingested incrementally into the
+//!   stream-target session;
+//! * **query**    → answered against its named (or default) session.
+//!
+//! Every inbound artifact produces exactly one outbound `response`, so
+//! a client can correlate by position. Malformed input is answered with
+//! `error` responses — the server never dies on bad bytes.
+//!
+//! Threading: the dataflow engine is deliberately thread-local (`Rc`
+//! internals), so the [`SessionManager`] never crosses threads. The
+//! single-stream loop ([`serve_stream`]) runs wherever the manager
+//! lives; multi-client service (stdin tail + unix-socket queries) runs
+//! a **broker**: pump threads own the sockets and exchange raw artifact
+//! text — plain `Send` strings — with the one engine thread over
+//! channels ([`run_broker`] / [`pump_stream`] / [`accept_loop`]).
+
+use crate::session::SessionManager;
+use dna_io::{parse_query, parse_snapshot, parse_trace, write_response, Artifact, Response};
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+
+/// Counters of one serve loop, reported when its input ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Artifacts processed (including malformed ones).
+    pub artifacts: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Change epochs ingested.
+    pub epochs: u64,
+    /// Error responses produced.
+    pub errors: u64,
+}
+
+impl ServeSummary {
+    fn count(&mut self, response: &Response, epochs_applied: u64) {
+        self.artifacts += 1;
+        // Epoch accounting comes from the session layer, not the
+        // response kind: a trace failing mid-stream answers `error` yet
+        // has applied its earlier epochs, and the summary must say so.
+        self.epochs += epochs_applied;
+        match response {
+            Response::Error(_) => self.errors += 1,
+            Response::Ingested { .. } | Response::Loaded { .. } => {}
+            _ => self.queries += 1,
+        }
+    }
+}
+
+/// Reads one artifact's text off a stream: lines up to and including the
+/// first whose trimmed content is exactly `end`. Returns `None` at end
+/// of input (trailing blank/comment lines are not an artifact). Input
+/// ending mid-artifact returns the partial text — parsing then reports
+/// the truncation as a typed error.
+pub fn read_artifact(input: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = String::new();
+    let mut line = String::new();
+    let mut meaningful = false;
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(if meaningful { Some(buf) } else { None });
+        }
+        let trimmed = line.trim();
+        meaningful |= !(trimmed.is_empty() || trimmed.starts_with(';'));
+        buf.push_str(&line);
+        if trimmed == "end" {
+            return Ok(Some(buf));
+        }
+    }
+}
+
+/// Dispatches one inbound artifact, returning the one response it maps
+/// to plus the number of change epochs the artifact applied (nonzero
+/// only for traces — including a trace whose response is an error after
+/// a mid-stream failure). `stream_session` is the ingest target for
+/// snapshot/trace artifacts (queries name their own session); `None`
+/// targets the manager's default session.
+pub fn handle_artifact(
+    mgr: &mut SessionManager,
+    stream_session: Option<&str>,
+    text: &str,
+) -> (Response, u64) {
+    let kind = match dna_io::sniff(text) {
+        Ok((_, kind)) => kind,
+        Err(e) => return (Response::Error(e.to_string()), 0),
+    };
+    let response = match kind {
+        Artifact::Snapshot => match parse_snapshot(text) {
+            Ok(snap) => {
+                let name = stream_session
+                    .or(mgr.default_session())
+                    .unwrap_or("main")
+                    .to_string();
+                mgr.open(&name, snap).unwrap_or_else(Response::Error)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Artifact::Trace => match parse_trace(text) {
+            Ok(trace) => return mgr.ingest_trace(stream_session, &trace),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Artifact::Query => match parse_query(text) {
+            Ok(q) => mgr.answer(&q),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Artifact::Report | Artifact::Response => {
+            Response::Error(format!("cannot serve a {kind} artifact"))
+        }
+    };
+    (response, 0)
+}
+
+/// Runs one serve loop on the manager's own thread: artifacts from
+/// `input`, responses to `output`, until end of input.
+pub fn serve_stream(
+    mgr: &mut SessionManager,
+    stream_session: Option<&str>,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    while let Some(text) = read_artifact(input)? {
+        let (response, epochs_applied) = handle_artifact(mgr, stream_session, &text);
+        summary.count(&response, epochs_applied);
+        output.write_all(write_response(&response).as_bytes())?;
+        // One response per artifact is the unit of interaction: flush so
+        // pipe/socket clients are never left waiting on a full buffer.
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+/// One brokered request: an inbound artifact's text and the channel its
+/// serialized response goes back on. Both sides are plain strings, so
+/// requests cross threads even though the engine cannot.
+pub struct Request {
+    /// Raw artifact text as framed off the wire.
+    pub text: String,
+    /// Where the serialized response artifact is sent.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// The engine side of the broker: processes requests in arrival order
+/// until every [`Request`] sender is dropped. Ingest and queries from
+/// different clients interleave here at artifact granularity — a query
+/// never observes a half-applied epoch. Returns the cross-client
+/// summary.
+pub fn run_broker(mgr: &mut SessionManager, requests: mpsc::Receiver<Request>) -> ServeSummary {
+    let mut summary = ServeSummary::default();
+    for req in requests {
+        let (response, epochs_applied) = handle_artifact(mgr, None, &req.text);
+        summary.count(&response, epochs_applied);
+        // A client that hung up before its answer is not an engine
+        // problem; drop the response.
+        let _ = req.reply.send(write_response(&response));
+    }
+    summary
+}
+
+/// The client side of the broker: frames artifacts off `input`, ships
+/// them to the engine thread, writes the replies to `output` in order.
+/// Returns the number of artifacts pumped (end of input, broker gone,
+/// or client gone all end the pump).
+pub fn pump_stream(
+    requests: &mpsc::Sender<Request>,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<u64> {
+    let mut pumped = 0;
+    while let Some(text) = read_artifact(input)? {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if requests
+            .send(Request {
+                text,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break; // broker shut down
+        }
+        let Ok(response) = reply_rx.recv() else {
+            break; // broker shut down mid-request
+        };
+        pumped += 1;
+        output.write_all(response.as_bytes())?;
+        output.flush()?;
+    }
+    Ok(pumped)
+}
+
+/// Accepts unix-socket connections forever, pumping each on its own
+/// thread into the broker. Holds a [`Request`] sender for as long as it
+/// runs, keeping the broker alive after stdin ends. Accept errors
+/// (EINTR, fd exhaustion under load, ...) are transient for a daemon:
+/// they are reported to stderr and the loop keeps accepting — one bad
+/// accept must not leave a healthy-looking server deaf to new clients.
+#[cfg(unix)]
+pub fn accept_loop(
+    requests: mpsc::Sender<Request>,
+    listener: std::os::unix::net::UnixListener,
+) -> io::Result<()> {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                eprintln!("dna serve: accept failed (retrying): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        let requests = requests.clone();
+        std::thread::spawn(move || {
+            let mut reader = io::BufReader::new(&stream);
+            let mut writer = io::BufWriter::new(&stream);
+            // A vanished client is its own problem; the server lives on.
+            let _ = pump_stream(&requests, &mut reader, &mut writer);
+        });
+    }
+}
+
+/// Sends one query artifact over a unix socket and reads back the one
+/// response artifact (client side of [`accept_loop`]).
+#[cfg(unix)]
+pub fn query_socket(path: &std::path::Path, query_text: &str) -> io::Result<String> {
+    use std::os::unix::net::UnixStream;
+    let stream = UnixStream::connect(path)?;
+    (&stream).write_all(query_text.as_bytes())?;
+    (&stream).flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = io::BufReader::new(&stream);
+    Ok(read_artifact(&mut reader)?.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_io::{parse_response, write_query, write_snapshot, write_trace, Query, QueryKind};
+
+    fn one_router_snapshot() -> net_model::Snapshot {
+        net_model::NetBuilder::new()
+            .router("r1")
+            .iface("r1", "lan", "192.168.1.1/24")
+            .ospf_passive("r1", "lan", 1)
+            .build()
+    }
+
+    #[test]
+    fn framing_splits_concatenated_artifacts() {
+        let a = "dna-io v1 trace\nepoch\nend\n";
+        let b = "; comment\n\ndna-io v1 query\n  stats\nend\n";
+        let mut input = io::Cursor::new(format!("{a}{b}\n; trailing\n").into_bytes());
+        let first = read_artifact(&mut input).unwrap().unwrap();
+        assert_eq!(first, a);
+        let second = read_artifact(&mut input).unwrap().unwrap();
+        assert_eq!(second, b);
+        assert_eq!(read_artifact(&mut input).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_stream_artifact_is_a_typed_error_response() {
+        let mut input = io::Cursor::new(b"dna-io v1 query\n  stats\n".to_vec());
+        let text = read_artifact(&mut input).unwrap().unwrap();
+        let mut mgr = SessionManager::new(Default::default());
+        let (r, epochs) = handle_artifact(&mut mgr, None, &text);
+        assert!(matches!(r, Response::Error(_)));
+        assert_eq!(epochs, 0);
+    }
+
+    #[test]
+    fn serve_stream_answers_one_response_per_artifact() {
+        let stream = format!(
+            "{}{}{}",
+            write_snapshot(&one_router_snapshot()),
+            write_trace(&dna_io::Trace::default()),
+            write_query(&Query {
+                session: None,
+                kind: QueryKind::Sessions,
+            })
+        );
+        let mut mgr = SessionManager::new(Default::default());
+        let mut out = Vec::new();
+        let summary = serve_stream(
+            &mut mgr,
+            None,
+            &mut io::Cursor::new(stream.into_bytes()),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(summary.artifacts, 3);
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.queries, 1);
+        let out = String::from_utf8(out).unwrap();
+        let mut cursor = io::Cursor::new(out.into_bytes());
+        let loaded = parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap();
+        assert!(matches!(loaded, Response::Loaded { devices: 1, .. }));
+        let ingested = parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap();
+        assert!(matches!(ingested, Response::Ingested { epochs: 0, .. }));
+        let sessions = parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap();
+        match sessions {
+            Response::Sessions(list) => {
+                assert_eq!(list.len(), 1);
+                assert_eq!(list[0].name, "main");
+            }
+            other => panic!("expected sessions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broker_serves_requests_from_other_threads() {
+        let (tx, rx) = mpsc::channel();
+        let client = std::thread::spawn(move || {
+            let stream = format!(
+                "{}{}",
+                write_snapshot(&one_router_snapshot()),
+                write_query(&Query {
+                    session: Some("main".into()),
+                    kind: QueryKind::Stats,
+                })
+            );
+            let mut out = Vec::new();
+            let pumped =
+                pump_stream(&tx, &mut io::Cursor::new(stream.into_bytes()), &mut out).unwrap();
+            (pumped, String::from_utf8(out).unwrap())
+        });
+        // The engine never leaves this thread; only strings cross.
+        let mut mgr = SessionManager::new(Default::default());
+        let summary = run_broker(&mut mgr, rx);
+        let (pumped, out) = client.join().unwrap();
+        assert_eq!(pumped, 2);
+        assert_eq!(summary.artifacts, 2);
+        assert_eq!(summary.errors, 0);
+        let mut cursor = io::Cursor::new(out.into_bytes());
+        let _loaded = read_artifact(&mut cursor).unwrap().unwrap();
+        let stats = parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap();
+        match stats {
+            Response::Stats(s) => {
+                assert_eq!(s.session, "main");
+                assert_eq!(s.epochs, 0);
+                assert_eq!(s.devices, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

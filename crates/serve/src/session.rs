@@ -1,0 +1,564 @@
+//! The session layer: one live analysis per loaded snapshot.
+//!
+//! A [`Session`] keeps a [`dna_core::DiffEngine`] resident across epochs
+//! (plus an optional [`dna_core::ScratchDiffer`] verification shadow),
+//! ingests change epochs incrementally, and retains a bounded window of
+//! canonical per-epoch diffs so history queries (blast radius, report
+//! ranges) are answered from memory. A [`SessionManager`] owns several
+//! named sessions — one per loaded snapshot — enabling concurrent
+//! scenarios against one server.
+//!
+//! Every query is answered from incrementally maintained state; nothing
+//! on the query path re-simulates the network.
+
+use dna_core::{ReplayMode, ReplaySession};
+use dna_io::{EpochDiff, Query, QueryKind, Response, ServiceStats, SessionInfo, Trace, TraceEpoch};
+use net_model::{Flow, Snapshot};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-session policy, fixed at open time.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Maximum per-epoch diffs retained for history queries. Older
+    /// epochs age out; ingest continues unbounded.
+    pub retain: usize,
+    /// Attach a from-scratch shadow and cross-check every epoch.
+    pub verify: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            retain: 64,
+            verify: false,
+        }
+    }
+}
+
+/// One retained epoch: its absolute index and canonical diff.
+struct EpochRecord {
+    index: usize,
+    diff: EpochDiff,
+}
+
+/// A live differential analysis of one snapshot.
+pub struct Session {
+    name: String,
+    replay: ReplaySession,
+    config: SessionConfig,
+    history: VecDeque<EpochRecord>,
+    mismatches: u64,
+}
+
+impl Session {
+    /// Opens a session: runs the one-time from-scratch initialization of
+    /// the differential engine (and the shadow when `config.verify`).
+    pub fn open(name: &str, snapshot: Snapshot, config: SessionConfig) -> Result<Self, String> {
+        let mode = if config.verify {
+            ReplayMode::Both
+        } else {
+            ReplayMode::Differential
+        };
+        let mut replay = ReplaySession::new(snapshot, mode)
+            .map_err(|e| format!("session {name:?}: initial analysis: {e}"))?;
+        // Per-epoch stat records serve the same history window as the
+        // diff history; both stay bounded on an unbounded stream.
+        replay.set_stats_retention(config.retain);
+        Ok(Session {
+            name: name.to_string(),
+            replay,
+            config,
+            history: VecDeque::new(),
+            mismatches: 0,
+        })
+    }
+
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Epochs ingested since open.
+    pub fn epochs(&self) -> usize {
+        self.replay.epochs_replayed()
+    }
+
+    /// Epochs on which the verification shadow disagreed.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// The session's current snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        self.replay.snapshot()
+    }
+
+    /// The underlying replay session (stats, engine access).
+    pub fn replay(&self) -> &ReplaySession {
+        &self.replay
+    }
+
+    /// Applies one change epoch incrementally. Returns the flow-diff
+    /// count of the epoch. On error nothing is applied.
+    pub fn ingest(&mut self, epoch: &TraceEpoch) -> Result<usize, String> {
+        let out = self
+            .replay
+            .step(&epoch.changes)
+            .map_err(|e| format!("session {:?}: epoch {}: {e}", self.name, self.epochs()))?;
+        if out.analyzers_agree() == Some(false) {
+            self.mismatches += 1;
+        }
+        let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
+        let flows = diff.flows.len();
+        self.history.push_back(EpochRecord {
+            index: out.index,
+            diff,
+        });
+        while self.history.len() > self.config.retain {
+            self.history.pop_front();
+        }
+        Ok(flows)
+    }
+
+    /// Applies a whole trace epoch by epoch; returns `(epochs applied,
+    /// flow diffs produced)`. Stops at the first failing epoch; earlier
+    /// epochs stay applied (stream semantics), so the error side also
+    /// carries how many were — state mutation is never misreported.
+    pub fn ingest_trace(&mut self, trace: &Trace) -> Result<(usize, usize), (usize, String)> {
+        let mut flows = 0;
+        for (applied, ep) in trace.epochs.iter().enumerate() {
+            match self.ingest(ep) {
+                Ok(n) => flows += n,
+                Err(e) => {
+                    return Err((
+                        applied,
+                        format!("{e} ({applied} earlier epoch(s) of this trace applied)"),
+                    ))
+                }
+            }
+        }
+        Ok((trace.epochs.len(), flows))
+    }
+
+    /// Answers one query against this session. Infallible at this layer:
+    /// domain problems (unknown device, empty engine) come back as
+    /// [`Response::Error`].
+    pub fn answer(&self, kind: &QueryKind) -> Response {
+        match kind {
+            QueryKind::Reach { src, flow } => self.reach(src, flow),
+            QueryKind::ReachPair { src, dst } => match self.resolve_dst(dst) {
+                Ok(flow) => self.reach(src, &flow),
+                Err(e) => Response::Error(e),
+            },
+            QueryKind::Blast { last } => self.blast(*last),
+            QueryKind::Report { from, to } => self.report(*from, *to),
+            QueryKind::Stats => Response::Stats(self.stats()),
+            QueryKind::Sessions => {
+                Response::Error("sessions is a server-level query; the manager answers it".into())
+            }
+        }
+    }
+
+    fn reach(&self, src: &str, flow: &Flow) -> Response {
+        if !self.snapshot().devices.contains_key(src) {
+            return Response::Error(format!("unknown source device {src:?}"));
+        }
+        match self.replay.query(src, flow) {
+            Some(outcomes) => Response::Reach { outcomes },
+            None => Response::Error("session has no live differential engine".into()),
+        }
+    }
+
+    /// Resolves an endpoint-pair destination to a representative flow:
+    /// a TCP/80 packet to the canonical (lowest-named interface)
+    /// address of `dst`. Deterministic, so responses are byte-stable.
+    fn resolve_dst(&self, dst: &str) -> Result<Flow, String> {
+        let dc = self
+            .snapshot()
+            .devices
+            .get(dst)
+            .ok_or_else(|| format!("unknown destination device {dst:?}"))?;
+        let (_, ic) = dc
+            .interfaces
+            .iter()
+            .next()
+            .ok_or_else(|| format!("destination device {dst:?} has no interfaces"))?;
+        Ok(Flow::tcp_to(ic.addr, 80))
+    }
+
+    fn blast(&self, last: usize) -> Response {
+        let window = last.min(self.history.len());
+        let mut flows = 0u64;
+        let mut devices: BTreeMap<&str, u64> = BTreeMap::new();
+        for rec in self.history.iter().rev().take(window) {
+            for f in &rec.diff.flows {
+                flows += 1;
+                *devices.entry(&f.src).or_insert(0) += 1;
+            }
+        }
+        Response::Blast {
+            epochs: window as u64,
+            flows,
+            devices: devices
+                .into_iter()
+                .map(|(d, n)| (d.to_string(), n))
+                .collect(),
+        }
+    }
+
+    fn report(&self, from: usize, to: usize) -> Response {
+        let epochs = self
+            .history
+            .iter()
+            .filter(|r| r.index >= from && r.index < to)
+            .map(|r| (r.index, r.diff.clone()))
+            .collect();
+        Response::Report { epochs }
+    }
+
+    /// The session's statistics — counters and state sizes straight off
+    /// the engine, timings off [`ReplaySession::totals`] (the same
+    /// records the bench harness tabulates).
+    pub fn stats(&self) -> ServiceStats {
+        let t = self.replay.totals();
+        let (tuples, classes) = match self.replay.engine() {
+            Some(e) => {
+                let (tuples, atoms, _psets) = e.state_size();
+                (tuples as u64, atoms as u64)
+            }
+            None => (0, 0),
+        };
+        let snap = self.snapshot();
+        ServiceStats {
+            session: self.name.clone(),
+            epochs: self.epochs() as u64,
+            retained: self.history.len() as u64,
+            retained_from: self.history.front().map_or(self.epochs(), |r| r.index) as u64,
+            devices: snap.device_count() as u64,
+            links: snap.links.len() as u64,
+            classes,
+            tuples,
+            flows: t.flows as u64,
+            mismatches: self.mismatches,
+            cp_us: t.cp_time.as_micros() as u64,
+            dp_us: t.dp_time.as_micros() as u64,
+            total_us: t.total_time.as_micros() as u64,
+        }
+    }
+
+    fn info(&self) -> SessionInfo {
+        SessionInfo {
+            name: self.name.clone(),
+            epochs: self.epochs() as u64,
+            devices: self.snapshot().device_count() as u64,
+            verify: self.config.verify,
+        }
+    }
+}
+
+/// Owner of the server's named sessions.
+pub struct SessionManager {
+    sessions: BTreeMap<String, Session>,
+    default: Option<String>,
+    config: SessionConfig,
+}
+
+impl SessionManager {
+    /// An empty manager; sessions opened later inherit `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        SessionManager {
+            sessions: BTreeMap::new(),
+            default: None,
+            config,
+        }
+    }
+
+    /// Opens (or replaces) the named session over a snapshot. The first
+    /// session opened becomes the default target for unaddressed
+    /// queries and stream ingest.
+    pub fn open(&mut self, name: &str, snapshot: Snapshot) -> Result<Response, String> {
+        let devices = snapshot.device_count() as u64;
+        let links = snapshot.links.len() as u64;
+        let session = Session::open(name, snapshot, self.config)?;
+        self.sessions.insert(name.to_string(), session);
+        if self.default.is_none() {
+            self.default = Some(name.to_string());
+        }
+        Ok(Response::Loaded {
+            session: name.to_string(),
+            devices,
+            links,
+        })
+    }
+
+    /// The default session's name, once one is open.
+    pub fn default_session(&self) -> Option<&str> {
+        self.default.as_deref()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Direct access to a session (tests, bench).
+    pub fn session(&self, name: &str) -> Option<&Session> {
+        self.sessions.get(name)
+    }
+
+    fn resolve(&self, name: Option<&str>) -> Result<&Session, Response> {
+        let name = match name.or(self.default.as_deref()) {
+            Some(n) => n,
+            None => return Err(Response::Error("no session is open".into())),
+        };
+        self.sessions
+            .get(name)
+            .ok_or_else(|| Response::Error(format!("unknown session {name:?}")))
+    }
+
+    fn resolve_mut(&mut self, name: Option<&str>) -> Result<&mut Session, Response> {
+        let name = match name.or(self.default.as_deref()) {
+            Some(n) => n.to_string(),
+            None => return Err(Response::Error("no session is open".into())),
+        };
+        match self.sessions.get_mut(&name) {
+            Some(s) => Ok(s),
+            None => Err(Response::Error(format!("unknown session {name:?}"))),
+        }
+    }
+
+    /// Ingests a trace into the named (default: first-opened) session.
+    /// Returns the response plus the number of epochs actually applied —
+    /// nonzero even when the response is an error, since a trace failing
+    /// mid-stream leaves its earlier epochs applied.
+    pub fn ingest_trace(&mut self, session: Option<&str>, trace: &Trace) -> (Response, u64) {
+        let s = match self.resolve_mut(session) {
+            Ok(s) => s,
+            Err(r) => return (r, 0),
+        };
+        match s.ingest_trace(trace) {
+            Ok((epochs, flows)) => (
+                Response::Ingested {
+                    session: s.name().to_string(),
+                    epochs: epochs as u64,
+                    flows: flows as u64,
+                    total: s.epochs() as u64,
+                },
+                epochs as u64,
+            ),
+            Err((applied, e)) => (Response::Error(e), applied as u64),
+        }
+    }
+
+    /// Answers one protocol query.
+    pub fn answer(&self, q: &Query) -> Response {
+        if q.kind == QueryKind::Sessions {
+            return Response::Sessions(self.sessions.values().map(Session::info).collect());
+        }
+        match self.resolve(q.session.as_deref()) {
+            Ok(s) => s.answer(&q.kind),
+            Err(r) => r,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_io::write_response;
+    use topo_gen::{fat_tree, Routing, ScenarioGen, ScenarioKind};
+
+    fn k4_session(config: SessionConfig) -> (Session, Vec<TraceEpoch>) {
+        let ft = fat_tree(4, Routing::Ebgp);
+        let mut gen = ScenarioGen::new(7);
+        let labeled = gen.labeled_sequence(
+            &ft.snapshot,
+            &[ScenarioKind::LinkFailure, ScenarioKind::LinkRecovery],
+            6,
+        );
+        let epochs: Vec<TraceEpoch> = labeled
+            .into_iter()
+            .map(|(kind, changes)| TraceEpoch {
+                label: Some(kind.to_string()),
+                changes,
+            })
+            .collect();
+        let session = Session::open("t", ft.snapshot, config).expect("opens");
+        (session, epochs)
+    }
+
+    #[test]
+    fn ingest_retention_and_history_queries() {
+        let (mut s, epochs) = k4_session(SessionConfig {
+            retain: 3,
+            verify: false,
+        });
+        assert_eq!(epochs.len(), 6);
+        let mut total_flows = 0;
+        for ep in &epochs {
+            total_flows += s.ingest(ep).expect("epoch applies");
+        }
+        assert_eq!(s.epochs(), 6);
+        assert!(total_flows > 0, "link churn must change flows");
+        // Retention bounds history; ingest count is unbounded.
+        let stats = s.stats();
+        assert_eq!(stats.epochs, 6);
+        assert_eq!(stats.retained, 3);
+        assert_eq!(stats.retained_from, 3);
+        assert_eq!(stats.flows, total_flows as u64);
+        assert!(stats.classes > 0 && stats.tuples > 0);
+        // Report range clamps to what is retained.
+        match s.answer(&QueryKind::Report { from: 0, to: 100 }) {
+            Response::Report { epochs } => {
+                assert_eq!(
+                    epochs.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                    vec![3, 4, 5]
+                );
+                for (_, d) in &epochs {
+                    assert!(d.label.is_some());
+                }
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        // Blast window wider than history clamps too; device counts sum
+        // to the window's flow total.
+        match s.answer(&QueryKind::Blast { last: 100 }) {
+            Response::Blast {
+                epochs,
+                flows,
+                devices,
+            } => {
+                assert_eq!(epochs, 3);
+                assert_eq!(devices.iter().map(|(_, n)| n).sum::<u64>(), flows);
+                assert!(devices.windows(2).all(|w| w[0].0 < w[1].0), "name-sorted");
+            }
+            other => panic!("expected blast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reach_pair_resolves_and_is_deterministic() {
+        let (mut s, epochs) = k4_session(SessionConfig::default());
+        let q = QueryKind::ReachPair {
+            src: "edge0_0".into(),
+            dst: "edge1_0".into(),
+        };
+        let before = write_response(&s.answer(&q));
+        assert!(before.contains("ok reach"));
+        assert_eq!(before, write_response(&s.answer(&q)), "byte-stable");
+        for ep in &epochs {
+            s.ingest(ep).unwrap();
+        }
+        // Still answerable (and still deterministic) on evolved state.
+        let after = write_response(&s.answer(&q));
+        assert!(after.contains("ok reach"));
+        assert_eq!(after, write_response(&s.answer(&q)));
+        // Unknown devices are protocol errors, not panics.
+        assert!(matches!(
+            s.answer(&QueryKind::ReachPair {
+                src: "edge0_0".into(),
+                dst: "ghost".into()
+            }),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            s.answer(&QueryKind::Reach {
+                src: "ghost".into(),
+                flow: Flow::tcp_to(net_model::ip("10.0.0.1"), 80)
+            }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn verify_shadow_agrees_on_real_scenarios() {
+        let (mut s, epochs) = k4_session(SessionConfig {
+            retain: 64,
+            verify: true,
+        });
+        for ep in &epochs {
+            s.ingest(ep).unwrap();
+        }
+        assert_eq!(s.mismatches(), 0, "analyzers must agree");
+        assert_eq!(s.stats().mismatches, 0);
+    }
+
+    #[test]
+    fn partial_trace_failure_reports_applied_epochs() {
+        let ft = fat_tree(4, Routing::Ebgp);
+        let mut mgr = SessionManager::new(SessionConfig::default());
+        mgr.open("p", ft.snapshot.clone()).unwrap();
+        let mut gen = ScenarioGen::new(5);
+        let good = gen
+            .generate(&ft.snapshot, ScenarioKind::LinkFailure)
+            .unwrap();
+        let bad = net_model::ChangeSet::single(net_model::Change::DeviceDown("ghost".into()));
+        let trace = Trace::from_changesets(vec![good, bad]);
+        // The first epoch stays applied (stream semantics); the error
+        // response must not hide that from the caller's accounting.
+        let (resp, applied) = mgr.ingest_trace(Some("p"), &trace);
+        match resp {
+            Response::Error(msg) => assert!(msg.contains("1 earlier epoch"), "{msg}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(applied, 1);
+        assert_eq!(mgr.session("p").unwrap().epochs(), 1);
+    }
+
+    #[test]
+    fn manager_serves_multiple_named_sessions() {
+        let ft4 = fat_tree(4, Routing::Ebgp);
+        let ft4b = fat_tree(4, Routing::Ospf);
+        let mut mgr = SessionManager::new(SessionConfig::default());
+        mgr.open("a", ft4.snapshot).unwrap();
+        mgr.open("b", ft4b.snapshot).unwrap();
+        assert_eq!(mgr.default_session(), Some("a"));
+        assert_eq!(mgr.session_count(), 2);
+        // Ingest into the non-default session only.
+        let mut gen = ScenarioGen::new(3);
+        let cs = gen
+            .generate(
+                mgr.session("b").unwrap().snapshot(),
+                ScenarioKind::LinkFailure,
+            )
+            .unwrap();
+        let trace = Trace::from_changesets(vec![cs]);
+        match mgr.ingest_trace(Some("b"), &trace) {
+            (Response::Ingested { session, total, .. }, applied) => {
+                assert_eq!(session, "b");
+                assert_eq!(total, 1);
+                assert_eq!(applied, 1);
+            }
+            (other, _) => panic!("expected ingested, got {other:?}"),
+        }
+        assert_eq!(mgr.session("a").unwrap().epochs(), 0);
+        assert_eq!(mgr.session("b").unwrap().epochs(), 1);
+        // Queries address sessions by name; unknown names are errors.
+        match mgr.answer(&Query {
+            session: None,
+            kind: QueryKind::Sessions,
+        }) {
+            Response::Sessions(list) => {
+                assert_eq!(
+                    list.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+                    vec!["a", "b"]
+                );
+            }
+            other => panic!("expected sessions, got {other:?}"),
+        }
+        assert!(matches!(
+            mgr.answer(&Query {
+                session: Some("ghost".into()),
+                kind: QueryKind::Stats,
+            }),
+            Response::Error(_)
+        ));
+        match mgr.answer(&Query {
+            session: Some("b".into()),
+            kind: QueryKind::Stats,
+        }) {
+            Response::Stats(st) => assert_eq!((st.session.as_str(), st.epochs), ("b", 1)),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}
