@@ -423,7 +423,7 @@ pub fn e9_service(k: u32, retains: &[usize], epochs: usize) -> Vec<ServiceRow> {
             ft.snapshot.clone(),
             SessionConfig {
                 retain,
-                verify: false,
+                ..Default::default()
             },
         )
         .expect("session opens");
@@ -514,4 +514,45 @@ pub fn e8_equivalence(seeds: &[u64], steps: usize) -> (usize, usize) {
     println!("\n== E8: equivalence vs from-scratch baseline ==");
     println!("change-sets checked: {checks}; mismatches: {mismatches} (expected 0)");
     (checks, mismatches)
+}
+
+/// One E10 row: `(k, device count, [(shards, init wall-clock)])`.
+pub type ShardInitRow = (u32, usize, Vec<(usize, Duration)>);
+
+/// E10 — sharded engine bring-up: `DiffEngine` initial-load wall-clock
+/// vs shard count, on growing fat-trees. The E2 follow-up: initial load
+/// dominates k≥8 setup, and the sharded pipeline is the parallel
+/// answer. Single-shot per cell (bring-up is seconds-scale at the top
+/// end); rows are `(k, devices, [(shards, init time)])`.
+pub fn e10_sharded_init(ks: &[u32], shard_counts: &[usize]) -> Vec<ShardInitRow> {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let ft = fat_tree(k, Routing::Ebgp);
+        let mut cells = Vec::new();
+        for &shards in shard_counts {
+            let snap = ft.snapshot.clone();
+            let (engine, t) = time(|| DiffEngine::with_shards(snap, shards).expect("bring-up"));
+            // Keep the engine alive through the measurement, then let
+            // the classes sanity-check the build did real work.
+            assert!(engine.class_count() > 0);
+            cells.push((shards, t));
+        }
+        rows.push((k, ft.device_count(), cells));
+    }
+    println!("\n== E10: sharded engine bring-up (DiffEngine init wall-clock) ==");
+    print!("{:<18}", "fabric");
+    for &s in shard_counts {
+        print!(" | shards={s:<3}");
+    }
+    println!(" | speedup (max shards)");
+    for (k, devices, cells) in &rows {
+        print!("{:<18}", format!("k={k} ({devices} dev)"));
+        for (_, t) in cells {
+            print!(" | {:>8.2} ms", ms(*t));
+        }
+        let base = cells.first().map(|(_, t)| *t).unwrap_or_default();
+        let last = cells.last().map(|(_, t)| *t).unwrap_or_default();
+        println!(" | {:.2}x", ms(base) / ms(last).max(f64::MIN_POSITIVE));
+    }
+    rows
 }

@@ -39,9 +39,11 @@ USAGE:
   dna check <snap-file>
   dna diff  <snap-file> <trace-file> [--engine differential|scratch]
             [--format text|json-lines] [--limit <n>] [--out <report-file>]
-  dna replay <snap-file> <trace-file> --verify [--quiet]
-  dna serve [name=]<snap-file>... [--retain <n>] [--verify] [--quiet]
-            [--socket <path>]
+            [--shards <n>]
+  dna replay <snap-file> <trace-file> --verify [--quiet] [--shards <n>]
+  dna serve [name=]<snap-file>... [--retain <n>] [--retain-bytes <n>]
+            [--verify] [--quiet] [--shards <n>] [--socket <path>]
+            [--follow [name=]<trace-file>]... [--threads per-session|single]
   dna query [--session <name>] [--socket <path>] <command>
 
 TOPOLOGY OPTIONS (dump):
@@ -61,9 +63,16 @@ stream of dna-io artifacts from stdin — snapshots (re)load the default
 session, traces ingest incrementally, queries are answered — emitting
 one response artifact each to stdout, until end of input. With
 --socket, clients connect concurrently and the server keeps running
-after stdin ends. --retain bounds the per-session epoch history
-(default 64); --verify attaches a from-scratch shadow that cross-checks
-every ingested epoch.
+after stdin ends. --follow tails a growing trace file (repeatable;
+name= targets a session, default the default session), ingesting each
+epoch as it completes and finishing when the trace's end sentinel is
+written. With --socket or --follow, sessions get one engine thread
+each (parallel bring-up, concurrent multi-session ingest); --threads
+single falls back to one shared engine thread. --shards fans engine
+bring-up out over N workers (identical results, see README). --retain
+bounds the per-session epoch history (default 64) and --retain-bytes
+adds a byte budget on its canonical serialized size; --verify attaches
+a from-scratch shadow that cross-checks every ingested epoch.
 
 QUERY COMMANDS:
   reach <src-device> <src-ip> <dst-ip> <proto> <sport> <dport>
@@ -173,6 +182,15 @@ impl<'a> Args<'a> {
                     self.rest[*idx].as_str()
                 }
             })
+    }
+
+    /// Every value of a repeatable flag, in order of appearance.
+    fn flag_values(&self, name: &str) -> Vec<&'a str> {
+        self.flags
+            .iter()
+            .filter(|(n, idx)| *n == name && *idx != usize::MAX)
+            .map(|(_, idx)| self.rest[*idx].as_str())
+            .collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -347,7 +365,7 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
 // ---- diff -------------------------------------------------------------
 
 fn cmd_diff(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &["engine", "format", "limit", "out"], &[])?;
+    let args = Args::parse(rest, &["engine", "format", "limit", "out", "shards"], &[])?;
     let [snap_path, trace_path] = args.positionals.as_slice() else {
         return Err("diff needs <snap-file> <trace-file>".into());
     };
@@ -368,8 +386,12 @@ fn cmd_diff(rest: &[String]) -> Result<ExitCode, String> {
         other => return Err(format!("--format must be text|json-lines, got {other:?}")),
     };
     let limit: usize = args.parsed("limit", 10)?;
-    let mut session =
-        ReplaySession::new(snapshot, mode).map_err(|e| format!("initial analysis: {e}"))?;
+    let shards: usize = args.parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut session = ReplaySession::with_shards(snapshot, mode, shards)
+        .map_err(|e| format!("initial analysis: {e}"))?;
     let mut report = Report::default();
     let mut stdout_open = true;
     for (i, ep) in trace.epochs.iter().enumerate() {
@@ -529,8 +551,31 @@ fn split_session_arg(arg: &str) -> (String, &str) {
     (if stem.is_empty() { "main" } else { stem }.to_string(), arg)
 }
 
+/// Splits a `[name=]path` `--follow` argument. Unlike session
+/// positionals, an unnamed follow targets the server's *default*
+/// session, not a session named after the file stem.
+fn split_follow_arg(arg: &str) -> (Option<String>, &str) {
+    if let Some((name, path)) = arg.split_once('=') {
+        if !name.is_empty() && !name.contains(['/', '\\']) {
+            return (Some(name.to_string()), path);
+        }
+    }
+    (None, arg)
+}
+
 fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &["retain", "socket"], &["verify", "quiet"])?;
+    let args = Args::parse(
+        rest,
+        &[
+            "retain",
+            "retain-bytes",
+            "socket",
+            "shards",
+            "threads",
+            "follow",
+        ],
+        &["verify", "quiet"],
+    )?;
     if args.positionals.is_empty() {
         return Err("serve needs at least one [name=]<snap-file>".into());
     }
@@ -538,88 +583,240 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     if retain == 0 {
         return Err("--retain must be at least 1".into());
     }
+    let retain_bytes: Option<usize> = match args.flag("retain-bytes") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("bad --retain-bytes value {v:?}"))?;
+            if n == 0 {
+                return Err("--retain-bytes must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    let shards: usize = args.parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let per_session = match args.flag("threads").unwrap_or("per-session") {
+        "per-session" => true,
+        "single" => false,
+        other => {
+            return Err(format!(
+                "--threads must be per-session|single, got {other:?}"
+            ))
+        }
+    };
     let quiet = args.has("quiet");
     let config = SessionConfig {
         retain,
+        retain_bytes,
         verify: args.has("verify"),
+        shards,
     };
-    let mut mgr = SessionManager::new(config);
+    // Parse every startup artifact up front so a bad file fails fast,
+    // before any engine spends seconds on bring-up.
+    let mut preload: Vec<(String, Snapshot)> = Vec::new();
     for pos in &args.positionals {
         let (name, path) = split_session_arg(pos);
         // Opening an existing name silently replaces its engine — fine
         // for a stream reload, but two startup positionals colliding
         // (same file stem) would drop a snapshot the operator asked for.
-        if mgr.session(&name).is_some() {
+        if preload.iter().any(|(n, _)| *n == name) {
             return Err(format!(
                 "duplicate session name {name:?} (from {path}); disambiguate with name=path"
             ));
         }
-        let snapshot = load_snapshot(path)?;
+        preload.push((name, load_snapshot(path)?));
+    }
+    let follows: Vec<(Option<String>, String)> = args
+        .flag_values("follow")
+        .into_iter()
+        .map(|arg| {
+            let (session, path) = split_follow_arg(arg);
+            if !std::path::Path::new(path).exists() {
+                return Err(format!("--follow {path}: file does not exist yet"));
+            }
+            // Session names are fully known at startup; a typo'd name
+            // would otherwise ship every epoch into "unknown session"
+            // errors while the follow itself reports success.
+            if let Some(name) = &session {
+                if !preload.iter().any(|(n, _)| n == name) {
+                    return Err(format!(
+                        "--follow {arg}: no session named {name:?} (sessions: {})",
+                        preload
+                            .iter()
+                            .map(|(n, _)| format!("{n:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+            }
+            Ok((session, path.to_string()))
+        })
+        .collect::<Result<_, String>>()?;
+    let socket = args.flag("socket");
+    if socket.is_none() && follows.is_empty() {
+        // Pure pipe mode: one client, one engine thread, no channels —
+        // the deterministic path the pinned service smoke drives.
+        let mut mgr = open_preloaded(config, preload, quiet)?;
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let summary = serve_stream(&mut mgr, None, &mut stdin.lock(), &mut stdout.lock())
+            .map_err(|e| format!("serve loop: {e}"))?;
+        print_summary(quiet, &summary);
+        return Ok(ExitCode::SUCCESS);
+    }
+    serve_channels(config, preload, follows, socket, per_session, quiet)
+}
+
+/// Opens every startup session into a single-threaded manager,
+/// announcing each load (shared by pipe mode and `--threads single`).
+fn open_preloaded(
+    config: SessionConfig,
+    preload: Vec<(String, Snapshot)>,
+    quiet: bool,
+) -> Result<SessionManager, String> {
+    let mut mgr = SessionManager::new(config);
+    for (name, snapshot) in preload {
         let devices = snapshot.device_count();
         mgr.open(&name, snapshot)?;
         if !quiet {
-            eprintln!("dna serve: session {name:?} loaded from {path} ({devices} devices)");
+            eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
         }
     }
-    match args.flag("socket") {
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            let summary = serve_stream(&mut mgr, None, &mut stdin.lock(), &mut stdout.lock())
-                .map_err(|e| format!("serve loop: {e}"))?;
-            if !quiet {
-                eprintln!(
-                    "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s)",
-                    summary.artifacts, summary.epochs, summary.queries, summary.errors
-                );
-            }
-            Ok(ExitCode::SUCCESS)
-        }
-        Some(path) => serve_with_socket(mgr, path, quiet),
+    Ok(mgr)
+}
+
+fn print_summary(quiet: bool, summary: &dna_serve::ServeSummary) {
+    if !quiet {
+        eprintln!(
+            "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s)",
+            summary.artifacts, summary.epochs, summary.queries, summary.errors
+        );
     }
 }
 
-/// Socket mode: the engine stays on this thread as the broker; a stdin
-/// pump and a connection acceptor feed it raw artifact text over
-/// channels. Runs until terminated.
+/// Channel mode (socket and/or follow pumps): pumps feed raw artifact
+/// text to the engine side over channels. With `--threads per-session`
+/// (the default) the engine side is a [`dna_serve::Router`] — one
+/// engine thread per session, so sessions load and ingest
+/// concurrently; with `--threads single` it is the PR-3 broker, every
+/// session on this thread. Runs until every pump is done (forever, in
+/// socket mode).
 #[cfg(unix)]
-fn serve_with_socket(mut mgr: SessionManager, path: &str, quiet: bool) -> Result<ExitCode, String> {
+fn serve_channels(
+    config: SessionConfig,
+    preload: Vec<(String, Snapshot)>,
+    follows: Vec<(Option<String>, String)>,
+    socket: Option<&str>,
+    per_session: bool,
+    quiet: bool,
+) -> Result<ExitCode, String> {
     use std::sync::mpsc;
-    let sock = std::path::Path::new(path);
-    if sock.exists() {
-        // Only reclaim the path from a DEAD server: a connectable socket
-        // means another instance is live, and deleting its socket would
-        // silently divert that server's clients here.
-        if std::os::unix::net::UnixStream::connect(sock).is_ok() {
-            return Err(format!("{path} is already served by a running instance"));
-        }
-        std::fs::remove_file(sock)
-            .map_err(|e| format!("cannot replace stale socket {path}: {e}"))?;
+    // Engine bring-up happens BEFORE the socket exists or any pump
+    // starts: a bad snapshot must fail the process while it is still
+    // invisible to clients, not after they can connect.
+    enum Engine {
+        Router(dna_serve::Router),
+        Broker(SessionManager),
     }
-    let listener = std::os::unix::net::UnixListener::bind(sock)
-        .map_err(|e| format!("cannot bind {path}: {e}"))?;
+    let engine = if per_session {
+        let mut router = dna_serve::Router::new(config);
+        let loaded: Vec<(String, usize)> = preload
+            .iter()
+            .map(|(n, s)| (n.clone(), s.device_count()))
+            .collect();
+        router.preload(preload)?;
+        if !quiet {
+            for (name, devices) in loaded {
+                eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
+            }
+        }
+        Engine::Router(router)
+    } else {
+        Engine::Broker(open_preloaded(config, preload, quiet)?)
+    };
+    let listener = match socket {
+        None => None,
+        Some(path) => {
+            let sock = std::path::Path::new(path);
+            if sock.exists() {
+                // Only reclaim the path from a DEAD server: a connectable
+                // socket means another instance is live, and deleting its
+                // socket would silently divert that server's clients here.
+                if std::os::unix::net::UnixStream::connect(sock).is_ok() {
+                    return Err(format!("{path} is already served by a running instance"));
+                }
+                std::fs::remove_file(sock)
+                    .map_err(|e| format!("cannot replace stale socket {path}: {e}"))?;
+            }
+            Some(
+                std::os::unix::net::UnixListener::bind(sock)
+                    .map_err(|e| format!("cannot bind {path}: {e}"))?,
+            )
+        }
+    };
     let (tx, rx) = mpsc::channel();
     let stdin_tx = tx.clone();
     std::thread::spawn(move || {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let _ = dna_serve::pump_stream(&stdin_tx, &mut stdin.lock(), &mut stdout.lock());
-        // Dropping stdin's sender leaves the acceptor's alive: the
-        // server keeps answering socket clients after stdin ends.
+        // Dropping stdin's sender leaves the other pumps' alive: the
+        // server keeps serving them after stdin ends.
     });
-    std::thread::spawn(move || {
-        let _ = dna_serve::accept_loop(tx, listener);
-    });
-    if !quiet {
-        eprintln!("dna serve: listening on {path}");
+    for (session, path) in follows {
+        let follow_tx = tx.clone();
+        std::thread::spawn(move || {
+            let target = std::path::PathBuf::from(&path);
+            match dna_serve::follow_trace(
+                &follow_tx,
+                session.as_deref(),
+                &target,
+                std::time::Duration::from_millis(50),
+            ) {
+                Ok(epochs) => {
+                    if !quiet {
+                        eprintln!(
+                            "dna serve: follow {path}: trace ended ({epochs} epoch(s) shipped)"
+                        );
+                    }
+                }
+                // Failures always reach stderr, --quiet or not.
+                Err(e) => eprintln!("dna serve: follow {path}: {e}"),
+            }
+        });
     }
-    dna_serve::run_broker(&mut mgr, rx);
+    if let Some(listener) = listener {
+        let accept_tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = dna_serve::accept_loop(accept_tx, listener);
+        });
+        if !quiet {
+            eprintln!("dna serve: listening on {}", socket.unwrap_or_default());
+        }
+    }
+    drop(tx);
+    let summary = match engine {
+        Engine::Router(router) => router.run(rx),
+        Engine::Broker(mut mgr) => dna_serve::run_broker(&mut mgr, rx),
+    };
+    print_summary(quiet, &summary);
     Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(not(unix))]
-fn serve_with_socket(_mgr: SessionManager, _path: &str, _quiet: bool) -> Result<ExitCode, String> {
-    Err("--socket requires a unix platform".into())
+fn serve_channels(
+    _config: SessionConfig,
+    _preload: Vec<(String, Snapshot)>,
+    _follows: Vec<(Option<String>, String)>,
+    _socket: Option<&str>,
+    _per_session: bool,
+    _quiet: bool,
+) -> Result<ExitCode, String> {
+    Err("--socket/--follow require a unix platform".into())
 }
 
 // ---- query ------------------------------------------------------------
@@ -699,7 +896,7 @@ fn query_over_socket(_path: &str, _text: &str) -> Result<ExitCode, String> {
 // ---- replay --verify --------------------------------------------------
 
 fn cmd_replay(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &[], &["verify", "quiet"])?;
+    let args = Args::parse(rest, &["shards"], &["verify", "quiet"])?;
     let [snap_path, trace_path] = args.positionals.as_slice() else {
         return Err("replay needs <snap-file> <trace-file>".into());
     };
@@ -707,9 +904,13 @@ fn cmd_replay(rest: &[String]) -> Result<ExitCode, String> {
         return Err("replay currently requires --verify (for plain replay, use `dna diff`)".into());
     }
     let quiet = args.has("quiet");
+    let shards: usize = args.parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let snapshot = load_snapshot(snap_path)?;
     let trace = load_trace(trace_path)?;
-    let mut session = ReplaySession::new(snapshot, ReplayMode::Both)
+    let mut session = ReplaySession::with_shards(snapshot, ReplayMode::Both, shards)
         .map_err(|e| format!("initial analysis: {e}"))?;
     let mut mismatches = 0usize;
     for (i, ep) in trace.epochs.iter().enumerate() {

@@ -131,3 +131,111 @@ fn serve_over_unix_socket_end_to_end() {
         std::panic::resume_unwind(e);
     }
 }
+
+/// Two sessions, two growing trace files, one server: `--follow`
+/// tails both files into their named sessions (each on its own engine
+/// thread) while socket clients query both — the binary-level form of
+/// the concurrent multi-session ingest test.
+#[test]
+fn follow_ingests_two_growing_traces_concurrently() {
+    let dir = std::env::temp_dir().join(format!("dna-follow-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mk = |name: &str, routing: &str, seed: &str| {
+        let snap = dir.join(format!("{name}.snap.dna"));
+        let trace = dir.join(format!("{name}.trace.dna"));
+        dna_ok(&[
+            "dump",
+            "--topo",
+            "fat-tree",
+            "--k",
+            "4",
+            "--routing",
+            routing,
+            "--seed",
+            seed,
+            "--out",
+            snap.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--scenarios",
+            "link-failure,link-recovery",
+        ]);
+        (snap, trace)
+    };
+    let (snap_a, trace_a) = mk("a", "ebgp", "91");
+    let (snap_b, trace_b) = mk("b", "ospf", "92");
+    // The follow files start with just the artifact header; epochs and
+    // the end sentinel arrive while the server is live.
+    let follow_a = dir.join("a.follow.dna");
+    let follow_b = dir.join("b.follow.dna");
+    let full_a = std::fs::read_to_string(&trace_a).unwrap();
+    let full_b = std::fs::read_to_string(&trace_b).unwrap();
+    let split = |full: &str| {
+        let head_len = full.find('\n').unwrap() + 1;
+        (full[..head_len].to_string(), full[head_len..].to_string())
+    };
+    let (head_a, rest_a) = split(&full_a);
+    let (head_b, rest_b) = split(&full_b);
+    std::fs::write(&follow_a, head_a).unwrap();
+    std::fs::write(&follow_b, head_b).unwrap();
+    let sock = dir.join("dna.sock");
+    let sock_s = sock.to_str().unwrap().to_string();
+    let mut server = Command::new(DNA)
+        .args([
+            "serve",
+            &format!("a={}", snap_a.to_str().unwrap()),
+            &format!("b={}", snap_b.to_str().unwrap()),
+            "--socket",
+            &sock_s,
+            "--follow",
+            &format!("a={}", follow_a.to_str().unwrap()),
+            "--follow",
+            &format!("b={}", follow_b.to_str().unwrap()),
+            "--shards",
+            "2",
+            "--quiet",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let result = std::panic::catch_unwind(|| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !sock.exists() {
+            assert!(Instant::now() < deadline, "socket never appeared");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Grow both trace files to completion while the server is live.
+        use std::fs::OpenOptions;
+        for (path, rest) in [(&follow_a, &rest_a), (&follow_b, &rest_b)] {
+            let mut f = OpenOptions::new().append(true).open(path).unwrap();
+            f.write_all(rest.as_bytes()).unwrap();
+        }
+        // Both sessions must absorb their own trace — and only theirs.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let a = dna_ok(&["query", "--socket", &sock_s, "--session", "a", "stats"]);
+            let b = dna_ok(&["query", "--socket", &sock_s, "--session", "b", "stats"]);
+            if a.contains("epochs 6") && b.contains("epochs 6") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follow ingest never surfaced:\n{a}\n{b}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let sessions = dna_ok(&["query", "--socket", &sock_s, "sessions"]);
+        assert!(sessions.contains("session \"a\" epochs 6"), "{sessions}");
+        assert!(sessions.contains("session \"b\" epochs 6"), "{sessions}");
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}

@@ -2,11 +2,11 @@
 //! rules program that tracks a snapshot mirror and turns [`ChangeSet`]s
 //! into incremental RIB/FIB deltas.
 
-use crate::relations::{change_deltas, snapshot_facts};
+use crate::relations::{change_deltas, shard_facts, snapshot_facts, Fact};
 use crate::rules::{build_program, CpHandles};
 use crate::types::{FibEntry, RibEntry};
 use ddflow::{CommitStats, Config, DdError, Diff, Runtime};
-use net_model::{ApplyError, ChangeSet, Snapshot};
+use net_model::{ApplyError, ChangeSet, ShardPlan, Snapshot};
 
 /// Error from the differential control-plane engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,46 @@ impl CpEngine {
         let (program, handles) = build_program();
         let mut runtime = Runtime::with_config(program, config);
         for (rel, row) in snapshot_facts(&snapshot) {
+            let h = handles.inputs[rel];
+            runtime.insert(h, row);
+        }
+        runtime.commit()?;
+        Ok(CpEngine {
+            runtime,
+            handles,
+            snapshot,
+        })
+    }
+
+    /// Sharded bring-up: fact encoding (per-device rows plus each
+    /// shard's slice of the global environment) runs on one scoped
+    /// worker thread per shard of `plan`, concurrently with rule
+    /// compilation on the calling thread; the encoded rows are then fed
+    /// into a single runtime and drained through one merged commit, so
+    /// the resulting engine state is identical to [`CpEngine::new`]'s —
+    /// the union of shard fact sets is a permutation of the unsharded
+    /// fact set, and the commit consolidates input order away.
+    pub fn sharded(snapshot: Snapshot, config: Config, plan: &ShardPlan) -> Result<Self, CpError> {
+        if plan.shard_count() <= 1 {
+            return Self::with_config(snapshot, config);
+        }
+        let (program, handles, rows) = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..plan.shard_count())
+                .map(|i| {
+                    let snapshot = &snapshot;
+                    s.spawn(move || shard_facts(snapshot, plan, i))
+                })
+                .collect();
+            // Rule compilation overlaps the encoders.
+            let (program, handles) = build_program();
+            let rows: Vec<Vec<Fact>> = workers
+                .into_iter()
+                .map(|w| w.join().expect("shard encode worker panicked"))
+                .collect();
+            (program, handles, rows)
+        });
+        let mut runtime = Runtime::with_config(program, config);
+        for (rel, row) in rows.into_iter().flatten() {
             let h = handles.inputs[rel];
             runtime.insert(h, row);
         }

@@ -57,85 +57,139 @@ fn link_row(l: &Link) -> Value {
 pub fn snapshot_facts(snap: &Snapshot) -> Vec<Fact> {
     let mut out: Vec<Fact> = Vec::new();
     for (dev, dc) in &snap.devices {
-        for (ifname, ic) in &dc.interfaces {
+        device_facts(dev, dc, &mut out);
+    }
+    environment_facts(snap, |_| true, &mut out);
+    out
+}
+
+/// The base facts of one shard: device-local facts of the shard's
+/// devices plus the shard-owned slice of the global environment (a link
+/// or external route is owned by its anchoring device's shard). The
+/// concatenation of every shard's facts is a permutation of
+/// [`snapshot_facts`] — the property the sharded bring-up relies on,
+/// pinned by `sharded_facts_are_a_partition_of_snapshot_facts`.
+pub fn shard_facts(snap: &Snapshot, plan: &net_model::ShardPlan, shard: usize) -> Vec<Fact> {
+    let mut out: Vec<Fact> = Vec::new();
+    for dev in &plan.groups()[shard] {
+        if let Some(dc) = snap.devices.get(dev) {
+            device_facts(dev, dc, &mut out);
+        }
+    }
+    // Shard 0 adopts devices no group claims (mirroring
+    // `ShardPlan::owner_of`'s fallback), so a hand-built partial plan
+    // still yields the full fact multiset instead of a silently
+    // incomplete engine.
+    if shard == 0 {
+        for (dev, dc) in snap.devices.iter().filter(|(d, _)| !plan.owns(d)) {
+            device_facts(dev, dc, &mut out);
+        }
+    }
+    environment_facts(snap, |anchor| plan.owner_of(anchor) == shard, &mut out);
+    out
+}
+
+/// Facts anchored at one device's configuration.
+fn device_facts(dev: &str, dc: &net_model::DeviceConfig, out: &mut Vec<Fact>) {
+    for (ifname, ic) in &dc.interfaces {
+        out.push((
+            "iface",
+            Value::tuple(vec![
+                Value::str(dev),
+                Value::str(ifname),
+                enc_prefix(ic.prefix),
+                enc_addr(ic.addr),
+            ]),
+        ));
+        if let Some(o) = &ic.ospf {
             out.push((
-                "iface",
+                "ospf_iface",
                 Value::tuple(vec![
                     Value::str(dev),
                     Value::str(ifname),
-                    enc_prefix(ic.prefix),
-                    enc_addr(ic.addr),
+                    Value::U32(o.cost),
+                    Value::U32(o.area),
+                    Value::Bool(o.passive),
                 ]),
-            ));
-            if let Some(o) = &ic.ospf {
-                out.push((
-                    "ospf_iface",
-                    Value::tuple(vec![
-                        Value::str(dev),
-                        Value::str(ifname),
-                        Value::U32(o.cost),
-                        Value::U32(o.area),
-                        Value::Bool(o.passive),
-                    ]),
-                ));
-            }
-        }
-        for r in &dc.static_routes {
-            out.push((
-                "static_route",
-                Value::tuple(vec![
-                    Value::str(dev),
-                    enc_prefix(r.prefix),
-                    enc_next_hop(&r.next_hop),
-                    Value::U32(r.admin_distance as u32),
-                ]),
-            ));
-        }
-        if let Some(bgp) = &dc.bgp {
-            out.push((
-                "bgp_proc",
-                Value::tuple(vec![
-                    Value::str(dev),
-                    Value::U32(bgp.asn),
-                    Value::U32(bgp.router_id),
-                ]),
-            ));
-            for n in &bgp.neighbors {
-                out.push((
-                    "bgp_neighbor",
-                    Value::tuple(vec![
-                        Value::str(dev),
-                        enc_addr(n.peer),
-                        Value::U32(n.remote_as),
-                        enc_opt_name(&n.import_policy),
-                        enc_opt_name(&n.export_policy),
-                    ]),
-                ));
-            }
-            for &p in &bgp.networks {
-                out.push((
-                    "bgp_network",
-                    Value::tuple(vec![Value::str(dev), enc_prefix(p)]),
-                ));
-            }
-        }
-        for (name, rm) in &dc.route_maps {
-            out.push((
-                "route_map",
-                Value::tuple(vec![Value::str(dev), Value::str(name), enc_route_map(rm)]),
             ));
         }
     }
-    for l in &snap.links {
+    for r in &dc.static_routes {
+        out.push((
+            "static_route",
+            Value::tuple(vec![
+                Value::str(dev),
+                enc_prefix(r.prefix),
+                enc_next_hop(&r.next_hop),
+                Value::U32(r.admin_distance as u32),
+            ]),
+        ));
+    }
+    if let Some(bgp) = &dc.bgp {
+        out.push((
+            "bgp_proc",
+            Value::tuple(vec![
+                Value::str(dev),
+                Value::U32(bgp.asn),
+                Value::U32(bgp.router_id),
+            ]),
+        ));
+        for n in &bgp.neighbors {
+            out.push((
+                "bgp_neighbor",
+                Value::tuple(vec![
+                    Value::str(dev),
+                    enc_addr(n.peer),
+                    Value::U32(n.remote_as),
+                    enc_opt_name(&n.import_policy),
+                    enc_opt_name(&n.export_policy),
+                ]),
+            ));
+        }
+        for &p in &bgp.networks {
+            out.push((
+                "bgp_network",
+                Value::tuple(vec![Value::str(dev), enc_prefix(p)]),
+            ));
+        }
+    }
+    for (name, rm) in &dc.route_maps {
+        out.push((
+            "route_map",
+            Value::tuple(vec![Value::str(dev), Value::str(name), enc_route_map(rm)]),
+        ));
+    }
+}
+
+/// Global (non-device-config) facts whose anchoring device satisfies
+/// `owned` — links and down-links anchor at their `a` endpoint,
+/// failures and external routes at their device.
+fn environment_facts(snap: &Snapshot, owned: impl Fn(&str) -> bool, out: &mut Vec<Fact>) {
+    for l in snap.links.iter().filter(|l| owned(&l.a.device)) {
         out.push(("link", link_row(l)));
     }
-    for l in &snap.environment.down_links {
+    for l in snap
+        .environment
+        .down_links
+        .iter()
+        .filter(|l| owned(&l.a.device))
+    {
         out.push(("down_link", link_row(l)));
     }
-    for d in &snap.environment.down_devices {
+    for d in snap
+        .environment
+        .down_devices
+        .iter()
+        .filter(|d| owned(d.as_str()))
+    {
         out.push(("down_device", Value::str(d)));
     }
-    for e in &snap.environment.external_routes {
+    for e in snap
+        .environment
+        .external_routes
+        .iter()
+        .filter(|e| owned(&e.device))
+    {
         out.push((
             "external_route",
             Value::tuple(vec![
@@ -145,7 +199,6 @@ pub fn snapshot_facts(snap: &Snapshot) -> Vec<Fact> {
             ]),
         ));
     }
-    out
 }
 
 /// Fact deltas for one change, evaluated against the pre-change snapshot.
@@ -463,6 +516,38 @@ mod tests {
             }
         )
         .is_empty());
+    }
+
+    #[test]
+    fn sharded_facts_are_a_partition_of_snapshot_facts() {
+        let mut snap = snapshot();
+        // Exercise every global-fact family, not just links.
+        snap.environment.down_links.insert(snap.links[0].clone());
+        snap.environment.down_devices.insert("r2".into());
+        let sort_key = |f: &(String, Value)| (f.0.clone(), f.1.clone());
+        let mut expected: Vec<(String, Value)> = snapshot_facts(&snap)
+            .into_iter()
+            .map(|(r, v)| (r.to_string(), v))
+            .collect();
+        expected.sort_by_key(sort_key);
+        for n in [1, 2, 5] {
+            let plan = net_model::ShardPlan::partition(&snap, n);
+            let mut got: Vec<(String, Value)> = (0..plan.shard_count())
+                .flat_map(|s| shard_facts(&snap, &plan, s))
+                .map(|(r, v)| (r.to_string(), v))
+                .collect();
+            got.sort_by_key(sort_key);
+            assert_eq!(got, expected, "shard facts diverge for {n} shards");
+        }
+        // A hand-built plan that fails to claim a device must still
+        // cover it: shard 0 adopts the unowned remainder.
+        let partial = net_model::ShardPlan::from_groups(vec![vec![], vec!["r1".into()]]);
+        let mut got: Vec<(String, Value)> = (0..partial.shard_count())
+            .flat_map(|s| shard_facts(&snap, &partial, s))
+            .map(|(r, v)| (r.to_string(), v))
+            .collect();
+        got.sort_by_key(sort_key);
+        assert_eq!(got, expected, "partial plan must not drop device facts");
     }
 
     #[test]

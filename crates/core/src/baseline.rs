@@ -6,7 +6,7 @@
 
 use crate::engine::{BehaviorDiff, DiffStats, DnaError, FlowDiff};
 use control_plane::{reference, CpError, FibEntry, RibEntry};
-use data_plane::{compile_acl, AtomRegistry, DataPlane, DpUpdate};
+use data_plane::{compile_acl, AtomRegistry, DataPlane};
 use ddflow::Diff;
 use net_model::{ChangeSet, Snapshot};
 use std::collections::{BTreeMap, BTreeSet};
@@ -15,27 +15,41 @@ use std::time::Instant;
 /// From-scratch change-impact analysis: simulate before and after, diff.
 pub struct ScratchDiffer {
     snapshot: Snapshot,
+    /// Worker count for each full simulation's baseline data-plane load.
+    shards: usize,
 }
 
-fn simulate_full(snap: &Snapshot) -> Result<(reference::SimResult, DataPlane), DnaError> {
+fn simulate_full(
+    snap: &Snapshot,
+    shards: usize,
+) -> Result<(reference::SimResult, DataPlane), DnaError> {
     let sim = reference::simulate(snap)
         .map_err(|e| DnaError::ControlPlane(CpError::Divergence(e.to_string())))?;
     let mut dp = DataPlane::new(snap);
-    dp.apply(&DpUpdate {
-        fib: sim.fib.iter().cloned().map(|e| (e, 1)).collect(),
-        filters: vec![],
-    });
+    let fib: Vec<_> = sim.fib.iter().cloned().map(|e| (e, 1)).collect();
+    dp.load_baseline(&fib, shards);
     Ok((sim, dp))
 }
 
 impl ScratchDiffer {
     /// Creates the baseline differ over a base snapshot.
     pub fn new(snapshot: Snapshot) -> Result<Self, DnaError> {
+        Self::with_shards(snapshot, 1)
+    }
+
+    /// [`ScratchDiffer::new`] with the per-epoch full simulations'
+    /// baseline reachability sweeps fanned out over `shards` workers
+    /// (the from-scratch twin of [`crate::DiffEngine::with_shards`];
+    /// reports are identical for every shard count).
+    pub fn with_shards(snapshot: Snapshot, shards: usize) -> Result<Self, DnaError> {
         let problems = snapshot.validate();
         if !problems.is_empty() {
             return Err(DnaError::InvalidSnapshot(format!("{:?}", problems[0])));
         }
-        Ok(ScratchDiffer { snapshot })
+        Ok(ScratchDiffer {
+            snapshot,
+            shards: shards.max(1),
+        })
     }
 
     /// The current snapshot.
@@ -49,9 +63,9 @@ impl ScratchDiffer {
         let after_snap = changes
             .apply(&self.snapshot)
             .map_err(|e| DnaError::ControlPlane(CpError::Apply(e)))?;
-        let (before_sim, before_dp) = simulate_full(&self.snapshot)?;
+        let (before_sim, before_dp) = simulate_full(&self.snapshot, self.shards)?;
         let cp_mid = Instant::now();
-        let (after_sim, after_dp) = simulate_full(&after_snap)?;
+        let (after_sim, after_dp) = simulate_full(&after_snap, self.shards)?;
         // Control-plane diffs (set difference on canonical entries).
         let rib = set_diff(&before_sim.rib, &after_sim.rib);
         let fib = set_diff(&before_sim.fib, &after_sim.fib);

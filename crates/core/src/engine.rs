@@ -9,7 +9,7 @@
 use control_plane::{CpEngine, CpError, FibEntry, RibEntry};
 use data_plane::{DataPlane, Dir, DpUpdate, FilterChange, Outcome, ReachDelta};
 use ddflow::Diff;
-use net_model::{Change, ChangeSet, Flow, Snapshot};
+use net_model::{Change, ChangeSet, Flow, ShardPlan, Snapshot};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -98,19 +98,30 @@ pub struct DiffEngine {
 impl DiffEngine {
     /// Builds the engine: simulates the base snapshot's control plane,
     /// loads the resulting data plane, computes baseline reachability.
+    /// Single-shard bring-up; see [`DiffEngine::with_shards`].
     pub fn new(snapshot: Snapshot) -> Result<Self, DnaError> {
+        Self::with_shards(snapshot, 1)
+    }
+
+    /// [`DiffEngine::new`] through the sharded init pipeline: the
+    /// snapshot is partitioned into `shards` device shards
+    /// ([`ShardPlan::partition`]); per-shard fact encoding runs on one
+    /// scoped worker thread each (overlapped with rule compilation),
+    /// one merged dataflow commit produces the control-plane fixpoint,
+    /// and the baseline data-plane load fans its reachability sweep out
+    /// over the same number of workers. Observationally identical to
+    /// the single-threaded path for every shard count.
+    pub fn with_shards(snapshot: Snapshot, shards: usize) -> Result<Self, DnaError> {
         let problems = snapshot.validate();
         if !problems.is_empty() {
             return Err(DnaError::InvalidSnapshot(format!("{:?}", problems[0])));
         }
-        let mut cp = CpEngine::new(snapshot.clone())?;
+        let plan = ShardPlan::partition(&snapshot, shards);
+        let mut cp = CpEngine::sharded(snapshot.clone(), ddflow::Config::default(), &plan)?;
         cp.drain_initial();
         let mut dp = DataPlane::new(&snapshot);
         let fib: Vec<(FibEntry, Diff)> = cp.fib().into_iter().map(|e| (e, 1)).collect();
-        dp.apply(&DpUpdate {
-            fib,
-            filters: vec![],
-        });
+        dp.load_baseline(&fib, plan.shard_count());
         Ok(DiffEngine { cp, dp })
     }
 

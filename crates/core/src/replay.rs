@@ -136,14 +136,32 @@ pub const DEFAULT_STATS_RETENTION: usize = 4096;
 impl ReplaySession {
     /// Builds the session, initializing the selected analyzer(s) on the
     /// base snapshot (this is where from-scratch initial simulation
-    /// happens for the differential engine).
+    /// happens for the differential engine). Single-shard bring-up; see
+    /// [`ReplaySession::with_shards`].
     pub fn new(snapshot: Snapshot, mode: ReplayMode) -> Result<Self, DnaError> {
+        Self::with_shards(snapshot, mode, 1)
+    }
+
+    /// [`ReplaySession::new`] with both analyzers brought up through
+    /// the sharded init pipeline ([`DiffEngine::with_shards`] /
+    /// [`ScratchDiffer::with_shards`]): the expensive initial load fans
+    /// out over `shards` workers while every observable output stays
+    /// identical to the single-threaded path.
+    pub fn with_shards(
+        snapshot: Snapshot,
+        mode: ReplayMode,
+        shards: usize,
+    ) -> Result<Self, DnaError> {
         let engine = match mode {
-            ReplayMode::Differential | ReplayMode::Both => Some(DiffEngine::new(snapshot.clone())?),
+            ReplayMode::Differential | ReplayMode::Both => {
+                Some(DiffEngine::with_shards(snapshot.clone(), shards)?)
+            }
             ReplayMode::Scratch => None,
         };
         let scratch = match mode {
-            ReplayMode::Scratch | ReplayMode::Both => Some(ScratchDiffer::new(snapshot)?),
+            ReplayMode::Scratch | ReplayMode::Both => {
+                Some(ScratchDiffer::with_shards(snapshot, shards)?)
+            }
             ReplayMode::Differential => None,
         };
         Ok(ReplaySession {

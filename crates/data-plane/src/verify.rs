@@ -261,44 +261,7 @@ impl DataPlane {
         let mut dirty: BTreeSet<AtomId> = BTreeSet::new();
         // ---- FIB deltas ----
         for (entry, diff) in &update.fib {
-            if *diff == 0 {
-                continue;
-            }
-            let pset = self.reg.arena.dst_prefix(entry.prefix);
-            let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
-            if *diff > 0 {
-                let pred = match dev_fib.get(&entry.prefix) {
-                    Some(pe) => pe.pred,
-                    None => {
-                        let (pred, changes) = self.reg.acquire(pset);
-                        self.migrate(&changes, &mut dirty);
-                        pred
-                    }
-                };
-                // Re-borrow after possible registry mutation.
-                let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
-                let pe = dev_fib.entry(entry.prefix).or_insert(PrefixEntry {
-                    pred,
-                    actions: BTreeMap::new(),
-                });
-                *pe.actions.entry(entry.action.clone()).or_insert(0) += diff;
-                dirty.extend(self.reg.atoms_of(pred));
-            } else {
-                let Some(pe) = dev_fib.get_mut(&entry.prefix) else {
-                    continue; // removing a nonexistent entry: no-op
-                };
-                let pred = pe.pred;
-                let count = pe.actions.entry(entry.action.clone()).or_insert(0);
-                *count += diff;
-                if *count <= 0 {
-                    pe.actions.remove(&entry.action);
-                }
-                dirty.extend(self.reg.atoms_of(pred));
-                if pe.actions.is_empty() {
-                    dev_fib.remove(&entry.prefix);
-                    pending.0.push(pred);
-                }
-            }
+            self.apply_fib_delta(entry, *diff, &mut dirty, &mut pending);
         }
         // ---- Filter changes ----
         for fc in &update.filters {
@@ -362,6 +325,106 @@ impl DataPlane {
             }
         }
         (deltas, pending)
+    }
+
+    /// Installs or retracts one FIB entry, tracking the atoms whose
+    /// reachability is invalidated and the predicates retired by it.
+    fn apply_fib_delta(
+        &mut self,
+        entry: &FibEntry,
+        diff: isize,
+        dirty: &mut BTreeSet<AtomId>,
+        pending: &mut PendingReleases,
+    ) {
+        if diff == 0 {
+            return;
+        }
+        let pset = self.reg.arena.dst_prefix(entry.prefix);
+        let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
+        if diff > 0 {
+            let pred = match dev_fib.get(&entry.prefix) {
+                Some(pe) => pe.pred,
+                None => {
+                    let (pred, changes) = self.reg.acquire(pset);
+                    self.migrate(&changes, dirty);
+                    pred
+                }
+            };
+            // Re-borrow after possible registry mutation.
+            let dev_fib = self.fibs.entry(entry.device.clone()).or_default();
+            let pe = dev_fib.entry(entry.prefix).or_insert(PrefixEntry {
+                pred,
+                actions: BTreeMap::new(),
+            });
+            *pe.actions.entry(entry.action.clone()).or_insert(0) += diff;
+            dirty.extend(self.reg.atoms_of(pred));
+        } else {
+            let Some(pe) = dev_fib.get_mut(&entry.prefix) else {
+                return; // removing a nonexistent entry: no-op
+            };
+            let pred = pe.pred;
+            let count = pe.actions.entry(entry.action.clone()).or_insert(0);
+            *count += diff;
+            if *count <= 0 {
+                pe.actions.remove(&entry.action);
+            }
+            dirty.extend(self.reg.atoms_of(pred));
+            if pe.actions.is_empty() {
+                dev_fib.remove(&entry.prefix);
+                pending.0.push(pred);
+            }
+        }
+    }
+
+    /// Bulk baseline load of an initial FIB — the sharded bring-up
+    /// seam. Ends in exactly the state of
+    /// `apply(&DpUpdate { fib, filters: vec![] })` (same fibs, same
+    /// partition, same reachability maps) but produces no deltas:
+    /// instead of diffing each dirtied class against its pre-load
+    /// outcomes, it recomputes reachability for *every* live class
+    /// once, fanned out over up to `workers` scoped threads
+    /// ([`DataPlane::compute_reach`] is read-only, and at baseline load
+    /// essentially every class is dirty anyway).
+    pub fn load_baseline(&mut self, fib: &[(FibEntry, isize)], workers: usize) {
+        let mut dirty = BTreeSet::new();
+        let mut pending = PendingReleases(Vec::new());
+        for (entry, diff) in fib {
+            self.apply_fib_delta(entry, *diff, &mut dirty, &mut pending);
+        }
+        // `dirty` only mattered for migrate bookkeeping: the full
+        // recompute below covers every live atom regardless.
+        drop(dirty);
+        let atoms: Vec<AtomId> = self.reg.atom_ids().collect();
+        let workers = workers.clamp(1, atoms.len().max(1));
+        let maps: Vec<ReachMap> = if workers <= 1 {
+            atoms.iter().map(|&a| self.compute_reach(a)).collect()
+        } else {
+            // One contiguous chunk per worker; results are stitched
+            // back in atom order, so the merged state is independent of
+            // scheduling.
+            let chunk = atoms.len().div_ceil(workers);
+            let me: &DataPlane = self;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = atoms
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            part.iter()
+                                .map(|&a| me.compute_reach(a))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("reach worker panicked"))
+                    .collect()
+            })
+        };
+        for (atom, map) in atoms.into_iter().zip(maps) {
+            self.reach.insert(atom, map);
+        }
+        self.finish_update(pending);
     }
 
     /// Completes an [`DataPlane::apply_deferred`] call: releases retired

@@ -369,3 +369,59 @@ fn atom_descriptions_and_samples_are_consistent() {
         assert!(!dp.describe_atom(atom, 8).is_empty());
     }
 }
+
+/// The sharded bring-up loader must land in exactly the state the
+/// incremental path produces — same partition, same reachability, same
+/// subsequent behavior — for any worker count.
+#[test]
+fn load_baseline_matches_apply_for_any_worker_count() {
+    let snap = line_snapshot();
+    let fib = vec![
+        fw("a", "172.16.2.0/24", "right", "b"),
+        fw("b", "172.16.2.0/24", "right", "c"),
+        deliver("c", "172.16.2.0/24", "lan"),
+        fw("c", "172.16.0.0/24", "left", "b"),
+        fw("b", "172.16.0.0/24", "left", "a"),
+        deliver("a", "172.16.0.0/24", "lan"),
+    ];
+    let mut reference = DataPlane::new(&snap);
+    reference.apply(&DpUpdate {
+        fib: fib.clone(),
+        filters: vec![],
+    });
+    for workers in [1, 2, 7] {
+        let mut dp = DataPlane::new(&snap);
+        dp.load_baseline(&fib, workers);
+        assert_eq!(
+            dp.fingerprint(),
+            reference.fingerprint(),
+            "bulk load with {workers} workers diverged from the apply path"
+        );
+        assert_eq!(dp.atom_count(), reference.atom_count());
+        // Subsequent incremental updates behave identically too.
+        let retract = vec![(fib[1].0.clone(), -1)];
+        let mut a = dp;
+        let mut deltas_a = a.apply(&DpUpdate {
+            fib: retract.clone(),
+            filters: vec![],
+        });
+        let mut b_ref = DataPlane::new(&snap);
+        b_ref.apply(&DpUpdate {
+            fib: fib.clone(),
+            filters: vec![],
+        });
+        let mut deltas_b = b_ref.apply(&DpUpdate {
+            fib: retract,
+            filters: vec![],
+        });
+        let key = |d: &data_plane::ReachDelta| (d.src.clone(), d.before.clone(), d.after.clone());
+        deltas_a.sort_by_key(key);
+        deltas_b.sort_by_key(key);
+        let strip: fn(Vec<data_plane::ReachDelta>) -> Vec<_> = |v| {
+            v.into_iter()
+                .map(|d| (d.src, d.before, d.after))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(deltas_a), strip(deltas_b));
+    }
+}

@@ -28,6 +28,7 @@ mod lex;
 mod proto;
 mod report;
 mod snapshot;
+mod tail;
 mod trace;
 
 use std::fmt;
@@ -40,6 +41,7 @@ pub use proto::{
 };
 pub use report::{parse_report, write_report, EpochDiff, Report};
 pub use snapshot::{parse_snapshot, write_snapshot};
+pub use tail::TraceTail;
 pub use trace::{parse_trace, write_trace, Trace, TraceEpoch};
 
 /// The artifact kinds the format carries.

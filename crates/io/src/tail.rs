@@ -1,0 +1,278 @@
+//! Incremental trace framing for file-tail ingest (`dna serve
+//! --follow`).
+//!
+//! A growing trace file is one `trace` artifact whose epochs are
+//! appended over time and whose closing `end` sentinel arrives last. A
+//! [`TraceTail`] consumes such a file in arbitrary chunks and yields
+//! each epoch as soon as it is *complete* — an epoch only closes when
+//! the next top-level `epoch` line (or the `end` sentinel) appears,
+//! since until then more change lines may still be written to it.
+//!
+//! Framing relies on the format's indentation contract: epoch headers
+//! and the `end` sentinel are the only unindented body lines of a trace
+//! artifact (change lines and route-map clauses are indented). Each
+//! completed block is re-parsed through [`crate::parse_trace`], so the
+//! tailer accepts exactly the language the batch parser accepts.
+
+use crate::error::{perr, IoError};
+use crate::trace::{parse_trace, TraceEpoch};
+
+/// Incremental, chunk-at-a-time reader of a growing trace artifact.
+#[derive(Debug, Default)]
+pub struct TraceTail {
+    /// Trailing bytes of the last chunk that did not end in a newline.
+    partial: String,
+    /// The artifact's header line (plus any leading comments), once
+    /// seen and validated.
+    header: Option<String>,
+    /// Lines of the currently-open epoch block.
+    block: String,
+    /// File line number of the open block's first line.
+    block_start: usize,
+    /// 1-based number of the last fully-consumed line.
+    line: usize,
+    /// Whether the closing `end` sentinel has been consumed.
+    finished: bool,
+}
+
+impl TraceTail {
+    /// A tailer at the start of a trace file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the artifact's closing `end` sentinel has been seen;
+    /// after that, [`TraceTail::feed`] rejects further meaningful input.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether buffered input is still waiting for its closing
+    /// boundary (an open epoch block or an unterminated line).
+    pub fn pending(&self) -> bool {
+        !self.finished
+            && (!self.partial.trim().is_empty() || self.block.lines().any(|l| !l.trim().is_empty()))
+    }
+
+    /// Call at end-of-input: a final `end` sentinel written without a
+    /// trailing newline is already complete (no top-level trace line
+    /// begins with `end` except the sentinel itself), so consume it —
+    /// the batch parser accepts such files and the tailer must too.
+    /// Any other partial line keeps waiting; a tailer cannot know
+    /// whether a writer will extend it.
+    pub fn finish_eof(&mut self) -> Result<Vec<TraceEpoch>, IoError> {
+        // Top-level check mirrors `consume_line`: an indented "end" is
+        // a (malformed) block line, not the sentinel.
+        if !self.finished && self.partial.trim_end() == "end" {
+            return self.feed("\n");
+        }
+        Ok(Vec::new())
+    }
+
+    /// Consumes the next chunk of the file, returning every epoch that
+    /// completed. Chunks may split anywhere, even mid-line.
+    pub fn feed(&mut self, chunk: &str) -> Result<Vec<TraceEpoch>, IoError> {
+        self.partial.push_str(chunk);
+        let mut epochs = Vec::new();
+        while let Some(eol) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=eol).collect();
+            self.line += 1;
+            self.consume_line(&line, &mut epochs)?;
+        }
+        Ok(epochs)
+    }
+
+    fn consume_line(&mut self, line: &str, epochs: &mut Vec<TraceEpoch>) -> Result<(), IoError> {
+        let meaningful = {
+            let t = line.trim();
+            !(t.is_empty() || t.starts_with(';'))
+        };
+        if self.finished {
+            if meaningful {
+                return Err(perr(self.line, "content after end sentinel"));
+            }
+            return Ok(());
+        }
+        if self.header.is_none() {
+            self.block.push_str(line);
+            if meaningful {
+                // The first meaningful line must be the trace header;
+                // validating it now (against an empty body) surfaces
+                // wrong-kind or wrong-version files immediately.
+                parse_trace(&format!("{}end\n", self.block))?;
+                self.header = Some(std::mem::take(&mut self.block));
+            }
+            return Ok(());
+        }
+        let top_level = meaningful && !line.starts_with([' ', '\t']);
+        let t = line.trim();
+        if top_level && t == "end" {
+            self.flush(epochs)?;
+            self.finished = true;
+        } else {
+            if top_level && (t == "epoch" || t.starts_with("epoch ")) {
+                self.flush(epochs)?;
+            }
+            if self.block.is_empty() {
+                self.block_start = self.line;
+            }
+            self.block.push_str(line);
+        }
+        Ok(())
+    }
+
+    /// Parses and drains the open block (a no-op when it holds no
+    /// meaningful lines).
+    fn flush(&mut self, epochs: &mut Vec<TraceEpoch>) -> Result<(), IoError> {
+        let block = std::mem::take(&mut self.block);
+        let meaningful = block.lines().any(|l| {
+            let t = l.trim();
+            !(t.is_empty() || t.starts_with(';'))
+        });
+        if !meaningful {
+            return Ok(());
+        }
+        let header = self.header.as_deref().expect("flush only after header");
+        // A parse error reports a line in the synthetic header+block
+        // document; remap it onto the real file line so the operator is
+        // pointed at the actual bad line of the tailed trace.
+        let header_lines = header.lines().count();
+        let parsed = parse_trace(&format!("{header}{block}end\n")).map_err(|e| match e {
+            IoError::Parse { line, message } if line > header_lines => IoError::Parse {
+                line: (self.block_start + (line - header_lines - 1)).min(self.line),
+                message,
+            },
+            other => other,
+        })?;
+        epochs.extend(parsed.epochs);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{write_trace, Trace};
+    use net_model::{Change, ChangeSet};
+
+    fn sample_trace() -> Trace {
+        Trace::from_labeled(vec![
+            (
+                "one".to_string(),
+                ChangeSet::single(Change::DeviceDown("r1".into())),
+            ),
+            (
+                "two".to_string(),
+                ChangeSet::single(Change::DeviceUp("r1".into())),
+            ),
+            (
+                "three".to_string(),
+                ChangeSet::single(Change::SetRouteMap {
+                    device: "r1".into(),
+                    name: "rm".into(),
+                    map: net_model::RouteMap::permit_all(),
+                }),
+            ),
+        ])
+    }
+
+    /// Feeding byte-at-a-time must yield exactly the batch parse, with
+    /// each epoch emitted only once its closing boundary arrives.
+    #[test]
+    fn tail_yields_batch_parse_at_any_chunking() {
+        let text = write_trace(&sample_trace());
+        for chunk_size in [1, 2, 7, text.len()] {
+            let mut tail = TraceTail::new();
+            let mut got = Vec::new();
+            let bytes = text.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let end = (i + chunk_size).min(bytes.len());
+                let chunk = std::str::from_utf8(&bytes[i..end]).unwrap();
+                got.extend(tail.feed(chunk).expect("chunk parses"));
+                i = end;
+            }
+            assert!(tail.finished());
+            assert!(!tail.pending());
+            assert_eq!(got, sample_trace().epochs, "chunk size {chunk_size}");
+        }
+    }
+
+    /// An epoch stays pending until the next boundary line shows up —
+    /// the property --follow relies on to never ingest a half-written
+    /// epoch.
+    #[test]
+    fn epochs_close_only_at_the_next_boundary() {
+        let mut tail = TraceTail::new();
+        let fed = tail
+            .feed("dna-io v1 trace\nepoch label \"a\"\n  device-down \"r1\"\n")
+            .unwrap();
+        assert!(fed.is_empty(), "open epoch must not be emitted");
+        assert!(tail.pending());
+        let fed = tail.feed("epoch label \"b\"\n").unwrap();
+        assert_eq!(fed.len(), 1);
+        assert_eq!(fed[0].label.as_deref(), Some("a"));
+        let fed = tail.feed("end\n").unwrap();
+        assert_eq!(fed.len(), 1);
+        assert_eq!(fed[0].label.as_deref(), Some("b"));
+        assert!(tail.finished());
+    }
+
+    /// A file whose closing `end` lacks a trailing newline parses in
+    /// batch mode, so the tailer must finish on it too (via
+    /// `finish_eof` at end-of-input) instead of waiting forever.
+    #[test]
+    fn unterminated_end_sentinel_finishes_at_eof() {
+        let text = write_trace(&sample_trace());
+        let mut tail = TraceTail::new();
+        let mut got = tail.feed(text.trim_end_matches('\n')).unwrap();
+        assert!(!tail.finished(), "sentinel line is still open");
+        got.extend(tail.finish_eof().unwrap());
+        assert!(tail.finished());
+        assert_eq!(got, sample_trace().epochs);
+        // A partial non-sentinel line keeps waiting.
+        let mut tail = TraceTail::new();
+        tail.feed("dna-io v1 trace\nepoch label \"a\"\n  device-down")
+            .unwrap();
+        assert!(tail.finish_eof().unwrap().is_empty());
+        assert!(!tail.finished());
+        assert!(tail.pending());
+    }
+
+    /// Parse errors must point at the bad line's position in the
+    /// *tailed file*, not in the synthetic per-block re-parse buffer.
+    #[test]
+    fn parse_errors_carry_real_file_line_numbers() {
+        let mut tail = TraceTail::new();
+        // Lines 1-5 are fine; line 6 holds the bad keyword. The error
+        // only surfaces when the block closes (line 7).
+        tail.feed("; a leading comment\ndna-io v1 trace\nepoch label \"a\"\n  device-down \"r1\"\nepoch label \"b\"\n  bogus-keyword\n")
+            .unwrap();
+        let err = tail.feed("end\n").unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 6, "{message}");
+                assert!(message.contains("bogus-keyword"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_a_typed_error() {
+        let mut tail = TraceTail::new();
+        assert!(matches!(
+            tail.feed("dna-io v1 snapshot\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+        let mut tail = TraceTail::new();
+        tail.feed("dna-io v1 trace\nepoch\n").unwrap();
+        assert!(tail.feed("garbage-keyword\nend\n").is_err());
+        let mut tail = TraceTail::new();
+        tail.feed("; comment\n\ndna-io v1 trace\nepoch\nend\n")
+            .unwrap();
+        assert!(tail.finished());
+        assert!(tail.feed("epoch\n").is_err(), "content after end");
+        assert!(tail.feed("; trailing comment ok\n").is_ok());
+    }
+}

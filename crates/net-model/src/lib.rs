@@ -35,6 +35,7 @@ pub mod change;
 pub mod config;
 pub mod ip;
 pub mod route;
+pub mod shard;
 pub mod snapshot;
 
 pub use acl::{Acl, AclEntry, Action, Flow, FlowMatch, PortRange};
@@ -45,4 +46,5 @@ pub use config::{
 };
 pub use ip::{ip, pfx, Ipv4Addr, Ipv4Prefix};
 pub use route::{RmAction, RmMatch, RmSet, RouteAttrs, RouteMap, RouteMapClause};
+pub use shard::ShardPlan;
 pub use snapshot::{Endpoint, Environment, ExternalRoute, Link, Snapshot, ValidationError};

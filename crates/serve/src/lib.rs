@@ -14,8 +14,13 @@
 //! * [`session`] — [`Session`] (one live analysis: engine + optional
 //!   from-scratch verification shadow + bounded epoch history) and
 //!   [`SessionManager`] (named sessions, one per loaded snapshot);
-//! * [`server`] — artifact framing and the serve loop over any
-//!   `BufRead`/`Write` pair (stdio pipes) plus a unix-socket front-end.
+//! * [`server`] — artifact framing, the single-threaded serve loop over
+//!   any `BufRead`/`Write` pair (stdio pipes), the broker request type,
+//!   a unix-socket front-end, and file-tail ingest ([`follow_trace`]);
+//! * [`router`] — one engine thread *per session* behind the broker
+//!   seam: parallel session bring-up and concurrent multi-session
+//!   ingest with interleaved queries (the engine stays thread-local —
+//!   each session's engine lives and dies on its own thread).
 //!
 //! The wire protocol is `dna-io`'s `query`/`response` artifacts (see
 //! `crates/io/FORMAT.md`); the `dna serve` / `dna query` subcommands in
@@ -24,12 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod router;
 pub mod server;
 pub mod session;
 
+pub use router::{route_stream, Router};
 #[cfg(unix)]
 pub use server::{accept_loop, query_socket};
 pub use server::{
-    handle_artifact, pump_stream, read_artifact, run_broker, serve_stream, Request, ServeSummary,
+    follow_trace, handle_artifact, pump_stream, pump_stream_as, read_artifact, run_broker,
+    serve_stream, Request, ServeSummary,
 };
 pub use session::{Session, SessionConfig, SessionManager};

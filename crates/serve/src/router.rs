@@ -1,0 +1,460 @@
+//! Per-session engine threads behind the broker seam.
+//!
+//! The dataflow engine is thread-local by design, so PR 3's broker ran
+//! *every* session on one engine thread — two sessions could never
+//! ingest concurrently. The router keeps the same outside contract
+//! (requests are raw artifact text plus a reply channel — see
+//! [`crate::server::Request`]) but gives each session its own engine
+//! thread: the router thread only parses and routes; session threads
+//! own their [`Session`] (engine state never crosses threads) and send
+//! serialized responses straight to the requesting client. Two clients
+//! ingesting into different sessions therefore run truly in parallel,
+//! with queries interleaving against both, while per-session ordering
+//! is preserved by each session's command channel. Session bring-up
+//! (the expensive initial analysis) also parallelizes: opening N
+//! sessions at startup runs N engine initializations concurrently.
+
+use crate::server::{Request, ServeSummary};
+use crate::session::{Session, SessionConfig};
+use dna_io::{
+    parse_query, parse_snapshot, parse_trace, write_response, Artifact, QueryKind, Response,
+    SessionInfo,
+};
+use net_model::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// One command on a session thread's channel. Replies are serialized
+/// response artifacts sent directly to the requesting client.
+enum SessionCmd {
+    /// (Re)open the session over an already-parsed snapshot (preload).
+    Load(Box<Snapshot>, mpsc::Sender<String>),
+    /// Parse raw snapshot artifact text, then (re)open over it. Raw
+    /// text so the parse of a large artifact runs on this session's
+    /// thread, never stalling the router (and with it other sessions).
+    LoadText(String, mpsc::Sender<String>),
+    /// Parse raw trace artifact text, then ingest it epoch by epoch.
+    IngestText(String, mpsc::Sender<String>),
+    /// Answer one query.
+    Query(Box<QueryKind>, mpsc::Sender<String>),
+}
+
+/// A running session thread.
+struct SessionThread {
+    tx: mpsc::Sender<SessionCmd>,
+    /// Info line maintained by the session thread after every command
+    /// (`None` until a load succeeded). Lets the router answer a
+    /// `sessions` query without blocking behind in-flight engine work.
+    info: Arc<Mutex<Option<SessionInfo>>>,
+    join: std::thread::JoinHandle<ServeSummary>,
+}
+
+fn spawn_session(name: String, config: SessionConfig) -> SessionThread {
+    let (tx, rx) = mpsc::channel::<SessionCmd>();
+    let info = Arc::new(Mutex::new(None));
+    let shared = Arc::clone(&info);
+    let join = std::thread::spawn(move || session_loop(name, config, rx, &shared));
+    SessionThread { tx, info, join }
+}
+
+/// (Re)opens `slot` over a snapshot; a failed open keeps the previous
+/// session (mirroring `SessionManager::open` semantics on reload).
+fn open_session(
+    name: &str,
+    config: SessionConfig,
+    slot: &mut Option<Session>,
+    snapshot: Snapshot,
+) -> Response {
+    let devices = snapshot.device_count() as u64;
+    let links = snapshot.links.len() as u64;
+    match Session::open(name, snapshot, config) {
+        Ok(s) => {
+            *slot = Some(s);
+            Response::Loaded {
+                session: name.to_string(),
+                devices,
+                links,
+            }
+        }
+        Err(e) => Response::Error(e),
+    }
+}
+
+/// The engine loop of one session: processes its commands in order
+/// until the router drops the channel. Counts what it answers (the
+/// router counts only what it answers itself); the per-thread summaries
+/// are summed at shutdown.
+fn session_loop(
+    name: String,
+    config: SessionConfig,
+    rx: mpsc::Receiver<SessionCmd>,
+    info: &Mutex<Option<SessionInfo>>,
+) -> ServeSummary {
+    let mut session: Option<Session> = None;
+    let mut summary = ServeSummary::default();
+    for cmd in rx {
+        let (response, epochs, reply) = match cmd {
+            SessionCmd::Load(snapshot, reply) => (
+                open_session(&name, config, &mut session, *snapshot),
+                0,
+                reply,
+            ),
+            SessionCmd::LoadText(text, reply) => {
+                let response = match parse_snapshot(&text) {
+                    Ok(snapshot) => open_session(&name, config, &mut session, snapshot),
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                (response, 0, reply)
+            }
+            SessionCmd::IngestText(text, reply) => {
+                let (response, epochs) = match parse_trace(&text) {
+                    Err(e) => (Response::Error(e.to_string()), 0),
+                    Ok(trace) => match session.as_mut() {
+                        None => (
+                            Response::Error(format!("session {name:?} has no loaded snapshot")),
+                            0,
+                        ),
+                        Some(s) => match s.ingest_trace(&trace) {
+                            Ok((epochs, flows)) => (
+                                Response::Ingested {
+                                    session: name.clone(),
+                                    epochs: epochs as u64,
+                                    flows: flows as u64,
+                                    total: s.epochs() as u64,
+                                },
+                                epochs as u64,
+                            ),
+                            Err((applied, e)) => (Response::Error(e), applied as u64),
+                        },
+                    },
+                };
+                (response, epochs, reply)
+            }
+            SessionCmd::Query(kind, reply) => {
+                let response = match session.as_ref() {
+                    None => Response::Error(format!("session {name:?} has no loaded snapshot")),
+                    Some(s) => s.answer(&kind),
+                };
+                (response, 0, reply)
+            }
+        };
+        // Publish the refreshed info line BEFORE acknowledging: once a
+        // client holds our reply, a `sessions` listing must already
+        // reflect the command it acknowledges.
+        *info.lock().expect("info mutex") = session.as_ref().map(Session::info);
+        summary.count(&response, epochs);
+        let _ = reply.send(write_response(&response));
+    }
+    summary
+}
+
+/// The router: one engine thread per session, spawned on demand.
+pub struct Router {
+    config: SessionConfig,
+    sessions: BTreeMap<String, SessionThread>,
+    default: Option<String>,
+    summary: ServeSummary,
+}
+
+impl Router {
+    /// An empty router; sessions opened later inherit `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        Router {
+            config,
+            sessions: BTreeMap::new(),
+            default: None,
+            summary: ServeSummary::default(),
+        }
+    }
+
+    /// Opens the named sessions concurrently — one engine thread each,
+    /// all running their initial analysis in parallel — and waits for
+    /// every bring-up to finish. The first name becomes the default
+    /// stream target. On any failure the error is returned and the
+    /// router is left without the failed session.
+    pub fn preload(&mut self, snapshots: Vec<(String, Snapshot)>) -> Result<Vec<String>, String> {
+        let mut pending = Vec::new();
+        for (name, snapshot) in snapshots {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let thread = self
+                .sessions
+                .entry(name.clone())
+                .or_insert_with(|| spawn_session(name.clone(), self.config));
+            thread
+                .tx
+                .send(SessionCmd::Load(Box::new(snapshot), reply_tx))
+                .expect("fresh session thread is live");
+            if self.default.is_none() {
+                self.default = Some(name.clone());
+            }
+            pending.push((name, reply_rx));
+        }
+        let mut loaded = Vec::new();
+        for (name, reply_rx) in pending {
+            let text = reply_rx
+                .recv()
+                .map_err(|_| format!("session {name:?}: bring-up thread died"))?;
+            match dna_io::parse_response(&text) {
+                Ok(Response::Error(e)) => {
+                    self.remove(&name);
+                    return Err(e);
+                }
+                Ok(_) => loaded.push(text),
+                Err(e) => return Err(format!("session {name:?}: malformed load reply: {e}")),
+            }
+        }
+        Ok(loaded)
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some(t) = self.sessions.remove(name) {
+            drop(t.tx);
+            if let Ok(s) = t.join.join() {
+                self.summary.merge(&s);
+            }
+        }
+        if self.default.as_deref() == Some(name) {
+            self.default = self.sessions.keys().next().cloned();
+        }
+    }
+
+    /// Routes one request. The reply reaches the client from whichever
+    /// thread answers; the router never blocks on engine work, and only
+    /// sniffs artifact headers — full parsing of snapshot/trace bodies
+    /// happens on the owning session's thread. A session name exists
+    /// from the moment a load is first routed to it: if that load then
+    /// fails, the name keeps answering "no loaded snapshot" errors (and
+    /// stays out of the `sessions` listing) until a later load
+    /// succeeds.
+    fn dispatch(&mut self, req: Request) {
+        let stream_session = req.session.as_deref();
+        let kind = match dna_io::sniff(&req.text) {
+            Ok((_, kind)) => kind,
+            Err(e) => return self.answer(&req.reply, Response::Error(e.to_string())),
+        };
+        match kind {
+            Artifact::Snapshot => {
+                let name = stream_session
+                    .or(self.default.as_deref())
+                    .unwrap_or("main")
+                    .to_string();
+                let config = self.config;
+                let thread = self
+                    .sessions
+                    .entry(name.clone())
+                    .or_insert_with(|| spawn_session(name.clone(), config));
+                if thread
+                    .tx
+                    .send(SessionCmd::LoadText(req.text, req.reply))
+                    .is_err()
+                {
+                    // Reply channel went down with the thread; the
+                    // client's recv fails and it hangs up. Count it.
+                    self.summary.errors += 1;
+                    self.summary.artifacts += 1;
+                }
+                if self.default.is_none() {
+                    self.default = Some(name);
+                }
+            }
+            Artifact::Trace => {
+                let Some(name) = stream_session.or(self.default.as_deref()) else {
+                    return self.answer(&req.reply, Response::Error("no session is open".into()));
+                };
+                match self.sessions.get(name) {
+                    Some(thread) => {
+                        let _ = thread.tx.send(SessionCmd::IngestText(req.text, req.reply));
+                    }
+                    None => {
+                        let msg = format!("unknown session {name:?}");
+                        self.answer(&req.reply, Response::Error(msg));
+                    }
+                }
+            }
+            Artifact::Query => match parse_query(&req.text) {
+                Ok(q) => {
+                    if q.kind == QueryKind::Sessions {
+                        let list = self.session_infos();
+                        return self.answer(&req.reply, Response::Sessions(list));
+                    }
+                    let Some(name) = q.session.as_deref().or(self.default.as_deref()) else {
+                        return self
+                            .answer(&req.reply, Response::Error("no session is open".into()));
+                    };
+                    match self.sessions.get(name) {
+                        Some(thread) => {
+                            let _ = thread
+                                .tx
+                                .send(SessionCmd::Query(Box::new(q.kind), req.reply));
+                        }
+                        None => {
+                            let msg = format!("unknown session {name:?}");
+                            self.answer(&req.reply, Response::Error(msg));
+                        }
+                    }
+                }
+                Err(e) => self.answer(&req.reply, Response::Error(e.to_string())),
+            },
+            Artifact::Report | Artifact::Response => self.answer(
+                &req.reply,
+                Response::Error(format!("cannot serve a {kind} artifact")),
+            ),
+        }
+    }
+
+    /// Collects every session's info line (name-ordered; sessions whose
+    /// load failed are omitted) from the per-thread caches, so a
+    /// `sessions` query never stalls routing behind a session's
+    /// in-flight engine work. The answer can trail commands still in a
+    /// session's queue — the price of not blocking every other session
+    /// behind the slowest one.
+    fn session_infos(&self) -> Vec<SessionInfo> {
+        self.sessions
+            .values()
+            .filter_map(|t| t.info.lock().expect("info mutex").clone())
+            .collect()
+    }
+
+    /// Answers a request from the router thread itself.
+    fn answer(&mut self, reply: &mpsc::Sender<String>, response: Response) {
+        self.summary.count(&response, 0);
+        let _ = reply.send(write_response(&response));
+    }
+
+    /// Runs the routing loop until every request sender is dropped,
+    /// then drains the session threads and returns the summed summary.
+    pub fn run(mut self, requests: mpsc::Receiver<Request>) -> ServeSummary {
+        for req in requests {
+            self.dispatch(req);
+        }
+        let mut summary = self.summary;
+        for (_, thread) in std::mem::take(&mut self.sessions) {
+            drop(thread.tx);
+            if let Ok(s) = thread.join.join() {
+                summary.merge(&s);
+            }
+        }
+        summary
+    }
+}
+
+/// Runs a per-session-threaded serve loop over one artifact stream —
+/// the threaded sibling of [`crate::server::serve_stream`], used when a
+/// follower or socket pump needs to coexist with the stream.
+pub fn route_stream(
+    router: Router,
+    input: &mut impl std::io::BufRead,
+    output: &mut impl std::io::Write,
+) -> std::io::Result<ServeSummary> {
+    let (tx, rx) = mpsc::channel();
+    let summary_thread = std::thread::spawn(move || router.run(rx));
+    crate::server::pump_stream(&tx, input, output)?;
+    drop(tx);
+    Ok(summary_thread.join().expect("router thread panicked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{pump_stream, read_artifact};
+    use dna_io::{parse_response, write_query, write_snapshot, write_trace, Query};
+    use std::io::Cursor;
+    use topo_gen::{fat_tree, Routing, ScenarioGen, ScenarioKind};
+
+    fn ft4() -> Snapshot {
+        fat_tree(4, Routing::Ebgp).snapshot
+    }
+
+    #[test]
+    fn router_preloads_sessions_in_parallel_and_routes_queries() {
+        let mut router = Router::new(SessionConfig::default());
+        let loaded = router
+            .preload(vec![
+                ("a".into(), ft4()),
+                ("b".into(), fat_tree(4, Routing::Ospf).snapshot),
+            ])
+            .expect("both sessions open");
+        assert_eq!(loaded.len(), 2);
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || router.run(rx));
+        let stream = format!(
+            "{}{}{}",
+            write_query(&Query {
+                session: None,
+                kind: QueryKind::Sessions,
+            }),
+            write_query(&Query {
+                session: Some("b".into()),
+                kind: QueryKind::Stats,
+            }),
+            write_query(&Query {
+                session: Some("ghost".into()),
+                kind: QueryKind::Stats,
+            }),
+        );
+        let mut out = Vec::new();
+        pump_stream(&tx, &mut Cursor::new(stream.into_bytes()), &mut out).unwrap();
+        drop(tx);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.artifacts, 3 + 2); // 2 loads + 3 queries
+        assert_eq!(summary.queries, 2); // sessions + stats (loads and the error are not queries)
+        assert_eq!(summary.errors, 1);
+        let out = String::from_utf8(out).unwrap();
+        let mut cursor = Cursor::new(out.into_bytes());
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Sessions(list) => {
+                assert_eq!(
+                    list.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+                    vec!["a", "b"]
+                );
+            }
+            other => panic!("expected sessions, got {other:?}"),
+        }
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Stats(s) => assert_eq!(s.session, "b"),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap(),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn streamed_snapshot_and_trace_reach_their_session() {
+        let snap = ft4();
+        let mut gen = ScenarioGen::new(11);
+        let cs = gen.generate(&snap, ScenarioKind::LinkFailure).unwrap();
+        let trace = dna_io::Trace::from_changesets(vec![cs]);
+        let stream = format!(
+            "{}{}{}",
+            write_snapshot(&snap),
+            write_trace(&trace),
+            write_query(&Query {
+                session: Some("main".into()),
+                kind: QueryKind::Stats,
+            }),
+        );
+        let router = Router::new(SessionConfig::default());
+        let mut out = Vec::new();
+        let summary =
+            route_stream(router, &mut Cursor::new(stream.into_bytes()), &mut out).unwrap();
+        assert_eq!(summary.artifacts, 3);
+        assert_eq!(summary.epochs, 1);
+        assert_eq!(summary.errors, 0);
+        let out = String::from_utf8(out).unwrap();
+        let mut cursor = Cursor::new(out.into_bytes());
+        assert!(matches!(
+            parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap(),
+            Response::Loaded { .. }
+        ));
+        assert!(matches!(
+            parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap(),
+            Response::Ingested { epochs: 1, .. }
+        ));
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Stats(s) => assert_eq!((s.session.as_str(), s.epochs), ("main", 1)),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

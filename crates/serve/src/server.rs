@@ -42,7 +42,16 @@ pub struct ServeSummary {
 }
 
 impl ServeSummary {
-    fn count(&mut self, response: &Response, epochs_applied: u64) {
+    /// Adds another loop's counters (used to sum per-session-thread
+    /// summaries at router shutdown).
+    pub fn merge(&mut self, other: &ServeSummary) {
+        self.artifacts += other.artifacts;
+        self.queries += other.queries;
+        self.epochs += other.epochs;
+        self.errors += other.errors;
+    }
+
+    pub(crate) fn count(&mut self, response: &Response, epochs_applied: u64) {
         self.artifacts += 1;
         // Epoch accounting comes from the session layer, not the
         // response kind: a trace failing mid-stream answers `error` yet
@@ -146,6 +155,11 @@ pub fn serve_stream(
 pub struct Request {
     /// Raw artifact text as framed off the wire.
     pub text: String,
+    /// Stream-target session for snapshot/trace artifacts (queries name
+    /// their own). `None` targets the server's default session. Set by
+    /// in-process pumps that are bound to a session (e.g. `--follow`);
+    /// wire clients always pump with `None`.
+    pub session: Option<String>,
     /// Where the serialized response artifact is sent.
     pub reply: mpsc::Sender<String>,
 }
@@ -154,11 +168,13 @@ pub struct Request {
 /// until every [`Request`] sender is dropped. Ingest and queries from
 /// different clients interleave here at artifact granularity — a query
 /// never observes a half-applied epoch. Returns the cross-client
-/// summary.
+/// summary. (The single-engine-thread sibling of
+/// [`crate::router::run_router`], which gives every session its own
+/// engine thread instead.)
 pub fn run_broker(mgr: &mut SessionManager, requests: mpsc::Receiver<Request>) -> ServeSummary {
     let mut summary = ServeSummary::default();
     for req in requests {
-        let (response, epochs_applied) = handle_artifact(mgr, None, &req.text);
+        let (response, epochs_applied) = handle_artifact(mgr, req.session.as_deref(), &req.text);
         summary.count(&response, epochs_applied);
         // A client that hung up before its answer is not an engine
         // problem; drop the response.
@@ -176,12 +192,26 @@ pub fn pump_stream(
     input: &mut impl BufRead,
     output: &mut impl Write,
 ) -> io::Result<u64> {
+    pump_stream_as(requests, None, input, output)
+}
+
+/// [`pump_stream`] with the stream's snapshot/trace ingest bound to a
+/// session (the brokered twin of [`serve_stream`]'s `stream_session`;
+/// queries still name their own). For in-process pumps — wire clients
+/// have no session side-channel and always pump unbound.
+pub fn pump_stream_as(
+    requests: &mpsc::Sender<Request>,
+    session: Option<&str>,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<u64> {
     let mut pumped = 0;
     while let Some(text) = read_artifact(input)? {
         let (reply_tx, reply_rx) = mpsc::channel();
         if requests
             .send(Request {
                 text,
+                session: session.map(str::to_string),
                 reply: reply_tx,
             })
             .is_err()
@@ -196,6 +226,101 @@ pub fn pump_stream(
         output.flush()?;
     }
     Ok(pumped)
+}
+
+/// File-tail ingest (`dna serve --follow`): follows a growing trace
+/// file, shipping each change epoch to the engine as a single-epoch
+/// trace artifact the moment the epoch completes (see
+/// [`dna_io::TraceTail`] — an epoch closes when the next `epoch` line
+/// or the final `end` sentinel is written). Snapshot/trace ingest is
+/// bound to `session` (`None` = the server's default session). Polls
+/// the file every `poll`; returns the number of epochs shipped once
+/// the trace's `end` sentinel arrives, or an error if the file turns
+/// malformed (a follower cannot resynchronize past bad bytes) or the
+/// engine goes away. Error *responses* (e.g. an epoch failing to
+/// apply) are reported to stderr and do not stop the follow — later
+/// epochs of a live stream may still apply.
+pub fn follow_trace(
+    requests: &mpsc::Sender<Request>,
+    session: Option<&str>,
+    path: &std::path::Path,
+    poll: std::time::Duration,
+) -> io::Result<u64> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut tail = dna_io::TraceTail::new();
+    let mut carry: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut shipped = 0u64;
+    loop {
+        let n = file.read(&mut chunk)?;
+        let bad_trace = |e: dna_io::IoError| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        };
+        let epochs = if n == 0 {
+            // A final `end` sentinel without a trailing newline is a
+            // complete trace (the batch parser accepts it); anything
+            // else pending just waits for the writer.
+            let flushed = tail.finish_eof().map_err(bad_trace)?;
+            if flushed.is_empty() {
+                if tail.finished() {
+                    return Ok(shipped);
+                }
+                std::thread::sleep(poll);
+                continue;
+            }
+            flushed
+        } else {
+            carry.extend_from_slice(&chunk[..n]);
+            // Feed only the valid UTF-8 prefix; a multi-byte character
+            // split across reads waits in `carry` for its tail.
+            let valid = match std::str::from_utf8(&carry) {
+                Ok(s) => s.len(),
+                Err(e) if e.error_len().is_none() => e.valid_up_to(),
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: invalid UTF-8: {e}", path.display()),
+                    ))
+                }
+            };
+            let text = std::str::from_utf8(&carry[..valid])
+                .expect("validated prefix")
+                .to_owned();
+            carry.drain(..valid);
+            tail.feed(&text).map_err(bad_trace)?
+        };
+        for epoch in epochs {
+            let artifact = dna_io::write_trace(&dna_io::Trace {
+                epochs: vec![epoch],
+            });
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let sent = requests.send(Request {
+                text: artifact,
+                session: session.map(str::to_string),
+                reply: reply_tx,
+            });
+            if sent.is_err() {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "engine shut down mid-follow",
+                ));
+            }
+            let Ok(response) = reply_rx.recv() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "engine shut down mid-follow",
+                ));
+            };
+            shipped += 1;
+            if let Ok(Response::Error(msg)) = dna_io::parse_response(&response) {
+                eprintln!("dna serve: follow {}: {msg}", path.display());
+            }
+        }
+    }
 }
 
 /// Accepts unix-socket connections forever, pumping each on its own

@@ -22,23 +22,34 @@ pub struct SessionConfig {
     /// Maximum per-epoch diffs retained for history queries. Older
     /// epochs age out; ingest continues unbounded.
     pub retain: usize,
+    /// Additional byte budget for the retained history: when set, old
+    /// epochs also age out once the canonical serialized size of the
+    /// retained diffs exceeds the budget (the freshest epoch is always
+    /// kept, even when it alone is over budget).
+    pub retain_bytes: Option<usize>,
     /// Attach a from-scratch shadow and cross-check every epoch.
     pub verify: bool,
+    /// Shard count for engine bring-up (`DiffEngine::with_shards`).
+    pub shards: usize,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
             retain: 64,
+            retain_bytes: None,
             verify: false,
+            shards: 1,
         }
     }
 }
 
-/// One retained epoch: its absolute index and canonical diff.
+/// One retained epoch: its absolute index, canonical diff, and the
+/// diff's canonical serialized size (0 when no byte budget is set).
 struct EpochRecord {
     index: usize,
     diff: EpochDiff,
+    bytes: usize,
 }
 
 /// A live differential analysis of one snapshot.
@@ -47,19 +58,23 @@ pub struct Session {
     replay: ReplaySession,
     config: SessionConfig,
     history: VecDeque<EpochRecord>,
+    /// Total canonical bytes of the retained history (0 unless a byte
+    /// budget is configured).
+    history_bytes: usize,
     mismatches: u64,
 }
 
 impl Session {
     /// Opens a session: runs the one-time from-scratch initialization of
-    /// the differential engine (and the shadow when `config.verify`).
+    /// the differential engine (and the shadow when `config.verify`),
+    /// fanned out over `config.shards` bring-up workers.
     pub fn open(name: &str, snapshot: Snapshot, config: SessionConfig) -> Result<Self, String> {
         let mode = if config.verify {
             ReplayMode::Both
         } else {
             ReplayMode::Differential
         };
-        let mut replay = ReplaySession::new(snapshot, mode)
+        let mut replay = ReplaySession::with_shards(snapshot, mode, config.shards)
             .map_err(|e| format!("session {name:?}: initial analysis: {e}"))?;
         // Per-epoch stat records serve the same history window as the
         // diff history; both stay bounded on an unbounded stream.
@@ -69,6 +84,7 @@ impl Session {
             replay,
             config,
             history: VecDeque::new(),
+            history_bytes: 0,
             mismatches: 0,
         })
     }
@@ -108,16 +124,42 @@ impl Session {
         if out.analyzers_agree() == Some(false) {
             self.mismatches += 1;
         }
-        let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
+        let mut diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
         let flows = diff.flows.len();
+        // Sizing only runs when a byte budget is configured — the
+        // serialization is pure overhead otherwise.
+        let bytes = if self.config.retain_bytes.is_some() {
+            let wrapped = dna_io::Report { epochs: vec![diff] };
+            let n = dna_io::write_report(&wrapped).len();
+            diff = wrapped.epochs.into_iter().next().expect("just wrapped");
+            n
+        } else {
+            0
+        };
+        self.history_bytes += bytes;
         self.history.push_back(EpochRecord {
             index: out.index,
             diff,
+            bytes,
         });
-        while self.history.len() > self.config.retain {
-            self.history.pop_front();
+        while self.history.len() > self.config.retain
+            || (self.history.len() > 1
+                && self
+                    .config
+                    .retain_bytes
+                    .is_some_and(|budget| self.history_bytes > budget))
+        {
+            if let Some(old) = self.history.pop_front() {
+                self.history_bytes -= old.bytes;
+            }
         }
         Ok(flows)
+    }
+
+    /// Canonical serialized size of the retained history (0 unless a
+    /// byte budget is configured).
+    pub fn history_bytes(&self) -> usize {
+        self.history_bytes
     }
 
     /// Applies a whole trace epoch by epoch; returns `(epochs applied,
@@ -246,7 +288,7 @@ impl Session {
         }
     }
 
-    fn info(&self) -> SessionInfo {
+    pub(crate) fn info(&self) -> SessionInfo {
         SessionInfo {
             name: self.name.clone(),
             epochs: self.epochs() as u64,
@@ -391,7 +433,7 @@ mod tests {
     fn ingest_retention_and_history_queries() {
         let (mut s, epochs) = k4_session(SessionConfig {
             retain: 3,
-            verify: false,
+            ..Default::default()
         });
         assert_eq!(epochs.len(), 6);
         let mut total_flows = 0;
@@ -437,6 +479,42 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_bounds_history_alongside_epoch_count() {
+        // Generous epoch bound, tight byte budget: bytes must be the
+        // binding constraint, and the freshest epoch must survive even
+        // if it alone exceeds the budget.
+        let (mut s, epochs) = k4_session(SessionConfig {
+            retain: 64,
+            retain_bytes: Some(1),
+            ..Default::default()
+        });
+        for ep in &epochs {
+            s.ingest(ep).unwrap();
+        }
+        assert_eq!(s.epochs(), 6);
+        let stats = s.stats();
+        assert_eq!(stats.retained, 1, "1-byte budget keeps only the freshest");
+        assert_eq!(stats.retained_from, 5);
+        assert!(s.history_bytes() > 0);
+        // A budget that fits the whole history changes nothing.
+        let (mut roomy, epochs) = k4_session(SessionConfig {
+            retain: 64,
+            retain_bytes: Some(1 << 20),
+            ..Default::default()
+        });
+        let (mut unbounded, _) = k4_session(SessionConfig::default());
+        for ep in &epochs {
+            roomy.ingest(ep).unwrap();
+            unbounded.ingest(ep).unwrap();
+        }
+        assert_eq!(roomy.stats().retained, 6);
+        assert!(roomy.history_bytes() <= 1 << 20);
+        // Same retained diffs as the unbudgeted session, byte for byte.
+        let report = |s: &Session| write_response(&s.answer(&QueryKind::Report { from: 0, to: 6 }));
+        assert_eq!(report(&roomy), report(&unbounded));
+    }
+
+    #[test]
     fn reach_pair_resolves_and_is_deterministic() {
         let (mut s, epochs) = k4_session(SessionConfig::default());
         let q = QueryKind::ReachPair {
@@ -473,8 +551,8 @@ mod tests {
     #[test]
     fn verify_shadow_agrees_on_real_scenarios() {
         let (mut s, epochs) = k4_session(SessionConfig {
-            retain: 64,
             verify: true,
+            ..Default::default()
         });
         for ep in &epochs {
             s.ingest(ep).unwrap();
