@@ -1,8 +1,9 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
 //! Usage: `cargo run --release -p dna-bench --bin harness
-//! [e1|e2|...|e10|serve|shard|all|record] [--record <dir>]`
-//! (`serve` is an alias for the E9 service experiment, `shard` for E10.)
+//! [e1|e2|...|e11|serve|shard|resume|all|record] [--record <dir>]`
+//! (`serve` is an alias for the E9 service experiment, `shard` for
+//! E10, `resume` for E11.)
 //!
 //! With `--record <dir>`, the standard benchmark workloads (snapshot +
 //! all-scenario change trace per topology) are additionally written as
@@ -70,6 +71,9 @@ fn main() {
     }
     if all || which == "e10" || which == "shard" {
         b::e10_sharded_init(&[4, 6, 8, 10], &[1, 2, 4]);
+    }
+    if all || which == "e11" || which == "resume" {
+        b::e11_resume(&[4, 6, 8, 10], 24);
     }
     if let Some(dir) = record_dir {
         let files = b::record_workloads(&dir, 24).expect("record workloads");

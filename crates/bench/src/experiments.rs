@@ -7,7 +7,7 @@
 //! *shape* of the published results (who wins, by what factor, where the
 //! crossover falls).
 
-use dna_core::{DiffEngine, ScratchDiffer};
+use dna_core::{DiffEngine, ReplayMode, ReplaySession, ScratchDiffer};
 use net_model::{ChangeSet, Snapshot};
 use std::time::{Duration, Instant};
 use topo_gen::{fat_tree, wan, Routing, ScenarioGen, ScenarioKind, WanShape, ALL_SCENARIOS};
@@ -553,6 +553,75 @@ pub fn e10_sharded_init(ks: &[u32], shard_counts: &[usize]) -> Vec<ShardInitRow>
         let base = cells.first().map(|(_, t)| *t).unwrap_or_default();
         let last = cells.last().map(|(_, t)| *t).unwrap_or_default();
         println!(" | {:.2}x", ms(base) / ms(last).max(f64::MIN_POSITIVE));
+    }
+    rows
+}
+
+/// One E11 row: `(k, devices, epochs, resume time, full bring-up +
+/// replay time)`.
+pub type ResumeRow = (u32, usize, usize, Duration, Duration);
+
+/// E11 — checkpoint resume vs full recovery: wall-clock of
+/// `ReplaySession::resume` (one engine bring-up on the checkpointed
+/// snapshot) against the alternative a crash otherwise forces — fresh
+/// bring-up on the *base* snapshot plus a re-replay of every applied
+/// epoch. The gap is the durability win `dna serve --resume` buys: it
+/// grows with the epoch count (resume cost is epoch-independent) and
+/// is what makes long-lived sessions restartable in O(bring-up).
+pub fn e11_resume(ks: &[u32], epochs: usize) -> Vec<ResumeRow> {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let ft = fat_tree(k, Routing::Ebgp);
+        let mut gen = ScenarioGen::new(0xE11 + k as u64);
+        let stream: Vec<ChangeSet> = gen
+            .labeled_sequence(
+                &ft.snapshot,
+                &[ScenarioKind::LinkFailure, ScenarioKind::LinkRecovery],
+                epochs,
+            )
+            .into_iter()
+            .map(|(_, cs)| cs)
+            .collect();
+        // The session whose crash we simulate (untimed).
+        let mut live =
+            ReplaySession::new(ft.snapshot.clone(), ReplayMode::Differential).expect("bring-up");
+        for cs in &stream {
+            live.step(cs).expect("epoch applies");
+        }
+        let ckpt = live.checkpoint();
+        drop(live);
+        // Recovery path A: resume from the checkpoint.
+        let (resumed, t_resume) = time(|| {
+            ReplaySession::resume(ckpt.clone(), ReplayMode::Differential, 1).expect("resume")
+        });
+        assert_eq!(resumed.epochs_replayed(), stream.len());
+        // Recovery path B: what a crash costs without one — full
+        // bring-up on the base snapshot plus re-replaying the stream.
+        let (replayed, t_full) = time(|| {
+            let mut s = ReplaySession::new(ft.snapshot.clone(), ReplayMode::Differential)
+                .expect("bring-up");
+            for cs in &stream {
+                s.step(cs).expect("epoch applies");
+            }
+            s
+        });
+        assert_eq!(replayed.epochs_replayed(), stream.len());
+        rows.push((k, ft.device_count(), stream.len(), t_resume, t_full));
+    }
+    println!("\n== E11: checkpoint resume vs full bring-up + replay ==");
+    println!(
+        "{:<18} | {:>7} | {:>12} | {:>16} | {:>7}",
+        "fabric", "epochs", "resume", "bring-up+replay", "speedup"
+    );
+    for (k, devices, n, t_resume, t_full) in &rows {
+        println!(
+            "{:<18} | {:>7} | {:>9.2} ms | {:>13.2} ms | {:>6.2}x",
+            format!("k={k} ({devices} dev)"),
+            n,
+            ms(*t_resume),
+            ms(*t_full),
+            ms(*t_full) / ms(*t_resume).max(f64::MIN_POSITIVE)
+        );
     }
     rows
 }

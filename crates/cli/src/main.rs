@@ -36,7 +36,7 @@ dna — differential network analysis over dna-io artifacts
 USAGE:
   dna dump  --topo fat-tree|wan --out <snap-file> [topology options]
             [--trace <trace-file> --epochs <n> [--scenarios <list|all>]]
-  dna check <snap-file>
+  dna check <snap-file|ckpt-file>
   dna diff  <snap-file> <trace-file> [--engine differential|scratch]
             [--format text|json-lines] [--limit <n>] [--out <report-file>]
             [--shards <n>]
@@ -44,7 +44,13 @@ USAGE:
   dna serve [name=]<snap-file>... [--retain <n>] [--retain-bytes <n>]
             [--verify] [--quiet] [--shards <n>] [--socket <path>]
             [--follow [name=]<trace-file>]... [--threads per-session|single]
+            [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
   dna query [--session <name>] [--socket <path>] <command>
+  dna checkpoint inspect <ckpt-file>
+  dna checkpoint write <snap-file> --out <ckpt-file> [--session <name>]
+            [--ref] [--retain <n>] [--verify]
+  dna checkpoint resume <ckpt-file> [--trace <trace-file>] [--shards <n>]
+            [--out <report-file>] [--quiet]
 
 TOPOLOGY OPTIONS (dump):
   --topo fat-tree   --k <even 4..32>      --routing ebgp|ospf
@@ -74,6 +80,16 @@ bounds the per-session epoch history (default 64) and --retain-bytes
 adds a byte budget on its canonical serialized size; --verify attaches
 a from-scratch shadow that cross-checks every ingested epoch.
 
+DURABILITY: --checkpoint-dir makes every session durable — an atomic
+per-session checkpoint is written after every --checkpoint-every
+epochs (default 16; 0 disables the cadence) and on demand via the
+`checkpoint` query. `dna serve --resume --checkpoint-dir <dir>`
+restores every checkpointed session (all in parallel, one engine
+thread each) observationally identical to sessions that never
+restarted; snapshot positionals may still open additional fresh
+sessions. `dna checkpoint` inspects, seeds and offline-resumes the
+artifacts.
+
 QUERY COMMANDS:
   reach <src-device> <src-ip> <dst-ip> <proto> <sport> <dport>
   reach-pair <src-device> <dst-device>
@@ -81,6 +97,7 @@ QUERY COMMANDS:
   report <from> <to>
   stats
   sessions
+  checkpoint
 Without --socket the query artifact is printed to stdout (compose mode,
 for piping into `dna serve`); with --socket it is sent to a server and
 the response is printed instead.
@@ -120,6 +137,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "checkpoint" => cmd_checkpoint(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -340,18 +358,39 @@ fn parse_scenarios(spec: &str) -> Result<Vec<ScenarioKind>, String> {
 fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
     let args = Args::parse(rest, &[], &[])?;
     let [path] = args.positionals.as_slice() else {
-        return Err("check needs exactly one <snap-file>".into());
+        return Err("check needs exactly one <snap-file|ckpt-file>".into());
     };
-    let snapshot = load_snapshot(path)?;
+    let text = read_file(path)?;
+    // `check` validates snapshots and checkpoints alike: a checkpoint
+    // is checked through the snapshot it would resume (inline or ref).
+    let (snapshot, ok_line) = match dna_io::sniff(&text).map_err(|e| format!("{path}: {e}"))? {
+        (_, dna_io::Artifact::Checkpoint) => {
+            let ckpt = dna_io::parse_checkpoint(&text).map_err(|e| format!("{path}: {e}"))?;
+            let snapshot = checkpoint_snapshot(path, &ckpt)?;
+            let ok = format!(
+                "{path}: ok (checkpoint of session {:?}: {} epochs applied, {} retained, {} devices)",
+                ckpt.session,
+                ckpt.epochs,
+                ckpt.history.len(),
+                snapshot.device_count()
+            );
+            (snapshot, ok)
+        }
+        _ => {
+            let snapshot = parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+            let ok = format!(
+                "{path}: ok ({} devices, {} links, {} down, {} external routes)",
+                snapshot.device_count(),
+                snapshot.links.len(),
+                snapshot.environment.down_links.len() + snapshot.environment.down_devices.len(),
+                snapshot.environment.external_routes.len()
+            );
+            (snapshot, ok)
+        }
+    };
     let problems = snapshot.validate();
     if problems.is_empty() {
-        println_pipe(&format!(
-            "{path}: ok ({} devices, {} links, {} down, {} external routes)",
-            snapshot.device_count(),
-            snapshot.links.len(),
-            snapshot.environment.down_links.len() + snapshot.environment.down_devices.len(),
-            snapshot.environment.external_routes.len()
-        ));
+        println_pipe(&ok_line);
         Ok(ExitCode::SUCCESS)
     } else {
         for p in &problems {
@@ -360,6 +399,12 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         eprintln!("{path}: {} validation error(s)", problems.len());
         Ok(ExitCode::from(2))
     }
+}
+
+/// Loads a checkpoint's snapshot, resolving `ref` sources relative to
+/// the checkpoint file's own directory.
+fn checkpoint_snapshot(path: &str, ckpt: &dna_io::Checkpoint) -> Result<Snapshot, String> {
+    dna_serve::resolve_checkpoint_snapshot(ckpt, std::path::Path::new(path).parent())
 }
 
 // ---- diff -------------------------------------------------------------
@@ -573,11 +618,14 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             "shards",
             "threads",
             "follow",
+            "checkpoint-dir",
+            "checkpoint-every",
         ],
-        &["verify", "quiet"],
+        &["verify", "quiet", "resume"],
     )?;
-    if args.positionals.is_empty() {
-        return Err("serve needs at least one [name=]<snap-file>".into());
+    let resume = args.has("resume");
+    if args.positionals.is_empty() && !resume {
+        return Err("serve needs at least one [name=]<snap-file> (or --resume)".into());
     }
     let retain: usize = args.parsed("retain", 64)?;
     if retain == 0 {
@@ -609,11 +657,24 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         }
     };
     let quiet = args.has("quiet");
+    let checkpoint_dir = args.flag("checkpoint-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --checkpoint-dir {}: {e}", dir.display()))?;
+    }
+    // Cadence default: with a checkpoint directory, persist every 16
+    // epochs unless told otherwise; without one the value is inert.
+    let checkpoint_every: usize = args.parsed("checkpoint-every", 16)?;
+    if args.has("checkpoint-every") && checkpoint_dir.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-dir".into());
+    }
     let config = SessionConfig {
         retain,
         retain_bytes,
         verify: args.has("verify"),
         shards,
+        checkpoint_dir: checkpoint_dir.clone(),
+        checkpoint_every,
     };
     // Parse every startup artifact up front so a bad file fails fast,
     // before any engine spends seconds on bring-up.
@@ -630,6 +691,47 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         }
         preload.push((name, load_snapshot(path)?));
     }
+    // --resume restores every checkpoint found in the checkpoint
+    // directory, under the session names recorded inside the artifacts.
+    // A positional naming a session that also has a checkpoint yields
+    // to the checkpoint: resuming is the point of the flag, and the
+    // checkpointed state strictly extends the snapshot's.
+    let mut resumes: Vec<(dna_io::Checkpoint, Snapshot)> = Vec::new();
+    if resume {
+        let Some(dir) = &checkpoint_dir else {
+            return Err("--resume needs --checkpoint-dir".into());
+        };
+        let mut seen: std::collections::BTreeMap<String, std::path::PathBuf> = Default::default();
+        for (path, ckpt) in scan_checkpoints(dir)? {
+            let snapshot = dna_serve::resolve_checkpoint_snapshot(&ckpt, path.parent())?;
+            if let Some(prev) = seen.get(&ckpt.session) {
+                return Err(format!(
+                    "two checkpoints resume session {:?} ({} and {})",
+                    ckpt.session,
+                    prev.display(),
+                    path.display()
+                ));
+            }
+            if let Some(pos) = preload.iter().position(|(n, _)| *n == ckpt.session) {
+                if !quiet {
+                    eprintln!(
+                        "dna serve: session {:?}: resuming from {} (snapshot positional ignored)",
+                        ckpt.session,
+                        path.display()
+                    );
+                }
+                preload.remove(pos);
+            }
+            seen.insert(ckpt.session.clone(), path);
+            resumes.push((ckpt, snapshot));
+        }
+        if resumes.is_empty() && preload.is_empty() {
+            return Err(format!(
+                "--resume found no checkpoints in {} and no snapshots were given",
+                dir.display()
+            ));
+        }
+    }
     let follows: Vec<(Option<String>, String)> = args
         .flag_values("follow")
         .into_iter()
@@ -642,12 +744,15 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             // would otherwise ship every epoch into "unknown session"
             // errors while the follow itself reports success.
             if let Some(name) = &session {
-                if !preload.iter().any(|(n, _)| n == name) {
+                if !preload.iter().any(|(n, _)| n == name)
+                    && !resumes.iter().any(|(c, _)| &c.session == name)
+                {
                     return Err(format!(
                         "--follow {arg}: no session named {name:?} (sessions: {})",
                         preload
                             .iter()
                             .map(|(n, _)| format!("{n:?}"))
+                            .chain(resumes.iter().map(|(c, _)| format!("{:?}", c.session)))
                             .collect::<Vec<_>>()
                             .join(", ")
                     ));
@@ -660,7 +765,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     if socket.is_none() && follows.is_empty() {
         // Pure pipe mode: one client, one engine thread, no channels —
         // the deterministic path the pinned service smoke drives.
-        let mut mgr = open_preloaded(config, preload, quiet)?;
+        let mut mgr = open_preloaded(config, preload, resumes, quiet)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let summary = serve_stream(&mut mgr, None, &mut stdin.lock(), &mut stdout.lock())
@@ -668,14 +773,52 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         print_summary(quiet, &summary);
         return Ok(ExitCode::SUCCESS);
     }
-    serve_channels(config, preload, follows, socket, per_session, quiet)
+    serve_channels(
+        config,
+        preload,
+        resumes,
+        follows,
+        socket,
+        per_session,
+        quiet,
+    )
 }
 
-/// Opens every startup session into a single-threaded manager,
-/// announcing each load (shared by pipe mode and `--threads single`).
+/// Every `<name>.ckpt.dna` checkpoint in a directory, parsed, in file
+/// name order (deterministic). Temp files from in-flight atomic writes
+/// (dot-prefixed) and other file types are ignored.
+fn scan_checkpoints(
+    dir: &std::path::Path,
+) -> Result<Vec<(std::path::PathBuf, dna_io::Checkpoint)>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".ckpt.dna") && !n.starts_with('.'))
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let ckpt =
+            dna_io::parse_checkpoint(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, ckpt));
+    }
+    Ok(out)
+}
+
+/// Opens every startup session into a single-threaded manager —
+/// fresh snapshots and checkpoint resumes alike — announcing each load
+/// (shared by pipe mode and `--threads single`).
 fn open_preloaded(
     config: SessionConfig,
     preload: Vec<(String, Snapshot)>,
+    resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
     quiet: bool,
 ) -> Result<SessionManager, String> {
     let mut mgr = SessionManager::new(config);
@@ -684,6 +827,14 @@ fn open_preloaded(
         mgr.open(&name, snapshot)?;
         if !quiet {
             eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
+        }
+    }
+    for (ckpt, snapshot) in resumes {
+        let devices = snapshot.device_count();
+        let (name, epochs) = (ckpt.session.clone(), ckpt.epochs);
+        mgr.resume_checkpoint(&ckpt, snapshot)?;
+        if !quiet {
+            eprintln!("dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)");
         }
     }
     Ok(mgr)
@@ -709,6 +860,7 @@ fn print_summary(quiet: bool, summary: &dna_serve::ServeSummary) {
 fn serve_channels(
     config: SessionConfig,
     preload: Vec<(String, Snapshot)>,
+    resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
     follows: Vec<(Option<String>, String)>,
     socket: Option<&str>,
     per_session: bool,
@@ -728,15 +880,27 @@ fn serve_channels(
             .iter()
             .map(|(n, s)| (n.clone(), s.device_count()))
             .collect();
+        let resumed: Vec<(String, u64, usize)> = resumes
+            .iter()
+            .map(|(c, s)| (c.session.clone(), c.epochs, s.device_count()))
+            .collect();
         router.preload(preload)?;
+        // All checkpointed sessions come back concurrently — one
+        // engine thread each, max-of-resumes wall-clock.
+        router.preload_checkpoints(resumes)?;
         if !quiet {
             for (name, devices) in loaded {
                 eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
             }
+            for (name, epochs, devices) in resumed {
+                eprintln!(
+                    "dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)"
+                );
+            }
         }
         Engine::Router(router)
     } else {
-        Engine::Broker(open_preloaded(config, preload, quiet)?)
+        Engine::Broker(open_preloaded(config, preload, resumes, quiet)?)
     };
     let listener = match socket {
         None => None,
@@ -811,6 +975,7 @@ fn serve_channels(
 fn serve_channels(
     _config: SessionConfig,
     _preload: Vec<(String, Snapshot)>,
+    _resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
     _follows: Vec<(Option<String>, String)>,
     _socket: Option<&str>,
     _per_session: bool,
@@ -859,6 +1024,7 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         },
         ["stats"] => QueryKind::Stats,
         ["sessions"] => QueryKind::Sessions,
+        ["checkpoint"] => QueryKind::Checkpoint,
         [] => return Err("query needs a command (see `dna help`)".into()),
         other => return Err(format!("bad query command {:?}", other.join(" "))),
     };
@@ -891,6 +1057,221 @@ fn query_over_socket(path: &str, text: &str) -> Result<ExitCode, String> {
 #[cfg(not(unix))]
 fn query_over_socket(_path: &str, _text: &str) -> Result<ExitCode, String> {
     Err("--socket requires a unix platform".into())
+}
+
+// ---- checkpoint -------------------------------------------------------
+
+fn cmd_checkpoint(rest: &[String]) -> Result<ExitCode, String> {
+    let Some(sub) = rest.first() else {
+        return Err("checkpoint needs a subcommand: inspect | write | resume".into());
+    };
+    let rest = &rest[1..];
+    match sub.as_str() {
+        "inspect" => checkpoint_inspect(rest),
+        "write" => checkpoint_write(rest),
+        "resume" => checkpoint_resume(rest),
+        other => Err(format!(
+            "unknown checkpoint subcommand {other:?} (inspect | write | resume)"
+        )),
+    }
+}
+
+/// `dna checkpoint inspect <file>`: a human summary of a checkpoint.
+fn checkpoint_inspect(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &[], &[])?;
+    let [path] = args.positionals.as_slice() else {
+        return Err("checkpoint inspect needs exactly one <ckpt-file>".into());
+    };
+    let text = read_file(path)?;
+    let ckpt = dna_io::parse_checkpoint(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: checkpoint of session {:?}", ckpt.session);
+    let _ = writeln!(
+        out,
+        "  epochs applied: {} ({} shadow mismatch(es))",
+        ckpt.epochs, ckpt.mismatches
+    );
+    match (ckpt.history.first(), ckpt.history.last()) {
+        (Some((from, _)), Some((to, _))) => {
+            let _ = writeln!(
+                out,
+                "  retained window: {} epoch(s) [{from}..={to}]",
+                ckpt.history.len()
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "  retained window: empty");
+        }
+    }
+    match &ckpt.source {
+        dna_io::CheckpointSource::Ref(p) => {
+            let _ = writeln!(out, "  snapshot: ref {p:?}");
+        }
+        dna_io::CheckpointSource::Inline(s) => {
+            let _ = writeln!(
+                out,
+                "  snapshot: inline ({} devices, {} links)",
+                s.device_count(),
+                s.links.len()
+            );
+        }
+    }
+    let c = &ckpt.config;
+    let _ = writeln!(
+        out,
+        "  config: retain {} retain-bytes {} verify {} (brought up with {} shard(s))",
+        c.retain,
+        c.retain_bytes.map_or("-".to_string(), |b| b.to_string()),
+        if c.verify { "on" } else { "off" },
+        c.shards
+    );
+    let t = &ckpt.totals;
+    let _ = writeln!(
+        out,
+        "  totals: {} changes, {} rib, {} fib, {} flow diffs; cp {:.2?} dp {:.2?} total {:.2?}",
+        t.changes,
+        t.rib,
+        t.fib,
+        t.flows,
+        std::time::Duration::from_nanos(t.cp_ns),
+        std::time::Duration::from_nanos(t.dp_ns),
+        std::time::Duration::from_nanos(t.total_ns)
+    );
+    let _ = write!(out, "  artifact size: {} bytes", text.len());
+    println_pipe(&out);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `dna checkpoint write <snap-file> --out <ckpt-file>`: an epoch-0
+/// checkpoint over a snapshot — the hand-authored seed of a resumable
+/// session. `--ref` stores the snapshot path instead of embedding it.
+fn checkpoint_write(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["out", "session", "retain"], &["ref", "verify"])?;
+    let [snap_path] = args.positionals.as_slice() else {
+        return Err("checkpoint write needs exactly one <snap-file>".into());
+    };
+    let out = args
+        .flag("out")
+        .ok_or("checkpoint write needs --out <ckpt-file>")?;
+    let snapshot = load_snapshot(snap_path)?;
+    let retain: u64 = args.parsed("retain", 64)?;
+    if retain == 0 {
+        return Err("--retain must be at least 1".into());
+    }
+    let session = match args.flag("session") {
+        Some(s) => s.to_string(),
+        None => split_session_arg(snap_path).0,
+    };
+    let source = if args.has("ref") {
+        // Refs resolve relative to the *checkpoint file's* directory,
+        // not the cwd this command ran in — store the snapshot's
+        // absolute path so the artifact works no matter where --out
+        // put it (a stored-verbatim relative path would dangle the
+        // moment the two directories differ).
+        let abs = std::path::absolute(snap_path)
+            .map_err(|e| format!("cannot resolve {snap_path}: {e}"))?;
+        dna_io::CheckpointSource::Ref(abs.to_string_lossy().into_owned())
+    } else {
+        dna_io::CheckpointSource::Inline(snapshot.clone())
+    };
+    let ckpt = dna_io::Checkpoint {
+        session: session.clone(),
+        config: dna_io::CheckpointConfig {
+            retain,
+            retain_bytes: None,
+            verify: args.has("verify"),
+            shards: 1,
+        },
+        epochs: 0,
+        mismatches: 0,
+        totals: dna_io::CheckpointTotals::default(),
+        source,
+        history: Vec::new(),
+    };
+    write_file(out, &dna_io::write_checkpoint(&ckpt))?;
+    println_pipe(&format!(
+        "wrote {out}: epoch-0 checkpoint of session {session:?} ({} devices)",
+        snapshot.device_count()
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `dna checkpoint resume <ckpt-file> [--trace <file>]`: bring the
+/// checkpointed session back up (proving the artifact is resumable)
+/// and optionally replay a trace through it — the offline form of
+/// `dna serve --resume`, sharing `dna diff`'s report output.
+fn checkpoint_resume(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["trace", "shards", "out"], &["quiet"])?;
+    let [ckpt_path] = args.positionals.as_slice() else {
+        return Err("checkpoint resume needs exactly one <ckpt-file>".into());
+    };
+    let shards: usize = args.parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let quiet = args.has("quiet");
+    let text = read_file(ckpt_path)?;
+    let ckpt = dna_io::parse_checkpoint(&text).map_err(|e| format!("{ckpt_path}: {e}"))?;
+    let snapshot = checkpoint_snapshot(ckpt_path, &ckpt)?;
+    let server = SessionConfig {
+        shards,
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let session = dna_serve::Session::resume(&ckpt, snapshot, &server)?;
+    if !quiet {
+        println_pipe(&format!(
+            "resumed session {:?} at epoch {} in {:.2?} ({} devices, {} retained epoch(s))",
+            session.name(),
+            session.epochs(),
+            start.elapsed(),
+            session.snapshot().device_count(),
+            ckpt.history.len()
+        ));
+    }
+    let Some(trace_path) = args.flag("trace") else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let trace = load_trace(trace_path)?;
+    let mut report = Report::default();
+    let base = session.epochs();
+    let mut session = session;
+    for (i, ep) in trace.epochs.iter().enumerate() {
+        session
+            .ingest(ep)
+            .map_err(|e| format!("epoch {}: {e}", base + i))?;
+        // The freshest history record is the epoch just applied.
+        match session.answer(&QueryKind::Report {
+            from: base + i,
+            to: base + i + 1,
+        }) {
+            Response::Report { epochs } if epochs.len() == 1 => {
+                let (_, diff) = epochs.into_iter().next().expect("one epoch");
+                if !quiet {
+                    println_pipe(&format!(
+                        "== epoch {} [{}] ({} flow diff(s), {} rib, {} fib) ==",
+                        base + i,
+                        ep.label.as_deref().unwrap_or("unlabeled"),
+                        diff.flows.len(),
+                        diff.rib.len(),
+                        diff.fib.len()
+                    ));
+                }
+                report.epochs.push(diff);
+            }
+            _ => return Err(format!("epoch {}: history record missing", base + i)),
+        }
+    }
+    if let Some(out_path) = args.flag("out") {
+        write_file(out_path, &write_report(&report))?;
+        if !quiet {
+            println_pipe(&format!(
+                "wrote {out_path}: {} epoch(s) (indices relative to the resumed trace)",
+                report.epochs.len()
+            ));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 // ---- replay --verify --------------------------------------------------

@@ -48,7 +48,7 @@ pub mod report;
 pub use baseline::ScratchDiffer;
 pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, FlowDiff};
 pub use replay::{
-    sorted_flows, EpochOutcome, EpochStats, ReplayMode, ReplaySession, ReplayTotals,
-    DEFAULT_STATS_RETENTION,
+    sorted_flows, EpochOutcome, EpochStats, ReplayCheckpoint, ReplayMode, ReplaySession,
+    ReplayTotals, DEFAULT_STATS_RETENTION,
 };
 pub use report::{classify, render, summarize, FlowChangeKind, Summary};

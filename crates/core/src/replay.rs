@@ -115,6 +115,24 @@ pub struct ReplayTotals {
     pub total_time: Duration,
 }
 
+/// A [`ReplaySession`]'s durable state: the value side of session
+/// checkpointing. Engine state is deliberately absent — the analyzers
+/// guarantee that a fresh bring-up on the *current* snapshot (base plus
+/// every applied epoch) is observationally identical to the incremental
+/// engine's state (the E8 equivalence property the corpus pins
+/// byte-for-byte), so the current snapshot plus the counters **is** the
+/// session, durably. `dna-io` carries this as the `checkpoint` artifact;
+/// `dna-serve` adds its own layer (retained history, config) on top.
+#[derive(Debug, Clone)]
+pub struct ReplayCheckpoint {
+    /// The session's current snapshot (base plus every applied epoch).
+    pub snapshot: Snapshot,
+    /// Epochs applied when the checkpoint was taken.
+    pub epochs: usize,
+    /// Session-cumulative totals at the checkpoint.
+    pub totals: ReplayTotals,
+}
+
 /// A stateful replay of a change stream over a base snapshot.
 pub struct ReplaySession {
     engine: Option<DiffEngine>,
@@ -172,6 +190,38 @@ impl ReplaySession {
             epochs: 0,
             totals: ReplayTotals::default(),
         })
+    }
+
+    /// Captures the session's durable state: current snapshot plus the
+    /// applied-epoch counters. Cheap relative to an engine bring-up
+    /// (one snapshot clone); safe at any epoch boundary.
+    pub fn checkpoint(&self) -> ReplayCheckpoint {
+        ReplayCheckpoint {
+            snapshot: self.snapshot().clone(),
+            epochs: self.epochs,
+            totals: self.totals,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint: sharded bring-up of the
+    /// selected analyzer(s) on the checkpointed snapshot, then a
+    /// fast-forward of the epoch counter and cumulative totals. The
+    /// resumed session is observationally identical to one that
+    /// replayed every epoch and never stopped: subsequent
+    /// [`ReplaySession::step`] outcomes, [`ReplaySession::query`]
+    /// answers and [`ReplaySession::totals`] match byte-for-byte /
+    /// value-for-value (the per-epoch [`ReplaySession::epoch_stats`]
+    /// window restarts empty — those records are wall-clock timings of
+    /// a process that no longer exists).
+    pub fn resume(
+        ckpt: ReplayCheckpoint,
+        mode: ReplayMode,
+        shards: usize,
+    ) -> Result<Self, DnaError> {
+        let mut session = Self::with_shards(ckpt.snapshot, mode, shards)?;
+        session.epochs = ckpt.epochs;
+        session.totals = ckpt.totals;
+        Ok(session)
     }
 
     /// The current snapshot (base plus every replayed epoch).
@@ -432,6 +482,67 @@ mod tests {
         assert_eq!(session.epochs_replayed(), 5);
         assert_eq!(session.totals().epochs, 5);
         assert!(session.totals().flows > 0);
+    }
+
+    /// checkpoint → resume → remaining epochs must be indistinguishable
+    /// from a straight-through replay: identical per-epoch reports
+    /// (both analyzers), identical live-query answers, identical
+    /// cumulative counters.
+    #[test]
+    fn resumed_session_is_observationally_identical() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let lan2 = Flow::tcp_to(net_model::ip("192.168.2.1"), 80);
+        let stream: Vec<ChangeSet> = (0..4)
+            .map(|i| {
+                ChangeSet::single(if i % 2 == 0 {
+                    Change::LinkDown(link.clone())
+                } else {
+                    Change::LinkUp(link.clone())
+                })
+            })
+            .collect();
+        let mut straight = ReplaySession::new(snap.clone(), ReplayMode::Both).unwrap();
+        let mut resumed = ReplaySession::new(snap, ReplayMode::Both).unwrap();
+        for cs in &stream[..2] {
+            straight.step(cs).unwrap();
+            resumed.step(cs).unwrap();
+        }
+        // Simulate the restart: drop the live session, keep only its
+        // checkpoint, and bring a new one up from it (sharded).
+        let ckpt = resumed.checkpoint();
+        let pre_restart_totals = resumed.totals();
+        drop(resumed);
+        let mut resumed = ReplaySession::resume(ckpt, ReplayMode::Both, 2).unwrap();
+        assert_eq!(resumed.epochs_replayed(), 2);
+        // The cumulative totals (wall-clock included) survive the
+        // restart exactly — they are the same session's counters.
+        assert_eq!(resumed.totals(), pre_restart_totals);
+        for cs in &stream[2..] {
+            let a = straight.step(cs).unwrap();
+            let b = resumed.step(cs).unwrap();
+            assert_eq!(b.index, a.index);
+            assert_eq!(b.analyzers_agree(), Some(true));
+            assert_eq!(
+                sorted_flows(b.primary()),
+                sorted_flows(a.primary()),
+                "post-resume reports must match straight-through"
+            );
+            assert_eq!(b.primary().rib, a.primary().rib);
+            assert_eq!(b.primary().fib, a.primary().fib);
+        }
+        assert_eq!(resumed.query("r1", &lan2), straight.query("r1", &lan2));
+        assert_eq!(resumed.epochs_replayed(), straight.epochs_replayed());
+        let (a, b) = (straight.totals(), resumed.totals());
+        assert_eq!(
+            (a.epochs, a.changes, a.rib, a.fib, a.flows),
+            (b.epochs, b.changes, b.rib, b.fib, b.flows)
+        );
+        // The stats window restarts empty but indexes stay absolute.
+        assert_eq!(
+            resumed.epoch_stats().map(|s| s.index).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! The `checkpoint` artifact: a live `dna-serve` session's durable
+//! state — enough to bring the session back after a restart (or a
+//! `kill -9`) observationally identical to one that never stopped.
+//!
+//! A checkpoint carries the session's open-time configuration, its
+//! *current* snapshot (the base plus every applied epoch — inline, or a
+//! reference to a snapshot file for hand-authored checkpoints), the
+//! applied-epoch counters, and the retained history of canonical
+//! per-epoch diffs. Engine state itself is deliberately **not**
+//! serialized: the analyzers guarantee that a fresh (sharded) bring-up
+//! on the current snapshot reproduces the incremental engine's
+//! observable behavior exactly (the E8 equivalence property), so the
+//! snapshot *is* the engine state's durable form. Resume is therefore
+//! bring-up plus a fast-forward of the counters and history.
+//!
+//! Same envelope, round-trip and never-panic guarantees as every other
+//! artifact; see `crates/io/FORMAT.md` for the grammar.
+
+use crate::codec::{parse_header, W};
+use crate::error::{perr, IoError};
+use crate::lex::{lex_line, quote, Cursor};
+use crate::report::{write_epoch, EpochDiff, EpochsParser, IndexRule};
+use crate::snapshot::{parse_snapshot, write_snapshot};
+use crate::Artifact;
+use net_model::Snapshot;
+
+/// The session configuration a checkpoint restores on resume. Mirrors
+/// the serve layer's session policy: every field here is observable in
+/// the session's responses (retention bounds what history queries see;
+/// verify attaches the cross-checking shadow), so resume must restore
+/// them rather than take whatever the restarted server was passed.
+/// `shards` is recorded for provenance but is *not* observable — a
+/// resuming host may bring the engine up with any shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Maximum per-epoch diffs retained for history queries.
+    pub retain: u64,
+    /// Optional byte budget on the retained history's canonical size.
+    pub retain_bytes: Option<u64>,
+    /// Whether a from-scratch verification shadow is attached.
+    pub verify: bool,
+    /// Shard count the session was brought up with (provenance only).
+    pub shards: u64,
+}
+
+/// Session-cumulative counters over every epoch ever applied. The four
+/// count fields are exact and deterministic; the `*_ns` stage timings
+/// are cumulative wall-clock (carried so a resumed session's `stats`
+/// keeps counting from where the original left off, not from zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointTotals {
+    /// Primitive changes applied.
+    pub changes: u64,
+    /// Route-level deltas reported.
+    pub rib: u64,
+    /// Forwarding-entry deltas reported.
+    pub fib: u64,
+    /// Flow-level reachability diffs reported.
+    pub flows: u64,
+    /// Cumulative control-plane stage time, nanoseconds.
+    pub cp_ns: u64,
+    /// Cumulative data-plane stage time, nanoseconds.
+    pub dp_ns: u64,
+    /// Cumulative end-to-end apply time, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Where a checkpoint's snapshot lives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointSource {
+    /// The snapshot is embedded in the checkpoint artifact itself (what
+    /// a live server writes: its current snapshot exists nowhere else).
+    Inline(Snapshot),
+    /// The snapshot is a separate `dna-io` snapshot file, referenced by
+    /// path (resolved relative to the checkpoint file's directory).
+    /// Useful for hand-authored epoch-0 checkpoints over an existing
+    /// snapshot artifact.
+    Ref(String),
+}
+
+/// One persisted session: everything `dna serve --resume` needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Session name.
+    pub session: String,
+    /// Open-time session policy, restored on resume.
+    pub config: CheckpointConfig,
+    /// Epochs applied when the checkpoint was taken.
+    pub epochs: u64,
+    /// Epochs on which the verification shadow disagreed.
+    pub mismatches: u64,
+    /// Session-cumulative counters.
+    pub totals: CheckpointTotals,
+    /// The session's current snapshot (inline or by reference).
+    pub source: CheckpointSource,
+    /// Retained history: `(absolute epoch index, canonical diff)`
+    /// pairs, index-ascending, every index `< epochs`.
+    pub history: Vec<(usize, EpochDiff)>,
+}
+
+// ---- write ------------------------------------------------------------
+
+/// Serializes a checkpoint in canonical form.
+pub fn write_checkpoint(ck: &Checkpoint) -> String {
+    let mut w = W::new(Artifact::Checkpoint);
+    w.line(0, &format!("session {}", quote(&ck.session)));
+    let rb = match ck.config.retain_bytes {
+        None => "-".to_string(),
+        Some(b) => b.to_string(),
+    };
+    w.line(
+        0,
+        &format!(
+            "config retain {} retain-bytes {rb} verify {} shards {}",
+            ck.config.retain,
+            if ck.config.verify { "on" } else { "off" },
+            ck.config.shards
+        ),
+    );
+    w.line(
+        0,
+        &format!("applied epochs {} mismatches {}", ck.epochs, ck.mismatches),
+    );
+    let t = &ck.totals;
+    w.line(
+        0,
+        &format!(
+            "totals changes {} rib {} fib {} flows {} cp-ns {} dp-ns {} total-ns {}",
+            t.changes, t.rib, t.fib, t.flows, t.cp_ns, t.dp_ns, t.total_ns
+        ),
+    );
+    match &ck.source {
+        CheckpointSource::Ref(path) => w.line(0, &format!("snapshot ref {}", quote(path))),
+        CheckpointSource::Inline(snap) => {
+            w.line(0, "snapshot inline");
+            // Embed the snapshot's canonical body verbatim (its header
+            // and `end` sentinel stripped). No snapshot body line is a
+            // bare `end`, so stream framing stays unambiguous.
+            let text = write_snapshot(snap);
+            let mut lines = text.lines();
+            let _header = lines.next();
+            let mut lines: Vec<&str> = lines.collect();
+            let _end = lines.pop();
+            for l in lines {
+                w.raw_line(l);
+            }
+            w.line(0, "end-snapshot");
+        }
+    }
+    w.line(0, "history");
+    for (i, ep) in &ck.history {
+        write_epoch(&mut w, *i, ep);
+    }
+    w.line(0, "end-history");
+    w.finish()
+}
+
+// ---- parse ------------------------------------------------------------
+
+enum Mode {
+    Meta,
+    Snapshot,
+    History(Box<EpochsParser>),
+    Done,
+}
+
+/// Parses a checkpoint artifact (requires the `end` sentinel). Every
+/// metadata line must appear exactly once; history indices must be
+/// strictly increasing and below the applied-epoch count.
+pub fn parse_checkpoint(text: &str) -> Result<Checkpoint, IoError> {
+    // Validate the header through the shared codec path (version and
+    // kind checks), then walk the raw lines ourselves: the inline
+    // snapshot block must be captured verbatim for its own parser.
+    let _ = parse_header(text, Artifact::Checkpoint)?;
+    let mut mode = Mode::Meta;
+    let mut header_seen = false;
+    let mut session: Option<String> = None;
+    let mut config: Option<CheckpointConfig> = None;
+    let mut applied: Option<(u64, u64)> = None;
+    let mut totals: Option<CheckpointTotals> = None;
+    let mut source: Option<CheckpointSource> = None;
+    let mut history: Option<Vec<(usize, EpochDiff)>> = None;
+    // Inline snapshot block: raw text plus the file line its first line
+    // sits on, for error remapping.
+    let mut snap_buf = String::new();
+    let mut snap_start = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        let meaningful = !(trimmed.is_empty() || trimmed.starts_with(';'));
+        if !header_seen {
+            if meaningful {
+                header_seen = true; // the validated header line
+            }
+            continue;
+        }
+        match &mut mode {
+            Mode::Snapshot => {
+                if trimmed == "end-snapshot" {
+                    let body = std::mem::take(&mut snap_buf);
+                    let snap = parse_embedded_snapshot(&body, snap_start)?;
+                    source = Some(CheckpointSource::Inline(snap));
+                    mode = Mode::Meta;
+                } else {
+                    if snap_buf.is_empty() {
+                        snap_start = line_no;
+                    }
+                    snap_buf.push_str(raw);
+                    snap_buf.push('\n');
+                }
+            }
+            Mode::History(epochs) => {
+                if !meaningful {
+                    continue;
+                }
+                if trimmed == "end-history" {
+                    let Mode::History(epochs) = std::mem::replace(&mut mode, Mode::Meta) else {
+                        unreachable!("mode matched above");
+                    };
+                    history = Some(epochs.finish()?);
+                } else {
+                    let mut c = Cursor::new(lex_line(trimmed, line_no)?, line_no);
+                    let kw = c.word("keyword")?;
+                    if !epochs.try_line(&kw, &mut c)? {
+                        return Err(perr(
+                            line_no,
+                            format!("unknown checkpoint history keyword {kw:?}"),
+                        ));
+                    }
+                    c.finish()?;
+                }
+            }
+            Mode::Done => {
+                if meaningful {
+                    return Err(perr(line_no, "content after end sentinel"));
+                }
+            }
+            Mode::Meta => {
+                if !meaningful {
+                    continue;
+                }
+                let mut c = Cursor::new(lex_line(trimmed, line_no)?, line_no);
+                let kw = c.word("keyword")?;
+                match kw.as_str() {
+                    "end" => {
+                        c.finish()?;
+                        mode = Mode::Done;
+                    }
+                    "session" => {
+                        set_once(&mut session, c.string("session name")?, line_no, "session")?;
+                        c.finish()?;
+                    }
+                    "config" => {
+                        c.expect("retain")?;
+                        let retain = c.parse("retention bound")?;
+                        c.expect("retain-bytes")?;
+                        let rb = c.word("byte budget")?;
+                        let retain_bytes =
+                            if rb == "-" {
+                                None
+                            } else {
+                                Some(rb.parse().map_err(|_| {
+                                    perr(line_no, format!("bad byte budget {rb:?}"))
+                                })?)
+                            };
+                        c.expect("verify")?;
+                        let verify = parse_on_off(&mut c)?;
+                        c.expect("shards")?;
+                        let shards = c.parse("shard count")?;
+                        c.finish()?;
+                        set_once(
+                            &mut config,
+                            CheckpointConfig {
+                                retain,
+                                retain_bytes,
+                                verify,
+                                shards,
+                            },
+                            line_no,
+                            "config",
+                        )?;
+                    }
+                    "applied" => {
+                        c.expect("epochs")?;
+                        let epochs = c.parse("epoch count")?;
+                        c.expect("mismatches")?;
+                        let mismatches = c.parse("mismatch count")?;
+                        c.finish()?;
+                        set_once(&mut applied, (epochs, mismatches), line_no, "applied")?;
+                    }
+                    "totals" => {
+                        let mut t = CheckpointTotals::default();
+                        c.expect("changes")?;
+                        t.changes = c.parse("change count")?;
+                        c.expect("rib")?;
+                        t.rib = c.parse("rib count")?;
+                        c.expect("fib")?;
+                        t.fib = c.parse("fib count")?;
+                        c.expect("flows")?;
+                        t.flows = c.parse("flow count")?;
+                        c.expect("cp-ns")?;
+                        t.cp_ns = c.parse("cp nanoseconds")?;
+                        c.expect("dp-ns")?;
+                        t.dp_ns = c.parse("dp nanoseconds")?;
+                        c.expect("total-ns")?;
+                        t.total_ns = c.parse("total nanoseconds")?;
+                        c.finish()?;
+                        set_once(&mut totals, t, line_no, "totals")?;
+                    }
+                    "snapshot" => {
+                        if source.is_some() {
+                            return Err(perr(line_no, "duplicate snapshot section"));
+                        }
+                        let how = c.word("ref|inline")?;
+                        match how.as_str() {
+                            "ref" => {
+                                source = Some(CheckpointSource::Ref(c.string("snapshot path")?));
+                                c.finish()?;
+                            }
+                            "inline" => {
+                                c.finish()?;
+                                snap_buf.clear();
+                                mode = Mode::Snapshot;
+                            }
+                            other => {
+                                return Err(perr(
+                                    line_no,
+                                    format!("expected ref|inline, found {other:?}"),
+                                ))
+                            }
+                        }
+                    }
+                    "history" => {
+                        if history.is_some() {
+                            return Err(perr(line_no, "duplicate history section"));
+                        }
+                        c.finish()?;
+                        mode = Mode::History(Box::new(EpochsParser::new(
+                            IndexRule::StrictlyIncreasing,
+                        )));
+                    }
+                    other => {
+                        return Err(perr(
+                            line_no,
+                            format!("unknown checkpoint keyword {other:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    match mode {
+        Mode::Done => {}
+        Mode::Snapshot => {
+            return Err(IoError::Truncated {
+                expected: "end-snapshot terminator of the inline snapshot".into(),
+            })
+        }
+        Mode::History(_) => {
+            return Err(IoError::Truncated {
+                expected: "end-history terminator of the history section".into(),
+            })
+        }
+        Mode::Meta => {
+            return Err(IoError::Truncated {
+                expected: "end sentinel of the checkpoint artifact".into(),
+            })
+        }
+    }
+    let missing = |what: &str| IoError::Truncated {
+        expected: format!("a {what} line before the end sentinel"),
+    };
+    let (epochs, mismatches) = applied.ok_or_else(|| missing("applied"))?;
+    let ck = Checkpoint {
+        session: session.ok_or_else(|| missing("session"))?,
+        config: config.ok_or_else(|| missing("config"))?,
+        epochs,
+        mismatches,
+        totals: totals.ok_or_else(|| missing("totals"))?,
+        source: source.ok_or_else(|| missing("snapshot"))?,
+        history: history.ok_or_else(|| missing("history"))?,
+    };
+    if let Some((last, _)) = ck.history.last() {
+        if *last as u64 >= ck.epochs {
+            return Err(IoError::Parse {
+                line: 1,
+                message: format!(
+                    "history epoch {last} is not below the applied epoch count {}",
+                    ck.epochs
+                ),
+            });
+        }
+    }
+    Ok(ck)
+}
+
+/// Parses the inline snapshot block by wrapping it back into a
+/// standalone snapshot artifact, remapping parse-error line numbers
+/// from the synthetic document onto the checkpoint file's real lines.
+fn parse_embedded_snapshot(body: &str, first_line: usize) -> Result<Snapshot, IoError> {
+    parse_snapshot(&format!("dna-io v1 snapshot\n{body}end\n")).map_err(|e| match e {
+        IoError::Parse { line, message } if line > 1 => IoError::Parse {
+            line: first_line + (line - 2),
+            message,
+        },
+        other => other,
+    })
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, line: usize, what: &str) -> Result<(), IoError> {
+    if slot.is_some() {
+        return Err(perr(line, format!("duplicate {what} line")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_on_off(c: &mut Cursor) -> Result<bool, IoError> {
+    match c.word("on|off")?.as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(perr(c.line, format!("expected on|off, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{ip, NetBuilder};
+
+    fn two_router_snapshot() -> Snapshot {
+        NetBuilder::new()
+            .router("r 1")
+            .iface("r 1", "eth\"0", "10.0.0.1/31")
+            .router("r2")
+            .iface("r2", "eth0", "10.0.0.0/31")
+            .link("r 1", "eth\"0", "r2", "eth0")
+            .build()
+    }
+
+    fn sample(source: CheckpointSource) -> Checkpoint {
+        Checkpoint {
+            session: "scenario a\n".into(),
+            config: CheckpointConfig {
+                retain: 64,
+                retain_bytes: Some(4096),
+                verify: true,
+                shards: 4,
+            },
+            epochs: 9,
+            mismatches: 0,
+            totals: CheckpointTotals {
+                changes: 9,
+                rib: 31,
+                fib: 28,
+                flows: 12,
+                cp_ns: 120_000_400,
+                dp_ns: 45_000_100,
+                total_ns: 170_001_000,
+            },
+            source,
+            history: vec![
+                (
+                    5,
+                    EpochDiff {
+                        label: Some("link-failure".into()),
+                        ..Default::default()
+                    },
+                ),
+                (
+                    8,
+                    EpochDiff {
+                        label: None,
+                        flows: vec![dna_core::FlowDiff {
+                            src: "r 1".into(),
+                            headers: vec!["dst=10.0.0.0..10.0.0.1".into()],
+                            example: net_model::Flow::tcp_to(ip("10.0.0.0"), 80),
+                            before: [data_plane::Outcome::Delivered("r2".into())].into(),
+                            after: [data_plane::Outcome::Loop].into(),
+                        }],
+                        ..Default::default()
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn inline_and_ref_checkpoints_round_trip() {
+        for source in [
+            CheckpointSource::Inline(two_router_snapshot()),
+            CheckpointSource::Ref("runs/ft4.snap.dna".into()),
+        ] {
+            let ck = sample(source);
+            let text = write_checkpoint(&ck);
+            let back = parse_checkpoint(&text).expect("checkpoint parses");
+            assert_eq!(back, ck);
+            assert_eq!(write_checkpoint(&back), text, "canonical");
+            assert_eq!(
+                crate::sniff(&text).unwrap(),
+                (1, Artifact::Checkpoint),
+                "sniffable"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_history_and_default_snapshot_round_trip() {
+        let mut ck = sample(CheckpointSource::Inline(Snapshot::default()));
+        ck.history.clear();
+        ck.epochs = 0;
+        ck.totals = CheckpointTotals::default();
+        let text = write_checkpoint(&ck);
+        assert_eq!(parse_checkpoint(&text).unwrap(), ck);
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let text = write_checkpoint(&sample(CheckpointSource::Inline(two_router_snapshot())));
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 1..lines.len() {
+            let truncated = lines[..keep].join("\n");
+            let err = parse_checkpoint(&truncated).expect_err("truncated must fail");
+            assert!(
+                matches!(err, IoError::Truncated { .. } | IoError::Parse { .. }),
+                "keep={keep}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_violations_are_parse_errors() {
+        // Duplicate metadata.
+        let dup = "dna-io v1 checkpoint\nsession \"a\"\nsession \"b\"\nend\n";
+        assert!(matches!(
+            parse_checkpoint(dup),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // Unknown keyword.
+        let unk = "dna-io v1 checkpoint\nfrobnicate\nend\n";
+        assert!(matches!(
+            parse_checkpoint(unk),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // History index at/above the applied count.
+        let mut ck = sample(CheckpointSource::Ref("s.dna".into()));
+        ck.epochs = 8; // history holds epoch 8
+        let err = parse_checkpoint(&write_checkpoint(&ck)).expect_err("index bound");
+        assert!(matches!(err, IoError::Parse { .. }), "{err:?}");
+        // Content after the end sentinel.
+        let ok = write_checkpoint(&sample(CheckpointSource::Ref("s.dna".into())));
+        let after = format!("{ok}history\n");
+        assert!(matches!(
+            parse_checkpoint(&after),
+            Err(IoError::Parse { .. })
+        ));
+        // Wrong artifact kind.
+        assert!(matches!(
+            parse_checkpoint("dna-io v1 trace\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+        // Unsupported version.
+        assert!(matches!(
+            parse_checkpoint("dna-io v9 checkpoint\nend\n"),
+            Err(IoError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn inline_snapshot_errors_carry_real_line_numbers() {
+        let good = write_checkpoint(&sample(CheckpointSource::Inline(two_router_snapshot())));
+        // Corrupt the first snapshot body line (directly after the
+        // `snapshot inline` marker) and expect the error to point at it.
+        let marker = good.find("snapshot inline\n").unwrap();
+        let bad_line_start = marker + "snapshot inline\n".len();
+        let bad_line_no = good[..bad_line_start].lines().count() + 1;
+        let mut bad = good[..bad_line_start].to_string();
+        bad.push_str("garbage-keyword\n");
+        bad.push_str(&good[bad_line_start..]);
+        match parse_checkpoint(&bad) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, bad_line_no, "{message}");
+                assert!(message.contains("garbage-keyword"), "{message}");
+            }
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+    }
+}

@@ -12,8 +12,24 @@ use net_model::route::{RmAction, RmMatch, RmSet, RouteMapClause};
 use net_model::{Endpoint, Ipv4Prefix, Link, RouteAttrs, RouteMap};
 use std::fmt::Write as _;
 
-/// The format version this library reads and writes.
+/// The base format version (snapshot, trace, report and checkpoint
+/// artifacts). Kinds version independently — see [`artifact_version`]
+/// and FORMAT.md "Versioning".
 pub const FORMAT_VERSION: u32 = 1;
+
+/// The grammar version of one artifact kind. The service protocol's
+/// `query`/`response` kinds are at v2 (the checkpoint extension added
+/// the `checkpoint` command and the `ok checkpointed` payload — new
+/// keywords require a bump, since v1 readers reject unknown keywords by
+/// design); every other kind is still at its initial version.
+pub fn artifact_version(kind: Artifact) -> u32 {
+    match kind {
+        Artifact::Query | Artifact::Response => 2,
+        Artifact::Snapshot | Artifact::Trace | Artifact::Report | Artifact::Checkpoint => {
+            FORMAT_VERSION
+        }
+    }
+}
 
 /// Indented line writer for the canonical serializers.
 pub(crate) struct W {
@@ -23,8 +39,18 @@ pub(crate) struct W {
 impl W {
     pub(crate) fn new(artifact: Artifact) -> Self {
         let mut w = W { out: String::new() };
-        w.line(0, &format!("dna-io v{FORMAT_VERSION} {artifact}"));
+        w.line(
+            0,
+            &format!("dna-io v{} {artifact}", artifact_version(artifact)),
+        );
         w
+    }
+
+    /// Appends one raw, already-formatted line (used to embed the body
+    /// of another artifact verbatim, e.g. a snapshot in a checkpoint).
+    pub(crate) fn raw_line(&mut self, text: &str) {
+        self.out.push_str(text);
+        self.out.push('\n');
     }
 
     pub(crate) fn line(&mut self, depth: usize, text: &str) {
@@ -62,9 +88,6 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         .strip_prefix('v')
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| IoError::BadHeader(format!("bad version token {vtok:?}")))?;
-    if version != FORMAT_VERSION {
-        return Err(IoError::UnsupportedVersion(version));
-    }
     let kind = c
         .word("artifact kind")
         .map_err(|_| IoError::BadHeader("missing artifact kind".into()))?;
@@ -74,8 +97,15 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         "report" => Artifact::Report,
         "query" => Artifact::Query,
         "response" => Artifact::Response,
+        "checkpoint" => Artifact::Checkpoint,
         other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
     };
+    // Versions are per-kind: check against the version of the kind the
+    // header *declares*, so a future-versioned artifact reports
+    // UnsupportedVersion rather than a misleading kind mismatch.
+    if version != artifact_version(found) {
+        return Err(IoError::UnsupportedVersion(version));
+    }
     c.finish()?;
     if found != expected {
         return Err(IoError::WrongArtifact { expected, found });

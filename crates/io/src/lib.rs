@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod codec;
 mod error;
 mod lex;
@@ -33,7 +34,11 @@ mod trace;
 
 use std::fmt;
 
-pub use codec::FORMAT_VERSION;
+pub use checkpoint::{
+    parse_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointSource,
+    CheckpointTotals,
+};
+pub use codec::{artifact_version, FORMAT_VERSION};
 pub use error::IoError;
 pub use proto::{
     parse_query, parse_response, write_query, write_response, Query, QueryKind, Response,
@@ -57,6 +62,9 @@ pub enum Artifact {
     Query,
     /// A service reply (`dna serve` → `dna query`).
     Response,
+    /// A persisted live-session state: config, snapshot (inline or by
+    /// reference), applied-epoch counters and retained history.
+    Checkpoint,
 }
 
 /// Every artifact kind, in a stable order (used by [`sniff`]).
@@ -66,6 +74,7 @@ pub const ALL_ARTIFACTS: &[Artifact] = &[
     Artifact::Report,
     Artifact::Query,
     Artifact::Response,
+    Artifact::Checkpoint,
 ];
 
 impl fmt::Display for Artifact {
@@ -76,6 +85,7 @@ impl fmt::Display for Artifact {
             Artifact::Report => "report",
             Artifact::Query => "query",
             Artifact::Response => "response",
+            Artifact::Checkpoint => "checkpoint",
         };
         write!(f, "{s}")
     }
@@ -86,7 +96,7 @@ impl fmt::Display for Artifact {
 pub fn sniff(text: &str) -> Result<(u32, Artifact), IoError> {
     for &artifact in ALL_ARTIFACTS {
         match codec::parse_header(text, artifact) {
-            Ok(_) => return Ok((FORMAT_VERSION, artifact)),
+            Ok(_) => return Ok((artifact_version(artifact), artifact)),
             Err(IoError::WrongArtifact { .. }) => continue,
             Err(e) => return Err(e),
         }

@@ -65,6 +65,9 @@ pub enum QueryKind {
     Stats,
     /// The server's session list.
     Sessions,
+    /// Persist the session's state now: write an on-demand checkpoint
+    /// (requires the server to run with a checkpoint directory).
+    Checkpoint,
 }
 
 /// Session statistics (the `ok stats` payload). Counter fields are exact
@@ -163,6 +166,16 @@ pub enum Response {
     Stats(ServiceStats),
     /// Answer to [`QueryKind::Sessions`], name-sorted.
     Sessions(Vec<SessionInfo>),
+    /// Answer to [`QueryKind::Checkpoint`]: the session's state was
+    /// durably written.
+    Checkpointed {
+        /// Session that was checkpointed.
+        session: String,
+        /// Epochs applied at the checkpoint.
+        epochs: u64,
+        /// Canonical size of the written checkpoint artifact.
+        bytes: u64,
+    },
 }
 
 // ---- write ------------------------------------------------------------
@@ -190,6 +203,7 @@ pub fn write_query(q: &Query) -> String {
         QueryKind::Report { from, to } => format!("report {from} {to}"),
         QueryKind::Stats => "stats".into(),
         QueryKind::Sessions => "sessions".into(),
+        QueryKind::Checkpoint => "checkpoint".into(),
     };
     w.line(1, &line);
     w.finish()
@@ -295,6 +309,17 @@ pub fn write_response(r: &Response) -> String {
                 );
             }
         }
+        Response::Checkpointed {
+            session,
+            epochs,
+            bytes,
+        } => {
+            w.line(0, "ok checkpointed");
+            w.line(
+                1,
+                &format!("session {} epochs {epochs} bytes {bytes}", quote(session)),
+            );
+        }
     }
     w.finish()
 }
@@ -369,6 +394,7 @@ fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
         }),
         "stats" => Ok(QueryKind::Stats),
         "sessions" => Ok(QueryKind::Sessions),
+        "checkpoint" => Ok(QueryKind::Checkpoint),
         other => Err(perr(c.line, format!("unknown query command {other:?}"))),
     }
 }
@@ -600,6 +626,22 @@ pub fn parse_response(text: &str) -> Result<Response, IoError> {
                         c.finish()?;
                     }
                 }
+                "checkpointed" => {
+                    let mut c = payload_line(&mut lines)?;
+                    c.expect("session")?;
+                    let session = c.string("session name")?;
+                    c.expect("epochs")?;
+                    let epochs = c.parse("epoch count")?;
+                    c.expect("bytes")?;
+                    let bytes = c.parse("byte count")?;
+                    c.finish()?;
+                    expect_end(&mut lines)?;
+                    Ok(Response::Checkpointed {
+                        session,
+                        epochs,
+                        bytes,
+                    })
+                }
                 other => Err(perr(kind_line, format!("unknown response kind {other:?}"))),
             }
         }
@@ -677,6 +719,7 @@ mod tests {
             QueryKind::Report { from: 3, to: 9 },
             QueryKind::Stats,
             QueryKind::Sessions,
+            QueryKind::Checkpoint,
         ] {
             roundtrip_query(&Query {
                 session: None,
@@ -747,6 +790,11 @@ mod tests {
             dp_us: 40_000,
             total_us: 161_000,
         }));
+        roundtrip_response(&Response::Checkpointed {
+            session: "scenario a".into(),
+            epochs: 48,
+            bytes: 20_113,
+        });
         roundtrip_response(&Response::Sessions(vec![
             SessionInfo {
                 name: "a".into(),
@@ -766,27 +814,27 @@ mod tests {
     #[test]
     fn malformed_queries_are_typed_errors() {
         assert!(matches!(
-            parse_query("dna-io v1 query\nend\n"),
+            parse_query("dna-io v2 query\nend\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v1 query\n  stats\n"),
+            parse_query("dna-io v2 query\n  stats\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v1 query\n  stats\n  sessions\nend\n"),
+            parse_query("dna-io v2 query\n  stats\n  sessions\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v1 query\n  stats\n  session \"x\"\nend\n"),
+            parse_query("dna-io v2 query\n  stats\n  session \"x\"\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v1 query\n  frobnicate\nend\n"),
+            parse_query("dna-io v2 query\n  frobnicate\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v1 response\nend\n"),
+            parse_query("dna-io v2 response\nend\n"),
             Err(IoError::WrongArtifact { .. })
         ));
     }
@@ -794,29 +842,29 @@ mod tests {
     #[test]
     fn malformed_responses_are_typed_errors() {
         assert!(matches!(
-            parse_response("dna-io v1 response\nend\n"),
+            parse_response("dna-io v2 response\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v1 response\nok reach\n"),
+            parse_response("dna-io v2 response\nok reach\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v1 response\nok blast\n  window 1 flows 0\n"),
+            parse_response("dna-io v2 response\nok blast\n  window 1 flows 0\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v1 response\nok nonsense\nend\n"),
+            parse_response("dna-io v2 response\nok nonsense\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         // Unsorted payload rows are rejected (the encoding is canonical).
-        let unsorted = "dna-io v1 response\nok blast\n  window 1 flows 2\n  device \"b\" flows 1\n  device \"a\" flows 1\nend\n";
+        let unsorted = "dna-io v2 response\nok blast\n  window 1 flows 2\n  device \"b\" flows 1\n  device \"a\" flows 1\nend\n";
         assert!(matches!(
             parse_response(unsorted),
             Err(IoError::Parse { line: 5, .. })
         ));
         // Out-of-order report payload epochs are rejected.
-        let bad = "dna-io v1 response\nok report\nepoch 5\nepoch 3\nend\n";
+        let bad = "dna-io v2 response\nok report\nepoch 5\nepoch 3\nend\n";
         assert!(matches!(
             parse_response(bad),
             Err(IoError::Parse { line: 4, .. })

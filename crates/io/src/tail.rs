@@ -54,6 +54,18 @@ impl TraceTail {
             && (!self.partial.trim().is_empty() || self.block.lines().any(|l| !l.trim().is_empty()))
     }
 
+    /// Resets the framer for a **rotated** file: the follower detected
+    /// that the tailed path now names a different (or truncated) file,
+    /// which by the follow contract is a fresh trace artifact written
+    /// from its first byte. Everything buffered from the old file is
+    /// discarded — a half-open epoch that never reached its boundary
+    /// before rotation was never complete, and a completed-but-unread
+    /// epoch no longer exists to read. Epochs already yielded are
+    /// unaffected; the next [`TraceTail::feed`] expects a header line.
+    pub fn rotate(&mut self) {
+        *self = Self::default();
+    }
+
     /// Call at end-of-input: a final `end` sentinel written without a
     /// trailing newline is already complete (no top-level trace line
     /// begins with `end` except the sentinel itself), so consume it —
@@ -256,6 +268,52 @@ mod tests {
             }
             other => panic!("expected a parse error, got {other:?}"),
         }
+    }
+
+    /// Rotation mid-stream: the tailer must drop every buffered
+    /// artifact of the old file (half-open epoch, partial line, even
+    /// its header) and frame the new file as a fresh trace from its
+    /// first byte — the property `--follow` relies on to survive
+    /// `logrotate`-style truncation or rename of the tailed file.
+    #[test]
+    fn rotate_discards_old_state_and_frames_the_new_file() {
+        let mut tail = TraceTail::new();
+        // Old file: one complete epoch (yielded), one half-open epoch
+        // and a partial line (both buffered, never complete).
+        let fed = tail
+            .feed("dna-io v1 trace\nepoch label \"old-a\"\n  device-down \"r1\"\nepoch label \"old-b\"\n  device-d")
+            .unwrap();
+        assert_eq!(fed.len(), 1);
+        assert_eq!(fed[0].label.as_deref(), Some("old-a"));
+        assert!(tail.pending());
+        tail.rotate();
+        assert!(!tail.pending(), "rotation discards buffered state");
+        assert!(!tail.finished());
+        // New file: a complete trace, fed in awkward chunks spanning
+        // the header boundary.
+        let text = write_trace(&sample_trace());
+        let (head, rest) = text.split_at(7);
+        let mut got = tail.feed(head).unwrap();
+        got.extend(tail.feed(rest).unwrap());
+        assert!(tail.finished());
+        assert_eq!(got, sample_trace().epochs);
+        // Rotating again after a finished file starts over cleanly.
+        tail.rotate();
+        let got = tail.feed(&text).unwrap();
+        assert_eq!(got, sample_trace().epochs);
+    }
+
+    /// A rotated-in replacement file must still be a *trace*: the
+    /// fresh framer re-validates the header and rejects imposters.
+    #[test]
+    fn rotated_file_with_wrong_header_is_rejected() {
+        let mut tail = TraceTail::new();
+        tail.feed("dna-io v1 trace\nepoch\n").unwrap();
+        tail.rotate();
+        assert!(matches!(
+            tail.feed("dna-io v1 snapshot\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
     }
 
     #[test]

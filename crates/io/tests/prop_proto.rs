@@ -61,6 +61,7 @@ fn query_kind() -> impl Strategy<Value = QueryKind> {
         (any::<usize>(), any::<usize>()).prop_map(|(from, to)| QueryKind::Report { from, to }),
         Just(QueryKind::Stats),
         Just(QueryKind::Sessions),
+        Just(QueryKind::Checkpoint),
     ]
 }
 
@@ -243,6 +244,13 @@ fn response() -> impl Strategy<Value = Response> {
                 })
             }),
         session_infos().prop_map(Response::Sessions),
+        (name(), any::<u64>(), any::<u64>()).prop_map(|(session, epochs, bytes)| {
+            Response::Checkpointed {
+                session,
+                epochs,
+                bytes,
+            }
+        }),
     ]
 }
 

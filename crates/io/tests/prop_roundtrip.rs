@@ -11,7 +11,8 @@
 
 use dna_core::FlowDiff;
 use dna_io::{
-    parse_report, parse_snapshot, parse_trace, write_report, write_snapshot, write_trace,
+    parse_checkpoint, parse_report, parse_snapshot, parse_trace, write_checkpoint, write_report,
+    write_snapshot, write_trace, Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals,
     EpochDiff, IoError, Report, Trace, TraceEpoch,
 };
 use net_model::acl::{Acl, AclEntry, Action, FlowMatch, PortRange};
@@ -440,6 +441,72 @@ fn report() -> impl Strategy<Value = Report> {
     })
 }
 
+/// Checkpoints compose the other sub-grammars: an embedded (or
+/// referenced) snapshot, a report-shaped history under strictly
+/// increasing absolute indices below the applied-epoch count, and the
+/// counter lines.
+fn checkpoint() -> impl Strategy<Value = Checkpoint> {
+    let config = (
+        1u64..1000,
+        prop::option::of(1u64..100_000),
+        any::<bool>(),
+        1u64..8,
+    )
+        .prop_map(|(retain, retain_bytes, verify, shards)| CheckpointConfig {
+            retain,
+            retain_bytes,
+            verify,
+            shards,
+        });
+    let totals = prop::collection::vec(any::<u32>(), 7..=7).prop_map(|v| CheckpointTotals {
+        changes: v[0] as u64,
+        rib: v[1] as u64,
+        fib: v[2] as u64,
+        flows: v[3] as u64,
+        cp_ns: v[4] as u64,
+        dp_ns: v[5] as u64,
+        total_ns: v[6] as u64,
+    });
+    let source = prop_oneof![
+        snapshot().prop_map(CheckpointSource::Inline),
+        name().prop_map(CheckpointSource::Ref),
+    ];
+    (
+        name(),
+        config,
+        totals,
+        source,
+        report(),
+        prop::collection::vec(1usize..40, 4..=4),
+        0u64..5,
+        any::<u8>(),
+    )
+        .prop_map(
+            |(session, config, totals, source, report, gaps, slack, mismatches)| {
+                let mut index = 0usize;
+                let history: Vec<(usize, EpochDiff)> = report
+                    .epochs
+                    .into_iter()
+                    .zip(gaps)
+                    .map(|(ep, gap)| {
+                        index += gap;
+                        (index, ep)
+                    })
+                    .collect();
+                let epochs = history.last().map_or(0, |(i, _)| *i as u64 + 1) + slack;
+                Checkpoint {
+                    session,
+                    config,
+                    epochs,
+                    mismatches: mismatches as u64,
+                    totals,
+                    source,
+                    history,
+                }
+            },
+        )
+}
+
 // ---- properties -------------------------------------------------------
 
 proptest! {
@@ -503,6 +570,54 @@ proptest! {
             // fail with a typed error, never panic.
             if let Ok(mutated) = String::from_utf8(bytes) {
                 let _ = parse_trace(&mutated);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(48, 0xD9A_1005))]
+
+    /// Checkpoint round-trips, mirroring the PR-2/PR-3 coverage for the
+    /// other artifact kinds: `parse(write(x)) == x` (inline snapshots,
+    /// ref snapshots, arbitrary histories) and the serializer is
+    /// canonical over its own output.
+    #[test]
+    fn checkpoint_round_trips(ck in checkpoint()) {
+        let text = write_checkpoint(&ck);
+        let back = parse_checkpoint(&text).expect("generated checkpoint parses");
+        prop_assert_eq!(&back, &ck);
+        prop_assert_eq!(write_checkpoint(&back), text);
+    }
+
+    /// Any strict line-prefix of a serialized checkpoint is rejected
+    /// with a typed error — a server must never resume from a torn
+    /// file (the atomic write makes one unlikely; the parser makes it
+    /// harmless).
+    #[test]
+    fn checkpoint_truncations_yield_typed_errors(ck in checkpoint(), cut in 0u32..10_000) {
+        let text = write_checkpoint(&ck);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (cut as usize) % lines.len().max(1);
+        let truncated = lines[..keep].join("\n");
+        match parse_checkpoint(&truncated) {
+            Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+            Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+
+    /// Mutating one character anywhere in a serialized checkpoint
+    /// either still parses (a benign hit inside a quoted string) or
+    /// fails with a typed error — never a panic.
+    #[test]
+    fn checkpoint_mutations_never_panic(ck in checkpoint(), pos in any::<u32>(), repl in 1u8..128) {
+        let mut bytes = write_checkpoint(&ck).into_bytes();
+        if !bytes.is_empty() {
+            let idx = (pos as usize) % bytes.len();
+            bytes[idx] = repl;
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = parse_checkpoint(&mutated);
             }
         }
     }

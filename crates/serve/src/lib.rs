@@ -40,4 +40,6 @@ pub use server::{
     follow_trace, handle_artifact, pump_stream, pump_stream_as, read_artifact, run_broker,
     serve_stream, Request, ServeSummary,
 };
-pub use session::{Session, SessionConfig, SessionManager};
+pub use session::{
+    checkpoint_file_name, resolve_checkpoint_snapshot, Session, SessionConfig, SessionManager,
+};

@@ -17,8 +17,8 @@
 use crate::server::{Request, ServeSummary};
 use crate::session::{Session, SessionConfig};
 use dna_io::{
-    parse_query, parse_snapshot, parse_trace, write_response, Artifact, QueryKind, Response,
-    SessionInfo,
+    parse_query, parse_snapshot, parse_trace, write_response, Artifact, Checkpoint, QueryKind,
+    Response, SessionInfo,
 };
 use net_model::Snapshot;
 use std::collections::BTreeMap;
@@ -29,6 +29,10 @@ use std::sync::{mpsc, Arc, Mutex};
 enum SessionCmd {
     /// (Re)open the session over an already-parsed snapshot (preload).
     Load(Box<Snapshot>, mpsc::Sender<String>),
+    /// (Re)open the session by resuming a checkpoint whose snapshot
+    /// source is already resolved (`--resume` preload and streamed
+    /// checkpoint artifacts).
+    Resume(Box<(Checkpoint, Snapshot)>, mpsc::Sender<String>),
     /// Parse raw snapshot artifact text, then (re)open over it. Raw
     /// text so the parse of a large artifact runs on this session's
     /// thread, never stalling the router (and with it other sessions).
@@ -80,6 +84,30 @@ fn open_session(
     }
 }
 
+/// (Re)opens `slot` by resuming a checkpoint; a failed resume keeps
+/// the previous session, mirroring [`open_session`].
+fn resume_session(
+    config: &SessionConfig,
+    slot: &mut Option<Session>,
+    ckpt: &Checkpoint,
+    snapshot: Snapshot,
+) -> Response {
+    let devices = snapshot.device_count() as u64;
+    let links = snapshot.links.len() as u64;
+    match Session::resume(ckpt, snapshot, config) {
+        Ok(s) => {
+            let session = s.name().to_string();
+            *slot = Some(s);
+            Response::Loaded {
+                session,
+                devices,
+                links,
+            }
+        }
+        Err(e) => Response::Error(e),
+    }
+}
+
 /// The engine loop of one session: processes its commands in order
 /// until the router drops the channel. Counts what it answers (the
 /// router counts only what it answers itself); the per-thread summaries
@@ -95,13 +123,21 @@ fn session_loop(
     for cmd in rx {
         let (response, epochs, reply) = match cmd {
             SessionCmd::Load(snapshot, reply) => (
-                open_session(&name, config, &mut session, *snapshot),
+                open_session(&name, config.clone(), &mut session, *snapshot),
                 0,
                 reply,
             ),
+            SessionCmd::Resume(boxed, reply) => {
+                let (ckpt, snapshot) = *boxed;
+                (
+                    resume_session(&config, &mut session, &ckpt, snapshot),
+                    0,
+                    reply,
+                )
+            }
             SessionCmd::LoadText(text, reply) => {
                 let response = match parse_snapshot(&text) {
-                    Ok(snapshot) => open_session(&name, config, &mut session, snapshot),
+                    Ok(snapshot) => open_session(&name, config.clone(), &mut session, snapshot),
                     Err(e) => Response::Error(e.to_string()),
                 };
                 (response, 0, reply)
@@ -173,16 +209,54 @@ impl Router {
     /// stream target. On any failure the error is returned and the
     /// router is left without the failed session.
     pub fn preload(&mut self, snapshots: Vec<(String, Snapshot)>) -> Result<Vec<String>, String> {
+        let cmds = snapshots
+            .into_iter()
+            .map(|(name, snapshot)| (name, |reply| SessionCmd::Load(Box::new(snapshot), reply)))
+            .collect::<Vec<_>>();
+        self.preload_with(cmds)
+    }
+
+    /// [`Router::preload`] for checkpoints: every session resumes on
+    /// its own engine thread concurrently — a server hosting N
+    /// checkpointed sessions pays max-of-resumes, not sum — and the
+    /// call returns once all of them are back. Each checkpoint's
+    /// snapshot source must already be resolved (see
+    /// [`crate::resolve_checkpoint_snapshot`]).
+    pub fn preload_checkpoints(
+        &mut self,
+        checkpoints: Vec<(Checkpoint, Snapshot)>,
+    ) -> Result<Vec<String>, String> {
+        let cmds = checkpoints
+            .into_iter()
+            .map(|(ckpt, snapshot)| {
+                let name = ckpt.session.clone();
+                (name, |reply| {
+                    SessionCmd::Resume(Box::new((ckpt, snapshot)), reply)
+                })
+            })
+            .collect::<Vec<_>>();
+        self.preload_with(cmds)
+    }
+
+    /// Shared preload machinery: route one bring-up command per named
+    /// session (spawning engine threads as needed, so every bring-up
+    /// runs concurrently), then wait for all of them. On any failure
+    /// the error is returned and the failed session is removed.
+    fn preload_with(
+        &mut self,
+        cmds: Vec<(String, impl FnOnce(mpsc::Sender<String>) -> SessionCmd)>,
+    ) -> Result<Vec<String>, String> {
         let mut pending = Vec::new();
-        for (name, snapshot) in snapshots {
+        for (name, cmd) in cmds {
             let (reply_tx, reply_rx) = mpsc::channel();
+            let config = self.config.clone();
             let thread = self
                 .sessions
                 .entry(name.clone())
-                .or_insert_with(|| spawn_session(name.clone(), self.config));
+                .or_insert_with(|| spawn_session(name.clone(), config));
             thread
                 .tx
-                .send(SessionCmd::Load(Box::new(snapshot), reply_tx))
+                .send(cmd(reply_tx))
                 .expect("fresh session thread is live");
             if self.default.is_none() {
                 self.default = Some(name.clone());
@@ -238,7 +312,7 @@ impl Router {
                     .or(self.default.as_deref())
                     .unwrap_or("main")
                     .to_string();
-                let config = self.config;
+                let config = self.config.clone();
                 let thread = self
                     .sessions
                     .entry(name.clone())
@@ -271,6 +345,37 @@ impl Router {
                     }
                 }
             }
+            // A streamed checkpoint artifact resumes its own named
+            // session. Unlike snapshot/trace bodies, the artifact must
+            // be parsed *here*: the target session's name lives inside
+            // it. Checkpoint loads are rare (startup, recovery), so the
+            // routing stall is acceptable; the bring-up itself still
+            // runs on the session's thread.
+            Artifact::Checkpoint => match dna_io::parse_checkpoint(&req.text) {
+                Ok(ckpt) => match crate::session::resolve_checkpoint_snapshot(&ckpt, None) {
+                    Ok(snapshot) => {
+                        let name = ckpt.session.clone();
+                        let config = self.config.clone();
+                        let thread = self
+                            .sessions
+                            .entry(name.clone())
+                            .or_insert_with(|| spawn_session(name.clone(), config));
+                        if thread
+                            .tx
+                            .send(SessionCmd::Resume(Box::new((ckpt, snapshot)), req.reply))
+                            .is_err()
+                        {
+                            self.summary.errors += 1;
+                            self.summary.artifacts += 1;
+                        }
+                        if self.default.is_none() {
+                            self.default = Some(name);
+                        }
+                    }
+                    Err(e) => self.answer(&req.reply, Response::Error(e)),
+                },
+                Err(e) => self.answer(&req.reply, Response::Error(e.to_string())),
+            },
             Artifact::Query => match parse_query(&req.text) {
                 Ok(q) => {
                     if q.kind == QueryKind::Sessions {

@@ -122,6 +122,20 @@ pub fn handle_artifact(
             Ok(q) => mgr.answer(&q),
             Err(e) => Response::Error(e.to_string()),
         },
+        // An inbound checkpoint artifact resumes its session — the
+        // streamed twin of `dna serve --resume` (a streamed artifact
+        // has no file, so `ref` snapshots resolve against the server's
+        // working directory). The session name comes from the artifact,
+        // not the stream binding: a checkpoint *is* a named session.
+        Artifact::Checkpoint => match dna_io::parse_checkpoint(text) {
+            Ok(ckpt) => match crate::session::resolve_checkpoint_snapshot(&ckpt, None) {
+                Ok(snapshot) => mgr
+                    .resume_checkpoint(&ckpt, snapshot)
+                    .unwrap_or_else(Response::Error),
+                Err(e) => Response::Error(e),
+            },
+            Err(e) => Response::Error(e.to_string()),
+        },
         Artifact::Report | Artifact::Response => {
             Response::Error(format!("cannot serve a {kind} artifact"))
         }
@@ -240,6 +254,14 @@ pub fn pump_stream_as(
 /// engine goes away. Error *responses* (e.g. an epoch failing to
 /// apply) are reported to stderr and do not stop the follow — later
 /// epochs of a live stream may still apply.
+///
+/// The follow survives **truncation and rotation** of the tailed file:
+/// when, at EOF, the path's on-disk size has shrunk below what was
+/// read or (on unix) the path's inode changed, the follower reopens
+/// the path and frames the replacement as a fresh trace artifact from
+/// its first byte (see [`tail_rotated`] / [`dna_io::TraceTail::rotate`]).
+/// Epochs already shipped from the old file stand; epochs buffered but
+/// never completed before the rotation are discarded with it.
 pub fn follow_trace(
     requests: &mpsc::Sender<Request>,
     session: Option<&str>,
@@ -252,8 +274,13 @@ pub fn follow_trace(
     let mut carry: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut shipped = 0u64;
+    // Bytes read from the currently-open file: a path whose on-disk
+    // size drops below this was truncated (or replaced by a shorter
+    // file) — the shrink half of rotation detection.
+    let mut consumed = 0u64;
     loop {
         let n = file.read(&mut chunk)?;
+        consumed += n as u64;
         let bad_trace = |e: dna_io::IoError| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -268,6 +295,34 @@ pub fn follow_trace(
             if flushed.is_empty() {
                 if tail.finished() {
                     return Ok(shipped);
+                }
+                // At EOF with nothing new: the quiet moment to check
+                // whether the tailed *path* still names the file we
+                // hold open. A shrink or an inode change means the
+                // writer rotated it — reopen and frame the replacement
+                // as a fresh trace artifact from its first byte
+                // (epochs already shipped from the old file stand).
+                if tail_rotated(path, &file, consumed)? {
+                    match std::fs::File::open(path) {
+                        Ok(f) => {
+                            eprintln!(
+                                "dna serve: follow {}: file rotated; following the new file",
+                                path.display()
+                            );
+                            file = f;
+                            tail.rotate();
+                            carry.clear();
+                            consumed = 0;
+                        }
+                        // The replacement vanished between the check
+                        // and the open (rotation race); the next poll
+                        // re-checks.
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                            std::thread::sleep(poll);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    continue;
                 }
                 std::thread::sleep(poll);
                 continue;
@@ -321,6 +376,35 @@ pub fn follow_trace(
             }
         }
     }
+}
+
+/// Whether the tailed `path` no longer names the file the follower
+/// holds open: either the on-disk size dropped below what was already
+/// read (truncate-in-place, or a shorter replacement at the same
+/// path), or — on unix — the path resolves to a different inode
+/// (rename-style rotation, `logrotate`'s default). A path that is
+/// momentarily *gone* is not yet a rotation: the writer may be mid
+/// rename, so the follower keeps polling until the replacement lands.
+fn tail_rotated(path: &std::path::Path, file: &std::fs::File, consumed: u64) -> io::Result<bool> {
+    let on_disk = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    if on_disk.len() < consumed {
+        return Ok(true);
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        let open = file.metadata()?;
+        if (open.dev(), open.ino()) != (on_disk.dev(), on_disk.ino()) {
+            return Ok(true);
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = file;
+    Ok(false)
 }
 
 /// Accepts unix-socket connections forever, pumping each on its own
@@ -382,7 +466,7 @@ mod tests {
     #[test]
     fn framing_splits_concatenated_artifacts() {
         let a = "dna-io v1 trace\nepoch\nend\n";
-        let b = "; comment\n\ndna-io v1 query\n  stats\nend\n";
+        let b = "; comment\n\ndna-io v2 query\n  stats\nend\n";
         let mut input = io::Cursor::new(format!("{a}{b}\n; trailing\n").into_bytes());
         let first = read_artifact(&mut input).unwrap().unwrap();
         assert_eq!(first, a);
@@ -393,7 +477,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_artifact_is_a_typed_error_response() {
-        let mut input = io::Cursor::new(b"dna-io v1 query\n  stats\n".to_vec());
+        let mut input = io::Cursor::new(b"dna-io v2 query\n  stats\n".to_vec());
         let text = read_artifact(&mut input).unwrap().unwrap();
         let mut mgr = SessionManager::new(Default::default());
         let (r, epochs) = handle_artifact(&mut mgr, None, &text);

@@ -11,13 +11,18 @@
 //! Every query is answered from incrementally maintained state; nothing
 //! on the query path re-simulates the network.
 
-use dna_core::{ReplayMode, ReplaySession};
-use dna_io::{EpochDiff, Query, QueryKind, Response, ServiceStats, SessionInfo, Trace, TraceEpoch};
+use dna_core::{ReplayCheckpoint, ReplayMode, ReplaySession, ReplayTotals};
+use dna_io::{
+    Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals, EpochDiff, Query, QueryKind,
+    Response, ServiceStats, SessionInfo, Trace, TraceEpoch,
+};
 use net_model::{Flow, Snapshot};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Per-session policy, fixed at open time.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Maximum per-epoch diffs retained for history queries. Older
     /// epochs age out; ingest continues unbounded.
@@ -31,6 +36,13 @@ pub struct SessionConfig {
     pub verify: bool,
     /// Shard count for engine bring-up (`DiffEngine::with_shards`).
     pub shards: usize,
+    /// Directory for durable per-session checkpoints. Enables both the
+    /// ingest-cadence checkpoints and the on-demand `checkpoint` query.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint after every N ingested epochs (0 disables the
+    /// cadence; on-demand checkpoints still work). Only meaningful with
+    /// a checkpoint directory.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SessionConfig {
@@ -40,6 +52,68 @@ impl Default for SessionConfig {
             retain_bytes: None,
             verify: false,
             shards: 1,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// The on-disk file name of a session's checkpoint inside the
+/// checkpoint directory. Session names are arbitrary strings (the wire
+/// format quotes them); a name made only of `[A-Za-z0-9._-]` is used
+/// verbatim, anything else is sanitized **and** suffixed with a hash
+/// of the real name — two distinct sessions must never share a file,
+/// or the later cadence write would silently destroy the earlier
+/// session's durability. The authoritative name lives *inside* the
+/// artifact; the file name is only an address.
+pub fn checkpoint_file_name(session: &str) -> String {
+    let safe = !session.is_empty()
+        && session
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if safe {
+        return format!("{session}.ckpt.dna");
+    }
+    let stem: String = session
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    // FNV-1a over the original name disambiguates the sanitized stem.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{stem}-{hash:016x}.ckpt.dna")
+}
+
+/// Loads a checkpoint's snapshot: inline checkpoints carry it; `ref`
+/// checkpoints name a snapshot artifact on disk, resolved relative to
+/// `base_dir` (the checkpoint file's directory — `None` means the
+/// process working directory, the only base a streamed artifact has).
+pub fn resolve_checkpoint_snapshot(
+    ckpt: &Checkpoint,
+    base_dir: Option<&Path>,
+) -> Result<Snapshot, String> {
+    match &ckpt.source {
+        CheckpointSource::Inline(snap) => Ok(snap.clone()),
+        CheckpointSource::Ref(path) => {
+            let mut full = PathBuf::from(path);
+            if full.is_relative() {
+                if let Some(base) = base_dir {
+                    full = base.join(full);
+                }
+            }
+            let text = std::fs::read_to_string(&full)
+                .map_err(|e| format!("checkpoint snapshot ref {}: {e}", full.display()))?;
+            dna_io::parse_snapshot(&text)
+                .map_err(|e| format!("checkpoint snapshot ref {}: {e}", full.display()))
         }
     }
 }
@@ -89,6 +163,140 @@ impl Session {
         })
     }
 
+    /// Rebuilds a session from a checkpoint plus its (already resolved)
+    /// snapshot: engine bring-up on the checkpointed state, then a
+    /// fast-forward of the counters and retained history. Retention and
+    /// verify policy come from the **checkpoint** — they are observable
+    /// in the session's responses, so resume must restore them for the
+    /// session to be indistinguishable from one that never restarted.
+    /// Shard count and checkpoint cadence come from `server` — neither
+    /// is observable, and the resuming host knows its own hardware and
+    /// durability policy.
+    pub fn resume(
+        ckpt: &Checkpoint,
+        snapshot: Snapshot,
+        server: &SessionConfig,
+    ) -> Result<Self, String> {
+        let name = ckpt.session.clone();
+        let config = SessionConfig {
+            retain: (ckpt.config.retain as usize).max(1),
+            retain_bytes: ckpt.config.retain_bytes.map(|b| b as usize),
+            verify: ckpt.config.verify,
+            shards: server.shards,
+            checkpoint_dir: server.checkpoint_dir.clone(),
+            checkpoint_every: server.checkpoint_every,
+        };
+        let mode = if config.verify {
+            ReplayMode::Both
+        } else {
+            ReplayMode::Differential
+        };
+        let t = &ckpt.totals;
+        let replay_ckpt = ReplayCheckpoint {
+            snapshot,
+            epochs: ckpt.epochs as usize,
+            totals: ReplayTotals {
+                epochs: ckpt.epochs as usize,
+                changes: t.changes as usize,
+                rib: t.rib as usize,
+                fib: t.fib as usize,
+                flows: t.flows as usize,
+                cp_time: Duration::from_nanos(t.cp_ns),
+                dp_time: Duration::from_nanos(t.dp_ns),
+                total_time: Duration::from_nanos(t.total_ns),
+            },
+        };
+        let mut replay = ReplaySession::resume(replay_ckpt, mode, config.shards)
+            .map_err(|e| format!("session {name:?}: resume analysis: {e}"))?;
+        replay.set_stats_retention(config.retain);
+        let mut session = Session {
+            name,
+            replay,
+            config,
+            history: VecDeque::new(),
+            history_bytes: 0,
+            mismatches: ckpt.mismatches,
+        };
+        for (index, diff) in &ckpt.history {
+            session.push_history(*index, diff.clone());
+        }
+        Ok(session)
+    }
+
+    /// Captures the session's durable state as a `dna-io` checkpoint
+    /// artifact value (always with the snapshot inline — the live
+    /// session's current snapshot exists nowhere else on disk).
+    pub fn checkpoint_artifact(&self) -> Checkpoint {
+        let t = self.replay.totals();
+        Checkpoint {
+            session: self.name.clone(),
+            config: CheckpointConfig {
+                retain: self.config.retain as u64,
+                retain_bytes: self.config.retain_bytes.map(|b| b as u64),
+                verify: self.config.verify,
+                shards: self.config.shards as u64,
+            },
+            epochs: self.epochs() as u64,
+            mismatches: self.mismatches,
+            totals: CheckpointTotals {
+                changes: t.changes as u64,
+                rib: t.rib as u64,
+                fib: t.fib as u64,
+                flows: t.flows as u64,
+                cp_ns: t.cp_time.as_nanos() as u64,
+                dp_ns: t.dp_time.as_nanos() as u64,
+                total_ns: t.total_time.as_nanos() as u64,
+            },
+            source: CheckpointSource::Inline(self.snapshot().clone()),
+            history: self
+                .history
+                .iter()
+                .map(|r| (r.index, r.diff.clone()))
+                .collect(),
+        }
+    }
+
+    /// Writes the session's checkpoint into the configured directory,
+    /// atomically (write to a temp file in the same directory, then
+    /// rename over the target): a crash mid-write leaves either the
+    /// previous checkpoint or the new one, never a torn file. Returns
+    /// the target path and the artifact's size in bytes.
+    pub fn write_checkpoint(&self) -> Result<(PathBuf, u64), String> {
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return Err(format!(
+                "session {:?}: no checkpoint directory configured",
+                self.name
+            ));
+        };
+        let text = dna_io::write_checkpoint(&self.checkpoint_artifact());
+        let bytes = text.len() as u64;
+        let target = dir.join(checkpoint_file_name(&self.name));
+        // The temp name must be unique per in-flight write, not just
+        // per process: session engine threads checkpoint concurrently,
+        // and two writers sharing a temp path could rename a torn file
+        // over the target.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}.{seq}",
+            checkpoint_file_name(&self.name),
+            std::process::id()
+        ));
+        let fail = |what: &str, e: std::io::Error| {
+            format!("session {:?}: {what} {}: {e}", self.name, tmp.display())
+        };
+        std::fs::write(&tmp, &text).map_err(|e| fail("write checkpoint temp", e))?;
+        std::fs::rename(&tmp, &target).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!(
+                "session {:?}: rename checkpoint into {}: {e}",
+                self.name,
+                target.display()
+            )
+        })?;
+        Ok((target, bytes))
+    }
+
     /// Session name.
     pub fn name(&self) -> &str {
         &self.name
@@ -124,7 +332,26 @@ impl Session {
         if out.analyzers_agree() == Some(false) {
             self.mismatches += 1;
         }
-        let mut diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
+        let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
+        let flows = self.push_history(out.index, diff);
+        // Cadence checkpoints ride the ingest path. A failed write must
+        // not fail the epoch (the analysis state is fine — durability
+        // degraded, which the operator hears about on stderr).
+        if self.config.checkpoint_dir.is_some()
+            && self.config.checkpoint_every > 0
+            && self.epochs().is_multiple_of(self.config.checkpoint_every)
+        {
+            if let Err(e) = self.write_checkpoint() {
+                eprintln!("dna serve: checkpoint failed: {e}");
+            }
+        }
+        Ok(flows)
+    }
+
+    /// Appends one canonical diff to the retained history and applies
+    /// the retention bounds (shared by ingest and resume, so a resumed
+    /// history is bounded exactly like a live one).
+    fn push_history(&mut self, index: usize, mut diff: EpochDiff) -> usize {
         let flows = diff.flows.len();
         // Sizing only runs when a byte budget is configured — the
         // serialization is pure overhead otherwise.
@@ -137,11 +364,7 @@ impl Session {
             0
         };
         self.history_bytes += bytes;
-        self.history.push_back(EpochRecord {
-            index: out.index,
-            diff,
-            bytes,
-        });
+        self.history.push_back(EpochRecord { index, diff, bytes });
         while self.history.len() > self.config.retain
             || (self.history.len() > 1
                 && self
@@ -153,7 +376,7 @@ impl Session {
                 self.history_bytes -= old.bytes;
             }
         }
-        Ok(flows)
+        flows
     }
 
     /// Canonical serialized size of the retained history (0 unless a
@@ -198,6 +421,14 @@ impl Session {
             QueryKind::Sessions => {
                 Response::Error("sessions is a server-level query; the manager answers it".into())
             }
+            QueryKind::Checkpoint => match self.write_checkpoint() {
+                Ok((_path, bytes)) => Response::Checkpointed {
+                    session: self.name.clone(),
+                    epochs: self.epochs() as u64,
+                    bytes,
+                },
+                Err(e) => Response::Error(e),
+            },
         }
     }
 
@@ -321,13 +552,36 @@ impl SessionManager {
     pub fn open(&mut self, name: &str, snapshot: Snapshot) -> Result<Response, String> {
         let devices = snapshot.device_count() as u64;
         let links = snapshot.links.len() as u64;
-        let session = Session::open(name, snapshot, self.config)?;
+        let session = Session::open(name, snapshot, self.config.clone())?;
         self.sessions.insert(name.to_string(), session);
         if self.default.is_none() {
             self.default = Some(name.to_string());
         }
         Ok(Response::Loaded {
             session: name.to_string(),
+            devices,
+            links,
+        })
+    }
+
+    /// Opens (or replaces) a session by resuming a checkpoint; the
+    /// session keeps the name recorded inside the artifact. Like
+    /// [`SessionManager::open`], the first session becomes the default.
+    pub fn resume_checkpoint(
+        &mut self,
+        ckpt: &dna_io::Checkpoint,
+        snapshot: Snapshot,
+    ) -> Result<Response, String> {
+        let devices = snapshot.device_count() as u64;
+        let links = snapshot.links.len() as u64;
+        let session = Session::resume(ckpt, snapshot, &self.config)?;
+        let name = session.name().to_string();
+        self.sessions.insert(name.clone(), session);
+        if self.default.is_none() {
+            self.default = Some(name.clone());
+        }
+        Ok(Response::Loaded {
+            session: name,
             devices,
             links,
         })
@@ -546,6 +800,131 @@ mod tests {
             }),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn checkpoint_file_names_are_filesystem_safe_and_collision_free() {
+        assert_eq!(checkpoint_file_name("ft4"), "ft4.ckpt.dna");
+        assert_eq!(checkpoint_file_name("x.y-z_0"), "x.y-z_0.ckpt.dna");
+        // Unsafe names sanitize with a disambiguating hash: names that
+        // would collide after sanitization get distinct files (the
+        // later cadence write must never clobber another session).
+        let hostile = ["a/b", "a_b\\", "a b", "", "a\nb", "prod/east"];
+        let mut seen = std::collections::BTreeSet::new();
+        for name in hostile {
+            let file = checkpoint_file_name(name);
+            assert!(
+                file.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+                "{file:?} must be filesystem-safe"
+            );
+            assert!(seen.insert(file.clone()), "{name:?} collided: {file}");
+        }
+        // A sanitized name never collides with the verbatim-safe form
+        // of its own sanitization ("prod_east" vs "prod/east").
+        assert_ne!(
+            checkpoint_file_name("prod_east"),
+            checkpoint_file_name("prod/east")
+        );
+    }
+
+    /// The full durability loop at the session layer: ingest with a
+    /// checkpoint cadence, pick up the file a `kill -9` would leave
+    /// behind, resume from its parsed bytes, ingest the rest — and
+    /// answer every deterministic query byte-for-byte like the session
+    /// that never restarted.
+    #[test]
+    fn cadence_checkpoint_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("dna-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = SessionConfig {
+            retain: 4,
+            retain_bytes: Some(1 << 20),
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 3,
+            ..Default::default()
+        };
+        let (mut live, epochs) = k4_session(config.clone());
+        let (mut straight, _) = k4_session(config.clone());
+        for ep in &epochs {
+            straight.ingest(ep).unwrap();
+        }
+        // Drive the live session only to the cadence point, then
+        // simulate the crash: all that survives is the file.
+        for ep in &epochs[..3] {
+            live.ingest(ep).unwrap();
+        }
+        let path = dir.join(checkpoint_file_name("t"));
+        let text = std::fs::read_to_string(&path).expect("cadence checkpoint written");
+        drop(live);
+        let ckpt = dna_io::parse_checkpoint(&text).expect("checkpoint parses");
+        assert_eq!(ckpt.epochs, 3);
+        let snapshot = resolve_checkpoint_snapshot(&ckpt, Some(&dir)).unwrap();
+        let mut resumed = Session::resume(&ckpt, snapshot, &config).expect("resumes");
+        assert_eq!(resumed.epochs(), 3);
+        for ep in &epochs[3..] {
+            resumed.ingest(ep).unwrap();
+        }
+        assert_eq!(resumed.epochs(), straight.epochs());
+        assert_eq!(resumed.history_bytes(), straight.history_bytes());
+        for q in [
+            QueryKind::ReachPair {
+                src: "edge0_0".into(),
+                dst: "edge1_0".into(),
+            },
+            QueryKind::Blast { last: 16 },
+            QueryKind::Report { from: 0, to: 64 },
+        ] {
+            assert_eq!(
+                write_response(&resumed.answer(&q)),
+                write_response(&straight.answer(&q)),
+                "resumed answer diverged for {q:?}"
+            );
+        }
+        // Stats counters (not timings) survive the restart exactly.
+        let (a, b) = (resumed.stats(), straight.stats());
+        assert_eq!(
+            (a.epochs, a.retained, a.retained_from, a.flows, a.mismatches),
+            (b.epochs, b.retained, b.retained_from, b.flows, b.mismatches)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An on-demand `checkpoint` query writes the file and reports its
+    /// exact canonical size; without a configured directory it is a
+    /// protocol error, not a panic.
+    #[test]
+    fn on_demand_checkpoint_query() {
+        let dir = std::env::temp_dir().join(format!("dna-ckpt-q-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut s, epochs) = k4_session(SessionConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        s.ingest(&epochs[0]).unwrap();
+        match s.answer(&QueryKind::Checkpoint) {
+            Response::Checkpointed {
+                session,
+                epochs,
+                bytes,
+            } => {
+                assert_eq!((session.as_str(), epochs), ("t", 1));
+                let written = std::fs::read_to_string(dir.join(checkpoint_file_name("t")))
+                    .expect("checkpoint written");
+                assert_eq!(written.len() as u64, bytes);
+                assert_eq!(
+                    dna_io::parse_checkpoint(&written).unwrap(),
+                    s.checkpoint_artifact()
+                );
+            }
+            other => panic!("expected checkpointed, got {other:?}"),
+        }
+        let (undurable, _) = k4_session(SessionConfig::default());
+        assert!(matches!(
+            undurable.answer(&QueryKind::Checkpoint),
+            Response::Error(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
