@@ -43,9 +43,11 @@ USAGE:
   dna replay <snap-file> <trace-file> --verify [--quiet] [--shards <n>]
   dna serve [name=]<snap-file>... [--retain <n>] [--retain-bytes <n>]
             [--verify] [--quiet] [--shards <n>] [--socket <path>]
-            [--follow [name=]<trace-file>]... [--threads per-session|single]
+            [--listen <addr>] [--follow [name=]<trace-file>]...
+            [--threads per-session|single]
             [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
-  dna query [--session <name>] [--socket <path>] <command>
+  dna query [--session <name>] [--socket <path>] [--connect <addr>]
+            <command>
   dna checkpoint inspect <ckpt-file>
   dna checkpoint write <snap-file> --out <ckpt-file> [--session <name>]
             [--ref] [--retain <n>] [--verify]
@@ -72,9 +74,15 @@ one response artifact each to stdout, until end of input. With
 after stdin ends. --follow tails a growing trace file (repeatable;
 name= targets a session, default the default session), ingesting each
 epoch as it completes and finishing when the trace's end sentinel is
-written. With --socket or --follow, sessions get one engine thread
-each (parallel bring-up, concurrent multi-session ingest); --threads
-single falls back to one shared engine thread. --shards fans engine
+written. With --socket, --listen or --follow, sessions get one engine
+thread each (parallel bring-up, concurrent multi-session ingest);
+--threads single falls back to one shared engine thread. --listen
+binds a TCP front door (e.g. 127.0.0.1:7700; port 0 picks a free port,
+announced on stderr): each connection is served by its own reader
+thread, and read-only queries (reach, reach-pair, blast, report,
+stats) are answered from the session's latest published read view —
+one atomic version check, no engine-thread round trip — while ingest
+and the remaining queries route to the engine. --shards fans engine
 bring-up out over N workers (identical results, see README). --retain
 bounds the per-session epoch history (default 64) and --retain-bytes
 adds a byte budget on its canonical serialized size; --verify attaches
@@ -98,8 +106,9 @@ QUERY COMMANDS:
   stats
   sessions
   checkpoint
-Without --socket the query artifact is printed to stdout (compose mode,
-for piping into `dna serve`); with --socket it is sent to a server and
+Without --socket/--connect the query artifact is printed to stdout
+(compose mode, for piping into `dna serve`); with --socket (unix
+socket path) or --connect (TCP host:port) it is sent to a server and
 the response is printed instead.
 
 EXAMPLES:
@@ -111,6 +120,8 @@ EXAMPLES:
   { cat ft6.trace.dna; dna query blast 8; } | dna serve ft6.snap.dna
   dna serve ft6.snap.dna --socket /tmp/dna.sock < /dev/null &
   dna query --socket /tmp/dna.sock reach-pair edge0_0 edge1_1
+  dna serve ft6.snap.dna --listen 127.0.0.1:7700 < /dev/null &
+  dna query --connect 127.0.0.1:7700 reach-pair edge0_0 edge1_1
 ";
 
 fn main() -> ExitCode {
@@ -615,6 +626,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             "retain",
             "retain-bytes",
             "socket",
+            "listen",
             "shards",
             "threads",
             "follow",
@@ -762,7 +774,8 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         })
         .collect::<Result<_, String>>()?;
     let socket = args.flag("socket");
-    if socket.is_none() && follows.is_empty() {
+    let listen = args.flag("listen");
+    if socket.is_none() && listen.is_none() && follows.is_empty() {
         // Pure pipe mode: one client, one engine thread, no channels —
         // the deterministic path the pinned service smoke drives.
         let mut mgr = open_preloaded(config, preload, resumes, quiet)?;
@@ -778,10 +791,18 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         preload,
         resumes,
         follows,
-        socket,
+        FrontDoors { socket, listen },
         per_session,
         quiet,
     )
+}
+
+/// The client-facing listeners of a channel-mode server: a unix socket
+/// path and/or a TCP listen address (either may be absent — a
+/// `--follow`-only server has no front door at all).
+struct FrontDoors<'a> {
+    socket: Option<&'a str>,
+    listen: Option<&'a str>,
 }
 
 /// Every `<name>.ckpt.dna` checkpoint in a directory, parsed, in file
@@ -842,8 +863,13 @@ fn open_preloaded(
 
 fn print_summary(quiet: bool, summary: &dna_serve::ServeSummary) {
     if !quiet {
+        let failures = if summary.failures > 0 {
+            format!(", {} session failure(s)", summary.failures)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s)",
+            "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s){failures}",
             summary.artifacts, summary.epochs, summary.queries, summary.errors
         );
     }
@@ -862,11 +888,16 @@ fn serve_channels(
     preload: Vec<(String, Snapshot)>,
     resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
     follows: Vec<(Option<String>, String)>,
-    socket: Option<&str>,
+    doors: FrontDoors<'_>,
     per_session: bool,
     quiet: bool,
 ) -> Result<ExitCode, String> {
     use std::sync::mpsc;
+    let FrontDoors { socket, listen } = doors;
+    // The view registry backing the TCP read path. Attached to the
+    // router only when a TCP front door is requested — without
+    // readers, publishing a view per epoch would be pure overhead.
+    let views = std::sync::Arc::new(dna_serve::ViewRegistry::new());
     // Engine bring-up happens BEFORE the socket exists or any pump
     // starts: a bad snapshot must fail the process while it is still
     // invisible to clients, not after they can connect.
@@ -876,6 +907,9 @@ fn serve_channels(
     }
     let engine = if per_session {
         let mut router = dna_serve::Router::new(config);
+        if listen.is_some() {
+            router = router.with_views(std::sync::Arc::clone(&views));
+        }
         let loaded: Vec<(String, usize)> = preload
             .iter()
             .map(|(n, s)| (n.clone(), s.device_count()))
@@ -962,6 +996,21 @@ fn serve_channels(
             eprintln!("dna serve: listening on {}", socket.unwrap_or_default());
         }
     }
+    if let Some(addr) = listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("cannot bind tcp {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("tcp local address: {e}"))?;
+        // Announced even under --quiet: with port 0 this line is the
+        // only way a client (or a test harness) learns the port.
+        eprintln!("dna serve: listening on tcp {local}");
+        let accept_tx = tx.clone();
+        let views = std::sync::Arc::clone(&views);
+        std::thread::spawn(move || {
+            let _ = dna_serve::tcp_accept_loop(accept_tx, listener, views);
+        });
+    }
     drop(tx);
     let summary = match engine {
         Engine::Router(router) => router.run(rx),
@@ -977,17 +1026,17 @@ fn serve_channels(
     _preload: Vec<(String, Snapshot)>,
     _resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
     _follows: Vec<(Option<String>, String)>,
-    _socket: Option<&str>,
+    _doors: FrontDoors<'_>,
     _per_session: bool,
     _quiet: bool,
 ) -> Result<ExitCode, String> {
-    Err("--socket/--follow require a unix platform".into())
+    Err("--socket/--listen/--follow require a unix platform".into())
 }
 
 // ---- query ------------------------------------------------------------
 
 fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &["session", "socket"], &[])?;
+    let args = Args::parse(rest, &["session", "socket", "connect"], &[])?;
     let kind = match args.positionals.as_slice() {
         ["reach", src, sip, dip, proto, sport, dport] => QueryKind::Reach {
             src: src.to_string(),
@@ -1033,12 +1082,29 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         kind,
     };
     let text = write_query(&query);
-    match args.flag("socket") {
-        None => {
+    match (args.flag("socket"), args.flag("connect")) {
+        (Some(_), Some(_)) => Err("--socket and --connect are mutually exclusive".into()),
+        (Some(path), None) => query_over_socket(path, &text),
+        (None, Some(addr)) => {
+            let response = dna_serve::query_tcp(addr, &text)
+                .map_err(|e| format!("cannot query tcp {addr}: {e}"))?;
+            print_response(addr, &response)
+        }
+        (None, None) => {
             print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
-        Some(path) => query_over_socket(path, &text),
+    }
+}
+
+/// Prints a server's response and maps it to the exit code contract:
+/// 0 for an answer, 2 for a protocol-level `error` response.
+fn print_response(origin: &str, response: &str) -> Result<ExitCode, String> {
+    print!("{response}");
+    match dna_io::parse_response(response) {
+        Ok(Response::Error(_)) => Ok(ExitCode::from(2)),
+        Ok(_) => Ok(ExitCode::SUCCESS),
+        Err(e) => Err(format!("malformed response from {origin}: {e}")),
     }
 }
 
@@ -1046,12 +1112,7 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
 fn query_over_socket(path: &str, text: &str) -> Result<ExitCode, String> {
     let response = dna_serve::query_socket(std::path::Path::new(path), text)
         .map_err(|e| format!("cannot query {path}: {e}"))?;
-    print!("{response}");
-    match dna_io::parse_response(&response) {
-        Ok(Response::Error(_)) => Ok(ExitCode::from(2)),
-        Ok(_) => Ok(ExitCode::SUCCESS),
-        Err(e) => Err(format!("malformed response from {path}: {e}")),
-    }
+    print_response(path, &response)
 }
 
 #[cfg(not(unix))]

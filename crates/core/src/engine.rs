@@ -221,6 +221,52 @@ impl DiffEngine {
             self.dp.pset_nodes(),
         )
     }
+
+    /// Captures an immutable [`EngineView`] of the current state: the
+    /// reachability view, the decoded FIB and the working-set counters.
+    /// The view is fully owned data — move it to reader threads and keep
+    /// answering queries while the engine applies further epochs.
+    pub fn view(&self) -> EngineView {
+        EngineView {
+            reach: self.dp.reach_view(),
+            fib: self.cp.fib(),
+            state: self.state_size(),
+        }
+    }
+}
+
+/// An immutable queryable view of a [`DiffEngine`]'s state at one epoch
+/// boundary, captured by [`DiffEngine::view`]. Reach queries against the
+/// view return exactly what [`DiffEngine::query`] answered at capture
+/// time; the engine is free to mutate concurrently.
+#[derive(Clone)]
+pub struct EngineView {
+    reach: data_plane::ReachView,
+    fib: Vec<FibEntry>,
+    state: (usize, usize, usize),
+}
+
+impl EngineView {
+    /// Outcomes for a concrete flow injected at `src`, on captured state.
+    pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
+        self.reach.query(src, flow)
+    }
+
+    /// The captured full FIB (decoded, sorted).
+    pub fn fib(&self) -> &[FibEntry] {
+        &self.fib
+    }
+
+    /// Number of packet equivalence classes at capture time.
+    pub fn class_count(&self) -> usize {
+        self.reach.class_count()
+    }
+
+    /// Working-set counters `(engine tuples, atoms, pset nodes)` at
+    /// capture time.
+    pub fn state_size(&self) -> (usize, usize, usize) {
+        self.state
+    }
 }
 
 /// Maps ACL-affecting changes to resolved filter rebindings, evaluated

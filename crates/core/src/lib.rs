@@ -46,7 +46,7 @@ pub mod replay;
 pub mod report;
 
 pub use baseline::ScratchDiffer;
-pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, FlowDiff};
+pub use engine::{BehaviorDiff, DiffEngine, DiffStats, DnaError, EngineView, FlowDiff};
 pub use replay::{
     sorted_flows, EpochOutcome, EpochStats, ReplayCheckpoint, ReplayMode, ReplaySession,
     ReplayTotals, DEFAULT_STATS_RETENTION,

@@ -270,6 +270,15 @@ impl ReplaySession {
         self.engine.as_ref().map(|e| e.query(src, flow))
     }
 
+    /// Captures an immutable queryable view of the differential engine's
+    /// current state (see [`DiffEngine::view`]). `None` in
+    /// [`ReplayMode::Scratch`] for the same reason
+    /// [`ReplaySession::query`] declines: the baseline has no live
+    /// incremental state to snapshot.
+    pub fn view(&self) -> Option<crate::engine::EngineView> {
+        self.engine.as_ref().map(|e| e.view())
+    }
+
     /// The live differential engine, when this session drives one. Gives
     /// long-running front-ends (e.g. `dna-serve`) access to the richer
     /// incremental query surface — state sizes, class counts, probe

@@ -26,7 +26,8 @@ pub mod pset;
 pub mod verify;
 
 pub use atoms::{AtomChange, AtomId, AtomRegistry, PredId};
-pub use pset::{Pset, PsetArena, EMPTY, FULL};
+pub use pset::{FrozenPsets, Pset, PsetArena, EMPTY, FULL};
 pub use verify::{
     compile_acl, DataPlane, Dir, DpUpdate, FilterChange, Outcome, PendingReleases, ReachDelta,
+    ReachView,
 };

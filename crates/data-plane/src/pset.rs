@@ -303,14 +303,16 @@ impl PsetArena {
 
     /// Membership test for a concrete flow.
     pub fn contains(&self, a: Pset, flow: &Flow) -> bool {
-        let mut cur = a;
-        while !Self::is_terminal(cur) {
-            let node = self.node(cur);
-            let v = FIELDS[node.field as usize].of_flow(flow);
-            let idx = node.children.partition_point(|&(u, _)| u < v);
-            cur = node.children[idx].1;
+        contains_in(&self.nodes, a, flow)
+    }
+
+    /// Freezes the node table into an immutable membership-only snapshot.
+    /// Handles minted before the freeze stay valid against the snapshot;
+    /// later arena growth is invisible to it.
+    pub fn freeze(&self) -> FrozenPsets {
+        FrozenPsets {
+            nodes: self.nodes.clone(),
         }
-        cur == FULL
     }
 
     /// Produces one concrete flow inside the set, or `None` if empty.
@@ -416,6 +418,40 @@ impl PsetArena {
         }
         out.reverse();
         out
+    }
+}
+
+/// Walks the decision diagram stored in `nodes` for a membership test.
+fn contains_in(nodes: &[Node], a: Pset, flow: &Flow) -> bool {
+    let mut cur = a;
+    while !PsetArena::is_terminal(cur) {
+        let node = &nodes[cur.0 as usize];
+        let v = FIELDS[node.field as usize].of_flow(flow);
+        let idx = node.children.partition_point(|&(u, _)| u < v);
+        cur = node.children[idx].1;
+    }
+    cur == FULL
+}
+
+/// An immutable snapshot of an arena's node table supporting membership
+/// tests only. Produced by [`PsetArena::freeze`]; safe to move across
+/// threads (no interior mutability, no memo caches). Any [`Pset`] handle
+/// minted by the source arena before the freeze resolves identically
+/// against the snapshot.
+#[derive(Clone)]
+pub struct FrozenPsets {
+    nodes: Vec<Node>,
+}
+
+impl FrozenPsets {
+    /// Membership test for a concrete flow.
+    pub fn contains(&self, a: Pset, flow: &Flow) -> bool {
+        contains_in(&self.nodes, a, flow)
+    }
+
+    /// Number of interior nodes captured (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len().saturating_sub(2)
     }
 }
 

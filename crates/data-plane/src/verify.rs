@@ -104,6 +104,37 @@ struct PrefixEntry {
 
 type ReachMap = BTreeMap<String, BTreeSet<Outcome>>;
 
+/// An immutable reachability view detached from the live verifier: the
+/// frozen packet-class partition plus the per-class reach maps, captured
+/// by [`DataPlane::reach_view`]. Fully owned data — clone it, move it
+/// across threads, and answer queries while the verifier keeps mutating.
+#[derive(Clone)]
+pub struct ReachView {
+    psets: crate::pset::FrozenPsets,
+    /// Live atoms at capture time, in id order (the same order the live
+    /// lookup scans), each with its packet set.
+    atoms: Vec<(AtomId, Pset)>,
+    reach: HashMap<AtomId, ReachMap>,
+}
+
+impl ReachView {
+    /// Outcomes for packets of `flow` injected at `src` — identical to
+    /// what [`DataPlane::query`] answered at capture time.
+    pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
+        let (atom, _) = self
+            .atoms
+            .iter()
+            .find(|(_, p)| self.psets.contains(*p, flow))
+            .expect("atoms partition the full space");
+        self.reach[atom].get(src).cloned().unwrap_or_default()
+    }
+
+    /// Number of packet equivalence classes captured.
+    pub fn class_count(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
 /// The incremental data-plane verifier. See the module docs.
 pub struct DataPlane {
     reg: AtomRegistry,
@@ -219,6 +250,22 @@ impl DataPlane {
     pub fn query(&self, src: &str, flow: &Flow) -> BTreeSet<Outcome> {
         let atom = self.reg.atom_of_flow(flow);
         self.reach[&atom].get(src).cloned().unwrap_or_default()
+    }
+
+    /// Captures an immutable [`ReachView`] of the current reachability
+    /// state: the frozen packet-class partition plus every per-class reach
+    /// map. The view answers [`ReachView::query`] with exactly the outcomes
+    /// [`DataPlane::query`] returns at this instant, without the verifier.
+    pub fn reach_view(&self) -> ReachView {
+        ReachView {
+            psets: self.reg.arena.freeze(),
+            atoms: self
+                .reg
+                .atom_ids()
+                .map(|id| (id, self.reg.atom_pset(id)))
+                .collect(),
+            reach: self.reach.clone(),
+        }
     }
 
     /// All live atoms.

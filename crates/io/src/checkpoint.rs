@@ -98,6 +98,67 @@ pub struct Checkpoint {
     pub history: Vec<(usize, EpochDiff)>,
 }
 
+/// A checkpoint's wire counters converted for in-memory session state:
+/// every `u64` counter checked into `usize`, the retention bound clamped
+/// to its documented minimum of 1. Produced by
+/// [`Checkpoint::resume_counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCounters {
+    /// Epochs applied when the checkpoint was taken.
+    pub epochs: usize,
+    /// Primitive changes applied.
+    pub changes: usize,
+    /// Route-level deltas reported.
+    pub rib: usize,
+    /// Forwarding-entry deltas reported.
+    pub fib: usize,
+    /// Flow-level reachability diffs reported.
+    pub flows: usize,
+    /// History-retention bound (always ≥ 1).
+    pub retain: usize,
+    /// Optional byte budget on the retained history.
+    pub retain_bytes: Option<usize>,
+}
+
+impl Checkpoint {
+    /// Checked conversion of the wire counters into host-width session
+    /// state. A counter too large for `usize` (possible on 32-bit
+    /// targets, where `as usize` would silently truncate) and a history
+    /// entry at or past the applied-epoch count (possible in a
+    /// hand-constructed or corrupted value, parse re-checks it too) both
+    /// surface as [`IoError::Invalid`] instead of being accepted.
+    pub fn resume_counters(&self) -> Result<ResumeCounters, IoError> {
+        fn conv(value: u64, what: &str) -> Result<usize, IoError> {
+            usize::try_from(value).map_err(|_| IoError::Invalid {
+                message: format!("checkpoint {what} counter {value} does not fit this host"),
+            })
+        }
+        if let Some(&(last, _)) = self.history.last() {
+            if last as u64 >= self.epochs {
+                return Err(IoError::Invalid {
+                    message: format!(
+                        "checkpoint history epoch {last} is not below the applied epoch count {}",
+                        self.epochs
+                    ),
+                });
+            }
+        }
+        Ok(ResumeCounters {
+            epochs: conv(self.epochs, "applied-epoch")?,
+            changes: conv(self.totals.changes, "changes")?,
+            rib: conv(self.totals.rib, "rib")?,
+            fib: conv(self.totals.fib, "fib")?,
+            flows: conv(self.totals.flows, "flows")?,
+            retain: conv(self.config.retain, "retain")?.max(1),
+            retain_bytes: self
+                .config
+                .retain_bytes
+                .map(|b| conv(b, "retain-bytes"))
+                .transpose()?,
+        })
+    }
+}
+
 // ---- write ------------------------------------------------------------
 
 /// Serializes a checkpoint in canonical form.

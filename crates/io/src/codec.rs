@@ -18,13 +18,16 @@ use std::fmt::Write as _;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// The grammar version of one artifact kind. The service protocol's
-/// `query`/`response` kinds are at v2 (the checkpoint extension added
-/// the `checkpoint` command and the `ok checkpointed` payload — new
-/// keywords require a bump, since v1 readers reject unknown keywords by
-/// design); every other kind is still at its initial version.
+/// `query` kind is at v2 (the checkpoint extension added the
+/// `checkpoint` command — new keywords require a bump, since v1 readers
+/// reject unknown keywords by design) and `response` is at v3 (v2 added
+/// the `ok checkpointed` payload; v3 added the `failed` marker on
+/// `ok sessions` rows); every other kind is still at its initial
+/// version.
 pub fn artifact_version(kind: Artifact) -> u32 {
     match kind {
-        Artifact::Query | Artifact::Response => 2,
+        Artifact::Query => 2,
+        Artifact::Response => 3,
         Artifact::Snapshot | Artifact::Trace | Artifact::Report | Artifact::Checkpoint => {
             FORMAT_VERSION
         }

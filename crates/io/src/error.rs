@@ -32,6 +32,13 @@ pub enum IoError {
         /// What the parser was still waiting for.
         expected: String,
     },
+    /// A structurally well-formed artifact carries a value that violates a
+    /// documented cross-field invariant, or that cannot be represented on
+    /// this host (counter overflow on a narrower target).
+    Invalid {
+        /// Which value, and what it violates.
+        message: String,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -51,6 +58,7 @@ impl fmt::Display for IoError {
             IoError::Truncated { expected } => {
                 write!(f, "input truncated: expected {expected}")
             }
+            IoError::Invalid { message } => write!(f, "invalid artifact value: {message}"),
         }
     }
 }

@@ -36,7 +36,7 @@ use std::fmt;
 
 pub use checkpoint::{
     parse_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointSource,
-    CheckpointTotals,
+    CheckpointTotals, ResumeCounters,
 };
 pub use codec::{artifact_version, FORMAT_VERSION};
 pub use error::IoError;

@@ -115,6 +115,11 @@ pub struct SessionInfo {
     pub devices: u64,
     /// Whether a from-scratch verification shadow is attached.
     pub verify: bool,
+    /// Whether the session's engine thread died (panicked); a failed
+    /// session stays listed but answers every request with an error.
+    /// Encoded as a trailing `failed` marker, written only when set
+    /// (response v3).
+    pub failed: bool,
 }
 
 /// One service reply.
@@ -300,11 +305,12 @@ pub fn write_response(r: &Response) -> String {
                 w.line(
                     1,
                     &format!(
-                        "session {} epochs {} devices {} verify {}",
+                        "session {} epochs {} devices {} verify {}{}",
                         quote(&s.name),
                         s.epochs,
                         s.devices,
-                        if s.verify { "on" } else { "off" }
+                        if s.verify { "on" } else { "off" },
+                        if s.failed { " failed" } else { "" }
                     ),
                 );
             }
@@ -612,6 +618,14 @@ pub fn parse_response(text: &str) -> Result<Response, IoError> {
                                 ))
                             }
                         };
+                        // Optional trailing failure marker (written only
+                        // when set, keeping healthy rows byte-stable).
+                        let failed = if c.at_end() {
+                            false
+                        } else {
+                            c.expect("failed")?;
+                            true
+                        };
                         if let Some(prev) = list.last() {
                             if prev.name >= name {
                                 return Err(perr(c.line, "session lines must be name-sorted"));
@@ -622,6 +636,7 @@ pub fn parse_response(text: &str) -> Result<Response, IoError> {
                             epochs,
                             devices,
                             verify,
+                            failed,
                         });
                         c.finish()?;
                     }
@@ -801,14 +816,44 @@ mod tests {
                 epochs: 2,
                 devices: 20,
                 verify: true,
+                failed: false,
             },
             SessionInfo {
                 name: "b".into(),
                 epochs: 0,
                 devices: 45,
                 verify: false,
+                failed: true,
             },
         ]));
+    }
+
+    #[test]
+    fn session_failure_marker_is_canonical() {
+        // The marker appears exactly when set; absent rows stay at the
+        // pre-v3 byte shape.
+        let text = write_response(&Response::Sessions(vec![SessionInfo {
+            name: "a".into(),
+            epochs: 1,
+            devices: 2,
+            verify: false,
+            failed: true,
+        }]));
+        assert!(text.contains("verify off failed\n"), "{text:?}");
+        let healthy = write_response(&Response::Sessions(vec![SessionInfo {
+            name: "a".into(),
+            epochs: 1,
+            devices: 2,
+            verify: false,
+            failed: false,
+        }]));
+        assert!(!healthy.contains("failed"), "{healthy:?}");
+        // Junk after the verify token is rejected, not ignored.
+        let bad = "dna-io v3 response\nok sessions\n  session \"a\" epochs 1 devices 2 verify off wedged\nend\n";
+        assert!(matches!(
+            parse_response(bad),
+            Err(IoError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]
@@ -834,7 +879,7 @@ mod tests {
             Err(IoError::Parse { line: 2, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v2 response\nend\n"),
+            parse_query("dna-io v3 response\nend\n"),
             Err(IoError::WrongArtifact { .. })
         ));
     }
@@ -842,29 +887,29 @@ mod tests {
     #[test]
     fn malformed_responses_are_typed_errors() {
         assert!(matches!(
-            parse_response("dna-io v2 response\nend\n"),
+            parse_response("dna-io v3 response\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v2 response\nok reach\n"),
+            parse_response("dna-io v3 response\nok reach\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v2 response\nok blast\n  window 1 flows 0\n"),
+            parse_response("dna-io v3 response\nok blast\n  window 1 flows 0\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_response("dna-io v2 response\nok nonsense\nend\n"),
+            parse_response("dna-io v3 response\nok nonsense\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         // Unsorted payload rows are rejected (the encoding is canonical).
-        let unsorted = "dna-io v2 response\nok blast\n  window 1 flows 2\n  device \"b\" flows 1\n  device \"a\" flows 1\nend\n";
+        let unsorted = "dna-io v3 response\nok blast\n  window 1 flows 2\n  device \"b\" flows 1\n  device \"a\" flows 1\nend\n";
         assert!(matches!(
             parse_response(unsorted),
             Err(IoError::Parse { line: 5, .. })
         ));
         // Out-of-order report payload epochs are rejected.
-        let bad = "dna-io v2 response\nok report\nepoch 5\nepoch 3\nend\n";
+        let bad = "dna-io v3 response\nok report\nepoch 5\nepoch 3\nend\n";
         assert!(matches!(
             parse_response(bad),
             Err(IoError::Parse { line: 4, .. })

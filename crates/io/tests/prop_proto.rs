@@ -166,23 +166,34 @@ fn indexed_epochs() -> impl Strategy<Value = Vec<(usize, EpochDiff)>> {
 }
 
 fn session_infos() -> impl Strategy<Value = Vec<SessionInfo>> {
-    prop::collection::vec((name(), any::<u64>(), any::<u64>(), any::<bool>()), 0..4).prop_map(
-        |rows| {
-            // Canonical payloads are name-sorted and duplicate-free.
-            let m: std::collections::BTreeMap<String, (u64, u64, bool)> = rows
-                .into_iter()
-                .map(|(name, epochs, devices, verify)| (name, (epochs, devices, verify)))
-                .collect();
-            m.into_iter()
-                .map(|(name, (epochs, devices, verify))| SessionInfo {
-                    name,
-                    epochs,
-                    devices,
-                    verify,
-                })
-                .collect()
-        },
+    prop::collection::vec(
+        (
+            name(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        0..4,
     )
+    .prop_map(|rows| {
+        // Canonical payloads are name-sorted and duplicate-free.
+        let m: std::collections::BTreeMap<String, (u64, u64, bool, bool)> = rows
+            .into_iter()
+            .map(|(name, epochs, devices, verify, failed)| {
+                (name, (epochs, devices, verify, failed))
+            })
+            .collect();
+        m.into_iter()
+            .map(|(name, (epochs, devices, verify, failed))| SessionInfo {
+                name,
+                epochs,
+                devices,
+                verify,
+                failed,
+            })
+            .collect()
+    })
 }
 
 fn response() -> impl Strategy<Value = Response> {

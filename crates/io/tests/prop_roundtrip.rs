@@ -622,3 +622,52 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(48, 0xD9A_1006))]
+
+    /// Counter-restore hardening: every generated checkpoint's checked
+    /// conversions ([`Checkpoint::resume_counters`]) succeed and agree
+    /// with the wire counters, and a corrupted applied-epoch counter —
+    /// dropped to the newest history index, in value space or mutated in
+    /// the serialized text — surfaces as a typed error instead of being
+    /// silently accepted into session state.
+    #[test]
+    fn checkpoint_counter_corruption_is_typed(ck in checkpoint()) {
+        let rc = ck.resume_counters().expect("generated counters convert");
+        prop_assert_eq!(rc.epochs as u64, ck.epochs);
+        prop_assert_eq!(rc.changes as u64, ck.totals.changes);
+        prop_assert_eq!(rc.rib as u64, ck.totals.rib);
+        prop_assert_eq!(rc.fib as u64, ck.totals.fib);
+        prop_assert_eq!(rc.flows as u64, ck.totals.flows);
+        prop_assert_eq!(rc.retain as u64, ck.config.retain.max(1));
+        prop_assert_eq!(rc.retain_bytes.map(|b| b as u64), ck.config.retain_bytes);
+        if let Some(&(last, _)) = ck.history.last() {
+            // Value-space corruption: the applied-epoch counter at (not
+            // above) the newest history index violates the invariant.
+            let mut bad = ck.clone();
+            bad.epochs = last as u64;
+            prop_assert!(
+                matches!(bad.resume_counters(), Err(IoError::Invalid { .. })),
+                "corrupt epochs counter must be a typed error"
+            );
+            // The same corruption in the serialized text is caught at
+            // parse time.
+            let text = write_checkpoint(&ck);
+            let mutated: String = text
+                .lines()
+                .map(|l| {
+                    if l.starts_with("applied epochs ") {
+                        format!("applied epochs {last} mismatches {}\n", ck.mismatches)
+                    } else {
+                        format!("{l}\n")
+                    }
+                })
+                .collect();
+            prop_assert!(
+                matches!(parse_checkpoint(&mutated), Err(IoError::Parse { .. })),
+                "corrupt epochs line must be a typed parse error"
+            );
+        }
+    }
+}

@@ -20,7 +20,14 @@
 //! * [`router`] — one engine thread *per session* behind the broker
 //!   seam: parallel session bring-up and concurrent multi-session
 //!   ingest with interleaved queries (the engine stays thread-local —
-//!   each session's engine lives and dies on its own thread).
+//!   each session's engine lives and dies on its own thread);
+//! * [`view`] — the published-snapshot read path: after every applied
+//!   epoch a session publishes an immutable [`QueryView`] behind an
+//!   atomic version counter, so reader threads answer read-only
+//!   queries without ever touching an engine thread;
+//! * [`net`] — the TCP front door: an accept loop whose per-connection
+//!   threads answer read-only queries straight from published views
+//!   and forward everything else to the engine side.
 //!
 //! The wire protocol is `dna-io`'s `query`/`response` artifacts (see
 //! `crates/io/FORMAT.md`); the `dna serve` / `dna query` subcommands in
@@ -29,10 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
 pub mod router;
 pub mod server;
 pub mod session;
+pub mod view;
 
+pub use net::{query_tcp, tcp_accept_loop};
 pub use router::{route_stream, Router};
 #[cfg(unix)]
 pub use server::{accept_loop, query_socket};
@@ -43,3 +53,4 @@ pub use server::{
 pub use session::{
     checkpoint_file_name, resolve_checkpoint_snapshot, Session, SessionConfig, SessionManager,
 };
+pub use view::{QueryView, ViewReader, ViewRegistry, ViewSlot};

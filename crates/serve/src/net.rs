@@ -1,0 +1,135 @@
+//! The TCP front door: many concurrent clients over one listener.
+//!
+//! Wire format is the same artifact concatenation every other
+//! transport speaks (see FORMAT.md "Framing on a stream") — the bytes
+//! `dna dump` writes to a file can be piped over a socket unchanged,
+//! and every inbound artifact maps to exactly one outbound `response`.
+//!
+//! What makes this transport different from the unix-socket pump is
+//! the **read path**: each connection thread holds the server's
+//! [`ViewRegistry`] and answers read-only queries (reach, reach-pair,
+//! blast, report, stats) straight from the session's latest published
+//! [`crate::view::QueryView`] — one atomic version check on the fast
+//! path, no engine-thread round trip, no serialization behind other
+//! clients' ingest. Mutating artifacts (snapshot loads, traces,
+//! checkpoints) and the queries a view cannot answer (`sessions`,
+//! `checkpoint`) are forwarded to the engine side over the usual
+//! [`Request`] channel. Responses are byte-identical either way: views
+//! replicate the session's answer logic and serialize through the
+//! same writer.
+
+use crate::server::{read_artifact, Request};
+use crate::view::{ViewReader, ViewRegistry};
+use dna_io::{parse_query, write_response, Artifact};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+
+/// Accepts TCP connections forever, serving each on its own thread.
+/// Holds a [`Request`] sender for as long as it runs, keeping the
+/// engine side alive after stdin ends. Accept errors are transient
+/// for a daemon: reported to stderr, and the loop keeps accepting.
+pub fn tcp_accept_loop(
+    requests: mpsc::Sender<Request>,
+    listener: TcpListener,
+    views: Arc<ViewRegistry>,
+) -> io::Result<()> {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                eprintln!("dna serve: tcp accept failed (retrying): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        let requests = requests.clone();
+        let views = Arc::clone(&views);
+        std::thread::spawn(move || {
+            // A vanished client is its own problem; the server lives on.
+            let _ = serve_connection(&requests, &views, &stream);
+        });
+    }
+}
+
+/// Serves one TCP connection: artifacts in, responses out, until the
+/// client closes its write half. Read-only queries are answered from
+/// published views when one exists; everything else round-trips
+/// through the engine side. Returns the number of artifacts served.
+pub fn serve_connection(
+    requests: &mpsc::Sender<Request>,
+    views: &ViewRegistry,
+    stream: &TcpStream,
+) -> io::Result<u64> {
+    let mut input = io::BufReader::new(stream);
+    let mut output = io::BufWriter::new(stream);
+    // Per-connection view caches, keyed by slot identity (slots live
+    // as long as the registry, so the pointer is a stable key): while
+    // a session's version is unchanged, answering takes zero locks.
+    let mut readers: BTreeMap<usize, ViewReader> = BTreeMap::new();
+    let mut served = 0u64;
+    while let Some(text) = read_artifact(&mut input)? {
+        let response = match answer_from_view(views, &mut readers, &text) {
+            Some(response) => response,
+            None => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if requests
+                    .send(Request {
+                        text,
+                        session: None,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    break; // engine side shut down
+                }
+                let Ok(response) = reply_rx.recv() else {
+                    break; // engine side shut down mid-request
+                };
+                response
+            }
+        };
+        served += 1;
+        output.write_all(response.as_bytes())?;
+        // One response per artifact is the unit of interaction: flush
+        // so clients are never left waiting on a full buffer.
+        output.flush()?;
+    }
+    Ok(served)
+}
+
+/// The snapshot read path: a query artifact whose session resolves to
+/// a published view, asking something the view can answer, is served
+/// right here. `None` sends the artifact to the engine side — which
+/// also owns every error story (malformed artifacts, unknown or
+/// failed sessions, not-yet-loaded sessions), so wire behavior is
+/// identical on both paths.
+fn answer_from_view(
+    views: &ViewRegistry,
+    readers: &mut BTreeMap<usize, ViewReader>,
+    text: &str,
+) -> Option<String> {
+    let (_, kind) = dna_io::sniff(text).ok()?;
+    if kind != Artifact::Query {
+        return None;
+    }
+    let q = parse_query(text).ok()?;
+    let slot = views.resolve(q.session.as_deref())?;
+    let reader = readers.entry(Arc::as_ptr(&slot) as usize).or_default();
+    let response = reader.current(&slot)?.answer(&q.kind)?;
+    views.note_served();
+    Some(write_response(&response))
+}
+
+/// Sends one query artifact over TCP and reads back the one response
+/// artifact — the client side of [`tcp_accept_loop`], used by
+/// `dna query --connect`.
+pub fn query_tcp(addr: &str, query_text: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    (&stream).write_all(query_text.as_bytes())?;
+    (&stream).flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = io::BufReader::new(&stream);
+    Ok(read_artifact(&mut reader)?.unwrap_or_default())
+}

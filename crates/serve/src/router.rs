@@ -16,31 +16,54 @@
 
 use crate::server::{Request, ServeSummary};
 use crate::session::{Session, SessionConfig};
+use crate::view::{ViewRegistry, ViewSlot};
 use dna_io::{
     parse_query, parse_snapshot, parse_trace, write_response, Artifact, Checkpoint, QueryKind,
     Response, SessionInfo,
 };
 use net_model::Snapshot;
 use std::collections::BTreeMap;
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 
-/// One command on a session thread's channel. Replies are serialized
-/// response artifacts sent directly to the requesting client.
-enum SessionCmd {
+/// One command on a session thread's channel. The reply is a
+/// serialized response artifact sent directly to the requesting
+/// client. Split from the work payload so the session loop always
+/// holds the reply sender *outside* the panic fence — whatever the
+/// engine does to the payload, the client gets an answer.
+struct SessionCmd {
+    work: SessionWork,
+    reply: mpsc::Sender<String>,
+}
+
+/// The engine-side payload of one [`SessionCmd`].
+enum SessionWork {
     /// (Re)open the session over an already-parsed snapshot (preload).
-    Load(Box<Snapshot>, mpsc::Sender<String>),
+    Load(Box<Snapshot>),
     /// (Re)open the session by resuming a checkpoint whose snapshot
     /// source is already resolved (`--resume` preload and streamed
     /// checkpoint artifacts).
-    Resume(Box<(Checkpoint, Snapshot)>, mpsc::Sender<String>),
+    Resume(Box<(Checkpoint, Snapshot)>),
     /// Parse raw snapshot artifact text, then (re)open over it. Raw
     /// text so the parse of a large artifact runs on this session's
     /// thread, never stalling the router (and with it other sessions).
-    LoadText(String, mpsc::Sender<String>),
+    LoadText(String),
     /// Parse raw trace artifact text, then ingest it epoch by epoch.
-    IngestText(String, mpsc::Sender<String>),
+    IngestText(String),
     /// Answer one query.
-    Query(Box<QueryKind>, mpsc::Sender<String>),
+    Query(Box<QueryKind>),
+    /// Deliberately panic the engine thread — the regression hook for
+    /// the panic fence, compiled only into this crate's tests.
+    #[cfg(test)]
+    Poison,
+}
+
+/// Locks an info cell even when a previous holder panicked mid-update:
+/// the cell is a single `Option` assignment, valid at every
+/// instruction boundary, so mutex poison carries no information — and
+/// must never turn a `sessions` listing into a second panic.
+fn lock_info(info: &Mutex<Option<SessionInfo>>) -> MutexGuard<'_, Option<SessionInfo>> {
+    info.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A running session thread.
@@ -53,11 +76,15 @@ struct SessionThread {
     join: std::thread::JoinHandle<ServeSummary>,
 }
 
-fn spawn_session(name: String, config: SessionConfig) -> SessionThread {
+fn spawn_session(
+    name: String,
+    config: SessionConfig,
+    view: Option<Arc<ViewSlot>>,
+) -> SessionThread {
     let (tx, rx) = mpsc::channel::<SessionCmd>();
     let info = Arc::new(Mutex::new(None));
     let shared = Arc::clone(&info);
-    let join = std::thread::spawn(move || session_loop(name, config, rx, &shared));
+    let join = std::thread::spawn(move || session_loop(name, config, rx, &shared, view));
     SessionThread { tx, info, join }
 }
 
@@ -66,13 +93,17 @@ fn spawn_session(name: String, config: SessionConfig) -> SessionThread {
 fn open_session(
     name: &str,
     config: SessionConfig,
+    view: Option<&Arc<ViewSlot>>,
     slot: &mut Option<Session>,
     snapshot: Snapshot,
 ) -> Response {
     let devices = snapshot.device_count() as u64;
     let links = snapshot.links.len() as u64;
     match Session::open(name, snapshot, config) {
-        Ok(s) => {
+        Ok(mut s) => {
+            if let Some(view) = view {
+                s.set_view_slot(Arc::clone(view));
+            }
             *slot = Some(s);
             Response::Loaded {
                 session: name.to_string(),
@@ -88,6 +119,7 @@ fn open_session(
 /// the previous session, mirroring [`open_session`].
 fn resume_session(
     config: &SessionConfig,
+    view: Option<&Arc<ViewSlot>>,
     slot: &mut Option<Session>,
     ckpt: &Checkpoint,
     snapshot: Snapshot,
@@ -95,8 +127,11 @@ fn resume_session(
     let devices = snapshot.device_count() as u64;
     let links = snapshot.links.len() as u64;
     match Session::resume(ckpt, snapshot, config) {
-        Ok(s) => {
+        Ok(mut s) => {
             let session = s.name().to_string();
+            if let Some(view) = view {
+                s.set_view_slot(Arc::clone(view));
+            }
             *slot = Some(s);
             Response::Loaded {
                 session,
@@ -112,76 +147,148 @@ fn resume_session(
 /// until the router drops the channel. Counts what it answers (the
 /// router counts only what it answers itself); the per-thread summaries
 /// are summed at shutdown.
+///
+/// Every command runs inside a panic fence: if the engine panics, the
+/// session is marked **failed** — its state is dropped (half-mutated
+/// state must never answer again), its published view is withdrawn,
+/// the `sessions` listing carries a `failed` marker — and this loop
+/// keeps answering, with errors, so one wedged session never takes
+/// the server (or even this session's own clients) down with it. A
+/// later snapshot load or checkpoint resume lifts the fence.
 fn session_loop(
     name: String,
     config: SessionConfig,
     rx: mpsc::Receiver<SessionCmd>,
     info: &Mutex<Option<SessionInfo>>,
+    view: Option<Arc<ViewSlot>>,
 ) -> ServeSummary {
     let mut session: Option<Session> = None;
     let mut summary = ServeSummary::default();
-    for cmd in rx {
-        let (response, epochs, reply) = match cmd {
-            SessionCmd::Load(snapshot, reply) => (
-                open_session(&name, config.clone(), &mut session, *snapshot),
-                0,
-                reply,
-            ),
-            SessionCmd::Resume(boxed, reply) => {
-                let (ckpt, snapshot) = *boxed;
-                (
-                    resume_session(&config, &mut session, &ckpt, snapshot),
-                    0,
-                    reply,
-                )
-            }
-            SessionCmd::LoadText(text, reply) => {
-                let response = match parse_snapshot(&text) {
-                    Ok(snapshot) => open_session(&name, config.clone(), &mut session, snapshot),
-                    Err(e) => Response::Error(e.to_string()),
-                };
-                (response, 0, reply)
-            }
-            SessionCmd::IngestText(text, reply) => {
-                let (response, epochs) = match parse_trace(&text) {
-                    Err(e) => (Response::Error(e.to_string()), 0),
-                    Ok(trace) => match session.as_mut() {
-                        None => (
-                            Response::Error(format!("session {name:?} has no loaded snapshot")),
-                            0,
-                        ),
-                        Some(s) => match s.ingest_trace(&trace) {
-                            Ok((epochs, flows)) => (
-                                Response::Ingested {
-                                    session: name.clone(),
-                                    epochs: epochs as u64,
-                                    flows: flows as u64,
-                                    total: s.epochs() as u64,
-                                },
-                                epochs as u64,
-                            ),
-                            Err((applied, e)) => (Response::Error(e), applied as u64),
-                        },
-                    },
-                };
-                (response, epochs, reply)
-            }
-            SessionCmd::Query(kind, reply) => {
-                let response = match session.as_ref() {
-                    None => Response::Error(format!("session {name:?} has no loaded snapshot")),
-                    Some(s) => s.answer(&kind),
-                };
-                (response, 0, reply)
+    let mut failed: Option<String> = None;
+    for SessionCmd { work, reply } in rx {
+        if matches!(
+            work,
+            SessionWork::Load(_) | SessionWork::Resume(_) | SessionWork::LoadText(_)
+        ) {
+            // A fresh load replaces whatever state the panic ruined.
+            failed = None;
+        }
+        if let Some(reason) = &failed {
+            let response = Response::Error(format!("session {name:?} failed: {reason}"));
+            summary.count(&response, 0);
+            let _ = reply.send(write_response(&response));
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            apply(&name, &config, view.as_ref(), &mut session, work)
+        }));
+        let (response, epochs) = match outcome {
+            Ok(out) => out,
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                session = None;
+                if let Some(view) = &view {
+                    view.clear();
+                }
+                // Keep the session listed — operators must see the
+                // wreck — but flagged, with the last known counters.
+                let mut guard = lock_info(info);
+                let last = guard.take();
+                *guard = Some(SessionInfo {
+                    name: name.clone(),
+                    epochs: last.as_ref().map_or(0, |i| i.epochs),
+                    devices: last.as_ref().map_or(0, |i| i.devices),
+                    verify: config.verify,
+                    failed: true,
+                });
+                drop(guard);
+                summary.failures += 1;
+                failed = Some(reason.clone());
+                let response = Response::Error(format!("session {name:?} failed: {reason}"));
+                summary.count(&response, 0);
+                let _ = reply.send(write_response(&response));
+                continue;
             }
         };
         // Publish the refreshed info line BEFORE acknowledging: once a
         // client holds our reply, a `sessions` listing must already
         // reflect the command it acknowledges.
-        *info.lock().expect("info mutex") = session.as_ref().map(Session::info);
+        *lock_info(info) = session.as_ref().map(Session::info);
         summary.count(&response, epochs);
         let _ = reply.send(write_response(&response));
     }
     summary
+}
+
+/// Applies one command payload to the session slot (the code inside
+/// the panic fence). Returns the response plus epochs applied.
+fn apply(
+    name: &str,
+    config: &SessionConfig,
+    view: Option<&Arc<ViewSlot>>,
+    session: &mut Option<Session>,
+    work: SessionWork,
+) -> (Response, u64) {
+    match work {
+        SessionWork::Load(snapshot) => (
+            open_session(name, config.clone(), view, session, *snapshot),
+            0,
+        ),
+        SessionWork::Resume(boxed) => {
+            let (ckpt, snapshot) = *boxed;
+            (resume_session(config, view, session, &ckpt, snapshot), 0)
+        }
+        SessionWork::LoadText(text) => {
+            let response = match parse_snapshot(&text) {
+                Ok(snapshot) => open_session(name, config.clone(), view, session, snapshot),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            (response, 0)
+        }
+        SessionWork::IngestText(text) => match parse_trace(&text) {
+            Err(e) => (Response::Error(e.to_string()), 0),
+            Ok(trace) => match session.as_mut() {
+                None => (
+                    Response::Error(format!("session {name:?} has no loaded snapshot")),
+                    0,
+                ),
+                Some(s) => match s.ingest_trace(&trace) {
+                    Ok((epochs, flows)) => (
+                        Response::Ingested {
+                            session: name.to_string(),
+                            epochs: epochs as u64,
+                            flows: flows as u64,
+                            total: s.epochs() as u64,
+                        },
+                        epochs as u64,
+                    ),
+                    Err((applied, e)) => (Response::Error(e), applied as u64),
+                },
+            },
+        },
+        SessionWork::Query(kind) => {
+            let response = match session.as_ref() {
+                None => Response::Error(format!("session {name:?} has no loaded snapshot")),
+                Some(s) => s.answer(&kind),
+            };
+            (response, 0)
+        }
+        #[cfg(test)]
+        SessionWork::Poison => panic!("deliberately poisoned (test hook)"),
+    }
+}
+
+/// A human-readable reason out of a panic payload (`panic!` with a
+/// string literal or a formatted message covers effectively all of
+/// std and this codebase).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
 }
 
 /// The router: one engine thread per session, spawned on demand.
@@ -190,6 +297,11 @@ pub struct Router {
     sessions: BTreeMap<String, SessionThread>,
     default: Option<String>,
     summary: ServeSummary,
+    /// When attached (the TCP front door), every session thread gets a
+    /// [`ViewSlot`] from this registry and publishes a read view after
+    /// each applied epoch; reader threads resolve slots through the
+    /// same registry.
+    views: Option<Arc<ViewRegistry>>,
 }
 
 impl Router {
@@ -200,7 +312,15 @@ impl Router {
             sessions: BTreeMap::new(),
             default: None,
             summary: ServeSummary::default(),
+            views: None,
         }
+    }
+
+    /// Attaches the view registry shared with reader threads; sessions
+    /// spawned from here on publish read views into it.
+    pub fn with_views(mut self, views: Arc<ViewRegistry>) -> Self {
+        self.views = Some(views);
+        self
     }
 
     /// Opens the named sessions concurrently — one engine thread each,
@@ -211,7 +331,7 @@ impl Router {
     pub fn preload(&mut self, snapshots: Vec<(String, Snapshot)>) -> Result<Vec<String>, String> {
         let cmds = snapshots
             .into_iter()
-            .map(|(name, snapshot)| (name, |reply| SessionCmd::Load(Box::new(snapshot), reply)))
+            .map(|(name, snapshot)| (name, SessionWork::Load(Box::new(snapshot))))
             .collect::<Vec<_>>();
         self.preload_with(cmds)
     }
@@ -230,36 +350,53 @@ impl Router {
             .into_iter()
             .map(|(ckpt, snapshot)| {
                 let name = ckpt.session.clone();
-                (name, |reply| {
-                    SessionCmd::Resume(Box::new((ckpt, snapshot)), reply)
-                })
+                (name, SessionWork::Resume(Box::new((ckpt, snapshot))))
             })
             .collect::<Vec<_>>();
         self.preload_with(cmds)
+    }
+
+    /// The named session's thread, spawned (with its view slot, when a
+    /// registry is attached) if it does not exist yet.
+    fn thread_entry(&mut self, name: &str) -> &SessionThread {
+        let config = self.config.clone();
+        let view = self.views.as_ref().map(|v| v.slot(name));
+        self.sessions
+            .entry(name.to_string())
+            .or_insert_with(|| spawn_session(name.to_string(), config, view))
+    }
+
+    /// Records the default stream target, mirroring it into the view
+    /// registry so readers resolve unaddressed queries the same way
+    /// the router does.
+    fn set_default(&mut self, name: Option<String>) {
+        if let Some(views) = &self.views {
+            views.set_default(name.as_deref());
+        }
+        self.default = name;
     }
 
     /// Shared preload machinery: route one bring-up command per named
     /// session (spawning engine threads as needed, so every bring-up
     /// runs concurrently), then wait for all of them. On any failure
     /// the error is returned and the failed session is removed.
-    fn preload_with(
-        &mut self,
-        cmds: Vec<(String, impl FnOnce(mpsc::Sender<String>) -> SessionCmd)>,
-    ) -> Result<Vec<String>, String> {
+    fn preload_with(&mut self, cmds: Vec<(String, SessionWork)>) -> Result<Vec<String>, String> {
         let mut pending = Vec::new();
-        for (name, cmd) in cmds {
+        for (name, work) in cmds {
             let (reply_tx, reply_rx) = mpsc::channel();
-            let config = self.config.clone();
-            let thread = self
-                .sessions
-                .entry(name.clone())
-                .or_insert_with(|| spawn_session(name.clone(), config));
-            thread
-                .tx
-                .send(cmd(reply_tx))
-                .expect("fresh session thread is live");
+            let sent = self.thread_entry(&name).tx.send(SessionCmd {
+                work,
+                reply: reply_tx,
+            });
+            if sent.is_err() {
+                // A session loop only exits when its channel closes, so
+                // a dead thread here is exceptional — fail the bring-up
+                // cleanly rather than panicking the router.
+                self.remove(&name);
+                return Err(format!("session {name:?}: engine thread is gone"));
+            }
             if self.default.is_none() {
-                self.default = Some(name.clone());
+                self.set_default(Some(name.clone()));
             }
             pending.push((name, reply_rx));
         }
@@ -288,7 +425,8 @@ impl Router {
             }
         }
         if self.default.as_deref() == Some(name) {
-            self.default = self.sessions.keys().next().cloned();
+            let next = self.sessions.keys().next().cloned();
+            self.set_default(next);
         }
     }
 
@@ -312,32 +450,35 @@ impl Router {
                     .or(self.default.as_deref())
                     .unwrap_or("main")
                     .to_string();
-                let config = self.config.clone();
-                let thread = self
-                    .sessions
-                    .entry(name.clone())
-                    .or_insert_with(|| spawn_session(name.clone(), config));
-                if thread
-                    .tx
-                    .send(SessionCmd::LoadText(req.text, req.reply))
-                    .is_err()
-                {
-                    // Reply channel went down with the thread; the
-                    // client's recv fails and it hangs up. Count it.
-                    self.summary.errors += 1;
-                    self.summary.artifacts += 1;
+                let sent = self.thread_entry(&name).tx.send(SessionCmd {
+                    work: SessionWork::LoadText(req.text),
+                    reply: req.reply,
+                });
+                if let Err(mpsc::SendError(cmd)) = sent {
+                    // The thread is gone; answer from here so the
+                    // client is never left hanging on a dead channel.
+                    let msg = format!("session {name:?}: engine thread is gone");
+                    self.answer(&cmd.reply, Response::Error(msg));
                 }
                 if self.default.is_none() {
-                    self.default = Some(name);
+                    self.set_default(Some(name));
                 }
             }
             Artifact::Trace => {
                 let Some(name) = stream_session.or(self.default.as_deref()) else {
                     return self.answer(&req.reply, Response::Error("no session is open".into()));
                 };
-                match self.sessions.get(name) {
+                let name = name.to_string();
+                match self.sessions.get(&name) {
                     Some(thread) => {
-                        let _ = thread.tx.send(SessionCmd::IngestText(req.text, req.reply));
+                        let sent = thread.tx.send(SessionCmd {
+                            work: SessionWork::IngestText(req.text),
+                            reply: req.reply,
+                        });
+                        if let Err(mpsc::SendError(cmd)) = sent {
+                            let msg = format!("session {name:?}: engine thread is gone");
+                            self.answer(&cmd.reply, Response::Error(msg));
+                        }
                     }
                     None => {
                         let msg = format!("unknown session {name:?}");
@@ -355,21 +496,16 @@ impl Router {
                 Ok(ckpt) => match crate::session::resolve_checkpoint_snapshot(&ckpt, None) {
                     Ok(snapshot) => {
                         let name = ckpt.session.clone();
-                        let config = self.config.clone();
-                        let thread = self
-                            .sessions
-                            .entry(name.clone())
-                            .or_insert_with(|| spawn_session(name.clone(), config));
-                        if thread
-                            .tx
-                            .send(SessionCmd::Resume(Box::new((ckpt, snapshot)), req.reply))
-                            .is_err()
-                        {
-                            self.summary.errors += 1;
-                            self.summary.artifacts += 1;
+                        let sent = self.thread_entry(&name).tx.send(SessionCmd {
+                            work: SessionWork::Resume(Box::new((ckpt, snapshot))),
+                            reply: req.reply,
+                        });
+                        if let Err(mpsc::SendError(cmd)) = sent {
+                            let msg = format!("session {name:?}: engine thread is gone");
+                            self.answer(&cmd.reply, Response::Error(msg));
                         }
                         if self.default.is_none() {
-                            self.default = Some(name);
+                            self.set_default(Some(name));
                         }
                     }
                     Err(e) => self.answer(&req.reply, Response::Error(e)),
@@ -386,11 +522,17 @@ impl Router {
                         return self
                             .answer(&req.reply, Response::Error("no session is open".into()));
                     };
-                    match self.sessions.get(name) {
+                    let name = name.to_string();
+                    match self.sessions.get(&name) {
                         Some(thread) => {
-                            let _ = thread
-                                .tx
-                                .send(SessionCmd::Query(Box::new(q.kind), req.reply));
+                            let sent = thread.tx.send(SessionCmd {
+                                work: SessionWork::Query(Box::new(q.kind)),
+                                reply: req.reply,
+                            });
+                            if let Err(mpsc::SendError(cmd)) = sent {
+                                let msg = format!("session {name:?}: engine thread is gone");
+                                self.answer(&cmd.reply, Response::Error(msg));
+                            }
                         }
                         None => {
                             let msg = format!("unknown session {name:?}");
@@ -408,7 +550,8 @@ impl Router {
     }
 
     /// Collects every session's info line (name-ordered; sessions whose
-    /// load failed are omitted) from the per-thread caches, so a
+    /// load failed are omitted, sessions whose engine *panicked* are
+    /// listed with a `failed` marker) from the per-thread caches, so a
     /// `sessions` query never stalls routing behind a session's
     /// in-flight engine work. The answer can trail commands still in a
     /// session's queue — the price of not blocking every other session
@@ -416,7 +559,7 @@ impl Router {
     fn session_infos(&self) -> Vec<SessionInfo> {
         self.sessions
             .values()
-            .filter_map(|t| t.info.lock().expect("info mutex").clone())
+            .filter_map(|t| lock_info(&t.info).clone())
             .collect()
     }
 
@@ -455,7 +598,12 @@ pub fn route_stream(
     let summary_thread = std::thread::spawn(move || router.run(rx));
     crate::server::pump_stream(&tx, input, output)?;
     drop(tx);
-    Ok(summary_thread.join().expect("router thread panicked"))
+    // Session panics are fenced inside their own loops; the router
+    // thread itself panicking is a bug, but it must surface as an I/O
+    // error to the caller, not a second panic that unwinds the server.
+    summary_thread
+        .join()
+        .map_err(|_| std::io::Error::other("router thread panicked"))
 }
 
 #[cfg(test)]
@@ -561,5 +709,152 @@ mod tests {
             Response::Stats(s) => assert_eq!((s.session.as_str(), s.epochs), ("main", 1)),
             other => panic!("expected stats, got {other:?}"),
         }
+    }
+
+    /// Regression for the panic fence: before it, a panicking session
+    /// thread died with its reply channels and the whole serve loop
+    /// came down with `join().expect(...)`. Now the panic is caught on
+    /// the session's own thread — the session answers `failed` errors,
+    /// the `sessions` listing flags it, every *other* session keeps
+    /// serving, and a fresh snapshot load revives the name.
+    #[test]
+    fn panicked_session_is_fenced_and_server_keeps_serving() {
+        let mut router = Router::new(SessionConfig::default());
+        router
+            .preload(vec![
+                ("a".into(), ft4()),
+                ("b".into(), fat_tree(4, Routing::Ospf).snapshot),
+            ])
+            .expect("both sessions open");
+        // Deliberately poison session "a"'s engine thread.
+        let (ptx, prx) = mpsc::channel();
+        router
+            .sessions
+            .get("a")
+            .unwrap()
+            .tx
+            .send(SessionCmd {
+                work: SessionWork::Poison,
+                reply: ptx,
+            })
+            .expect("thread is live");
+        match parse_response(&prx.recv().expect("fence answers the poisoned command")).unwrap() {
+            Response::Error(msg) => {
+                assert!(msg.contains("failed"), "{msg}");
+                assert!(msg.contains("deliberately poisoned"), "{msg}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || router.run(rx));
+        let stream = format!(
+            "{}{}{}",
+            write_query(&Query {
+                session: None,
+                kind: QueryKind::Sessions,
+            }),
+            write_query(&Query {
+                session: Some("a".into()),
+                kind: QueryKind::Stats,
+            }),
+            write_query(&Query {
+                session: Some("b".into()),
+                kind: QueryKind::Stats,
+            }),
+        );
+        let mut out = Vec::new();
+        pump_stream(&tx, &mut Cursor::new(stream.into_bytes()), &mut out).unwrap();
+        // A fresh snapshot load lifts the fence and revives the name.
+        let mut out2 = Vec::new();
+        let stream2 = format!(
+            "{}{}",
+            write_snapshot(&ft4()),
+            write_query(&Query {
+                session: Some("a".into()),
+                kind: QueryKind::Stats,
+            }),
+        );
+        crate::server::pump_stream_as(
+            &tx,
+            Some("a"),
+            &mut Cursor::new(stream2.into_bytes()),
+            &mut out2,
+        )
+        .unwrap();
+        drop(tx);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.failures, 1, "exactly one fenced panic");
+        let out = String::from_utf8(out).unwrap();
+        let mut cursor = Cursor::new(out.into_bytes());
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Sessions(list) => {
+                let flags: Vec<(&str, bool)> =
+                    list.iter().map(|s| (s.name.as_str(), s.failed)).collect();
+                assert_eq!(flags, vec![("a", true), ("b", false)]);
+            }
+            other => panic!("expected sessions, got {other:?}"),
+        }
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("failed"), "{msg}"),
+            other => panic!("failed session must answer errors, got {other:?}"),
+        }
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Stats(s) => assert_eq!(s.session, "b"),
+            other => panic!("healthy session must keep serving, got {other:?}"),
+        }
+        let out2 = String::from_utf8(out2).unwrap();
+        let mut cursor = Cursor::new(out2.into_bytes());
+        assert!(matches!(
+            parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap(),
+            Response::Loaded { .. }
+        ));
+        match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
+            Response::Stats(s) => assert_eq!((s.session.as_str(), s.epochs), ("a", 0)),
+            other => panic!("revived session must answer, got {other:?}"),
+        }
+    }
+
+    /// Regression for info-mutex poisoning: a reader that panicked
+    /// while holding a session's info lock used to make every later
+    /// `sessions` query panic in turn (`lock().expect("info mutex")`).
+    /// The info cell is poison-proof now, for both the router's reads
+    /// and the session thread's writes.
+    #[test]
+    fn poisoned_info_mutex_neither_kills_listing_nor_session() {
+        let mut router = Router::new(SessionConfig::default());
+        router
+            .preload(vec![("a".into(), ft4())])
+            .expect("session opens");
+        let info = Arc::clone(&router.sessions.get("a").unwrap().info);
+        let _ = std::thread::spawn(move || {
+            let _guard = info.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(
+            router.sessions.get("a").unwrap().info.is_poisoned(),
+            "test must actually poison the mutex"
+        );
+        // Router-side read shrugs the poison off.
+        let list = router.session_infos();
+        assert_eq!(list.len(), 1);
+        assert_eq!((list[0].name.as_str(), list[0].failed), ("a", false));
+        // Session-side write (after answering a query) does too.
+        let (qtx, qrx) = mpsc::channel();
+        router
+            .sessions
+            .get("a")
+            .unwrap()
+            .tx
+            .send(SessionCmd {
+                work: SessionWork::Query(Box::new(QueryKind::Stats)),
+                reply: qtx,
+            })
+            .unwrap();
+        match parse_response(&qrx.recv().unwrap()).unwrap() {
+            Response::Stats(s) => assert_eq!(s.session, "a"),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert_eq!(router.session_infos().len(), 1);
     }
 }

@@ -39,6 +39,9 @@ pub struct ServeSummary {
     pub epochs: u64,
     /// Error responses produced.
     pub errors: u64,
+    /// Session engine threads that panicked and were fenced off (the
+    /// session answers errors from then on; the server lives).
+    pub failures: u64,
 }
 
 impl ServeSummary {
@@ -49,6 +52,7 @@ impl ServeSummary {
         self.queries += other.queries;
         self.epochs += other.epochs;
         self.errors += other.errors;
+        self.failures += other.failures;
     }
 
     pub(crate) fn count(&mut self, response: &Response, epochs_applied: u64) {

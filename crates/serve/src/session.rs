@@ -11,6 +11,7 @@
 //! Every query is answered from incrementally maintained state; nothing
 //! on the query path re-simulates the network.
 
+use crate::view::{QueryView, ViewSlot};
 use dna_core::{ReplayCheckpoint, ReplayMode, ReplaySession, ReplayTotals};
 use dna_io::{
     Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals, EpochDiff, Query, QueryKind,
@@ -19,6 +20,7 @@ use dna_io::{
 use net_model::{Flow, Snapshot};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-session policy, fixed at open time.
@@ -120,9 +122,12 @@ pub fn resolve_checkpoint_snapshot(
 
 /// One retained epoch: its absolute index, canonical diff, and the
 /// diff's canonical serialized size (0 when no byte budget is set).
+/// The diff is `Arc`'d so publishing a [`QueryView`] after epoch N
+/// shares the window with the previous view instead of deep-copying
+/// `retain` diffs per epoch.
 struct EpochRecord {
     index: usize,
-    diff: EpochDiff,
+    diff: Arc<EpochDiff>,
     bytes: usize,
 }
 
@@ -136,6 +141,10 @@ pub struct Session {
     /// budget is configured).
     history_bytes: usize,
     mismatches: u64,
+    /// Where this session publishes its immutable [`QueryView`] after
+    /// every applied epoch (see [`crate::view`]). `None` outside the
+    /// TCP front door — pipe-mode sessions never pay the capture.
+    view: Option<Arc<ViewSlot>>,
 }
 
 impl Session {
@@ -160,6 +169,7 @@ impl Session {
             history: VecDeque::new(),
             history_bytes: 0,
             mismatches: 0,
+            view: None,
         })
     }
 
@@ -178,9 +188,16 @@ impl Session {
         server: &SessionConfig,
     ) -> Result<Self, String> {
         let name = ckpt.session.clone();
+        // Checked counter restoration: a checkpoint's u64 counters may
+        // not fit this host's usize (32-bit resumer of a 64-bit write)
+        // and its history window must sit below its epoch count — the
+        // old `as usize` casts silently wrapped instead of refusing.
+        let counters = ckpt
+            .resume_counters()
+            .map_err(|e| format!("session {name:?}: {e}"))?;
         let config = SessionConfig {
-            retain: (ckpt.config.retain as usize).max(1),
-            retain_bytes: ckpt.config.retain_bytes.map(|b| b as usize),
+            retain: counters.retain,
+            retain_bytes: counters.retain_bytes,
             verify: ckpt.config.verify,
             shards: server.shards,
             checkpoint_dir: server.checkpoint_dir.clone(),
@@ -194,13 +211,13 @@ impl Session {
         let t = &ckpt.totals;
         let replay_ckpt = ReplayCheckpoint {
             snapshot,
-            epochs: ckpt.epochs as usize,
+            epochs: counters.epochs,
             totals: ReplayTotals {
-                epochs: ckpt.epochs as usize,
-                changes: t.changes as usize,
-                rib: t.rib as usize,
-                fib: t.fib as usize,
-                flows: t.flows as usize,
+                epochs: counters.epochs,
+                changes: counters.changes,
+                rib: counters.rib,
+                fib: counters.fib,
+                flows: counters.flows,
                 cp_time: Duration::from_nanos(t.cp_ns),
                 dp_time: Duration::from_nanos(t.dp_ns),
                 total_time: Duration::from_nanos(t.total_ns),
@@ -216,6 +233,7 @@ impl Session {
             history: VecDeque::new(),
             history_bytes: 0,
             mismatches: ckpt.mismatches,
+            view: None,
         };
         for (index, diff) in &ckpt.history {
             session.push_history(*index, diff.clone());
@@ -251,7 +269,7 @@ impl Session {
             history: self
                 .history
                 .iter()
-                .map(|r| (r.index, r.diff.clone()))
+                .map(|r| (r.index, (*r.diff).clone()))
                 .collect(),
         }
     }
@@ -334,6 +352,10 @@ impl Session {
         }
         let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
         let flows = self.push_history(out.index, diff);
+        // Publish the refreshed read view before acknowledging the
+        // epoch: a client that holds our reply must find a view at
+        // least this fresh (cheap no-op when no slot is attached).
+        self.publish_view();
         // Cadence checkpoints ride the ingest path. A failed write must
         // not fail the epoch (the analysis state is fine — durability
         // degraded, which the operator hears about on stderr).
@@ -364,7 +386,11 @@ impl Session {
             0
         };
         self.history_bytes += bytes;
-        self.history.push_back(EpochRecord { index, diff, bytes });
+        self.history.push_back(EpochRecord {
+            index,
+            diff: Arc::new(diff),
+            bytes,
+        });
         while self.history.len() > self.config.retain
             || (self.history.len() > 1
                 && self
@@ -484,7 +510,7 @@ impl Session {
             .history
             .iter()
             .filter(|r| r.index >= from && r.index < to)
-            .map(|r| (r.index, r.diff.clone()))
+            .map(|r| (r.index, (*r.diff).clone()))
             .collect();
         Response::Report { epochs }
     }
@@ -525,7 +551,48 @@ impl Session {
             epochs: self.epochs() as u64,
             devices: self.snapshot().device_count() as u64,
             verify: self.config.verify,
+            failed: false,
         }
+    }
+
+    /// Attaches the slot this session publishes its read views into,
+    /// and publishes the current state immediately — from the first
+    /// moment a reader can resolve the session, a view exists.
+    pub fn set_view_slot(&mut self, slot: Arc<ViewSlot>) {
+        self.view = Some(slot);
+        self.publish_view();
+    }
+
+    /// Publishes an immutable [`QueryView`] of the current state into
+    /// the attached slot (no-op without one). Runs on the engine
+    /// thread after every applied epoch; readers swap to the new view
+    /// with one atomic version check.
+    fn publish_view(&self) {
+        let Some(slot) = &self.view else { return };
+        let Some(engine) = self.replay.view() else {
+            return;
+        };
+        let devices = self
+            .snapshot()
+            .devices
+            .iter()
+            .map(|(name, dc)| {
+                let addr = dc.interfaces.values().next().map(|ic| ic.addr);
+                (name.clone(), addr)
+            })
+            .collect();
+        let history = self
+            .history
+            .iter()
+            .map(|r| (r.index, Arc::clone(&r.diff)))
+            .collect();
+        slot.publish(Arc::new(QueryView::assemble(
+            self.name.clone(),
+            engine,
+            devices,
+            history,
+            self.stats(),
+        )));
     }
 }
 

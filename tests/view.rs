@@ -1,0 +1,164 @@
+//! Published-view equivalence: the immutable [`dna_serve::QueryView`]
+//! a session publishes after every applied epoch must answer exactly
+//! like the live session at that epoch — byte for byte, including the
+//! error stories — across shard counts. Plus a publish/read race: many
+//! readers over one slot only ever observe epochs moving forward.
+
+use dna_io::QueryKind;
+use dna_serve::{Session, SessionConfig, ViewReader, ViewSlot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use topo_gen::{fat_tree, Routing, ScenarioGen, ALL_SCENARIOS};
+
+const EPOCHS: usize = 8;
+
+fn workload(seed: u64) -> (net_model::Snapshot, Vec<dna_io::TraceEpoch>) {
+    let ft = fat_tree(4, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(seed);
+    let labeled = gen.labeled_sequence(&ft.snapshot, ALL_SCENARIOS, EPOCHS);
+    let epochs = labeled
+        .into_iter()
+        .map(|(kind, changes)| dna_io::TraceEpoch {
+            label: Some(kind.to_string()),
+            changes,
+        })
+        .collect();
+    (ft.snapshot, epochs)
+}
+
+/// The read-only query battery: happy paths, a bounded and an
+/// unbounded history window, and every error clause the view must
+/// reproduce verbatim (unknown source, unknown destination).
+fn battery(epoch: usize) -> Vec<QueryKind> {
+    vec![
+        QueryKind::ReachPair {
+            src: "edge0_0".into(),
+            dst: "edge1_1".into(),
+        },
+        QueryKind::ReachPair {
+            src: "edge1_0".into(),
+            dst: "edge0_1".into(),
+        },
+        QueryKind::ReachPair {
+            src: "ghost".into(),
+            dst: "edge1_1".into(),
+        },
+        QueryKind::ReachPair {
+            src: "edge0_0".into(),
+            dst: "ghost".into(),
+        },
+        QueryKind::Blast { last: 4 },
+        QueryKind::Blast { last: EPOCHS * 2 },
+        QueryKind::Report {
+            from: epoch.saturating_sub(2),
+            to: epoch + 1,
+        },
+        QueryKind::Stats,
+    ]
+}
+
+/// Mid-stream equivalence, per epoch, per shard count: after every
+/// ingested epoch the freshly published view answers the whole battery
+/// byte-identically to the live session — which *is* the sequential
+/// replay to that epoch. Shard count only changes bring-up internals,
+/// never an answer.
+#[test]
+fn published_view_matches_live_session_at_every_epoch() {
+    let (snapshot, epochs) = workload(515);
+    for shards in [1usize, 2, 4] {
+        let config = SessionConfig {
+            shards,
+            ..SessionConfig::default()
+        };
+        let slot = Arc::new(ViewSlot::new());
+        let mut session = Session::open("v", snapshot.clone(), config).expect("session opens");
+        session.set_view_slot(Arc::clone(&slot));
+        let mut reader = ViewReader::new();
+        // set_view_slot publishes the epoch-0 state immediately.
+        let v0 = reader.current(&slot).expect("initial view published");
+        assert_eq!(v0.epochs(), 0);
+        for (i, epoch) in epochs.iter().enumerate() {
+            session.ingest(epoch).expect("epoch applies");
+            let view = reader.current(&slot).expect("view published");
+            assert_eq!(view.epochs() as usize, i + 1, "shards={shards}");
+            for kind in battery(i + 1) {
+                let from_view = dna_io::write_response(
+                    &view
+                        .answer(&kind)
+                        .expect("battery kinds are view-answerable"),
+                );
+                let from_session = dna_io::write_response(&session.answer(&kind));
+                assert_eq!(
+                    from_view,
+                    from_session,
+                    "view diverged from session at epoch {} (shards={shards}, {kind:?})",
+                    i + 1
+                );
+            }
+        }
+        // `sessions` and `checkpoint` must keep routing to the engine.
+        let view = reader.current(&slot).expect("view published");
+        assert!(view.answer(&QueryKind::Sessions).is_none());
+        assert!(view.answer(&QueryKind::Checkpoint).is_none());
+    }
+}
+
+/// The publish path under reader pressure: one session ingests (and so
+/// publishes) while eight readers spin on the same slot. Every reader
+/// must observe a monotonically non-decreasing epoch count and settle
+/// on the final state — no torn views, no going back in time, no
+/// reader ever wedging the publisher.
+#[test]
+fn racing_readers_only_ever_see_epochs_move_forward() {
+    let (snapshot, epochs) = workload(516);
+    let slot = Arc::new(ViewSlot::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..8)
+        .map(|_| {
+            let slot = Arc::clone(&slot);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reader = ViewReader::new();
+                let mut last = 0u64;
+                let mut observed = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    if let Some(view) = reader.current(&slot) {
+                        let e = view.epochs();
+                        assert!(e >= last, "view went back in time: {e} < {last}");
+                        last = e;
+                        observed += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                // The done flag is raised after the last publish, so one
+                // final look is guaranteed to see the all-epochs view.
+                let view = reader.current(&slot).expect("final view published");
+                assert!(view.epochs() >= last, "final view went back in time");
+                last = view.epochs();
+                observed += 1;
+                (last, observed)
+            })
+        })
+        .collect();
+    let mut session =
+        Session::open("race", snapshot, SessionConfig::default()).expect("session opens");
+    session.set_view_slot(Arc::clone(&slot));
+    for epoch in &epochs {
+        session.ingest(epoch).expect("epoch applies");
+    }
+    done.store(true, Ordering::Release);
+    for reader in readers {
+        let (last, observed) = reader.join().expect("reader thread");
+        assert!(observed > 0, "reader never saw a published view");
+        assert_eq!(
+            last, EPOCHS as u64,
+            "reader settled short of the final state"
+        );
+    }
+    // After the race settles, a fresh reader sees exactly the final state.
+    let mut fresh = ViewReader::new();
+    assert_eq!(
+        fresh.current(&slot).expect("final view").epochs(),
+        EPOCHS as u64
+    );
+}
