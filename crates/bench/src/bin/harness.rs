@@ -1,9 +1,9 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
 //! Usage: `cargo run --release -p dna-bench --bin harness
-//! [e1|e2|...|e11|serve|shard|resume|all|record] [--record <dir>]`
+//! [e1|e2|...|e12|serve|shard|resume|overhead|all|record] [--record <dir>]`
 //! (`serve` is an alias for the E9 service experiment, `shard` for
-//! E10, `resume` for E11.)
+//! E10, `resume` for E11, `overhead` for E12.)
 //!
 //! With `--record <dir>`, the standard benchmark workloads (snapshot +
 //! all-scenario change trace per topology) are additionally written as
@@ -74,6 +74,15 @@ fn main() {
     }
     if all || which == "e11" || which == "resume" {
         b::e11_resume(&[4, 6, 8, 10], 24);
+    }
+    // The child arm of E12: run one ingest probe and print only the
+    // rate (the parent re-execs this harness with DNA_OBS_DISABLED=1).
+    if which == "e12-probe" {
+        println!("e12-probe eps {}", b::e12_probe(6, 64));
+        return;
+    }
+    if all || which == "e12" || which == "overhead" {
+        b::e12_obs_overhead(6, 64, 3);
     }
     if let Some(dir) = record_dir {
         let files = b::record_workloads(&dir, 24).expect("record workloads");

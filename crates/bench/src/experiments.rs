@@ -625,3 +625,90 @@ pub fn e11_resume(ks: &[u32], epochs: usize) -> Vec<ResumeRow> {
     }
     rows
 }
+
+/// One timed arm of E12: the E9 ingest loop alone (differential
+/// engine, `dna-serve` session, view publish included) — the paper's
+/// hot path, with whatever telemetry state the process was born with
+/// (`DNA_OBS_DISABLED` is read once at first registry touch, which is
+/// why the disabled arm must run in a child process). Returns
+/// sustained epochs per second.
+pub fn e12_probe(k: u32, epochs: usize) -> f64 {
+    use dna_io::TraceEpoch;
+    use dna_serve::{Session, SessionConfig};
+    let ft = fat_tree(k, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(9_900);
+    let trace: Vec<TraceEpoch> = gen
+        .labeled_sequence(&ft.snapshot, ALL_SCENARIOS, epochs)
+        .into_iter()
+        .map(|(kind, changes)| TraceEpoch {
+            label: Some(kind.to_string()),
+            changes,
+        })
+        .collect();
+    let mut session = Session::open(
+        "e12",
+        ft.snapshot.clone(),
+        SessionConfig {
+            retain: 64,
+            ..Default::default()
+        },
+    )
+    .expect("session opens");
+    let t = Instant::now();
+    for ep in &trace {
+        session.ingest(ep).expect("epoch applies");
+    }
+    trace.len() as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// E12 — instrumentation overhead on the ingest hot path: the E9
+/// ingest loop with telemetry on (this process) vs off (a re-exec of
+/// this harness with `DNA_OBS_DISABLED=1`, because the kill switch is
+/// latched at first registry touch). Each arm runs `runs` times and
+/// the best (highest-throughput) sample is compared — best-of cuts
+/// scheduler noise, which on a small box easily exceeds the effect
+/// being measured. Returns `(enabled eps, disabled eps)`.
+pub fn e12_obs_overhead(k: u32, epochs: usize, runs: usize) -> (f64, f64) {
+    assert!(
+        dna_obs::global().enabled(),
+        "E12 must start with telemetry enabled (unset DNA_OBS_DISABLED)"
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let child_eps = || -> f64 {
+        let out = std::process::Command::new(&exe)
+            .arg("e12-probe")
+            .env("DNA_OBS_DISABLED", "1")
+            .output()
+            .expect("disabled-arm child runs");
+        assert!(out.status.success(), "disabled-arm child failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        text.lines()
+            .find_map(|l| l.strip_prefix("e12-probe eps "))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable probe output: {text:?}"))
+    };
+    let enabled = (0..runs)
+        .map(|_| e12_probe(k, epochs))
+        .fold(0.0f64, f64::max);
+    let disabled = (0..runs).map(|_| child_eps()).fold(0.0f64, f64::max);
+    let overhead = (disabled - enabled) / disabled.max(f64::MIN_POSITIVE) * 100.0;
+    println!("\n== E12: telemetry overhead on the E9 ingest path (k={k}, {epochs} epochs, best of {runs}) ==");
+    println!(
+        "{:<22} | {:>12} | {:>12} | {:>9}",
+        "arm", "ingest eps", "epoch mean", "overhead"
+    );
+    for (arm, eps) in [("telemetry on", enabled), ("DNA_OBS_DISABLED=1", disabled)] {
+        println!(
+            "{:<22} | {:>12.1} | {:>9.3} ms | {:>9}",
+            arm,
+            eps,
+            1_000.0 / eps.max(f64::MIN_POSITIVE),
+            if arm.starts_with("telemetry") {
+                format!("{overhead:>+.2}%")
+            } else {
+                "—".into()
+            }
+        );
+    }
+    (enabled, disabled)
+}

@@ -44,10 +44,10 @@ USAGE:
   dna serve [name=]<snap-file>... [--retain <n>] [--retain-bytes <n>]
             [--verify] [--quiet] [--shards <n>] [--socket <path>]
             [--listen <addr>] [--follow [name=]<trace-file>]...
-            [--threads per-session|single]
+            [--threads per-session|single] [--metrics-interval <secs>]
             [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
   dna query [--session <name>] [--socket <path>] [--connect <addr>]
-            <command>
+            [--prometheus] <command>
   dna checkpoint inspect <ckpt-file>
   dna checkpoint write <snap-file> --out <ckpt-file> [--session <name>]
             [--ref] [--retain <n>] [--verify]
@@ -106,10 +106,24 @@ QUERY COMMANDS:
   stats
   sessions
   checkpoint
+  metrics
+  trace [n]
 Without --socket/--connect the query artifact is printed to stdout
 (compose mode, for piping into `dna serve`); with --socket (unix
 socket path) or --connect (TCP host:port) it is sent to a server and
 the response is printed instead.
+
+OBSERVABILITY: `metrics` scrapes the server's live counters, gauges
+and latency histograms as a canonical `metrics` artifact (every
+transport answers it without an engine round trip; --session narrows
+to one session's series); --prometheus re-renders the scrape as
+Prometheus text exposition format. `trace [n]` returns the last n
+(default: all retained) per-epoch lifecycle spans — parse, control
+plane, data plane, view publish timings — as a `spans` artifact.
+`dna serve --metrics-interval <secs>` dumps the metrics artifact to
+stderr every <secs> seconds. Setting DNA_OBS_DISABLED=1 in the
+server's environment kills all telemetry recording;
+DNA_OBS_SLOW_EPOCH_MS=<ms> logs epochs slower than the threshold.
 
 EXAMPLES:
   dna dump --topo fat-tree --k 6 --routing ebgp --out ft6.snap.dna \\
@@ -632,6 +646,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             "follow",
             "checkpoint-dir",
             "checkpoint-every",
+            "metrics-interval",
         ],
         &["verify", "quiet", "resume"],
     )?;
@@ -669,6 +684,20 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         }
     };
     let quiet = args.has("quiet");
+    // All operator-facing stderr below routes through dna_obs::log:
+    // `info` lines honor --quiet, `announce` lines always print.
+    dna_obs::log::set_quiet(quiet);
+    let metrics_interval: u64 = args.parsed("metrics-interval", 0)?;
+    if metrics_interval > 0 {
+        // Periodic operator dump: the same canonical artifact `dna
+        // query metrics` returns, to stderr, on a detached thread that
+        // dies with the process.
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(metrics_interval));
+            let report = dna_serve::obs::metrics_report(&dna_obs::global().snapshot(None));
+            eprint!("{}", dna_io::write_metrics(&report));
+        });
+    }
     let checkpoint_dir = args.flag("checkpoint-dir").map(std::path::PathBuf::from);
     if let Some(dir) = &checkpoint_dir {
         std::fs::create_dir_all(dir)
@@ -725,13 +754,11 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
                 ));
             }
             if let Some(pos) = preload.iter().position(|(n, _)| *n == ckpt.session) {
-                if !quiet {
-                    eprintln!(
-                        "dna serve: session {:?}: resuming from {} (snapshot positional ignored)",
-                        ckpt.session,
-                        path.display()
-                    );
-                }
+                dna_obs::log::info(&format!(
+                    "dna serve: session {:?}: resuming from {} (snapshot positional ignored)",
+                    ckpt.session,
+                    path.display()
+                ));
                 preload.remove(pos);
             }
             seen.insert(ckpt.session.clone(), path);
@@ -778,12 +805,12 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     if socket.is_none() && listen.is_none() && follows.is_empty() {
         // Pure pipe mode: one client, one engine thread, no channels —
         // the deterministic path the pinned service smoke drives.
-        let mut mgr = open_preloaded(config, preload, resumes, quiet)?;
+        let mut mgr = open_preloaded(config, preload, resumes)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let summary = serve_stream(&mut mgr, None, &mut stdin.lock(), &mut stdout.lock())
             .map_err(|e| format!("serve loop: {e}"))?;
-        print_summary(quiet, &summary);
+        print_summary(&summary);
         return Ok(ExitCode::SUCCESS);
     }
     serve_channels(
@@ -793,7 +820,6 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         follows,
         FrontDoors { socket, listen },
         per_session,
-        quiet,
     )
 }
 
@@ -840,39 +866,36 @@ fn open_preloaded(
     config: SessionConfig,
     preload: Vec<(String, Snapshot)>,
     resumes: Vec<(dna_io::Checkpoint, Snapshot)>,
-    quiet: bool,
 ) -> Result<SessionManager, String> {
     let mut mgr = SessionManager::new(config);
     for (name, snapshot) in preload {
         let devices = snapshot.device_count();
         mgr.open(&name, snapshot)?;
-        if !quiet {
-            eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
-        }
+        dna_obs::log::info(&format!(
+            "dna serve: session {name:?} loaded ({devices} devices)"
+        ));
     }
     for (ckpt, snapshot) in resumes {
         let devices = snapshot.device_count();
         let (name, epochs) = (ckpt.session.clone(), ckpt.epochs);
         mgr.resume_checkpoint(&ckpt, snapshot)?;
-        if !quiet {
-            eprintln!("dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)");
-        }
+        dna_obs::log::info(&format!(
+            "dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)"
+        ));
     }
     Ok(mgr)
 }
 
-fn print_summary(quiet: bool, summary: &dna_serve::ServeSummary) {
-    if !quiet {
-        let failures = if summary.failures > 0 {
-            format!(", {} session failure(s)", summary.failures)
-        } else {
-            String::new()
-        };
-        eprintln!(
-            "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s){failures}",
-            summary.artifacts, summary.epochs, summary.queries, summary.errors
-        );
-    }
+fn print_summary(summary: &dna_serve::ServeSummary) {
+    let failures = if summary.failures > 0 {
+        format!(", {} session failure(s)", summary.failures)
+    } else {
+        String::new()
+    };
+    dna_obs::log::info(&format!(
+        "dna serve: {} artifact(s): {} epoch(s) ingested, {} query(ies) answered, {} error(s){failures}",
+        summary.artifacts, summary.epochs, summary.queries, summary.errors
+    ));
 }
 
 /// Channel mode (socket and/or follow pumps): pumps feed raw artifact
@@ -890,7 +913,6 @@ fn serve_channels(
     follows: Vec<(Option<String>, String)>,
     doors: FrontDoors<'_>,
     per_session: bool,
-    quiet: bool,
 ) -> Result<ExitCode, String> {
     use std::sync::mpsc;
     let FrontDoors { socket, listen } = doors;
@@ -922,19 +944,19 @@ fn serve_channels(
         // All checkpointed sessions come back concurrently — one
         // engine thread each, max-of-resumes wall-clock.
         router.preload_checkpoints(resumes)?;
-        if !quiet {
-            for (name, devices) in loaded {
-                eprintln!("dna serve: session {name:?} loaded ({devices} devices)");
-            }
-            for (name, epochs, devices) in resumed {
-                eprintln!(
-                    "dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)"
-                );
-            }
+        for (name, devices) in loaded {
+            dna_obs::log::info(&format!(
+                "dna serve: session {name:?} loaded ({devices} devices)"
+            ));
+        }
+        for (name, epochs, devices) in resumed {
+            dna_obs::log::info(&format!(
+                "dna serve: session {name:?} resumed at epoch {epochs} ({devices} devices)"
+            ));
         }
         Engine::Router(router)
     } else {
-        Engine::Broker(open_preloaded(config, preload, resumes, quiet)?)
+        Engine::Broker(open_preloaded(config, preload, resumes)?)
     };
     let listener = match socket {
         None => None,
@@ -975,15 +997,11 @@ fn serve_channels(
                 &target,
                 std::time::Duration::from_millis(50),
             ) {
-                Ok(epochs) => {
-                    if !quiet {
-                        eprintln!(
-                            "dna serve: follow {path}: trace ended ({epochs} epoch(s) shipped)"
-                        );
-                    }
-                }
+                Ok(epochs) => dna_obs::log::info(&format!(
+                    "dna serve: follow {path}: trace ended ({epochs} epoch(s) shipped)"
+                )),
                 // Failures always reach stderr, --quiet or not.
-                Err(e) => eprintln!("dna serve: follow {path}: {e}"),
+                Err(e) => dna_obs::log::announce(&format!("dna serve: follow {path}: {e}")),
             }
         });
     }
@@ -992,9 +1010,10 @@ fn serve_channels(
         std::thread::spawn(move || {
             let _ = dna_serve::accept_loop(accept_tx, listener);
         });
-        if !quiet {
-            eprintln!("dna serve: listening on {}", socket.unwrap_or_default());
-        }
+        dna_obs::log::info(&format!(
+            "dna serve: listening on {}",
+            socket.unwrap_or_default()
+        ));
     }
     if let Some(addr) = listen {
         let listener = std::net::TcpListener::bind(addr)
@@ -1004,7 +1023,7 @@ fn serve_channels(
             .map_err(|e| format!("tcp local address: {e}"))?;
         // Announced even under --quiet: with port 0 this line is the
         // only way a client (or a test harness) learns the port.
-        eprintln!("dna serve: listening on tcp {local}");
+        dna_obs::log::announce(&format!("dna serve: listening on tcp {local}"));
         let accept_tx = tx.clone();
         let views = std::sync::Arc::clone(&views);
         std::thread::spawn(move || {
@@ -1016,7 +1035,7 @@ fn serve_channels(
         Engine::Router(router) => router.run(rx),
         Engine::Broker(mut mgr) => dna_serve::run_broker(&mut mgr, rx),
     };
-    print_summary(quiet, &summary);
+    print_summary(&summary);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -1028,7 +1047,6 @@ fn serve_channels(
     _follows: Vec<(Option<String>, String)>,
     _doors: FrontDoors<'_>,
     _per_session: bool,
-    _quiet: bool,
 ) -> Result<ExitCode, String> {
     Err("--socket/--listen/--follow require a unix platform".into())
 }
@@ -1036,7 +1054,7 @@ fn serve_channels(
 // ---- query ------------------------------------------------------------
 
 fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &["session", "socket", "connect"], &[])?;
+    let args = Args::parse(rest, &["session", "socket", "connect"], &["prometheus"])?;
     let kind = match args.positionals.as_slice() {
         ["reach", src, sip, dip, proto, sport, dport] => QueryKind::Reach {
             src: src.to_string(),
@@ -1074,9 +1092,18 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         ["stats"] => QueryKind::Stats,
         ["sessions"] => QueryKind::Sessions,
         ["checkpoint"] => QueryKind::Checkpoint,
+        ["metrics"] => QueryKind::Metrics,
+        ["trace"] => QueryKind::TraceSpans { last: None },
+        ["trace", last] => QueryKind::TraceSpans {
+            last: Some(last.parse().map_err(|_| format!("bad window {last:?}"))?),
+        },
         [] => return Err("query needs a command (see `dna help`)".into()),
         other => return Err(format!("bad query command {:?}", other.join(" "))),
     };
+    let prometheus = args.has("prometheus");
+    if prometheus && !matches!(kind, QueryKind::Metrics) {
+        return Err("--prometheus only applies to `dna query metrics`".into());
+    }
     let query = Query {
         session: args.flag("session").map(str::to_string),
         kind,
@@ -1084,13 +1111,16 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
     let text = write_query(&query);
     match (args.flag("socket"), args.flag("connect")) {
         (Some(_), Some(_)) => Err("--socket and --connect are mutually exclusive".into()),
-        (Some(path), None) => query_over_socket(path, &text),
+        (Some(path), None) => query_over_socket(path, &text, prometheus),
         (None, Some(addr)) => {
             let response = dna_serve::query_tcp(addr, &text)
                 .map_err(|e| format!("cannot query tcp {addr}: {e}"))?;
-            print_response(addr, &response)
+            print_response(addr, &response, prometheus)
         }
         (None, None) => {
+            if prometheus {
+                return Err("--prometheus needs a live server (--socket or --connect)".into());
+            }
             print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
@@ -1098,8 +1128,30 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
 }
 
 /// Prints a server's response and maps it to the exit code contract:
-/// 0 for an answer, 2 for a protocol-level `error` response.
-fn print_response(origin: &str, response: &str) -> Result<ExitCode, String> {
+/// 0 for an answer, 2 for a protocol-level `error` response. Telemetry
+/// queries come back as their own artifact kinds (`metrics`, `spans`)
+/// rather than a `response`; both are validated before printing, and
+/// `--prometheus` re-renders a metrics scrape as exposition text.
+fn print_response(origin: &str, response: &str, prometheus: bool) -> Result<ExitCode, String> {
+    match dna_io::sniff(response) {
+        Ok((_, dna_io::Artifact::Metrics)) => {
+            let report = dna_io::parse_metrics(response)
+                .map_err(|e| format!("malformed metrics from {origin}: {e}"))?;
+            if prometheus {
+                print!("{}", prometheus_text(&report));
+            } else {
+                print!("{response}");
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        Ok((_, dna_io::Artifact::Spans)) => {
+            dna_io::parse_spans(response)
+                .map_err(|e| format!("malformed spans from {origin}: {e}"))?;
+            print!("{response}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        _ => {}
+    }
     print!("{response}");
     match dna_io::parse_response(response) {
         Ok(Response::Error(_)) => Ok(ExitCode::from(2)),
@@ -1108,15 +1160,84 @@ fn print_response(origin: &str, response: &str) -> Result<ExitCode, String> {
     }
 }
 
+/// Renders a metrics scrape in the Prometheus text exposition format:
+/// `dna_`-prefixed names, `# TYPE` once per family, histograms in
+/// seconds with cumulative `le` buckets. Kept dependency-free on
+/// purpose — the format is line-oriented text, like everything else
+/// this repo writes.
+fn prometheus_text(report: &dna_io::MetricsReport) -> String {
+    fn esc(label: &str) -> String {
+        label
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    }
+    fn labels(session: &Option<String>) -> String {
+        match session {
+            Some(s) => format!("{{session=\"{}\"}}", esc(s)),
+            None => String::new(),
+        }
+    }
+    fn labels_le(session: &Option<String>, le: &str) -> String {
+        match session {
+            Some(s) => format!("{{session=\"{}\",le=\"{le}\"}}", esc(s)),
+            None => format!("{{le=\"{le}\"}}"),
+        }
+    }
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut family = |out: &mut String, name: &str, kind: &str| {
+        if last_family != name {
+            let _ = writeln!(out, "# TYPE dna_{name} {kind}");
+            last_family = name.to_string();
+        }
+    };
+    for c in &report.counters {
+        family(&mut out, &c.name, "counter");
+        let _ = writeln!(out, "dna_{}{} {}", c.name, labels(&c.session), c.value);
+    }
+    for g in &report.gauges {
+        family(&mut out, &g.name, "gauge");
+        let _ = writeln!(out, "dna_{}{} {}", g.name, labels(&g.session), g.value);
+    }
+    for h in &report.histograms {
+        // Our native unit is microseconds (`_us` suffix); Prometheus
+        // convention is base seconds.
+        let name = format!("{}_seconds", h.name.strip_suffix("_us").unwrap_or(&h.name));
+        family(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in &h.buckets {
+            cumulative += count;
+            let le = match bound {
+                Some(us) => format!("{}", *us as f64 / 1e6),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "dna_{name}_bucket{} {cumulative}",
+                labels_le(&h.session, &le)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "dna_{name}_sum{} {}",
+            labels(&h.session),
+            h.sum_ns as f64 / 1e9
+        );
+        let _ = writeln!(out, "dna_{name}_count{} {}", labels(&h.session), h.count);
+    }
+    out
+}
+
 #[cfg(unix)]
-fn query_over_socket(path: &str, text: &str) -> Result<ExitCode, String> {
+fn query_over_socket(path: &str, text: &str, prometheus: bool) -> Result<ExitCode, String> {
     let response = dna_serve::query_socket(std::path::Path::new(path), text)
         .map_err(|e| format!("cannot query {path}: {e}"))?;
-    print_response(path, &response)
+    print_response(path, &response, prometheus)
 }
 
 #[cfg(not(unix))]
-fn query_over_socket(_path: &str, _text: &str) -> Result<ExitCode, String> {
+fn query_over_socket(_path: &str, _text: &str, _prometheus: bool) -> Result<ExitCode, String> {
     Err("--socket requires a unix platform".into())
 }
 

@@ -400,6 +400,110 @@ fn crash_resume_over_socket_answers_byte_identically() {
     }
 }
 
+/// The announce-line contract, pinned at the binary level: even under
+/// `--quiet`, a server bound to an ephemeral TCP port prints exactly
+/// one `dna serve: listening on tcp <addr>` line to stderr — with port
+/// 0 that line is the only way a client learns the port, so it must
+/// outrank the quiet flag. The discovered port is then put to work:
+/// `dna query --connect` scrapes live `metrics` (and its spans twin)
+/// and re-renders the scrape as Prometheus exposition text.
+#[test]
+fn quiet_server_still_announces_its_tcp_port() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join(format!("dna-announce-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("ft4.snap.dna");
+    let trace = dir.join("ft4.trace.dna");
+    dna_ok(&[
+        "dump",
+        "--topo",
+        "fat-tree",
+        "--k",
+        "4",
+        "--routing",
+        "ebgp",
+        "--seed",
+        "88",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--epochs",
+        "4",
+        "--scenarios",
+        "link-failure,link-recovery",
+    ]);
+    let mut server = Command::new(DNA)
+        .args([
+            "serve",
+            snap.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--quiet",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = std::io::BufReader::new(server.stderr.take().expect("piped stderr"));
+    let mut announce = String::new();
+    stderr
+        .read_line(&mut announce)
+        .expect("announce line arrives");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let addr = announce
+            .strip_prefix("dna serve: listening on tcp ")
+            .unwrap_or_else(|| panic!("announce contract broken: {announce:?}"))
+            .trim()
+            .to_string();
+
+        // Ingest the trace, then scrape telemetry over the announced port.
+        {
+            let mut stdin = server.stdin.take().expect("piped stdin");
+            stdin
+                .write_all(&std::fs::read(&trace).unwrap())
+                .expect("trace written");
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let out = dna_ok(&["query", "--connect", &addr, "metrics"]);
+            assert!(out.starts_with("dna-io v1 metrics"), "not a scrape: {out}");
+            if out.contains("counter \"epochs_applied\" session \"ft4\" 4") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest never surfaced: {out}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let spans = dna_ok(&["query", "--connect", &addr, "trace", "2"]);
+        assert!(spans.starts_with("dna-io v1 spans"), "not a dump: {spans}");
+        assert_eq!(
+            spans.matches("\n  span ").count(),
+            2,
+            "trace 2 must return exactly two rows: {spans}"
+        );
+        let prom = dna_ok(&["query", "--connect", &addr, "metrics", "--prometheus"]);
+        assert!(
+            prom.contains("# TYPE dna_epochs_applied counter"),
+            "prometheus rendering: {prom}"
+        );
+        assert!(
+            prom.contains("dna_epochs_applied{session=\"ft4\"} 4"),
+            "prometheus rendering: {prom}"
+        );
+        assert!(
+            prom.contains("dna_epoch_apply_seconds_bucket{session=\"ft4\",le=\"+Inf\"} 4"),
+            "prometheus histogram rendering: {prom}"
+        );
+    }));
+    let _ = server.kill();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
 /// Two sessions, two growing trace files, one server: `--follow`
 /// tails both files into their named sessions (each on its own engine
 /// thread) while socket clients query both — the binary-level form of

@@ -246,6 +246,13 @@ impl ReplaySession {
         self.stats.iter()
     }
 
+    /// The freshest retained per-epoch record — the one [`step`]
+    /// (`ReplaySession::step`) just pushed. Telemetry reads the last
+    /// applied epoch's stage timings here without re-deriving them.
+    pub fn last_stats(&self) -> Option<&EpochStats> {
+        self.stats.back()
+    }
+
     /// Bounds the per-epoch record window (the cumulative totals keep
     /// counting regardless). Trims immediately if over the new bound.
     pub fn set_stats_retention(&mut self, retain: usize) {

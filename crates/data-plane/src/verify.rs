@@ -353,6 +353,12 @@ impl DataPlane {
         // Drop retired atoms that remained in the dirty set.
         let live: BTreeSet<AtomId> = self.reg.atom_ids().collect();
         dirty.retain(|a| live.contains(a));
+        // The paper's incrementality claim in one number: classes
+        // recomputed this update (vs. the full |atoms| a from-scratch
+        // run would pay). No-op when telemetry is disabled.
+        dna_obs::global()
+            .counter("dp_dirty_classes")
+            .add(dirty.len() as u64);
         // ---- Recompute dirty atoms and diff ----
         let mut deltas = Vec::new();
         for atom in dirty {

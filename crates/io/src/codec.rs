@@ -18,19 +18,24 @@ use std::fmt::Write as _;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// The grammar version of one artifact kind. The service protocol's
-/// `query` kind is at v2 (the checkpoint extension added the
-/// `checkpoint` command — new keywords require a bump, since v1 readers
-/// reject unknown keywords by design) and `response` is at v3 (v2 added
-/// the `ok checkpointed` payload; v3 added the `failed` marker on
-/// `ok sessions` rows); every other kind is still at its initial
-/// version.
+/// `query` kind is at v3 (v2 added the `checkpoint` command — new
+/// keywords require a bump, since older readers reject unknown keywords
+/// by design; v3 added the `metrics` and `trace` telemetry commands) and
+/// `response` is at v3 (v2 added the `ok checkpointed` payload; v3 added
+/// the `failed` marker on `ok sessions` rows). The telemetry scrape
+/// kinds `metrics` and `spans` are new whole kinds, not extensions of
+/// `response`, so introducing them bumped nothing else; every remaining
+/// kind is still at its initial version.
 pub fn artifact_version(kind: Artifact) -> u32 {
     match kind {
-        Artifact::Query => 2,
+        Artifact::Query => 3,
         Artifact::Response => 3,
-        Artifact::Snapshot | Artifact::Trace | Artifact::Report | Artifact::Checkpoint => {
-            FORMAT_VERSION
-        }
+        Artifact::Snapshot
+        | Artifact::Trace
+        | Artifact::Report
+        | Artifact::Checkpoint
+        | Artifact::Metrics
+        | Artifact::Spans => FORMAT_VERSION,
     }
 }
 
@@ -101,6 +106,8 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         "query" => Artifact::Query,
         "response" => Artifact::Response,
         "checkpoint" => Artifact::Checkpoint,
+        "metrics" => Artifact::Metrics,
+        "spans" => Artifact::Spans,
         other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
     };
     // Versions are per-kind: check against the version of the kind the

@@ -26,6 +26,7 @@ mod checkpoint;
 mod codec;
 mod error;
 mod lex;
+mod obsfmt;
 mod proto;
 mod report;
 mod snapshot;
@@ -40,6 +41,10 @@ pub use checkpoint::{
 };
 pub use codec::{artifact_version, FORMAT_VERSION};
 pub use error::IoError;
+pub use obsfmt::{
+    parse_metrics, parse_spans, write_metrics, write_spans, HistogramRow, MetricsReport, SeriesRow,
+    SpanReport, SpanRow,
+};
 pub use proto::{
     parse_query, parse_response, write_query, write_response, Query, QueryKind, Response,
     ServiceStats, SessionInfo,
@@ -65,6 +70,12 @@ pub enum Artifact {
     /// A persisted live-session state: config, snapshot (inline or by
     /// reference), applied-epoch counters and retained history.
     Checkpoint,
+    /// A telemetry scrape: counters, gauges and latency histograms from
+    /// the serve-side metrics registry (`dna query metrics`).
+    Metrics,
+    /// Epoch-lifecycle spans: per-epoch stage timings from the span
+    /// recorder ring (`dna query trace`).
+    Spans,
 }
 
 /// Every artifact kind, in a stable order (used by [`sniff`]).
@@ -75,6 +86,8 @@ pub const ALL_ARTIFACTS: &[Artifact] = &[
     Artifact::Query,
     Artifact::Response,
     Artifact::Checkpoint,
+    Artifact::Metrics,
+    Artifact::Spans,
 ];
 
 impl fmt::Display for Artifact {
@@ -86,6 +99,8 @@ impl fmt::Display for Artifact {
             Artifact::Query => "query",
             Artifact::Response => "response",
             Artifact::Checkpoint => "checkpoint",
+            Artifact::Metrics => "metrics",
+            Artifact::Spans => "spans",
         };
         write!(f, "{s}")
     }

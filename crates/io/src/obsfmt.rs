@@ -1,0 +1,596 @@
+//! The telemetry artifacts: `metrics` (a scrape of the serve-side
+//! registry — counters, gauges and latency histograms) and `spans` (a
+//! dump of the epoch-lifecycle span ring).
+//!
+//! Both are replies to query-v3 telemetry commands (`metrics` /
+//! `trace`): the server answers those queries with one of these
+//! artifacts instead of a `response`, which is why introducing them
+//! required no `response` bump — old readers fail closed on the unknown
+//! kind token (`BadHeader`) rather than misparse (see FORMAT.md
+//! "Versioning").
+//!
+//! Like every other kind, the encodings are canonical: series rows are
+//! sorted by `(name, scope)` with the process-global scope before any
+//! session scope, histogram buckets are bound-ascending with the
+//! overflow bucket last, and parsers reject violations rather than
+//! resort. Span rows keep recording (ring) order — chronological, not
+//! sorted. Round-trips are exact and malformed input surfaces as typed
+//! [`IoError`]s, never panics.
+
+use crate::codec::{parse_header, W};
+use crate::error::{perr, IoError};
+use crate::lex::{quote, Cursor, Lines};
+use crate::Artifact;
+
+/// One counter or gauge sample: a named series, process-global or
+/// labeled with the owning session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesRow {
+    /// Metric name.
+    pub name: String,
+    /// Owning session; `None` for process-global series.
+    pub session: Option<String>,
+    /// Current value. Counters are monotonic; gauges move both ways.
+    pub value: u64,
+}
+
+/// One latency histogram sample: fixed microsecond buckets plus
+/// precomputed summary statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramRow {
+    /// Metric name.
+    pub name: String,
+    /// Owning session; `None` for process-global series.
+    pub session: Option<String>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Median upper-bound estimate, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile upper-bound estimate, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile upper-bound estimate, microseconds.
+    pub p99_us: u64,
+    /// Non-cumulative bucket counts as `(upper bound in us, count)`;
+    /// `None` is the overflow (+inf) bucket, always last when present.
+    /// Because a scrape races concurrent writers, `count` may exceed the
+    /// bucket total (never the reverse): writers bump `count` before the
+    /// bucket and readers sample buckets before `count`.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+/// A full scrape (the `metrics` artifact).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// Monotonic counters, `(name, scope)`-sorted.
+    pub counters: Vec<SeriesRow>,
+    /// Gauges, `(name, scope)`-sorted.
+    pub gauges: Vec<SeriesRow>,
+    /// Latency histograms, `(name, scope)`-sorted.
+    pub histograms: Vec<HistogramRow>,
+}
+
+/// One epoch's lifecycle timings (a row of the `spans` artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Owning session.
+    pub session: String,
+    /// Absolute 0-based epoch index within the session.
+    pub epoch: u64,
+    /// Artifact parse time attributed to this epoch, nanoseconds.
+    pub parse_ns: u64,
+    /// Control-plane commit stage, nanoseconds.
+    pub cp_ns: u64,
+    /// Data-plane delta stage, nanoseconds.
+    pub dp_ns: u64,
+    /// View publish stage, nanoseconds.
+    pub publish_ns: u64,
+    /// End-to-end apply wall-clock, nanoseconds.
+    pub total_ns: u64,
+    /// Primitive changes in the epoch.
+    pub changes: u64,
+    /// Flow-level diffs the epoch reported.
+    pub flows: u64,
+    /// The trace epoch's scenario label, when it carried one (written as
+    /// a trailing marker only when present, keeping unlabeled rows
+    /// byte-stable).
+    pub label: Option<String>,
+}
+
+/// A span-ring dump (the `spans` artifact), oldest span first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanReport {
+    /// Retained spans in recording order.
+    pub spans: Vec<SpanRow>,
+}
+
+// ---- write ------------------------------------------------------------
+
+fn scope_token(session: &Option<String>) -> String {
+    match session {
+        None => "global".into(),
+        Some(s) => format!("session {}", quote(s)),
+    }
+}
+
+/// Serializes a metrics scrape.
+pub fn write_metrics(m: &MetricsReport) -> String {
+    let mut w = W::new(Artifact::Metrics);
+    for r in &m.counters {
+        w.line(
+            1,
+            &format!(
+                "counter {} {} {}",
+                quote(&r.name),
+                scope_token(&r.session),
+                r.value
+            ),
+        );
+    }
+    for r in &m.gauges {
+        w.line(
+            1,
+            &format!(
+                "gauge {} {} {}",
+                quote(&r.name),
+                scope_token(&r.session),
+                r.value
+            ),
+        );
+    }
+    for h in &m.histograms {
+        w.line(
+            1,
+            &format!(
+                "histogram {} {} count {} sum-ns {} p50-us {} p95-us {} p99-us {}",
+                quote(&h.name),
+                scope_token(&h.session),
+                h.count,
+                h.sum_ns,
+                h.p50_us,
+                h.p95_us,
+                h.p99_us
+            ),
+        );
+        for (bound, n) in &h.buckets {
+            match bound {
+                Some(us) => w.line(2, &format!("bucket {us} {n}")),
+                None => w.line(2, &format!("bucket inf {n}")),
+            }
+        }
+        w.line(2, "end-histogram");
+    }
+    w.finish()
+}
+
+/// Serializes a span-ring dump.
+pub fn write_spans(r: &SpanReport) -> String {
+    let mut w = W::new(Artifact::Spans);
+    for s in &r.spans {
+        let label = match &s.label {
+            Some(l) => format!(" label {}", quote(l)),
+            None => String::new(),
+        };
+        w.line(
+            1,
+            &format!(
+                "span {} session {} parse-ns {} cp-ns {} dp-ns {} publish-ns {} \
+                 total-ns {} changes {} flows {}{}",
+                s.epoch,
+                quote(&s.session),
+                s.parse_ns,
+                s.cp_ns,
+                s.dp_ns,
+                s.publish_ns,
+                s.total_ns,
+                s.changes,
+                s.flows,
+                label
+            ),
+        );
+    }
+    w.finish()
+}
+
+// ---- parse ------------------------------------------------------------
+
+/// The canonical sort key of a series row: global scope first, then
+/// session scopes name-ascending.
+fn series_key(name: &str, session: &Option<String>) -> (String, Option<String>) {
+    (name.to_string(), session.clone())
+}
+
+/// Parses `<qname> global|session [<qsession>]` and returns the pair.
+fn parse_scope(c: &mut Cursor) -> Result<(String, Option<String>), IoError> {
+    let name = c.string("metric name")?;
+    let session = match c.word("global|session")?.as_str() {
+        "global" => None,
+        "session" => Some(c.string("session name")?),
+        other => {
+            return Err(perr(
+                c.line,
+                format!("expected global or session, found {other:?}"),
+            ))
+        }
+    };
+    Ok((name, session))
+}
+
+/// Enforces the canonical strictly-increasing row order.
+fn check_sorted(
+    c: &Cursor,
+    prev: &mut Option<(String, Option<String>)>,
+    key: (String, Option<String>),
+    what: &str,
+) -> Result<(), IoError> {
+    if let Some(p) = prev {
+        if *p >= key {
+            return Err(perr(
+                c.line,
+                format!("{what} rows must be (name, scope)-sorted"),
+            ));
+        }
+    }
+    *prev = Some(key);
+    Ok(())
+}
+
+/// Parses a metrics artifact (requires the `end` sentinel).
+pub fn parse_metrics(text: &str) -> Result<MetricsReport, IoError> {
+    let mut lines = parse_header(text, Artifact::Metrics)?;
+    let mut m = MetricsReport::default();
+    let (mut pc, mut pg, mut ph) = (None, None, None);
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return Ok(m);
+            }
+            "counter" | "gauge" => {
+                let (name, session) = parse_scope(&mut c)?;
+                let value = c.parse("value")?;
+                let key = series_key(&name, &session);
+                let row = SeriesRow {
+                    name,
+                    session,
+                    value,
+                };
+                if kw == "counter" {
+                    check_sorted(&c, &mut pc, key, "counter")?;
+                    m.counters.push(row);
+                } else {
+                    check_sorted(&c, &mut pg, key, "gauge")?;
+                    m.gauges.push(row);
+                }
+                c.finish()?;
+            }
+            "histogram" => {
+                let (name, session) = parse_scope(&mut c)?;
+                check_sorted(&c, &mut ph, series_key(&name, &session), "histogram")?;
+                c.expect("count")?;
+                let count = c.parse("observation count")?;
+                c.expect("sum-ns")?;
+                let sum_ns = c.parse("sum nanoseconds")?;
+                c.expect("p50-us")?;
+                let p50_us = c.parse("p50 microseconds")?;
+                c.expect("p95-us")?;
+                let p95_us = c.parse("p95 microseconds")?;
+                c.expect("p99-us")?;
+                let p99_us = c.parse("p99 microseconds")?;
+                c.finish()?;
+                let buckets = parse_buckets(&mut lines)?;
+                m.histograms.push(HistogramRow {
+                    name,
+                    session,
+                    count,
+                    sum_ns,
+                    p50_us,
+                    p95_us,
+                    p99_us,
+                    buckets,
+                });
+            }
+            other => return Err(perr(c.line, format!("unknown metrics keyword {other:?}"))),
+        }
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the metrics artifact".into(),
+    })
+}
+
+/// Parses the bucket block of one histogram, through `end-histogram`.
+fn parse_buckets(lines: &mut Lines<'_>) -> Result<Vec<(Option<u64>, u64)>, IoError> {
+    let mut buckets: Vec<(Option<u64>, u64)> = Vec::new();
+    loop {
+        let Some(mut c) = lines.next_cursor()? else {
+            return Err(IoError::Truncated {
+                expected: "end-histogram terminator".into(),
+            });
+        };
+        let kw = c.word("keyword")?;
+        if kw == "end-histogram" {
+            c.finish()?;
+            return Ok(buckets);
+        }
+        if kw != "bucket" {
+            return Err(perr(
+                c.line,
+                format!("expected bucket lines or end-histogram, found {kw:?}"),
+            ));
+        }
+        let tok = c.word("bucket bound")?;
+        let bound = if tok == "inf" {
+            None
+        } else {
+            Some(
+                tok.parse::<u64>()
+                    .map_err(|_| perr(c.line, format!("bad bucket bound {tok:?}")))?,
+            )
+        };
+        let n = c.parse("bucket count")?;
+        let line = c.line;
+        c.finish()?;
+        match (buckets.last(), bound) {
+            // The overflow bucket closes the block.
+            (Some((None, _)), _) => {
+                return Err(perr(line, "bucket after the overflow (inf) bucket"))
+            }
+            (Some((Some(prev), _)), Some(b)) if b <= *prev => {
+                return Err(perr(line, "bucket bounds must be strictly increasing"))
+            }
+            _ => {}
+        }
+        buckets.push((bound, n));
+    }
+}
+
+/// Parses a spans artifact (requires the `end` sentinel).
+pub fn parse_spans(text: &str) -> Result<SpanReport, IoError> {
+    let mut lines = parse_header(text, Artifact::Spans)?;
+    let mut r = SpanReport::default();
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return Ok(r);
+            }
+            "span" => {
+                let epoch = c.parse("epoch index")?;
+                c.expect("session")?;
+                let session = c.string("session name")?;
+                c.expect("parse-ns")?;
+                let parse_ns = c.parse("parse nanoseconds")?;
+                c.expect("cp-ns")?;
+                let cp_ns = c.parse("cp nanoseconds")?;
+                c.expect("dp-ns")?;
+                let dp_ns = c.parse("dp nanoseconds")?;
+                c.expect("publish-ns")?;
+                let publish_ns = c.parse("publish nanoseconds")?;
+                c.expect("total-ns")?;
+                let total_ns = c.parse("total nanoseconds")?;
+                c.expect("changes")?;
+                let changes = c.parse("change count")?;
+                c.expect("flows")?;
+                let flows = c.parse("flow count")?;
+                // Optional trailing label, written only when present.
+                let label = if c.at_end() {
+                    None
+                } else {
+                    c.expect("label")?;
+                    Some(c.string("epoch label")?)
+                };
+                c.finish()?;
+                r.spans.push(SpanRow {
+                    session,
+                    epoch,
+                    parse_ns,
+                    cp_ns,
+                    dp_ns,
+                    publish_ns,
+                    total_ns,
+                    changes,
+                    flows,
+                    label,
+                });
+            }
+            other => return Err(perr(c.line, format!("unknown spans keyword {other:?}"))),
+        }
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the spans artifact".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> MetricsReport {
+        MetricsReport {
+            counters: vec![
+                SeriesRow {
+                    name: "epochs_applied".into(),
+                    session: Some("a".into()),
+                    value: 12,
+                },
+                SeriesRow {
+                    name: "tcp_connections".into(),
+                    session: None,
+                    value: 3,
+                },
+            ],
+            gauges: vec![SeriesRow {
+                name: "view_served".into(),
+                session: Some("scenario a".into()),
+                value: 7,
+            }],
+            histograms: vec![HistogramRow {
+                name: "epoch_apply_us".into(),
+                session: Some("a".into()),
+                count: 5,
+                sum_ns: 9_000_000,
+                p50_us: 1_000,
+                p95_us: 2_500,
+                p99_us: 2_500,
+                buckets: vec![(Some(1_000), 3), (Some(2_500), 2), (None, 0)],
+            }],
+        }
+    }
+
+    fn sample_spans() -> SpanReport {
+        SpanReport {
+            spans: vec![
+                SpanRow {
+                    session: "a".into(),
+                    epoch: 0,
+                    parse_ns: 100,
+                    cp_ns: 2_000,
+                    dp_ns: 900,
+                    publish_ns: 40,
+                    total_ns: 3_100,
+                    changes: 2,
+                    flows: 1,
+                    label: Some("link-failure".into()),
+                },
+                SpanRow {
+                    session: "scenario b".into(),
+                    epoch: 7,
+                    parse_ns: 0,
+                    cp_ns: 1,
+                    dp_ns: 2,
+                    publish_ns: 0,
+                    total_ns: 3,
+                    changes: 0,
+                    flows: 0,
+                    label: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        for m in [MetricsReport::default(), sample_metrics()] {
+            let text = write_metrics(&m);
+            let back = parse_metrics(&text).expect("parses");
+            assert_eq!(back, m);
+            assert_eq!(write_metrics(&back), text, "canonical");
+        }
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        for r in [SpanReport::default(), sample_spans()] {
+            let text = write_spans(&r);
+            let back = parse_spans(&text).expect("parses");
+            assert_eq!(back, r);
+            assert_eq!(write_spans(&back), text, "canonical");
+        }
+    }
+
+    #[test]
+    fn global_scope_sorts_before_sessions() {
+        // The same name at global and session scope is legal and ordered
+        // global-first (None < Some in the registry's BTreeMap key).
+        let m = MetricsReport {
+            counters: vec![
+                SeriesRow {
+                    name: "queries_answered".into(),
+                    session: None,
+                    value: 9,
+                },
+                SeriesRow {
+                    name: "queries_answered".into(),
+                    session: Some("a".into()),
+                    value: 4,
+                },
+            ],
+            ..Default::default()
+        };
+        let text = write_metrics(&m);
+        assert_eq!(parse_metrics(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn malformed_metrics_are_typed_errors() {
+        assert!(matches!(
+            parse_metrics("dna-io v1 metrics\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_metrics("dna-io v1 metrics\n  frobnicate\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // Unsorted series rows are rejected (the encoding is canonical).
+        let unsorted =
+            "dna-io v1 metrics\n  counter \"b\" global 1\n  counter \"a\" global 1\nend\n";
+        assert!(matches!(
+            parse_metrics(unsorted),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // A session row before the global row of the same name is unsorted.
+        let scope_unsorted =
+            "dna-io v1 metrics\n  counter \"a\" session \"s\" 1\n  counter \"a\" global 1\nend\n";
+        assert!(matches!(
+            parse_metrics(scope_unsorted),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // A histogram must be closed before the artifact ends.
+        let open = "dna-io v1 metrics\n  histogram \"h\" global count 0 sum-ns 0 p50-us 0 p95-us 0 p99-us 0\nend\n";
+        assert!(matches!(
+            parse_metrics(open),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // Bucket bounds must increase; nothing follows the inf bucket.
+        let bad_bounds = "dna-io v1 metrics\n  histogram \"h\" global count 0 sum-ns 0 p50-us 0 p95-us 0 p99-us 0\n    bucket 100 0\n    bucket 50 0\n    end-histogram\nend\n";
+        assert!(matches!(
+            parse_metrics(bad_bounds),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+        let after_inf = "dna-io v1 metrics\n  histogram \"h\" global count 0 sum-ns 0 p50-us 0 p95-us 0 p99-us 0\n    bucket inf 0\n    bucket 50 0\n    end-histogram\nend\n";
+        assert!(matches!(
+            parse_metrics(after_inf),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+        // Wrong version / kind fail closed.
+        assert!(matches!(
+            parse_metrics("dna-io v2 metrics\nend\n"),
+            Err(IoError::UnsupportedVersion(2))
+        ));
+        assert!(matches!(
+            parse_metrics("dna-io v1 spans\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_spans_are_typed_errors() {
+        assert!(matches!(
+            parse_spans("dna-io v1 spans\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_spans("dna-io v1 spans\n  frobnicate\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // Junk after the flows field must be the label marker or nothing.
+        let junk = "dna-io v1 spans\n  span 0 session \"a\" parse-ns 0 cp-ns 0 dp-ns 0 publish-ns 0 total-ns 0 changes 0 flows 0 wedged\nend\n";
+        assert!(matches!(
+            parse_spans(junk),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_spans("dna-io v3 response\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+    }
+}

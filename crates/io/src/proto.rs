@@ -68,6 +68,19 @@ pub enum QueryKind {
     /// Persist the session's state now: write an on-demand checkpoint
     /// (requires the server to run with a checkpoint directory).
     Checkpoint,
+    /// Scrape the server's metrics registry (query v3). This is a
+    /// server-level question — answered for every session at once; a
+    /// `session` line narrows the scrape to that session's series. The
+    /// reply is a `metrics` artifact, not a `response`.
+    Metrics,
+    /// Dump the epoch-lifecycle span ring (query v3), optionally
+    /// truncated to the freshest `last` spans. Server-level like
+    /// [`QueryKind::Metrics`]; a `session` line filters spans. The reply
+    /// is a `spans` artifact.
+    TraceSpans {
+        /// Keep only the freshest `last` spans (`None` = the whole ring).
+        last: Option<usize>,
+    },
 }
 
 /// Session statistics (the `ok stats` payload). Counter fields are exact
@@ -209,6 +222,9 @@ pub fn write_query(q: &Query) -> String {
         QueryKind::Stats => "stats".into(),
         QueryKind::Sessions => "sessions".into(),
         QueryKind::Checkpoint => "checkpoint".into(),
+        QueryKind::Metrics => "metrics".into(),
+        QueryKind::TraceSpans { last: None } => "trace".into(),
+        QueryKind::TraceSpans { last: Some(n) } => format!("trace {n}"),
     };
     w.line(1, &line);
     w.finish()
@@ -401,6 +417,14 @@ fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
         "stats" => Ok(QueryKind::Stats),
         "sessions" => Ok(QueryKind::Sessions),
         "checkpoint" => Ok(QueryKind::Checkpoint),
+        "metrics" => Ok(QueryKind::Metrics),
+        "trace" => Ok(QueryKind::TraceSpans {
+            last: if c.at_end() {
+                None
+            } else {
+                Some(c.parse("span count")?)
+            },
+        }),
         other => Err(perr(c.line, format!("unknown query command {other:?}"))),
     }
 }
@@ -735,6 +759,9 @@ mod tests {
             QueryKind::Stats,
             QueryKind::Sessions,
             QueryKind::Checkpoint,
+            QueryKind::Metrics,
+            QueryKind::TraceSpans { last: None },
+            QueryKind::TraceSpans { last: Some(32) },
         ] {
             roundtrip_query(&Query {
                 session: None,
@@ -859,24 +886,34 @@ mod tests {
     #[test]
     fn malformed_queries_are_typed_errors() {
         assert!(matches!(
-            parse_query("dna-io v2 query\nend\n"),
+            parse_query("dna-io v3 query\nend\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v2 query\n  stats\n"),
+            parse_query("dna-io v3 query\n  stats\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v2 query\n  stats\n  sessions\nend\n"),
+            parse_query("dna-io v3 query\n  stats\n  sessions\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v2 query\n  stats\n  session \"x\"\nend\n"),
+            parse_query("dna-io v3 query\n  stats\n  session \"x\"\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v2 query\n  frobnicate\nend\n"),
+            parse_query("dna-io v3 query\n  frobnicate\nend\n"),
             Err(IoError::Parse { line: 2, .. })
+        ));
+        // Junk after a trace span count is rejected, not ignored.
+        assert!(matches!(
+            parse_query("dna-io v3 query\n  trace 4 5\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // The pre-telemetry query version is rejected (strict equality).
+        assert!(matches!(
+            parse_query("dna-io v2 query\n  stats\nend\n"),
+            Err(IoError::UnsupportedVersion(2))
         ));
         assert!(matches!(
             parse_query("dna-io v3 response\nend\n"),

@@ -12,8 +12,9 @@
 
 use dna_core::FlowDiff;
 use dna_io::{
-    parse_query, parse_response, write_query, write_response, EpochDiff, IoError, Query, QueryKind,
-    Response, ServiceStats, SessionInfo,
+    parse_metrics, parse_query, parse_response, parse_spans, write_metrics, write_query,
+    write_response, write_spans, EpochDiff, HistogramRow, IoError, MetricsReport, Query, QueryKind,
+    Response, SeriesRow, ServiceStats, SessionInfo, SpanReport, SpanRow,
 };
 use net_model::{Flow, Ipv4Addr};
 use proptest::prelude::*;
@@ -62,6 +63,8 @@ fn query_kind() -> impl Strategy<Value = QueryKind> {
         Just(QueryKind::Stats),
         Just(QueryKind::Sessions),
         Just(QueryKind::Checkpoint),
+        Just(QueryKind::Metrics),
+        prop::option::of(any::<usize>()).prop_map(|last| QueryKind::TraceSpans { last }),
     ]
 }
 
@@ -265,6 +268,115 @@ fn response() -> impl Strategy<Value = Response> {
     ]
 }
 
+/// Canonical series rows: `(name, scope)`-sorted and duplicate-free,
+/// which is exactly how the registry's BTreeMap emits them.
+fn series_rows() -> impl Strategy<Value = Vec<SeriesRow>> {
+    prop::collection::vec((name(), prop::option::of(name()), any::<u64>()), 0..4).prop_map(|rows| {
+        let m: std::collections::BTreeMap<(String, Option<String>), u64> = rows
+            .into_iter()
+            .map(|(name, session, value)| ((name, session), value))
+            .collect();
+        m.into_iter()
+            .map(|((name, session), value)| SeriesRow {
+                name,
+                session,
+                value,
+            })
+            .collect()
+    })
+}
+
+/// Canonical bucket blocks: strictly-increasing bounds built from gap
+/// accumulation, optionally closed by the overflow (`inf`) bucket.
+fn buckets() -> impl Strategy<Value = Vec<(Option<u64>, u64)>> {
+    (
+        prop::collection::vec((1u64..10_000, any::<u64>()), 0..5),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(|(gaps, overflow)| {
+            let mut bound = 0u64;
+            let mut out: Vec<(Option<u64>, u64)> = gaps
+                .into_iter()
+                .map(|(gap, n)| {
+                    bound += gap;
+                    (Some(bound), n)
+                })
+                .collect();
+            if let Some(n) = overflow {
+                out.push((None, n));
+            }
+            out
+        })
+}
+
+fn histogram_rows() -> impl Strategy<Value = Vec<HistogramRow>> {
+    prop::collection::vec(
+        (
+            name(),
+            prop::option::of(name()),
+            prop::collection::vec(any::<u64>(), 5..=5usize),
+            buckets(),
+        ),
+        0..3,
+    )
+    .prop_map(|rows| {
+        let m: std::collections::BTreeMap<(String, Option<String>), (Vec<u64>, _)> = rows
+            .into_iter()
+            .map(|(name, session, v, b)| ((name, session), (v, b)))
+            .collect();
+        m.into_iter()
+            .map(|((name, session), (v, buckets))| HistogramRow {
+                name,
+                session,
+                count: v[0],
+                sum_ns: v[1],
+                p50_us: v[2],
+                p95_us: v[3],
+                p99_us: v[4],
+                buckets,
+            })
+            .collect()
+    })
+}
+
+fn metrics() -> impl Strategy<Value = MetricsReport> {
+    (series_rows(), series_rows(), histogram_rows()).prop_map(|(counters, gauges, histograms)| {
+        MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        }
+    })
+}
+
+fn spans() -> impl Strategy<Value = SpanReport> {
+    prop::collection::vec(
+        (
+            name(),
+            prop::collection::vec(any::<u64>(), 8..=8usize),
+            prop::option::of(name()),
+        ),
+        0..4,
+    )
+    .prop_map(|rows| SpanReport {
+        spans: rows
+            .into_iter()
+            .map(|(session, v, label)| SpanRow {
+                session,
+                epoch: v[0],
+                parse_ns: v[1],
+                cp_ns: v[2],
+                dp_ns: v[3],
+                publish_ns: v[4],
+                total_ns: v[5],
+                changes: v[6],
+                flows: v[7],
+                label,
+            })
+            .collect(),
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases_and_seed(96, 0xD9A_1003))]
 
@@ -282,6 +394,22 @@ proptest! {
         let back = parse_response(&text).expect("generated response parses");
         prop_assert_eq!(&back, &r);
         prop_assert_eq!(write_response(&back), text);
+    }
+
+    #[test]
+    fn metrics_round_trip(m in metrics()) {
+        let text = write_metrics(&m);
+        let back = parse_metrics(&text).expect("generated scrape parses");
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(write_metrics(&back), text);
+    }
+
+    #[test]
+    fn spans_round_trip(r in spans()) {
+        let text = write_spans(&r);
+        let back = parse_spans(&text).expect("generated span dump parses");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(write_spans(&back), text);
     }
 }
 
@@ -318,6 +446,32 @@ proptest! {
         }
     }
 
+    /// And for the telemetry artifacts.
+    #[test]
+    fn telemetry_truncations_yield_typed_errors(
+        m in metrics(),
+        s in spans(),
+        cut in 0u32..10_000,
+    ) {
+        for text in [write_metrics(&m), write_spans(&s)] {
+            let lines: Vec<&str> = text.lines().collect();
+            let keep = (cut as usize) % lines.len().max(1);
+            let truncated = lines[..keep].join("\n");
+            for result in [
+                parse_metrics(&truncated).map(|_| ()),
+                parse_spans(&truncated).map(|_| ()),
+            ] {
+                match result {
+                    Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+                    Err(IoError::Truncated { .. })
+                    | Err(IoError::BadHeader(_))
+                    | Err(IoError::WrongArtifact { .. }) => {}
+                    Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+                }
+            }
+        }
+    }
+
     /// Mutating one character anywhere in a serialized query or response
     /// either still parses (the mutation hit something benign, e.g.
     /// inside a quoted string) or fails with a typed error — never a
@@ -326,10 +480,17 @@ proptest! {
     fn char_mutations_never_panic(
         q in query(),
         r in response(),
+        m in metrics(),
+        s in spans(),
         pos in any::<u32>(),
         repl in 1u8..128,
     ) {
-        for text in [write_query(&q), write_response(&r)] {
+        for text in [
+            write_query(&q),
+            write_response(&r),
+            write_metrics(&m),
+            write_spans(&s),
+        ] {
             let mut bytes = text.into_bytes();
             if bytes.is_empty() {
                 continue;
@@ -342,6 +503,8 @@ proptest! {
             if let Ok(mutated) = String::from_utf8(bytes) {
                 let _ = parse_query(&mutated);
                 let _ = parse_response(&mutated);
+                let _ = parse_metrics(&mutated);
+                let _ = parse_spans(&mutated);
             }
         }
     }

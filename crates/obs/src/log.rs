@@ -1,0 +1,55 @@
+//! The operator log: one place every `dna serve` stderr line goes
+//! through, with a process-wide verbosity level.
+//!
+//! Two levels only, matching the CLI's `--quiet` contract:
+//!
+//! * [`announce`] — always printed, `--quiet` or not. For lines that
+//!   are part of the operator contract: the TCP announce line (with
+//!   `--listen <host>:0` it is the only way anyone learns the port),
+//!   failures, and explicitly requested output such as
+//!   `--metrics-interval` dumps.
+//! * [`info`] — suppressed by `--quiet`. Session load/resume notices,
+//!   the exit summary, follow-progress lines, slow-epoch reports.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide verbosity: `true` suppresses [`info`] lines.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::SeqCst);
+}
+
+/// Whether [`info`] lines are currently suppressed.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::SeqCst)
+}
+
+/// Prints an operator line to stderr unconditionally.
+pub fn announce(msg: &str) {
+    eprintln!("{msg}");
+}
+
+/// Prints an operator line to stderr unless the process is quiet.
+pub fn info(msg: &str) {
+    if !quiet() {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        // The default is verbose; setting and clearing both stick.
+        // (Output itself goes to the real stderr — the announce/info
+        // split is pinned at the binary level in crates/cli tests.)
+        assert!(!quiet());
+        set_quiet(true);
+        assert!(quiet());
+        set_quiet(false);
+        assert!(!quiet());
+    }
+}

@@ -27,7 +27,10 @@
 //!   queries without ever touching an engine thread;
 //! * [`net`] — the TCP front door: an accept loop whose per-connection
 //!   threads answer read-only queries straight from published views
-//!   and forward everything else to the engine side.
+//!   and forward everything else to the engine side;
+//! * [`obs`] — the telemetry query surface: `metrics` / `trace`
+//!   queries answered from the process-global [`dna_obs`] registry and
+//!   span ring, byte-identically on every transport.
 //!
 //! The wire protocol is `dna-io`'s `query`/`response` artifacts (see
 //! `crates/io/FORMAT.md`); the `dna serve` / `dna query` subcommands in
@@ -37,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod net;
+pub mod obs;
 pub mod router;
 pub mod server;
 pub mod session;
 pub mod view;
 
 pub use net::{query_tcp, tcp_accept_loop};
+pub use obs::{obs_reply, obs_reply_for};
 pub use router::{route_stream, Router};
 #[cfg(unix)]
 pub use server::{accept_loop, query_socket};

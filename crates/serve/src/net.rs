@@ -35,15 +35,19 @@ pub fn tcp_accept_loop(
     listener: TcpListener,
     views: Arc<ViewRegistry>,
 ) -> io::Result<()> {
+    let connections = dna_obs::global().counter("tcp_connections");
+    let accept_errors = dna_obs::global().counter("tcp_accept_errors");
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) => {
-                eprintln!("dna serve: tcp accept failed (retrying): {e}");
+                accept_errors.inc();
+                dna_obs::log::announce(&format!("dna serve: tcp accept failed (retrying): {e}"));
                 std::thread::sleep(std::time::Duration::from_millis(50));
                 continue;
             }
         };
+        connections.inc();
         let requests = requests.clone();
         let views = Arc::clone(&views);
         std::thread::spawn(move || {
@@ -115,10 +119,17 @@ fn answer_from_view(
         return None;
     }
     let q = parse_query(text).ok()?;
+    // Telemetry queries never need a view (or even an open session):
+    // they read the process-global registry right on this thread.
+    if let Some(reply) = crate::obs::obs_reply_for(&q) {
+        return Some(reply);
+    }
     let slot = views.resolve(q.session.as_deref())?;
     let reader = readers.entry(Arc::as_ptr(&slot) as usize).or_default();
-    let response = reader.current(&slot)?.answer(&q.kind)?;
-    views.note_served();
+    let view = reader.current(&slot)?;
+    let response = view.answer(&q.kind)?;
+    let session = view.session().to_string();
+    views.note_served(&session);
     Some(write_response(&response))
 }
 

@@ -1,0 +1,175 @@
+//! The telemetry query surface: one serializer for every answer path.
+//!
+//! `metrics` and `trace` are **server-level** queries like `sessions` —
+//! they read the process-global [`dna_obs`] registry and span ring, not
+//! any one session's engine state, so every transport answers them
+//! without an engine-thread round trip: the single-stream loop
+//! ([`crate::serve_stream`]), the broker ([`crate::run_broker`]), the
+//! router, and the TCP connection threads ([`crate::net`]) all call
+//! [`obs_reply`] / [`obs_reply_for`] before normal dispatch. Because
+//! every path funnels through this one module, the engine path and the
+//! view path produce byte-identical artifacts for the same registry
+//! state.
+//!
+//! A `session` line on the query narrows the scrape to that session's
+//! labeled series (process-wide series are always kept) — an unknown
+//! name simply yields no labeled series, never an error, matching
+//! Prometheus-style scrape semantics where absence is data.
+
+use dna_io::{
+    write_metrics, write_spans, Artifact, HistogramRow, MetricsReport, Query, QueryKind, SeriesRow,
+    SpanReport, SpanRow,
+};
+use dna_obs::{EpochSpan, MetricsSnapshot, BUCKET_BOUNDS_US};
+
+/// Serializes the process-global registry and span ring as the reply
+/// to an already-parsed telemetry query; `None` for every other kind
+/// (the caller dispatches those normally).
+pub fn obs_reply_for(q: &Query) -> Option<String> {
+    match &q.kind {
+        QueryKind::Metrics => {
+            let snap = dna_obs::global().snapshot(q.session.as_deref());
+            Some(write_metrics(&metrics_report(&snap)))
+        }
+        QueryKind::TraceSpans { last } => {
+            let spans = dna_obs::spans().snapshot(q.session.as_deref(), *last);
+            Some(write_spans(&spans_report(&spans)))
+        }
+        _ => None,
+    }
+}
+
+/// Sniffs raw artifact text and answers it if it is a telemetry query;
+/// `None` otherwise (including malformed text — the normal dispatch
+/// path owns every error story, so wire behavior is unchanged for
+/// anything this module does not answer).
+pub fn obs_reply(text: &str) -> Option<String> {
+    let (_, kind) = dna_io::sniff(text).ok()?;
+    if kind != Artifact::Query {
+        return None;
+    }
+    obs_reply_for(&dna_io::parse_query(text).ok()?)
+}
+
+/// Converts a registry scrape into the canonical wire report,
+/// extracting the p50/p95/p99 summary from each histogram's buckets.
+pub fn metrics_report(snap: &MetricsSnapshot) -> MetricsReport {
+    let series = |s: &dna_obs::SeriesValue| SeriesRow {
+        name: s.name.clone(),
+        session: s.session.clone(),
+        value: s.value,
+    };
+    MetricsReport {
+        counters: snap.counters.iter().map(series).collect(),
+        gauges: snap.gauges.iter().map(series).collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .map(|h| {
+                let s = &h.snapshot;
+                let mut buckets: Vec<(Option<u64>, u64)> = BUCKET_BOUNDS_US
+                    .iter()
+                    .zip(s.buckets.iter())
+                    .map(|(&bound, &n)| (Some(bound), n))
+                    .collect();
+                buckets.push((None, s.buckets[s.buckets.len() - 1]));
+                HistogramRow {
+                    name: h.name.clone(),
+                    session: h.session.clone(),
+                    count: s.count,
+                    sum_ns: s.sum_ns,
+                    p50_us: s.quantile_us(0.50),
+                    p95_us: s.quantile_us(0.95),
+                    p99_us: s.quantile_us(0.99),
+                    buckets,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Converts a span-ring snapshot into the canonical wire report.
+pub fn spans_report(spans: &[EpochSpan]) -> SpanReport {
+    SpanReport {
+        spans: spans
+            .iter()
+            .map(|s| SpanRow {
+                session: s.session.clone(),
+                epoch: s.epoch,
+                parse_ns: s.parse_ns,
+                cp_ns: s.cp_ns,
+                dp_ns: s.dp_ns,
+                publish_ns: s.publish_ns,
+                total_ns: s.total_ns,
+                changes: s.changes,
+                flows: s.flows,
+                label: s.label.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_obs::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn registry_scrape_serializes_canonically() {
+        let r = Registry::new();
+        r.counter_for("epochs_applied", "a").add(4);
+        r.counter("tcp_connections").inc();
+        r.gauge_for("view_served", "a").set(2);
+        r.histogram_for("epoch_apply_us", "a")
+            .observe(Duration::from_micros(700));
+        let report = metrics_report(&r.snapshot(None));
+        let text = write_metrics(&report);
+        let back = dna_io::parse_metrics(&text).expect("round-trips");
+        assert_eq!(back, report);
+        assert_eq!(write_metrics(&back), text, "canonical");
+        let h = &report.histograms[0];
+        assert_eq!(h.count, 1);
+        assert_eq!((h.p50_us, h.p95_us, h.p99_us), (1_000, 1_000, 1_000));
+        assert_eq!(h.buckets.len(), dna_obs::BUCKETS);
+        assert_eq!(h.buckets.last().unwrap().0, None, "overflow bucket last");
+    }
+
+    #[test]
+    fn spans_convert_field_for_field() {
+        let spans = vec![EpochSpan {
+            session: "a".into(),
+            epoch: 3,
+            label: Some("link-failure".into()),
+            parse_ns: 10,
+            cp_ns: 20,
+            dp_ns: 30,
+            publish_ns: 40,
+            total_ns: 100,
+            changes: 2,
+            flows: 5,
+        }];
+        let report = spans_report(&spans);
+        let text = write_spans(&report);
+        assert_eq!(dna_io::parse_spans(&text).unwrap(), report);
+        assert_eq!(report.spans[0].epoch, 3);
+        assert_eq!(report.spans[0].label.as_deref(), Some("link-failure"));
+    }
+
+    #[test]
+    fn non_telemetry_artifacts_pass_through() {
+        assert!(obs_reply("garbage").is_none());
+        assert!(obs_reply("dna-io v1 trace\nend\n").is_none());
+        let stats = dna_io::write_query(&Query {
+            session: None,
+            kind: QueryKind::Stats,
+        });
+        assert!(obs_reply(&stats).is_none());
+        let metrics = dna_io::write_query(&Query {
+            session: None,
+            kind: QueryKind::Metrics,
+        });
+        let reply = obs_reply(&metrics).expect("telemetry query answered");
+        assert!(dna_io::parse_metrics(&reply).is_ok(), "{reply}");
+    }
+}

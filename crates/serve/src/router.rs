@@ -189,6 +189,9 @@ fn session_loop(
                 session = None;
                 if let Some(view) = &view {
                     view.clear();
+                    dna_obs::global()
+                        .counter_for("view_withdrawals", &name)
+                        .inc();
                 }
                 // Keep the session listed — operators must see the
                 // wreck — but flagged, with the last known counters.
@@ -245,27 +248,35 @@ fn apply(
             };
             (response, 0)
         }
-        SessionWork::IngestText(text) => match parse_trace(&text) {
-            Err(e) => (Response::Error(e.to_string()), 0),
-            Ok(trace) => match session.as_mut() {
-                None => (
-                    Response::Error(format!("session {name:?} has no loaded snapshot")),
-                    0,
-                ),
-                Some(s) => match s.ingest_trace(&trace) {
-                    Ok((epochs, flows)) => (
-                        Response::Ingested {
-                            session: name.to_string(),
-                            epochs: epochs as u64,
-                            flows: flows as u64,
-                            total: s.epochs() as u64,
-                        },
-                        epochs as u64,
+        SessionWork::IngestText(text) => {
+            let start = std::time::Instant::now();
+            match parse_trace(&text) {
+                Err(e) => (Response::Error(e.to_string()), 0),
+                Ok(trace) => match session.as_mut() {
+                    None => (
+                        Response::Error(format!("session {name:?} has no loaded snapshot")),
+                        0,
                     ),
-                    Err((applied, e)) => (Response::Error(e), applied as u64),
+                    Some(s) => {
+                        // Hand the parse cost to the session so epoch
+                        // lifecycle spans start at the wire.
+                        let parse_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        match s.ingest_trace_timed(&trace, parse_ns) {
+                            Ok((epochs, flows)) => (
+                                Response::Ingested {
+                                    session: name.to_string(),
+                                    epochs: epochs as u64,
+                                    flows: flows as u64,
+                                    total: s.epochs() as u64,
+                                },
+                                epochs as u64,
+                            ),
+                            Err((applied, e)) => (Response::Error(e), applied as u64),
+                        }
+                    }
                 },
-            },
-        },
+            }
+        }
         SessionWork::Query(kind) => {
             let response = match session.as_ref() {
                 None => Response::Error(format!("session {name:?} has no loaded snapshot")),
@@ -514,6 +525,13 @@ impl Router {
             },
             Artifact::Query => match parse_query(&req.text) {
                 Ok(q) => {
+                    // Telemetry is process-global: answered on the
+                    // router thread, never queued behind engine work.
+                    if let Some(reply) = crate::obs::obs_reply_for(&q) {
+                        self.summary.count_obs();
+                        let _ = req.reply.send(reply);
+                        return;
+                    }
                     if q.kind == QueryKind::Sessions {
                         let list = self.session_infos();
                         return self.answer(&req.reply, Response::Sessions(list));
@@ -542,10 +560,11 @@ impl Router {
                 }
                 Err(e) => self.answer(&req.reply, Response::Error(e.to_string())),
             },
-            Artifact::Report | Artifact::Response => self.answer(
-                &req.reply,
-                Response::Error(format!("cannot serve a {kind} artifact")),
-            ),
+            Artifact::Report | Artifact::Response | Artifact::Metrics | Artifact::Spans => self
+                .answer(
+                    &req.reply,
+                    Response::Error(format!("cannot serve a {kind} artifact")),
+                ),
         }
     }
 

@@ -55,6 +55,15 @@ impl ServeSummary {
         self.failures += other.failures;
     }
 
+    /// Counts a telemetry (`metrics`/`trace`) query answered directly
+    /// from the process-global registry: the reply is a metrics/spans
+    /// artifact, not a `response`, so [`ServeSummary::count`] never
+    /// sees it.
+    pub(crate) fn count_obs(&mut self) {
+        self.artifacts += 1;
+        self.queries += 1;
+    }
+
     pub(crate) fn count(&mut self, response: &Response, epochs_applied: u64) {
         self.artifacts += 1;
         // Epoch accounting comes from the session layer, not the
@@ -118,10 +127,18 @@ pub fn handle_artifact(
             }
             Err(e) => Response::Error(e.to_string()),
         },
-        Artifact::Trace => match parse_trace(text) {
-            Ok(trace) => return mgr.ingest_trace(stream_session, &trace),
-            Err(e) => Response::Error(e.to_string()),
-        },
+        Artifact::Trace => {
+            let start = std::time::Instant::now();
+            match parse_trace(text) {
+                Ok(trace) => {
+                    // The parse already happened; hand its cost to the
+                    // session so epoch lifecycle spans start at the wire.
+                    let parse_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    return mgr.ingest_trace_timed(stream_session, &trace, parse_ns);
+                }
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
         Artifact::Query => match parse_query(text) {
             Ok(q) => mgr.answer(&q),
             Err(e) => Response::Error(e.to_string()),
@@ -140,7 +157,7 @@ pub fn handle_artifact(
             },
             Err(e) => Response::Error(e.to_string()),
         },
-        Artifact::Report | Artifact::Response => {
+        Artifact::Report | Artifact::Response | Artifact::Metrics | Artifact::Spans => {
             Response::Error(format!("cannot serve a {kind} artifact"))
         }
     };
@@ -157,6 +174,15 @@ pub fn serve_stream(
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     while let Some(text) = read_artifact(input)? {
+        // Telemetry queries are answered at the transport, straight
+        // from the process-global registry — the engine never blocks a
+        // scrape (see [`crate::obs`]).
+        if let Some(reply) = crate::obs::obs_reply(&text) {
+            summary.count_obs();
+            output.write_all(reply.as_bytes())?;
+            output.flush()?;
+            continue;
+        }
         let (response, epochs_applied) = handle_artifact(mgr, stream_session, &text);
         summary.count(&response, epochs_applied);
         output.write_all(write_response(&response).as_bytes())?;
@@ -192,6 +218,11 @@ pub struct Request {
 pub fn run_broker(mgr: &mut SessionManager, requests: mpsc::Receiver<Request>) -> ServeSummary {
     let mut summary = ServeSummary::default();
     for req in requests {
+        if let Some(reply) = crate::obs::obs_reply(&req.text) {
+            summary.count_obs();
+            let _ = req.reply.send(reply);
+            continue;
+        }
         let (response, epochs_applied) = handle_artifact(mgr, req.session.as_deref(), &req.text);
         summary.count(&response, epochs_applied);
         // A client that hung up before its answer is not an engine
@@ -309,10 +340,10 @@ pub fn follow_trace(
                 if tail_rotated(path, &file, consumed)? {
                     match std::fs::File::open(path) {
                         Ok(f) => {
-                            eprintln!(
+                            dna_obs::log::info(&format!(
                                 "dna serve: follow {}: file rotated; following the new file",
                                 path.display()
-                            );
+                            ));
                             file = f;
                             tail.rotate();
                             carry.clear();
@@ -376,7 +407,8 @@ pub fn follow_trace(
             };
             shipped += 1;
             if let Ok(Response::Error(msg)) = dna_io::parse_response(&response) {
-                eprintln!("dna serve: follow {}: {msg}", path.display());
+                // An epoch failing to apply outranks --quiet.
+                dna_obs::log::announce(&format!("dna serve: follow {}: {msg}", path.display()));
             }
         }
     }
@@ -426,7 +458,7 @@ pub fn accept_loop(
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) => {
-                eprintln!("dna serve: accept failed (retrying): {e}");
+                dna_obs::log::announce(&format!("dna serve: accept failed (retrying): {e}"));
                 std::thread::sleep(std::time::Duration::from_millis(50));
                 continue;
             }
@@ -470,7 +502,7 @@ mod tests {
     #[test]
     fn framing_splits_concatenated_artifacts() {
         let a = "dna-io v1 trace\nepoch\nend\n";
-        let b = "; comment\n\ndna-io v2 query\n  stats\nend\n";
+        let b = "; comment\n\ndna-io v3 query\n  stats\nend\n";
         let mut input = io::Cursor::new(format!("{a}{b}\n; trailing\n").into_bytes());
         let first = read_artifact(&mut input).unwrap().unwrap();
         assert_eq!(first, a);
@@ -481,7 +513,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_artifact_is_a_typed_error_response() {
-        let mut input = io::Cursor::new(b"dna-io v2 query\n  stats\n".to_vec());
+        let mut input = io::Cursor::new(b"dna-io v3 query\n  stats\n".to_vec());
         let text = read_artifact(&mut input).unwrap().unwrap();
         let mut mgr = SessionManager::new(Default::default());
         let (r, epochs) = handle_artifact(&mut mgr, None, &text);

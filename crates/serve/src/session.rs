@@ -17,11 +17,12 @@ use dna_io::{
     Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals, EpochDiff, Query, QueryKind,
     Response, ServiceStats, SessionInfo, Trace, TraceEpoch,
 };
+use dna_obs::EpochSpan;
 use net_model::{Flow, Snapshot};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-session policy, fixed at open time.
 #[derive(Debug, Clone)]
@@ -131,6 +132,36 @@ struct EpochRecord {
     bytes: usize,
 }
 
+/// Telemetry handles for one session's hot paths, resolved against the
+/// process-global registry once at open/resume so per-epoch work never
+/// re-hashes a registry key. When telemetry is killed via
+/// `DNA_OBS_DISABLED` every handle is a no-op and recording costs two
+/// branch misses per epoch.
+struct SessionObs {
+    epochs_applied: dna_obs::Counter,
+    epoch_apply_us: dna_obs::Histogram,
+    view_publishes: dna_obs::Counter,
+    view_publish_us: dna_obs::Histogram,
+    checkpoint_writes: dna_obs::Counter,
+    checkpoint_write_us: dna_obs::Histogram,
+    queries_answered: dna_obs::Counter,
+}
+
+impl SessionObs {
+    fn new(session: &str) -> Self {
+        let r = dna_obs::global();
+        SessionObs {
+            epochs_applied: r.counter_for("epochs_applied", session),
+            epoch_apply_us: r.histogram_for("epoch_apply_us", session),
+            view_publishes: r.counter_for("view_publishes", session),
+            view_publish_us: r.histogram_for("view_publish_us", session),
+            checkpoint_writes: r.counter_for("checkpoint_writes", session),
+            checkpoint_write_us: r.histogram_for("checkpoint_write_us", session),
+            queries_answered: r.counter_for("queries_answered", session),
+        }
+    }
+}
+
 /// A live differential analysis of one snapshot.
 pub struct Session {
     name: String,
@@ -145,6 +176,7 @@ pub struct Session {
     /// every applied epoch (see [`crate::view`]). `None` outside the
     /// TCP front door — pipe-mode sessions never pay the capture.
     view: Option<Arc<ViewSlot>>,
+    obs: SessionObs,
 }
 
 impl Session {
@@ -170,6 +202,7 @@ impl Session {
             history_bytes: 0,
             mismatches: 0,
             view: None,
+            obs: SessionObs::new(name),
         })
     }
 
@@ -227,6 +260,7 @@ impl Session {
             .map_err(|e| format!("session {name:?}: resume analysis: {e}"))?;
         replay.set_stats_retention(config.retain);
         let mut session = Session {
+            obs: SessionObs::new(&name),
             name,
             replay,
             config,
@@ -303,6 +337,7 @@ impl Session {
         let fail = |what: &str, e: std::io::Error| {
             format!("session {:?}: {what} {}: {e}", self.name, tmp.display())
         };
+        let start = Instant::now();
         std::fs::write(&tmp, &text).map_err(|e| fail("write checkpoint temp", e))?;
         std::fs::rename(&tmp, &target).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
@@ -312,6 +347,8 @@ impl Session {
                 target.display()
             )
         })?;
+        self.obs.checkpoint_writes.inc();
+        self.obs.checkpoint_write_us.observe(start.elapsed());
         Ok((target, bytes))
     }
 
@@ -343,6 +380,15 @@ impl Session {
     /// Applies one change epoch incrementally. Returns the flow-diff
     /// count of the epoch. On error nothing is applied.
     pub fn ingest(&mut self, epoch: &TraceEpoch) -> Result<usize, String> {
+        self.ingest_timed(epoch, 0)
+    }
+
+    /// [`Session::ingest`] with the wire-parse time the caller already
+    /// spent on this epoch, so the recorded lifecycle span covers the
+    /// whole parse → control-plane → data-plane → publish pipeline
+    /// (pass 0 when the epoch never crossed a wire).
+    pub fn ingest_timed(&mut self, epoch: &TraceEpoch, parse_ns: u64) -> Result<usize, String> {
+        let start = Instant::now();
         let out = self
             .replay
             .step(&epoch.changes)
@@ -350,12 +396,13 @@ impl Session {
         if out.analyzers_agree() == Some(false) {
             self.mismatches += 1;
         }
+        let index = out.index;
         let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
-        let flows = self.push_history(out.index, diff);
+        let flows = self.push_history(index, diff);
         // Publish the refreshed read view before acknowledging the
         // epoch: a client that holds our reply must find a view at
         // least this fresh (cheap no-op when no slot is attached).
-        self.publish_view();
+        let publish_ns = self.publish_view();
         // Cadence checkpoints ride the ingest path. A failed write must
         // not fail the epoch (the analysis state is fine — durability
         // degraded, which the operator hears about on stderr).
@@ -364,9 +411,33 @@ impl Session {
             && self.epochs().is_multiple_of(self.config.checkpoint_every)
         {
             if let Err(e) = self.write_checkpoint() {
-                eprintln!("dna serve: checkpoint failed: {e}");
+                // Durability degradation outranks --quiet: always heard.
+                dna_obs::log::announce(&format!("dna serve: checkpoint failed: {e}"));
             }
         }
+        let apply_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.obs.epochs_applied.inc();
+        self.obs.epoch_apply_us.observe_ns(apply_ns);
+        // The engine's own per-epoch record carries the stage split; the
+        // span adds what the engine cannot know — parse and publish.
+        let (cp_ns, dp_ns) = self.replay.last_stats().map_or((0, 0), |s| {
+            (
+                s.cp_time.as_nanos().min(u64::MAX as u128) as u64,
+                s.dp_time.as_nanos().min(u64::MAX as u128) as u64,
+            )
+        });
+        dna_obs::spans().record(EpochSpan {
+            session: self.name.clone(),
+            epoch: index as u64,
+            label: epoch.label.clone(),
+            parse_ns,
+            cp_ns,
+            dp_ns,
+            publish_ns,
+            total_ns: parse_ns.saturating_add(apply_ns),
+            changes: epoch.changes.len() as u64,
+            flows: flows as u64,
+        });
         Ok(flows)
     }
 
@@ -416,9 +487,22 @@ impl Session {
     /// epochs stay applied (stream semantics), so the error side also
     /// carries how many were — state mutation is never misreported.
     pub fn ingest_trace(&mut self, trace: &Trace) -> Result<(usize, usize), (usize, String)> {
+        self.ingest_trace_timed(trace, 0)
+    }
+
+    /// [`Session::ingest_trace`] with the wire-parse time the caller
+    /// spent on the whole trace artifact, amortized evenly across its
+    /// epochs for the recorded lifecycle spans (a trace parses as one
+    /// artifact; per-epoch parse cost is not separately observable).
+    pub fn ingest_trace_timed(
+        &mut self,
+        trace: &Trace,
+        parse_ns: u64,
+    ) -> Result<(usize, usize), (usize, String)> {
+        let per_epoch_ns = parse_ns / trace.epochs.len().max(1) as u64;
         let mut flows = 0;
         for (applied, ep) in trace.epochs.iter().enumerate() {
-            match self.ingest(ep) {
+            match self.ingest_timed(ep, per_epoch_ns) {
                 Ok(n) => flows += n,
                 Err(e) => {
                     return Err((
@@ -435,6 +519,7 @@ impl Session {
     /// domain problems (unknown device, empty engine) come back as
     /// [`Response::Error`].
     pub fn answer(&self, kind: &QueryKind) -> Response {
+        self.obs.queries_answered.inc();
         match kind {
             QueryKind::Reach { src, flow } => self.reach(src, flow),
             QueryKind::ReachPair { src, dst } => match self.resolve_dst(dst) {
@@ -447,6 +532,12 @@ impl Session {
             QueryKind::Sessions => {
                 Response::Error("sessions is a server-level query; the manager answers it".into())
             }
+            // Telemetry is process-global: every transport intercepts
+            // these before session dispatch (see [`crate::obs`]), so
+            // reaching a session is a routing bug surfaced as an error.
+            QueryKind::Metrics | QueryKind::TraceSpans { .. } => Response::Error(
+                "metrics/trace are server-level queries; the transport answers them".into(),
+            ),
             QueryKind::Checkpoint => match self.write_checkpoint() {
                 Ok((_path, bytes)) => Response::Checkpointed {
                     session: self.name.clone(),
@@ -566,12 +657,14 @@ impl Session {
     /// Publishes an immutable [`QueryView`] of the current state into
     /// the attached slot (no-op without one). Runs on the engine
     /// thread after every applied epoch; readers swap to the new view
-    /// with one atomic version check.
-    fn publish_view(&self) {
-        let Some(slot) = &self.view else { return };
+    /// with one atomic version check. Returns the nanoseconds the
+    /// capture took (0 when nothing was published).
+    fn publish_view(&self) -> u64 {
+        let Some(slot) = &self.view else { return 0 };
         let Some(engine) = self.replay.view() else {
-            return;
+            return 0;
         };
+        let start = Instant::now();
         let devices = self
             .snapshot()
             .devices
@@ -593,6 +686,10 @@ impl Session {
             history,
             self.stats(),
         )));
+        let publish_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.obs.view_publishes.inc();
+        self.obs.view_publish_us.observe_ns(publish_ns);
+        publish_ns
     }
 }
 
@@ -695,11 +792,23 @@ impl SessionManager {
     /// nonzero even when the response is an error, since a trace failing
     /// mid-stream leaves its earlier epochs applied.
     pub fn ingest_trace(&mut self, session: Option<&str>, trace: &Trace) -> (Response, u64) {
+        self.ingest_trace_timed(session, trace, 0)
+    }
+
+    /// [`SessionManager::ingest_trace`] carrying the wire-parse time
+    /// the caller spent on the trace artifact (see
+    /// [`Session::ingest_trace_timed`]).
+    pub fn ingest_trace_timed(
+        &mut self,
+        session: Option<&str>,
+        trace: &Trace,
+        parse_ns: u64,
+    ) -> (Response, u64) {
         let s = match self.resolve_mut(session) {
             Ok(s) => s,
             Err(r) => return (r, 0),
         };
-        match s.ingest_trace(trace) {
+        match s.ingest_trace_timed(trace, parse_ns) {
             Ok((epochs, flows)) => (
                 Response::Ingested {
                     session: s.name().to_string(),

@@ -94,7 +94,13 @@ impl QueryView {
             QueryKind::Blast { last } => self.blast(*last),
             QueryKind::Report { from, to } => self.report(*from, *to),
             QueryKind::Stats => Response::Stats(self.stats.clone()),
-            QueryKind::Sessions | QueryKind::Checkpoint => return None,
+            // `sessions` is server-level, `checkpoint` mutates durable
+            // state, and telemetry queries are answered even earlier by
+            // the transport (see [`crate::obs`]) — none route here.
+            QueryKind::Sessions
+            | QueryKind::Checkpoint
+            | QueryKind::Metrics
+            | QueryKind::TraceSpans { .. } => return None,
         })
     }
 
@@ -286,9 +292,13 @@ impl ViewRegistry {
         inner.slots.get(name).map(Arc::clone)
     }
 
-    /// Counts one query answered from a published view.
-    pub fn note_served(&self) {
+    /// Counts one query answered from the named session's published
+    /// view: the instance counter (asserted by in-process tests that
+    /// must not see each other's counts) and the process-global
+    /// `view_served` gauge both move.
+    pub fn note_served(&self, session: &str) {
         self.served.fetch_add(1, Ordering::Relaxed);
+        dna_obs::global().gauge_for("view_served", session).add(1);
     }
 
     /// Queries answered from published views so far.
@@ -381,7 +391,7 @@ mod tests {
         assert!(reg.resolve(None).is_some());
         assert!(reg.resolve(Some("ghost")).is_none());
         assert_eq!(reg.served(), 0);
-        reg.note_served();
+        reg.note_served("a");
         assert_eq!(reg.served(), 1);
     }
 }
