@@ -1,9 +1,10 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
 //! Usage: `cargo run --release -p dna-bench --bin harness
-//! [e1|e2|...|e12|serve|shard|resume|overhead|all|record] [--record <dir>]`
-//! (`serve` is an alias for the E9 service experiment, `shard` for
-//! E10, `resume` for E11, `overhead` for E12.)
+//! [e1|e2|...|e13|serve|shard|resume|overhead|accounting|all|record]
+//! [--record <dir>]` (`serve` is an alias for the E9 service
+//! experiment, `shard` for E10, `resume` for E11, `overhead` for E12,
+//! `accounting` for E13.)
 //!
 //! With `--record <dir>`, the standard benchmark workloads (snapshot +
 //! all-scenario change trace per topology) are additionally written as
@@ -83,6 +84,14 @@ fn main() {
     }
     if all || which == "e12" || which == "overhead" {
         b::e12_obs_overhead(6, 64, 3);
+    }
+    // The child arm of E13, same re-exec pattern as E12.
+    if which == "e13-probe" {
+        println!("e13-probe eps {}", b::e13_probe(6, 64));
+        return;
+    }
+    if all || which == "e13" || which == "accounting" {
+        b::e13_accounting_overhead(6, 64, 3);
     }
     if let Some(dir) = record_dir {
         let files = b::record_workloads(&dir, 24).expect("record workloads");

@@ -712,3 +712,112 @@ pub fn e12_obs_overhead(k: u32, epochs: usize, runs: usize) -> (f64, f64) {
     }
     (enabled, disabled)
 }
+
+/// One timed arm of E13: the E12 ingest loop with the **accounting
+/// plane** fully engaged — per-epoch session-accounting gauge updates
+/// and heartbeats, one span-wrapped query per epoch through the
+/// `query_latency_us` histogram and the slow-query ring (per-query is
+/// the production rate), and a history-ring sample every 16 epochs
+/// (~50 ms here — still hundreds of times tighter than the production
+/// 15 s tick, so the measured cost is a stress-test upper bound). Like
+/// E12, the disabled arm must run in a child process
+/// (`DNA_OBS_DISABLED` latches at first registry touch). Returns
+/// sustained epochs per second.
+pub fn e13_probe(k: u32, epochs: usize) -> f64 {
+    use dna_io::{QueryKind, TraceEpoch};
+    use dna_serve::{Session, SessionConfig};
+    let ft = fat_tree(k, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(9_913);
+    let trace: Vec<TraceEpoch> = gen
+        .labeled_sequence(&ft.snapshot, ALL_SCENARIOS, epochs)
+        .into_iter()
+        .map(|(kind, changes)| TraceEpoch {
+            label: Some(kind.to_string()),
+            changes,
+        })
+        .collect();
+    let mut session = Session::open(
+        "e13",
+        ft.snapshot.clone(),
+        SessionConfig {
+            retain: 64,
+            ..Default::default()
+        },
+    )
+    .expect("session opens");
+    let acct = dna_obs::SessionAccounting::register(dna_obs::global(), "e13");
+    let query_latency = dna_obs::global().histogram_for("query_latency_us", "bench");
+    let blast = QueryKind::Blast { last: 8 };
+    let t = Instant::now();
+    for (i, ep) in trace.iter().enumerate() {
+        acct.beat();
+        session.ingest(ep).expect("epoch applies");
+        // The per-query span path, exactly as a transport drives it.
+        let q = Instant::now();
+        let _ = session.answer(&blast);
+        let elapsed = q.elapsed();
+        query_latency.observe(elapsed);
+        dna_obs::query_spans().record(dna_obs::QuerySpan {
+            transport: "pipe",
+            session: Some("e13".into()),
+            kind: "blast",
+            total_ns: elapsed.as_nanos() as u64,
+        });
+        // A full registry sample into the history ring.
+        if i % 16 == 0 {
+            dna_obs::history().record(dna_obs::uptime_ms(), &dna_obs::global().snapshot(None));
+        }
+    }
+    let eps = trace.len() as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    acct.retire(dna_obs::global());
+    eps
+}
+
+/// E13 — accounting-plane overhead on the ingest+query hot path: the
+/// E13 probe with telemetry on (this process) vs off (a re-exec with
+/// `DNA_OBS_DISABLED=1`). Best-of-`runs` per arm, exactly like E12.
+/// Returns `(enabled eps, disabled eps)`.
+pub fn e13_accounting_overhead(k: u32, epochs: usize, runs: usize) -> (f64, f64) {
+    assert!(
+        dna_obs::global().enabled(),
+        "E13 must start with telemetry enabled (unset DNA_OBS_DISABLED)"
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let child_eps = || -> f64 {
+        let out = std::process::Command::new(&exe)
+            .arg("e13-probe")
+            .env("DNA_OBS_DISABLED", "1")
+            .output()
+            .expect("disabled-arm child runs");
+        assert!(out.status.success(), "disabled-arm child failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        text.lines()
+            .find_map(|l| l.strip_prefix("e13-probe eps "))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable probe output: {text:?}"))
+    };
+    let enabled = (0..runs)
+        .map(|_| e13_probe(k, epochs))
+        .fold(0.0f64, f64::max);
+    let disabled = (0..runs).map(|_| child_eps()).fold(0.0f64, f64::max);
+    let overhead = (disabled - enabled) / disabled.max(f64::MIN_POSITIVE) * 100.0;
+    println!("\n== E13: accounting-plane overhead (span-wrapped query per epoch + history sample per 16, k={k}, {epochs} epochs, best of {runs}) ==");
+    println!(
+        "{:<22} | {:>12} | {:>12} | {:>9}",
+        "arm", "ingest eps", "epoch mean", "overhead"
+    );
+    for (arm, eps) in [("accounting on", enabled), ("DNA_OBS_DISABLED=1", disabled)] {
+        println!(
+            "{:<22} | {:>12.1} | {:>9.3} ms | {:>9}",
+            arm,
+            eps,
+            1_000.0 / eps.max(f64::MIN_POSITIVE),
+            if arm.starts_with("accounting") {
+                format!("{overhead:>+.2}%")
+            } else {
+                "—".into()
+            }
+        );
+    }
+    (enabled, disabled)
+}

@@ -47,7 +47,8 @@ USAGE:
             [--threads per-session|single] [--metrics-interval <secs>]
             [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
   dna query [--session <name>] [--socket <path>] [--connect <addr>]
-            [--prometheus] <command>
+            [--prometheus] [--rates] <command>
+  dna top   [--socket <path> | --connect <addr>] [--watch <secs>]
   dna checkpoint inspect <ckpt-file>
   dna checkpoint write <snap-file> --out <ckpt-file> [--session <name>]
             [--ref] [--retain <n>] [--verify]
@@ -108,6 +109,8 @@ QUERY COMMANDS:
   checkpoint
   metrics
   trace [n]
+  health
+  history [n]
 Without --socket/--connect the query artifact is printed to stdout
 (compose mode, for piping into `dna serve`); with --socket (unix
 socket path) or --connect (TCP host:port) it is sent to a server and
@@ -120,10 +123,21 @@ to one session's series); --prometheus re-renders the scrape as
 Prometheus text exposition format. `trace [n]` returns the last n
 (default: all retained) per-epoch lifecycle spans — parse, control
 plane, data plane, view publish timings — as a `spans` artifact.
-`dna serve --metrics-interval <secs>` dumps the metrics artifact to
-stderr every <secs> seconds. Setting DNA_OBS_DISABLED=1 in the
-server's environment kills all telemetry recording;
-DNA_OBS_SLOW_EPOCH_MS=<ms> logs epochs slower than the threshold.
+`health` classifies the server and each session ok|degraded|failed
+(engine-thread watchdog: stale heartbeat under queued work, deep
+ingest queue, growing epoch lag, panic fence). `history [n]` returns
+the server's periodic registry samples as a `history` artifact
+(recorded every 15s by default; --metrics-interval tightens the
+cadence and also dumps each scrape to stderr); --rates re-renders the
+window as per-second counter rates. `dna top` shows a per-session
+resource table (rates + queue/lag/memory gauges) one-shot or
+refreshing with --watch. Setting DNA_OBS_DISABLED=1 in the server's
+environment kills all telemetry recording (telemetry queries then
+answer empty artifacts, never errors); DNA_OBS_SLOW_EPOCH_MS=<ms>
+logs epochs slower than the threshold; DNA_OBS_SLOW_QUERY_US=<us>
+logs queries slower than the threshold; DNA_OBS_STALE_MS,
+DNA_OBS_QUEUE_DEPTH_WARN and DNA_OBS_EPOCHS_BEHIND_WARN tune the
+health thresholds.
 
 EXAMPLES:
   dna dump --topo fat-tree --k 6 --routing ebgp --out ft6.snap.dna \\
@@ -162,6 +176,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "top" => cmd_top(rest),
         "checkpoint" => cmd_checkpoint(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -688,14 +703,29 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     // `info` lines honor --quiet, `announce` lines always print.
     dna_obs::log::set_quiet(quiet);
     let metrics_interval: u64 = args.parsed("metrics-interval", 0)?;
-    if metrics_interval > 0 {
-        // Periodic operator dump: the same canonical artifact `dna
-        // query metrics` returns, to stderr, on a detached thread that
-        // dies with the process.
-        std::thread::spawn(move || loop {
-            std::thread::sleep(std::time::Duration::from_secs(metrics_interval));
-            let report = dna_serve::obs::metrics_report(&dna_obs::global().snapshot(None));
-            eprint!("{}", dna_io::write_metrics(&report));
+    {
+        // The metrics ticker always runs (default: a coarse 15 s
+        // cadence), recording each registry scrape into the history
+        // ring behind `dna query history` / `dna top`; an explicit
+        // --metrics-interval tightens the cadence AND dumps each
+        // scrape to stderr — the same canonical artifact `dna query
+        // metrics` returns. Detached thread, dies with the process;
+        // under DNA_OBS_DISABLED the ring drops everything.
+        let dump = metrics_interval > 0;
+        let tick = if dump { metrics_interval } else { 15 };
+        std::thread::spawn(move || {
+            // An immediate t≈0 sample gives `history --rates` and
+            // `dna top` a baseline one tick sooner.
+            dna_obs::history().record(dna_obs::uptime_ms(), &dna_obs::global().snapshot(None));
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(tick));
+                let snap = dna_obs::global().snapshot(None);
+                dna_obs::history().record(dna_obs::uptime_ms(), &snap);
+                if dump {
+                    let report = dna_serve::obs::metrics_report(&snap);
+                    eprint!("{}", dna_io::write_metrics(&report));
+                }
+            }
         });
     }
     let checkpoint_dir = args.flag("checkpoint-dir").map(std::path::PathBuf::from);
@@ -1054,7 +1084,11 @@ fn serve_channels(
 // ---- query ------------------------------------------------------------
 
 fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
-    let args = Args::parse(rest, &["session", "socket", "connect"], &["prometheus"])?;
+    let args = Args::parse(
+        rest,
+        &["session", "socket", "connect"],
+        &["prometheus", "rates"],
+    )?;
     let kind = match args.positionals.as_slice() {
         ["reach", src, sip, dip, proto, sport, dport] => QueryKind::Reach {
             src: src.to_string(),
@@ -1097,6 +1131,11 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         ["trace", last] => QueryKind::TraceSpans {
             last: Some(last.parse().map_err(|_| format!("bad window {last:?}"))?),
         },
+        ["health"] => QueryKind::Health,
+        ["history"] => QueryKind::History { last: None },
+        ["history", last] => QueryKind::History {
+            last: Some(last.parse().map_err(|_| format!("bad window {last:?}"))?),
+        },
         [] => return Err("query needs a command (see `dna help`)".into()),
         other => return Err(format!("bad query command {:?}", other.join(" "))),
     };
@@ -1104,6 +1143,11 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
     if prometheus && !matches!(kind, QueryKind::Metrics) {
         return Err("--prometheus only applies to `dna query metrics`".into());
     }
+    let rates = args.has("rates");
+    if rates && !matches!(kind, QueryKind::History { .. }) {
+        return Err("--rates only applies to `dna query history`".into());
+    }
+    let render = Render { prometheus, rates };
     let query = Query {
         session: args.flag("session").map(str::to_string),
         kind,
@@ -1111,15 +1155,17 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
     let text = write_query(&query);
     match (args.flag("socket"), args.flag("connect")) {
         (Some(_), Some(_)) => Err("--socket and --connect are mutually exclusive".into()),
-        (Some(path), None) => query_over_socket(path, &text, prometheus),
+        (Some(path), None) => query_over_socket(path, &text, render),
         (None, Some(addr)) => {
             let response = dna_serve::query_tcp(addr, &text)
                 .map_err(|e| format!("cannot query tcp {addr}: {e}"))?;
-            print_response(addr, &response, prometheus)
+            print_response(addr, &response, render)
         }
         (None, None) => {
-            if prometheus {
-                return Err("--prometheus needs a live server (--socket or --connect)".into());
+            if prometheus || rates {
+                return Err(
+                    "--prometheus/--rates need a live server (--socket or --connect)".into(),
+                );
             }
             print!("{text}");
             Ok(ExitCode::SUCCESS)
@@ -1127,17 +1173,28 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Client-side rendering switches for a server's answer (both default
+/// off: print the canonical artifact bytes).
+#[derive(Clone, Copy, Default)]
+struct Render {
+    /// Re-render a metrics scrape as Prometheus exposition text.
+    prometheus: bool,
+    /// Re-render a history dump as derived per-second counter rates.
+    rates: bool,
+}
+
 /// Prints a server's response and maps it to the exit code contract:
 /// 0 for an answer, 2 for a protocol-level `error` response. Telemetry
-/// queries come back as their own artifact kinds (`metrics`, `spans`)
-/// rather than a `response`; both are validated before printing, and
-/// `--prometheus` re-renders a metrics scrape as exposition text.
-fn print_response(origin: &str, response: &str, prometheus: bool) -> Result<ExitCode, String> {
+/// queries come back as their own artifact kinds (`metrics`, `spans`,
+/// `history`, `health`) rather than a `response`; all are validated
+/// before printing, and `--prometheus` / `--rates` re-render
+/// client-side (the wire always carries the canonical artifact).
+fn print_response(origin: &str, response: &str, render: Render) -> Result<ExitCode, String> {
     match dna_io::sniff(response) {
         Ok((_, dna_io::Artifact::Metrics)) => {
             let report = dna_io::parse_metrics(response)
                 .map_err(|e| format!("malformed metrics from {origin}: {e}"))?;
-            if prometheus {
+            if render.prometheus {
                 print!("{}", prometheus_text(&report));
             } else {
                 print!("{response}");
@@ -1150,6 +1207,22 @@ fn print_response(origin: &str, response: &str, prometheus: bool) -> Result<Exit
             print!("{response}");
             return Ok(ExitCode::SUCCESS);
         }
+        Ok((_, dna_io::Artifact::History)) => {
+            let report = dna_io::parse_history(response)
+                .map_err(|e| format!("malformed history from {origin}: {e}"))?;
+            if render.rates {
+                print!("{}", rates_text(&report));
+            } else {
+                print!("{response}");
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        Ok((_, dna_io::Artifact::Health)) => {
+            dna_io::parse_health(response)
+                .map_err(|e| format!("malformed health from {origin}: {e}"))?;
+            print!("{response}");
+            return Ok(ExitCode::SUCCESS);
+        }
         _ => {}
     }
     print!("{response}");
@@ -1158,6 +1231,54 @@ fn print_response(origin: &str, response: &str, prometheus: bool) -> Result<Exit
         Ok(_) => Ok(ExitCode::SUCCESS),
         Err(e) => Err(format!("malformed response from {origin}: {e}")),
     }
+}
+
+/// Converts wire history samples into the [`dna_obs`] sample shape so
+/// rate derivation has one implementation.
+fn obs_samples(report: &dna_io::HistoryReport) -> Vec<dna_obs::Sample> {
+    let series = |r: &dna_io::SeriesRow| dna_obs::SeriesValue {
+        name: r.name.clone(),
+        session: r.session.clone(),
+        value: r.value,
+    };
+    report
+        .samples
+        .iter()
+        .map(|s| dna_obs::Sample {
+            t_ms: s.t_ms,
+            counters: s.counters.iter().map(series).collect(),
+            gauges: s.gauges.iter().map(series).collect(),
+        })
+        .collect()
+}
+
+/// Renders `--rates`: per-second counter deltas across the history
+/// window (first sample → last). Lines mirror the metrics grammar's
+/// scoping so the output greps the same way.
+fn rates_text(report: &dna_io::HistoryReport) -> String {
+    let samples = obs_samples(report);
+    let mut out = String::new();
+    let (Some(first), Some(last)) = (samples.first(), samples.last()) else {
+        let _ = writeln!(out, "; history is empty — no window to derive rates over");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "; rates over {:.1}s ({} samples)",
+        last.t_ms.saturating_sub(first.t_ms) as f64 / 1_000.0,
+        samples.len()
+    );
+    for r in dna_obs::rates(&samples) {
+        match &r.session {
+            Some(s) => {
+                let _ = writeln!(out, "{} session {:?} {:.2}/s", r.name, s, r.per_second);
+            }
+            None => {
+                let _ = writeln!(out, "{} global {:.2}/s", r.name, r.per_second);
+            }
+        }
+    }
+    out
 }
 
 /// Renders a metrics scrape in the Prometheus text exposition format:
@@ -1230,15 +1351,121 @@ fn prometheus_text(report: &dna_io::MetricsReport) -> String {
 }
 
 #[cfg(unix)]
-fn query_over_socket(path: &str, text: &str, prometheus: bool) -> Result<ExitCode, String> {
+fn query_over_socket(path: &str, text: &str, render: Render) -> Result<ExitCode, String> {
     let response = dna_serve::query_socket(std::path::Path::new(path), text)
         .map_err(|e| format!("cannot query {path}: {e}"))?;
-    print_response(path, &response, prometheus)
+    print_response(path, &response, render)
 }
 
 #[cfg(not(unix))]
-fn query_over_socket(_path: &str, _text: &str, _prometheus: bool) -> Result<ExitCode, String> {
+fn query_over_socket(_path: &str, _text: &str, _render: Render) -> Result<ExitCode, String> {
     Err("--socket requires a unix platform".into())
+}
+
+// ---- top --------------------------------------------------------------
+
+/// `dna top`: a one-shot (or `--watch <secs>` refreshing) per-session
+/// resource table derived from the server's history ring — rates
+/// between the freshest two samples, live gauges from the last one.
+/// With fewer than two samples the table still prints (rates read 0)
+/// and the command exits 0: an empty ring is a young server, not an
+/// error.
+fn cmd_top(rest: &[String]) -> Result<ExitCode, String> {
+    let args = Args::parse(rest, &["socket", "connect", "watch"], &[])?;
+    if !args.positionals.is_empty() {
+        return Err(format!(
+            "top takes no positionals, got {:?}",
+            args.positionals
+        ));
+    }
+    let watch: u64 = args.parsed("watch", 0)?;
+    let query = write_query(&Query {
+        session: None,
+        kind: QueryKind::History { last: Some(2) },
+    });
+    let fetch = || -> Result<String, String> {
+        match (args.flag("socket"), args.flag("connect")) {
+            (Some(_), Some(_)) => Err("--socket and --connect are mutually exclusive".into()),
+            (Some(path), None) => dna_serve::query_socket(std::path::Path::new(path), &query)
+                .map_err(|e| format!("cannot query {path}: {e}")),
+            (None, Some(addr)) => dna_serve::query_tcp(addr, &query)
+                .map_err(|e| format!("cannot query tcp {addr}: {e}")),
+            (None, None) => Err("top needs a live server (--socket or --connect)".into()),
+        }
+    };
+    loop {
+        let response = fetch()?;
+        let report = match dna_io::sniff(&response) {
+            Ok((_, dna_io::Artifact::History)) => dna_io::parse_history(&response)
+                .map_err(|e| format!("malformed history from server: {e}"))?,
+            // Anything else is the server's error story — surface it.
+            _ => match dna_io::parse_response(&response) {
+                Ok(Response::Error(e)) => return Err(format!("server: {e}")),
+                _ => return Err("server sent neither history nor an error response".into()),
+            },
+        };
+        let table = top_table(&report);
+        if watch == 0 {
+            print!("{table}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        // Watch mode refreshes on stderr (stdout stays clean for
+        // piping) until interrupted.
+        eprint!("\n{table}");
+        std::thread::sleep(std::time::Duration::from_secs(watch));
+    }
+}
+
+/// Renders the `dna top` table: one row per session seen in the
+/// freshest sample, columns mixing derived rates (counters) and live
+/// values (gauges).
+fn top_table(report: &dna_io::HistoryReport) -> String {
+    let samples = obs_samples(report);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10}",
+        "SESSION", "EPOCHS/S", "QUERY/S", "QUEUE", "BEHIND", "HIST-B", "VIEW-B"
+    );
+    let Some(last) = samples.last() else {
+        let _ = writeln!(out, "; history is empty — the server has not ticked yet");
+        return out;
+    };
+    let rates = dna_obs::rates(&samples);
+    let rate = |name: &str, session: &str| {
+        rates
+            .iter()
+            .find(|r| r.name == name && r.session.as_deref() == Some(session))
+            .map_or(0.0, |r| r.per_second)
+    };
+    let gauge = |name: &str, session: &str| {
+        last.gauges
+            .iter()
+            .find(|g| g.name == name && g.session.as_deref() == Some(session))
+            .map_or(0, |g| g.value)
+    };
+    let mut sessions: Vec<&str> = last
+        .counters
+        .iter()
+        .chain(last.gauges.iter())
+        .filter_map(|r| r.session.as_deref())
+        .collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    for s in sessions {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.2} {:>9.2} {:>7} {:>7} {:>10} {:>10}",
+            s,
+            rate("epochs_applied", s),
+            rate("queries_answered", s),
+            gauge("ingest_queue_depth", s),
+            gauge("epochs_behind", s),
+            gauge("history_bytes", s),
+            gauge("view_bytes", s),
+        );
+    }
+    out
 }
 
 // ---- checkpoint -------------------------------------------------------

@@ -495,6 +495,137 @@ fn quiet_server_still_announces_its_tcp_port() {
             prom.contains("dna_epoch_apply_seconds_bucket{session=\"ft4\",le=\"+Inf\"} 4"),
             "prometheus histogram rendering: {prom}"
         );
+        // The health plane over the same port: the server and the
+        // (quiesced) session both classify ok.
+        let health = dna_ok(&["query", "--connect", &addr, "health"]);
+        assert!(
+            health.starts_with("dna-io v1 health"),
+            "not health: {health}"
+        );
+        assert!(health.contains("server ok"), "health: {health}");
+        assert!(health.contains("session \"ft4\" ok"), "health: {health}");
+        // One-shot `dna top` parses whatever the history ring holds —
+        // possibly nothing this early — and always exits 0 with the
+        // table header.
+        let top = dna_ok(&["top", "--connect", &addr]);
+        assert!(top.contains("SESSION"), "top header missing: {top}");
+    }));
+    let _ = server.kill();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
+/// The kill switch honors the contract from the other side: a server
+/// started with `DNA_OBS_DISABLED=1` answers every telemetry query
+/// over TCP with a grammatically valid **empty** artifact — never an
+/// error — and the query plane proper (reach etc.) is untouched.
+/// Health still reports `server ok`: no data is not a fault.
+#[test]
+fn disabled_telemetry_answers_empty_artifacts_over_tcp() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join(format!("dna-disabled-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("ft4.snap.dna");
+    let trace = dir.join("ft4.trace.dna");
+    dna_ok(&[
+        "dump",
+        "--topo",
+        "fat-tree",
+        "--k",
+        "4",
+        "--routing",
+        "ebgp",
+        "--seed",
+        "99",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--epochs",
+        "4",
+        "--scenarios",
+        "link-failure,link-recovery",
+    ]);
+    let mut server = Command::new(DNA)
+        .args([
+            "serve",
+            snap.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--quiet",
+        ])
+        .env("DNA_OBS_DISABLED", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = std::io::BufReader::new(server.stderr.take().expect("piped stderr"));
+    let mut announce = String::new();
+    stderr
+        .read_line(&mut announce)
+        .expect("announce line arrives");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let addr = announce
+            .strip_prefix("dna serve: listening on tcp ")
+            .unwrap_or_else(|| panic!("announce contract broken: {announce:?}"))
+            .trim()
+            .to_string();
+        {
+            let mut stdin = server.stdin.take().expect("piped stdin");
+            stdin
+                .write_all(&std::fs::read(&trace).unwrap())
+                .expect("trace written");
+        }
+        // The query plane proper works; poll it to know ingest landed.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let out = dna_ok(&["query", "--connect", &addr, "stats"]);
+            if out.contains("epochs 4") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest never surfaced: {out}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Every telemetry kind: a valid artifact with nothing recorded
+        // in it, exit 0. The registry keeps its series (scrapes stay
+        // shape-stable) but every value is pinned at zero; the span and
+        // history rings drop everything.
+        let metrics = dna_ok(&["query", "--connect", &addr, "metrics"]);
+        assert!(metrics.starts_with("dna-io v1 metrics"), "{metrics}");
+        assert!(
+            metrics.contains("counter \"epochs_applied\" session \"ft4\" 0"),
+            "disabled counters must scrape as zero: {metrics}"
+        );
+        for line in metrics.lines() {
+            let t = line.trim_start();
+            if t.starts_with("counter ") || t.starts_with("gauge ") {
+                assert!(t.ends_with(" 0"), "recorded under kill switch: {line}");
+            }
+        }
+        let spans = dna_ok(&["query", "--connect", &addr, "trace"]);
+        assert_eq!(spans, "dna-io v1 spans\nend\n", "not empty: {spans}");
+        let history = dna_ok(&["query", "--connect", &addr, "history"]);
+        assert_eq!(history, "dna-io v1 history\nend\n", "not empty: {history}");
+        // Zeroed gauges classify as idle, never as a fault: server ok,
+        // session ok.
+        let health = dna_ok(&["query", "--connect", &addr, "health"]);
+        assert!(health.starts_with("dna-io v1 health"), "{health}");
+        assert!(health.contains("server ok"), "{health}");
+        assert!(health.contains("session \"ft4\" ok"), "{health}");
+        // The pinned query plane is byte-stable with telemetry off.
+        let reach = dna_ok(&[
+            "query",
+            "--connect",
+            &addr,
+            "reach-pair",
+            "edge0_0",
+            "edge1_1",
+        ]);
+        assert!(reach.contains("ok reach"), "reach: {reach}");
     }));
     let _ = server.kill();
     let _ = server.wait();

@@ -18,24 +18,27 @@ use std::fmt::Write as _;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// The grammar version of one artifact kind. The service protocol's
-/// `query` kind is at v3 (v2 added the `checkpoint` command — new
+/// `query` kind is at v4 (v2 added the `checkpoint` command — new
 /// keywords require a bump, since older readers reject unknown keywords
-/// by design; v3 added the `metrics` and `trace` telemetry commands) and
-/// `response` is at v3 (v2 added the `ok checkpointed` payload; v3 added
-/// the `failed` marker on `ok sessions` rows). The telemetry scrape
-/// kinds `metrics` and `spans` are new whole kinds, not extensions of
-/// `response`, so introducing them bumped nothing else; every remaining
-/// kind is still at its initial version.
+/// by design; v3 added the `metrics` and `trace` telemetry commands; v4
+/// added the `health` and `history` commands) and `response` is at v3
+/// (v2 added the `ok checkpointed` payload; v3 added the `failed`
+/// marker on `ok sessions` rows). The telemetry scrape kinds `metrics`,
+/// `spans`, `history` and `health` are new whole kinds, not extensions
+/// of `response`, so introducing them bumped nothing else; every
+/// remaining kind is still at its initial version.
 pub fn artifact_version(kind: Artifact) -> u32 {
     match kind {
-        Artifact::Query => 3,
+        Artifact::Query => 4,
         Artifact::Response => 3,
         Artifact::Snapshot
         | Artifact::Trace
         | Artifact::Report
         | Artifact::Checkpoint
         | Artifact::Metrics
-        | Artifact::Spans => FORMAT_VERSION,
+        | Artifact::Spans
+        | Artifact::History
+        | Artifact::Health => FORMAT_VERSION,
     }
 }
 
@@ -108,6 +111,8 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         "checkpoint" => Artifact::Checkpoint,
         "metrics" => Artifact::Metrics,
         "spans" => Artifact::Spans,
+        "history" => Artifact::History,
+        "health" => Artifact::Health,
         other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
     };
     // Versions are per-kind: check against the version of the kind the

@@ -42,8 +42,9 @@ pub use checkpoint::{
 pub use codec::{artifact_version, FORMAT_VERSION};
 pub use error::IoError;
 pub use obsfmt::{
-    parse_metrics, parse_spans, write_metrics, write_spans, HistogramRow, MetricsReport, SeriesRow,
-    SpanReport, SpanRow,
+    parse_health, parse_history, parse_metrics, parse_spans, write_health, write_history,
+    write_metrics, write_spans, HealthReport, HealthStatus, HistogramRow, HistoryReport,
+    HistorySample, MetricsReport, SeriesRow, SessionHealth, SpanReport, SpanRow,
 };
 pub use proto::{
     parse_query, parse_response, write_query, write_response, Query, QueryKind, Response,
@@ -76,6 +77,12 @@ pub enum Artifact {
     /// Epoch-lifecycle spans: per-epoch stage timings from the span
     /// recorder ring (`dna query trace`).
     Spans,
+    /// Metrics history: timestamped samples of the registry's counters
+    /// and gauges from the serve-side history ring (`dna query history`).
+    History,
+    /// A health classification of the server and each session
+    /// (`dna query health`).
+    Health,
 }
 
 /// Every artifact kind, in a stable order (used by [`sniff`]).
@@ -88,6 +95,8 @@ pub const ALL_ARTIFACTS: &[Artifact] = &[
     Artifact::Checkpoint,
     Artifact::Metrics,
     Artifact::Spans,
+    Artifact::History,
+    Artifact::Health,
 ];
 
 impl fmt::Display for Artifact {
@@ -101,6 +110,8 @@ impl fmt::Display for Artifact {
             Artifact::Checkpoint => "checkpoint",
             Artifact::Metrics => "metrics",
             Artifact::Spans => "spans",
+            Artifact::History => "history",
+            Artifact::Health => "health",
         };
         write!(f, "{s}")
     }

@@ -1,13 +1,16 @@
 //! The telemetry artifacts: `metrics` (a scrape of the serve-side
-//! registry — counters, gauges and latency histograms) and `spans` (a
-//! dump of the epoch-lifecycle span ring).
+//! registry — counters, gauges and latency histograms), `spans` (a dump
+//! of the epoch-lifecycle span ring), `history` (timestamped samples of
+//! the registry's counters and gauges from the history ring) and
+//! `health` (an ok/degraded/failed classification of the server and
+//! each session).
 //!
-//! Both are replies to query-v3 telemetry commands (`metrics` /
-//! `trace`): the server answers those queries with one of these
-//! artifacts instead of a `response`, which is why introducing them
-//! required no `response` bump — old readers fail closed on the unknown
-//! kind token (`BadHeader`) rather than misparse (see FORMAT.md
-//! "Versioning").
+//! All four are replies to telemetry query commands (`metrics` /
+//! `trace` at query v3, `history` / `health` at v4): the server answers
+//! those queries with one of these artifacts instead of a `response`,
+//! which is why introducing them required no `response` bump — old
+//! readers fail closed on the unknown kind token (`BadHeader`) rather
+//! than misparse (see FORMAT.md "Versioning").
 //!
 //! Like every other kind, the encodings are canonical: series rows are
 //! sorted by `(name, scope)` with the process-global scope before any
@@ -105,6 +108,82 @@ pub struct SpanReport {
     pub spans: Vec<SpanRow>,
 }
 
+/// One timestamped registry sample of the `history` artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistorySample {
+    /// Milliseconds since server start (a monotone time base).
+    pub t_ms: u64,
+    /// Counters at sample time, `(name, scope)`-sorted.
+    pub counters: Vec<SeriesRow>,
+    /// Gauges at sample time, `(name, scope)`-sorted.
+    pub gauges: Vec<SeriesRow>,
+}
+
+/// A history-ring dump (the `history` artifact), oldest sample first
+/// with non-decreasing timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistoryReport {
+    /// Retained samples in recording order.
+    pub samples: Vec<HistorySample>,
+}
+
+/// The health classification of the server or one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Operating normally.
+    Ok,
+    /// Alive but impaired (stale heartbeat, deep ingest queue, growing
+    /// epoch lag).
+    Degraded,
+    /// The session's engine thread died (panic fence); it stays listed
+    /// but answers every request with an error until reloaded.
+    Failed,
+}
+
+impl HealthStatus {
+    fn token(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One session's row of the `health` artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionHealth {
+    /// Session name.
+    pub name: String,
+    /// The classification.
+    pub status: HealthStatus,
+    /// A stable bare-token reason (`stale-heartbeat`, `queue-depth`,
+    /// `epochs-behind`, `panic`), present exactly when the status is
+    /// not [`HealthStatus::Ok`]. Tokens carry no numbers so a given
+    /// registry state always renders byte-identically.
+    pub reason: Option<String>,
+}
+
+/// A health classification (the `health` artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server-level rollup: degraded when any session is degraded;
+    /// failed sessions alone do *not* degrade the server (the panic
+    /// fence isolating a session is the design working, not failing).
+    pub server: HealthStatus,
+    /// Per-session rows, name-sorted.
+    pub sessions: Vec<SessionHealth>,
+}
+
+impl Default for HealthReport {
+    fn default() -> Self {
+        HealthReport {
+            server: HealthStatus::Ok,
+            sessions: Vec::new(),
+        }
+    }
+}
+
 // ---- write ------------------------------------------------------------
 
 fn scope_token(session: &Option<String>) -> String {
@@ -117,28 +196,7 @@ fn scope_token(session: &Option<String>) -> String {
 /// Serializes a metrics scrape.
 pub fn write_metrics(m: &MetricsReport) -> String {
     let mut w = W::new(Artifact::Metrics);
-    for r in &m.counters {
-        w.line(
-            1,
-            &format!(
-                "counter {} {} {}",
-                quote(&r.name),
-                scope_token(&r.session),
-                r.value
-            ),
-        );
-    }
-    for r in &m.gauges {
-        w.line(
-            1,
-            &format!(
-                "gauge {} {} {}",
-                quote(&r.name),
-                scope_token(&r.session),
-                r.value
-            ),
-        );
-    }
+    write_series(&mut w, 1, &m.counters, &m.gauges);
     for h in &m.histograms {
         w.line(
             1,
@@ -188,6 +246,61 @@ pub fn write_spans(r: &SpanReport) -> String {
                 s.flows,
                 label
             ),
+        );
+    }
+    w.finish()
+}
+
+/// Writes counter and gauge rows at `depth` (shared by the metrics and
+/// history serializers).
+fn write_series(w: &mut W, depth: usize, counters: &[SeriesRow], gauges: &[SeriesRow]) {
+    for r in counters {
+        w.line(
+            depth,
+            &format!(
+                "counter {} {} {}",
+                quote(&r.name),
+                scope_token(&r.session),
+                r.value
+            ),
+        );
+    }
+    for r in gauges {
+        w.line(
+            depth,
+            &format!(
+                "gauge {} {} {}",
+                quote(&r.name),
+                scope_token(&r.session),
+                r.value
+            ),
+        );
+    }
+}
+
+/// Serializes a history-ring dump.
+pub fn write_history(h: &HistoryReport) -> String {
+    let mut w = W::new(Artifact::History);
+    for s in &h.samples {
+        w.line(1, &format!("sample {}", s.t_ms));
+        write_series(&mut w, 2, &s.counters, &s.gauges);
+        w.line(2, "end-sample");
+    }
+    w.finish()
+}
+
+/// Serializes a health classification.
+pub fn write_health(h: &HealthReport) -> String {
+    let mut w = W::new(Artifact::Health);
+    w.line(1, &format!("server {}", h.server.token()));
+    for s in &h.sessions {
+        let reason = match &s.reason {
+            Some(r) => format!(" reason {r}"),
+            None => String::new(),
+        };
+        w.line(
+            1,
+            &format!("session {} {}{}", quote(&s.name), s.status.token(), reason),
         );
     }
     w.finish()
@@ -410,6 +523,163 @@ pub fn parse_spans(text: &str) -> Result<SpanReport, IoError> {
     })
 }
 
+/// Parses a history artifact (requires the `end` sentinel).
+pub fn parse_history(text: &str) -> Result<HistoryReport, IoError> {
+    let mut lines = parse_header(text, Artifact::History)?;
+    let mut h = HistoryReport::default();
+    while let Some(mut c) = lines.next_cursor()? {
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end" => {
+                c.finish()?;
+                if let Some(c) = lines.next_cursor()? {
+                    return Err(perr(c.line, "content after end sentinel"));
+                }
+                return Ok(h);
+            }
+            "sample" => {
+                let t_ms = c.parse("sample timestamp")?;
+                let line = c.line;
+                c.finish()?;
+                if h.samples.last().is_some_and(|s| s.t_ms > t_ms) {
+                    return Err(perr(line, "sample timestamps must be non-decreasing"));
+                }
+                h.samples.push(parse_sample(t_ms, &mut lines)?);
+            }
+            other => return Err(perr(c.line, format!("unknown history keyword {other:?}"))),
+        }
+    }
+    Err(IoError::Truncated {
+        expected: "end sentinel of the history artifact".into(),
+    })
+}
+
+/// Parses the series block of one sample, through `end-sample`.
+fn parse_sample(t_ms: u64, lines: &mut Lines<'_>) -> Result<HistorySample, IoError> {
+    let mut s = HistorySample {
+        t_ms,
+        ..Default::default()
+    };
+    let (mut pc, mut pg) = (None, None);
+    loop {
+        let Some(mut c) = lines.next_cursor()? else {
+            return Err(IoError::Truncated {
+                expected: "end-sample terminator".into(),
+            });
+        };
+        let kw = c.word("keyword")?;
+        match kw.as_str() {
+            "end-sample" => {
+                c.finish()?;
+                return Ok(s);
+            }
+            "counter" | "gauge" => {
+                let (name, session) = parse_scope(&mut c)?;
+                let value = c.parse("value")?;
+                let key = series_key(&name, &session);
+                let row = SeriesRow {
+                    name,
+                    session,
+                    value,
+                };
+                if kw == "counter" {
+                    check_sorted(&c, &mut pc, key, "counter")?;
+                    s.counters.push(row);
+                } else {
+                    check_sorted(&c, &mut pg, key, "gauge")?;
+                    s.gauges.push(row);
+                }
+                c.finish()?;
+            }
+            other => {
+                return Err(perr(
+                    c.line,
+                    format!("expected series rows or end-sample, found {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_status(c: &mut Cursor) -> Result<HealthStatus, IoError> {
+    let w = c.word("ok|degraded|failed")?;
+    match w.as_str() {
+        "ok" => Ok(HealthStatus::Ok),
+        "degraded" => Ok(HealthStatus::Degraded),
+        "failed" => Ok(HealthStatus::Failed),
+        other => Err(perr(
+            c.line,
+            format!("expected ok|degraded|failed, found {other:?}"),
+        )),
+    }
+}
+
+/// Parses a health artifact (requires the `end` sentinel).
+pub fn parse_health(text: &str) -> Result<HealthReport, IoError> {
+    let mut lines = parse_header(text, Artifact::Health)?;
+    let Some(mut c) = lines.next_cursor()? else {
+        return Err(IoError::Truncated {
+            expected: "the server status line".into(),
+        });
+    };
+    c.expect("server")?;
+    let server = parse_status(&mut c)?;
+    c.finish()?;
+    let mut sessions: Vec<SessionHealth> = Vec::new();
+    loop {
+        let Some(mut c) = lines.next_cursor()? else {
+            return Err(IoError::Truncated {
+                expected: "end sentinel of the health artifact".into(),
+            });
+        };
+        let kw = c.word("keyword")?;
+        if kw == "end" {
+            c.finish()?;
+            if let Some(c) = lines.next_cursor()? {
+                return Err(perr(c.line, "content after end sentinel"));
+            }
+            return Ok(HealthReport { server, sessions });
+        }
+        if kw != "session" {
+            return Err(perr(
+                c.line,
+                format!("expected session lines or end, found {kw:?}"),
+            ));
+        }
+        let name = c.string("session name")?;
+        let status = parse_status(&mut c)?;
+        let line = c.line;
+        let reason = if c.at_end() {
+            None
+        } else {
+            c.expect("reason")?;
+            Some(c.word("reason token")?)
+        };
+        // The encoding is canonical: the reason marker appears exactly
+        // when the status is not ok.
+        match (status, &reason) {
+            (HealthStatus::Ok, Some(_)) => {
+                return Err(perr(line, "an ok session carries no reason"))
+            }
+            (HealthStatus::Degraded | HealthStatus::Failed, None) => {
+                return Err(perr(line, "a degraded or failed session names its reason"))
+            }
+            _ => {}
+        }
+        if let Some(prev) = sessions.last() {
+            if prev.name >= name {
+                return Err(perr(line, "session lines must be name-sorted"));
+            }
+        }
+        sessions.push(SessionHealth {
+            name,
+            status,
+            reason,
+        });
+        c.finish()?;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +838,181 @@ mod tests {
         ));
         assert!(matches!(
             parse_metrics("dna-io v1 spans\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+    }
+
+    fn sample_history() -> HistoryReport {
+        HistoryReport {
+            samples: vec![
+                HistorySample {
+                    t_ms: 1_000,
+                    counters: vec![SeriesRow {
+                        name: "epochs_applied".into(),
+                        session: Some("a".into()),
+                        value: 4,
+                    }],
+                    gauges: vec![SeriesRow {
+                        name: "ingest_queue_depth".into(),
+                        session: Some("a".into()),
+                        value: 1,
+                    }],
+                },
+                HistorySample {
+                    t_ms: 2_000,
+                    counters: vec![
+                        SeriesRow {
+                            name: "epochs_applied".into(),
+                            session: Some("a".into()),
+                            value: 9,
+                        },
+                        SeriesRow {
+                            name: "tcp_connections".into(),
+                            session: None,
+                            value: 2,
+                        },
+                    ],
+                    gauges: vec![],
+                },
+            ],
+        }
+    }
+
+    fn sample_health() -> HealthReport {
+        HealthReport {
+            server: HealthStatus::Degraded,
+            sessions: vec![
+                SessionHealth {
+                    name: "a".into(),
+                    status: HealthStatus::Ok,
+                    reason: None,
+                },
+                SessionHealth {
+                    name: "b".into(),
+                    status: HealthStatus::Degraded,
+                    reason: Some("queue-depth".into()),
+                },
+                SessionHealth {
+                    name: "scenario c".into(),
+                    status: HealthStatus::Failed,
+                    reason: Some("panic".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn history_round_trip() {
+        for h in [HistoryReport::default(), sample_history()] {
+            let text = write_history(&h);
+            let back = parse_history(&text).expect("parses");
+            assert_eq!(back, h);
+            assert_eq!(write_history(&back), text, "canonical");
+        }
+        // Equal timestamps are legal (two ticks in the same millisecond).
+        let flat = HistoryReport {
+            samples: vec![
+                HistorySample {
+                    t_ms: 5,
+                    ..Default::default()
+                },
+                HistorySample {
+                    t_ms: 5,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(parse_history(&write_history(&flat)).unwrap(), flat);
+    }
+
+    #[test]
+    fn health_round_trip() {
+        for h in [HealthReport::default(), sample_health()] {
+            let text = write_health(&h);
+            let back = parse_health(&text).expect("parses");
+            assert_eq!(back, h);
+            assert_eq!(write_health(&back), text, "canonical");
+        }
+    }
+
+    #[test]
+    fn malformed_history_is_a_typed_error() {
+        assert!(matches!(
+            parse_history("dna-io v1 history\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        // An open sample must be closed before the artifact ends.
+        assert!(matches!(
+            parse_history("dna-io v1 history\n  sample 10\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_history("dna-io v1 history\n  sample 10\nend\n"),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // Timestamps may not go backwards.
+        let backwards =
+            "dna-io v1 history\n  sample 10\n    end-sample\n  sample 5\n    end-sample\nend\n";
+        assert!(matches!(
+            parse_history(backwards),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+        // Series rows inside a sample must be sorted, like a metrics scrape.
+        let unsorted = "dna-io v1 history\n  sample 10\n    counter \"b\" global 1\n    counter \"a\" global 1\n    end-sample\nend\n";
+        assert!(matches!(
+            parse_history(unsorted),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+        assert!(matches!(
+            parse_history("dna-io v2 history\nend\n"),
+            Err(IoError::UnsupportedVersion(2))
+        ));
+        assert!(matches!(
+            parse_history("dna-io v1 metrics\nend\n"),
+            Err(IoError::WrongArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_health_is_a_typed_error() {
+        // The server line is mandatory and comes first.
+        assert!(matches!(
+            parse_health("dna-io v1 health\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_health("dna-io v1 health\n  server ok\n"),
+            Err(IoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_health("dna-io v1 health\n  server wedged\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // The reason marker appears exactly when the status is not ok.
+        let ok_with_reason =
+            "dna-io v1 health\n  server ok\n  session \"a\" ok reason panic\nend\n";
+        assert!(matches!(
+            parse_health(ok_with_reason),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        let failed_without = "dna-io v1 health\n  server ok\n  session \"a\" failed\nend\n";
+        assert!(matches!(
+            parse_health(failed_without),
+            Err(IoError::Parse { line: 3, .. })
+        ));
+        // Session rows must be name-sorted (the encoding is canonical).
+        let unsorted =
+            "dna-io v1 health\n  server ok\n  session \"b\" ok\n  session \"a\" ok\nend\n";
+        assert!(matches!(
+            parse_health(unsorted),
+            Err(IoError::Parse { line: 4, .. })
+        ));
+        assert!(matches!(
+            parse_health("dna-io v2 health\nend\n"),
+            Err(IoError::UnsupportedVersion(2))
+        ));
+        assert!(matches!(
+            parse_health("dna-io v1 spans\nend\n"),
             Err(IoError::WrongArtifact { .. })
         ));
     }

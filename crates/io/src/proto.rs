@@ -81,6 +81,37 @@ pub enum QueryKind {
         /// Keep only the freshest `last` spans (`None` = the whole ring).
         last: Option<usize>,
     },
+    /// Classify the server and every session as ok/degraded/failed
+    /// (query v4). Server-level like [`QueryKind::Metrics`]; the reply
+    /// is a `health` artifact.
+    Health,
+    /// Dump the metrics history ring (query v4), optionally truncated
+    /// to the freshest `last` samples. Server-level like
+    /// [`QueryKind::Metrics`]; a `session` line filters each sample's
+    /// series. The reply is a `history` artifact.
+    History {
+        /// Keep only the freshest `last` samples (`None` = whole ring).
+        last: Option<usize>,
+    },
+}
+
+impl QueryKind {
+    /// The command's stable wire keyword (used to label query spans).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Reach { .. } => "reach",
+            QueryKind::ReachPair { .. } => "reach-pair",
+            QueryKind::Blast { .. } => "blast",
+            QueryKind::Report { .. } => "report",
+            QueryKind::Stats => "stats",
+            QueryKind::Sessions => "sessions",
+            QueryKind::Checkpoint => "checkpoint",
+            QueryKind::Metrics => "metrics",
+            QueryKind::TraceSpans { .. } => "trace",
+            QueryKind::Health => "health",
+            QueryKind::History { .. } => "history",
+        }
+    }
 }
 
 /// Session statistics (the `ok stats` payload). Counter fields are exact
@@ -225,6 +256,9 @@ pub fn write_query(q: &Query) -> String {
         QueryKind::Metrics => "metrics".into(),
         QueryKind::TraceSpans { last: None } => "trace".into(),
         QueryKind::TraceSpans { last: Some(n) } => format!("trace {n}"),
+        QueryKind::Health => "health".into(),
+        QueryKind::History { last: None } => "history".into(),
+        QueryKind::History { last: Some(n) } => format!("history {n}"),
     };
     w.line(1, &line);
     w.finish()
@@ -423,6 +457,14 @@ fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
                 None
             } else {
                 Some(c.parse("span count")?)
+            },
+        }),
+        "health" => Ok(QueryKind::Health),
+        "history" => Ok(QueryKind::History {
+            last: if c.at_end() {
+                None
+            } else {
+                Some(c.parse("sample count")?)
             },
         }),
         other => Err(perr(c.line, format!("unknown query command {other:?}"))),
@@ -762,6 +804,9 @@ mod tests {
             QueryKind::Metrics,
             QueryKind::TraceSpans { last: None },
             QueryKind::TraceSpans { last: Some(32) },
+            QueryKind::Health,
+            QueryKind::History { last: None },
+            QueryKind::History { last: Some(8) },
         ] {
             roundtrip_query(&Query {
                 session: None,
@@ -886,34 +931,45 @@ mod tests {
     #[test]
     fn malformed_queries_are_typed_errors() {
         assert!(matches!(
-            parse_query("dna-io v3 query\nend\n"),
+            parse_query("dna-io v4 query\nend\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v3 query\n  stats\n"),
+            parse_query("dna-io v4 query\n  stats\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v3 query\n  stats\n  sessions\nend\n"),
+            parse_query("dna-io v4 query\n  stats\n  sessions\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v3 query\n  stats\n  session \"x\"\nend\n"),
+            parse_query("dna-io v4 query\n  stats\n  session \"x\"\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v3 query\n  frobnicate\nend\n"),
+            parse_query("dna-io v4 query\n  frobnicate\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
-        // Junk after a trace span count is rejected, not ignored.
+        // Junk after a trace span count or history sample count is
+        // rejected, not ignored.
         assert!(matches!(
-            parse_query("dna-io v3 query\n  trace 4 5\nend\n"),
+            parse_query("dna-io v4 query\n  trace 4 5\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
-        // The pre-telemetry query version is rejected (strict equality).
+        assert!(matches!(
+            parse_query("dna-io v4 query\n  history 4 5\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // Earlier query versions are rejected (strict equality): readers
+        // that predate a keyword must fail closed, so writers may never
+        // downgrade the header.
         assert!(matches!(
             parse_query("dna-io v2 query\n  stats\nend\n"),
             Err(IoError::UnsupportedVersion(2))
+        ));
+        assert!(matches!(
+            parse_query("dna-io v3 query\n  health\nend\n"),
+            Err(IoError::UnsupportedVersion(3))
         ));
         assert!(matches!(
             parse_query("dna-io v3 response\nend\n"),

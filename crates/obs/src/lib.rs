@@ -33,8 +33,10 @@
 
 pub mod log;
 mod span;
+pub mod timeseries;
 
-pub use span::{EpochSpan, SpanRecorder, DEFAULT_SPAN_CAPACITY};
+pub use span::{EpochSpan, QuerySpan, QuerySpanRecorder, SpanRecorder, DEFAULT_SPAN_CAPACITY};
+pub use timeseries::{rates, RateRow, Sample, TimeSeries, DEFAULT_HISTORY_CAPACITY};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -372,6 +374,18 @@ impl Registry {
             .clone()
     }
 
+    /// Removes one series (counter, gauge and/or histogram under this
+    /// key) from the registry, so future scrapes no longer list it.
+    /// Handles already held keep working against the detached cells —
+    /// removal is a scrape-visibility operation, never a data race.
+    pub fn remove(&self, name: &str, session: Option<&str>) {
+        let key: Key = (name.to_string(), session.map(str::to_string));
+        let mut inner = lock(&self.inner);
+        inner.counters.remove(&key);
+        inner.gauges.remove(&key);
+        inner.histograms.remove(&key);
+    }
+
     /// Scrapes every registered series, optionally keeping only the
     /// series labeled with `session` (unlabeled process-wide series
     /// are always kept — a session-scoped scrape still wants them).
@@ -420,6 +434,99 @@ impl Registry {
     }
 }
 
+/// Per-session resource accounting: the gauge/histogram handles that
+/// describe what one session *is costing the box right now*, resolved
+/// once and shared by every plane that moves them (the router stamps
+/// queue depth and wait, the engine thread beats the heartbeat, the
+/// session layer maintains the byte gauges). Unlike the work counters
+/// (`epochs_applied`, ...), which are a session's permanent record,
+/// accounting series describe a live engine — so they are **torn down
+/// with it**: [`SessionAccounting::retire`] removes them from scrapes
+/// when the session's engine thread exits.
+pub struct SessionAccounting {
+    session: String,
+    /// Ingest-queue depth: artifacts routed to the session's engine
+    /// thread and not yet picked up (`ingest_queue_depth`).
+    pub queue_depth: Gauge,
+    /// Router→engine queue wait per command (`ingest_queue_wait_us`).
+    pub queue_wait: Histogram,
+    /// Change epochs enqueued but not yet applied (`epochs_behind`).
+    pub epochs_behind: Gauge,
+    /// Last engine-loop heartbeat, in [`uptime_ms`] time
+    /// (`engine_heartbeat_ms`).
+    pub heartbeat_ms: Gauge,
+    /// 1 while the session is fenced off after an engine panic
+    /// (`session_failed`).
+    pub failed: Gauge,
+    /// Canonical bytes of retained epoch history (`history_bytes`).
+    pub history_bytes: Gauge,
+    /// Estimated bytes of the last published query view (`view_bytes`).
+    pub view_bytes: Gauge,
+}
+
+/// The accounting series names, in one place so registration and
+/// teardown can never drift apart.
+const ACCOUNTING_SERIES: [&str; 7] = [
+    "ingest_queue_depth",
+    "ingest_queue_wait_us",
+    "epochs_behind",
+    "engine_heartbeat_ms",
+    "session_failed",
+    "history_bytes",
+    "view_bytes",
+];
+
+impl SessionAccounting {
+    /// Resolves (get-or-create) the accounting series for `session` in
+    /// `registry`. Multiple registrations for the same session share
+    /// the same cells.
+    pub fn register(registry: &Registry, session: &str) -> Self {
+        SessionAccounting {
+            session: session.to_string(),
+            queue_depth: registry.gauge_for("ingest_queue_depth", session),
+            queue_wait: registry.histogram_for("ingest_queue_wait_us", session),
+            epochs_behind: registry.gauge_for("epochs_behind", session),
+            heartbeat_ms: registry.gauge_for("engine_heartbeat_ms", session),
+            failed: registry.gauge_for("session_failed", session),
+            history_bytes: registry.gauge_for("history_bytes", session),
+            view_bytes: registry.gauge_for("view_bytes", session),
+        }
+    }
+
+    /// The session these series are labeled with.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Beats the heartbeat: records "the engine loop was here" at the
+    /// current process uptime.
+    pub fn beat(&self) {
+        self.heartbeat_ms.set(uptime_ms());
+    }
+
+    /// Removes this session's accounting series from `registry`
+    /// scrapes (the work counters stay — they are the session's
+    /// record, not its live cost). Call when the engine thread exits.
+    pub fn retire(&self, registry: &Registry) {
+        for name in ACCOUNTING_SERIES {
+            registry.remove(name, Some(&self.session));
+        }
+    }
+}
+
+/// Milliseconds since the process-wide monotonic epoch (first call
+/// wins — every caller shares one [`std::time::Instant`] base). The
+/// time base for heartbeats and history samples: wall-clock-free, so
+/// Δt arithmetic never sees clock steps.
+pub fn uptime_ms() -> u64 {
+    static START: OnceLock<std::time::Instant> = OnceLock::new();
+    START
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_millis()
+        .min(u64::MAX as u128) as u64
+}
+
 /// Whether the `DNA_OBS_DISABLED` kill switch is set (checked once).
 pub fn obs_disabled() -> bool {
     static DISABLED: OnceLock<bool> = OnceLock::new();
@@ -457,6 +564,40 @@ pub fn spans() -> &'static SpanRecorder {
             }
         }
         rec
+    })
+}
+
+/// The process-global query span recorder (the slow-query log's
+/// backing store). No-op under `DNA_OBS_DISABLED`. Its slow-query
+/// threshold starts from `DNA_OBS_SLOW_QUERY_US` when set.
+pub fn query_spans() -> &'static QuerySpanRecorder {
+    static GLOBAL: OnceLock<QuerySpanRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let rec = if obs_disabled() {
+            QuerySpanRecorder::disabled()
+        } else {
+            QuerySpanRecorder::new(DEFAULT_SPAN_CAPACITY)
+        };
+        if let Ok(us) = std::env::var("DNA_OBS_SLOW_QUERY_US") {
+            if let Ok(us) = us.parse::<u64>() {
+                rec.set_slow_threshold_ns(us.saturating_mul(1_000));
+            }
+        }
+        rec
+    })
+}
+
+/// The process-global metrics history ring (the `dna query history`
+/// backing store). No-op under `DNA_OBS_DISABLED`. The serve layer's
+/// metrics tick records into it; everyone else only reads.
+pub fn history() -> &'static TimeSeries {
+    static GLOBAL: OnceLock<TimeSeries> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        if obs_disabled() {
+            TimeSeries::disabled()
+        } else {
+            TimeSeries::new(DEFAULT_HISTORY_CAPACITY)
+        }
     })
 }
 
@@ -597,5 +738,54 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 8_000);
         assert_eq!(s.buckets.iter().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn removed_series_leave_scrapes_but_handles_survive() {
+        let r = Registry::new();
+        let c = r.counter_for("keep", "s");
+        let g = r.gauge_for("drop", "s");
+        g.set(7);
+        r.remove("drop", Some("s"));
+        let snap = r.snapshot(None);
+        assert!(snap.gauges.is_empty(), "removed gauge no longer scraped");
+        assert_eq!(snap.counters.len(), 1, "other series untouched");
+        // The detached handle still works without panicking.
+        g.set(9);
+        assert_eq!(g.get(), 9);
+        c.inc();
+        assert_eq!(r.counter_for("keep", "s").get(), 1);
+    }
+
+    #[test]
+    fn session_accounting_registers_and_retires_as_a_unit() {
+        let r = Registry::new();
+        let acct = SessionAccounting::register(&r, "sess");
+        acct.queue_depth.set(3);
+        acct.queue_wait.observe(Duration::from_micros(40));
+        acct.epochs_behind.set(2);
+        acct.beat();
+        acct.failed.set(1);
+        acct.history_bytes.set(1024);
+        acct.view_bytes.set(2048);
+        // The session's permanent record lives alongside.
+        r.counter_for("epochs_applied", "sess").add(5);
+        let snap = r.snapshot(Some("sess"));
+        assert_eq!(snap.gauges.len(), 6, "six accounting gauges");
+        assert_eq!(snap.histograms.len(), 1, "the queue-wait histogram");
+        // Registration is shared: a second handle sees the same cells.
+        assert_eq!(SessionAccounting::register(&r, "sess").queue_depth.get(), 3);
+        acct.retire(&r);
+        let snap = r.snapshot(None);
+        assert!(snap.gauges.is_empty(), "accounting gauges retired");
+        assert!(snap.histograms.is_empty(), "queue-wait histogram retired");
+        assert_eq!(snap.counters.len(), 1, "work counters survive teardown");
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let a = uptime_ms();
+        let b = uptime_ms();
+        assert!(b >= a);
     }
 }

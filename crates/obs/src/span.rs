@@ -105,8 +105,15 @@ impl SpanRecorder {
         }
         let threshold = self.slow_threshold_ns();
         if threshold > 0 && span.total_ns >= threshold {
+            // Session and label are both in the line: with several
+            // sessions ingesting concurrently, "epoch 12 was slow" is
+            // useless without knowing whose epoch 12 — and of what.
+            let label = match &span.label {
+                Some(l) => format!(" label {l:?}"),
+                None => String::new(),
+            };
             log::info(&format!(
-                "dna obs: slow epoch {} in session {:?}: total {:.2?} (parse {:.2?} cp {:.2?} dp {:.2?} publish {:.2?})",
+                "dna obs: slow epoch {} in session {:?}{label}: total {:.2?} (parse {:.2?} cp {:.2?} dp {:.2?} publish {:.2?})",
                 span.epoch,
                 span.session,
                 std::time::Duration::from_nanos(span.total_ns),
@@ -131,6 +138,114 @@ impl SpanRecorder {
             .spans
             .iter()
             .filter(|s| session.is_none_or(|want| s.session == want))
+            .cloned()
+            .collect();
+        if let Some(n) = last {
+            let skip = spans.len().saturating_sub(n);
+            spans.drain(..skip);
+        }
+        spans
+    }
+}
+
+/// One answered query's lifecycle: where it was answered, for whom,
+/// and how long the answer took — the query-plane twin of
+/// [`EpochSpan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpan {
+    /// Answer path: `"tcp"` (published-view fast path), `"broker"`
+    /// (engine thread) or `"pipe"` (single-stream loop).
+    pub transport: &'static str,
+    /// Target session, when the query named (or resolved to) one.
+    pub session: Option<String>,
+    /// Query command keyword (`reach`, `blast`, `metrics`, ...).
+    pub kind: &'static str,
+    /// End-to-end answer wall-clock.
+    pub total_ns: u64,
+}
+
+/// A bounded, thread-safe ring of [`QuerySpan`]s with a slow-query
+/// alarm — the backing store of the slow-query log. Same shape and
+/// locking story as [`SpanRecorder`]: one mutex, touched once per
+/// answered query.
+pub struct QuerySpanRecorder {
+    enabled: bool,
+    slow_threshold_ns: AtomicU64,
+    ring: Mutex<QueryRing>,
+}
+
+struct QueryRing {
+    spans: VecDeque<QuerySpan>,
+    capacity: usize,
+}
+
+impl QuerySpanRecorder {
+    /// An enabled recorder retaining the freshest `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        QuerySpanRecorder {
+            enabled: true,
+            slow_threshold_ns: AtomicU64::new(0),
+            ring: Mutex::new(QueryRing {
+                spans: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// A recorder that drops everything (the `DNA_OBS_DISABLED` form).
+    pub fn disabled() -> Self {
+        let mut rec = Self::new(1);
+        rec.enabled = false;
+        rec
+    }
+
+    /// Whether this recorder keeps anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the slow-query alarm: spans whose `total_ns` meets or
+    /// exceeds the threshold are reported to the operator log as they
+    /// are recorded. Zero (the default) disables the alarm.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// The current slow-query threshold (0 = disabled).
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::SeqCst)
+    }
+
+    /// Records one query span, evicting the oldest beyond capacity.
+    pub fn record(&self, span: QuerySpan) {
+        if !self.enabled {
+            return;
+        }
+        let threshold = self.slow_threshold_ns();
+        if threshold > 0 && span.total_ns >= threshold {
+            log::info(&format!(
+                "dna obs: slow query {} in session {:?} via {}: {:.2?}",
+                span.kind,
+                span.session,
+                span.transport,
+                std::time::Duration::from_nanos(span.total_ns),
+            ));
+        }
+        let mut ring = lock(&self.ring);
+        if ring.spans.len() == ring.capacity {
+            ring.spans.pop_front();
+        }
+        ring.spans.push_back(span);
+    }
+
+    /// The retained spans, oldest first, optionally filtered to one
+    /// session and truncated to the freshest `last`.
+    pub fn snapshot(&self, session: Option<&str>, last: Option<usize>) -> Vec<QuerySpan> {
+        let ring = lock(&self.ring);
+        let mut spans: Vec<QuerySpan> = ring
+            .spans
+            .iter()
+            .filter(|s| session.is_none_or(|want| s.session.as_deref() == Some(want)))
             .cloned()
             .collect();
         if let Some(n) = last {
@@ -194,6 +309,49 @@ mod tests {
         assert_eq!(rec.slow_threshold_ns(), 5);
         // Recording a slow span must not panic or drop the span.
         rec.record(span("a", 0, 10));
+        assert_eq!(rec.snapshot(None, None).len(), 1);
+    }
+
+    fn qspan(transport: &'static str, session: Option<&str>, total_ns: u64) -> QuerySpan {
+        QuerySpan {
+            transport,
+            session: session.map(str::to_string),
+            kind: "reach",
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn query_ring_bounds_and_filters() {
+        let rec = QuerySpanRecorder::new(3);
+        rec.record(qspan("pipe", Some("a"), 10));
+        rec.record(qspan("tcp", Some("b"), 20));
+        rec.record(qspan("tcp", Some("a"), 30));
+        rec.record(qspan("broker", None, 40));
+        let all = rec.snapshot(None, None);
+        assert_eq!(
+            all.iter().map(|s| s.total_ns).collect::<Vec<_>>(),
+            vec![20, 30, 40],
+            "oldest spans evict first"
+        );
+        let a = rec.snapshot(Some("a"), None);
+        assert_eq!(a.iter().map(|s| s.total_ns).collect::<Vec<_>>(), vec![30]);
+        let last = rec.snapshot(None, Some(1));
+        assert_eq!(last[0].transport, "broker");
+    }
+
+    #[test]
+    fn disabled_query_recorder_drops_spans() {
+        let rec = QuerySpanRecorder::disabled();
+        rec.record(qspan("tcp", None, 10));
+        assert!(rec.snapshot(None, None).is_empty());
+    }
+
+    #[test]
+    fn slow_query_threshold_logs_without_dropping() {
+        let rec = QuerySpanRecorder::new(4);
+        rec.set_slow_threshold_ns(5);
+        rec.record(qspan("tcp", Some("s"), 10));
         assert_eq!(rec.snapshot(None, None).len(), 1);
     }
 }

@@ -74,8 +74,15 @@ pub fn serve_connection(
     let mut readers: BTreeMap<usize, ViewReader> = BTreeMap::new();
     let mut served = 0u64;
     while let Some(text) = read_artifact(&mut input)? {
+        let started = std::time::Instant::now();
         let response = match answer_from_view(views, &mut readers, &text) {
-            Some(response) => response,
+            Some(response) => {
+                // Only the snapshot fast path is a "tcp" answer — a
+                // query forwarded to the engine side is timed (and
+                // ringed) there, under its own scope.
+                crate::obs::record_query_span("tcp", &text, started.elapsed());
+                response
+            }
             None => {
                 let (reply_tx, reply_rx) = mpsc::channel();
                 if requests

@@ -34,6 +34,42 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 struct SessionCmd {
     work: SessionWork,
     reply: mpsc::Sender<String>,
+    /// When the router queued this command — the engine thread turns
+    /// it into the `ingest_queue_wait_us` histogram at pickup.
+    enqueued: std::time::Instant,
+    /// Change epochs this command *looks like* it carries (a cheap
+    /// line scan of trace text, counted before the real parse). The
+    /// router adds it to the `epochs_behind` gauge at enqueue; the
+    /// engine thread subtracts the same stored number when the command
+    /// finishes, so the gauge is symmetric and leak-free even when the
+    /// parse later disagrees (or fails).
+    epochs_hint: u64,
+}
+
+impl SessionCmd {
+    fn new(work: SessionWork, reply: mpsc::Sender<String>) -> Self {
+        let epochs_hint = match &work {
+            SessionWork::IngestText(text) => count_epoch_lines(text),
+            _ => 0,
+        };
+        SessionCmd {
+            work,
+            reply,
+            enqueued: std::time::Instant::now(),
+            epochs_hint,
+        }
+    }
+}
+
+/// Counts the `epoch` lines of raw trace text — the enqueue-side hint
+/// behind the `epochs_behind` gauge. A scan, not a parse: routing must
+/// stay cheap, and the decrement uses the same stored hint, so an
+/// imprecise count can never leak.
+fn count_epoch_lines(text: &str) -> u64 {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| *l == "epoch" || l.starts_with("epoch "))
+        .count() as u64
 }
 
 /// The engine-side payload of one [`SessionCmd`].
@@ -73,7 +109,32 @@ struct SessionThread {
     /// (`None` until a load succeeded). Lets the router answer a
     /// `sessions` query without blocking behind in-flight engine work.
     info: Arc<Mutex<Option<SessionInfo>>>,
+    /// Queue-side accounting handles (shared cells with the engine
+    /// thread's own registration): the router marks work queued here,
+    /// the session loop marks it picked up and done.
+    acct: dna_obs::SessionAccounting,
     join: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl SessionThread {
+    /// Queues one command, marking it in the ingest-queue accounting;
+    /// a send into a dead thread is unwound from the gauges before the
+    /// error (carrying the command) is handed back.
+    fn send(
+        &self,
+        work: SessionWork,
+        reply: mpsc::Sender<String>,
+    ) -> Result<(), mpsc::SendError<SessionCmd>> {
+        let cmd = SessionCmd::new(work, reply);
+        self.acct.queue_depth.add(1);
+        self.acct.epochs_behind.add(cmd.epochs_hint);
+        let result = self.tx.send(cmd);
+        if let Err(mpsc::SendError(cmd)) = &result {
+            self.acct.queue_depth.sub(1);
+            self.acct.epochs_behind.sub(cmd.epochs_hint);
+        }
+        result
+    }
 }
 
 fn spawn_session(
@@ -84,8 +145,14 @@ fn spawn_session(
     let (tx, rx) = mpsc::channel::<SessionCmd>();
     let info = Arc::new(Mutex::new(None));
     let shared = Arc::clone(&info);
+    let acct = dna_obs::SessionAccounting::register(dna_obs::global(), &name);
     let join = std::thread::spawn(move || session_loop(name, config, rx, &shared, view));
-    SessionThread { tx, info, join }
+    SessionThread {
+        tx,
+        info,
+        acct,
+        join,
+    }
 }
 
 /// (Re)opens `slot` over a snapshot; a failed open keeps the previous
@@ -165,23 +232,54 @@ fn session_loop(
     let mut session: Option<Session> = None;
     let mut summary = ServeSummary::default();
     let mut failed: Option<String> = None;
-    for SessionCmd { work, reply } in rx {
+    // Engine-side accounting handles: the same shared cells the router
+    // bumps at enqueue. Registered while this loop runs, retired with
+    // it — the health query's session list is exactly the sessions
+    // whose engine loop is alive.
+    let registry = dna_obs::global();
+    let acct = dna_obs::SessionAccounting::register(registry, &name);
+    // Engine-path query latency, labeled by answer path (the scope
+    // slot carries the transport, not a session — see `crate::obs`).
+    let query_latency = registry.histogram_for("query_latency_us", "broker");
+    for SessionCmd {
+        work,
+        reply,
+        enqueued,
+        epochs_hint,
+    } in rx
+    {
+        // One beat per command-loop iteration: a live heartbeat with a
+        // non-empty queue is the watchdog's proof the engine is moving.
+        acct.beat();
+        acct.queue_depth.sub(1);
+        acct.queue_wait.observe(enqueued.elapsed());
         if matches!(
             work,
             SessionWork::Load(_) | SessionWork::Resume(_) | SessionWork::LoadText(_)
         ) {
             // A fresh load replaces whatever state the panic ruined.
             failed = None;
+            acct.failed.set(0);
         }
         if let Some(reason) = &failed {
+            acct.epochs_behind.sub(epochs_hint);
             let response = Response::Error(format!("session {name:?} failed: {reason}"));
             summary.count(&response, 0);
             let _ = reply.send(write_response(&response));
             continue;
         }
+        let query_kind = match &work {
+            SessionWork::Query(k) => Some(k.name()),
+            _ => None,
+        };
+        let started = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             apply(&name, &config, view.as_ref(), &mut session, work)
         }));
+        // The enqueue-side hint comes off however the work ended —
+        // applied, failed mid-trace, or panicked — so `epochs_behind`
+        // can never leak.
+        acct.epochs_behind.sub(epochs_hint);
         let (response, epochs) = match outcome {
             Ok(out) => out,
             Err(payload) => {
@@ -189,9 +287,7 @@ fn session_loop(
                 session = None;
                 if let Some(view) = &view {
                     view.clear();
-                    dna_obs::global()
-                        .counter_for("view_withdrawals", &name)
-                        .inc();
+                    registry.counter_for("view_withdrawals", &name).inc();
                 }
                 // Keep the session listed — operators must see the
                 // wreck — but flagged, with the last known counters.
@@ -207,12 +303,24 @@ fn session_loop(
                 drop(guard);
                 summary.failures += 1;
                 failed = Some(reason.clone());
+                // The health query reads the fence off this gauge.
+                acct.failed.set(1);
                 let response = Response::Error(format!("session {name:?} failed: {reason}"));
                 summary.count(&response, 0);
                 let _ = reply.send(write_response(&response));
                 continue;
             }
         };
+        if let Some(kind) = query_kind {
+            let total_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            query_latency.observe_ns(total_ns);
+            dna_obs::query_spans().record(dna_obs::QuerySpan {
+                transport: "broker",
+                session: Some(name.clone()),
+                kind,
+                total_ns,
+            });
+        }
         // Publish the refreshed info line BEFORE acknowledging: once a
         // client holds our reply, a `sessions` listing must already
         // reflect the command it acknowledges.
@@ -220,6 +328,7 @@ fn session_loop(
         summary.count(&response, epochs);
         let _ = reply.send(write_response(&response));
     }
+    acct.retire(registry);
     summary
 }
 
@@ -252,29 +361,32 @@ fn apply(
             let start = std::time::Instant::now();
             match parse_trace(&text) {
                 Err(e) => (Response::Error(e.to_string()), 0),
-                Ok(trace) => match session.as_mut() {
-                    None => (
-                        Response::Error(format!("session {name:?} has no loaded snapshot")),
-                        0,
-                    ),
-                    Some(s) => {
-                        // Hand the parse cost to the session so epoch
-                        // lifecycle spans start at the wire.
-                        let parse_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                        match s.ingest_trace_timed(&trace, parse_ns) {
-                            Ok((epochs, flows)) => (
-                                Response::Ingested {
-                                    session: name.to_string(),
-                                    epochs: epochs as u64,
-                                    flows: flows as u64,
-                                    total: s.epochs() as u64,
-                                },
-                                epochs as u64,
-                            ),
-                            Err((applied, e)) => (Response::Error(e), applied as u64),
+                Ok(trace) => {
+                    fault_check(&trace);
+                    match session.as_mut() {
+                        None => (
+                            Response::Error(format!("session {name:?} has no loaded snapshot")),
+                            0,
+                        ),
+                        Some(s) => {
+                            // Hand the parse cost to the session so epoch
+                            // lifecycle spans start at the wire.
+                            let parse_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            match s.ingest_trace_timed(&trace, parse_ns) {
+                                Ok((epochs, flows)) => (
+                                    Response::Ingested {
+                                        session: name.to_string(),
+                                        epochs: epochs as u64,
+                                        flows: flows as u64,
+                                        total: s.epochs() as u64,
+                                    },
+                                    epochs as u64,
+                                ),
+                                Err((applied, e)) => (Response::Error(e), applied as u64),
+                            }
                         }
                     }
-                },
+                }
             }
         }
         SessionWork::Query(kind) => {
@@ -286,6 +398,27 @@ fn apply(
         }
         #[cfg(test)]
         SessionWork::Poison => panic!("deliberately poisoned (test hook)"),
+    }
+}
+
+/// The fault-injection hook behind `DNA_SERVE_FAULT_LABEL`: routing a
+/// trace epoch whose scenario label equals the variable's value panics
+/// the engine thread — inside the panic fence, so what CI (and an
+/// operator rehearsing an incident) gets is the real failure path:
+/// session fenced and `failed` in health, server still serving. Only
+/// the router path checks it; the fence lives here, not in the
+/// single-threaded transports.
+fn fault_check(trace: &dna_io::Trace) {
+    let Ok(label) = std::env::var("DNA_SERVE_FAULT_LABEL") else {
+        return;
+    };
+    if !label.is_empty()
+        && trace
+            .epochs
+            .iter()
+            .any(|e| e.label.as_deref() == Some(label.as_str()))
+    {
+        panic!("fault injected: epoch label {label:?} (DNA_SERVE_FAULT_LABEL)");
     }
 }
 
@@ -395,10 +528,7 @@ impl Router {
         let mut pending = Vec::new();
         for (name, work) in cmds {
             let (reply_tx, reply_rx) = mpsc::channel();
-            let sent = self.thread_entry(&name).tx.send(SessionCmd {
-                work,
-                reply: reply_tx,
-            });
+            let sent = self.thread_entry(&name).send(work, reply_tx);
             if sent.is_err() {
                 // A session loop only exits when its channel closes, so
                 // a dead thread here is exceptional — fail the bring-up
@@ -461,10 +591,9 @@ impl Router {
                     .or(self.default.as_deref())
                     .unwrap_or("main")
                     .to_string();
-                let sent = self.thread_entry(&name).tx.send(SessionCmd {
-                    work: SessionWork::LoadText(req.text),
-                    reply: req.reply,
-                });
+                let sent = self
+                    .thread_entry(&name)
+                    .send(SessionWork::LoadText(req.text), req.reply);
                 if let Err(mpsc::SendError(cmd)) = sent {
                     // The thread is gone; answer from here so the
                     // client is never left hanging on a dead channel.
@@ -482,10 +611,7 @@ impl Router {
                 let name = name.to_string();
                 match self.sessions.get(&name) {
                     Some(thread) => {
-                        let sent = thread.tx.send(SessionCmd {
-                            work: SessionWork::IngestText(req.text),
-                            reply: req.reply,
-                        });
+                        let sent = thread.send(SessionWork::IngestText(req.text), req.reply);
                         if let Err(mpsc::SendError(cmd)) = sent {
                             let msg = format!("session {name:?}: engine thread is gone");
                             self.answer(&cmd.reply, Response::Error(msg));
@@ -507,10 +633,9 @@ impl Router {
                 Ok(ckpt) => match crate::session::resolve_checkpoint_snapshot(&ckpt, None) {
                     Ok(snapshot) => {
                         let name = ckpt.session.clone();
-                        let sent = self.thread_entry(&name).tx.send(SessionCmd {
-                            work: SessionWork::Resume(Box::new((ckpt, snapshot))),
-                            reply: req.reply,
-                        });
+                        let sent = self
+                            .thread_entry(&name)
+                            .send(SessionWork::Resume(Box::new((ckpt, snapshot))), req.reply);
                         if let Err(mpsc::SendError(cmd)) = sent {
                             let msg = format!("session {name:?}: engine thread is gone");
                             self.answer(&cmd.reply, Response::Error(msg));
@@ -543,10 +668,7 @@ impl Router {
                     let name = name.to_string();
                     match self.sessions.get(&name) {
                         Some(thread) => {
-                            let sent = thread.tx.send(SessionCmd {
-                                work: SessionWork::Query(Box::new(q.kind)),
-                                reply: req.reply,
-                            });
+                            let sent = thread.send(SessionWork::Query(Box::new(q.kind)), req.reply);
                             if let Err(mpsc::SendError(cmd)) = sent {
                                 let msg = format!("session {name:?}: engine thread is gone");
                                 self.answer(&cmd.reply, Response::Error(msg));
@@ -560,11 +682,15 @@ impl Router {
                 }
                 Err(e) => self.answer(&req.reply, Response::Error(e.to_string())),
             },
-            Artifact::Report | Artifact::Response | Artifact::Metrics | Artifact::Spans => self
-                .answer(
-                    &req.reply,
-                    Response::Error(format!("cannot serve a {kind} artifact")),
-                ),
+            Artifact::Report
+            | Artifact::Response
+            | Artifact::Metrics
+            | Artifact::Spans
+            | Artifact::History
+            | Artifact::Health => self.answer(
+                &req.reply,
+                Response::Error(format!("cannot serve a {kind} artifact")),
+            ),
         }
     }
 
@@ -734,28 +860,40 @@ mod tests {
     /// thread died with its reply channels and the whole serve loop
     /// came down with `join().expect(...)`. Now the panic is caught on
     /// the session's own thread — the session answers `failed` errors,
-    /// the `sessions` listing flags it, every *other* session keeps
-    /// serving, and a fresh snapshot load revives the name.
+    /// the `sessions` listing flags it, the `health` query reports it
+    /// **failed** (while the *server* stays ok — containment is the
+    /// healthy outcome), every *other* session keeps serving, and a
+    /// fresh snapshot load revives the name, flipping health back.
+    ///
+    /// Session names are unique to this test: the accounting gauges
+    /// health reads live in the process-global registry, so names
+    /// shared with other tests would race.
     #[test]
     fn panicked_session_is_fenced_and_server_keeps_serving() {
+        use dna_io::HealthStatus;
+        let fence_health = |text: &str| -> Vec<(String, HealthStatus, Option<String>)> {
+            dna_io::parse_health(text)
+                .expect("health artifact parses")
+                .sessions
+                .into_iter()
+                .filter(|s| s.name.starts_with("fence-"))
+                .map(|s| (s.name, s.status, s.reason))
+                .collect()
+        };
         let mut router = Router::new(SessionConfig::default());
         router
             .preload(vec![
-                ("a".into(), ft4()),
-                ("b".into(), fat_tree(4, Routing::Ospf).snapshot),
+                ("fence-a".into(), ft4()),
+                ("fence-b".into(), fat_tree(4, Routing::Ospf).snapshot),
             ])
             .expect("both sessions open");
-        // Deliberately poison session "a"'s engine thread.
+        // Deliberately poison session "fence-a"'s engine thread.
         let (ptx, prx) = mpsc::channel();
         router
             .sessions
-            .get("a")
+            .get("fence-a")
             .unwrap()
-            .tx
-            .send(SessionCmd {
-                work: SessionWork::Poison,
-                reply: ptx,
-            })
+            .send(SessionWork::Poison, ptx)
             .expect("thread is live");
         match parse_response(&prx.recv().expect("fence answers the poisoned command")).unwrap() {
             Response::Error(msg) => {
@@ -767,18 +905,22 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let handle = std::thread::spawn(move || router.run(rx));
         let stream = format!(
-            "{}{}{}",
+            "{}{}{}{}",
             write_query(&Query {
                 session: None,
                 kind: QueryKind::Sessions,
             }),
             write_query(&Query {
-                session: Some("a".into()),
+                session: Some("fence-a".into()),
                 kind: QueryKind::Stats,
             }),
             write_query(&Query {
-                session: Some("b".into()),
+                session: Some("fence-b".into()),
                 kind: QueryKind::Stats,
+            }),
+            write_query(&Query {
+                session: None,
+                kind: QueryKind::Health,
             }),
         );
         let mut out = Vec::new();
@@ -786,16 +928,20 @@ mod tests {
         // A fresh snapshot load lifts the fence and revives the name.
         let mut out2 = Vec::new();
         let stream2 = format!(
-            "{}{}",
+            "{}{}{}",
             write_snapshot(&ft4()),
             write_query(&Query {
-                session: Some("a".into()),
+                session: Some("fence-a".into()),
                 kind: QueryKind::Stats,
+            }),
+            write_query(&Query {
+                session: None,
+                kind: QueryKind::Health,
             }),
         );
         crate::server::pump_stream_as(
             &tx,
-            Some("a"),
+            Some("fence-a"),
             &mut Cursor::new(stream2.into_bytes()),
             &mut out2,
         )
@@ -807,9 +953,12 @@ mod tests {
         let mut cursor = Cursor::new(out.into_bytes());
         match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
             Response::Sessions(list) => {
-                let flags: Vec<(&str, bool)> =
-                    list.iter().map(|s| (s.name.as_str(), s.failed)).collect();
-                assert_eq!(flags, vec![("a", true), ("b", false)]);
+                let flags: Vec<(&str, bool)> = list
+                    .iter()
+                    .filter(|s| s.name.starts_with("fence-"))
+                    .map(|s| (s.name.as_str(), s.failed))
+                    .collect();
+                assert_eq!(flags, vec![("fence-a", true), ("fence-b", false)]);
             }
             other => panic!("expected sessions, got {other:?}"),
         }
@@ -818,9 +967,22 @@ mod tests {
             other => panic!("failed session must answer errors, got {other:?}"),
         }
         match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
-            Response::Stats(s) => assert_eq!(s.session, "b"),
+            Response::Stats(s) => assert_eq!(s.session, "fence-b"),
             other => panic!("healthy session must keep serving, got {other:?}"),
         }
+        let health_text = read_artifact(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            fence_health(&health_text),
+            vec![
+                (
+                    "fence-a".to_string(),
+                    HealthStatus::Failed,
+                    Some("panic".to_string())
+                ),
+                ("fence-b".to_string(), HealthStatus::Ok, None),
+            ],
+            "health must flip the fenced session to failed"
+        );
         let out2 = String::from_utf8(out2).unwrap();
         let mut cursor = Cursor::new(out2.into_bytes());
         assert!(matches!(
@@ -828,9 +990,18 @@ mod tests {
             Response::Loaded { .. }
         ));
         match parse_response(&read_artifact(&mut cursor).unwrap().unwrap()).unwrap() {
-            Response::Stats(s) => assert_eq!((s.session.as_str(), s.epochs), ("a", 0)),
+            Response::Stats(s) => assert_eq!((s.session.as_str(), s.epochs), ("fence-a", 0)),
             other => panic!("revived session must answer, got {other:?}"),
         }
+        let revived = read_artifact(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            fence_health(&revived),
+            vec![
+                ("fence-a".to_string(), HealthStatus::Ok, None),
+                ("fence-b".to_string(), HealthStatus::Ok, None),
+            ],
+            "a fresh load must lift the health fence"
+        );
     }
 
     /// Regression for info-mutex poisoning: a reader that panicked
@@ -864,11 +1035,7 @@ mod tests {
             .sessions
             .get("a")
             .unwrap()
-            .tx
-            .send(SessionCmd {
-                work: SessionWork::Query(Box::new(QueryKind::Stats)),
-                reply: qtx,
-            })
+            .send(SessionWork::Query(Box::new(QueryKind::Stats)), qtx)
             .unwrap();
         match parse_response(&qrx.recv().unwrap()).unwrap() {
             Response::Stats(s) => assert_eq!(s.session, "a"),

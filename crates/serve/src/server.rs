@@ -157,9 +157,12 @@ pub fn handle_artifact(
             },
             Err(e) => Response::Error(e.to_string()),
         },
-        Artifact::Report | Artifact::Response | Artifact::Metrics | Artifact::Spans => {
-            Response::Error(format!("cannot serve a {kind} artifact"))
-        }
+        Artifact::Report
+        | Artifact::Response
+        | Artifact::Metrics
+        | Artifact::Spans
+        | Artifact::History
+        | Artifact::Health => Response::Error(format!("cannot serve a {kind} artifact")),
     };
     (response, 0)
 }
@@ -174,16 +177,19 @@ pub fn serve_stream(
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     while let Some(text) = read_artifact(input)? {
+        let started = std::time::Instant::now();
         // Telemetry queries are answered at the transport, straight
         // from the process-global registry — the engine never blocks a
         // scrape (see [`crate::obs`]).
         if let Some(reply) = crate::obs::obs_reply(&text) {
             summary.count_obs();
+            crate::obs::record_query_span("pipe", &text, started.elapsed());
             output.write_all(reply.as_bytes())?;
             output.flush()?;
             continue;
         }
         let (response, epochs_applied) = handle_artifact(mgr, stream_session, &text);
+        crate::obs::record_query_span("pipe", &text, started.elapsed());
         summary.count(&response, epochs_applied);
         output.write_all(write_response(&response).as_bytes())?;
         // One response per artifact is the unit of interaction: flush so
@@ -218,12 +224,15 @@ pub struct Request {
 pub fn run_broker(mgr: &mut SessionManager, requests: mpsc::Receiver<Request>) -> ServeSummary {
     let mut summary = ServeSummary::default();
     for req in requests {
+        let started = std::time::Instant::now();
         if let Some(reply) = crate::obs::obs_reply(&req.text) {
             summary.count_obs();
+            crate::obs::record_query_span("broker", &req.text, started.elapsed());
             let _ = req.reply.send(reply);
             continue;
         }
         let (response, epochs_applied) = handle_artifact(mgr, req.session.as_deref(), &req.text);
+        crate::obs::record_query_span("broker", &req.text, started.elapsed());
         summary.count(&response, epochs_applied);
         // A client that hung up before its answer is not an engine
         // problem; drop the response.
@@ -502,7 +511,7 @@ mod tests {
     #[test]
     fn framing_splits_concatenated_artifacts() {
         let a = "dna-io v1 trace\nepoch\nend\n";
-        let b = "; comment\n\ndna-io v3 query\n  stats\nend\n";
+        let b = "; comment\n\ndna-io v4 query\n  stats\nend\n";
         let mut input = io::Cursor::new(format!("{a}{b}\n; trailing\n").into_bytes());
         let first = read_artifact(&mut input).unwrap().unwrap();
         assert_eq!(first, a);
@@ -513,7 +522,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_artifact_is_a_typed_error_response() {
-        let mut input = io::Cursor::new(b"dna-io v3 query\n  stats\n".to_vec());
+        let mut input = io::Cursor::new(b"dna-io v4 query\n  stats\n".to_vec());
         let text = read_artifact(&mut input).unwrap().unwrap();
         let mut mgr = SessionManager::new(Default::default());
         let (r, epochs) = handle_artifact(&mut mgr, None, &text);

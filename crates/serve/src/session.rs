@@ -145,6 +145,13 @@ struct SessionObs {
     checkpoint_writes: dna_obs::Counter,
     checkpoint_write_us: dna_obs::Histogram,
     queries_answered: dna_obs::Counter,
+    /// Live resource accounting (heartbeat, retained/published bytes).
+    /// The session layer shares these cells with the router's engine
+    /// thread — registration is get-or-create — so single-threaded
+    /// transports (pipe, broker) still beat the heartbeat and report
+    /// memory, and the health query sees every session on every
+    /// transport.
+    acct: dna_obs::SessionAccounting,
 }
 
 impl SessionObs {
@@ -158,6 +165,7 @@ impl SessionObs {
             checkpoint_writes: r.counter_for("checkpoint_writes", session),
             checkpoint_write_us: r.histogram_for("checkpoint_write_us", session),
             queries_answered: r.counter_for("queries_answered", session),
+            acct: dna_obs::SessionAccounting::register(r, session),
         }
     }
 }
@@ -389,6 +397,7 @@ impl Session {
     /// (pass 0 when the epoch never crossed a wire).
     pub fn ingest_timed(&mut self, epoch: &TraceEpoch, parse_ns: u64) -> Result<usize, String> {
         let start = Instant::now();
+        self.obs.acct.beat();
         let out = self
             .replay
             .step(&epoch.changes)
@@ -473,6 +482,7 @@ impl Session {
                 self.history_bytes -= old.bytes;
             }
         }
+        self.obs.acct.history_bytes.set(self.history_bytes as u64);
         flows
     }
 
@@ -519,6 +529,7 @@ impl Session {
     /// domain problems (unknown device, empty engine) come back as
     /// [`Response::Error`].
     pub fn answer(&self, kind: &QueryKind) -> Response {
+        self.obs.acct.beat();
         self.obs.queries_answered.inc();
         match kind {
             QueryKind::Reach { src, flow } => self.reach(src, flow),
@@ -535,8 +546,12 @@ impl Session {
             // Telemetry is process-global: every transport intercepts
             // these before session dispatch (see [`crate::obs`]), so
             // reaching a session is a routing bug surfaced as an error.
-            QueryKind::Metrics | QueryKind::TraceSpans { .. } => Response::Error(
-                "metrics/trace are server-level queries; the transport answers them".into(),
+            QueryKind::Metrics
+            | QueryKind::TraceSpans { .. }
+            | QueryKind::Health
+            | QueryKind::History { .. } => Response::Error(
+                "metrics/trace/health/history are server-level queries; the transport answers them"
+                    .into(),
             ),
             QueryKind::Checkpoint => match self.write_checkpoint() {
                 Ok((_path, bytes)) => Response::Checkpointed {
@@ -665,7 +680,7 @@ impl Session {
             return 0;
         };
         let start = Instant::now();
-        let devices = self
+        let devices: std::collections::BTreeMap<_, _> = self
             .snapshot()
             .devices
             .iter()
@@ -674,11 +689,20 @@ impl Session {
                 (name.clone(), addr)
             })
             .collect();
-        let history = self
+        let history: Vec<_> = self
             .history
             .iter()
             .map(|r| (r.index, Arc::clone(&r.diff)))
             .collect();
+        // A coarse per-element memory estimate for the `view_bytes`
+        // accounting gauge — proportional to what the view pins alive
+        // (device table + retained diffs), not an allocator measurement.
+        let approx_bytes = 64 * devices.len()
+            + history
+                .iter()
+                .map(|(_, d)| 96 + d.flows.len() * 128)
+                .sum::<usize>();
+        self.obs.acct.view_bytes.set(approx_bytes as u64);
         slot.publish(Arc::new(QueryView::assemble(
             self.name.clone(),
             engine,

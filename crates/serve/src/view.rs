@@ -100,7 +100,9 @@ impl QueryView {
             QueryKind::Sessions
             | QueryKind::Checkpoint
             | QueryKind::Metrics
-            | QueryKind::TraceSpans { .. } => return None,
+            | QueryKind::TraceSpans { .. }
+            | QueryKind::Health
+            | QueryKind::History { .. } => return None,
         })
     }
 
