@@ -1,10 +1,18 @@
 //! Prints every experiment of the evaluation (DESIGN.md §7).
 //!
 //! Usage: `cargo run --release -p dna-bench --bin harness
-//! [e1|e2|...|e13|serve|shard|resume|overhead|accounting|all|record]
-//! [--record <dir>]` (`serve` is an alias for the E9 service
-//! experiment, `shard` for E10, `resume` for E11, `overhead` for E12,
-//! `accounting` for E13.)
+//! [e1|e2|...|e14|serve|shard|resume|overhead|accounting|epoch-path|all|record]
+//! [--record <dir>] [--quick] [--out <file>]` (`serve` is an alias
+//! for the E9 service experiment, `shard` for E10, `resume` for E11,
+//! `overhead` for E12, `accounting` for E13, `epoch-path` for E14).
+//!
+//! `epoch-path` (E14) measures the differential epoch hot path over
+//! the E5 k=6 scenario mix and writes the `BENCH_epoch_path.json`
+//! perf-trajectory artifact (default `--out`; `--quick` drops the
+//! repetitions for CI smoke). It is *not* part of `all` because it
+//! rewrites that checked-in artifact. An existing artifact's
+//! `current` block becomes the new `baseline`, so running it before
+//! and after an optimization records the speedup on the same box.
 //!
 //! With `--record <dir>`, the standard benchmark workloads (snapshot +
 //! all-scenario change trace per topology) are additionally written as
@@ -19,6 +27,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut record_dir: Option<std::path::PathBuf> = None;
     let mut which: Option<String> = None;
+    let mut quick = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut probe_reps: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--record" {
@@ -26,8 +37,15 @@ fn main() {
                 .next()
                 .unwrap_or_else(|| panic!("--record needs a directory"));
             record_dir = Some(dir.into());
+        } else if a == "--quick" {
+            quick = true;
+        } else if a == "--out" {
+            let f = it.next().unwrap_or_else(|| panic!("--out needs a file"));
+            out = Some(f.into());
         } else if which.is_none() {
             which = Some(a);
+        } else if which.as_deref() == Some("epoch-path-probe") && probe_reps.is_none() {
+            probe_reps = a.parse().ok();
         } else {
             panic!("unexpected argument {a:?}");
         }
@@ -84,6 +102,24 @@ fn main() {
     }
     if all || which == "e12" || which == "overhead" {
         b::e12_obs_overhead(6, 64, 3);
+    }
+    // The child arm of E14 (`epoch-path`): print one machine line per
+    // scenario (parent re-execs with DNA_OBS_DISABLED=1, the same
+    // latched-kill-switch pattern as E12/E13).
+    if which == "epoch-path-probe" {
+        let reps = probe_reps.unwrap_or(5);
+        for (name, t, cp, dp) in b::epoch_path_rows(6, reps) {
+            println!("epoch-path-probe row {t} {cp} {dp} {name}");
+        }
+        return;
+    }
+    // Deliberately NOT part of `all`: E14 rewrites the checked-in
+    // BENCH_epoch_path.json perf-trajectory artifact (current ->
+    // baseline), which only an explicit run should do.
+    if which == "e14" || which == "epoch-path" {
+        let reps = if quick { 2 } else { 5 };
+        let out = out.unwrap_or_else(|| "BENCH_epoch_path.json".into());
+        b::e14_epoch_path(6, reps, &out);
     }
     // The child arm of E13, same re-exec pattern as E12.
     if which == "e13-probe" {

@@ -821,3 +821,193 @@ pub fn e13_accounting_overhead(k: u32, epochs: usize, runs: usize) -> (f64, f64)
     }
     (enabled, disabled)
 }
+
+/// One measured arm of E14 (`harness epoch-path`): per-scenario
+/// differential epoch latency over the **E5 scenario mix** (same k=6
+/// fat-tree, same `9_000 + kind` seeds, so rows line up with the E5
+/// stage breakdown). A fresh `DiffEngine` is built per repetition and
+/// only the `apply` is timed; best-of-`reps` cuts scheduler noise,
+/// which on a single-vCPU box easily exceeds the effect under test.
+/// Returns `(scenario, total_ms, cp_ms, dp_ms)` rows.
+pub fn epoch_path_rows(k: u32, reps: usize) -> Vec<(String, f64, f64, f64)> {
+    let ft = fat_tree(k, Routing::Ebgp);
+    let mut rows = Vec::new();
+    for &kind in ALL_SCENARIOS {
+        let mut gen = ScenarioGen::new(9_000 + kind as u64);
+        let Some(cs) = gen.generate(&ft.snapshot, kind) else {
+            continue;
+        };
+        let mut best: Option<(f64, f64, f64)> = None;
+        for _ in 0..reps.max(1) {
+            let mut eng = DiffEngine::new(ft.snapshot.clone()).expect("engine");
+            let (d, wall) = time(|| eng.apply(&cs).expect("apply"));
+            let row = (ms(wall), ms(d.stats.cp_time), ms(d.stats.dp_time));
+            if best.is_none_or(|b: (f64, f64, f64)| row.0 < b.0) {
+                best = Some(row);
+            }
+        }
+        let (t, cp, dp) = best.expect("at least one rep");
+        rows.push((kind.to_string(), t, cp, dp));
+    }
+    rows
+}
+
+/// Renders one E14 measurement block as a JSON object (hand-written —
+/// the artifact format is small and the repo vendors no JSON crate).
+fn epoch_path_block(
+    rows: &[(String, f64, f64, f64)],
+    disabled_rows: &[(String, f64, f64, f64)],
+) -> String {
+    let mean = |rs: &[(String, f64, f64, f64)]| {
+        rs.iter().map(|r| r.1).sum::<f64>() / (rs.len() as f64).max(1.0)
+    };
+    let mut s = String::from("{");
+    // The obs-disabled child arm is the canonical number (telemetry
+    // parity: both arms are recorded so the delta stays observable).
+    s.push_str(&format!("\"mean_ms\": {:.4}, ", mean(disabled_rows)));
+    s.push_str(&format!("\"telemetry_on_mean_ms\": {:.4}, ", mean(rows)));
+    s.push_str(&format!(
+        "\"obs_disabled_mean_ms\": {:.4}, ",
+        mean(disabled_rows)
+    ));
+    s.push_str("\"scenarios\": [");
+    for (i, (name, t, cp, dp)) in disabled_rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"name\": \"{name}\", \"total_ms\": {t:.4}, \"cp_ms\": {cp:.4}, \"dp_ms\": {dp:.4}}}"
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Extracts the balanced-brace object following `"<key>":` from a JSON
+/// text, if present and non-null. Good enough for the artifact this
+/// harness itself writes; not a general JSON parser.
+fn json_object_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn json_f64_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// E14 — the machine-readable perf trajectory of the differential
+/// epoch hot path. Measures the E5 k=6 scenario mix in two arms
+/// (telemetry on in-process, `DNA_OBS_DISABLED=1` in a re-exec'd child
+/// — the kill switch latches at first registry touch) and writes
+/// `BENCH_epoch_path.json`. If the artifact already exists, its
+/// `current` block is carried over as `baseline`, so re-running after
+/// an optimization lands records before/after on the same box and the
+/// headline `speedup_vs_baseline` ratio. Returns
+/// `(current mean ms, speedup vs baseline if any)`.
+pub fn e14_epoch_path(k: u32, reps: usize, out: &std::path::Path) -> (f64, Option<f64>) {
+    assert!(
+        dna_obs::global().enabled(),
+        "E14 must start with telemetry enabled (unset DNA_OBS_DISABLED)"
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let child_rows = || -> Vec<(String, f64, f64, f64)> {
+        let outp = std::process::Command::new(&exe)
+            .arg("epoch-path-probe")
+            .arg(reps.to_string())
+            .env("DNA_OBS_DISABLED", "1")
+            .output()
+            .expect("disabled-arm child runs");
+        assert!(outp.status.success(), "disabled-arm child failed");
+        let text = String::from_utf8_lossy(&outp.stdout);
+        let rows: Vec<_> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("epoch-path-probe row "))
+            .filter_map(|l| {
+                let mut it = l.splitn(4, ' ');
+                let t: f64 = it.next()?.parse().ok()?;
+                let cp: f64 = it.next()?.parse().ok()?;
+                let dp: f64 = it.next()?.parse().ok()?;
+                Some((it.next()?.to_string(), t, cp, dp))
+            })
+            .collect();
+        assert!(!rows.is_empty(), "unparseable probe output: {text:?}");
+        rows
+    };
+    let on_rows = epoch_path_rows(k, reps);
+    let off_rows = child_rows();
+    let mean =
+        |rs: &[(String, f64, f64, f64)]| rs.iter().map(|r| r.1).sum::<f64>() / rs.len() as f64;
+    let cur_mean = mean(&off_rows);
+    // Perf trajectory: a pre-existing artifact's `current` becomes the
+    // new `baseline` (the before arm of a before/after pair).
+    let baseline = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|t| json_object_field(&t, "current"));
+    let base_mean = baseline
+        .as_deref()
+        .and_then(|b| json_f64_field(b, "mean_ms"));
+    let speedup = base_mean.map(|b| b / cur_mean.max(f64::MIN_POSITIVE));
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"epoch-path\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"E5 scenario mix, k={k} eBGP fat-tree, seeds 9000+kind, best-of-{reps} fresh-engine apply\",\n"
+    ));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"baseline\": {},\n",
+        baseline.as_deref().unwrap_or("null")
+    ));
+    json.push_str(&format!(
+        "  \"current\": {},\n",
+        epoch_path_block(&on_rows, &off_rows)
+    ));
+    json.push_str(&format!(
+        "  \"speedup_vs_baseline\": {}\n",
+        speedup.map_or("null".into(), |s| format!("{s:.4}"))
+    ));
+    json.push_str("}\n");
+    std::fs::write(out, &json).expect("write BENCH artifact");
+    println!(
+        "\n== E14: epoch-path latency (E5 mix, k={k}, best of {reps}, DNA_OBS_DISABLED arm) =="
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "scenario", "total", "cp", "dp"
+    );
+    for (name, t, cp, dp) in &off_rows {
+        println!("{name:<24} {t:>8.2}ms {cp:>8.2}ms {dp:>8.2}ms");
+    }
+    println!(
+        "mean: {cur_mean:.3} ms (telemetry-on arm {:.3} ms)",
+        mean(&on_rows)
+    );
+    match (base_mean, speedup) {
+        (Some(b), Some(s)) => println!("baseline mean: {b:.3} ms -> speedup {s:.2}x"),
+        _ => println!("no baseline in {} (first recording)", out.display()),
+    }
+    (cur_mean, speedup)
+}

@@ -45,6 +45,7 @@ USAGE:
             [--verify] [--quiet] [--shards <n>] [--socket <path>]
             [--listen <addr>] [--follow [name=]<trace-file>]...
             [--threads per-session|single] [--metrics-interval <secs>]
+            [--coalesce <max>]
             [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
   dna query [--session <name>] [--socket <path>] [--connect <addr>]
             [--prometheus] [--rates] <command>
@@ -662,6 +663,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             "checkpoint-dir",
             "checkpoint-every",
             "metrics-interval",
+            "coalesce",
         ],
         &["verify", "quiet", "resume"],
     )?;
@@ -739,6 +741,14 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     if args.has("checkpoint-every") && checkpoint_dir.is_none() {
         return Err("--checkpoint-every needs --checkpoint-dir".into());
     }
+    // Backlog epoch coalescing: 0/1 disables; N>=2 lets a flooded
+    // session merge up to N queued epochs into one engine commit. The
+    // drain lives in the per-session engine loop, so the shared-thread
+    // fallback cannot honor it — reject rather than silently ignore.
+    let coalesce: usize = args.parsed("coalesce", 0)?;
+    if coalesce >= 2 && !per_session {
+        return Err("--coalesce needs --threads per-session (the default)".into());
+    }
     let config = SessionConfig {
         retain,
         retain_bytes,
@@ -746,6 +756,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         shards,
         checkpoint_dir: checkpoint_dir.clone(),
         checkpoint_every,
+        coalesce,
     };
     // Parse every startup artifact up front so a bad file fails fast,
     // before any engine spends seconds on bring-up.

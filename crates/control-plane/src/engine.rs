@@ -133,19 +133,26 @@ impl CpEngine {
     /// Changes are validated against the evolving snapshot first; on error
     /// nothing is applied.
     pub fn apply(&mut self, changes: &ChangeSet) -> Result<CpDelta, CpError> {
-        // Validate the whole set first so errors leave the engine untouched.
-        let after = changes.apply(&self.snapshot)?;
+        // One snapshot clone per epoch: the mirror advances in place while
+        // fact deltas are staged into a local buffer, so an invalid change
+        // aborts before anything reaches the runtime and the engine stays
+        // untouched. (`change_deltas` is total — unknown references yield
+        // no deltas — so staging before validation is safe; a later error
+        // simply discards the staged rows. The old path cloned the full
+        // snapshot once for validation plus once per change.)
         let mut mirror = self.snapshot.clone();
+        let mut staged = Vec::new();
         for change in &changes.changes {
-            for (rel, row, diff) in change_deltas(&mirror, change) {
-                let h = self.handles.inputs[rel];
-                self.runtime.update(h, row, diff);
-            }
-            mirror = ChangeSet::single(change.clone()).apply(&mirror)?;
+            // Deltas are evaluated against the pre-change mirror state.
+            staged.extend(change_deltas(&mirror, change));
+            change.apply_to(&mut mirror)?;
         }
-        debug_assert_eq!(mirror, after);
+        for (rel, row, diff) in staged {
+            let h = self.handles.inputs[rel];
+            self.runtime.update(h, row, diff);
+        }
         let stats = self.runtime.commit()?;
-        self.snapshot = after;
+        self.snapshot = mirror;
         // Drain both outputs (clears the delta buffers).
         let rib = self
             .runtime

@@ -132,6 +132,7 @@ impl ScratchDiffer {
                 dp_time: t0.elapsed() - (cp_mid - t0),
                 total_time: t0.elapsed(),
                 cp_tuples: 0,
+                nodes_skipped: 0,
                 dirty_classes: 0,
             },
         })

@@ -65,6 +65,9 @@ pub struct DiffStats {
     pub total_time: Duration,
     /// Tuples processed by the dataflow engine.
     pub cp_tuples: usize,
+    /// Scheduled dataflow operators skipped because no input port received
+    /// a batch this epoch (dirty-node scheduling in `ddflow`).
+    pub nodes_skipped: usize,
     /// Packet classes whose reachability was recomputed.
     pub dirty_classes: usize,
 }
@@ -134,11 +137,10 @@ impl DiffEngine {
     /// changed. On error nothing is applied.
     pub fn apply(&mut self, changes: &ChangeSet) -> Result<BehaviorDiff, DnaError> {
         let t0 = Instant::now();
-        let before = self.cp.snapshot().clone();
         let cp_delta = self.cp.apply(changes)?;
         let cp_time = t0.elapsed();
         let t1 = Instant::now();
-        let filters = filter_changes(&before, self.cp.snapshot(), changes);
+        let filters = filter_changes(self.cp.snapshot(), changes);
         // Deferred release keeps retiring atoms alive (and the partition at
         // its finest) until the deltas are decorated; see `apply_deferred`.
         let (reach, pending) = self.dp.apply_deferred(&DpUpdate {
@@ -156,6 +158,7 @@ impl DiffEngine {
                 dp_time,
                 total_time: t0.elapsed(),
                 cp_tuples: cp_delta.stats.tuples_processed,
+                nodes_skipped: cp_delta.stats.nodes_skipped,
                 dirty_classes: flows
                     .iter()
                     .map(|f| (&f.headers, &f.example))
@@ -272,7 +275,7 @@ impl EngineView {
 /// Maps ACL-affecting changes to resolved filter rebindings, evaluated
 /// against the post-change snapshot (CP changes were already translated by
 /// the control-plane stage; this covers the data-plane-only taxonomy).
-fn filter_changes(before: &Snapshot, after: &Snapshot, changes: &ChangeSet) -> Vec<FilterChange> {
+fn filter_changes(after: &Snapshot, changes: &ChangeSet) -> Vec<FilterChange> {
     let mut out: Vec<FilterChange> = Vec::new();
     fn push_bindings_of_acl(
         out: &mut Vec<FilterChange>,
@@ -338,6 +341,5 @@ fn filter_changes(before: &Snapshot, after: &Snapshot, changes: &ChangeSet) -> V
             _ => {}
         }
     }
-    let _ = before;
     out
 }

@@ -90,6 +90,9 @@ pub struct EpochStats {
     pub total_time: Duration,
     /// Dataflow tuples processed (0 for the from-scratch analyzer).
     pub cp_tuples: usize,
+    /// Dataflow operators skipped by dirty-node scheduling (0 for the
+    /// from-scratch analyzer).
+    pub nodes_skipped: usize,
     /// Packet classes recomputed (0 for the from-scratch analyzer).
     pub dirty_classes: usize,
 }
@@ -354,12 +357,59 @@ impl ReplaySession {
             dp_time: primary.stats.dp_time,
             total_time: primary.stats.total_time,
             cp_tuples: primary.stats.cp_tuples,
+            nodes_skipped: primary.stats.nodes_skipped,
             dirty_classes: primary.stats.dirty_classes,
         });
         while self.stats.len() > self.stats_retain {
             self.stats.pop_front();
         }
         self.epochs += 1;
+        Ok(outcome)
+    }
+
+    /// Applies several change epochs as **one** dataflow commit: the
+    /// change lists are concatenated in arrival order into a single
+    /// [`ChangeSet`] and fed through [`ReplaySession::step`] once — one
+    /// engine commit, one `CommitStats`, one retained [`EpochStats`]
+    /// record, and the session's epoch counter advances by one.
+    ///
+    /// Because a change set is validated and applied change-by-change
+    /// against the evolving state, the merged commit reaches exactly
+    /// the final state N sequential [`ReplaySession::step`] calls
+    /// would (the property `tests/coalesce.rs` pins under proptest,
+    /// shards 1/2/4); under [`ReplayMode::Both`] the merged epoch is
+    /// cross-checked against the from-scratch shadow like any other.
+    /// What coalescing trades away is per-epoch observability — the N
+    /// intermediate states and their individual diffs are never
+    /// materialized (one stats record, anchored at the first merged
+    /// epoch's index, covers the whole commit). The epoch *counter*
+    /// still advances by N: how many stream epochs the session has
+    /// absorbed is observable (stats, replies, checkpoints) and must
+    /// not depend on commit granularity. Atomic like `step`: on error
+    /// nothing is applied (an invalid change anywhere fails the whole
+    /// merged commit, where sequential stepping would have applied the
+    /// earlier epochs — callers wanting stream semantics on failure
+    /// fall back to per-epoch stepping, as `dna-serve` does).
+    pub fn step_coalesced<'a>(
+        &mut self,
+        epochs: impl IntoIterator<Item = &'a ChangeSet>,
+    ) -> Result<EpochOutcome, DnaError> {
+        let epochs: Vec<&ChangeSet> = epochs.into_iter().collect();
+        if let [single] = epochs[..] {
+            return self.step(single);
+        }
+        let mut merged = ChangeSet::default();
+        merged
+            .changes
+            .reserve(epochs.iter().map(|cs| cs.len()).sum());
+        for cs in &epochs {
+            merged.changes.extend(cs.changes.iter().cloned());
+        }
+        let outcome = self.step(&merged)?;
+        // `step` counted one epoch; account for the other N-1 so epoch
+        // numbering (and the next commit's index) match the stream.
+        self.epochs += epochs.len() - 1;
+        self.totals.epochs += epochs.len() - 1;
         Ok(outcome)
     }
 
@@ -559,6 +609,58 @@ mod tests {
             resumed.epoch_stats().map(|s| s.index).collect::<Vec<_>>(),
             vec![2, 3]
         );
+    }
+
+    /// One merged commit of N epochs must land on the final state N
+    /// sequential commits reach (live queries agree), advance the
+    /// epoch counter by one, retain one stats record covering all the
+    /// merged changes — and stay atomic on failure.
+    #[test]
+    fn coalesced_step_matches_sequential_final_state() {
+        let snap = two_routers();
+        let link = snap.links[0].clone();
+        let lan2 = Flow::tcp_to(net_model::ip("192.168.2.1"), 80);
+        let stream = [
+            ChangeSet::single(Change::LinkDown(link.clone())),
+            ChangeSet::single(Change::LinkUp(link.clone())),
+            ChangeSet::single(Change::LinkDown(link.clone())),
+        ];
+        let mut sequential = ReplaySession::new(snap.clone(), ReplayMode::Both).unwrap();
+        for cs in &stream {
+            sequential.step(cs).unwrap();
+        }
+        let mut coalesced = ReplaySession::new(snap, ReplayMode::Both).unwrap();
+        let out = coalesced.step_coalesced(stream.iter()).unwrap();
+        assert_eq!(out.analyzers_agree(), Some(true));
+        assert_eq!(out.index, 0, "merged record anchors at the first epoch");
+        assert_eq!(
+            coalesced.epochs_replayed(),
+            3,
+            "epoch accounting follows the stream, not commit granularity"
+        );
+        assert_eq!(coalesced.query("r1", &lan2), sequential.query("r1", &lan2));
+        assert_eq!(
+            coalesced.snapshot(),
+            sequential.snapshot(),
+            "merged commit must land on the sequential final snapshot"
+        );
+        let stats: Vec<_> = coalesced.epoch_stats().collect();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].changes, 3, "one record covers all merged changes");
+        // A single-element merge takes the plain step path.
+        let mut one = ReplaySession::new(two_routers(), ReplayMode::Differential).unwrap();
+        one.step_coalesced(stream[..1].iter()).unwrap();
+        assert_eq!(one.epochs_replayed(), 1);
+        // Atomicity: an invalid change anywhere fails the whole merged
+        // commit without applying any of it.
+        let bad = [
+            stream[0].clone(),
+            ChangeSet::single(Change::DeviceDown("ghost".into())),
+        ];
+        let mut aborted = ReplaySession::new(two_routers(), ReplayMode::Both).unwrap();
+        assert!(aborted.step_coalesced(bad.iter()).is_err());
+        assert_eq!(aborted.epochs_replayed(), 0);
+        assert_eq!(aborted.snapshot().up_links().count(), 1);
     }
 
     #[test]

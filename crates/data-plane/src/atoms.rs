@@ -13,8 +13,9 @@
 //! (`atom ⊆ predicate ⇔ predicate ∈ signature`).
 
 use crate::pset::{Pset, PsetArena, EMPTY, FULL};
+use ddflow::FastMap;
 use net_model::Flow;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies an atom. Ids are never reused within one registry.
 pub type AtomId = u32;
@@ -63,9 +64,9 @@ pub struct AtomRegistry {
     /// The packet-set arena (shared with consumers for building predicates).
     pub arena: PsetArena,
     atoms: BTreeMap<AtomId, AtomInfo>,
-    preds: HashMap<PredId, PredInfo>,
-    pred_by_pset: HashMap<Pset, PredId>,
-    sig_index: HashMap<Vec<PredId>, AtomId>,
+    preds: FastMap<PredId, PredInfo>,
+    pred_by_pset: FastMap<Pset, PredId>,
+    sig_index: FastMap<Vec<PredId>, AtomId>,
     next_atom: AtomId,
     next_pred: PredId,
 }
@@ -82,9 +83,9 @@ impl AtomRegistry {
         let mut reg = AtomRegistry {
             arena: PsetArena::new(),
             atoms: BTreeMap::new(),
-            preds: HashMap::new(),
-            pred_by_pset: HashMap::new(),
-            sig_index: HashMap::new(),
+            preds: FastMap::default(),
+            pred_by_pset: FastMap::default(),
+            sig_index: FastMap::default(),
             next_atom: 0,
             next_pred: 0,
         };
@@ -253,6 +254,13 @@ impl AtomRegistry {
     /// Whether the atom lies inside the predicate.
     pub fn atom_in(&self, atom: AtomId, pred: PredId) -> bool {
         self.atoms[&atom].sig.contains(&pred)
+    }
+
+    /// The atom's signature: the set of predicates containing it. Borrowing
+    /// it once lets hot loops run membership tests without re-resolving the
+    /// atom per probe.
+    pub fn atom_sig(&self, atom: AtomId) -> &BTreeSet<PredId> {
+        &self.atoms[&atom].sig
     }
 
     /// Atoms currently covered by a predicate.

@@ -10,8 +10,8 @@
 //! space analysis / ddNF representations play in published data-plane
 //! verifiers.
 
+use ddflow::FastMap;
 use net_model::{Flow, FlowMatch, Ipv4Prefix, PortRange};
-use std::collections::HashMap;
 
 /// Field order tested by the diagram, most significant first.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -86,9 +86,12 @@ enum Op {
 #[derive(Default)]
 pub struct PsetArena {
     nodes: Vec<Node>,
-    dedup: HashMap<Node, Pset>,
-    op_cache: HashMap<(Op, Pset, Pset), Pset>,
-    not_cache: HashMap<Pset, Pset>,
+    // Memo caches are keyed by engine-derived handles/nodes, probed on
+    // every algebra step: a non-cryptographic hasher is safe and much
+    // cheaper than SipHash here (see `ddflow::hash`).
+    dedup: FastMap<Node, Pset>,
+    op_cache: FastMap<(Op, Pset, Pset), Pset>,
+    not_cache: FastMap<Pset, Pset>,
 }
 
 impl PsetArena {

@@ -138,13 +138,20 @@ impl ReachView {
 /// The incremental data-plane verifier. See the module docs.
 pub struct DataPlane {
     reg: AtomRegistry,
+    /// Sorted (comes from the snapshot's device BTreeMap), so a device's
+    /// index is recovered by binary search — the reach DFS runs on indices
+    /// instead of allocating `String` keys per step.
     devices: Vec<String>,
-    /// `(device, iface) -> (peer device, peer iface)` over physical links.
-    link_map: HashMap<(String, String), (String, String)>,
+    /// `device -> iface -> (peer device, peer iface)` over physical links.
+    /// Nested (rather than keyed by a `(String, String)` tuple) so the hot
+    /// path can probe with borrowed `&str`s without building owned keys.
+    link_map: HashMap<String, HashMap<String, (String, String)>>,
     /// Per-device FIB: prefix -> actions, with the prefix predicate.
     fibs: BTreeMap<String, BTreeMap<Ipv4Prefix, PrefixEntry>>,
-    /// Compiled interface filters.
-    filters: HashMap<(String, String, Dir), PredId>,
+    /// Compiled interface filters, per device; the inner list is small
+    /// (a device's filtered interfaces) and scanned linearly with borrowed
+    /// `&str` compares — again avoiding owned tuple keys per probe.
+    filters: HashMap<String, Vec<(String, Dir, PredId)>>,
     /// Reachability per atom: source device -> outcomes.
     reach: HashMap<AtomId, ReachMap>,
 }
@@ -174,16 +181,16 @@ impl DataPlane {
     /// empty and is loaded via [`DataPlane::apply`].
     pub fn new(snapshot: &Snapshot) -> Self {
         let devices: Vec<String> = snapshot.devices.keys().cloned().collect();
-        let mut link_map = HashMap::new();
+        let mut link_map: HashMap<String, HashMap<String, (String, String)>> = HashMap::new();
         for l in &snapshot.links {
-            link_map.insert(
-                (l.a.device.clone(), l.a.iface.clone()),
-                (l.b.device.clone(), l.b.iface.clone()),
-            );
-            link_map.insert(
-                (l.b.device.clone(), l.b.iface.clone()),
-                (l.a.device.clone(), l.a.iface.clone()),
-            );
+            link_map
+                .entry(l.a.device.clone())
+                .or_default()
+                .insert(l.a.iface.clone(), (l.b.device.clone(), l.b.iface.clone()));
+            link_map
+                .entry(l.b.device.clone())
+                .or_default()
+                .insert(l.b.iface.clone(), (l.a.device.clone(), l.a.iface.clone()));
         }
         let mut dp = DataPlane {
             reg: AtomRegistry::new(),
@@ -312,8 +319,11 @@ impl DataPlane {
         }
         // ---- Filter changes ----
         for fc in &update.filters {
-            let key = (fc.device.clone(), fc.iface.clone(), fc.dir);
-            let old = self.filters.get(&key).copied();
+            let old = self
+                .filters
+                .get(fc.device.as_str())
+                .and_then(|v| v.iter().find(|(i, d, _)| *i == fc.iface && *d == fc.dir))
+                .map(|&(_, _, p)| p);
             // Register the new filter first so splits settle before we
             // compare memberships.
             let new = match &fc.acl {
@@ -338,12 +348,14 @@ impl DataPlane {
                 None => all.clone(),
             };
             dirty.extend(old_members.symmetric_difference(&new_members).copied());
+            let entries = self.filters.entry(fc.device.clone()).or_default();
+            entries.retain(|(i, d, _)| !(*i == fc.iface && *d == fc.dir));
             match new {
-                Some(p) => {
-                    self.filters.insert(key.clone(), p);
-                }
+                Some(p) => entries.push((fc.iface.clone(), fc.dir, p)),
                 None => {
-                    self.filters.remove(&key);
+                    if entries.is_empty() {
+                        self.filters.remove(fc.device.as_str());
+                    }
                 }
             }
             if let Some(oldp) = old {
@@ -529,13 +541,18 @@ impl DataPlane {
         }
     }
 
-    /// Longest-prefix-match resolution of an atom at a device.
-    fn actions_for(&self, device: &str, atom: AtomId) -> Option<&BTreeMap<FibAction, isize>> {
+    /// Longest-prefix-match resolution of an atom (by signature) at a
+    /// device.
+    fn actions_for(
+        &self,
+        device: &str,
+        sig: &BTreeSet<PredId>,
+    ) -> Option<&BTreeMap<FibAction, isize>> {
         let fib = self.fibs.get(device)?;
         // Prefixes sorted ascending; scan from most specific.
         let mut best: Option<(&Ipv4Prefix, &PrefixEntry)> = None;
         for (p, pe) in fib.iter() {
-            if !self.reg.atom_in(atom, pe.pred) {
+            if !sig.contains(&pe.pred) {
                 continue;
             }
             match best {
@@ -546,13 +563,14 @@ impl DataPlane {
         best.map(|(_, pe)| &pe.actions)
     }
 
-    fn passes(&self, device: &str, iface: &str, dir: Dir, atom: AtomId) -> bool {
+    fn passes(&self, device: &str, iface: &str, dir: Dir, sig: &BTreeSet<PredId>) -> bool {
         match self
             .filters
-            .get(&(device.to_string(), iface.to_string(), dir))
+            .get(device)
+            .and_then(|v| v.iter().find(|(i, d, _)| i == iface && *d == dir))
         {
             None => true,
-            Some(pred) => self.reg.atom_in(atom, *pred),
+            Some(&(_, _, pred)) => sig.contains(&pred),
         }
     }
 
@@ -562,14 +580,19 @@ impl DataPlane {
     /// ancestor was on the stack are *tainted* (they'd miss the ancestor's
     /// other branches) and are not memoized — only complete, source-
     /// independent results enter the memo, keeping the memo sound.
+    ///
+    /// The DFS runs on device *indices* into the sorted `devices` vec, with
+    /// flat per-index memo/stack vectors, and resolves the atom's signature
+    /// once up front — the walk itself allocates no keys.
     fn compute_reach(&self, atom: AtomId) -> ReachMap {
-        let mut on_stack: BTreeSet<String> = BTreeSet::new();
-        let mut memo: HashMap<String, BTreeSet<Outcome>> = HashMap::new();
-        let devices = self.devices.clone();
+        let sig = self.reg.atom_sig(atom);
+        let n = self.devices.len();
+        let mut on_stack = vec![false; n];
+        let mut memo: Vec<Option<BTreeSet<Outcome>>> = vec![None; n];
         let mut map = ReachMap::new();
-        for dev in &devices {
-            let (out, _tainted) = self.visit(atom, dev, &mut on_stack, &mut memo, 0);
-            map.insert(dev.clone(), out);
+        for di in 0..n {
+            let (out, _tainted) = self.visit(sig, di, &mut on_stack, &mut memo, 0);
+            map.insert(self.devices[di].clone(), out);
         }
         map
     }
@@ -578,25 +601,26 @@ impl DataPlane {
     /// set and whether it depended on a device still on the DFS stack.
     fn visit(
         &self,
-        atom: AtomId,
-        dev: &str,
-        on_stack: &mut BTreeSet<String>,
-        memo: &mut HashMap<String, BTreeSet<Outcome>>,
+        sig: &BTreeSet<PredId>,
+        di: usize,
+        on_stack: &mut Vec<bool>,
+        memo: &mut Vec<Option<BTreeSet<Outcome>>>,
         depth: usize,
     ) -> (BTreeSet<Outcome>, bool) {
-        if let Some(out) = memo.get(dev) {
+        if let Some(out) = &memo[di] {
             return (out.clone(), false);
         }
-        if on_stack.contains(dev) {
+        if on_stack[di] {
             let mut s = BTreeSet::new();
             s.insert(Outcome::Loop);
             return (s, true);
         }
         debug_assert!(depth <= self.devices.len(), "path longer than device count");
-        on_stack.insert(dev.to_string());
+        on_stack[di] = true;
+        let dev = self.devices[di].as_str();
         let mut out = BTreeSet::new();
         let mut tainted = false;
-        match self.actions_for(dev, atom) {
+        match self.actions_for(dev, sig) {
             None => {
                 out.insert(Outcome::Blackhole(dev.to_string()));
             }
@@ -610,14 +634,14 @@ impl DataPlane {
                             out.insert(Outcome::Blackhole(dev.to_string()));
                         }
                         FibAction::Deliver { iface } => {
-                            if self.passes(dev, iface, Dir::Out, atom) {
+                            if self.passes(dev, iface, Dir::Out, sig) {
                                 out.insert(Outcome::Delivered(dev.to_string()));
                             } else {
                                 out.insert(Outcome::Filtered(dev.to_string()));
                             }
                         }
                         FibAction::Forward { iface, next } => {
-                            if !self.passes(dev, iface, Dir::Out, atom) {
+                            if !self.passes(dev, iface, Dir::Out, sig) {
                                 out.insert(Outcome::Filtered(dev.to_string()));
                                 continue;
                             }
@@ -626,16 +650,25 @@ impl DataPlane {
                                     out.insert(Outcome::External(dev.to_string()));
                                 }
                                 NextDevice::Device(b) => {
-                                    match self.link_map.get(&(dev.to_string(), iface.clone())) {
+                                    match self.link_map.get(dev).and_then(|m| m.get(iface.as_str()))
+                                    {
                                         Some((peer, peer_if)) => {
                                             debug_assert_eq!(peer, b);
-                                            if !self.passes(peer, peer_if, Dir::In, atom) {
+                                            if !self.passes(peer, peer_if, Dir::In, sig) {
                                                 out.insert(Outcome::Filtered(b.clone()));
-                                            } else {
+                                            } else if let Ok(bi) = self
+                                                .devices
+                                                .binary_search_by(|d| d.as_str().cmp(peer.as_str()))
+                                            {
                                                 let (sub, t) =
-                                                    self.visit(atom, b, on_stack, memo, depth + 1);
+                                                    self.visit(sig, bi, on_stack, memo, depth + 1);
                                                 tainted |= t;
                                                 out.extend(sub);
+                                            } else {
+                                                // Link to a device outside the
+                                                // snapshot: it has no FIB, so it
+                                                // blackholes the traffic.
+                                                out.insert(Outcome::Blackhole(b.clone()));
                                             }
                                         }
                                         // FIB points over an unknown link:
@@ -651,9 +684,9 @@ impl DataPlane {
                 }
             }
         }
-        on_stack.remove(dev);
+        on_stack[di] = false;
         if !tainted {
-            memo.insert(dev.to_string(), out.clone());
+            memo[di] = Some(out.clone());
         }
         (out, tainted)
     }

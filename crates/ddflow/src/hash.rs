@@ -1,0 +1,107 @@
+//! A fast, non-cryptographic hasher for the engine's internal maps.
+//!
+//! The operator state maps (`Index`, `ZSet`, reduce groups) are probed once
+//! or twice per `(row, diff)` pair on the commit hot path, and the default
+//! SipHash hasher — designed to resist hash-flooding from untrusted input —
+//! costs more than the probe itself for the short structured [`Value`] keys
+//! used here. Engine state is keyed by rows the program itself derives, not
+//! by attacker-controlled input, so a multiply-xor hasher (the same family
+//! rustc uses internally) is safe and substantially faster.
+//!
+//! [`Value`]: crate::value::Value
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher: each 8-byte word is folded in with a rotate, an
+/// xor, and a multiply by a random-odd constant. Not DoS-resistant — only
+/// for maps keyed by engine-derived values.
+#[derive(Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`] — the engine's internal map type.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        use crate::value::Value;
+        let build = BuildHasherDefault::<FastHasher>::default();
+        let a = Value::tuple(vec![Value::str("dev0"), Value::U32(7)]);
+        let b = Value::tuple(vec![Value::str("dev0"), Value::U32(7)]);
+        assert_eq!(build.hash_one(&a), build.hash_one(&b));
+    }
+
+    #[test]
+    fn distinct_values_spread() {
+        let build = BuildHasherDefault::<FastHasher>::default();
+        let hashes: std::collections::HashSet<u64> =
+            (0..1000u32).map(|n| build.hash_one(n)).collect();
+        assert!(hashes.len() > 990, "poor spread: {}", hashes.len());
+    }
+
+    #[test]
+    fn fastmap_roundtrip() {
+        let mut m: FastMap<u32, u32> = FastMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&21), Some(&42));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -86,11 +86,13 @@
 
 pub mod aggregates;
 mod graph;
+pub mod hash;
 mod runtime;
 mod value;
 mod zset;
 
 pub use graph::{GraphBuilder, Handle, InputHandle, OutputHandle, Program, ScopeHandle};
+pub use hash::{FastHasher, FastMap};
 pub use runtime::{CommitStats, Config, DdError, Runtime};
 pub use value::Value;
 pub use zset::{consolidate, Batch, Diff, ZSet};

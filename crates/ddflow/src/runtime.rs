@@ -37,13 +37,12 @@
 //! [`DdError::Divergence`] (e.g. an oscillating BGP policy dispute). After a
 //! divergence the runtime's internal state is unspecified; rebuild it.
 
-use crate::graph::{
-    InputHandle, JoinFn, NodeId, OpKind, OutputHandle, PredFn, Program, ReduceFn, RowFn, RowsFn,
-    Sched, ScopeId,
-};
+use crate::graph::{InputHandle, NodeId, OpKind, OutputHandle, Program, ReduceFn, Sched, ScopeId};
+use crate::hash::FastMap;
 use crate::value::Value;
 use crate::zset::{consolidate, Batch, Diff, ZSet};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Error returned by [`Runtime::commit`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +79,10 @@ pub struct CommitStats {
     pub scope_depths: Vec<u32>,
     /// Number of output relations that changed this epoch.
     pub outputs_changed: usize,
+    /// Scheduled operators skipped because no input port received a batch
+    /// this epoch (dirty-node scheduling; includes every member of a scope
+    /// that was skipped wholesale).
+    pub nodes_skipped: usize,
 }
 
 /// Runtime configuration knobs.
@@ -101,31 +104,45 @@ impl Default for Config {
 /// One keyed index side of a join/antijoin: `key -> payload -> multiplicity`.
 #[derive(Clone, Default)]
 struct Index {
-    map: HashMap<Value, HashMap<Value, Diff>>,
+    map: FastMap<Value, FastMap<Value, Diff>>,
     tuples: usize,
 }
 
 impl Index {
     fn update(&mut self, key: &Value, payload: &Value, diff: Diff) {
-        let inner = self.map.entry(key.clone()).or_default();
-        let entry = inner.entry(payload.clone()).or_insert(0);
-        let was_nonzero = *entry != 0;
-        *entry += diff;
-        let is_nonzero = *entry != 0;
-        if !is_nonzero {
-            inner.remove(payload);
-            if inner.is_empty() {
-                self.map.remove(key);
-            }
+        if diff == 0 {
+            return;
         }
-        match (was_nonzero, is_nonzero) {
-            (false, true) => self.tuples += 1,
-            (true, false) => self.tuples -= 1,
-            _ => {}
+        // Hot path first: both maps are probed with borrowed keys, and the
+        // `Value`s are cloned only when a genuinely new entry is inserted.
+        // (Zero-count entries are removed eagerly, so every resident entry
+        // is nonzero and the tuple count follows insert/remove directly.)
+        let Some(inner) = self.map.get_mut(key) else {
+            let mut inner = FastMap::default();
+            inner.insert(payload.clone(), diff);
+            self.map.insert(key.clone(), inner);
+            self.tuples += 1;
+            return;
+        };
+        match inner.get_mut(payload) {
+            Some(entry) => {
+                *entry += diff;
+                if *entry == 0 {
+                    inner.remove(payload);
+                    self.tuples -= 1;
+                    if inner.is_empty() {
+                        self.map.remove(key);
+                    }
+                }
+            }
+            None => {
+                inner.insert(payload.clone(), diff);
+                self.tuples += 1;
+            }
         }
     }
 
-    fn get(&self, key: &Value) -> Option<&HashMap<Value, Diff>> {
+    fn get(&self, key: &Value) -> Option<&FastMap<Value, Diff>> {
         self.map.get(key)
     }
 
@@ -139,8 +156,8 @@ impl Index {
 /// Reduce operator state: group contents plus the previous output per key.
 #[derive(Clone, Default)]
 struct ReduceState {
-    groups: HashMap<Value, BTreeMap<Value, Diff>>,
-    out_cache: HashMap<Value, Batch>,
+    groups: FastMap<Value, BTreeMap<Value, Diff>>,
+    out_cache: FastMap<Value, Batch>,
 }
 
 /// One iteration slot of some stateful operator.
@@ -218,53 +235,20 @@ struct ScopeRt {
     dirty_logs: Vec<(NodeId, u32)>,
 }
 
-/// Owned, cheaply-cloned view of an operator kind (closures are `Rc`).
-enum KindRef {
-    Passthrough, // Input, Enter
-    Map(RowFn),
-    FlatMap(RowsFn),
-    Filter(PredFn),
-    Concat,
-    Negate,
-    Distinct,
-    Join(JoinFn),
-    AntiJoin,
-    Reduce(ReduceFn),
-    Arrange { is_leave: bool },
-    Output,
-}
-
-fn kind_ref(kind: &OpKind) -> KindRef {
-    match kind {
-        OpKind::Input { .. } | OpKind::Enter => KindRef::Passthrough,
-        OpKind::Variable { .. } | OpKind::Buffer => KindRef::Arrange { is_leave: false },
-        OpKind::Leave => KindRef::Arrange { is_leave: true },
-        OpKind::Map(f) => KindRef::Map(f.clone()),
-        OpKind::FlatMap(f) => KindRef::FlatMap(f.clone()),
-        OpKind::Filter(f) => KindRef::Filter(f.clone()),
-        OpKind::Concat => KindRef::Concat,
-        OpKind::Negate => KindRef::Negate,
-        OpKind::Distinct => KindRef::Distinct,
-        OpKind::Join { out } => KindRef::Join(out.clone()),
-        OpKind::AntiJoin => KindRef::AntiJoin,
-        OpKind::Reduce { f } => KindRef::Reduce(f.clone()),
-        OpKind::Output { .. } => KindRef::Output,
-    }
-}
-
 /// Executes a [`Program`] incrementally. See the module docs for the model.
 pub struct Runtime {
     program: Program,
     states: Vec<NodeState>,
     /// pending[node][port]: slot -> batch.
     pending: Vec<Vec<BTreeMap<u32, Batch>>>,
-    input_buffer: HashMap<usize, Batch>,
+    input_buffer: FastMap<usize, Batch>,
     scope_rt: Vec<ScopeRt>,
     /// Feedback routing: buffer node -> variables it feeds.
-    feedback_of: HashMap<usize, Vec<NodeId>>,
+    feedback_of: FastMap<usize, Vec<NodeId>>,
     config: Config,
     tuples_processed: usize,
     outputs_changed: usize,
+    nodes_skipped: usize,
 }
 
 impl Runtime {
@@ -323,7 +307,7 @@ impl Runtime {
             };
             states.push(state);
         }
-        let mut feedback_of: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        let mut feedback_of: FastMap<usize, Vec<NodeId>> = FastMap::default();
         for (i, node) in program.nodes.iter().enumerate() {
             if let Some(buf) = node.feedback {
                 feedback_of.entry(buf.0).or_default().push(NodeId(i));
@@ -335,12 +319,13 @@ impl Runtime {
         Runtime {
             states,
             pending,
-            input_buffer: HashMap::new(),
+            input_buffer: FastMap::default(),
             scope_rt,
             feedback_of,
             config,
             tuples_processed: 0,
             outputs_changed: 0,
+            nodes_skipped: 0,
             program,
         }
     }
@@ -430,6 +415,7 @@ impl Runtime {
     pub fn commit(&mut self) -> Result<CommitStats, DdError> {
         self.tuples_processed = 0;
         self.outputs_changed = 0;
+        self.nodes_skipped = 0;
         let buffered: Vec<(usize, Batch)> = self.input_buffer.drain().collect();
         for (node, mut batch) in buffered {
             consolidate(&mut batch);
@@ -438,18 +424,49 @@ impl Runtime {
             }
         }
         let mut depths = vec![0u32; self.program.scopes.len()];
-        let schedule = self.program.schedule.clone();
-        for item in schedule {
-            match item {
-                Sched::Node(id) => self.process_toplevel(id),
-                Sched::Scope(sid) => depths[sid.0] = self.run_scope(sid)?,
+        // The schedule is walked in place (`Sched` is `Copy`) rather than
+        // cloned per commit. Dirty-node scheduling: the walk itself is an
+        // O(ports) emptiness probe per operator; only operators whose input
+        // ports actually received batches run, everything else is counted
+        // as skipped. A whole scope is skipped in one probe when none of
+        // its members has pending work — an idle `run_scope` would be a
+        // pure no-op (no deltas, no fixpoint movement), so skipping it is
+        // observationally identical and saves three member walks.
+        for i in 0..self.program.schedule.len() {
+            match self.program.schedule[i] {
+                Sched::Node(id) => {
+                    if self.has_pending(id, 0) {
+                        self.process_toplevel(id);
+                    } else {
+                        self.nodes_skipped += 1;
+                    }
+                }
+                Sched::Scope(sid) => {
+                    if self.scope_has_work(sid) {
+                        depths[sid.0] = self.run_scope(sid)?;
+                    } else {
+                        depths[sid.0] = self.scope_rt[sid.0].depth.unwrap_or(0);
+                        self.nodes_skipped += self.program.scopes[sid.0].members.len();
+                    }
+                }
             }
         }
         Ok(CommitStats {
             tuples_processed: self.tuples_processed,
             scope_depths: depths,
             outputs_changed: self.outputs_changed,
+            nodes_skipped: self.nodes_skipped,
         })
+    }
+
+    /// Whether any member of the scope has pending batches at any slot (or
+    /// the scope itself has slots queued for the epoch loop).
+    fn scope_has_work(&self, sid: ScopeId) -> bool {
+        !self.scope_rt[sid.0].pending_slots.is_empty()
+            || self.program.scopes[sid.0]
+                .members
+                .iter()
+                .any(|m| self.pending[m.0].iter().any(|s| !s.is_empty()))
     }
 
     fn take_pending(&mut self, node: NodeId, slot: u32) -> Vec<(usize, Batch)> {
@@ -482,12 +499,27 @@ impl Runtime {
     /// Delivers a node's output batch to its consumers at slot 0 (used for
     /// top-level streams and for leave outputs heading to the outer region).
     fn deliver_toplevel(&mut self, from: NodeId, batch: Batch) {
-        let consumers = self.program.nodes[from.0].consumers.clone();
-        for (c, port) in consumers {
-            self.pending[c.0][port]
+        // Split borrow: `program` is read-only while `pending` is written,
+        // so the consumer list needs no per-delivery clone. The last
+        // consumer takes the batch by value — with a single consumer (the
+        // common case) delivery into an empty pending slot is a move.
+        let Runtime {
+            program, pending, ..
+        } = self;
+        let Some((&(lc, lport), rest)) = program.nodes[from.0].consumers.split_last() else {
+            return;
+        };
+        for &(c, port) in rest {
+            pending[c.0][port]
                 .entry(0)
                 .or_default()
                 .extend(batch.iter().cloned());
+        }
+        let last = pending[lc.0][lport].entry(0).or_default();
+        if last.is_empty() {
+            *last = batch;
+        } else {
+            last.extend(batch);
         }
     }
 
@@ -496,13 +528,23 @@ impl Runtime {
     /// (empty for the very first slot). Keeping all members in lockstep is
     /// what lets per-slot deltas use the classic incremental algebra.
     fn deepen_scope(&mut self, sid: ScopeId) {
-        let members = self.program.scopes[sid.0].members.clone();
-        let first = self.scope_rt[sid.0].depth.is_none();
-        for &m in &members {
-            if !self.program.nodes[m.0].varying {
+        let Runtime {
+            program,
+            states,
+            scope_rt,
+            ..
+        } = self;
+        let first = scope_rt[sid.0].depth.is_none();
+        // LOAD-BEARING CLONES below: slot `D+1` must start as a *copy* of
+        // slot `D`'s current state — that is the iteration-delta semantics
+        // itself (the new column is differential relative to the previous
+        // iteration), not an artifact of the borrow structure. They run
+        // only when the fixpoint deepens, never on the per-epoch hot path.
+        for &m in &program.scopes[sid.0].members {
+            if !program.nodes[m.0].varying {
                 continue;
             }
-            match &mut self.states[m.0] {
+            match &mut states[m.0] {
                 NodeState::Distinct(slots) | NodeState::Arrange(slots) => {
                     let fresh = if first {
                         Slot::default()
@@ -544,23 +586,32 @@ impl Runtime {
                 _ => {}
             }
         }
-        let rt = &mut self.scope_rt[sid.0];
+        let rt = &mut scope_rt[sid.0];
         rt.depth = Some(match rt.depth {
             None => 0,
             Some(d) => d + 1,
         });
     }
 
+    /// `i`th member of a scope (indexed accessor so scope loops need not
+    /// clone the member list while `self` is otherwise borrowed mutably).
+    fn member(&self, sid: ScopeId, i: usize) -> NodeId {
+        self.program.scopes[sid.0].members[i]
+    }
+
+    fn member_count(&self, sid: ScopeId) -> usize {
+        self.program.scopes[sid.0].members.len()
+    }
+
     /// Runs one scope for the current epoch. Returns the fixpoint depth.
     fn run_scope(&mut self, sid: ScopeId) -> Result<u32, DdError> {
-        let members: Vec<NodeId> = self.program.scopes[sid.0].members.clone();
-        let variables: Vec<NodeId> = self.program.scopes[sid.0].variables.clone();
         self.scope_rt[sid.0].epoch_start_depth = self.scope_rt[sid.0].depth.unwrap_or(0);
         // ---- Phase A: iteration-invariant members, in topo order. ----
         // Invariant-side deltas destined for varying operators are absorbed
         // into shared state once and broadcast into every materialized slot.
-        let mut broadcasts: Vec<(NodeId, usize, Batch)> = Vec::new();
-        for &m in &members {
+        let mut broadcasts: Vec<(NodeId, usize, Rc<Batch>)> = Vec::new();
+        for mi in 0..self.member_count(sid) {
+            let m = self.member(sid, mi);
             if self.program.nodes[m.0].varying || !self.has_pending(m, 0) {
                 continue;
             }
@@ -601,7 +652,8 @@ impl Runtime {
                 self.scope_rt[sid.0].top_touched = false;
                 let depth = self.scope_rt[sid.0].depth.expect("scope ran");
                 let mut moved: Vec<(NodeId, Batch)> = Vec::new();
-                for &v in &variables {
+                for vi in 0..self.program.scopes[sid.0].variables.len() {
+                    let v = self.program.scopes[sid.0].variables[vi];
                     let buf = self.program.nodes[v.0].feedback.expect("validated");
                     let delta = {
                         let (NodeState::Arrange(vs), NodeState::Arrange(bs)) =
@@ -643,7 +695,8 @@ impl Runtime {
             if slot == depth {
                 self.scope_rt[sid.0].top_touched = true;
             }
-            for &m in &members {
+            for mi in 0..self.member_count(sid) {
+                let m = self.member(sid, mi);
                 if !self.program.nodes[m.0].varying || !self.has_pending(m, slot) {
                     continue;
                 }
@@ -658,7 +711,8 @@ impl Runtime {
             self.scope_rt[sid.0].pending_slots.remove(&slot);
         }
         // ---- Phase C: emit leave deltas, clear epoch bookkeeping. ----
-        for &m in &members {
+        for mi in 0..self.member_count(sid) {
+            let m = self.member(sid, mi);
             if !matches!(self.program.nodes[m.0].kind, OpKind::Leave)
                 || !self.program.nodes[m.0].varying
             {
@@ -712,35 +766,43 @@ impl Runtime {
         sid: ScopeId,
         from: NodeId,
         batch: Batch,
-        broadcasts: &mut Vec<(NodeId, usize, Batch)>,
+        broadcasts: &mut Vec<(NodeId, usize, Rc<Batch>)>,
     ) {
-        let consumers = self.program.nodes[from.0].consumers.clone();
-        for (c, port) in consumers {
-            let cnode = &self.program.nodes[c.0];
-            if cnode.scope != Some(sid) {
-                // Output of an invariant leave heading to the outer region.
-                self.pending[c.0][port]
-                    .entry(0)
-                    .or_default()
-                    .extend(batch.iter().cloned());
-                continue;
-            }
-            if !cnode.varying {
-                self.pending[c.0][port]
+        let Runtime {
+            program,
+            states,
+            pending,
+            scope_rt,
+            tuples_processed,
+            ..
+        } = self;
+        // Shared buffer: pass-through broadcasts (join sides, stateless
+        // varying consumers) alias the producer's batch instead of cloning
+        // its rows once per consumer.
+        let batch = Rc::new(batch);
+        for &(c, port) in &program.nodes[from.0].consumers {
+            let cnode = &program.nodes[c.0];
+            if cnode.scope != Some(sid) || !cnode.varying {
+                // Outside the scope (an invariant leave's output heading to
+                // the outer region) or an invariant consumer: plain pending.
+                pending[c.0][port]
                     .entry(0)
                     .or_default()
                     .extend(batch.iter().cloned());
             } else if matches!(cnode.kind, OpKind::Variable { .. }) && port == 0 {
                 // Loop-variable initial values apply at iteration 0 only.
-                self.pending[c.0][0]
+                pending[c.0][0]
                     .entry(0)
                     .or_default()
                     .extend(batch.iter().cloned());
-                self.scope_rt[sid.0].pending_slots.insert(0);
+                scope_rt[sid.0].pending_slots.insert(0);
             } else {
-                let payload = self.absorb_invariant_side(c, port, &batch);
-                if !payload.is_empty() {
-                    broadcasts.push((c, port, payload));
+                *tuples_processed += batch.len();
+                match absorb_invariant_side(&mut states[c.0], port, &batch) {
+                    // Pass-through: broadcast the shared original batch.
+                    None => broadcasts.push((c, port, Rc::clone(&batch))),
+                    Some(flips) if !flips.is_empty() => broadcasts.push((c, port, Rc::new(flips))),
+                    Some(_) => {}
                 }
             }
         }
@@ -749,80 +811,40 @@ impl Runtime {
     /// Delivers a varying in-scope node's output at a slot, including
     /// feedback pass-through to loop variables at the next slot.
     fn deliver_varying(&mut self, sid: ScopeId, from: NodeId, slot: u32, batch: Batch) {
-        let consumers = self.program.nodes[from.0].consumers.clone();
-        for (c, port) in consumers {
-            let cnode = &self.program.nodes[c.0];
+        let Runtime {
+            program,
+            pending,
+            scope_rt,
+            feedback_of,
+            ..
+        } = self;
+        for &(c, port) in &program.nodes[from.0].consumers {
+            let cnode = &program.nodes[c.0];
             if cnode.scope != Some(sid) {
                 continue; // leave outputs are emitted in phase C
             }
             debug_assert!(cnode.varying, "varying stream cannot feed invariant node");
-            self.pending[c.0][port]
+            pending[c.0][port]
                 .entry(slot)
                 .or_default()
                 .extend(batch.iter().cloned());
-            self.scope_rt[sid.0].pending_slots.insert(slot);
+            scope_rt[sid.0].pending_slots.insert(slot);
         }
         // Feedback pass-through: the variable's slot i+1 mirrors the buffered
         // body's slot i, so epoch deltas forward directly — but only within
         // the materialized depth; the boundary check handles deepening.
-        if let Some(vars) = self.feedback_of.get(&from.0).cloned() {
-            let depth = self.scope_rt[sid.0].depth.expect("scope ran");
+        if let Some(vars) = feedback_of.get(&from.0) {
+            let depth = scope_rt[sid.0].depth.expect("scope ran");
             if slot < depth {
                 for var in vars {
-                    let fb_port = self.pending[var.0].len() - 1;
-                    self.pending[var.0][fb_port]
+                    let fb_port = pending[var.0].len() - 1;
+                    pending[var.0][fb_port]
                         .entry(slot + 1)
                         .or_default()
                         .extend(batch.iter().cloned());
-                    self.scope_rt[sid.0].pending_slots.insert(slot + 1);
+                    scope_rt[sid.0].pending_slots.insert(slot + 1);
                 }
             }
-        }
-    }
-
-    /// Applies an invariant-side delta to the shared state of a varying
-    /// consumer (once per epoch, not per slot) and returns the payload to
-    /// broadcast to every materialized slot: raw rows for joins/stateless
-    /// consumers, key presence flips for antijoin right sides.
-    fn absorb_invariant_side(&mut self, node: NodeId, port: usize, batch: &Batch) -> Batch {
-        self.tuples_processed += batch.len();
-        match &mut self.states[node.0] {
-            NodeState::Join { left, right } => {
-                let side = if port == 0 { left } else { right };
-                debug_assert!(!side.varying);
-                let index = &mut side.slots[0].state;
-                for (row, diff) in batch {
-                    index.update(row.key(), row.payload(), *diff);
-                }
-                batch.clone()
-            }
-            NodeState::AntiJoin { left, right } => {
-                if port == 0 {
-                    debug_assert!(!left.varying);
-                    let index = &mut left.slots[0].state;
-                    for (row, diff) in batch {
-                        index.update(row.key(), row.payload(), *diff);
-                    }
-                    batch.clone()
-                } else {
-                    debug_assert!(!right.varying);
-                    let index = &mut right.slots[0].state;
-                    let mut flips = Batch::new();
-                    for (row, diff) in batch {
-                        let before = index.key_count(row);
-                        index.update(row, &Value::Unit, *diff);
-                        let after = index.key_count(row);
-                        match (before > 0, after > 0) {
-                            (false, true) => flips.push((row.clone(), 1)),
-                            (true, false) => flips.push((row.clone(), -1)),
-                            _ => {}
-                        }
-                    }
-                    flips
-                }
-            }
-            // Stateless varying consumers (concat etc.): broadcast raw rows.
-            _ => batch.clone(),
         }
     }
 
@@ -835,28 +857,39 @@ impl Runtime {
         mut ports: Vec<(usize, Batch)>,
         varying: bool,
     ) -> Batch {
+        // Split borrow: the operator kind is matched in place (`program` is
+        // never mutated after construction) while `states` is written, so
+        // no per-application `KindRef` snapshot of the Rc'd closures.
+        let Runtime {
+            program,
+            states,
+            scope_rt,
+            tuples_processed,
+            outputs_changed,
+            ..
+        } = self;
         for (_, b) in &ports {
-            self.tuples_processed += b.len();
+            *tuples_processed += b.len();
         }
         let slot_idx = if varying { slot as usize } else { 0 };
-        let kind = kind_ref(&self.program.nodes[id.0].kind);
+        let kind = &program.nodes[id.0].kind;
         let mut out = Batch::new();
         let mut log_dirty = false;
         let mut output_changed = false;
         match kind {
-            KindRef::Passthrough | KindRef::Concat => {
+            OpKind::Input { .. } | OpKind::Enter | OpKind::Concat => {
                 for (_, b) in ports {
                     out.extend(b);
                 }
             }
-            KindRef::Map(f) => {
+            OpKind::Map(f) => {
                 for (_, b) in ports {
                     for (row, diff) in b {
                         out.push((f(&row), diff));
                     }
                 }
             }
-            KindRef::FlatMap(f) => {
+            OpKind::FlatMap(f) => {
                 for (_, b) in ports {
                     for (row, diff) in b {
                         for produced in f(&row) {
@@ -865,7 +898,7 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::Filter(p) => {
+            OpKind::Filter(p) => {
                 for (_, b) in ports {
                     for (row, diff) in b {
                         if p(&row) {
@@ -874,29 +907,30 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::Negate => {
+            OpKind::Negate => {
                 for (_, b) in ports {
                     for (row, diff) in b {
                         out.push((row, -diff));
                     }
                 }
             }
-            KindRef::Arrange { is_leave } => {
+            OpKind::Leave | OpKind::Variable { .. } | OpKind::Buffer => {
+                let is_leave = matches!(kind, OpKind::Leave);
                 if is_leave && !varying {
                     // Invariant leave: pure pass-through to the outer region.
                     for (_, b) in ports {
                         out.extend(b);
                     }
                 } else {
-                    let NodeState::Arrange(slots) = &mut self.states[id.0] else {
+                    let NodeState::Arrange(slots) = &mut states[id.0] else {
                         unreachable!()
                     };
                     let sl = &mut slots[slot_idx];
                     for (_, b) in ports {
                         for (row, diff) in b {
-                            sl.state.update(row.clone(), diff);
+                            sl.state.update_ref(&row, diff);
                             if is_leave {
-                                sl.log.push((row.clone(), diff));
+                                sl.log.push((row, diff));
                             } else {
                                 // Variables/buffers forward their deltas;
                                 // leaves emit in phase C instead.
@@ -907,15 +941,18 @@ impl Runtime {
                     log_dirty = is_leave;
                 }
             }
-            KindRef::Distinct => {
-                let NodeState::Distinct(slots) = &mut self.states[id.0] else {
+            OpKind::Distinct => {
+                let NodeState::Distinct(slots) = &mut states[id.0] else {
                     unreachable!()
                 };
                 let sl = &mut slots[slot_idx];
                 for (_, b) in ports {
                     for (row, diff) in b {
-                        let before = sl.state.count(&row);
-                        let after = sl.state.update(row.clone(), diff);
+                        // One probe, no clone: `update_ref` returns the
+                        // post-update multiplicity and the pre-update count
+                        // is recovered arithmetically.
+                        let after = sl.state.update_ref(&row, diff);
+                        let before = after - diff;
                         match (before > 0, after > 0) {
                             (false, true) => out.push((row, 1)),
                             (true, false) => out.push((row, -1)),
@@ -924,8 +961,8 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::Join(outf) => {
-                let NodeState::Join { left, right } = &mut self.states[id.0] else {
+            OpKind::Join { out: outf } => {
+                let NodeState::Join { left, right } = &mut states[id.0] else {
                     unreachable!()
                 };
                 // Port order: when exactly the left side is invariant its
@@ -972,8 +1009,8 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::AntiJoin => {
-                let NodeState::AntiJoin { left, right } = &mut self.states[id.0] else {
+            OpKind::AntiJoin => {
+                let NodeState::AntiJoin { left, right } = &mut states[id.0] else {
                     unreachable!()
                 };
                 let left_first = !left.varying && right.varying;
@@ -1019,22 +1056,20 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::Reduce(f) => {
-                let NodeState::Reduce(slots) = &mut self.states[id.0] else {
+            OpKind::Reduce { f } => {
+                let NodeState::Reduce(slots) = &mut states[id.0] else {
                     unreachable!()
                 };
                 let sl = &mut slots[slot_idx];
                 let mut dirty_keys: BTreeSet<Value> = BTreeSet::new();
                 for (_, b) in ports {
                     for (row, diff) in b {
-                        let key = row.key().clone();
-                        let payload = row.payload().clone();
-                        apply_group_update(&mut sl.state.groups, &key, &payload, diff);
-                        dirty_keys.insert(key);
+                        apply_group_update(&mut sl.state.groups, row.key(), row.payload(), diff);
+                        dirty_keys.insert(row.key().clone());
                     }
                 }
                 for key in dirty_keys {
-                    let new_out = evaluate_reduce(&f, &sl.state.groups, &key);
+                    let new_out = evaluate_reduce(f, &sl.state.groups, &key);
                     let old_out = sl.state.out_cache.remove(&key).unwrap_or_default();
                     for (row, diff) in &new_out {
                         out.push((row.clone(), *diff));
@@ -1047,8 +1082,8 @@ impl Runtime {
                     }
                 }
             }
-            KindRef::Output => {
-                let NodeState::Output { current, drained } = &mut self.states[id.0] else {
+            OpKind::Output { .. } => {
+                let NodeState::Output { current, drained } = &mut states[id.0] else {
                     unreachable!()
                 };
                 for (_, b) in ports {
@@ -1061,17 +1096,65 @@ impl Runtime {
             }
         }
         if log_dirty {
-            if let Some(sid) = self.program.nodes[id.0].scope {
-                self.scope_rt[sid.0].dirty_logs.push((id, slot));
+            if let Some(sid) = program.nodes[id.0].scope {
+                scope_rt[sid.0].dirty_logs.push((id, slot));
             }
         }
         if output_changed {
-            self.outputs_changed += 1;
+            *outputs_changed += 1;
         }
         // Consolidation keeps net-zero batches from circulating forever in
         // feedback loops and canonicalizes all inter-operator traffic.
         consolidate(&mut out);
         out
+    }
+}
+
+/// Applies an invariant-side delta to the shared state of a varying
+/// consumer (once per epoch, not per slot) and returns the payload to
+/// broadcast to every materialized slot: `None` when the original batch
+/// passes through verbatim (joins, stateless consumers — the caller then
+/// broadcasts the shared buffer instead of cloning its rows, the fix for
+/// the old per-consumer `batch.clone()`), `Some(flips)` with key presence
+/// flips for antijoin right sides.
+fn absorb_invariant_side(state: &mut NodeState, port: usize, batch: &Batch) -> Option<Batch> {
+    match state {
+        NodeState::Join { left, right } => {
+            let side = if port == 0 { left } else { right };
+            debug_assert!(!side.varying);
+            let index = &mut side.slots[0].state;
+            for (row, diff) in batch {
+                index.update(row.key(), row.payload(), *diff);
+            }
+            None
+        }
+        NodeState::AntiJoin { left, right } => {
+            if port == 0 {
+                debug_assert!(!left.varying);
+                let index = &mut left.slots[0].state;
+                for (row, diff) in batch {
+                    index.update(row.key(), row.payload(), *diff);
+                }
+                None
+            } else {
+                debug_assert!(!right.varying);
+                let index = &mut right.slots[0].state;
+                let mut flips = Batch::new();
+                for (row, diff) in batch {
+                    let before = index.key_count(row);
+                    index.update(row, &Value::Unit, *diff);
+                    let after = index.key_count(row);
+                    match (before > 0, after > 0) {
+                        (false, true) => flips.push((row.clone(), 1)),
+                        (true, false) => flips.push((row.clone(), -1)),
+                        _ => {}
+                    }
+                }
+                Some(flips)
+            }
+        }
+        // Stateless varying consumers (concat etc.): broadcast raw rows.
+        _ => None,
     }
 }
 
@@ -1087,25 +1170,41 @@ fn emit_antijoin_flips(flips: &Batch, left: &Index, out: &mut Batch) {
 }
 
 fn apply_group_update(
-    groups: &mut HashMap<Value, BTreeMap<Value, Diff>>,
+    groups: &mut FastMap<Value, BTreeMap<Value, Diff>>,
     key: &Value,
     payload: &Value,
     diff: Diff,
 ) {
-    let group = groups.entry(key.clone()).or_default();
-    let entry = group.entry(payload.clone()).or_insert(0);
-    *entry += diff;
-    if *entry == 0 {
-        group.remove(payload);
+    if diff == 0 {
+        return;
     }
-    if group.is_empty() {
-        groups.remove(key);
+    // Same borrowed-probe discipline as `Index::update`: clone the key and
+    // payload only when a new entry is actually created.
+    let Some(group) = groups.get_mut(key) else {
+        let mut group = BTreeMap::new();
+        group.insert(payload.clone(), diff);
+        groups.insert(key.clone(), group);
+        return;
+    };
+    match group.get_mut(payload) {
+        Some(entry) => {
+            *entry += diff;
+            if *entry == 0 {
+                group.remove(payload);
+                if group.is_empty() {
+                    groups.remove(key);
+                }
+            }
+        }
+        None => {
+            group.insert(payload.clone(), diff);
+        }
     }
 }
 
 fn evaluate_reduce(
     f: &ReduceFn,
-    groups: &HashMap<Value, BTreeMap<Value, Diff>>,
+    groups: &FastMap<Value, BTreeMap<Value, Diff>>,
     key: &Value,
 ) -> Batch {
     match groups.get(key) {

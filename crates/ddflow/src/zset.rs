@@ -5,8 +5,8 @@
 //! operators are linear (or piecewise linear) functions over Z-sets, which is
 //! what makes differential computation compositional.
 
+use crate::hash::FastMap;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Signed multiplicity of a row.
 pub type Diff = isize;
@@ -22,7 +22,10 @@ pub fn consolidate(batch: &mut Batch) {
     if batch.is_empty() {
         return;
     }
-    batch.sort_by(|a, b| a.0.cmp(&b.0));
+    // Unstable sort: no merge-buffer allocation, and equal rows are merged
+    // by summing diffs (commutative) so the relative order of equal
+    // elements cannot affect the canonical result.
+    batch.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     let mut write = 0usize;
     let mut read = 0usize;
     while read < batch.len() {
@@ -48,7 +51,7 @@ pub fn consolidate(batch: &mut Batch) {
 /// actually present (positively or negatively).
 #[derive(Clone, Default)]
 pub struct ZSet {
-    rows: HashMap<Value, Diff>,
+    rows: FastMap<Value, Diff>,
 }
 
 impl ZSet {
@@ -73,6 +76,29 @@ impl ZSet {
             }
             None => {
                 self.rows.insert(row, diff);
+                diff
+            }
+        }
+    }
+
+    /// Like [`ZSet::update`], but borrows the row and clones it only when a
+    /// fresh entry is actually inserted — the hot path (updating a row that
+    /// is already present, or cancelling it out) allocates nothing.
+    pub fn update_ref(&mut self, row: &Value, diff: Diff) -> Diff {
+        if diff == 0 {
+            return self.count(row);
+        }
+        match self.rows.get_mut(row) {
+            Some(c) => {
+                *c += diff;
+                let now = *c;
+                if now == 0 {
+                    self.rows.remove(row);
+                }
+                now
+            }
+            None => {
+                self.rows.insert(row.clone(), diff);
                 diff
             }
         }
@@ -126,7 +152,7 @@ impl ZSet {
     /// Returns the contents as a canonical (sorted, consolidated) batch.
     pub fn to_batch(&self) -> Batch {
         let mut out: Batch = self.rows.iter().map(|(v, d)| (v.clone(), *d)).collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         out
     }
 

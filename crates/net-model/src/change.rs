@@ -261,6 +261,18 @@ impl ChangeSet {
     }
 }
 
+impl Change {
+    /// Applies this change to the snapshot **in place**. On error the
+    /// snapshot is unchanged (each change validates before mutating), but
+    /// callers sequencing several changes who need all-or-nothing semantics
+    /// across the set should work on a copy — see [`ChangeSet::apply`].
+    /// Incremental engines use this to advance a mirror snapshot one change
+    /// at a time without cloning the whole snapshot per change.
+    pub fn apply_to(&self, snap: &mut Snapshot) -> Result<(), ApplyError> {
+        apply_one(snap, self)
+    }
+}
+
 fn device_mut<'a>(
     snap: &'a mut Snapshot,
     name: &str,

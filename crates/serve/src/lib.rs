@@ -56,6 +56,7 @@ pub use server::{
     serve_stream, Request, ServeSummary,
 };
 pub use session::{
-    checkpoint_file_name, resolve_checkpoint_snapshot, Session, SessionConfig, SessionManager,
+    checkpoint_file_name, coalesced_label, resolve_checkpoint_snapshot, Session, SessionConfig,
+    SessionManager,
 };
 pub use view::{QueryView, ViewReader, ViewRegistry, ViewSlot};

@@ -241,13 +241,24 @@ fn session_loop(
     // Engine-path query latency, labeled by answer path (the scope
     // slot carries the transport, not a session — see `crate::obs`).
     let query_latency = registry.histogram_for("query_latency_us", "broker");
-    for SessionCmd {
-        work,
-        reply,
-        enqueued,
-        epochs_hint,
-    } in rx
-    {
+    // A command the coalescing drain pulled off the channel that turned
+    // out not to be ingest work: processed on the next iteration, so
+    // per-session command order is preserved exactly.
+    let mut carry: Option<SessionCmd> = None;
+    loop {
+        let cmd = match carry.take() {
+            Some(c) => c,
+            None => match rx.recv() {
+                Ok(c) => c,
+                Err(_) => break,
+            },
+        };
+        let SessionCmd {
+            work,
+            reply,
+            enqueued,
+            epochs_hint,
+        } = cmd;
         // One beat per command-loop iteration: a live heartbeat with a
         // non-empty queue is the watchdog's proof the engine is moving.
         acct.beat();
@@ -267,6 +278,99 @@ fn session_loop(
             summary.count(&response, 0);
             let _ = reply.send(write_response(&response));
             continue;
+        }
+        // Backlog epoch coalescing (--coalesce): if more ingest work is
+        // already queued behind this command, the queue is deep — drain
+        // it and merge the pooled epochs into commits of up to
+        // `config.coalesce` epochs each (see `apply_ingest_batch`).
+        // Draining stops at the first non-ingest command, carried into
+        // the next iteration, so command order is preserved; each
+        // drained artifact still gets its own reply. A lone ingest with
+        // an empty queue takes the per-epoch path below — coalescing
+        // never touches a shallow queue.
+        if config.coalesce >= 2 && matches!(work, SessionWork::IngestText(_)) {
+            let mut extras: Vec<(String, mpsc::Sender<String>, u64)> = Vec::new();
+            // Bounded drain: drained artifacts' replies are withheld
+            // until the whole batch commits, so one drain must not
+            // swallow an unbounded flood.
+            while extras.len() + 1 < 64 {
+                match rx.try_recv() {
+                    Ok(c) if matches!(c.work, SessionWork::IngestText(_)) => {
+                        acct.queue_depth.sub(1);
+                        acct.queue_wait.observe(c.enqueued.elapsed());
+                        let SessionWork::IngestText(text) = c.work else {
+                            unreachable!("matched IngestText above");
+                        };
+                        extras.push((text, c.reply, c.epochs_hint));
+                    }
+                    // Pulled but deliberately not processed here: its
+                    // pick-up accounting runs when the next iteration
+                    // takes it out of the carry slot.
+                    Ok(c) => {
+                        carry = Some(c);
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if !extras.is_empty() {
+                let SessionWork::IngestText(text) = work else {
+                    unreachable!("matched IngestText above");
+                };
+                let mut texts = vec![text];
+                let mut replies = vec![(reply, epochs_hint)];
+                for (text, reply, hint) in extras {
+                    texts.push(text);
+                    replies.push((reply, hint));
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    apply_ingest_batch(&name, &config, &mut session, &texts)
+                }));
+                for (_, hint) in &replies {
+                    acct.epochs_behind.sub(*hint);
+                }
+                match outcome {
+                    Ok(results) => {
+                        *lock_info(info) = session.as_ref().map(Session::info);
+                        for ((response, epochs), (reply, _)) in results.into_iter().zip(&replies) {
+                            summary.count(&response, epochs);
+                            let _ = reply.send(write_response(&response));
+                        }
+                    }
+                    // The same fence as the single-command path below,
+                    // except every client in the drained batch gets the
+                    // failure answer — none may be left hanging.
+                    Err(payload) => {
+                        let reason = panic_reason(payload.as_ref());
+                        session = None;
+                        if let Some(view) = &view {
+                            view.clear();
+                            registry.counter_for("view_withdrawals", &name).inc();
+                        }
+                        let mut guard = lock_info(info);
+                        let last = guard.take();
+                        *guard = Some(SessionInfo {
+                            name: name.clone(),
+                            epochs: last.as_ref().map_or(0, |i| i.epochs),
+                            devices: last.as_ref().map_or(0, |i| i.devices),
+                            verify: config.verify,
+                            failed: true,
+                        });
+                        drop(guard);
+                        summary.failures += 1;
+                        failed = Some(reason.clone());
+                        acct.failed.set(1);
+                        let response =
+                            Response::Error(format!("session {name:?} failed: {reason}"));
+                        let text = write_response(&response);
+                        for (reply, _) in &replies {
+                            summary.count(&response, 0);
+                            let _ = reply.send(text.clone());
+                        }
+                    }
+                }
+                continue;
+            }
         }
         let query_kind = match &work {
             SessionWork::Query(k) => Some(k.name()),
@@ -399,6 +503,158 @@ fn apply(
         #[cfg(test)]
         SessionWork::Poison => panic!("deliberately poisoned (test hook)"),
     }
+}
+
+/// Applies a drained backlog of ingest artifacts with epoch coalescing
+/// (the code inside the panic fence for the batched path). Every
+/// artifact is parsed, then the epochs of all of them are pooled in
+/// arrival order and merged into commits of up to `config.coalesce`
+/// epochs each ([`Session::ingest_coalesced`]); the final engine state
+/// is identical to ingesting them one by one. Returns one
+/// `(response, epochs applied)` pair per artifact, in artifact order.
+///
+/// Error semantics mirror the sequential path per artifact: a failing
+/// epoch skips the rest of **its** artifact (stream semantics) while
+/// other artifacts' epochs continue, and its error reply counts the
+/// artifact's earlier applied epochs. A merged commit is atomic, so on
+/// failure it falls back to per-epoch ingest to recover exactly those
+/// semantics. Replies report the session's epoch total at drain
+/// completion (commit granularity — the N intermediate totals never
+/// exist under coalescing).
+fn apply_ingest_batch(
+    name: &str,
+    config: &SessionConfig,
+    session: &mut Option<Session>,
+    texts: &[String],
+) -> Vec<(Response, u64)> {
+    // Per-artifact accounting, separate from the parsed traces so the
+    // chunk loop can hold epoch borrows while it updates counters.
+    #[derive(Default, Clone)]
+    struct Acc {
+        applied: usize,
+        flows: usize,
+        error: Option<String>,
+    }
+    /// Ingests a chunk per-epoch with sequential stream semantics: a
+    /// failing epoch fails its artifact (skipping the artifact's later
+    /// epochs) while other artifacts continue.
+    fn seq_ingest(
+        s: &mut Session,
+        chunk: &[(usize, &dna_io::TraceEpoch)],
+        parse_share: &[u64],
+        acc: &mut [Acc],
+    ) {
+        for (ai, ep) in chunk {
+            if acc[*ai].error.is_some() {
+                continue;
+            }
+            match s.ingest_timed(ep, parse_share[*ai]) {
+                Ok(n) => {
+                    acc[*ai].applied += 1;
+                    acc[*ai].flows += n;
+                }
+                Err(e) => {
+                    acc[*ai].error = Some(format!(
+                        "{e} ({} earlier epoch(s) of this trace applied)",
+                        acc[*ai].applied
+                    ));
+                }
+            }
+        }
+    }
+    let parsed: Vec<(Result<dna_io::Trace, String>, u64)> = texts
+        .iter()
+        .map(|text| {
+            let start = std::time::Instant::now();
+            let trace = parse_trace(text).map_err(|e| e.to_string());
+            if let Ok(t) = &trace {
+                fault_check(t);
+            }
+            let parse_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            (trace, parse_ns)
+        })
+        .collect();
+    let Some(s) = session.as_mut() else {
+        let msg = format!("session {name:?} has no loaded snapshot");
+        return parsed
+            .iter()
+            .map(|(p, _)| match p {
+                Err(e) => (Response::Error(e.clone()), 0),
+                Ok(_) => (Response::Error(msg.clone()), 0),
+            })
+            .collect();
+    };
+    let mut acc = vec![Acc::default(); parsed.len()];
+    // The pooled epoch stream: (artifact, epoch) indices in arrival
+    // order, with each artifact's parse cost amortized evenly across
+    // its epochs like the sequential path does (`ingest_trace_timed`).
+    let mut stream: Vec<(usize, usize)> = Vec::new();
+    let mut parse_share = vec![0u64; parsed.len()];
+    for (ai, (p, parse_ns)) in parsed.iter().enumerate() {
+        if let Ok(t) = p {
+            parse_share[ai] = parse_ns / t.epochs.len().max(1) as u64;
+            stream.extend((0..t.epochs.len()).map(|ei| (ai, ei)));
+        }
+    }
+    let max = config.coalesce.max(1);
+    let mut next = 0;
+    while next < stream.len() {
+        // Collect the next commit's epochs, skipping artifacts already
+        // failed (their remaining epochs are dead under stream
+        // semantics).
+        let mut chunk: Vec<(usize, &dna_io::TraceEpoch)> = Vec::new();
+        while next < stream.len() && chunk.len() < max {
+            let (ai, ei) = stream[next];
+            next += 1;
+            if acc[ai].error.is_some() {
+                continue;
+            }
+            let trace = parsed[ai].0.as_ref().expect("streamed artifacts parsed");
+            chunk.push((ai, &trace.epochs[ei]));
+        }
+        match chunk.as_slice() {
+            [] => {}
+            [_] => seq_ingest(s, &chunk, &parse_share, &mut acc),
+            many => {
+                let epochs: Vec<&dna_io::TraceEpoch> = many.iter().map(|(_, ep)| *ep).collect();
+                let parse_ns = many.iter().map(|(ai, _)| parse_share[*ai]).sum();
+                match s.ingest_coalesced(&epochs, parse_ns) {
+                    Ok(flows) => {
+                        for (ai, _) in many {
+                            acc[*ai].applied += 1;
+                        }
+                        // The merged commit's flow diffs belong to the
+                        // commit, not any single epoch; they are
+                        // attributed to the artifact that completed it.
+                        let (last, _) = many.last().expect("non-empty chunk");
+                        acc[*last].flows += flows;
+                    }
+                    // Atomic failure: nothing applied. Re-run the chunk
+                    // per-epoch so partial-failure semantics (and the
+                    // error attribution) match the sequential path.
+                    Err(_) => seq_ingest(s, &chunk, &parse_share, &mut acc),
+                }
+            }
+        }
+    }
+    let total = s.epochs() as u64;
+    parsed
+        .iter()
+        .zip(acc)
+        .map(|((p, _), a)| match (p, a.error) {
+            (Err(e), _) => (Response::Error(e.clone()), 0),
+            (Ok(_), Some(e)) => (Response::Error(e), a.applied as u64),
+            (Ok(_), None) => (
+                Response::Ingested {
+                    session: name.to_string(),
+                    epochs: a.applied as u64,
+                    flows: a.flows as u64,
+                    total,
+                },
+                a.applied as u64,
+            ),
+        })
+        .collect()
 }
 
 /// The fault-injection hook behind `DNA_SERVE_FAULT_LABEL`: routing a

@@ -286,6 +286,13 @@ pub fn pump_stream_as(
     Ok(pumped)
 }
 
+/// How many shipped epochs a follower lets run ahead of their
+/// acknowledgements: deep enough that a burst presents the engine a
+/// real backlog (the `--coalesce` drain caps merges well below this),
+/// bounded so a runaway writer cannot queue unbounded epochs in the
+/// broker.
+const FOLLOW_WINDOW: usize = 32;
+
 /// File-tail ingest (`dna serve --follow`): follows a growing trace
 /// file, shipping each change epoch to the engine as a single-epoch
 /// trace artifact the moment the epoch completes (see
@@ -298,6 +305,17 @@ pub fn pump_stream_as(
 /// engine goes away. Error *responses* (e.g. an epoch failing to
 /// apply) are reported to stderr and do not stop the follow — later
 /// epochs of a live stream may still apply.
+///
+/// Shipping is **pipelined**: up to [`FOLLOW_WINDOW`] epochs may be in
+/// flight before the follower stops to collect acknowledgements, so a
+/// burst appended to the tailed file reaches the engine back-to-back
+/// instead of one round-trip at a time. That is what lets a fast
+/// writer build a real ingest backlog — which `--coalesce` then drains
+/// as merged commits — while the window bound keeps a runaway writer
+/// from queueing unbounded epochs in the broker. Acknowledgements are
+/// always fully drained before the follower sleeps at a quiet EOF and
+/// before it returns, so error reporting lags a stalled stream by at
+/// most one poll, never indefinitely.
 ///
 /// The follow survives **truncation and rotation** of the tailed file:
 /// when, at EOF, the path's on-disk size has shrunk below what was
@@ -318,6 +336,23 @@ pub fn follow_trace(
     let mut carry: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut shipped = 0u64;
+    // In-flight acknowledgements, oldest first (see the pipelining
+    // note in the doc comment).
+    let mut pending: std::collections::VecDeque<mpsc::Receiver<String>> =
+        std::collections::VecDeque::new();
+    let engine_gone = || io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down mid-follow");
+    let drain_one =
+        |pending: &mut std::collections::VecDeque<mpsc::Receiver<String>>| -> io::Result<()> {
+            let Some(rx) = pending.pop_front() else {
+                return Ok(());
+            };
+            let response = rx.recv().map_err(|_| engine_gone())?;
+            if let Ok(Response::Error(msg)) = dna_io::parse_response(&response) {
+                // An epoch failing to apply outranks --quiet.
+                dna_obs::log::announce(&format!("dna serve: follow {}: {msg}", path.display()));
+            }
+            Ok(())
+        };
     // Bytes read from the currently-open file: a path whose on-disk
     // size drops below this was truncated (or replaced by a shorter
     // file) — the shrink half of rotation detection.
@@ -337,6 +372,12 @@ pub fn follow_trace(
             // else pending just waits for the writer.
             let flushed = tail.finish_eof().map_err(bad_trace)?;
             if flushed.is_empty() {
+                // Quiet moment: collect every outstanding ack before
+                // returning or sleeping, so errors surface promptly
+                // and a finished follow leaves nothing in flight.
+                while !pending.is_empty() {
+                    drain_one(&mut pending)?;
+                }
                 if tail.finished() {
                     return Ok(shipped);
                 }
@@ -403,21 +444,12 @@ pub fn follow_trace(
                 reply: reply_tx,
             });
             if sent.is_err() {
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "engine shut down mid-follow",
-                ));
+                return Err(engine_gone());
             }
-            let Ok(response) = reply_rx.recv() else {
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "engine shut down mid-follow",
-                ));
-            };
+            pending.push_back(reply_rx);
             shipped += 1;
-            if let Ok(Response::Error(msg)) = dna_io::parse_response(&response) {
-                // An epoch failing to apply outranks --quiet.
-                dna_obs::log::announce(&format!("dna serve: follow {}: {msg}", path.display()));
+            while pending.len() >= FOLLOW_WINDOW {
+                drain_one(&mut pending)?;
             }
         }
     }

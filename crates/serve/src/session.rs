@@ -46,6 +46,12 @@ pub struct SessionConfig {
     /// cadence; on-demand checkpoints still work). Only meaningful with
     /// a checkpoint directory.
     pub checkpoint_every: usize,
+    /// Backlog epoch coalescing: when this session's ingest queue is
+    /// deep, up to this many pending epochs are merged into **one**
+    /// dataflow commit (one engine commit, one history record with a
+    /// `coalesced(N): ...` label — see FORMAT.md). 0 or 1 disables
+    /// coalescing; every epoch then commits individually.
+    pub coalesce: usize,
 }
 
 impl Default for SessionConfig {
@@ -57,8 +63,26 @@ impl Default for SessionConfig {
             shards: 1,
             checkpoint_dir: None,
             checkpoint_every: 0,
+            coalesce: 0,
         }
     }
+}
+
+/// The merged history label of a coalesced commit (the format FORMAT.md
+/// documents): `coalesced(N)` followed by the constituent epochs'
+/// labels in arrival order joined with ` + `. Unlabeled epochs are
+/// skipped; an all-unlabeled merge keeps the bare `coalesced(N)`.
+pub fn coalesced_label(epochs: &[&TraceEpoch]) -> String {
+    let mut label = format!("coalesced({})", epochs.len());
+    let mut sep = ": ";
+    for ep in epochs {
+        if let Some(l) = &ep.label {
+            label.push_str(sep);
+            label.push_str(l);
+            sep = " + ";
+        }
+    }
+    label
 }
 
 /// The on-disk file name of a session's checkpoint inside the
@@ -145,6 +169,17 @@ struct SessionObs {
     checkpoint_writes: dna_obs::Counter,
     checkpoint_write_us: dna_obs::Histogram,
     queries_answered: dna_obs::Counter,
+    /// Epochs folded into an already-open merged commit by backlog
+    /// coalescing — i.e. engine commits saved (a merged commit of N
+    /// epochs adds N-1).
+    epochs_coalesced: dna_obs::Counter,
+    /// Dataflow operators skipped by dirty-node scheduling, summed
+    /// over every commit this session applied.
+    dd_nodes_skipped: dna_obs::Counter,
+    /// Dataflow tuples processed, summed over every commit — the
+    /// cheap allocation-pressure proxy for the commit path (tuple
+    /// traffic is what the hot-path maps and batches allocate for).
+    dd_tuples: dna_obs::Counter,
     /// Live resource accounting (heartbeat, retained/published bytes).
     /// The session layer shares these cells with the router's engine
     /// thread — registration is get-or-create — so single-threaded
@@ -165,6 +200,9 @@ impl SessionObs {
             checkpoint_writes: r.counter_for("checkpoint_writes", session),
             checkpoint_write_us: r.histogram_for("checkpoint_write_us", session),
             queries_answered: r.counter_for("queries_answered", session),
+            epochs_coalesced: r.counter_for("epochs_coalesced", session),
+            dd_nodes_skipped: r.counter_for("dd_nodes_skipped", session),
+            dd_tuples: r.counter_for("dd_tuples", session),
             acct: dna_obs::SessionAccounting::register(r, session),
         }
     }
@@ -243,6 +281,7 @@ impl Session {
             shards: server.shards,
             checkpoint_dir: server.checkpoint_dir.clone(),
             checkpoint_every: server.checkpoint_every,
+            coalesce: server.coalesce,
         };
         let mode = if config.verify {
             ReplayMode::Both
@@ -408,16 +447,88 @@ impl Session {
         let index = out.index;
         let diff = EpochDiff::from_behavior(epoch.label.clone(), out.primary());
         let flows = self.push_history(index, diff);
+        self.commit_epilogue(
+            index,
+            epoch.label.clone(),
+            epoch.changes.len(),
+            1,
+            parse_ns,
+            start,
+            flows,
+        );
+        Ok(flows)
+    }
+
+    /// Applies several pending change epochs as **one** dataflow commit
+    /// (see [`dna_core::ReplaySession::step_coalesced`]): the backlog
+    /// drain path behind `--coalesce`. One engine commit, one retained
+    /// history record carrying the merged `coalesced(N): ...` label
+    /// (documented in FORMAT.md), one view publish, one lifecycle span.
+    /// The final engine state is identical to ingesting the epochs one
+    /// by one; what is lost is the N-1 intermediate history records.
+    /// Atomic: on error nothing is applied (callers wanting stream
+    /// semantics fall back to per-epoch ingest — the router does).
+    pub fn ingest_coalesced(
+        &mut self,
+        epochs: &[&TraceEpoch],
+        parse_ns: u64,
+    ) -> Result<usize, String> {
+        if let [single] = epochs {
+            return self.ingest_timed(single, parse_ns);
+        }
+        if epochs.is_empty() {
+            return Ok(0);
+        }
+        let start = Instant::now();
+        self.obs.acct.beat();
+        let out = self
+            .replay
+            .step_coalesced(epochs.iter().map(|e| &e.changes))
+            .map_err(|e| format!("session {:?}: epoch {}: {e}", self.name, self.epochs()))?;
+        if out.analyzers_agree() == Some(false) {
+            self.mismatches += 1;
+        }
+        let index = out.index;
+        let label = Some(coalesced_label(epochs));
+        let diff = EpochDiff::from_behavior(label.clone(), out.primary());
+        let flows = self.push_history(index, diff);
+        // N epochs, one commit: N-1 engine commits amortized away.
+        self.obs.epochs_coalesced.add(epochs.len() as u64 - 1);
+        let changes = epochs.iter().map(|e| e.changes.len()).sum();
+        self.commit_epilogue(index, label, changes, epochs.len(), parse_ns, start, flows);
+        Ok(flows)
+    }
+
+    /// The shared tail of every applied commit — view publish, cadence
+    /// checkpoint, hot-path counters, lifecycle span — so the per-epoch
+    /// and coalesced ingest paths stay observably identical per commit.
+    // Every argument is one fact about the commit just applied; a
+    // params struct would only rename the call sites.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_epilogue(
+        &mut self,
+        index: usize,
+        label: Option<String>,
+        changes: usize,
+        epochs_in_commit: usize,
+        parse_ns: u64,
+        start: Instant,
+        flows: usize,
+    ) {
         // Publish the refreshed read view before acknowledging the
         // epoch: a client that holds our reply must find a view at
         // least this fresh (cheap no-op when no slot is attached).
         let publish_ns = self.publish_view();
         // Cadence checkpoints ride the ingest path. A failed write must
         // not fail the epoch (the analysis state is fine — durability
-        // degraded, which the operator hears about on stderr).
+        // degraded, which the operator hears about on stderr). A
+        // coalesced commit advances the epoch counter by N, so the
+        // cadence test is "did this commit cross a multiple", not
+        // "did it land on one".
         if self.config.checkpoint_dir.is_some()
             && self.config.checkpoint_every > 0
-            && self.epochs().is_multiple_of(self.config.checkpoint_every)
+            && self.epochs() / self.config.checkpoint_every
+                > (self.epochs() - epochs_in_commit) / self.config.checkpoint_every
         {
             if let Err(e) = self.write_checkpoint() {
                 // Durability degradation outranks --quiet: always heard.
@@ -435,19 +546,22 @@ impl Session {
                 s.dp_time.as_nanos().min(u64::MAX as u128) as u64,
             )
         });
+        if let Some(s) = self.replay.last_stats() {
+            self.obs.dd_nodes_skipped.add(s.nodes_skipped as u64);
+            self.obs.dd_tuples.add(s.cp_tuples as u64);
+        }
         dna_obs::spans().record(EpochSpan {
             session: self.name.clone(),
             epoch: index as u64,
-            label: epoch.label.clone(),
+            label,
             parse_ns,
             cp_ns,
             dp_ns,
             publish_ns,
             total_ns: parse_ns.saturating_add(apply_ns),
-            changes: epoch.changes.len() as u64,
+            changes: changes as u64,
             flows: flows as u64,
         });
-        Ok(flows)
     }
 
     /// Appends one canonical diff to the retained history and applies
