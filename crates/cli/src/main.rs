@@ -14,7 +14,9 @@
 //!   ingest artifacts from stdin (and answer unix-socket clients),
 //!   respond to queries against the evolving state;
 //! * `dna query`  — compose a protocol query (stdout) or send it to a
-//!   serving socket and print the response.
+//!   serving socket and print the response;
+//! * `dna watch`  — subscribe a standing query over TCP and stream the
+//!   pushed `notify` artifacts live as commits change its answer.
 //!
 //! Exit codes: 0 success, 1 usage/parse/analysis errors, 2 verification
 //! or validation failures (or an `error` response to `dna query`).
@@ -22,7 +24,7 @@
 use dna_core::{classify, render, summarize, BehaviorDiff, ReplayMode, ReplaySession};
 use dna_io::{
     parse_snapshot, parse_trace, write_query, write_report, write_snapshot, write_trace, EpochDiff,
-    Query, QueryKind, Report, Response, Trace,
+    Query, QueryKind, Report, Response, SubscriptionSpec, Trace,
 };
 use dna_serve::{serve_stream, SessionConfig, SessionManager};
 use net_model::{Flow, Snapshot};
@@ -49,6 +51,8 @@ USAGE:
             [--checkpoint-dir <dir> [--checkpoint-every <n>] [--resume]]
   dna query [--session <name>] [--socket <path>] [--connect <addr>]
             [--prometheus] [--rates] <command>
+  dna watch --connect <addr> [--session <name>] [--count <n>]
+            <subscription>
   dna top   [--socket <path> | --connect <addr>] [--watch <secs>]
   dna checkpoint inspect <ckpt-file>
   dna checkpoint write <snap-file> --out <ckpt-file> [--session <name>]
@@ -112,10 +116,32 @@ QUERY COMMANDS:
   trace [n]
   health
   history [n]
+  subscribe <subscription>        (see STANDING QUERIES)
+  unsubscribe <id>
+  notifications <id>
 Without --socket/--connect the query artifact is printed to stdout
 (compose mode, for piping into `dna serve`); with --socket (unix
 socket path) or --connect (TCP host:port) it is sent to a server and
 the response is printed instead.
+
+STANDING QUERIES: `subscribe` registers an incrementally-maintained
+view on a session; after every applied commit the server re-evaluates
+it from that commit's diff (an epoch that cannot intersect a
+subscription does zero work and pushes zero bytes) and records a
+`notify` event only when the answer changed. Subscriptions:
+  reach <src-device> <src-ip> <dst-ip> <proto> <sport> <dport>
+  reach-pair <src-device> <dst-device>
+  blast <device>
+  invariant never-reach <src-device> <dst-device>
+  invariant no-blackhole <src-device> <src-ip> <dst-ip> <proto> <sport> <dport>
+`subscribe` acks with the subscription id; `dna query notifications
+<id>` drains the accumulated events on any transport, and `dna watch
+<subscription> --connect <addr>` holds one TCP connection open and
+streams each notify as it is pushed (--count exits after n pushed
+artifacts). Pushed and polled streams carry byte-identical events. A
+slow watcher never blocks the engine: its queue is bounded, overflow
+drops the oldest notifies, and the stream resumes with a `resync`
+event naming the dropped count.
 
 OBSERVABILITY: `metrics` scrapes the server's live counters, gauges
 and latency histograms as a canonical `metrics` artifact (every
@@ -151,6 +177,7 @@ EXAMPLES:
   dna query --socket /tmp/dna.sock reach-pair edge0_0 edge1_1
   dna serve ft6.snap.dna --listen 127.0.0.1:7700 < /dev/null &
   dna query --connect 127.0.0.1:7700 reach-pair edge0_0 edge1_1
+  dna watch reach-pair edge0_0 edge1_1 --connect 127.0.0.1:7700
 ";
 
 fn main() -> ExitCode {
@@ -177,6 +204,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "watch" => cmd_watch(rest),
         "top" => cmd_top(rest),
         "checkpoint" => cmd_checkpoint(rest),
         "help" | "--help" | "-h" => {
@@ -961,6 +989,9 @@ fn serve_channels(
     // router only when a TCP front door is requested — without
     // readers, publishing a view per epoch would be pure overhead.
     let views = std::sync::Arc::new(dna_serve::ViewRegistry::new());
+    // The notify hub backing pushed standing-query deltas. Like the
+    // views, only attached when TCP clients can actually watch.
+    let hub = std::sync::Arc::new(dna_serve::NotifyHub::new());
     // Engine bring-up happens BEFORE the socket exists or any pump
     // starts: a bad snapshot must fail the process while it is still
     // invisible to clients, not after they can connect.
@@ -971,7 +1002,9 @@ fn serve_channels(
     let engine = if per_session {
         let mut router = dna_serve::Router::new(config);
         if listen.is_some() {
-            router = router.with_views(std::sync::Arc::clone(&views));
+            router = router
+                .with_views(std::sync::Arc::clone(&views))
+                .with_notify_hub(std::sync::Arc::clone(&hub));
         }
         let loaded: Vec<(String, usize)> = preload
             .iter()
@@ -997,7 +1030,11 @@ fn serve_channels(
         }
         Engine::Router(router)
     } else {
-        Engine::Broker(open_preloaded(config, preload, resumes)?)
+        let mut mgr = open_preloaded(config, preload, resumes)?;
+        if listen.is_some() {
+            mgr.set_notify_hub(std::sync::Arc::clone(&hub));
+        }
+        Engine::Broker(mgr)
     };
     let listener = match socket {
         None => None,
@@ -1067,8 +1104,9 @@ fn serve_channels(
         dna_obs::log::announce(&format!("dna serve: listening on tcp {local}"));
         let accept_tx = tx.clone();
         let views = std::sync::Arc::clone(&views);
+        let hub = std::sync::Arc::clone(&hub);
         std::thread::spawn(move || {
-            let _ = dna_serve::tcp_accept_loop(accept_tx, listener, views);
+            let _ = dna_serve::tcp_accept_loop(accept_tx, listener, views, hub);
         });
     }
     drop(tx);
@@ -1094,6 +1132,67 @@ fn serve_channels(
 
 // ---- query ------------------------------------------------------------
 
+/// Parses the five positional flow tokens (`<src-ip> <dst-ip> <proto>
+/// <sport> <dport>`) shared by `reach`, `subscribe reach` and
+/// `subscribe invariant no-blackhole`.
+fn parse_flow(tokens: &[&str]) -> Result<Flow, String> {
+    let [sip, dip, proto, sport, dport] = tokens else {
+        return Err(format!(
+            "a flow takes 5 tokens (<src-ip> <dst-ip> <proto> <sport> <dport>), got {}",
+            tokens.len()
+        ));
+    };
+    Ok(Flow {
+        src: sip
+            .parse()
+            .map_err(|_| format!("bad source address {sip:?}"))?,
+        dst: dip
+            .parse()
+            .map_err(|_| format!("bad destination address {dip:?}"))?,
+        proto: proto
+            .parse()
+            .map_err(|_| format!("bad protocol {proto:?}"))?,
+        src_port: sport
+            .parse()
+            .map_err(|_| format!("bad source port {sport:?}"))?,
+        dst_port: dport
+            .parse()
+            .map_err(|_| format!("bad destination port {dport:?}"))?,
+    })
+}
+
+/// Parses the positional grammar shared by `dna query subscribe …` and
+/// `dna watch …` into a standing-query spec.
+fn parse_subscribe(tokens: &[&str]) -> Result<SubscriptionSpec, String> {
+    Ok(match tokens {
+        ["reach", src, flow @ ..] => SubscriptionSpec::Reach {
+            src: src.to_string(),
+            flow: parse_flow(flow)?,
+        },
+        ["reach-pair", src, dst] => SubscriptionSpec::ReachPair {
+            src: src.to_string(),
+            dst: dst.to_string(),
+        },
+        ["blast", device] => SubscriptionSpec::Blast {
+            device: device.to_string(),
+        },
+        ["invariant", "never-reach", src, dst] => SubscriptionSpec::NeverReach {
+            src: src.to_string(),
+            dst: dst.to_string(),
+        },
+        ["invariant", "no-blackhole", src, flow @ ..] => SubscriptionSpec::NoBlackhole {
+            src: src.to_string(),
+            flow: parse_flow(flow)?,
+        },
+        other => {
+            return Err(format!(
+                "bad subscription {:?} (see QUERY COMMANDS in `dna help`)",
+                other.join(" ")
+            ))
+        }
+    })
+}
+
 fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
     let args = Args::parse(
         rest,
@@ -1101,25 +1200,9 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         &["prometheus", "rates"],
     )?;
     let kind = match args.positionals.as_slice() {
-        ["reach", src, sip, dip, proto, sport, dport] => QueryKind::Reach {
+        ["reach", src, flow @ ..] => QueryKind::Reach {
             src: src.to_string(),
-            flow: Flow {
-                src: sip
-                    .parse()
-                    .map_err(|_| format!("bad source address {sip:?}"))?,
-                dst: dip
-                    .parse()
-                    .map_err(|_| format!("bad destination address {dip:?}"))?,
-                proto: proto
-                    .parse()
-                    .map_err(|_| format!("bad protocol {proto:?}"))?,
-                src_port: sport
-                    .parse()
-                    .map_err(|_| format!("bad source port {sport:?}"))?,
-                dst_port: dport
-                    .parse()
-                    .map_err(|_| format!("bad destination port {dport:?}"))?,
-            },
+            flow: parse_flow(flow)?,
         },
         ["reach-pair", src, dst] => QueryKind::ReachPair {
             src: src.to_string(),
@@ -1146,6 +1229,17 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
         ["history"] => QueryKind::History { last: None },
         ["history", last] => QueryKind::History {
             last: Some(last.parse().map_err(|_| format!("bad window {last:?}"))?),
+        },
+        ["subscribe", spec @ ..] => QueryKind::Subscribe(parse_subscribe(spec)?),
+        ["unsubscribe", id] => QueryKind::Unsubscribe {
+            id: id
+                .parse()
+                .map_err(|_| format!("bad subscription id {id:?}"))?,
+        },
+        ["notifications", id] => QueryKind::Notifications {
+            id: id
+                .parse()
+                .map_err(|_| format!("bad subscription id {id:?}"))?,
         },
         [] => return Err("query needs a command (see `dna help`)".into()),
         other => return Err(format!("bad query command {:?}", other.join(" "))),
@@ -1182,6 +1276,66 @@ fn cmd_query(rest: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
     }
+}
+
+// ---- watch ------------------------------------------------------------
+
+/// `dna watch`: subscribe over TCP and stream the pushed `notify`
+/// artifacts to stdout as commits land — the live-tail counterpart of
+/// polling `dna query notifications <id>`. The subscribe ack goes to
+/// stderr so stdout carries exactly the pushed delta stream.
+fn cmd_watch(rest: &[String]) -> Result<ExitCode, String> {
+    use std::io::Write;
+    let args = Args::parse(rest, &["session", "connect", "count"], &[])?;
+    let spec = parse_subscribe(&args.positionals)?;
+    let addr = args
+        .flag("connect")
+        .ok_or("watch needs --connect <addr> (a `dna serve --listen` front door)")?;
+    let count: Option<u64> = match args.flag("count") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --count value {v:?}"))?),
+    };
+    let query = Query {
+        session: args.flag("session").map(str::to_string),
+        kind: QueryKind::Subscribe(spec),
+    };
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect tcp {addr}: {e}"))?;
+    (&stream)
+        .write_all(write_query(&query).as_bytes())
+        .map_err(|e| format!("cannot send subscribe to {addr}: {e}"))?;
+    (&stream)
+        .flush()
+        .map_err(|e| format!("cannot send subscribe to {addr}: {e}"))?;
+    let mut reader = std::io::BufReader::new(&stream);
+    let next = |r: &mut std::io::BufReader<&std::net::TcpStream>| {
+        dna_serve::read_artifact(r).map_err(|e| format!("lost connection to {addr}: {e}"))
+    };
+    let ack = next(&mut reader)?.ok_or_else(|| format!("{addr} closed before acknowledging"))?;
+    let Ok(n) = dna_io::parse_notify(&ack) else {
+        // Anything else is the server's refusal (unknown session or
+        // device, failed session, …): print it under the usual exit
+        // code contract.
+        return print_response(addr, &ack, Render::default());
+    };
+    eprintln!(
+        "dna watch: subscription {} on session {:?} ({addr})",
+        n.subscription, n.session
+    );
+    let mut seen = 0u64;
+    while count.is_none_or(|c| seen < c) {
+        let Some(text) = next(&mut reader)? else {
+            break; // server shut down
+        };
+        seen += 1;
+        let mut out = std::io::stdout().lock();
+        // A closed downstream (`dna watch … | head`) ends the tail,
+        // it doesn't error it.
+        if out.write_all(text.as_bytes()).is_err() || out.flush().is_err() {
+            break;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Client-side rendering switches for a server's answer (both default
@@ -1231,6 +1385,14 @@ fn print_response(origin: &str, response: &str, render: Render) -> Result<ExitCo
         Ok((_, dna_io::Artifact::Health)) => {
             dna_io::parse_health(response)
                 .map_err(|e| format!("malformed health from {origin}: {e}"))?;
+            print!("{response}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        // Subscription commands answer with `notify` artifacts: the
+        // subscribe/unsubscribe ack, or a `notifications` poll batch.
+        Ok((_, dna_io::Artifact::Notify)) => {
+            dna_io::parse_notify(response)
+                .map_err(|e| format!("malformed notify from {origin}: {e}"))?;
             print!("{response}");
             return Ok(ExitCode::SUCCESS);
         }

@@ -249,7 +249,7 @@ impl ReplaySession {
         self.stats.iter()
     }
 
-    /// The freshest retained per-epoch record — the one [`step`]
+    /// The freshest retained per-epoch record — the one `step`
     /// (`ReplaySession::step`) just pushed. Telemetry reads the last
     /// applied epoch's stage timings here without re-deriving them.
     pub fn last_stats(&self) -> Option<&EpochStats> {

@@ -448,7 +448,7 @@ impl DataPlane {
     /// instead of diffing each dirtied class against its pre-load
     /// outcomes, it recomputes reachability for *every* live class
     /// once, fanned out over up to `workers` scoped threads
-    /// ([`DataPlane::compute_reach`] is read-only, and at baseline load
+    /// (`DataPlane::compute_reach` is read-only, and at baseline load
     /// essentially every class is dirty anyway).
     pub fn load_baseline(&mut self, fib: &[(FibEntry, isize)], workers: usize) {
         let mut dirty = BTreeSet::new();

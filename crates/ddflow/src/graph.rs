@@ -406,7 +406,7 @@ impl GraphBuilder {
     /// Builds a recursive scope. The closure receives the builder (now in
     /// scope mode) and a [`ScopeHandle`] for scope-specific operations; its
     /// return value (typically one or more [`Handle`]s produced by
-    /// [`ScopeHandle::leave`]) is passed through.
+    /// `ScopeHandle::leave`) is passed through.
     ///
     /// # Panics
     /// Panics on nested scopes (one level of recursion is supported; deeper

@@ -18,18 +18,20 @@ use std::fmt::Write as _;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// The grammar version of one artifact kind. The service protocol's
-/// `query` kind is at v4 (v2 added the `checkpoint` command — new
+/// `query` kind is at v5 (v2 added the `checkpoint` command — new
 /// keywords require a bump, since older readers reject unknown keywords
 /// by design; v3 added the `metrics` and `trace` telemetry commands; v4
-/// added the `health` and `history` commands) and `response` is at v3
-/// (v2 added the `ok checkpointed` payload; v3 added the `failed`
-/// marker on `ok sessions` rows). The telemetry scrape kinds `metrics`,
-/// `spans`, `history` and `health` are new whole kinds, not extensions
-/// of `response`, so introducing them bumped nothing else; every
-/// remaining kind is still at its initial version.
+/// added the `health` and `history` commands; v5 added the `subscribe`,
+/// `unsubscribe` and `notifications` standing-query commands) and
+/// `response` is at v3 (v2 added the `ok checkpointed` payload; v3 added
+/// the `failed` marker on `ok sessions` rows). The telemetry scrape
+/// kinds `metrics`, `spans`, `history` and `health` and the
+/// standing-query `notify` kind are new whole kinds, not extensions of
+/// `response`, so introducing them bumped nothing else; every remaining
+/// kind is still at its initial version.
 pub fn artifact_version(kind: Artifact) -> u32 {
     match kind {
-        Artifact::Query => 4,
+        Artifact::Query => 5,
         Artifact::Response => 3,
         Artifact::Snapshot
         | Artifact::Trace
@@ -38,7 +40,8 @@ pub fn artifact_version(kind: Artifact) -> u32 {
         | Artifact::Metrics
         | Artifact::Spans
         | Artifact::History
-        | Artifact::Health => FORMAT_VERSION,
+        | Artifact::Health
+        | Artifact::Notify => FORMAT_VERSION,
     }
 }
 
@@ -113,6 +116,7 @@ pub(crate) fn parse_header(text: &str, expected: Artifact) -> Result<Lines<'_>, 
         "spans" => Artifact::Spans,
         "history" => Artifact::History,
         "health" => Artifact::Health,
+        "notify" => Artifact::Notify,
         other => return Err(IoError::BadHeader(format!("unknown artifact {other:?}"))),
     };
     // Versions are per-kind: check against the version of the kind the

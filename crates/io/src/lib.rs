@@ -1,8 +1,8 @@
-//! # dna-io — versioned wire format for snapshots, traces and reports
+//! # dna-io — versioned wire format of the differential-analysis toolkit
 //!
 //! A self-contained, line-oriented text format (no external dependencies;
-//! the vendored `serde` stub stays a marker-only stub) carrying the three
-//! artifacts of the differential-analysis workflow:
+//! the vendored `serde` stub stays a marker-only stub) carrying every
+//! artifact the workflow exchanges:
 //!
 //! * **snapshot** — a complete [`net_model::Snapshot`]: devices, configs,
 //!   links, environment ([`write_snapshot`] / [`parse_snapshot`]);
@@ -10,14 +10,24 @@
 //!   `topo-gen` scenario ([`Trace`], [`write_trace`] / [`parse_trace`]);
 //! * **report** — canonicalized per-epoch behavior diffs, byte-stable for
 //!   golden tests and cross-analyzer verification ([`Report`],
-//!   [`write_report`] / [`parse_report`]).
+//!   [`write_report`] / [`parse_report`]);
+//! * **query** / **response** — the request/reply protocol `dna-serve`
+//!   speaks over pipes, sockets and TCP ([`Query`], [`Response`]);
+//! * **checkpoint** — a persisted live-session state for durable restarts
+//!   ([`Checkpoint`]);
+//! * **metrics** / **spans** / **history** / **health** — telemetry
+//!   scrapes of the serve-side observability plane ([`MetricsReport`],
+//!   [`SpanReport`], [`HistoryReport`], [`HealthReport`]);
+//! * **notify** — pushed (or polled) deltas of a standing query
+//!   ([`Notify`], [`write_notify`] / [`parse_notify`]).
 //!
-//! Every artifact starts with a `dna-io v1 <kind>` header and ends with an
-//! `end` sentinel; see `crates/io/FORMAT.md` for the full grammar. The
-//! format guarantees exact round-trips (`parse(write(x)) == x`) and total
-//! safety on malformed input: wrong versions, wrong artifact kinds,
-//! truncations and garbage all surface as typed [`IoError`]s, never
-//! panics.
+//! Every artifact starts with a `dna-io v<N> <kind>` header — versions are
+//! per kind, see [`artifact_version`] — and ends with an `end` sentinel;
+//! see `crates/io/FORMAT.md` for the full grammar. The format guarantees
+//! exact round-trips (`parse(write(x)) == x`), canonical bytes (equal
+//! values serialize identically) and total safety on malformed input:
+//! wrong versions, wrong artifact kinds, truncations and garbage all
+//! surface as typed [`IoError`]s, never panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +36,7 @@ mod checkpoint;
 mod codec;
 mod error;
 mod lex;
+mod notify;
 mod obsfmt;
 mod proto;
 mod report;
@@ -41,6 +52,7 @@ pub use checkpoint::{
 };
 pub use codec::{artifact_version, FORMAT_VERSION};
 pub use error::IoError;
+pub use notify::{parse_notify, write_notify, Notify, NotifyEvent};
 pub use obsfmt::{
     parse_health, parse_history, parse_metrics, parse_spans, write_health, write_history,
     write_metrics, write_spans, HealthReport, HealthStatus, HistogramRow, HistoryReport,
@@ -48,7 +60,7 @@ pub use obsfmt::{
 };
 pub use proto::{
     parse_query, parse_response, write_query, write_response, Query, QueryKind, Response,
-    ServiceStats, SessionInfo,
+    ServiceStats, SessionInfo, SubscriptionSpec,
 };
 pub use report::{parse_report, write_report, EpochDiff, Report};
 pub use snapshot::{parse_snapshot, write_snapshot};
@@ -83,6 +95,10 @@ pub enum Artifact {
     /// A health classification of the server and each session
     /// (`dna query health`).
     Health,
+    /// Standing-query deltas: pushed to subscribed TCP clients on each
+    /// changed commit, and the reply to the `subscribe` / `unsubscribe` /
+    /// `notifications` commands (query v5).
+    Notify,
 }
 
 /// Every artifact kind, in a stable order (used by [`sniff`]).
@@ -97,6 +113,7 @@ pub const ALL_ARTIFACTS: &[Artifact] = &[
     Artifact::Spans,
     Artifact::History,
     Artifact::Health,
+    Artifact::Notify,
 ];
 
 impl fmt::Display for Artifact {
@@ -112,6 +129,7 @@ impl fmt::Display for Artifact {
             Artifact::Spans => "spans",
             Artifact::History => "history",
             Artifact::Health => "health",
+            Artifact::Notify => "notify",
         };
         write!(f, "{s}")
     }

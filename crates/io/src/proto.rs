@@ -6,10 +6,13 @@
 //! question: concrete-flow or endpoint-pair reachability on the *current*
 //! (incrementally maintained) state, the blast radius of the last N
 //! ingested epochs, a stored diff-report range, session statistics, or
-//! the session list. A response is either `error "…"` or `ok <kind>` with
-//! a kind-specific payload. Both artifacts carry the same envelope,
-//! round-trip and never-panic guarantees as snapshots, traces and
-//! reports (see `crates/io/FORMAT.md`).
+//! the session list. Query v5 adds the standing-query commands
+//! (`subscribe`, `unsubscribe`, `notifications`), which are answered
+//! with `notify` artifacts instead of responses. A response is either
+//! `error "…"` or `ok <kind>` with a kind-specific payload. Both
+//! artifacts carry the same envelope, round-trip and never-panic
+//! guarantees as snapshots, traces and reports (see
+//! `crates/io/FORMAT.md`).
 
 use crate::codec::{parse_header, W};
 use crate::error::{perr, IoError};
@@ -93,6 +96,67 @@ pub enum QueryKind {
         /// Keep only the freshest `last` samples (`None` = whole ring).
         last: Option<usize>,
     },
+    /// Register a standing query on the session (query v5). The reply is
+    /// a `notify` artifact echoing the assigned subscription id (zero
+    /// events); subsequent commits that change the answer emit events.
+    Subscribe(SubscriptionSpec),
+    /// Remove a standing query by id (query v5). The reply is a `notify`
+    /// artifact echoing the id (zero events).
+    Unsubscribe {
+        /// The subscription to remove.
+        id: u64,
+    },
+    /// Drain the pending events of a subscription (query v5). The reply
+    /// is a `notify` artifact with every event since the last drain —
+    /// polled on any transport, its bytes match what a pushed TCP stream
+    /// delivered for the same commits.
+    Notifications {
+        /// The subscription to drain.
+        id: u64,
+    },
+}
+
+/// The question a standing query keeps answering (query v5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriptionSpec {
+    /// Outcomes of a concrete flow injected at `src` (the standing form
+    /// of [`QueryKind::Reach`]).
+    Reach {
+        /// Source device.
+        src: String,
+        /// The packet to trace.
+        flow: Flow,
+    },
+    /// Endpoint-pair reachability: the server resolves `dst` to its
+    /// canonical address at subscribe time (the standing form of
+    /// [`QueryKind::ReachPair`]).
+    ReachPair {
+        /// Source device.
+        src: String,
+        /// Destination device.
+        dst: String,
+    },
+    /// Blast radius of one device: an event whenever a commit produces
+    /// flow diffs sourced at it.
+    Blast {
+        /// The device whose blast radius is watched.
+        device: String,
+    },
+    /// Invariant: `src` must never reach `dst`. Violated while the
+    /// traced representative flow is delivered at `dst`.
+    NeverReach {
+        /// Source device.
+        src: String,
+        /// Forbidden destination device.
+        dst: String,
+    },
+    /// Invariant: the flow injected at `src` must never blackhole.
+    NoBlackhole {
+        /// Source device.
+        src: String,
+        /// The packet that must not blackhole.
+        flow: Flow,
+    },
 }
 
 impl QueryKind {
@@ -110,6 +174,9 @@ impl QueryKind {
             QueryKind::TraceSpans { .. } => "trace",
             QueryKind::Health => "health",
             QueryKind::History { .. } => "history",
+            QueryKind::Subscribe(_) => "subscribe",
+            QueryKind::Unsubscribe { .. } => "unsubscribe",
+            QueryKind::Notifications { .. } => "notifications",
         }
     }
 }
@@ -259,6 +326,39 @@ pub fn write_query(q: &Query) -> String {
         QueryKind::Health => "health".into(),
         QueryKind::History { last: None } => "history".into(),
         QueryKind::History { last: Some(n) } => format!("history {n}"),
+        QueryKind::Subscribe(spec) => match spec {
+            SubscriptionSpec::Reach { src, flow } => format!(
+                "subscribe reach {} {} {} {} {} {}",
+                quote(src),
+                flow.src,
+                flow.dst,
+                flow.proto,
+                flow.src_port,
+                flow.dst_port
+            ),
+            SubscriptionSpec::ReachPair { src, dst } => {
+                format!("subscribe reach-pair {} {}", quote(src), quote(dst))
+            }
+            SubscriptionSpec::Blast { device } => format!("subscribe blast {}", quote(device)),
+            SubscriptionSpec::NeverReach { src, dst } => {
+                format!(
+                    "subscribe invariant never-reach {} {}",
+                    quote(src),
+                    quote(dst)
+                )
+            }
+            SubscriptionSpec::NoBlackhole { src, flow } => format!(
+                "subscribe invariant no-blackhole {} {} {} {} {} {}",
+                quote(src),
+                flow.src,
+                flow.dst,
+                flow.proto,
+                flow.src_port,
+                flow.dst_port
+            ),
+        },
+        QueryKind::Unsubscribe { id } => format!("unsubscribe {id}"),
+        QueryKind::Notifications { id } => format!("notifications {id}"),
     };
     w.line(1, &line);
     w.finish()
@@ -429,13 +529,7 @@ fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
     match cmd {
         "reach" => Ok(QueryKind::Reach {
             src: c.string("source device")?,
-            flow: Flow {
-                src: c.ip("flow source address")?,
-                dst: c.ip("flow destination address")?,
-                proto: c.parse("flow protocol")?,
-                src_port: c.parse("flow source port")?,
-                dst_port: c.parse("flow destination port")?,
-            },
+            flow: parse_flow(c)?,
         }),
         "reach-pair" => Ok(QueryKind::ReachPair {
             src: c.string("source device")?,
@@ -467,8 +561,60 @@ fn parse_query_kind(cmd: &str, c: &mut Cursor) -> Result<QueryKind, IoError> {
                 Some(c.parse("sample count")?)
             },
         }),
+        "subscribe" => {
+            let what = c.word("subscription kind")?;
+            let spec = match what.as_str() {
+                "reach" => SubscriptionSpec::Reach {
+                    src: c.string("source device")?,
+                    flow: parse_flow(c)?,
+                },
+                "reach-pair" => SubscriptionSpec::ReachPair {
+                    src: c.string("source device")?,
+                    dst: c.string("destination device")?,
+                },
+                "blast" => SubscriptionSpec::Blast {
+                    device: c.string("device")?,
+                },
+                "invariant" => {
+                    let which = c.word("invariant kind")?;
+                    match which.as_str() {
+                        "never-reach" => SubscriptionSpec::NeverReach {
+                            src: c.string("source device")?,
+                            dst: c.string("destination device")?,
+                        },
+                        "no-blackhole" => SubscriptionSpec::NoBlackhole {
+                            src: c.string("source device")?,
+                            flow: parse_flow(c)?,
+                        },
+                        other => {
+                            return Err(perr(c.line, format!("unknown invariant kind {other:?}")))
+                        }
+                    }
+                }
+                other => return Err(perr(c.line, format!("unknown subscription kind {other:?}"))),
+            };
+            Ok(QueryKind::Subscribe(spec))
+        }
+        "unsubscribe" => Ok(QueryKind::Unsubscribe {
+            id: c.parse("subscription id")?,
+        }),
+        "notifications" => Ok(QueryKind::Notifications {
+            id: c.parse("subscription id")?,
+        }),
         other => Err(perr(c.line, format!("unknown query command {other:?}"))),
     }
+}
+
+/// Parses the five flow tokens shared by `reach` and the flow-carrying
+/// subscription kinds.
+fn parse_flow(c: &mut Cursor) -> Result<Flow, IoError> {
+    Ok(Flow {
+        src: c.ip("flow source address")?,
+        dst: c.ip("flow destination address")?,
+        proto: c.parse("flow protocol")?,
+        src_port: c.parse("flow source port")?,
+        dst_port: c.parse("flow destination port")?,
+    })
 }
 
 /// Parses a response artifact (requires the `end` sentinel).
@@ -807,6 +953,39 @@ mod tests {
             QueryKind::Health,
             QueryKind::History { last: None },
             QueryKind::History { last: Some(8) },
+            QueryKind::Subscribe(SubscriptionSpec::Reach {
+                src: "edge0_0".into(),
+                flow: Flow {
+                    src: ip("10.0.0.1"),
+                    dst: ip("10.1.2.3"),
+                    proto: 17,
+                    src_port: 5353,
+                    dst_port: 53,
+                },
+            }),
+            QueryKind::Subscribe(SubscriptionSpec::ReachPair {
+                src: "edge 0".into(),
+                dst: "co\"re".into(),
+            }),
+            QueryKind::Subscribe(SubscriptionSpec::Blast {
+                device: "agg0_0".into(),
+            }),
+            QueryKind::Subscribe(SubscriptionSpec::NeverReach {
+                src: "edge0_0".into(),
+                dst: "edge1_1".into(),
+            }),
+            QueryKind::Subscribe(SubscriptionSpec::NoBlackhole {
+                src: "edge0_0".into(),
+                flow: Flow {
+                    src: ip("10.0.0.1"),
+                    dst: ip("10.1.2.3"),
+                    proto: 6,
+                    src_port: 40000,
+                    dst_port: 443,
+                },
+            }),
+            QueryKind::Unsubscribe { id: 7 },
+            QueryKind::Notifications { id: 7 },
         ] {
             roundtrip_query(&Query {
                 session: None,
@@ -931,33 +1110,42 @@ mod tests {
     #[test]
     fn malformed_queries_are_typed_errors() {
         assert!(matches!(
-            parse_query("dna-io v4 query\nend\n"),
+            parse_query("dna-io v5 query\nend\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v4 query\n  stats\n"),
+            parse_query("dna-io v5 query\n  stats\n"),
             Err(IoError::Truncated { .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v4 query\n  stats\n  sessions\nend\n"),
+            parse_query("dna-io v5 query\n  stats\n  sessions\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v4 query\n  stats\n  session \"x\"\nend\n"),
+            parse_query("dna-io v5 query\n  stats\n  session \"x\"\nend\n"),
             Err(IoError::Parse { line: 3, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v4 query\n  frobnicate\nend\n"),
+            parse_query("dna-io v5 query\n  frobnicate\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         // Junk after a trace span count or history sample count is
         // rejected, not ignored.
         assert!(matches!(
-            parse_query("dna-io v4 query\n  trace 4 5\nend\n"),
+            parse_query("dna-io v5 query\n  trace 4 5\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         assert!(matches!(
-            parse_query("dna-io v4 query\n  history 4 5\nend\n"),
+            parse_query("dna-io v5 query\n  history 4 5\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        // Unknown subscription shapes are rejected.
+        assert!(matches!(
+            parse_query("dna-io v5 query\n  subscribe frobnicate \"x\"\nend\n"),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_query("dna-io v5 query\n  subscribe invariant maybe \"x\" \"y\"\nend\n"),
             Err(IoError::Parse { line: 2, .. })
         ));
         // Earlier query versions are rejected (strict equality): readers
@@ -970,6 +1158,10 @@ mod tests {
         assert!(matches!(
             parse_query("dna-io v3 query\n  health\nend\n"),
             Err(IoError::UnsupportedVersion(3))
+        ));
+        assert!(matches!(
+            parse_query("dna-io v4 query\n  subscribe blast \"d\"\nend\n"),
+            Err(IoError::UnsupportedVersion(4))
         ));
         assert!(matches!(
             parse_query("dna-io v3 response\nend\n"),

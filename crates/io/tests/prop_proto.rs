@@ -12,9 +12,10 @@
 
 use dna_core::FlowDiff;
 use dna_io::{
-    parse_metrics, parse_query, parse_response, parse_spans, write_metrics, write_query,
-    write_response, write_spans, EpochDiff, HistogramRow, IoError, MetricsReport, Query, QueryKind,
-    Response, SeriesRow, ServiceStats, SessionInfo, SpanReport, SpanRow,
+    parse_metrics, parse_notify, parse_query, parse_response, parse_spans, write_metrics,
+    write_notify, write_query, write_response, write_spans, EpochDiff, HistogramRow, IoError,
+    MetricsReport, Notify, NotifyEvent, Query, QueryKind, Response, SeriesRow, ServiceStats,
+    SessionInfo, SpanReport, SpanRow, SubscriptionSpec,
 };
 use net_model::{Flow, Ipv4Addr};
 use proptest::prelude::*;
@@ -54,6 +55,16 @@ fn flow() -> impl Strategy<Value = Flow> {
         })
 }
 
+fn subscription_spec() -> impl Strategy<Value = SubscriptionSpec> {
+    prop_oneof![
+        (name(), flow()).prop_map(|(src, flow)| SubscriptionSpec::Reach { src, flow }),
+        (name(), name()).prop_map(|(src, dst)| SubscriptionSpec::ReachPair { src, dst }),
+        name().prop_map(|device| SubscriptionSpec::Blast { device }),
+        (name(), name()).prop_map(|(src, dst)| SubscriptionSpec::NeverReach { src, dst }),
+        (name(), flow()).prop_map(|(src, flow)| SubscriptionSpec::NoBlackhole { src, flow }),
+    ]
+}
+
 fn query_kind() -> impl Strategy<Value = QueryKind> {
     prop_oneof![
         (name(), flow()).prop_map(|(src, flow)| QueryKind::Reach { src, flow }),
@@ -65,6 +76,11 @@ fn query_kind() -> impl Strategy<Value = QueryKind> {
         Just(QueryKind::Checkpoint),
         Just(QueryKind::Metrics),
         prop::option::of(any::<usize>()).prop_map(|last| QueryKind::TraceSpans { last }),
+        Just(QueryKind::Health),
+        prop::option::of(any::<usize>()).prop_map(|last| QueryKind::History { last }),
+        subscription_spec().prop_map(QueryKind::Subscribe),
+        any::<u64>().prop_map(|id| QueryKind::Unsubscribe { id }),
+        any::<u64>().prop_map(|id| QueryKind::Notifications { id }),
     ]
 }
 
@@ -377,6 +393,38 @@ fn spans() -> impl Strategy<Value = SpanReport> {
     })
 }
 
+fn notify_event() -> impl Strategy<Value = NotifyEvent> {
+    let outcomes = prop::collection::vec(outcome(), 0..4)
+        .prop_map(|o| o.into_iter().collect::<std::collections::BTreeSet<_>>());
+    prop_oneof![
+        (any::<u64>(), outcomes.clone())
+            .prop_map(|(epoch, outcomes)| NotifyEvent::Reach { epoch, outcomes }),
+        (any::<u64>(), any::<u64>()).prop_map(|(epoch, flows)| NotifyEvent::Blast { epoch, flows }),
+        (any::<u64>(), any::<bool>(), outcomes).prop_map(|(epoch, holds, outcomes)| {
+            NotifyEvent::Invariant {
+                epoch,
+                holds,
+                outcomes,
+            }
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, dropped)| NotifyEvent::Resync { epoch, dropped }),
+    ]
+}
+
+fn notify() -> impl Strategy<Value = Notify> {
+    (
+        any::<u64>(),
+        name(),
+        prop::collection::vec(notify_event(), 0..5),
+    )
+        .prop_map(|(subscription, session, events)| Notify {
+            subscription,
+            session,
+            events,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases_and_seed(96, 0xD9A_1003))]
 
@@ -411,6 +459,14 @@ proptest! {
         prop_assert_eq!(&back, &r);
         prop_assert_eq!(write_spans(&back), text);
     }
+
+    #[test]
+    fn notifies_round_trip(n in notify()) {
+        let text = write_notify(&n);
+        let back = parse_notify(&text).expect("generated notify parses");
+        prop_assert_eq!(&back, &n);
+        prop_assert_eq!(write_notify(&back), text);
+    }
 }
 
 proptest! {
@@ -440,6 +496,20 @@ proptest! {
         let keep = (cut as usize) % lines.len().max(1);
         let truncated = lines[..keep].join("\n");
         match parse_query(&truncated) {
+            Ok(_) => prop_assert!(false, "strict prefix must not parse"),
+            Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+
+    /// And for notify deliveries.
+    #[test]
+    fn notify_truncations_yield_typed_errors(n in notify(), cut in 0u32..10_000) {
+        let text = write_notify(&n);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (cut as usize) % lines.len().max(1);
+        let truncated = lines[..keep].join("\n");
+        match parse_notify(&truncated) {
             Ok(_) => prop_assert!(false, "strict prefix must not parse"),
             Err(IoError::Truncated { .. }) | Err(IoError::BadHeader(_)) => {}
             Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
@@ -482,6 +552,7 @@ proptest! {
         r in response(),
         m in metrics(),
         s in spans(),
+        n in notify(),
         pos in any::<u32>(),
         repl in 1u8..128,
     ) {
@@ -490,6 +561,7 @@ proptest! {
             write_response(&r),
             write_metrics(&m),
             write_spans(&s),
+            write_notify(&n),
         ] {
             let mut bytes = text.into_bytes();
             if bytes.is_empty() {
@@ -505,6 +577,7 @@ proptest! {
                 let _ = parse_response(&mutated);
                 let _ = parse_metrics(&mutated);
                 let _ = parse_spans(&mutated);
+                let _ = parse_notify(&mutated);
             }
         }
     }

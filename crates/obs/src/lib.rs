@@ -2,13 +2,21 @@
 //!
 //! Every long-running plane of the system (router ingest, session
 //! engine threads, view publish/withdraw, the TCP front door,
-//! checkpoint writes) records into one lock-cheap [`Registry`] of
-//! atomic counters, gauges and fixed-bucket latency histograms, and
-//! every applied epoch leaves a parse → control-plane → data-plane →
-//! view-publish span in a bounded [`SpanRecorder`] ring. The serve
-//! layer exposes both as the `metrics` / `spans` `dna-io` artifacts
-//! (`dna query metrics|trace`); this crate owns only the recording
-//! side and stays dependency-free so any crate may instrument itself.
+//! checkpoint writes, the standing-query subscription plane) records
+//! into one lock-cheap [`Registry`] of atomic counters, gauges and
+//! fixed-bucket latency histograms, and every applied epoch leaves a
+//! parse → control-plane → data-plane → view-publish span in a
+//! bounded [`SpanRecorder`] ring. On top of the registry sit the
+//! per-session accounting bundle ([`SessionAccounting`]: queue depth,
+//! lag, heartbeat, failure and memory gauges — what the `health`
+//! classification reads), a per-query span ring with slow-query
+//! logging, and a fixed-capacity [`TimeSeries`] history of periodic
+//! registry samples from which [`rates`] derives Δcounter/Δt at read
+//! time. The serve layer exposes all of it as the `metrics` /
+//! `spans` / `history` / `health` `dna-io` artifacts
+//! (`dna query metrics|trace|history|health`); this crate owns only
+//! the recording side and stays dependency-free so any crate may
+//! instrument itself.
 //!
 //! Design rules:
 //!

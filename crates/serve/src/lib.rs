@@ -25,9 +25,15 @@
 //!   epoch a session publishes an immutable [`QueryView`] behind an
 //!   atomic version counter, so reader threads answer read-only
 //!   queries without ever touching an engine thread;
+//! * [`subs`] — standing queries: per-session registries of
+//!   materialized subscriptions re-evaluated from each commit's diff,
+//!   plus the [`NotifyHub`] that fans pushed `notify` artifacts out to
+//!   TCP watchers through bounded, drop-oldest queues (the engine
+//!   never blocks on a slow consumer);
 //! * [`net`] — the TCP front door: an accept loop whose per-connection
-//!   threads answer read-only queries straight from published views
-//!   and forward everything else to the engine side;
+//!   threads answer read-only queries straight from published views,
+//!   forward everything else to the engine side, and stream pushed
+//!   notifies to subscribed clients (`dna watch`);
 //! * [`obs`] — the telemetry query surface: `metrics` / `trace`
 //!   queries answered from the process-global [`dna_obs`] registry and
 //!   span ring, byte-identically on every transport.
@@ -44,6 +50,7 @@ pub mod obs;
 pub mod router;
 pub mod server;
 pub mod session;
+pub mod subs;
 pub mod view;
 
 pub use net::{query_tcp, tcp_accept_loop};
@@ -53,10 +60,11 @@ pub use router::{route_stream, Router};
 pub use server::{accept_loop, query_socket};
 pub use server::{
     follow_trace, handle_artifact, pump_stream, pump_stream_as, read_artifact, run_broker,
-    serve_stream, Request, ServeSummary,
+    serve_stream, subscription_reply, Request, ServeSummary,
 };
 pub use session::{
     checkpoint_file_name, coalesced_label, resolve_checkpoint_snapshot, Session, SessionConfig,
     SessionManager,
 };
+pub use subs::NotifyHub;
 pub use view::{QueryView, ViewReader, ViewRegistry, ViewSlot};

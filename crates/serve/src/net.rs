@@ -3,7 +3,7 @@
 //! Wire format is the same artifact concatenation every other
 //! transport speaks (see FORMAT.md "Framing on a stream") — the bytes
 //! `dna dump` writes to a file can be piped over a socket unchanged,
-//! and every inbound artifact maps to exactly one outbound `response`.
+//! and every inbound artifact maps to exactly one outbound reply.
 //!
 //! What makes this transport different from the unix-socket pump is
 //! the **read path**: each connection thread holds the server's
@@ -13,18 +13,39 @@
 //! path, no engine-thread round trip, no serialization behind other
 //! clients' ingest. Mutating artifacts (snapshot loads, traces,
 //! checkpoints) and the queries a view cannot answer (`sessions`,
-//! `checkpoint`) are forwarded to the engine side over the usual
-//! [`Request`] channel. Responses are byte-identical either way: views
-//! replicate the session's answer logic and serialize through the
-//! same writer.
+//! `checkpoint`, the standing-query commands) are forwarded to the
+//! engine side over the usual [`Request`] channel. Responses are
+//! byte-identical either way: views replicate the session's answer
+//! logic and serialize through the same writer.
+//!
+//! **Pushed notifies.** A connection that subscribes (`subscribe …`)
+//! is registered on the server's [`NotifyHub`]: a pusher thread drains
+//! the connection's bounded notify queues onto the socket, so pushed
+//! `notify` artifacts interleave *between* request replies (never
+//! inside one — the socket writer is shared under a mutex and writes
+//! whole artifacts). The engine never blocks on the socket: a slow
+//! consumer overflows its own queue, the oldest artifacts drop, and the
+//! stream resumes with a `resync` notify. One caveat is inherent to the
+//! split: a commit that lands between the engine-side subscribe and the
+//! hub registration below is delivered only by `notifications <id>`
+//! polling, never pushed — subscribe before driving ingest when the
+//! push stream must be gapless from epoch zero.
 
 use crate::server::{read_artifact, Request};
+use crate::subs::NotifyHub;
 use crate::view::{ViewReader, ViewRegistry};
-use dna_io::{parse_query, write_response, Artifact};
+use dna_io::{parse_query, write_response, Artifact, QueryKind};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+
+/// Recovers the shared socket-writer guard even when another writer
+/// panicked mid-write: the connection is torn down on the next I/O
+/// error anyway, so poison carries no information worth dying over.
+fn lock_writer<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Accepts TCP connections forever, serving each on its own thread.
 /// Holds a [`Request`] sender for as long as it runs, keeping the
@@ -34,6 +55,7 @@ pub fn tcp_accept_loop(
     requests: mpsc::Sender<Request>,
     listener: TcpListener,
     views: Arc<ViewRegistry>,
+    hub: Arc<NotifyHub>,
 ) -> io::Result<()> {
     let connections = dna_obs::global().counter("tcp_connections");
     let accept_errors = dna_obs::global().counter("tcp_accept_errors");
@@ -50,32 +72,72 @@ pub fn tcp_accept_loop(
         connections.inc();
         let requests = requests.clone();
         let views = Arc::clone(&views);
+        let hub = Arc::clone(&hub);
         std::thread::spawn(move || {
             // A vanished client is its own problem; the server lives on.
-            let _ = serve_connection(&requests, &views, &stream);
+            let _ = serve_connection(&requests, &views, &hub, stream);
         });
     }
 }
 
-/// Serves one TCP connection: artifacts in, responses out, until the
+/// Serves one TCP connection: artifacts in, replies out, until the
 /// client closes its write half. Read-only queries are answered from
 /// published views when one exists; everything else round-trips
-/// through the engine side. Returns the number of artifacts served.
+/// through the engine side. A subscribe reply additionally registers
+/// the connection on the hub and (once) spawns its pusher thread.
+/// Returns the number of artifacts served.
 pub fn serve_connection(
     requests: &mpsc::Sender<Request>,
     views: &ViewRegistry,
-    stream: &TcpStream,
+    hub: &Arc<NotifyHub>,
+    stream: TcpStream,
 ) -> io::Result<u64> {
-    let mut input = io::BufReader::new(stream);
-    let mut output = io::BufWriter::new(stream);
+    let mut input = io::BufReader::new(stream.try_clone()?);
+    // The write half is shared with the pusher thread once the client
+    // subscribes; both sides write whole artifacts under the lock, so
+    // framing survives the interleaving.
+    let writer = Arc::new(Mutex::new(io::BufWriter::new(stream)));
     // Per-connection view caches, keyed by slot identity (slots live
     // as long as the registry, so the pointer is a stable key): while
     // a session's version is unchanged, answering takes zero locks.
     let mut readers: BTreeMap<usize, ViewReader> = BTreeMap::new();
+    let mut watcher: Option<u64> = None;
+    let result = connection_loop(
+        requests,
+        views,
+        hub,
+        &mut input,
+        &writer,
+        &mut readers,
+        &mut watcher,
+    );
+    // Tear down the push registration (if any) however the loop ended;
+    // the pusher thread wakes from its wait and exits.
+    if let Some(w) = watcher {
+        hub.unregister(w);
+    }
+    result
+}
+
+/// The request/reply half of one connection (see [`serve_connection`]).
+#[allow(clippy::too_many_arguments)]
+fn connection_loop(
+    requests: &mpsc::Sender<Request>,
+    views: &ViewRegistry,
+    hub: &Arc<NotifyHub>,
+    input: &mut io::BufReader<TcpStream>,
+    writer: &Arc<Mutex<io::BufWriter<TcpStream>>>,
+    readers: &mut BTreeMap<usize, ViewReader>,
+    watcher: &mut Option<u64>,
+) -> io::Result<u64> {
     let mut served = 0u64;
-    while let Some(text) = read_artifact(&mut input)? {
+    while let Some(text) = read_artifact(input)? {
         let started = std::time::Instant::now();
-        let response = match answer_from_view(views, &mut readers, &text) {
+        // Whether this artifact is a subscribe command — its reply (a
+        // notify ack) carries the id to register on the hub.
+        let subscribing = dna_io::sniff(&text).is_ok_and(|(_, kind)| kind == Artifact::Query)
+            && parse_query(&text).is_ok_and(|q| matches!(q.kind, QueryKind::Subscribe(_)));
+        let reply = match answer_from_view(views, readers, &text) {
             Some(response) => {
                 // Only the snapshot fast path is a "tcp" answer — a
                 // query forwarded to the engine side is timed (and
@@ -101,13 +163,49 @@ pub fn serve_connection(
                 response
             }
         };
+        if subscribing {
+            // A successful subscribe acks with a notify naming the
+            // (session, id) pair; errors parse as responses and fall
+            // through. Register before writing the ack: once the
+            // client reads it, the push stream is live.
+            if let Ok(ack) = dna_io::parse_notify(&reply) {
+                let w = *watcher.get_or_insert_with(|| {
+                    let id = hub.register();
+                    spawn_pusher(Arc::clone(hub), id, Arc::clone(writer));
+                    id
+                });
+                hub.watch(w, &ack.session, ack.subscription);
+            }
+        }
         served += 1;
-        output.write_all(response.as_bytes())?;
-        // One response per artifact is the unit of interaction: flush
+        let mut output = lock_writer(writer);
+        output.write_all(reply.as_bytes())?;
+        // One reply per artifact is the unit of interaction: flush
         // so clients are never left waiting on a full buffer.
         output.flush()?;
     }
     Ok(served)
+}
+
+/// Spawns the thread that drains one watcher's notify queues onto its
+/// connection. Exits when the watcher is closed (connection gone) or
+/// the socket write fails (client gone) — whichever comes first.
+fn spawn_pusher(hub: Arc<NotifyHub>, watcher: u64, writer: Arc<Mutex<io::BufWriter<TcpStream>>>) {
+    std::thread::spawn(move || {
+        while let Some(batch) = hub.wait(watcher) {
+            let mut output = lock_writer(&writer);
+            let wrote = batch.iter().try_for_each(|artifact| {
+                output
+                    .write_all(artifact.as_bytes())
+                    .and_then(|()| output.flush())
+            });
+            drop(output);
+            if wrote.is_err() {
+                hub.unregister(watcher);
+                break;
+            }
+        }
+    });
 }
 
 /// The snapshot read path: a query artifact whose session resolves to
@@ -140,7 +238,7 @@ fn answer_from_view(
     Some(write_response(&response))
 }
 
-/// Sends one query artifact over TCP and reads back the one response
+/// Sends one query artifact over TCP and reads back the one reply
 /// artifact — the client side of [`tcp_accept_loop`], used by
 /// `dna query --connect`.
 pub fn query_tcp(addr: &str, query_text: &str) -> io::Result<String> {

@@ -16,6 +16,7 @@
 
 use crate::server::{Request, ServeSummary};
 use crate::session::{Session, SessionConfig};
+use crate::subs::NotifyHub;
 use crate::view::{ViewRegistry, ViewSlot};
 use dna_io::{
     parse_query, parse_snapshot, parse_trace, write_response, Artifact, Checkpoint, QueryKind,
@@ -94,6 +95,15 @@ enum SessionWork {
     Poison,
 }
 
+/// What one command answers with: almost always a [`Response`], but
+/// standing-query commands reply with pre-serialized `notify` artifacts
+/// (see [`Session::subscription_reply`]) that must reach the client
+/// byte-exactly.
+enum Reply {
+    Response(Response),
+    Raw(String),
+}
+
 /// Locks an info cell even when a previous holder panicked mid-update:
 /// the cell is a single `Option` assignment, valid at every
 /// instruction boundary, so mutex poison carries no information — and
@@ -141,12 +151,13 @@ fn spawn_session(
     name: String,
     config: SessionConfig,
     view: Option<Arc<ViewSlot>>,
+    hub: Option<Arc<NotifyHub>>,
 ) -> SessionThread {
     let (tx, rx) = mpsc::channel::<SessionCmd>();
     let info = Arc::new(Mutex::new(None));
     let shared = Arc::clone(&info);
     let acct = dna_obs::SessionAccounting::register(dna_obs::global(), &name);
-    let join = std::thread::spawn(move || session_loop(name, config, rx, &shared, view));
+    let join = std::thread::spawn(move || session_loop(name, config, rx, &shared, view, hub));
     SessionThread {
         tx,
         info,
@@ -161,6 +172,7 @@ fn open_session(
     name: &str,
     config: SessionConfig,
     view: Option<&Arc<ViewSlot>>,
+    hub: Option<&Arc<NotifyHub>>,
     slot: &mut Option<Session>,
     snapshot: Snapshot,
 ) -> Response {
@@ -170,6 +182,9 @@ fn open_session(
         Ok(mut s) => {
             if let Some(view) = view {
                 s.set_view_slot(Arc::clone(view));
+            }
+            if let Some(hub) = hub {
+                s.set_notify_hub(Arc::clone(hub));
             }
             *slot = Some(s);
             Response::Loaded {
@@ -187,6 +202,7 @@ fn open_session(
 fn resume_session(
     config: &SessionConfig,
     view: Option<&Arc<ViewSlot>>,
+    hub: Option<&Arc<NotifyHub>>,
     slot: &mut Option<Session>,
     ckpt: &Checkpoint,
     snapshot: Snapshot,
@@ -198,6 +214,9 @@ fn resume_session(
             let session = s.name().to_string();
             if let Some(view) = view {
                 s.set_view_slot(Arc::clone(view));
+            }
+            if let Some(hub) = hub {
+                s.set_notify_hub(Arc::clone(hub));
             }
             *slot = Some(s);
             Response::Loaded {
@@ -228,6 +247,7 @@ fn session_loop(
     rx: mpsc::Receiver<SessionCmd>,
     info: &Mutex<Option<SessionInfo>>,
     view: Option<Arc<ViewSlot>>,
+    hub: Option<Arc<NotifyHub>>,
 ) -> ServeSummary {
     let mut session: Option<Session> = None;
     let mut summary = ServeSummary::default();
@@ -378,13 +398,20 @@ fn session_loop(
         };
         let started = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            apply(&name, &config, view.as_ref(), &mut session, work)
+            apply(
+                &name,
+                &config,
+                view.as_ref(),
+                hub.as_ref(),
+                &mut session,
+                work,
+            )
         }));
         // The enqueue-side hint comes off however the work ended —
         // applied, failed mid-trace, or panicked — so `epochs_behind`
         // can never leak.
         acct.epochs_behind.sub(epochs_hint);
-        let (response, epochs) = match outcome {
+        let (reply_body, epochs) = match outcome {
             Ok(out) => out,
             Err(payload) => {
                 let reason = panic_reason(payload.as_ref());
@@ -429,41 +456,62 @@ fn session_loop(
         // client holds our reply, a `sessions` listing must already
         // reflect the command it acknowledges.
         *lock_info(info) = session.as_ref().map(Session::info);
-        summary.count(&response, epochs);
-        let _ = reply.send(write_response(&response));
+        match reply_body {
+            Reply::Response(response) => {
+                summary.count(&response, epochs);
+                let _ = reply.send(write_response(&response));
+            }
+            // A notify-artifact reply: counted like the other
+            // non-`response` query answers (telemetry).
+            Reply::Raw(text) => {
+                summary.count_obs();
+                let _ = reply.send(text);
+            }
+        }
     }
     acct.retire(registry);
     summary
 }
 
 /// Applies one command payload to the session slot (the code inside
-/// the panic fence). Returns the response plus epochs applied.
+/// the panic fence). Returns the reply plus epochs applied.
 fn apply(
     name: &str,
     config: &SessionConfig,
     view: Option<&Arc<ViewSlot>>,
+    hub: Option<&Arc<NotifyHub>>,
     session: &mut Option<Session>,
     work: SessionWork,
-) -> (Response, u64) {
+) -> (Reply, u64) {
     match work {
         SessionWork::Load(snapshot) => (
-            open_session(name, config.clone(), view, session, *snapshot),
+            Reply::Response(open_session(
+                name,
+                config.clone(),
+                view,
+                hub,
+                session,
+                *snapshot,
+            )),
             0,
         ),
         SessionWork::Resume(boxed) => {
             let (ckpt, snapshot) = *boxed;
-            (resume_session(config, view, session, &ckpt, snapshot), 0)
+            (
+                Reply::Response(resume_session(config, view, hub, session, &ckpt, snapshot)),
+                0,
+            )
         }
         SessionWork::LoadText(text) => {
             let response = match parse_snapshot(&text) {
-                Ok(snapshot) => open_session(name, config.clone(), view, session, snapshot),
+                Ok(snapshot) => open_session(name, config.clone(), view, hub, session, snapshot),
                 Err(e) => Response::Error(e.to_string()),
             };
-            (response, 0)
+            (Reply::Response(response), 0)
         }
         SessionWork::IngestText(text) => {
             let start = std::time::Instant::now();
-            match parse_trace(&text) {
+            let (response, epochs) = match parse_trace(&text) {
                 Err(e) => (Response::Error(e.to_string()), 0),
                 Ok(trace) => {
                     fault_check(&trace);
@@ -491,14 +539,22 @@ fn apply(
                         }
                     }
                 }
-            }
+            };
+            (Reply::Response(response), epochs)
         }
         SessionWork::Query(kind) => {
-            let response = match session.as_ref() {
-                None => Response::Error(format!("session {name:?} has no loaded snapshot")),
-                Some(s) => s.answer(&kind),
+            let reply = match session.as_ref() {
+                None => Reply::Response(Response::Error(format!(
+                    "session {name:?} has no loaded snapshot"
+                ))),
+                // Standing-query commands answer with notify artifacts;
+                // everything else stays a `response`.
+                Some(s) => match s.subscription_reply(&kind) {
+                    Some(text) => Reply::Raw(text),
+                    None => Reply::Response(s.answer(&kind)),
+                },
             };
-            (response, 0)
+            (reply, 0)
         }
         #[cfg(test)]
         SessionWork::Poison => panic!("deliberately poisoned (test hook)"),
@@ -702,6 +758,9 @@ pub struct Router {
     /// each applied epoch; reader threads resolve slots through the
     /// same registry.
     views: Option<Arc<ViewRegistry>>,
+    /// When attached (the TCP front door), every session thread pushes
+    /// notify artifacts through this hub to watching connections.
+    hub: Option<Arc<NotifyHub>>,
 }
 
 impl Router {
@@ -713,6 +772,7 @@ impl Router {
             default: None,
             summary: ServeSummary::default(),
             views: None,
+            hub: None,
         }
     }
 
@@ -720,6 +780,13 @@ impl Router {
     /// spawned from here on publish read views into it.
     pub fn with_views(mut self, views: Arc<ViewRegistry>) -> Self {
         self.views = Some(views);
+        self
+    }
+
+    /// Attaches the notify hub shared with TCP connection threads;
+    /// sessions spawned from here on push standing-query deltas into it.
+    pub fn with_notify_hub(mut self, hub: Arc<NotifyHub>) -> Self {
+        self.hub = Some(hub);
         self
     }
 
@@ -761,9 +828,10 @@ impl Router {
     fn thread_entry(&mut self, name: &str) -> &SessionThread {
         let config = self.config.clone();
         let view = self.views.as_ref().map(|v| v.slot(name));
+        let hub = self.hub.clone();
         self.sessions
             .entry(name.to_string())
-            .or_insert_with(|| spawn_session(name.to_string(), config, view))
+            .or_insert_with(|| spawn_session(name.to_string(), config, view, hub))
     }
 
     /// Records the default stream target, mirroring it into the view
@@ -943,7 +1011,8 @@ impl Router {
             | Artifact::Metrics
             | Artifact::Spans
             | Artifact::History
-            | Artifact::Health => self.answer(
+            | Artifact::Health
+            | Artifact::Notify => self.answer(
                 &req.reply,
                 Response::Error(format!("cannot serve a {kind} artifact")),
             ),

@@ -162,9 +162,25 @@ pub fn handle_artifact(
         | Artifact::Metrics
         | Artifact::Spans
         | Artifact::History
-        | Artifact::Health => Response::Error(format!("cannot serve a {kind} artifact")),
+        | Artifact::Health
+        | Artifact::Notify => Response::Error(format!("cannot serve a {kind} artifact")),
     };
     (response, 0)
+}
+
+/// Answers the standing-query commands (`subscribe` / `unsubscribe` /
+/// `notifications`) whose replies are `notify` artifacts, not
+/// `response`s — the transports dispatch these before
+/// [`handle_artifact`], mirroring how telemetry queries are intercepted
+/// (see [`crate::obs::obs_reply`]). `None` for anything else, including
+/// malformed queries (the normal path owns that error story).
+pub fn subscription_reply(mgr: &SessionManager, text: &str) -> Option<String> {
+    let (_, kind) = dna_io::sniff(text).ok()?;
+    if kind != Artifact::Query {
+        return None;
+    }
+    let q = parse_query(text).ok()?;
+    mgr.subscription_reply(&q)
 }
 
 /// Runs one serve loop on the manager's own thread: artifacts from
@@ -182,6 +198,15 @@ pub fn serve_stream(
         // from the process-global registry — the engine never blocks a
         // scrape (see [`crate::obs`]).
         if let Some(reply) = crate::obs::obs_reply(&text) {
+            summary.count_obs();
+            crate::obs::record_query_span("pipe", &text, started.elapsed());
+            output.write_all(reply.as_bytes())?;
+            output.flush()?;
+            continue;
+        }
+        // Standing-query commands answer with notify artifacts, so they
+        // are dispatched ahead of the one-response-per-artifact path.
+        if let Some(reply) = subscription_reply(mgr, &text) {
             summary.count_obs();
             crate::obs::record_query_span("pipe", &text, started.elapsed());
             output.write_all(reply.as_bytes())?;
@@ -219,13 +244,19 @@ pub struct Request {
 /// different clients interleave here at artifact granularity — a query
 /// never observes a half-applied epoch. Returns the cross-client
 /// summary. (The single-engine-thread sibling of
-/// [`crate::router::run_router`], which gives every session its own
+/// `Router::run`, which gives every session its own
 /// engine thread instead.)
 pub fn run_broker(mgr: &mut SessionManager, requests: mpsc::Receiver<Request>) -> ServeSummary {
     let mut summary = ServeSummary::default();
     for req in requests {
         let started = std::time::Instant::now();
         if let Some(reply) = crate::obs::obs_reply(&req.text) {
+            summary.count_obs();
+            crate::obs::record_query_span("broker", &req.text, started.elapsed());
+            let _ = req.reply.send(reply);
+            continue;
+        }
+        if let Some(reply) = subscription_reply(mgr, &req.text) {
             summary.count_obs();
             crate::obs::record_query_span("broker", &req.text, started.elapsed());
             let _ = req.reply.send(reply);
@@ -306,7 +337,7 @@ const FOLLOW_WINDOW: usize = 32;
 /// apply) are reported to stderr and do not stop the follow — later
 /// epochs of a live stream may still apply.
 ///
-/// Shipping is **pipelined**: up to [`FOLLOW_WINDOW`] epochs may be in
+/// Shipping is **pipelined**: up to `FOLLOW_WINDOW` epochs may be in
 /// flight before the follower stops to collect acknowledgements, so a
 /// burst appended to the tailed file reaches the engine back-to-back
 /// instead of one round-trip at a time. That is what lets a fast
@@ -321,7 +352,7 @@ const FOLLOW_WINDOW: usize = 32;
 /// when, at EOF, the path's on-disk size has shrunk below what was
 /// read or (on unix) the path's inode changed, the follower reopens
 /// the path and frames the replacement as a fresh trace artifact from
-/// its first byte (see [`tail_rotated`] / [`dna_io::TraceTail::rotate`]).
+/// its first byte (see `tail_rotated` / [`dna_io::TraceTail::rotate`]).
 /// Epochs already shipped from the old file stand; epochs buffered but
 /// never completed before the rotation are discarded with it.
 pub fn follow_trace(
@@ -543,7 +574,7 @@ mod tests {
     #[test]
     fn framing_splits_concatenated_artifacts() {
         let a = "dna-io v1 trace\nepoch\nend\n";
-        let b = "; comment\n\ndna-io v4 query\n  stats\nend\n";
+        let b = "; comment\n\ndna-io v5 query\n  stats\nend\n";
         let mut input = io::Cursor::new(format!("{a}{b}\n; trailing\n").into_bytes());
         let first = read_artifact(&mut input).unwrap().unwrap();
         assert_eq!(first, a);
@@ -554,7 +585,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_artifact_is_a_typed_error_response() {
-        let mut input = io::Cursor::new(b"dna-io v4 query\n  stats\n".to_vec());
+        let mut input = io::Cursor::new(b"dna-io v5 query\n  stats\n".to_vec());
         let text = read_artifact(&mut input).unwrap().unwrap();
         let mut mgr = SessionManager::new(Default::default());
         let (r, epochs) = handle_artifact(&mut mgr, None, &text);

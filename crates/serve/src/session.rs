@@ -11,17 +11,20 @@
 //! Every query is answered from incrementally maintained state; nothing
 //! on the query path re-simulates the network.
 
+use crate::subs::{InvariantCheck, NotifyHub, SubKind, SubscriptionRegistry};
 use crate::view::{QueryView, ViewSlot};
+use data_plane::Outcome;
 use dna_core::{ReplayCheckpoint, ReplayMode, ReplaySession, ReplayTotals};
 use dna_io::{
-    Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals, EpochDiff, Query, QueryKind,
-    Response, ServiceStats, SessionInfo, Trace, TraceEpoch,
+    Checkpoint, CheckpointConfig, CheckpointSource, CheckpointTotals, EpochDiff, Notify,
+    NotifyEvent, Query, QueryKind, Response, ServiceStats, SessionInfo, SubscriptionSpec, Trace,
+    TraceEpoch,
 };
 use dna_obs::EpochSpan;
 use net_model::{Flow, Snapshot};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Per-session policy, fixed at open time.
@@ -169,6 +172,15 @@ struct SessionObs {
     checkpoint_writes: dna_obs::Counter,
     checkpoint_write_us: dna_obs::Histogram,
     queries_answered: dna_obs::Counter,
+    /// Standing queries currently registered on this session.
+    subscriptions_active: dna_obs::Gauge,
+    /// Notify events delivered (queued for poll, and pushed when a hub
+    /// watcher is attached) because a commit changed a subscription's
+    /// answer.
+    notifies_pushed: dna_obs::Counter,
+    /// Commit × subscription evaluations that produced no event — the
+    /// proof that non-intersecting epochs cost zero bytes.
+    notify_suppressed: dna_obs::Counter,
     /// Epochs folded into an already-open merged commit by backlog
     /// coalescing — i.e. engine commits saved (a merged commit of N
     /// epochs adds N-1).
@@ -200,6 +212,9 @@ impl SessionObs {
             checkpoint_writes: r.counter_for("checkpoint_writes", session),
             checkpoint_write_us: r.histogram_for("checkpoint_write_us", session),
             queries_answered: r.counter_for("queries_answered", session),
+            subscriptions_active: r.gauge_for("subscriptions_active", session),
+            notifies_pushed: r.counter_for("notifies_pushed", session),
+            notify_suppressed: r.counter_for("notify_suppressed", session),
             epochs_coalesced: r.counter_for("epochs_coalesced", session),
             dd_nodes_skipped: r.counter_for("dd_nodes_skipped", session),
             dd_tuples: r.counter_for("dd_tuples", session),
@@ -222,7 +237,23 @@ pub struct Session {
     /// every applied epoch (see [`crate::view`]). `None` outside the
     /// TCP front door — pipe-mode sessions never pay the capture.
     view: Option<Arc<ViewSlot>>,
+    /// Standing queries ([`crate::subs`]). Interior mutability because
+    /// subscribe/poll arrive on the `&self` query path while
+    /// commit-tail evaluation runs on the ingest path of the same
+    /// thread; the lock is never contended across threads.
+    subs: Mutex<SubscriptionRegistry>,
+    /// Push fan-out to TCP watchers; `None` outside the TCP front door
+    /// (the `notifications` poll works on every transport regardless).
+    hub: Option<Arc<NotifyHub>>,
     obs: SessionObs,
+}
+
+/// Locks a session's subscription registry even when a previous holder
+/// panicked mid-update: every mutation under the lock is registry
+/// bookkeeping, valid at each instruction boundary, so poison carries
+/// no information — and must never fail the ingest path.
+fn lock_subs(m: &Mutex<SubscriptionRegistry>) -> MutexGuard<'_, SubscriptionRegistry> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Session {
@@ -248,6 +279,8 @@ impl Session {
             history_bytes: 0,
             mismatches: 0,
             view: None,
+            subs: Mutex::new(SubscriptionRegistry::default()),
+            hub: None,
             obs: SessionObs::new(name),
         })
     }
@@ -315,6 +348,8 @@ impl Session {
             history_bytes: 0,
             mismatches: ckpt.mismatches,
             view: None,
+            subs: Mutex::new(SubscriptionRegistry::default()),
+            hub: None,
         };
         for (index, diff) in &ckpt.history {
             session.push_history(*index, diff.clone());
@@ -515,6 +550,11 @@ impl Session {
         start: Instant,
         flows: usize,
     ) {
+        // Standing queries re-evaluate from this commit's diff before
+        // the view publish: the epoch lifecycle is parse → cp → dp →
+        // diff → subscriptions → publish → ack, so a client that holds
+        // the commit's ack has already had its notifies queued/pushed.
+        self.notify_subscriptions(index);
         // Publish the refreshed read view before acknowledging the
         // epoch: a client that holds our reply must find a view at
         // least this fresh (cheap no-op when no slot is attached).
@@ -665,6 +705,16 @@ impl Session {
             | QueryKind::Health
             | QueryKind::History { .. } => Response::Error(
                 "metrics/trace/health/history are server-level queries; the transport answers them"
+                    .into(),
+            ),
+            // Standing-query commands reply with notify artifacts, not
+            // responses: every transport dispatches them through
+            // [`Session::subscription_reply`] first, so reaching this
+            // arm is a routing bug surfaced as an error.
+            QueryKind::Subscribe(_)
+            | QueryKind::Unsubscribe { .. }
+            | QueryKind::Notifications { .. } => Response::Error(
+                "subscription queries are answered with notify artifacts; the transport dispatches them"
                     .into(),
             ),
             QueryKind::Checkpoint => match self.write_checkpoint() {
@@ -829,6 +879,204 @@ impl Session {
         self.obs.view_publish_us.observe_ns(publish_ns);
         publish_ns
     }
+
+    /// Attaches the hub this session pushes notify artifacts through
+    /// (the TCP front door). Polling works without one.
+    pub fn set_notify_hub(&mut self, hub: Arc<NotifyHub>) {
+        self.hub = Some(hub);
+    }
+
+    /// Re-evaluates every standing query against the commit that just
+    /// applied (its diff is the freshest retained history record).
+    /// Incremental by construction: a no-op commit suppresses every
+    /// subscription without evaluating; a blast subscription only fires
+    /// when the diff contains flow changes sourced at its device; the
+    /// reach-like views compare the incrementally maintained answer set
+    /// against the last delivered one, so an unchanged answer costs a
+    /// set comparison and zero bytes. Changed answers are queued for
+    /// the `notifications` poll and pushed to hub watchers; neither
+    /// path can block the engine (both queues are bounded, drop-oldest
+    /// with `resync` markers).
+    fn notify_subscriptions(&self, index: usize) {
+        let mut subs = lock_subs(&self.subs);
+        if subs.is_empty() {
+            return;
+        }
+        let Some(rec) = self.history.back() else {
+            return;
+        };
+        let diff = Arc::clone(&rec.diff);
+        if diff.is_noop() {
+            self.obs.notify_suppressed.add(subs.len() as u64);
+            return;
+        }
+        let epoch = index as u64;
+        let mut pushes: Vec<(u64, NotifyEvent)> = Vec::new();
+        for (id, sub) in subs.iter_mut() {
+            let ev = match &mut sub.kind {
+                SubKind::Blast { device } => {
+                    let flows = diff.flows.iter().filter(|f| f.src == *device).count() as u64;
+                    (flows > 0).then_some(NotifyEvent::Blast { epoch, flows })
+                }
+                SubKind::Reach { src, flow, last } => match self.replay.query(src, flow) {
+                    Some(outcomes) if outcomes != *last => {
+                        last.clone_from(&outcomes);
+                        Some(NotifyEvent::Reach { epoch, outcomes })
+                    }
+                    _ => None,
+                },
+                SubKind::Invariant {
+                    check,
+                    src,
+                    flow,
+                    last,
+                } => match self.replay.query(src, flow) {
+                    Some(outcomes) if outcomes != *last => {
+                        last.clone_from(&outcomes);
+                        Some(NotifyEvent::Invariant {
+                            epoch,
+                            holds: check.holds(&outcomes),
+                            outcomes,
+                        })
+                    }
+                    _ => None,
+                },
+            };
+            match ev {
+                None => self.obs.notify_suppressed.inc(),
+                Some(ev) => {
+                    self.obs.notifies_pushed.inc();
+                    sub.push(ev.clone());
+                    pushes.push((id, ev));
+                }
+            }
+        }
+        drop(subs);
+        let Some(hub) = &self.hub else { return };
+        for (id, ev) in pushes {
+            // Rendering is skipped when no connection watches this
+            // subscription — the poll queue above already has the event.
+            if !hub.wanted(&self.name, id) {
+                continue;
+            }
+            let text = dna_io::write_notify(&Notify {
+                subscription: id,
+                session: self.name.clone(),
+                events: vec![ev],
+            });
+            hub.publish(&self.name, id, epoch, &text);
+        }
+    }
+
+    /// Answers the standing-query commands, whose replies are `notify`
+    /// artifacts (or serialized `error` responses), not [`Response`]
+    /// values — the transports dispatch these before [`Session::answer`].
+    /// `None` for every other query kind.
+    pub fn subscription_reply(&self, kind: &QueryKind) -> Option<String> {
+        let reply = match kind {
+            QueryKind::Subscribe(spec) => self.subscribe(spec),
+            QueryKind::Unsubscribe { id } => self.unsubscribe(*id),
+            QueryKind::Notifications { id } => self.notifications(*id),
+            _ => return None,
+        };
+        self.obs.acct.beat();
+        self.obs.queries_answered.inc();
+        Some(match reply {
+            Ok(n) => dna_io::write_notify(&n),
+            Err(e) => dna_io::write_response(&Response::Error(e)),
+        })
+    }
+
+    /// The zero-event notify acknowledging a subscribe/unsubscribe.
+    fn ack(&self, id: u64) -> Notify {
+        Notify {
+            subscription: id,
+            session: self.name.clone(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Validates a subscription's devices and captures its baseline
+    /// answer — the view is materialized once here; commits afterwards
+    /// only diff against it.
+    fn materialize(&self, spec: &SubscriptionSpec) -> Result<SubKind, String> {
+        let baseline = |src: &str, flow: &Flow| -> Result<BTreeSet<Outcome>, String> {
+            if !self.snapshot().devices.contains_key(src) {
+                return Err(format!("unknown source device {src:?}"));
+            }
+            self.replay
+                .query(src, flow)
+                .ok_or_else(|| "session has no live differential engine".to_string())
+        };
+        Ok(match spec {
+            SubscriptionSpec::Reach { src, flow } => SubKind::Reach {
+                last: baseline(src, flow)?,
+                src: src.clone(),
+                flow: *flow,
+            },
+            SubscriptionSpec::ReachPair { src, dst } => {
+                let flow = self.resolve_dst(dst)?;
+                SubKind::Reach {
+                    last: baseline(src, &flow)?,
+                    src: src.clone(),
+                    flow,
+                }
+            }
+            SubscriptionSpec::Blast { device } => {
+                if !self.snapshot().devices.contains_key(device) {
+                    return Err(format!("unknown source device {device:?}"));
+                }
+                SubKind::Blast {
+                    device: device.clone(),
+                }
+            }
+            SubscriptionSpec::NeverReach { src, dst } => {
+                let flow = self.resolve_dst(dst)?;
+                SubKind::Invariant {
+                    check: InvariantCheck::NeverReach { dst: dst.clone() },
+                    last: baseline(src, &flow)?,
+                    src: src.clone(),
+                    flow,
+                }
+            }
+            SubscriptionSpec::NoBlackhole { src, flow } => SubKind::Invariant {
+                check: InvariantCheck::NoBlackhole,
+                last: baseline(src, flow)?,
+                src: src.clone(),
+                flow: *flow,
+            },
+        })
+    }
+
+    fn subscribe(&self, spec: &SubscriptionSpec) -> Result<Notify, String> {
+        let kind = self.materialize(spec)?;
+        let mut subs = lock_subs(&self.subs);
+        let id = subs.insert(kind);
+        self.obs.subscriptions_active.set(subs.len() as u64);
+        drop(subs);
+        Ok(self.ack(id))
+    }
+
+    fn unsubscribe(&self, id: u64) -> Result<Notify, String> {
+        let mut subs = lock_subs(&self.subs);
+        if !subs.remove(id) {
+            return Err(format!("session {:?} has no subscription {id}", self.name));
+        }
+        self.obs.subscriptions_active.set(subs.len() as u64);
+        drop(subs);
+        Ok(self.ack(id))
+    }
+
+    fn notifications(&self, id: u64) -> Result<Notify, String> {
+        let events = lock_subs(&self.subs)
+            .drain(id)
+            .ok_or_else(|| format!("session {:?} has no subscription {id}", self.name))?;
+        Ok(Notify {
+            subscription: id,
+            session: self.name.clone(),
+            events,
+        })
+    }
 }
 
 /// Owner of the server's named sessions.
@@ -836,6 +1084,7 @@ pub struct SessionManager {
     sessions: BTreeMap<String, Session>,
     default: Option<String>,
     config: SessionConfig,
+    hub: Option<Arc<NotifyHub>>,
 }
 
 impl SessionManager {
@@ -845,7 +1094,18 @@ impl SessionManager {
             sessions: BTreeMap::new(),
             default: None,
             config,
+            hub: None,
         }
+    }
+
+    /// Attaches a notify hub: every current and future session pushes
+    /// its standing-query notifies through it (the single-threaded
+    /// broker's counterpart of [`crate::Router::with_notify_hub`]).
+    pub fn set_notify_hub(&mut self, hub: Arc<NotifyHub>) {
+        for session in self.sessions.values_mut() {
+            session.set_notify_hub(Arc::clone(&hub));
+        }
+        self.hub = Some(hub);
     }
 
     /// Opens (or replaces) the named session over a snapshot. The first
@@ -854,7 +1114,10 @@ impl SessionManager {
     pub fn open(&mut self, name: &str, snapshot: Snapshot) -> Result<Response, String> {
         let devices = snapshot.device_count() as u64;
         let links = snapshot.links.len() as u64;
-        let session = Session::open(name, snapshot, self.config.clone())?;
+        let mut session = Session::open(name, snapshot, self.config.clone())?;
+        if let Some(hub) = &self.hub {
+            session.set_notify_hub(Arc::clone(hub));
+        }
         self.sessions.insert(name.to_string(), session);
         if self.default.is_none() {
             self.default = Some(name.to_string());
@@ -876,7 +1139,10 @@ impl SessionManager {
     ) -> Result<Response, String> {
         let devices = snapshot.device_count() as u64;
         let links = snapshot.links.len() as u64;
-        let session = Session::resume(ckpt, snapshot, &self.config)?;
+        let mut session = Session::resume(ckpt, snapshot, &self.config)?;
+        if let Some(hub) = &self.hub {
+            session.set_notify_hub(Arc::clone(hub));
+        }
         let name = session.name().to_string();
         self.sessions.insert(name.clone(), session);
         if self.default.is_none() {
@@ -969,6 +1235,27 @@ impl SessionManager {
             Ok(s) => s.answer(&q.kind),
             Err(r) => r,
         }
+    }
+
+    /// Answers the standing-query commands, whose replies are `notify`
+    /// artifacts ([`Session::subscription_reply`] resolved through the
+    /// manager's session table); `None` for every other query kind, and
+    /// a serialized `error` response for resolution failures.
+    pub fn subscription_reply(&self, q: &Query) -> Option<String> {
+        if !matches!(
+            q.kind,
+            QueryKind::Subscribe(_)
+                | QueryKind::Unsubscribe { .. }
+                | QueryKind::Notifications { .. }
+        ) {
+            return None;
+        }
+        Some(match self.resolve(q.session.as_deref()) {
+            Ok(s) => s
+                .subscription_reply(&q.kind)
+                .expect("subscription kind checked above"),
+            Err(r) => dna_io::write_response(&r),
+        })
     }
 }
 

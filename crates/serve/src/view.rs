@@ -17,7 +17,7 @@
 //! take only when the version moved. A reader that cached `(version,
 //! Arc<QueryView>)` answers an unchanged session without any lock at
 //! all; the mutex is held for a pointer clone, never for engine work.
-//! The mutex is poison-proof by construction ([`lock_slot`] recovers
+//! The mutex is poison-proof by construction (`lock_slot` recovers
 //! via [`PoisonError::into_inner`]) — a reader panic must never wedge
 //! publishing, nor the reverse.
 
@@ -95,14 +95,19 @@ impl QueryView {
             QueryKind::Report { from, to } => self.report(*from, *to),
             QueryKind::Stats => Response::Stats(self.stats.clone()),
             // `sessions` is server-level, `checkpoint` mutates durable
-            // state, and telemetry queries are answered even earlier by
-            // the transport (see [`crate::obs`]) — none route here.
+            // state, telemetry queries are answered even earlier by the
+            // transport (see [`crate::obs`]), and standing-query
+            // commands mutate the session's subscription registry —
+            // none route here.
             QueryKind::Sessions
             | QueryKind::Checkpoint
             | QueryKind::Metrics
             | QueryKind::TraceSpans { .. }
             | QueryKind::Health
-            | QueryKind::History { .. } => return None,
+            | QueryKind::History { .. }
+            | QueryKind::Subscribe(_)
+            | QueryKind::Unsubscribe { .. }
+            | QueryKind::Notifications { .. } => return None,
         })
     }
 

@@ -88,7 +88,8 @@ fn health_is_byte_identical_on_all_four_transports() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let addr = listener.local_addr().expect("local addr").to_string();
     let accept_tx = tx.clone();
-    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, views));
+    let hub = Arc::new(dna_serve::NotifyHub::new());
+    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, views, hub));
 
     // ---- history, phase 1: a sample before any ingest. ----
     dna_obs::history().record(dna_obs::uptime_ms(), &dna_obs::global().snapshot(None));

@@ -41,7 +41,8 @@ fn serve_tcp(
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let addr = listener.local_addr().expect("local addr");
     let accept_tx = tx.clone();
-    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, views));
+    let hub = Arc::new(dna_serve::NotifyHub::new());
+    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, views, hub));
     (addr, tx)
 }
 

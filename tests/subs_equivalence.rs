@@ -1,0 +1,248 @@
+//! Standing queries, the equivalence backbone: a subscriber that
+//! receives **pushed** notify artifacts must see byte-for-byte what a
+//! client **polling** `notifications <id>` after every commit sees.
+//!
+//! Pinned two ways:
+//!
+//! * a randomized sweep (scenario seed × shards 1/2/4 × sequential vs
+//!   coalesced commits): two identically-named sessions subscribe the
+//!   same five standing queries (one per kind) and ingest the same
+//!   epochs; one delivers through a [`NotifyHub`] watcher, the other by
+//!   draining the poll queue after every commit. Per subscription, the
+//!   pushed artifact stream and the non-empty poll artifacts must be
+//!   identical strings — and a coalesced commit must emit at most ONE
+//!   merged notify per subscription;
+//! * a deterministic suppression check: epochs that cannot change a
+//!   subscription's answer queue nothing and count `notify_suppressed`
+//!   — zero work, zero bytes is load-bearing, not best-effort.
+//!
+//! (The bounded-queue drop/resync behavior on both delivery paths is
+//! unit-tested next to the implementation in `dna-serve`'s `subs`
+//! module.)
+
+use dna_io::{parse_notify, QueryKind, SubscriptionSpec, TraceEpoch};
+use dna_serve::{NotifyHub, Session, SessionConfig};
+use net_model::Flow;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use topo_gen::{fat_tree, Routing, ScenarioGen, ScenarioKind};
+
+/// A k=4 fat-tree workload of `epochs` labeled change epochs.
+fn workload(seed: u64, epochs: usize) -> (net_model::Snapshot, Vec<TraceEpoch>) {
+    let ft = fat_tree(4, Routing::Ebgp);
+    let mut gen = ScenarioGen::new(seed);
+    let labeled = gen.labeled_sequence(
+        &ft.snapshot,
+        &[
+            ScenarioKind::LinkFailure,
+            ScenarioKind::LinkRecovery,
+            ScenarioKind::AclInsert,
+            ScenarioKind::AclRemove,
+        ],
+        epochs,
+    );
+    let epochs = labeled
+        .into_iter()
+        .map(|(kind, changes)| TraceEpoch {
+            label: Some(kind.to_string()),
+            changes,
+        })
+        .collect();
+    (ft.snapshot, epochs)
+}
+
+/// One subscription of every kind, against endpoints the scenario
+/// generator actually perturbs.
+fn specs(snapshot: &net_model::Snapshot) -> Vec<SubscriptionSpec> {
+    let addr = snapshot.devices["edge1_1"]
+        .interfaces
+        .values()
+        .next()
+        .expect("edge1_1 has interfaces")
+        .addr;
+    let flow = Flow::tcp_to(addr, 80);
+    vec![
+        SubscriptionSpec::ReachPair {
+            src: "edge0_0".into(),
+            dst: "edge1_1".into(),
+        },
+        SubscriptionSpec::Reach {
+            src: "edge0_0".into(),
+            flow,
+        },
+        SubscriptionSpec::Blast {
+            device: "edge0_0".into(),
+        },
+        SubscriptionSpec::NeverReach {
+            src: "edge0_0".into(),
+            dst: "edge1_0".into(),
+        },
+        SubscriptionSpec::NoBlackhole {
+            src: "edge0_0".into(),
+            flow,
+        },
+    ]
+}
+
+/// Subscribes every spec, returning the acked ids (insertion order).
+fn subscribe_all(session: &Session, specs: &[SubscriptionSpec]) -> Vec<u64> {
+    specs
+        .iter()
+        .map(|spec| {
+            let ack = session
+                .subscription_reply(&QueryKind::Subscribe(spec.clone()))
+                .expect("subscribe is a subscription command");
+            parse_notify(&ack)
+                .expect("subscribe acks with a notify")
+                .subscription
+        })
+        .collect()
+}
+
+/// Drives `epochs` into the session: one commit per epoch when
+/// `chunk <= 1`, else one *coalesced* commit per `chunk`-sized slice
+/// (the backlog drain path behind `--coalesce`). Returns the commit
+/// count. Calls `after_commit` after every commit.
+fn drive(
+    session: &mut Session,
+    epochs: &[TraceEpoch],
+    chunk: usize,
+    mut after_commit: impl FnMut(&Session),
+) -> usize {
+    let mut commits = 0;
+    if chunk <= 1 {
+        for ep in epochs {
+            session.ingest(ep).expect("epoch applies");
+            commits += 1;
+            after_commit(session);
+        }
+    } else {
+        for slice in epochs.chunks(chunk) {
+            let refs: Vec<&TraceEpoch> = slice.iter().collect();
+            session.ingest_coalesced(&refs, 0).expect("chunk applies");
+            commits += 1;
+            after_commit(session);
+        }
+    }
+    commits
+}
+
+proptest! {
+    // Each case pays two engine bring-ups; modest case count, wide
+    // parameter spread.
+    #![proptest_config(ProptestConfig::with_cases_and_seed(6, 0x5AB5_C01B))]
+
+    /// Push ≡ poll, byte for byte, per subscription — across scenario
+    /// seeds, shard counts and commit granularity.
+    #[test]
+    fn pushed_deltas_match_poll_after_every_commit(
+        seed in 0u64..1_000,
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+        chunk in 1usize..=3,
+    ) {
+        let (snapshot, epochs) = workload(seed, 10);
+        let config = SessionConfig { shards, ..SessionConfig::default() };
+        let specs = specs(&snapshot);
+
+        // The push client: a hub watcher subscribed to every id.
+        let mut pushed = Session::open("subeq", snapshot.clone(), config.clone())
+            .expect("push session opens");
+        let hub = Arc::new(NotifyHub::new());
+        pushed.set_notify_hub(Arc::clone(&hub));
+        let ids = subscribe_all(&pushed, &specs);
+        let watcher = hub.register();
+        for id in &ids {
+            hub.watch(watcher, "subeq", *id);
+        }
+
+        // The poll client: same name (notify artifacts embed it), same
+        // subscriptions, drained after every commit.
+        let mut polled = Session::open("subeq", snapshot, config)
+            .expect("poll session opens");
+        prop_assert_eq!(&subscribe_all(&polled, &specs), &ids, "ids must line up");
+        let mut poll_stream: BTreeMap<u64, Vec<String>> =
+            ids.iter().map(|id| (*id, Vec::new())).collect();
+
+        let commits = drive(&mut pushed, &epochs, chunk, |_| {});
+        drive(&mut polled, &epochs, chunk, |s| {
+            for id in &ids {
+                let batch = s
+                    .subscription_reply(&QueryKind::Notifications { id: *id })
+                    .expect("notifications is a subscription command");
+                let n = parse_notify(&batch).expect("poll answers with a notify");
+                assert!(n.events.len() <= 1, "one commit queues at most one event");
+                if !n.events.is_empty() {
+                    poll_stream.get_mut(id).expect("known id").push(batch);
+                }
+            }
+        });
+
+        // Drain the watcher: close it first so the final wait returns
+        // `None` instead of blocking once the queues are empty.
+        hub.unregister(watcher);
+        let mut push_stream: BTreeMap<u64, Vec<String>> =
+            ids.iter().map(|id| (*id, Vec::new())).collect();
+        while let Some(batch) = hub.wait(watcher) {
+            for artifact in batch {
+                let n = parse_notify(&artifact).expect("pushed artifacts are notifies");
+                push_stream
+                    .get_mut(&n.subscription)
+                    .expect("pushes only on subscribed ids")
+                    .push(artifact);
+            }
+        }
+
+        for id in &ids {
+            prop_assert_eq!(
+                &push_stream[id],
+                &poll_stream[id],
+                "push and poll must carry identical bytes for subscription {}",
+                id
+            );
+            // A coalesced commit is ONE evaluation: never more notifies
+            // than commits, however many epochs were merged.
+            prop_assert!(push_stream[id].len() <= commits);
+        }
+    }
+}
+
+/// Non-intersecting commits are suppressed: a subscription whose answer
+/// cannot change queues zero events (a poll drains empty) and each
+/// suppression is counted — the "zero work and zero bytes" half of the
+/// tentpole contract.
+#[test]
+fn non_intersecting_epochs_queue_nothing_and_count_suppression() {
+    let (snapshot, epochs) = workload(7, 6);
+    let mut session =
+        Session::open("subeq_suppress", snapshot, SessionConfig::default()).expect("session opens");
+    // A same-pod edge pair: most of the workload's perturbations land
+    // elsewhere in the fabric, so plenty of commits can't change it.
+    let ack = session
+        .subscription_reply(&QueryKind::Subscribe(SubscriptionSpec::ReachPair {
+            src: "edge0_0".into(),
+            dst: "edge0_1".into(),
+        }))
+        .expect("subscribe is a subscription command");
+    let id = parse_notify(&ack).expect("ack parses").subscription;
+    let suppressed = dna_obs::global().counter_for("notify_suppressed", "subeq_suppress");
+    let before = suppressed.get();
+    let mut quiet = 0u64;
+    for ep in &epochs {
+        session.ingest(ep).expect("epoch applies");
+        let batch = session
+            .subscription_reply(&QueryKind::Notifications { id })
+            .expect("notifications is a subscription command");
+        let n = parse_notify(&batch).expect("poll answers with a notify");
+        if n.events.is_empty() {
+            quiet += 1;
+        }
+    }
+    assert!(quiet > 0, "workload must contain non-intersecting epochs");
+    assert!(
+        suppressed.get() - before >= quiet,
+        "every quiet commit must count a suppression ({} quiet, {} counted)",
+        quiet,
+        suppressed.get() - before
+    );
+}

@@ -11,7 +11,11 @@
 //! * eight concurrent TCP clients hammering reach/blast queries while
 //!   a ninth ingests a live trace over the same listener only ever see
 //!   answers equal to a sequential replay after *some* epoch prefix —
-//!   the snapshot read path never exposes torn state.
+//!   the snapshot read path never exposes torn state;
+//! * a subscribed connection's pushed notify stream (the `dna watch`
+//!   wire pattern) carries exactly the events a poll-after-every-epoch
+//!   client drains — changed commits push one artifact, unchanged
+//!   commits push zero bytes.
 
 use dna_io::{write_query, write_trace, Query, QueryKind, Response, Trace, TraceEpoch};
 use dna_serve::{
@@ -40,7 +44,10 @@ fn serve_tcp(
     mpsc::Sender<dna_serve::Request>,
 ) {
     let views = Arc::new(ViewRegistry::new());
-    let mut router = Router::new(SessionConfig::default()).with_views(Arc::clone(&views));
+    let hub = Arc::new(dna_serve::NotifyHub::new());
+    let mut router = Router::new(SessionConfig::default())
+        .with_views(Arc::clone(&views))
+        .with_notify_hub(Arc::clone(&hub));
     router.preload(sessions).expect("sessions open");
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || router.run(rx));
@@ -48,7 +55,7 @@ fn serve_tcp(
     let addr = listener.local_addr().expect("local addr");
     let accept_tx = tx.clone();
     let accept_views = Arc::clone(&views);
-    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, accept_views));
+    std::thread::spawn(move || tcp_accept_loop(accept_tx, listener, accept_views, hub));
     (addr, views, tx)
 }
 
@@ -102,6 +109,98 @@ fn tcp_responses_match_the_pinned_corpus_smoke() {
     // All three queries were answered from published views — the trace
     // is the only artifact that reached the engine side.
     assert_eq!(views.served(), 3, "read path must serve the queries");
+}
+
+/// A subscribed TCP connection (the `dna watch` wire pattern): the
+/// pushed notify stream must carry exactly the event bytes a client
+/// polling `notifications <id>` after every commit collects — and
+/// nothing at all for commits that didn't change the answer.
+#[test]
+fn watch_connection_streams_push_equal_to_poll() {
+    let (snapshot, epochs) = workload();
+    let (addr, _views, _tx) = serve_tcp(vec![("watch".into(), snapshot)]);
+    let subscribe = q(
+        Some("watch"),
+        QueryKind::Subscribe(dna_io::SubscriptionSpec::Blast {
+            device: "edge0_0".into(),
+        }),
+    );
+
+    // The watcher: one persistent connection, subscribed first so the
+    // push stream covers every commit from epoch zero.
+    let watch_stream = TcpStream::connect(addr).expect("watch connects");
+    watch_stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    (&watch_stream)
+        .write_all(subscribe.as_bytes())
+        .expect("send subscribe");
+    let mut watch_reader = BufReader::new(&watch_stream);
+    let ack = read_artifact(&mut watch_reader)
+        .expect("well-framed ack")
+        .expect("subscribe acks");
+    let watch_id = dna_io::parse_notify(&ack)
+        .expect("ack is a notify")
+        .subscription;
+
+    // The poller: a twin subscription on the same session, drained
+    // after every single-epoch commit.
+    let poll_ack = query_tcp(&addr.to_string(), &subscribe).expect("poll subscribe");
+    let poll_id = dna_io::parse_notify(&poll_ack)
+        .expect("ack is a notify")
+        .subscription;
+    let mut polled: Vec<dna_io::Notify> = Vec::new();
+    for ep in &epochs {
+        let trace = write_trace(&Trace {
+            epochs: vec![ep.clone()],
+        });
+        let ack = query_tcp(&addr.to_string(), &trace).expect("epoch over tcp");
+        assert!(
+            matches!(
+                dna_io::parse_response(&ack),
+                Ok(Response::Ingested { epochs: 1, .. })
+            ),
+            "unexpected ingest ack:\n{ack}"
+        );
+        let batch = query_tcp(
+            &addr.to_string(),
+            &q(Some("watch"), QueryKind::Notifications { id: poll_id }),
+        )
+        .expect("poll over tcp");
+        let n = dna_io::parse_notify(&batch).expect("poll answers with a notify");
+        assert!(n.events.len() <= 1, "one commit queues at most one event");
+        if !n.events.is_empty() {
+            polled.push(n);
+        }
+    }
+
+    // The pushed stream: one artifact per changed commit, in order.
+    // (Ids differ between the two subscriptions; the *events* must
+    // not.) A missing push trips the read timeout rather than hanging.
+    let mut pushed: Vec<dna_io::Notify> = Vec::new();
+    while pushed.len() < polled.len() {
+        let artifact = read_artifact(&mut watch_reader)
+            .expect("pushed artifact within the timeout")
+            .expect("connection stays open");
+        let n = dna_io::parse_notify(&artifact).expect("push is a notify");
+        assert_eq!(n.subscription, watch_id);
+        assert_eq!(n.events.len(), 1, "pushes carry one event per commit");
+        pushed.push(n);
+    }
+    assert!(
+        !polled.is_empty(),
+        "workload must change the answer at least once"
+    );
+    assert!(
+        polled.len() < epochs.len(),
+        "workload must also contain suppressed (zero-byte) commits"
+    );
+    let pushed_events: Vec<_> = pushed.into_iter().flat_map(|n| n.events).collect();
+    let polled_events: Vec<_> = polled.into_iter().flat_map(|n| n.events).collect();
+    assert_eq!(
+        pushed_events, polled_events,
+        "pushed deltas must equal the poll-after-every-epoch stream"
+    );
 }
 
 fn workload() -> (net_model::Snapshot, Vec<TraceEpoch>) {

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::fmt::Debug;
 
-/// Length specification for [`vec`]: an exact size or a half-open range,
+/// Length specification for [`vec()`]: an exact size or a half-open range,
 /// mirroring upstream's `Into<SizeRange>` argument.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
@@ -46,7 +46,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,
